@@ -1,0 +1,364 @@
+//! AT&T-syntax text emission — the paper's output artifact.
+
+use crate::inst::{GpOrImm, Mem, Width, XInst};
+use crate::kernel::{AsmKernel, ParamLoc};
+use augem_machine::{IsaSet, SimdMode, VecReg};
+use std::fmt::Write;
+
+/// Register name at the given width.
+fn vreg(r: VecReg, w: Width) -> String {
+    if w.is_ymm() {
+        r.ymm_name()
+    } else {
+        r.xmm_name()
+    }
+}
+
+fn mem(m: Mem) -> String {
+    if m.disp == 0 {
+        format!("({})", m.base.name())
+    } else {
+        format!("{}({})", m.disp, m.base.name())
+    }
+}
+
+fn gp_or_imm(v: GpOrImm) -> String {
+    match v {
+        GpOrImm::Gp(r) => r.name().to_string(),
+        GpOrImm::Imm(i) => format!("${i}"),
+    }
+}
+
+/// Whether the kernel should use the AVX (`v`-prefixed) encodings.
+fn avx_names(isa: &IsaSet) -> bool {
+    isa.widest_mode() == SimdMode::Avx
+}
+
+/// Formats one instruction as an AT&T assembly line (no indentation).
+pub fn format_inst(i: &XInst, isa: &IsaSet) -> String {
+    let v = avx_names(isa);
+    let pfx = if v { "v" } else { "" };
+    match i {
+        XInst::FLoad { dst, mem: m, w } => match w {
+            Width::S => format!("{pfx}movsd {}, {}", mem(*m), vreg(*dst, *w)),
+            _ => format!("{pfx}movupd {}, {}", mem(*m), vreg(*dst, *w)),
+        },
+        XInst::FStore { src, mem: m, w } => match w {
+            Width::S => format!("{pfx}movsd {}, {}", vreg(*src, *w), mem(*m)),
+            _ => format!("{pfx}movupd {}, {}", vreg(*src, *w), mem(*m)),
+        },
+        XInst::FDup { dst, mem: m, w } => {
+            if *w == Width::V4 {
+                format!("vbroadcastsd {}, {}", mem(*m), vreg(*dst, *w))
+            } else if v {
+                format!("vmovddup {}, {}", mem(*m), vreg(*dst, *w))
+            } else {
+                format!("movddup {}, {}", mem(*m), vreg(*dst, *w))
+            }
+        }
+        XInst::FMov { dst, src, w } => {
+            format!("{pfx}movapd {}, {}", vreg(*src, *w), vreg(*dst, *w))
+        }
+        XInst::FZero { dst, w } => {
+            let d = vreg(*dst, *w);
+            if v {
+                format!("vxorpd {d}, {d}, {d}")
+            } else {
+                format!("xorpd {d}, {d}")
+            }
+        }
+        XInst::FMul2 { dstsrc, src, w } => {
+            let sfx = if *w == Width::S { "sd" } else { "pd" };
+            format!("mul{sfx} {}, {}", vreg(*src, *w), vreg(*dstsrc, *w))
+        }
+        XInst::FAdd2 { dstsrc, src, w } => {
+            let sfx = if *w == Width::S { "sd" } else { "pd" };
+            format!("add{sfx} {}, {}", vreg(*src, *w), vreg(*dstsrc, *w))
+        }
+        XInst::FMul3 { dst, a, b, w } => {
+            let sfx = if *w == Width::S { "sd" } else { "pd" };
+            format!(
+                "vmul{sfx} {}, {}, {}",
+                vreg(*b, *w),
+                vreg(*a, *w),
+                vreg(*dst, *w)
+            )
+        }
+        XInst::FAdd3 { dst, a, b, w } => {
+            let sfx = if *w == Width::S { "sd" } else { "pd" };
+            format!(
+                "vadd{sfx} {}, {}, {}",
+                vreg(*b, *w),
+                vreg(*a, *w),
+                vreg(*dst, *w)
+            )
+        }
+        XInst::Fma3 { acc, a, b, w } => {
+            let sfx = if *w == Width::S { "sd" } else { "pd" };
+            format!(
+                "vfmadd231{sfx} {}, {}, {}",
+                vreg(*b, *w),
+                vreg(*a, *w),
+                vreg(*acc, *w)
+            )
+        }
+        XInst::Fma4 { dst, a, b, c, w } => {
+            let sfx = if *w == Width::S { "sd" } else { "pd" };
+            format!(
+                "vfmadd{sfx} {}, {}, {}, {}",
+                vreg(*c, *w),
+                vreg(*b, *w),
+                vreg(*a, *w),
+                vreg(*dst, *w)
+            )
+        }
+        XInst::Shuf2 { dstsrc, src, imm, w } => {
+            format!("shufpd ${imm}, {}, {}", vreg(*src, *w), vreg(*dstsrc, *w))
+        }
+        XInst::Shuf3 { dst, a, b, imm, w } => {
+            format!(
+                "vshufpd ${imm}, {}, {}, {}",
+                vreg(*b, *w),
+                vreg(*a, *w),
+                vreg(*dst, *w)
+            )
+        }
+        XInst::SwapHalves { dst, src } => {
+            format!(
+                "vperm2f128 $0x01, {}, {}, {}",
+                src.ymm_name(),
+                src.ymm_name(),
+                dst.ymm_name()
+            )
+        }
+        XInst::Perm2f128 { dst, a, b, imm } => {
+            format!(
+                "vperm2f128 ${imm:#04x}, {}, {}, {}",
+                b.ymm_name(),
+                a.ymm_name(),
+                dst.ymm_name()
+            )
+        }
+        XInst::ExtractHi { dst, src } => {
+            format!("vextractf128 $1, {}, {}", src.ymm_name(), dst.xmm_name())
+        }
+        XInst::IMovImm { dst, imm } => format!("mov ${imm}, {}", dst.name()),
+        XInst::ILoad { dst, mem: m } => format!("mov {}, {}", mem(*m), dst.name()),
+        XInst::IStore { src, mem: m } => format!("mov {}, {}", src.name(), mem(*m)),
+        XInst::IMov { dst, src } => format!("mov {}, {}", src.name(), dst.name()),
+        XInst::IAdd { dst, src } => format!("add {}, {}", gp_or_imm(*src), dst.name()),
+        XInst::ISub { dst, src } => format!("sub {}, {}", gp_or_imm(*src), dst.name()),
+        XInst::IMul { dst, src } => format!("imul {}, {}", gp_or_imm(*src), dst.name()),
+        XInst::Lea {
+            dst,
+            base,
+            idx,
+            disp,
+        } => {
+            let inner = match idx {
+                Some((r, scale)) => format!("{disp}({},{},{scale})", base.name(), r.name()),
+                None => format!("{disp}({})", base.name()),
+            };
+            format!("lea {inner}, {}", dst.name())
+        }
+        XInst::Label(l) => format!("{l}:"),
+        XInst::Cmp { a, b } => format!("cmp {}, {}", gp_or_imm(*b), a.name()),
+        XInst::Jl(l) => format!("jl {l}"),
+        XInst::Jge(l) => format!("jge {l}"),
+        XInst::Jmp(l) => format!("jmp {l}"),
+        XInst::Ret => "ret".to_string(),
+        XInst::Prefetch {
+            mem: m,
+            write,
+            locality,
+        } => {
+            let op = if *write {
+                "prefetchw".to_string()
+            } else {
+                // locality 3 -> t0 (keep in all levels), 2 -> t1, else t2
+                match locality {
+                    3 => "prefetcht0".to_string(),
+                    2 => "prefetcht1".to_string(),
+                    _ => "prefetcht2".to_string(),
+                }
+            };
+            format!("{op} {}", mem(*m))
+        }
+        XInst::Comment(c) => format!("# {c}"),
+    }
+}
+
+/// Emits a complete AT&T `.s` file for the kernel.
+pub fn emit_att(k: &AsmKernel, isa: &IsaSet) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# kernel: {} (ISA: {isa})", k.name);
+    let _ = writeln!(out, "# parameter bindings:");
+    for (name, loc) in &k.params {
+        let where_ = match loc {
+            ParamLoc::Gp(r) => r.name().to_string(),
+            ParamLoc::Vec(r) => format!("{} (lane 0)", r.xmm_name()),
+            ParamLoc::VecBroadcast(r) => format!("{} (broadcast)", r.xmm_name()),
+        };
+        let _ = writeln!(out, "#   {name} -> {where_}");
+    }
+    let _ = writeln!(out, "\t.text");
+    let _ = writeln!(out, "\t.globl {}", k.name);
+    let _ = writeln!(out, "{}:", k.name);
+    for i in &k.insts {
+        match i {
+            XInst::Label(_) => {
+                let _ = writeln!(out, "{}", format_inst(i, isa));
+            }
+            _ => {
+                let _ = writeln!(out, "\t{}", format_inst(i, isa));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use augem_machine::{GpReg, IsaFeature};
+
+    fn sse() -> IsaSet {
+        IsaSet::sse2_only()
+    }
+    fn avx() -> IsaSet {
+        IsaSet::new(&[IsaFeature::Avx])
+    }
+
+    #[test]
+    fn sse_load_and_arith_forms() {
+        let ld = XInst::FLoad {
+            dst: VecReg(1),
+            mem: Mem::elem(GpReg(5), 2),
+            w: Width::S,
+        };
+        assert_eq!(format_inst(&ld, &sse()), "movsd 16(%rdi), %xmm1");
+        let mul = XInst::FMul2 {
+            dstsrc: VecReg(2),
+            src: VecReg(0),
+            w: Width::V2,
+        };
+        assert_eq!(format_inst(&mul, &sse()), "mulpd %xmm0, %xmm2");
+    }
+
+    #[test]
+    fn avx_three_operand_forms_use_ymm() {
+        let mul = XInst::FMul3 {
+            dst: VecReg(2),
+            a: VecReg(0),
+            b: VecReg(1),
+            w: Width::V4,
+        };
+        assert_eq!(format_inst(&mul, &avx()), "vmulpd %ymm1, %ymm0, %ymm2");
+        let dup = XInst::FDup {
+            dst: VecReg(3),
+            mem: Mem::new(GpReg(4), 0),
+            w: Width::V4,
+        };
+        assert_eq!(format_inst(&dup, &avx()), "vbroadcastsd (%rsi), %ymm3");
+    }
+
+    #[test]
+    fn fma_forms() {
+        let f3 = XInst::Fma3 {
+            acc: VecReg(3),
+            a: VecReg(0),
+            b: VecReg(1),
+            w: Width::V4,
+        };
+        assert_eq!(
+            format_inst(&f3, &avx()),
+            "vfmadd231pd %ymm1, %ymm0, %ymm3"
+        );
+        let f4 = XInst::Fma4 {
+            dst: VecReg(4),
+            a: VecReg(0),
+            b: VecReg(1),
+            c: VecReg(3),
+            w: Width::V2,
+        };
+        assert_eq!(
+            format_inst(&f4, &avx()),
+            "vfmaddpd %xmm3, %xmm1, %xmm0, %xmm4"
+        );
+    }
+
+    #[test]
+    fn shuffles_and_lane_ops() {
+        let s2 = XInst::Shuf2 {
+            dstsrc: VecReg(2),
+            src: VecReg(1),
+            imm: 1,
+            w: Width::V2,
+        };
+        assert_eq!(format_inst(&s2, &sse()), "shufpd $1, %xmm1, %xmm2");
+        let sw = XInst::SwapHalves {
+            dst: VecReg(5),
+            src: VecReg(6),
+        };
+        assert_eq!(
+            format_inst(&sw, &avx()),
+            "vperm2f128 $0x01, %ymm6, %ymm6, %ymm5"
+        );
+        let ex = XInst::ExtractHi {
+            dst: VecReg(1),
+            src: VecReg(2),
+        };
+        assert_eq!(format_inst(&ex, &avx()), "vextractf128 $1, %ymm2, %xmm1");
+    }
+
+    #[test]
+    fn integer_and_control_flow() {
+        assert_eq!(
+            format_inst(
+                &XInst::IAdd {
+                    dst: GpReg(0),
+                    src: GpOrImm::Imm(8)
+                },
+                &sse()
+            ),
+            "add $8, %rax"
+        );
+        assert_eq!(
+            format_inst(
+                &XInst::Cmp {
+                    a: GpReg(0),
+                    b: GpOrImm::Gp(GpReg(1))
+                },
+                &sse()
+            ),
+            "cmp %rbx, %rax"
+        );
+        assert_eq!(format_inst(&XInst::Jl("L1".into()), &sse()), "jl L1");
+        assert_eq!(
+            format_inst(
+                &XInst::Prefetch {
+                    mem: Mem::new(GpReg(5), 512),
+                    write: false,
+                    locality: 3
+                },
+                &sse()
+            ),
+            "prefetcht0 512(%rdi)"
+        );
+    }
+
+    #[test]
+    fn emit_full_kernel_has_header_and_body() {
+        let mut k = AsmKernel::new("daxpy_kernel");
+        k.params.push(("n".into(), ParamLoc::Gp(GpReg(5))));
+        k.params
+            .push(("alpha".into(), ParamLoc::VecBroadcast(VecReg(0))));
+        k.insts = vec![XInst::Comment("body".into()), XInst::Ret];
+        let s = emit_att(&k, &avx());
+        assert!(s.contains(".globl daxpy_kernel"));
+        assert!(s.contains("daxpy_kernel:"));
+        assert!(s.contains("#   n -> %rdi"));
+        assert!(s.contains("#   alpha -> %xmm0 (broadcast)"));
+        assert!(s.contains("\tret"));
+    }
+}

@@ -1,0 +1,321 @@
+//! The concrete instruction set.
+
+use augem_machine::{GpReg, InstClass, SimdMode, VecReg};
+
+/// Operand width of a floating-point instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Width {
+    /// Scalar double (`*sd` forms, lane 0 of an XMM register).
+    S,
+    /// 128-bit packed double (2 lanes, XMM).
+    V2,
+    /// 256-bit packed double (4 lanes, YMM).
+    V4,
+}
+
+impl Width {
+    /// Packed width for a SIMD mode.
+    pub fn packed(mode: SimdMode) -> Width {
+        match mode {
+            SimdMode::Sse => Width::V2,
+            SimdMode::Avx => Width::V4,
+        }
+    }
+
+    /// Number of f64 lanes the instruction touches.
+    pub fn lanes(self) -> usize {
+        match self {
+            Width::S => 1,
+            Width::V2 => 2,
+            Width::V4 => 4,
+        }
+    }
+
+    /// Whether this width requires a YMM register name.
+    pub fn is_ymm(self) -> bool {
+        self == Width::V4
+    }
+
+    /// The SIMD mode whose timing tables apply.
+    pub fn timing_mode(self) -> SimdMode {
+        if self.is_ymm() {
+            SimdMode::Avx
+        } else {
+            SimdMode::Sse
+        }
+    }
+}
+
+/// A memory operand: `disp(base)` with a byte displacement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Mem {
+    pub base: GpReg,
+    /// Displacement in bytes.
+    pub disp: i64,
+}
+
+impl Mem {
+    pub fn new(base: GpReg, disp: i64) -> Self {
+        Mem { base, disp }
+    }
+
+    /// `idx * SIZE(arr)` addressing of the paper's mapping rules, with
+    /// `SIZE = 8` for double precision.
+    pub fn elem(base: GpReg, elem_idx: i64) -> Self {
+        Mem {
+            base,
+            disp: elem_idx * 8,
+        }
+    }
+}
+
+/// Source operand that is either a register or an immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GpOrImm {
+    Gp(GpReg),
+    Imm(i64),
+}
+
+/// One concrete x86-64 instruction.
+///
+/// Two- vs three-operand forms are distinct variants because the paper's
+/// instruction-selection tables (1–4) hinge on the difference: SSE
+/// arithmetic destroys a source (`Mul r0,r2` ≙ `r2 *= r0`) and therefore
+/// sometimes needs an extra `Mov`, while AVX forms are non-destructive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XInst {
+    // ---- floating point: moves ----
+    /// Load: `movsd/movupd/vmovupd mem, dst`.
+    FLoad { dst: VecReg, mem: Mem, w: Width },
+    /// Store: `movsd/movupd/vmovupd src, mem`.
+    FStore { src: VecReg, mem: Mem, w: Width },
+    /// Broadcast load: `movddup` (SSE) / `vbroadcastsd` (AVX):
+    /// all lanes of `dst` get `mem`'s scalar.
+    FDup { dst: VecReg, mem: Mem, w: Width },
+    /// Register move: `movapd/vmovapd src, dst`.
+    FMov { dst: VecReg, src: VecReg, w: Width },
+    /// Zero a register: `xorpd dst, dst` / `vxorpd dst, dst, dst`.
+    FZero { dst: VecReg, w: Width },
+
+    // ---- floating point: two-operand (SSE) arithmetic ----
+    /// `mulsd/mulpd src, dstsrc` — `dstsrc *= src`.
+    FMul2 { dstsrc: VecReg, src: VecReg, w: Width },
+    /// `addsd/addpd src, dstsrc` — `dstsrc += src`.
+    FAdd2 { dstsrc: VecReg, src: VecReg, w: Width },
+
+    // ---- floating point: three-operand (AVX) arithmetic ----
+    /// `vmulsd/vmulpd a, b, dst` — `dst = a * b`.
+    FMul3 { dst: VecReg, a: VecReg, b: VecReg, w: Width },
+    /// `vaddsd/vaddpd a, b, dst` — `dst = a + b`.
+    FAdd3 { dst: VecReg, a: VecReg, b: VecReg, w: Width },
+
+    // ---- fused multiply-add ----
+    /// FMA3 `vfmadd231sd/pd a, b, acc` — `acc += a * b` (destination must
+    /// be a source: the defining constraint of the 3-operand FMA form).
+    Fma3 { acc: VecReg, a: VecReg, b: VecReg, w: Width },
+    /// FMA4 `vfmaddpd c, b, a, dst` — `dst = a*b + c` with an independent
+    /// destination (Piledriver only).
+    Fma4 { dst: VecReg, a: VecReg, b: VecReg, c: VecReg, w: Width },
+
+    // ---- lane manipulation (the Shuf vectorization strategy) ----
+    /// SSE `shufpd imm, src, dstsrc`:
+    /// `dstsrc[0] = dstsrc[imm&1]; dstsrc[1] = src[(imm>>1)&1]`.
+    Shuf2 { dstsrc: VecReg, src: VecReg, imm: u8, w: Width },
+    /// AVX `vshufpd imm, b, a, dst` — per-128-bit-half shuffle:
+    /// within each half `h`: `dst[2h] = a[2h + (imm>>2h & 1)];
+    /// dst[2h+1] = b[2h + (imm>>(2h+1) & 1)]`.
+    Shuf3 { dst: VecReg, a: VecReg, b: VecReg, imm: u8, w: Width },
+    /// AVX `vperm2f128 $0x01, src, src, dst` — swap 128-bit halves.
+    SwapHalves { dst: VecReg, src: VecReg },
+    /// AVX `vperm2f128 $imm, b, a, dst` — general 128-bit-half select:
+    /// `dst.low = (imm & 2 == 0 ? a : b).half[imm & 1]`,
+    /// `dst.high = (imm>>4 & 2 == 0 ? a : b).half[imm>>4 & 1]`.
+    Perm2f128 { dst: VecReg, a: VecReg, b: VecReg, imm: u8 },
+    /// `vextractf128 $1, src, dst` — high 128 bits of a YMM into an XMM.
+    ExtractHi { dst: VecReg, src: VecReg },
+
+    // ---- integer / pointer ----
+    /// `mov $imm, dst`.
+    IMovImm { dst: GpReg, imm: i64 },
+    /// `mov src, dst`.
+    IMov { dst: GpReg, src: GpReg },
+    /// `add src, dst` / `add $imm, dst`.
+    IAdd { dst: GpReg, src: GpOrImm },
+    /// `sub src, dst` / `sub $imm, dst`.
+    ISub { dst: GpReg, src: GpOrImm },
+    /// `imul src, dst` / `imul $imm, src, dst`.
+    IMul { dst: GpReg, src: GpOrImm },
+    /// `lea disp(base,idx,scale), dst` — address arithmetic.
+    Lea {
+        dst: GpReg,
+        base: GpReg,
+        idx: Option<(GpReg, u8)>,
+        disp: i64,
+    },
+    /// Spill reload: `mov disp(base), dst` (64-bit GP load).
+    ILoad { dst: GpReg, mem: Mem },
+    /// Spill store: `mov src, disp(base)` (64-bit GP store).
+    IStore { src: GpReg, mem: Mem },
+
+    // ---- control flow ----
+    Label(String),
+    /// `cmp b, a` (AT&T operand order; sets flags for `a ? b`).
+    Cmp { a: GpReg, b: GpOrImm },
+    /// `jl label` — jump when previous `Cmp`'s `a < b`.
+    Jl(String),
+    /// `jge label`.
+    Jge(String),
+    /// `jmp label`.
+    Jmp(String),
+    Ret,
+
+    // ---- memory hints ----
+    /// `prefetcht0/1/2 / prefetchw mem`.
+    Prefetch { mem: Mem, write: bool, locality: u8 },
+
+    /// Assembly comment (emitted as `# ...`).
+    Comment(String),
+}
+
+impl XInst {
+    /// Timing classification for the scoreboard model.
+    pub fn class(&self) -> Option<(InstClass, SimdMode)> {
+        use InstClass::*;
+        Some(match self {
+            XInst::FLoad { w, .. } => (Load, w.timing_mode()),
+            XInst::FStore { w, .. } => (Store, w.timing_mode()),
+            XInst::FDup { w, .. } => (Broadcast, w.timing_mode()),
+            XInst::FMov { w, .. } | XInst::FZero { w, .. } => (MovReg, w.timing_mode()),
+            XInst::FMul2 { w, .. } | XInst::FMul3 { w, .. } => (FMul, w.timing_mode()),
+            XInst::FAdd2 { w, .. } | XInst::FAdd3 { w, .. } => (FAdd, w.timing_mode()),
+            XInst::Fma3 { w, .. } | XInst::Fma4 { w, .. } => (Fma, w.timing_mode()),
+            XInst::Shuf2 { w, .. } | XInst::Shuf3 { w, .. } => (Shuffle, w.timing_mode()),
+            XInst::SwapHalves { .. } | XInst::ExtractHi { .. } | XInst::Perm2f128 { .. } => {
+                (Shuffle, SimdMode::Avx)
+            }
+            XInst::IMovImm { .. }
+            | XInst::IMov { .. }
+            | XInst::IAdd { .. }
+            | XInst::ISub { .. }
+            | XInst::IMul { .. } => (IntAlu, SimdMode::Sse),
+            XInst::ILoad { .. } => (Load, SimdMode::Sse),
+            XInst::IStore { .. } => (Store, SimdMode::Sse),
+            XInst::Lea { .. } => (InstClass::Lea, SimdMode::Sse),
+            XInst::Cmp { .. } => (IntAlu, SimdMode::Sse),
+            XInst::Jl(_) | XInst::Jge(_) | XInst::Jmp(_) | XInst::Ret => (Branch, SimdMode::Sse),
+            XInst::Prefetch { .. } => (InstClass::Prefetch, SimdMode::Sse),
+            XInst::Label(_) | XInst::Comment(_) => return None,
+        })
+    }
+
+    /// Vector registers read by this instruction.
+    pub fn vec_uses(&self) -> Vec<VecReg> {
+        match self {
+            XInst::FStore { src, .. } => vec![*src],
+            XInst::FMov { src, .. } => vec![*src],
+            XInst::FMul2 { dstsrc, src, w: _ } | XInst::FAdd2 { dstsrc, src, w: _ } => {
+                vec![*dstsrc, *src]
+            }
+            XInst::FMul3 { a, b, .. } | XInst::FAdd3 { a, b, .. } => vec![*a, *b],
+            XInst::Fma3 { acc, a, b, .. } => vec![*acc, *a, *b],
+            XInst::Fma4 { a, b, c, .. } => vec![*a, *b, *c],
+            XInst::Shuf2 { dstsrc, src, .. } => vec![*dstsrc, *src],
+            XInst::Shuf3 { a, b, .. } | XInst::Perm2f128 { a, b, .. } => vec![*a, *b],
+            XInst::SwapHalves { src, .. } | XInst::ExtractHi { src, .. } => vec![*src],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Vector register written by this instruction.
+    pub fn vec_def(&self) -> Option<VecReg> {
+        match self {
+            XInst::FLoad { dst, .. }
+            | XInst::FDup { dst, .. }
+            | XInst::FMov { dst, .. }
+            | XInst::FMul3 { dst, .. }
+            | XInst::FAdd3 { dst, .. }
+            | XInst::Fma4 { dst, .. }
+            | XInst::Shuf3 { dst, .. }
+            | XInst::SwapHalves { dst, .. }
+            | XInst::ExtractHi { dst, .. }
+            | XInst::Perm2f128 { dst, .. }
+            | XInst::FZero { dst, .. } => Some(*dst),
+            XInst::FMul2 { dstsrc, .. }
+            | XInst::FAdd2 { dstsrc, .. }
+            | XInst::Shuf2 { dstsrc, .. } => Some(*dstsrc),
+            XInst::Fma3 { acc, .. } => Some(*acc),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_lanes_and_modes() {
+        assert_eq!(Width::S.lanes(), 1);
+        assert_eq!(Width::V2.lanes(), 2);
+        assert_eq!(Width::V4.lanes(), 4);
+        assert_eq!(Width::packed(SimdMode::Sse), Width::V2);
+        assert_eq!(Width::packed(SimdMode::Avx), Width::V4);
+        assert!(Width::V4.is_ymm());
+        assert!(!Width::V2.is_ymm());
+    }
+
+    #[test]
+    fn mem_elem_scales_by_eight() {
+        let m = Mem::elem(GpReg(5), 3);
+        assert_eq!(m.disp, 24);
+    }
+
+    #[test]
+    fn fma3_reads_its_accumulator() {
+        let i = XInst::Fma3 {
+            acc: VecReg(3),
+            a: VecReg(1),
+            b: VecReg(2),
+            w: Width::V4,
+        };
+        assert!(i.vec_uses().contains(&VecReg(3)));
+        assert_eq!(i.vec_def(), Some(VecReg(3)));
+        assert_eq!(i.class(), Some((InstClass::Fma, SimdMode::Avx)));
+    }
+
+    #[test]
+    fn fma4_destination_is_independent() {
+        let i = XInst::Fma4 {
+            dst: VecReg(9),
+            a: VecReg(1),
+            b: VecReg(2),
+            c: VecReg(3),
+            w: Width::V2,
+        };
+        assert!(!i.vec_uses().contains(&VecReg(9)));
+        assert_eq!(i.vec_def(), Some(VecReg(9)));
+    }
+
+    #[test]
+    fn labels_and_comments_have_no_class()  {
+        assert_eq!(XInst::Label("L0".into()).class(), None);
+        assert_eq!(XInst::Comment("hi".into()).class(), None);
+    }
+
+    #[test]
+    fn two_op_forms_read_their_destination() {
+        let i = XInst::FMul2 {
+            dstsrc: VecReg(4),
+            src: VecReg(5),
+            w: Width::V2,
+        };
+        assert!(i.vec_uses().contains(&VecReg(4)));
+        let i3 = XInst::FMul3 {
+            dst: VecReg(4),
+            a: VecReg(5),
+            b: VecReg(6),
+            w: Width::V4,
+        };
+        assert!(!i3.vec_uses().contains(&VecReg(4)));
+    }
+}

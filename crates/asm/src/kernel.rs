@@ -1,0 +1,144 @@
+//! Complete assembly kernels.
+
+use crate::inst::XInst;
+use augem_machine::{GpReg, VecReg};
+
+/// Where a kernel parameter lives on entry (see the crate-level calling
+/// convention notes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamLoc {
+    /// Integer or pointer parameter in a general-purpose register.
+    Gp(GpReg),
+    /// `double` parameter in lane 0 of a vector register.
+    Vec(VecReg),
+    /// `double` parameter pre-broadcast to every lane (used when the
+    /// kernel consumes it only as a SIMD multiplicand, e.g. AXPY's alpha).
+    VecBroadcast(VecReg),
+}
+
+/// A generated assembly kernel: parameter bindings + instruction stream.
+#[derive(Debug, Clone)]
+pub struct AsmKernel {
+    pub name: String,
+    /// `(parameter name, entry location)` in declaration order.
+    pub params: Vec<(String, ParamLoc)>,
+    pub insts: Vec<XInst>,
+    /// Number of 8-byte stack slots used by register spills; the runtime
+    /// (or simulator) provides `%rsp` pointing at this much scratch space.
+    pub stack_slots: usize,
+}
+
+impl AsmKernel {
+    pub fn new(name: impl Into<String>) -> Self {
+        AsmKernel {
+            name: name.into(),
+            params: Vec::new(),
+            insts: Vec::new(),
+            stack_slots: 0,
+        }
+    }
+
+    /// Number of executable instructions (labels/comments excluded).
+    pub fn inst_count(&self) -> usize {
+        self.insts.iter().filter(|i| i.class().is_some()).count()
+    }
+
+    /// Index of a label, if present.
+    pub fn label_index(&self, label: &str) -> Option<usize> {
+        self.insts
+            .iter()
+            .position(|i| matches!(i, XInst::Label(l) if l == label))
+    }
+
+    /// All labels, for uniqueness checks.
+    pub fn labels(&self) -> Vec<&str> {
+        self.insts
+            .iter()
+            .filter_map(|i| match i {
+                XInst::Label(l) => Some(l.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Structural validation: every branch targets an existing label,
+    /// labels are unique, and the stream ends with `Ret`.
+    pub fn validate(&self) -> Result<(), String> {
+        let labels = self.labels();
+        let mut sorted = labels.clone();
+        sorted.sort();
+        sorted.dedup();
+        if sorted.len() != labels.len() {
+            return Err("duplicate labels".into());
+        }
+        for i in &self.insts {
+            if let XInst::Jl(t) | XInst::Jge(t) | XInst::Jmp(t) = i {
+                if !labels.contains(&t.as_str()) {
+                    return Err(format!("branch to undefined label {t}"));
+                }
+            }
+        }
+        match self.insts.iter().rev().find(|i| i.class().is_some()) {
+            Some(XInst::Ret) => Ok(()),
+            _ => Err("kernel does not end with ret".into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::GpOrImm;
+
+    fn tiny() -> AsmKernel {
+        let mut k = AsmKernel::new("t");
+        k.params.push(("n".into(), ParamLoc::Gp(GpReg(5))));
+        k.insts = vec![
+            XInst::IMovImm {
+                dst: GpReg(0),
+                imm: 0,
+            },
+            XInst::Label("L0".into()),
+            XInst::IAdd {
+                dst: GpReg(0),
+                src: GpOrImm::Imm(1),
+            },
+            XInst::Cmp {
+                a: GpReg(0),
+                b: GpOrImm::Gp(GpReg(5)),
+            },
+            XInst::Jl("L0".into()),
+            XInst::Ret,
+        ];
+        k
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_kernel() {
+        assert_eq!(tiny().validate(), Ok(()));
+        assert_eq!(tiny().inst_count(), 5);
+        assert_eq!(tiny().label_index("L0"), Some(1));
+    }
+
+    #[test]
+    fn validate_rejects_dangling_branch() {
+        let mut k = tiny();
+        k.insts[4] = XInst::Jl("L9".into());
+        assert!(k.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_labels() {
+        let mut k = tiny();
+        k.insts.push(XInst::Label("L0".into()));
+        k.insts.push(XInst::Ret);
+        assert!(k.validate().is_err());
+    }
+
+    #[test]
+    fn validate_requires_ret() {
+        let mut k = tiny();
+        k.insts.pop();
+        assert!(k.validate().is_err());
+    }
+}

@@ -1,0 +1,38 @@
+//! # augem-asm
+//!
+//! Concrete x86-64 assembly representation for AUGEM-generated kernels.
+//!
+//! The Template Optimizer (in `augem-opt`) lowers tagged low-level C into
+//! the [`XInst`] instruction set defined here — a semantically precise
+//! subset of x86-64 covering exactly what DLA kernels need: scalar/packed
+//! SSE and AVX moves and arithmetic (with their two- vs three-operand form
+//! distinction, paper Tables 1–4), FMA3/FMA4, broadcasts and shuffles for
+//! the Vdup/Shuf vectorization strategies, integer pointer/counter
+//! arithmetic, compare-and-branch loops, and software prefetch.
+//!
+//! An [`AsmKernel`] is a complete generated kernel: a parameter binding
+//! table plus the instruction stream. It can be
+//!
+//! * printed as AT&T-syntax assembly text ([`emit::emit_att`]) — the
+//!   paper's deliverable, and
+//! * executed and timed by the simulators in `augem-sim` — this
+//!   reproduction's substitute for running on physical Sandy Bridge /
+//!   Piledriver machines (see DESIGN.md).
+//!
+//! ## Calling convention
+//!
+//! Generated kernels use a documented custom convention instead of the
+//! System-V stack layout: integer and pointer parameters are pre-bound to
+//! general-purpose registers in [`augem_machine::GpReg::allocatable`]
+//! order, and `double` parameters to vector registers. The simulator
+//! seeds registers accordingly; the emitted `.s` text records the binding
+//! in its header comment. (The paper's kernels are assembled into BLAS
+//! libraries with their own internal kernel ABI; nothing in the evaluated
+//! optimizations depends on the ABI choice.)
+
+pub mod emit;
+pub mod inst;
+pub mod kernel;
+
+pub use inst::{GpOrImm, Mem, Width, XInst};
+pub use kernel::{AsmKernel, ParamLoc};

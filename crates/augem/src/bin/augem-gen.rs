@@ -1,0 +1,188 @@
+//! `augem-gen` — command-line front end to the AUGEM pipeline.
+//!
+//! ```text
+//! augem-gen --kernel gemm --machine sandybridge            # tuned .s to stdout
+//! augem-gen --kernel axpy --machine piledriver --emit c    # optimized C instead
+//! augem-gen --kernel gemm --machine sandybridge --emit tagged
+//! augem-gen --kernel dot  --machine sandybridge -o dot.s   # write to a file
+//! augem-gen --list                                         # kernels & machines
+//! ```
+
+use augem::ir::print::print_kernel;
+use augem::machine::{MachineSpec, Microarch};
+use augem::templates::identify;
+use augem::transforms::{generate_optimized, OptimizeConfig};
+use augem::{Augem, DlaKernel};
+use std::io::Write as _;
+use std::process::ExitCode;
+
+struct Args {
+    kernel: DlaKernel,
+    machine: MachineSpec,
+    emit: Emit,
+    output: Option<String>,
+}
+
+#[derive(PartialEq)]
+enum Emit {
+    Asm,
+    C,
+    Tagged,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: augem-gen --kernel <gemm|gemv|ger|axpy|dot|scal> \
+         --machine <sandybridge|piledriver> [--emit asm|c|tagged] [-o FILE]\n\
+         \x20      augem-gen --list"
+    );
+    ExitCode::from(2)
+}
+
+fn parse() -> Result<Option<Args>, ExitCode> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--list") {
+        println!("kernels:");
+        for k in DlaKernel::ALL {
+            println!("  {}", &k.name()[1..]); // strip the 'd' prefix
+        }
+        println!("machines:");
+        for m in [Microarch::SandyBridge, Microarch::Piledriver] {
+            println!("  {} ({})", m.short_name(), m.name());
+        }
+        return Ok(None);
+    }
+
+    let mut kernel = None;
+    let mut machine = None;
+    let mut emit = Emit::Asm;
+    let mut output = None;
+    let mut it = argv.into_iter();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next().ok_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--kernel" => {
+                let v = val("--kernel")?;
+                kernel = Some(match v.as_str() {
+                    "gemm" => DlaKernel::Gemm,
+                    "gemv" => DlaKernel::Gemv,
+                    "ger" => DlaKernel::Ger,
+                    "axpy" => DlaKernel::Axpy,
+                    "dot" => DlaKernel::Dot,
+                    "scal" => DlaKernel::Scal,
+                    other => {
+                        eprintln!("unknown kernel `{other}`");
+                        return Err(usage());
+                    }
+                });
+            }
+            "--machine" => {
+                let v = val("--machine")?;
+                machine = Some(match v.as_str() {
+                    "sandybridge" | "snb" => MachineSpec::sandy_bridge(),
+                    "piledriver" | "pd" => MachineSpec::piledriver(),
+                    other => {
+                        eprintln!("unknown machine `{other}`");
+                        return Err(usage());
+                    }
+                });
+            }
+            "--emit" => {
+                let v = val("--emit")?;
+                emit = match v.as_str() {
+                    "asm" => Emit::Asm,
+                    "c" => Emit::C,
+                    "tagged" => Emit::Tagged,
+                    other => {
+                        eprintln!("unknown emit mode `{other}`");
+                        return Err(usage());
+                    }
+                };
+            }
+            "-o" | "--output" => output = Some(val("-o")?),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                return Err(usage());
+            }
+        }
+    }
+    let (Some(kernel), Some(machine)) = (kernel, machine) else {
+        return Err(usage());
+    };
+    Ok(Some(Args {
+        kernel,
+        machine,
+        emit,
+        output,
+    }))
+}
+
+/// The tuner's preferred source-level config for non-GEMM kernels when
+/// emitting intermediate forms (asm mode retunes from scratch).
+fn default_config(kernel: DlaKernel, machine: &MachineSpec) -> OptimizeConfig {
+    let w = machine.simd_mode().f64_lanes();
+    match kernel {
+        DlaKernel::Gemm => OptimizeConfig::gemm(4, 2 * w, 1),
+        DlaKernel::Gemv => OptimizeConfig::gemv(2 * w),
+        DlaKernel::Dot => OptimizeConfig::vector(2 * w, true),
+        _ => OptimizeConfig::vector(2 * w, false),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse() {
+        Ok(Some(a)) => a,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(code) => return code,
+    };
+
+    let text = match args.emit {
+        Emit::Asm => {
+            let driver = Augem::new(args.machine.clone());
+            match driver.generate(args.kernel) {
+                Ok(g) => format!(
+                    "# tuned configuration: {} ({:.0} Mflops steady-state)\n{}",
+                    g.config_tag,
+                    g.mflops,
+                    g.assembly_text()
+                ),
+                Err(e) => {
+                    eprintln!("generation failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        Emit::C | Emit::Tagged => {
+            let cfg = default_config(args.kernel, &args.machine);
+            let mut k = match generate_optimized(&args.kernel.build(), &cfg) {
+                Ok(k) => k,
+                Err(e) => {
+                    eprintln!("optimization failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if args.emit == Emit::Tagged {
+                identify(&mut k);
+            }
+            print_kernel(&k)
+        }
+    };
+
+    match args.output {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, text) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        None => {
+            let _ = std::io::stdout().write_all(text.as_bytes());
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,230 @@
+//! # augem — AUGEM, reproduced in Rust
+//!
+//! A from-scratch reproduction of *AUGEM: Automatically Generate High
+//! Performance Dense Linear Algebra Kernels on x86 CPUs* (Wang, Zhang,
+//! Zhang, Yi — SC'13): a template-based framework that turns a simple C
+//! implementation of a DLA kernel into a fully optimized assembly kernel,
+//! with no manual intervention.
+//!
+//! This crate is the facade: [`Augem`] drives the whole pipeline
+//! (Figure 1 of the paper) and re-exports the component crates.
+//!
+//! ```
+//! use augem::{Augem, DlaKernel};
+//! use augem::machine::MachineSpec;
+//!
+//! let machine = MachineSpec::sandy_bridge();
+//! let result = Augem::new(machine).generate(DlaKernel::Axpy).unwrap();
+//! println!("{}", result.assembly_text());           // AT&T .s text
+//! assert!(result.mflops > 0.0);                     // simulated speed
+//! ```
+//!
+//! Pipeline stages (each usable separately through the re-exported
+//! crates):
+//!
+//! 1. **Optimized C Kernel Generator** ([`transforms`]) — unroll&jam,
+//!    unrolling, strength reduction, scalar replacement, prefetching;
+//! 2. **Template Identifier** ([`templates`]) — matches the mmCOMP /
+//!    mmSTORE / mvCOMP families and their unrolled merges;
+//! 3. **Template Optimizer + Assembly Kernel Generator** ([`opt`]) —
+//!    per-array register queues, Vdup/Shuf SIMD vectorization,
+//!    SSE/AVX/FMA3/FMA4 instruction selection, scheduling;
+//! 4. **Empirical tuning** ([`tune`]) — candidate sweep scored on the
+//!    cycle-approximate simulator ([`sim`]);
+//! 5. **Library layer** ([`blas`]) — a native Rust BLAS subset plus the
+//!    comparison-library models behind the paper's figures.
+
+pub use augem_asm as asm;
+pub use augem_blas as blas;
+pub use augem_ir as ir;
+pub use augem_kernels as kernels;
+pub use augem_machine as machine;
+pub use augem_opt as opt;
+pub use augem_sim as sim;
+pub use augem_templates as templates;
+pub use augem_transforms as transforms;
+pub use augem_tune as tune;
+
+pub use augem_kernels::DlaKernel;
+
+use augem_asm::AsmKernel;
+use augem_machine::MachineSpec;
+use augem_sim::TimingReport;
+use augem_tune::config::{GemmConfig, VectorConfig, VectorKernel};
+use augem_tune::evaluate::{evaluate_gemm, evaluate_vector, EvalError};
+use augem_tune::{tune_gemm, tune_vector};
+
+/// A fully generated, tuned, simulated kernel.
+#[derive(Debug, Clone)]
+pub struct Generated {
+    /// Which DLA kernel this is.
+    pub kernel: DlaKernel,
+    /// The target machine.
+    pub machine: MachineSpec,
+    /// The generated assembly.
+    pub asm: AsmKernel,
+    /// Human-readable description of the winning configuration.
+    pub config_tag: String,
+    /// Timing-simulator measurement of the tuned kernel.
+    pub report: TimingReport,
+    /// Useful Mflops of the tuning micro-problem.
+    pub mflops: f64,
+}
+
+impl Generated {
+    /// The AT&T-syntax `.s` text — the paper's output artifact.
+    pub fn assembly_text(&self) -> String {
+        augem_asm::emit::emit_att(&self.asm, &self.machine.isa)
+    }
+}
+
+/// Pipeline failure.
+#[derive(Debug)]
+pub enum AugemError {
+    Eval(EvalError),
+}
+
+impl std::fmt::Display for AugemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AugemError::Eval(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for AugemError {}
+
+/// The end-to-end driver: "taking as input a simple C implementation of a
+/// DLA kernel, it automatically generates an efficient assembly kernel"
+/// (paper §2), selecting configurations by empirical feedback.
+#[derive(Debug, Clone)]
+pub struct Augem {
+    machine: MachineSpec,
+}
+
+impl Augem {
+    pub fn new(machine: MachineSpec) -> Self {
+        Augem { machine }
+    }
+
+    pub fn machine(&self) -> &MachineSpec {
+        &self.machine
+    }
+
+    /// Runs the full pipeline with empirical tuning for `kernel`.
+    pub fn generate(&self, kernel: DlaKernel) -> Result<Generated, AugemError> {
+        match kernel {
+            DlaKernel::Gemm => {
+                let t = tune_gemm(&self.machine);
+                let asm = t
+                    .best
+                    .build(&self.machine)
+                    .map_err(|e| AugemError::Eval(EvalError::Build(e)))?;
+                Ok(Generated {
+                    kernel,
+                    machine: self.machine.clone(),
+                    asm,
+                    config_tag: t.best.tag(),
+                    report: t.best_eval.report,
+                    mflops: t.best_eval.mflops,
+                })
+            }
+            DlaKernel::Axpy
+            | DlaKernel::Dot
+            | DlaKernel::Gemv
+            | DlaKernel::Ger
+            | DlaKernel::Scal => {
+                let vk = match kernel {
+                    DlaKernel::Axpy => VectorKernel::Axpy,
+                    DlaKernel::Dot => VectorKernel::Dot,
+                    DlaKernel::Ger => VectorKernel::Ger,
+                    DlaKernel::Scal => VectorKernel::Scal,
+                    _ => VectorKernel::Gemv,
+                };
+                let t = tune_vector(vk, &self.machine);
+                let asm = t
+                    .best
+                    .build(&self.machine)
+                    .map_err(|e| AugemError::Eval(EvalError::Build(e)))?;
+                Ok(Generated {
+                    kernel,
+                    machine: self.machine.clone(),
+                    asm,
+                    config_tag: t.best.tag(),
+                    report: t.best_eval.report,
+                    mflops: t.best_eval.mflops,
+                })
+            }
+        }
+    }
+
+    /// Runs the pipeline for one explicit GEMM configuration (no tuning).
+    pub fn generate_gemm_with(&self, cfg: &GemmConfig) -> Result<Generated, AugemError> {
+        let eval = evaluate_gemm(cfg, &self.machine).map_err(AugemError::Eval)?;
+        let asm = cfg
+            .build(&self.machine)
+            .map_err(|e| AugemError::Eval(EvalError::Build(e)))?;
+        Ok(Generated {
+            kernel: DlaKernel::Gemm,
+            machine: self.machine.clone(),
+            asm,
+            config_tag: cfg.tag(),
+            report: eval.report,
+            mflops: eval.mflops,
+        })
+    }
+
+    /// Runs the pipeline for one explicit vector-kernel configuration.
+    pub fn generate_vector_with(&self, cfg: &VectorConfig) -> Result<Generated, AugemError> {
+        let eval = evaluate_vector(cfg, &self.machine).map_err(AugemError::Eval)?;
+        let asm = cfg
+            .build(&self.machine)
+            .map_err(|e| AugemError::Eval(EvalError::Build(e)))?;
+        let kernel = match cfg.kernel {
+            VectorKernel::Axpy => DlaKernel::Axpy,
+            VectorKernel::Dot => DlaKernel::Dot,
+            VectorKernel::Gemv => DlaKernel::Gemv,
+            VectorKernel::Ger => DlaKernel::Ger,
+            VectorKernel::Scal => DlaKernel::Scal,
+        };
+        Ok(Generated {
+            kernel,
+            machine: self.machine.clone(),
+            asm,
+            config_tag: cfg.tag(),
+            report: eval.report,
+            mflops: eval.mflops,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_generates_all_four_kernels() {
+        let driver = Augem::new(MachineSpec::sandy_bridge());
+        for k in DlaKernel::ALL {
+            let g = driver.generate(k).unwrap_or_else(|e| panic!("{k:?}: {e}"));
+            assert!(g.mflops > 0.0);
+            let text = g.assembly_text();
+            assert!(text.contains(&format!(".globl {}", k.name())), "{text}");
+            assert!(g.asm.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn explicit_config_path_works() {
+        let driver = Augem::new(MachineSpec::piledriver());
+        let g = driver
+            .generate_gemm_with(&GemmConfig {
+                mu: 8,
+                nu: 2,
+                ..GemmConfig::fig13()
+            })
+            .unwrap();
+        assert!(g.config_tag.contains("8x2"));
+        assert!(g.assembly_text().contains("vfmadd231pd"));
+    }
+}

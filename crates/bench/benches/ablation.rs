@@ -1,0 +1,58 @@
+//! Ablation bench: prints the design-choice ablation table (Vdup vs Shuf,
+//! FMA, prefetch, scheduling, scalar fallback, fixed-unroll baseline) and
+//! Criterion-measures codegen with each knob toggled.
+
+use augem_bench::ablations;
+use augem_kernels::gemm_simple;
+use augem_machine::MachineSpec;
+use augem_opt::{generate, CodegenOptions};
+use augem_templates::identify;
+use augem_transforms::{generate_optimized, OptimizeConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    for machine in MachineSpec::paper_platforms() {
+        eprintln!(
+            "Ablations ({}): GEMM micro-kernel steady-state Mflops",
+            machine.arch.short_name()
+        );
+        for a in ablations(&machine) {
+            eprintln!("{:>10.0}  {}", a.mflops, a.name);
+        }
+        eprintln!();
+    }
+
+    // Codegen-cost benches with knobs toggled.
+    let machine = MachineSpec::sandy_bridge();
+    let mut tagged = generate_optimized(&gemm_simple(), &OptimizeConfig::gemm(4, 8, 1)).unwrap();
+    identify(&mut tagged);
+
+    let mut group = c.benchmark_group("codegen");
+    group.sample_size(30);
+    for (name, opts) in [
+        ("default", CodegenOptions::default()),
+        (
+            "no-schedule",
+            CodegenOptions {
+                schedule: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "shared-register-queue",
+            CodegenOptions {
+                per_array_queues: false,
+                ..Default::default()
+            },
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| generate(black_box(&tagged), &machine, &opts).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

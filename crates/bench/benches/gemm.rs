@@ -1,0 +1,35 @@
+//! Figure 18 bench: prints the DGEMM series for both platforms, then
+//! Criterion-measures each library's micro-kernel evaluation.
+
+use augem_bench::{format_figure, Models};
+use augem_blas::Library;
+use augem_machine::MachineSpec;
+use augem_tune::evaluate::evaluate_gemm;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    for machine in MachineSpec::paper_platforms() {
+        let models = Models::build(&machine);
+        eprintln!(
+            "{}",
+            format_figure(
+                &format!("Figure 18 ({}): DGEMM Mflops", machine.arch.short_name()),
+                &models.fig18()
+            )
+        );
+
+        let mut group = c.benchmark_group(format!("fig18/{}", machine.arch.short_name()));
+        group.sample_size(10);
+        for lib in Library::ALL {
+            let eff = lib.effective_machine(&machine);
+            let cfg = lib.gemm_config(&machine);
+            group.bench_function(lib.display_name(&machine), |b| {
+                b.iter(|| evaluate_gemm(&cfg, &eff).unwrap().mflops)
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Table 6 bench: prints the higher-level-routine table for both
+//! platforms, then Criterion-measures the native Rust implementations of
+//! the same routines on the host.
+
+use augem_bench::Models;
+use augem_blas::{dsymm, dsyr2k, dsyrk, dtrmm, dtrsm, Side, Uplo};
+use augem_machine::MachineSpec;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn print_table6() {
+    for machine in MachineSpec::paper_platforms() {
+        let models = Models::build(&machine);
+        eprintln!("Table 6 ({}):", machine.arch.short_name());
+        let table = models.table6();
+        eprint!("{:>8}", "routine");
+        for (lib, _) in &table[0].1 {
+            eprint!("{:>16}", lib);
+        }
+        eprintln!();
+        for (kind, row) in &table {
+            eprint!("{:>8}", kind.name());
+            for (_, v) in row {
+                eprint!("{:>16.0}", v);
+            }
+            eprintln!();
+        }
+        eprintln!();
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_table6();
+
+    // Native substrate benches (host wall-clock).
+    let m = 192usize;
+    let n = 96usize;
+    let k = 64usize;
+    let mut tri = vec![0.0; m * m];
+    for j in 0..m {
+        for i in j..m {
+            tri[j * m + i] = if i == j { 2.0 } else { 0.01 };
+        }
+    }
+    let full: Vec<f64> = (0..m * m).map(|v| (v % 7) as f64 * 0.1).collect();
+    let bmat: Vec<f64> = (0..m * n).map(|v| (v % 5) as f64 * 0.2).collect();
+    let amat: Vec<f64> = (0..m * k).map(|v| (v % 9) as f64 * 0.3).collect();
+
+    let mut group = c.benchmark_group("native/level3");
+    group.sample_size(20);
+    group.bench_function("dsymm", |b| {
+        b.iter(|| {
+            let mut cmat = vec![0.0; m * n];
+            dsymm(Side::Left, Uplo::Lower, m, n, 1.0, black_box(&full), m, &bmat, m, 0.0, &mut cmat, m);
+            cmat
+        })
+    });
+    group.bench_function("dsyrk", |b| {
+        b.iter(|| {
+            let mut cmat = vec![0.0; m * m];
+            dsyrk(Uplo::Lower, m, k, 1.0, black_box(&amat), m, 0.0, &mut cmat, m);
+            cmat
+        })
+    });
+    group.bench_function("dsyr2k", |b| {
+        b.iter(|| {
+            let mut cmat = vec![0.0; m * m];
+            dsyr2k(Uplo::Lower, m, k, 1.0, black_box(&amat), m, &amat, m, 0.0, &mut cmat, m);
+            cmat
+        })
+    });
+    group.bench_function("dtrmm", |b| {
+        b.iter(|| {
+            let mut bm = bmat.clone();
+            dtrmm(Side::Left, Uplo::Lower, m, n, 1.0, black_box(&tri), m, &mut bm, m);
+            bm
+        })
+    });
+    group.bench_function("dtrsm", |b| {
+        b.iter(|| {
+            let mut bm = bmat.clone();
+            dtrsm(Side::Left, Uplo::Lower, m, n, 1.0, black_box(&tri), m, &mut bm, m);
+            bm
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Host-native benches of the pure-Rust BLAS substrate (`augem-blas`):
+//! real wall-clock performance of the library a downstream user calls.
+
+use augem_blas::{daxpy, ddot, dgemm, dgemv};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("native/dgemm");
+    group.sample_size(10);
+    for &size in &[64usize, 128, 256] {
+        let (m, n, k) = (size, size, size);
+        let a: Vec<f64> = (0..m * k).map(|v| (v % 13) as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..k * n).map(|v| (v % 7) as f64 * 0.2).collect();
+        group.throughput(Throughput::Elements((2 * m * n * k) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |bch, _| {
+            bch.iter(|| {
+                let mut cmat = vec![0.0; m * n];
+                dgemm(m, n, k, 1.0, black_box(&a), m, &b, k, 0.0, &mut cmat, m);
+                cmat
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_gemv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("native/dgemv");
+    group.sample_size(20);
+    for &size in &[256usize, 1024] {
+        let a: Vec<f64> = (0..size * size).map(|v| (v % 11) as f64 * 0.1).collect();
+        let x: Vec<f64> = (0..size).map(|v| v as f64 * 0.01).collect();
+        group.throughput(Throughput::Elements((2 * size * size) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |bch, _| {
+            bch.iter(|| {
+                let mut y = vec![0.0; size];
+                dgemv(size, size, 1.0, black_box(&a), size, &x, 0.0, &mut y);
+                y
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_level1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("native/level1");
+    group.sample_size(30);
+    let n = 100_000usize;
+    let x: Vec<f64> = (0..n).map(|v| v as f64 * 0.001).collect();
+    let y0: Vec<f64> = (0..n).map(|v| (v % 17) as f64).collect();
+    group.throughput(Throughput::Elements(2 * n as u64));
+    group.bench_function("daxpy/100k", |b| {
+        b.iter(|| {
+            let mut y = y0.clone();
+            daxpy(1.5, black_box(&x), &mut y);
+            y
+        })
+    });
+    group.bench_function("ddot/100k", |b| {
+        b.iter(|| ddot(black_box(&x), black_box(&y0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_gemv, bench_level1);
+criterion_main!(benches);

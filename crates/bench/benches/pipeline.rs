@@ -1,0 +1,63 @@
+//! Pipeline-stage benches: how long each AUGEM stage takes (the framework
+//! itself is a compiler; generation speed matters to auto-tuning, which
+//! evaluates dozens of candidates).
+
+use augem_kernels::{axpy_simple, gemm_simple};
+use augem_machine::MachineSpec;
+use augem_opt::{generate, CodegenOptions};
+use augem_sim::{FuncSim, SimValue};
+use augem_templates::identify;
+use augem_transforms::{generate_optimized, OptimizeConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let machine = MachineSpec::sandy_bridge();
+    let cfg = OptimizeConfig::gemm(4, 8, 1);
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(30);
+
+    group.bench_function("optimized-c-generator/gemm", |b| {
+        b.iter(|| generate_optimized(black_box(&gemm_simple()), &cfg).unwrap())
+    });
+
+    let optimized = generate_optimized(&gemm_simple(), &cfg).unwrap();
+    group.bench_function("template-identifier/gemm", |b| {
+        b.iter(|| {
+            let mut k = optimized.clone();
+            identify(&mut k)
+        })
+    });
+
+    let mut tagged = optimized.clone();
+    identify(&mut tagged);
+    group.bench_function("assembly-generator/gemm", |b| {
+        b.iter(|| generate(black_box(&tagged), &machine, &CodegenOptions::default()).unwrap())
+    });
+
+    // Functional simulation throughput (the substitution substrate).
+    let mut ax = generate_optimized(&axpy_simple(), &OptimizeConfig::vector(8, false)).unwrap();
+    identify(&mut ax);
+    let asm = generate(&ax, &machine, &CodegenOptions::default()).unwrap();
+    let n = 4096usize;
+    group.bench_function("functional-sim/axpy-4096", |b| {
+        b.iter(|| {
+            let sim = FuncSim::new(machine.isa);
+            sim.run(
+                black_box(&asm),
+                vec![
+                    SimValue::Int(n as i64),
+                    SimValue::F64(1.5),
+                    SimValue::Array(vec![1.0; n]),
+                    SimValue::Array(vec![2.0; n]),
+                ],
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Regenerates the paper's figures and tables.
+//!
+//! ```text
+//! cargo run --release -p augem-bench --bin figures -- all
+//! cargo run --release -p augem-bench --bin figures -- fig18 fig19
+//! cargo run --release -p augem-bench --bin figures -- table6 ablations
+//! cargo run --release -p augem-bench --bin figures -- asm      # dump tuned kernels
+//! ```
+
+use augem::Augem;
+use augem_bench::{ablations, format_figure, Models};
+use augem_kernels::DlaKernel;
+use augem_machine::MachineSpec;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name || a == "all");
+
+    let platforms = MachineSpec::paper_platforms();
+
+    if want("asm") && args.iter().any(|a| a == "asm") {
+        for machine in &platforms {
+            let driver = Augem::new(machine.clone());
+            for k in DlaKernel::ALL {
+                let g = driver.generate(k).expect("generation");
+                println!(
+                    "### {} on {} ({}, {:.0} Mflops steady-state)\n",
+                    k.name(),
+                    machine.arch.name(),
+                    g.config_tag,
+                    g.mflops
+                );
+                println!("{}", g.assembly_text());
+            }
+        }
+        if args.len() == 1 {
+            return;
+        }
+    }
+
+    let needs_models = ["fig18", "fig19", "fig20", "fig21", "table6", "all"]
+        .iter()
+        .any(|f| want(f) && (args.is_empty() || args.iter().any(|a| a == f || a == "all")));
+
+    for machine in &platforms {
+        println!("==================================================================");
+        println!("Platform: {}", machine.arch.name());
+        println!("==================================================================\n");
+
+        if needs_models {
+            let models = Models::build(machine);
+            if want("fig18") {
+                print!(
+                    "{}",
+                    format_figure(
+                        &format!("Figure 18 ({}): DGEMM Mflops, m=n sweep, k=256", machine.arch.short_name()),
+                        &models.fig18()
+                    )
+                );
+                println!();
+            }
+            if want("fig19") {
+                print!(
+                    "{}",
+                    format_figure(
+                        &format!("Figure 19 ({}): DGEMV Mflops, m=n sweep", machine.arch.short_name()),
+                        &models.fig19()
+                    )
+                );
+                println!();
+            }
+            if want("fig20") {
+                print!(
+                    "{}",
+                    format_figure(
+                        &format!("Figure 20 ({}): DAXPY Mflops, vector-length sweep", machine.arch.short_name()),
+                        &models.fig20()
+                    )
+                );
+                println!();
+            }
+            if want("fig21") {
+                print!(
+                    "{}",
+                    format_figure(
+                        &format!("Figure 21 ({}): DDOT Mflops, vector-length sweep", machine.arch.short_name()),
+                        &models.fig21()
+                    )
+                );
+                println!();
+            }
+            if want("table6") {
+                println!(
+                    "## Table 6 ({}): higher-level routines, average Mflops\n",
+                    machine.arch.short_name()
+                );
+                let table = models.table6();
+                print!("{:>8}", "routine");
+                for (lib, _) in &table[0].1 {
+                    print!("{:>16}", lib);
+                }
+                println!();
+                for (kind, row) in &table {
+                    print!("{:>8}", kind.name());
+                    for (_, v) in row {
+                        print!("{:>16.0}", v);
+                    }
+                    println!();
+                }
+                println!();
+            }
+        }
+
+        if want("ablations") {
+            println!("## Ablations ({}): GEMM micro-kernel steady-state Mflops\n", machine.arch.short_name());
+            for a in ablations(machine) {
+                println!("{:>10.0}  {}", a.mflops, a.name);
+            }
+            println!();
+        }
+    }
+}

@@ -1,0 +1,34 @@
+use augem_blas::{Library, PerfModel};
+use augem_machine::MachineSpec;
+
+fn main() {
+    for m in MachineSpec::paper_platforms() {
+        println!("== {} ==", m.arch.name());
+        let models: Vec<PerfModel> = Library::ALL.iter().map(|&l| PerfModel::build(l, &m).unwrap()).collect();
+        let sizes: Vec<usize> = (1024..=6144).step_by(256).collect();
+        print!("{:<14}", "GEMM avg");
+        for pm in &models {
+            let avg: f64 = sizes.iter().map(|&s| pm.gemm_mflops(s, s, 256)).sum::<f64>() / sizes.len() as f64;
+            print!("{:>10.0}", avg);
+        }
+        println!();
+        print!("{:<14}", "GEMV avg");
+        let gsz: Vec<usize> = (2048..=5120).step_by(256).collect();
+        for pm in &models {
+            let avg: f64 = gsz.iter().map(|&s| pm.gemv_mflops(s)).sum::<f64>() / gsz.len() as f64;
+            print!("{:>10.0}", avg);
+        }
+        println!();
+        for (name, f) in [("AXPY avg", true), ("DOT avg", false)] {
+            print!("{:<14}", name);
+            for pm in &models {
+                let avg: f64 = (100_000..=200_000).step_by(5000)
+                    .map(|n| if f { pm.axpy_mflops(n) } else { pm.dot_mflops(n) })
+                    .sum::<f64>() / 21.0;
+                print!("{:>10.0}", avg);
+            }
+            println!();
+        }
+        println!("{:<14}{:>10}{:>10}{:>10}{:>10}", "", "AUGEM", "Vendor", "ATLAS", "Goto");
+    }
+}

@@ -1,0 +1,197 @@
+//! Level-1 routines: `daxpy` and `ddot`.
+//!
+//! Unrolled with multiple accumulators — the same transformation AUGEM's
+//! generator applies (accumulator expansion), here expressed natively so
+//! the routines run at full speed on the host.
+
+/// `y += alpha * x`.
+///
+/// # Panics
+/// If `x` and `y` have different lengths.
+pub fn daxpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "daxpy length mismatch");
+    let chunks = x.len() / 4;
+    let (xh, xt) = x.split_at(chunks * 4);
+    let (yh, yt) = y.split_at_mut(chunks * 4);
+    for (xc, yc) in xh.chunks_exact(4).zip(yh.chunks_exact_mut(4)) {
+        yc[0] += alpha * xc[0];
+        yc[1] += alpha * xc[1];
+        yc[2] += alpha * xc[2];
+        yc[3] += alpha * xc[3];
+    }
+    for (xi, yi) in xt.iter().zip(yt) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x · y` with 4-way accumulator expansion.
+///
+/// # Panics
+/// If `x` and `y` have different lengths.
+pub fn ddot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "ddot length mismatch");
+    let chunks = x.len() / 4;
+    let (xh, xt) = x.split_at(chunks * 4);
+    let (yh, yt) = y.split_at(chunks * 4);
+    let mut acc = [0.0f64; 4];
+    for (xc, yc) in xh.chunks_exact(4).zip(yh.chunks_exact(4)) {
+        acc[0] += xc[0] * yc[0];
+        acc[1] += xc[1] * yc[1];
+        acc[2] += xc[2] * yc[2];
+        acc[3] += xc[3] * yc[3];
+    }
+    let mut rem = 0.0;
+    for (xi, yi) in xt.iter().zip(yt) {
+        rem += xi * yi;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + rem
+}
+
+/// `y *= alpha`.
+pub fn dscal(alpha: f64, y: &mut [f64]) {
+    for v in y.iter_mut() {
+        *v *= alpha;
+    }
+}
+
+/// Strided `y[i*incy] += alpha * x[i*incx]` over `n` logical elements —
+/// the general BLAS signature (strides must be positive here).
+///
+/// # Panics
+/// If either slice is too short for `n` elements at its stride.
+pub fn daxpy_strided(n: usize, alpha: f64, x: &[f64], incx: usize, y: &mut [f64], incy: usize) {
+    assert!(incx >= 1 && incy >= 1, "strides must be positive");
+    if n == 0 {
+        return;
+    }
+    assert!(x.len() > (n - 1) * incx, "x too short");
+    assert!(y.len() > (n - 1) * incy, "y too short");
+    if incx == 1 && incy == 1 {
+        daxpy(alpha, &x[..n], &mut y[..n]);
+        return;
+    }
+    let mut xi = 0;
+    let mut yi = 0;
+    for _ in 0..n {
+        y[yi] += alpha * x[xi];
+        xi += incx;
+        yi += incy;
+    }
+}
+
+/// Strided dot product over `n` logical elements.
+///
+/// # Panics
+/// If either slice is too short for `n` elements at its stride.
+pub fn ddot_strided(n: usize, x: &[f64], incx: usize, y: &[f64], incy: usize) -> f64 {
+    assert!(incx >= 1 && incy >= 1, "strides must be positive");
+    if n == 0 {
+        return 0.0;
+    }
+    assert!(x.len() > (n - 1) * incx, "x too short");
+    assert!(y.len() > (n - 1) * incy, "y too short");
+    if incx == 1 && incy == 1 {
+        return ddot(&x[..n], &y[..n]);
+    }
+    let mut acc = 0.0;
+    let (mut xi, mut yi) = (0, 0);
+    for _ in 0..n {
+        acc += x[xi] * y[yi];
+        xi += incx;
+        yi += incy;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axpy_matches_reference() {
+        for n in [0usize, 1, 3, 4, 7, 64, 129] {
+            let x: Vec<f64> = (0..n).map(|v| v as f64 * 0.5 - 2.0).collect();
+            let mut y: Vec<f64> = (0..n).map(|v| (v % 5) as f64).collect();
+            let mut expect = y.clone();
+            for i in 0..n {
+                expect[i] += 1.75 * x[i];
+            }
+            daxpy(1.75, &x, &mut y);
+            assert_eq!(y, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn dot_matches_reference_closely() {
+        for n in [0usize, 1, 5, 16, 33, 1000] {
+            let x: Vec<f64> = (0..n).map(|v| (v as f64).sin()).collect();
+            let y: Vec<f64> = (0..n).map(|v| (v as f64 * 0.7).cos()).collect();
+            let exact: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+            let got = ddot(&x, &y);
+            assert!(
+                (got - exact).abs() <= 1e-12 * (1.0 + exact.abs()) * (n.max(1) as f64),
+                "n={n}: {got} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn scal_scales_everything() {
+        let mut y: Vec<f64> = (0..9).map(|v| v as f64).collect();
+        dscal(-0.5, &mut y);
+        for (i, v) in y.iter().enumerate() {
+            assert_eq!(*v, i as f64 * -0.5);
+        }
+    }
+
+    #[test]
+    fn strided_axpy_touches_only_its_stride() {
+        let x = [1.0, 99.0, 2.0, 99.0, 3.0];
+        let mut y = [10.0, -1.0, -1.0, 20.0, -1.0, -1.0, 30.0];
+        daxpy_strided(3, 2.0, &x, 2, &mut y, 3);
+        assert_eq!(y, [12.0, -1.0, -1.0, 24.0, -1.0, -1.0, 36.0]);
+    }
+
+    #[test]
+    fn strided_dot_matches_dense_gather() {
+        let x: Vec<f64> = (0..20).map(|v| v as f64).collect();
+        let y: Vec<f64> = (0..30).map(|v| 1.0 + v as f64 * 0.5).collect();
+        let got = ddot_strided(7, &x, 2, &y, 4);
+        let mut want = 0.0;
+        for i in 0..7 {
+            want += x[i * 2] * y[i * 4];
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn strided_unit_stride_delegates_to_fast_path() {
+        let x: Vec<f64> = (0..13).map(|v| v as f64).collect();
+        let y: Vec<f64> = (0..13).map(|v| 2.0 * v as f64).collect();
+        assert_eq!(ddot_strided(13, &x, 1, &y, 1), ddot(&x, &y));
+    }
+
+    #[test]
+    fn strided_zero_n_is_noop() {
+        let mut y = [1.0];
+        daxpy_strided(0, 5.0, &[], 1, &mut y, 1);
+        assert_eq!(y, [1.0]);
+        assert_eq!(ddot_strided(0, &[], 3, &[], 7), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn strided_bounds_checked() {
+        let x = [1.0, 2.0];
+        let mut y = [0.0; 10];
+        daxpy_strided(3, 1.0, &x, 1, &mut y, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn axpy_length_mismatch_panics() {
+        let x = [1.0];
+        let mut y = [1.0, 2.0];
+        daxpy(1.0, &x, &mut y);
+    }
+}

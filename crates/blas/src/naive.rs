@@ -1,0 +1,259 @@
+//! Naive reference implementations used as ground truth by the tests of
+//! the optimized routines. All matrices are column-major.
+
+/// `C = alpha*A*B + beta*C`, A: m x k, B: k x n, C: m x n.
+pub fn gemm(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    for j in 0..n {
+        for i in 0..m {
+            let mut acc = 0.0;
+            for l in 0..k {
+                acc += a[l * lda + i] * b[j * ldb + l];
+            }
+            c[j * ldc + i] = alpha * acc + beta * c[j * ldc + i];
+        }
+    }
+}
+
+/// `y = alpha*A*x + beta*y`, A: m x n.
+pub fn gemv(
+    m: usize,
+    n: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    x: &[f64],
+    beta: f64,
+    y: &mut [f64],
+) {
+    for i in 0..m {
+        let mut acc = 0.0;
+        for j in 0..n {
+            acc += a[j * lda + i] * x[j];
+        }
+        y[i] = alpha * acc + beta * y[i];
+    }
+}
+
+/// Rank-1 update `A += alpha * x * y^T`.
+pub fn ger(m: usize, n: usize, alpha: f64, x: &[f64], y: &[f64], a: &mut [f64], lda: usize) {
+    for j in 0..n {
+        for i in 0..m {
+            a[j * lda + i] += alpha * x[i] * y[j];
+        }
+    }
+}
+
+/// Symmetric `C = alpha*A*B + beta*C` with A symmetric (lower stored),
+/// side = left, m x m times m x n.
+pub fn symm_lower_left(
+    m: usize,
+    n: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    let at = |i: usize, j: usize| -> f64 {
+        if i >= j {
+            a[j * lda + i]
+        } else {
+            a[i * lda + j]
+        }
+    };
+    for jj in 0..n {
+        for ii in 0..m {
+            let mut acc = 0.0;
+            for l in 0..m {
+                acc += at(ii, l) * b[jj * ldb + l];
+            }
+            c[jj * ldc + ii] = alpha * acc + beta * c[jj * ldc + ii];
+        }
+    }
+}
+
+/// `C = alpha*A*A^T + beta*C` (lower triangle of C updated), A: n x k.
+pub fn syrk_lower(
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    for j in 0..n {
+        for i in j..n {
+            let mut acc = 0.0;
+            for l in 0..k {
+                acc += a[l * lda + i] * a[l * lda + j];
+            }
+            c[j * ldc + i] = alpha * acc + beta * c[j * ldc + i];
+        }
+    }
+}
+
+/// `C = alpha*(A*B^T + B*A^T) + beta*C` (lower), A,B: n x k.
+#[allow(clippy::too_many_arguments)]
+pub fn syr2k_lower(
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    for j in 0..n {
+        for i in j..n {
+            let mut acc = 0.0;
+            for l in 0..k {
+                acc += a[l * lda + i] * b[l * ldb + j] + b[l * ldb + i] * a[l * lda + j];
+            }
+            c[j * ldc + i] = alpha * acc + beta * c[j * ldc + i];
+        }
+    }
+}
+
+/// `B = alpha * L * B` with L lower-triangular (unit or not), left side.
+pub fn trmm_lower_left(
+    m: usize,
+    n: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    unit: bool,
+    b: &mut [f64],
+    ldb: usize,
+) {
+    for j in 0..n {
+        // compute column j: b[:,j] = alpha * L * b[:,j] (bottom-up)
+        for i in (0..m).rev() {
+            let mut acc = if unit { b[j * ldb + i] } else { a[i * lda + i] * b[j * ldb + i] };
+            for l in 0..i {
+                acc += a[l * lda + i] * b[j * ldb + l];
+            }
+            b[j * ldb + i] = alpha * acc;
+        }
+    }
+}
+
+/// Solves `L * X = alpha * B` in place (L lower-triangular, left side).
+pub fn trsm_lower_left(
+    m: usize,
+    n: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    unit: bool,
+    b: &mut [f64],
+    ldb: usize,
+) {
+    for j in 0..n {
+        for i in 0..m {
+            let mut v = alpha * b[j * ldb + i];
+            // subtract the contributions already solved
+            for l in 0..i {
+                v -= a[l * lda + i] * b[j * ldb + l];
+            }
+            if !unit {
+                v /= a[i * lda + i];
+            }
+            b[j * ldb + i] = v;
+        }
+        // subsequent uses read the updated values; but we must not apply
+        // alpha twice — handled by scaling at first touch above.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trsm_inverts_trmm() {
+        // X random; B = L*X; trsm(L, B) must return X.
+        let m = 6;
+        let n = 3;
+        let lda = m;
+        let mut l = vec![0.0; m * m];
+        for j in 0..m {
+            for i in j..m {
+                l[j * lda + i] = if i == j { 2.0 + i as f64 } else { 0.3 * (i + j) as f64 + 0.1 };
+            }
+        }
+        let x: Vec<f64> = (0..m * n).map(|v| (v % 7) as f64 - 3.0).collect();
+        let mut b = x.clone();
+        trmm_lower_left(m, n, 1.0, &l, lda, false, &mut b, m);
+        trsm_lower_left(m, n, 1.0, &l, lda, false, &mut b, m);
+        for (got, want) in b.iter().zip(&x) {
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn symm_matches_explicit_symmetric_gemm() {
+        let m = 5;
+        let n = 4;
+        let lda = m;
+        let mut a = vec![0.0; m * m];
+        for j in 0..m {
+            for i in j..m {
+                a[j * lda + i] = (i * 3 + j) as f64 * 0.5;
+            }
+        }
+        // full symmetric copy
+        let mut full = vec![0.0; m * m];
+        for j in 0..m {
+            for i in 0..m {
+                full[j * m + i] = if i >= j { a[j * lda + i] } else { a[i * lda + j] };
+            }
+        }
+        let b: Vec<f64> = (0..m * n).map(|v| v as f64).collect();
+        let mut c1 = vec![1.0; m * n];
+        let mut c2 = vec![1.0; m * n];
+        symm_lower_left(m, n, 2.0, &a, lda, &b, m, 0.5, &mut c1, m);
+        gemm(m, n, m, 2.0, &full, m, &b, m, 0.5, &mut c2, m);
+        for (x, y) in c1.iter().zip(&c2) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn syrk_is_gemm_with_transpose_on_lower_triangle() {
+        let n = 4;
+        let k = 3;
+        let a: Vec<f64> = (0..n * k).map(|v| (v as f64) * 0.3 - 1.0).collect();
+        // A is n x k stored with lda=n, A[l*lda + i]
+        let mut c = vec![0.0; n * n];
+        syrk_lower(n, k, 1.0, &a, n, 0.0, &mut c, n);
+        for j in 0..n {
+            for i in j..n {
+                let mut acc = 0.0;
+                for l in 0..k {
+                    acc += a[l * n + i] * a[l * n + j];
+                }
+                assert!((c[j * n + i] - acc).abs() < 1e-12);
+            }
+        }
+    }
+}

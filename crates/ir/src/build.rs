@@ -1,0 +1,206 @@
+//! Ergonomic construction helpers for the IR.
+//!
+//! Kernels in `augem-kernels` and tests everywhere build ASTs with these
+//! free functions instead of spelling out boxed enum constructors.
+
+use crate::ast::{BinOp, Expr, Kernel, LValue, Stmt};
+use crate::sym::{Sym, SymKind, Ty};
+
+/// `Expr::Var`
+pub fn var(s: Sym) -> Expr {
+    Expr::Var(s)
+}
+
+/// `Expr::Int`
+pub fn int(v: i64) -> Expr {
+    Expr::Int(v)
+}
+
+/// `Expr::F64`
+pub fn f64c(v: f64) -> Expr {
+    Expr::F64(v)
+}
+
+/// `base[index]` as an expression.
+pub fn idx(base: Sym, index: Expr) -> Expr {
+    Expr::ArrayRef {
+        base,
+        index: Box::new(index),
+    }
+}
+
+pub fn add(l: Expr, r: Expr) -> Expr {
+    Expr::Bin(BinOp::Add, Box::new(l), Box::new(r))
+}
+
+pub fn sub(l: Expr, r: Expr) -> Expr {
+    Expr::Bin(BinOp::Sub, Box::new(l), Box::new(r))
+}
+
+pub fn mul(l: Expr, r: Expr) -> Expr {
+    Expr::Bin(BinOp::Mul, Box::new(l), Box::new(r))
+}
+
+pub fn div(l: Expr, r: Expr) -> Expr {
+    Expr::Bin(BinOp::Div, Box::new(l), Box::new(r))
+}
+
+/// `v = src;`
+pub fn assign(v: Sym, src: Expr) -> Stmt {
+    Stmt::Assign {
+        dst: LValue::Var(v),
+        src,
+    }
+}
+
+/// `base[index] = src;`
+pub fn store(base: Sym, index: Expr, src: Expr) -> Stmt {
+    Stmt::Assign {
+        dst: LValue::ArrayRef {
+            base,
+            index: Box::new(index),
+        },
+        src,
+    }
+}
+
+/// `v += e;` (expands to `v = v + e`)
+pub fn add_assign(v: Sym, e: Expr) -> Stmt {
+    assign(v, add(var(v), e))
+}
+
+/// `base[index] += e;`
+pub fn store_add(base: Sym, index: Expr, e: Expr) -> Stmt {
+    store(base, index.clone(), add(idx(base, index), e))
+}
+
+/// `for (v = init; v < bound; v += step) { body }`
+pub fn for_(v: Sym, init: Expr, bound: Expr, step: i64, body: Vec<Stmt>) -> Stmt {
+    Stmt::For {
+        var: v,
+        init,
+        bound,
+        step,
+        body,
+    }
+}
+
+/// `__builtin_prefetch(&base[index], 0, locality)`
+pub fn prefetch_read(base: Sym, index: Expr, locality: u8) -> Stmt {
+    Stmt::Prefetch {
+        base,
+        index,
+        write: false,
+        locality,
+    }
+}
+
+/// `__builtin_prefetch(&base[index], 1, locality)`
+pub fn prefetch_write(base: Sym, index: Expr, locality: u8) -> Stmt {
+    Stmt::Prefetch {
+        base,
+        index,
+        write: true,
+        locality,
+    }
+}
+
+/// A builder wrapper that owns a [`Kernel`] under construction.
+#[derive(Debug)]
+pub struct KernelBuilder {
+    kernel: Kernel,
+}
+
+impl KernelBuilder {
+    pub fn new(name: impl Into<String>) -> Self {
+        KernelBuilder {
+            kernel: Kernel::new(name),
+        }
+    }
+
+    /// Declares a `double*` parameter.
+    pub fn ptr_param(&mut self, name: &str) -> Sym {
+        let s = self.kernel.syms.define(name, Ty::PtrF64, SymKind::Param);
+        self.kernel.params.push(s);
+        s
+    }
+
+    /// Declares a `long` parameter.
+    pub fn int_param(&mut self, name: &str) -> Sym {
+        let s = self.kernel.syms.define(name, Ty::I64, SymKind::Param);
+        self.kernel.params.push(s);
+        s
+    }
+
+    /// Declares a `double` parameter.
+    pub fn f64_param(&mut self, name: &str) -> Sym {
+        let s = self.kernel.syms.define(name, Ty::F64, SymKind::Param);
+        self.kernel.params.push(s);
+        s
+    }
+
+    /// Declares a local of type `ty`.
+    pub fn local(&mut self, name: &str, ty: Ty) -> Sym {
+        self.kernel.syms.define(name, ty, SymKind::Local)
+    }
+
+    /// Declares a loop induction variable.
+    pub fn loop_var(&mut self, name: &str) -> Sym {
+        self.kernel.syms.define(name, Ty::I64, SymKind::LoopVar)
+    }
+
+    /// Appends a top-level statement.
+    pub fn push(&mut self, s: Stmt) -> &mut Self {
+        self.kernel.body.push(s);
+        self
+    }
+
+    pub fn finish(self) -> Kernel {
+        self.kernel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_builds_axpy_shape() {
+        // for (i = 0; i < n; i++) Y[i] += X[i] * alpha;
+        let mut kb = KernelBuilder::new("daxpy");
+        let n = kb.int_param("n");
+        let alpha = kb.f64_param("alpha");
+        let x = kb.ptr_param("X");
+        let y = kb.ptr_param("Y");
+        let i = kb.loop_var("i");
+        kb.push(for_(
+            i,
+            int(0),
+            var(n),
+            1,
+            vec![store_add(y, var(i), mul(idx(x, var(i)), var(alpha)))],
+        ));
+        let k = kb.finish();
+        assert_eq!(k.params.len(), 4);
+        assert_eq!(k.array_params(), vec![x, y]);
+        assert_eq!(k.stmt_count(), 2);
+        assert_eq!(k.syms.name(alpha), "alpha");
+    }
+
+    #[test]
+    fn sugar_expands_correctly() {
+        let mut kb = KernelBuilder::new("t");
+        let v = kb.local("v", Ty::F64);
+        let s = add_assign(v, f64c(1.0));
+        match s {
+            Stmt::Assign {
+                dst: LValue::Var(d),
+                src: Expr::Bin(BinOp::Add, l, _),
+            } => {
+                assert_eq!(d, v);
+                assert_eq!(*l, Expr::Var(v));
+            }
+            other => panic!("unexpected expansion: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,506 @@
+//! Reference interpreter for the low-level C IR.
+//!
+//! Every source-to-source pass in `augem-transforms` must preserve kernel
+//! semantics; the test suites prove it by running the kernel before and
+//! after each pass on random inputs through this interpreter and comparing
+//! the output arrays bit-for-bit (the passes never reassociate
+//! floating-point operations, so exact equality is the right check — with
+//! the single documented exception of unroll&jam changing accumulation
+//! order across *distinct* result scalars, which still keeps each scalar's
+//! own chain intact).
+
+use crate::ast::{BinOp, Expr, Kernel, LValue, Stmt};
+use crate::sym::{Sym, Ty};
+use std::collections::HashMap;
+
+/// An argument passed to [`Interpreter::run`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// Backing storage for a `double*` parameter.
+    Array(Vec<f64>),
+    Int(i64),
+    F64(f64),
+}
+
+/// Runtime value of a variable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Value {
+    I64(i64),
+    F64(f64),
+    /// A pointer into argument array `array` at element `offset`.
+    Ptr { array: usize, offset: i64 },
+}
+
+/// Interpretation errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// Variable read before any assignment.
+    Unbound(String),
+    /// Array access outside its backing storage.
+    OutOfBounds {
+        array: String,
+        index: i64,
+        len: usize,
+    },
+    /// Operation applied to incompatible value kinds.
+    TypeError(String),
+    /// Argument list doesn't match kernel parameters.
+    BadArgs(String),
+    /// Exceeded the configured step budget (runaway loop guard).
+    StepLimit(u64),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Unbound(n) => write!(f, "read of unbound variable {n}"),
+            ExecError::OutOfBounds { array, index, len } => {
+                write!(f, "{array}[{index}] out of bounds (len {len})")
+            }
+            ExecError::TypeError(m) => write!(f, "type error: {m}"),
+            ExecError::BadArgs(m) => write!(f, "bad arguments: {m}"),
+            ExecError::StepLimit(n) => write!(f, "exceeded step limit of {n}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// The interpreter. Construct once, call [`Interpreter::run`] per execution.
+#[derive(Debug)]
+pub struct Interpreter {
+    step_limit: u64,
+}
+
+impl Default for Interpreter {
+    fn default() -> Self {
+        Interpreter {
+            step_limit: 200_000_000,
+        }
+    }
+}
+
+struct Env {
+    arrays: Vec<Vec<f64>>,
+    array_names: Vec<String>,
+    bindings: HashMap<Sym, Value>,
+    steps: u64,
+    step_limit: u64,
+}
+
+impl Interpreter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the default step budget.
+    pub fn with_step_limit(step_limit: u64) -> Self {
+        Interpreter { step_limit }
+    }
+
+    /// Executes `kernel` on `args` (one per parameter, in order). Returns
+    /// the final contents of every array argument, in parameter order.
+    pub fn run(&self, kernel: &Kernel, args: Vec<ArgValue>) -> Result<Vec<Vec<f64>>, ExecError> {
+        if args.len() != kernel.params.len() {
+            return Err(ExecError::BadArgs(format!(
+                "kernel {} expects {} args, got {}",
+                kernel.name,
+                kernel.params.len(),
+                args.len()
+            )));
+        }
+        let mut env = Env {
+            arrays: Vec::new(),
+            array_names: Vec::new(),
+            bindings: HashMap::new(),
+            steps: 0,
+            step_limit: self.step_limit,
+        };
+        for (&p, arg) in kernel.params.iter().zip(args) {
+            let v = match (kernel.syms.ty(p), arg) {
+                (Ty::PtrF64, ArgValue::Array(data)) => {
+                    let id = env.arrays.len();
+                    env.arrays.push(data);
+                    env.array_names.push(kernel.syms.name(p).to_string());
+                    Value::Ptr {
+                        array: id,
+                        offset: 0,
+                    }
+                }
+                (Ty::I64, ArgValue::Int(v)) => Value::I64(v),
+                (Ty::F64, ArgValue::F64(v)) => Value::F64(v),
+                (ty, arg) => {
+                    return Err(ExecError::BadArgs(format!(
+                        "param {} has type {:?} but got {:?}",
+                        kernel.syms.name(p),
+                        ty,
+                        arg
+                    )))
+                }
+            };
+            env.bindings.insert(p, v);
+        }
+        exec_block(&kernel.body, kernel, &mut env)?;
+        Ok(env.arrays)
+    }
+}
+
+fn exec_block(stmts: &[Stmt], k: &Kernel, env: &mut Env) -> Result<(), ExecError> {
+    for s in stmts {
+        exec_stmt(s, k, env)?;
+    }
+    Ok(())
+}
+
+fn exec_stmt(s: &Stmt, k: &Kernel, env: &mut Env) -> Result<(), ExecError> {
+    env.steps += 1;
+    if env.steps > env.step_limit {
+        return Err(ExecError::StepLimit(env.step_limit));
+    }
+    match s {
+        Stmt::Assign { dst, src } => {
+            let v = eval(src, k, env)?;
+            match dst {
+                LValue::Var(sym) => {
+                    env.bindings.insert(*sym, v);
+                }
+                LValue::ArrayRef { base, index } => {
+                    let i = eval_int(index, k, env)?;
+                    let (arr, off) = resolve_ptr(*base, k, env)?;
+                    let fv = as_f64(v)?;
+                    let slot = off + i;
+                    let len = env.arrays[arr].len();
+                    if slot < 0 || slot as usize >= len {
+                        return Err(ExecError::OutOfBounds {
+                            array: env.array_names[arr].clone(),
+                            index: slot,
+                            len,
+                        });
+                    }
+                    env.arrays[arr][slot as usize] = fv;
+                }
+            }
+        }
+        Stmt::For {
+            var,
+            init,
+            bound,
+            step,
+            body,
+        } => {
+            let mut iv = eval_int_expr(init, k, env)?;
+            loop {
+                let b = eval_int_expr(bound, k, env)?;
+                if iv >= b {
+                    break;
+                }
+                env.bindings.insert(*var, Value::I64(iv));
+                exec_block(body, k, env)?;
+                iv += step;
+                env.steps += 1;
+                if env.steps > env.step_limit {
+                    return Err(ExecError::StepLimit(env.step_limit));
+                }
+            }
+            env.bindings.insert(*var, Value::I64(iv));
+        }
+        Stmt::Prefetch { .. } | Stmt::Comment(_) => {}
+        Stmt::Region { body, .. } => exec_block(body, k, env)?,
+    }
+    Ok(())
+}
+
+fn eval(e: &Expr, k: &Kernel, env: &mut Env) -> Result<Value, ExecError> {
+    match e {
+        Expr::Int(v) => Ok(Value::I64(*v)),
+        Expr::F64(v) => Ok(Value::F64(*v)),
+        Expr::Var(s) => env
+            .bindings
+            .get(s)
+            .copied()
+            .ok_or_else(|| ExecError::Unbound(k.syms.name(*s).to_string())),
+        Expr::ArrayRef { base, index } => {
+            let i = eval_int(index, k, env)?;
+            let (arr, off) = resolve_ptr(*base, k, env)?;
+            let slot = off + i;
+            let len = env.arrays[arr].len();
+            if slot < 0 || slot as usize >= len {
+                return Err(ExecError::OutOfBounds {
+                    array: env.array_names[arr].clone(),
+                    index: slot,
+                    len,
+                });
+            }
+            Ok(Value::F64(env.arrays[arr][slot as usize]))
+        }
+        Expr::Bin(op, l, r) => {
+            let lv = eval(l, k, env)?;
+            let rv = eval(r, k, env)?;
+            apply_bin(*op, lv, rv)
+        }
+    }
+}
+
+fn apply_bin(op: BinOp, l: Value, r: Value) -> Result<Value, ExecError> {
+    use Value::*;
+    match (l, r) {
+        (F64(a), F64(b)) => Ok(F64(match op {
+            BinOp::Add => a + b,
+            BinOp::Sub => a - b,
+            BinOp::Mul => a * b,
+            BinOp::Div => a / b,
+        })),
+        (I64(a), I64(b)) => Ok(I64(match op {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Div => {
+                if b == 0 {
+                    return Err(ExecError::TypeError("integer division by zero".into()));
+                }
+                a / b
+            }
+        })),
+        // Pointer arithmetic: C's ptr + int / ptr - int (element-scaled).
+        (Ptr { array, offset }, I64(n)) => match op {
+            BinOp::Add => Ok(Ptr {
+                array,
+                offset: offset + n,
+            }),
+            BinOp::Sub => Ok(Ptr {
+                array,
+                offset: offset - n,
+            }),
+            _ => Err(ExecError::TypeError(
+                "pointer arithmetic supports only +/-".into(),
+            )),
+        },
+        (I64(n), Ptr { array, offset }) if op == BinOp::Add => Ok(Ptr {
+            array,
+            offset: offset + n,
+        }),
+        // Mixed int/float arithmetic promotes to double (C semantics).
+        (F64(a), I64(b)) => apply_bin(op, F64(a), F64(b as f64)),
+        (I64(a), F64(b)) => apply_bin(op, F64(a as f64), F64(b)),
+        _ => Err(ExecError::TypeError(format!(
+            "cannot apply {op:?} to {l:?} and {r:?}"
+        ))),
+    }
+}
+
+fn resolve_ptr(base: Sym, k: &Kernel, env: &Env) -> Result<(usize, i64), ExecError> {
+    match env.bindings.get(&base) {
+        Some(Value::Ptr { array, offset }) => Ok((*array, *offset)),
+        Some(other) => Err(ExecError::TypeError(format!(
+            "{} used as a pointer but holds {other:?}",
+            k.syms.name(base)
+        ))),
+        None => Err(ExecError::Unbound(k.syms.name(base).to_string())),
+    }
+}
+
+fn eval_int(e: &Expr, k: &Kernel, env: &mut Env) -> Result<i64, ExecError> {
+    match eval(e, k, env)? {
+        Value::I64(v) => Ok(v),
+        other => Err(ExecError::TypeError(format!(
+            "expected integer index, got {other:?}"
+        ))),
+    }
+}
+
+fn eval_int_expr(e: &Expr, k: &Kernel, env: &mut Env) -> Result<i64, ExecError> {
+    eval_int(e, k, env)
+}
+
+fn as_f64(v: Value) -> Result<f64, ExecError> {
+    match v {
+        Value::F64(f) => Ok(f),
+        Value::I64(i) => Ok(i as f64),
+        Value::Ptr { .. } => Err(ExecError::TypeError(
+            "cannot store a pointer into a double array".into(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::*;
+
+    /// for (i = 0; i < n; i++) Y[i] += X[i] * alpha;
+    fn axpy_kernel() -> Kernel {
+        let mut kb = KernelBuilder::new("daxpy");
+        let n = kb.int_param("n");
+        let alpha = kb.f64_param("alpha");
+        let x = kb.ptr_param("X");
+        let y = kb.ptr_param("Y");
+        let i = kb.loop_var("i");
+        kb.push(for_(
+            i,
+            int(0),
+            var(n),
+            1,
+            vec![store_add(y, var(i), mul(idx(x, var(i)), var(alpha)))],
+        ));
+        kb.finish()
+    }
+
+    #[test]
+    fn axpy_computes() {
+        let k = axpy_kernel();
+        let interp = Interpreter::new();
+        let out = interp
+            .run(
+                &k,
+                vec![
+                    ArgValue::Int(4),
+                    ArgValue::F64(2.0),
+                    ArgValue::Array(vec![1.0, 2.0, 3.0, 4.0]),
+                    ArgValue::Array(vec![10.0, 10.0, 10.0, 10.0]),
+                ],
+            )
+            .unwrap();
+        assert_eq!(out[1], vec![12.0, 14.0, 16.0, 18.0]);
+        assert_eq!(out[0], vec![1.0, 2.0, 3.0, 4.0]); // X untouched
+    }
+
+    #[test]
+    fn pointer_arithmetic_strength_reduced_form() {
+        // ptr = Y; for (i=0;i<n;i++) { ptr[0] = ptr[0] + 1.0; ptr = ptr + 1; }
+        let mut kb = KernelBuilder::new("inc_all");
+        let n = kb.int_param("n");
+        let y = kb.ptr_param("Y");
+        let p = kb.local("ptr", Ty::PtrF64);
+        let i = kb.loop_var("i");
+        kb.push(assign(p, var(y)));
+        kb.push(for_(
+            i,
+            int(0),
+            var(n),
+            1,
+            vec![
+                store_add(p, int(0), f64c(1.0)),
+                assign(p, add(var(p), int(1))),
+            ],
+        ));
+        let k = kb.finish();
+        let out = Interpreter::new()
+            .run(
+                &k,
+                vec![ArgValue::Int(3), ArgValue::Array(vec![0.0, 0.0, 0.0])],
+            )
+            .unwrap();
+        assert_eq!(out[0], vec![1.0, 1.0, 1.0]);
+    }
+
+    use crate::sym::Ty;
+
+    #[test]
+    fn out_of_bounds_is_reported() {
+        let k = axpy_kernel();
+        let err = Interpreter::new()
+            .run(
+                &k,
+                vec![
+                    ArgValue::Int(4),
+                    ArgValue::F64(1.0),
+                    ArgValue::Array(vec![1.0; 4]),
+                    ArgValue::Array(vec![1.0; 2]), // too short
+                ],
+            )
+            .unwrap_err();
+        match err {
+            ExecError::OutOfBounds { array, index, len } => {
+                assert_eq!(array, "Y");
+                assert_eq!(index, 2);
+                assert_eq!(len, 2);
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbound_variable_is_reported() {
+        let mut kb = KernelBuilder::new("t");
+        let x = kb.local("x", Ty::F64);
+        let y = kb.local("y", Ty::F64);
+        kb.push(assign(x, var(y)));
+        let err = Interpreter::new().run(&kb.finish(), vec![]).unwrap_err();
+        assert_eq!(err, ExecError::Unbound("y".into()));
+    }
+
+    #[test]
+    fn arg_count_mismatch() {
+        let k = axpy_kernel();
+        let err = Interpreter::new().run(&k, vec![]).unwrap_err();
+        assert!(matches!(err, ExecError::BadArgs(_)));
+    }
+
+    #[test]
+    fn arg_type_mismatch() {
+        let k = axpy_kernel();
+        let err = Interpreter::new()
+            .run(
+                &k,
+                vec![
+                    ArgValue::F64(4.0), // n must be Int
+                    ArgValue::F64(1.0),
+                    ArgValue::Array(vec![]),
+                    ArgValue::Array(vec![]),
+                ],
+            )
+            .unwrap_err();
+        assert!(matches!(err, ExecError::BadArgs(_)));
+    }
+
+    #[test]
+    fn step_limit_stops_runaway_loops() {
+        let mut kb = KernelBuilder::new("t");
+        let i = kb.loop_var("i");
+        let x = kb.local("x", Ty::F64);
+        // for (i = 0; i < 10; i += 0)  -- never terminates
+        kb.push(for_(i, int(0), int(10), 0, vec![assign(x, f64c(1.0))]));
+        let err = Interpreter::with_step_limit(1000)
+            .run(&kb.finish(), vec![])
+            .unwrap_err();
+        assert_eq!(err, ExecError::StepLimit(1000));
+    }
+
+    #[test]
+    fn integer_division_by_zero() {
+        let mut kb = KernelBuilder::new("t");
+        let x = kb.local("x", Ty::I64);
+        kb.push(assign(x, div(int(1), int(0))));
+        let err = Interpreter::new().run(&kb.finish(), vec![]).unwrap_err();
+        assert!(matches!(err, ExecError::TypeError(_)));
+    }
+
+    #[test]
+    fn region_bodies_execute_transparently() {
+        let mut kb = KernelBuilder::new("t");
+        let y = kb.ptr_param("Y");
+        let body = vec![store(y, int(0), f64c(7.0))];
+        kb.push(Stmt::Region {
+            annot: crate::ast::Annot::new("mmSTORE"),
+            body,
+        });
+        let out = Interpreter::new()
+            .run(&kb.finish(), vec![ArgValue::Array(vec![0.0])])
+            .unwrap();
+        assert_eq!(out[0], vec![7.0]);
+    }
+
+    #[test]
+    fn loop_var_final_value_visible_after_loop() {
+        // for (i=0;i<3;i++) {}  then Y[0] = i  ==> 3.0
+        let mut kb = KernelBuilder::new("t");
+        let y = kb.ptr_param("Y");
+        let i = kb.loop_var("i");
+        kb.push(for_(i, int(0), int(3), 1, vec![]));
+        kb.push(store(y, int(0), var(i)));
+        let out = Interpreter::new()
+            .run(&kb.finish(), vec![ArgValue::Array(vec![0.0])])
+            .unwrap();
+        assert_eq!(out[0], vec![3.0]);
+    }
+}

@@ -1,0 +1,236 @@
+//! Live-range analysis for kernel scalars.
+//!
+//! Paper §3.1: "while physical registers are allocated locally within each
+//! template, the live range of each variable is computed globally during
+//! the template identification process ... Only when a scalar is no longer
+//! alive would its register be released."
+//!
+//! Ranges are expressed in the canonical statement numbering of
+//! [`crate::visit::walk_with_positions`]. A symbol's range spans from its
+//! first reference to its last; any symbol referenced inside a loop has its
+//! range widened to the whole loop (a reference in iteration *k* is live
+//! again in iteration *k+1* through the back edge).
+
+use crate::ast::{Kernel, Stmt};
+use crate::sym::{Sym, Ty};
+use crate::visit::{stmt_def, stmt_uses};
+use std::collections::HashMap;
+
+/// Closed position interval `[first, last]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LiveRange {
+    pub first: u32,
+    pub last: u32,
+}
+
+impl LiveRange {
+    pub fn contains(&self, pos: u32) -> bool {
+        self.first <= pos && pos <= self.last
+    }
+}
+
+/// Result of liveness analysis over one kernel.
+#[derive(Debug, Clone, Default)]
+pub struct Liveness {
+    ranges: HashMap<Sym, LiveRange>,
+    positions: u32,
+}
+
+impl Liveness {
+    /// Analyzes `kernel`.
+    pub fn analyze(kernel: &Kernel) -> Self {
+        let mut lv = Liveness::default();
+        let mut pos = 0u32;
+        collect(&kernel.body, &mut pos, &mut lv.ranges);
+        lv.positions = pos;
+        lv
+    }
+
+    /// The live range of `sym`, if it is ever referenced.
+    pub fn range(&self, sym: Sym) -> Option<LiveRange> {
+        self.ranges.get(&sym).copied()
+    }
+
+    /// Whether `sym` is live at canonical position `pos`.
+    pub fn live_at(&self, sym: Sym, pos: u32) -> bool {
+        self.range(sym).is_some_and(|r| r.contains(pos))
+    }
+
+    /// Whether `sym` is dead at every position strictly after `pos`.
+    pub fn dead_after(&self, sym: Sym, pos: u32) -> bool {
+        self.range(sym).is_none_or(|r| r.last <= pos)
+    }
+
+    /// Total number of canonical positions in the kernel.
+    pub fn positions(&self) -> u32 {
+        self.positions
+    }
+
+    /// Symbols whose live range ends exactly at `pos`.
+    pub fn dying_at(&self, pos: u32) -> Vec<Sym> {
+        let mut v: Vec<Sym> = self
+            .ranges
+            .iter()
+            .filter(|(_, r)| r.last == pos)
+            .map(|(s, _)| *s)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Maximum number of simultaneously-live `double` scalars — a lower
+    /// bound on the vector registers an allocation needs (ignores the
+    /// per-array partitioning).
+    pub fn max_pressure(&self, kernel: &Kernel) -> usize {
+        let mut best = 0usize;
+        for pos in 0..self.positions {
+            let live = self
+                .ranges
+                .iter()
+                .filter(|(s, r)| kernel.syms.ty(**s) == Ty::F64 && r.contains(pos))
+                .count();
+            best = best.max(live);
+        }
+        best
+    }
+}
+
+/// Walks `stmts` assigning canonical positions; every symbol referenced in
+/// a statement at position `p` gets its range extended to `p`. For loops,
+/// after the body is processed, every symbol referenced anywhere inside the
+/// loop gets widened to `[min(first, loop_start), max(last, loop_end)]`.
+fn collect(stmts: &[Stmt], pos: &mut u32, ranges: &mut HashMap<Sym, LiveRange>) {
+    for s in stmts {
+        let here = *pos;
+        *pos += 1;
+        let mut touched = Vec::new();
+        stmt_uses(s, &mut touched);
+        if let Some(d) = stmt_def(s) {
+            touched.push(d);
+        }
+        for sym in touched {
+            ranges
+                .entry(sym)
+                .and_modify(|r| {
+                    r.first = r.first.min(here);
+                    r.last = r.last.max(here);
+                })
+                .or_insert(LiveRange {
+                    first: here,
+                    last: here,
+                });
+        }
+        match s {
+            Stmt::For { body, .. } => {
+                let body_start = *pos;
+                collect(body, pos, ranges);
+                let body_end = pos.saturating_sub(1);
+                // Widen everything referenced inside the loop to the whole
+                // loop span (loop-carried liveness through the back edge).
+                for (_, r) in ranges.iter_mut() {
+                    let inside = r.first.max(body_start) <= r.last.min(body_end)
+                        && r.last >= body_start
+                        && r.first <= body_end;
+                    if inside {
+                        r.first = r.first.min(here);
+                        r.last = r.last.max(body_end);
+                    }
+                }
+            }
+            Stmt::Region { body, .. } => collect(body, pos, ranges),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::*;
+
+    #[test]
+    fn straight_line_ranges() {
+        // 0: x = 1.0
+        // 1: y = x * x
+        // 2: z = y + 1.0
+        let mut kb = KernelBuilder::new("t");
+        let x = kb.local("x", Ty::F64);
+        let y = kb.local("y", Ty::F64);
+        let z = kb.local("z", Ty::F64);
+        kb.push(assign(x, f64c(1.0)));
+        kb.push(assign(y, mul(var(x), var(x))));
+        kb.push(assign(z, add(var(y), f64c(1.0))));
+        let k = kb.finish();
+        let lv = Liveness::analyze(&k);
+        assert_eq!(lv.range(x), Some(LiveRange { first: 0, last: 1 }));
+        assert_eq!(lv.range(y), Some(LiveRange { first: 1, last: 2 }));
+        assert_eq!(lv.range(z), Some(LiveRange { first: 2, last: 2 }));
+        assert!(lv.dead_after(x, 1));
+        assert!(!lv.dead_after(x, 0));
+        assert_eq!(lv.dying_at(1), vec![x]);
+        assert_eq!(lv.positions(), 3);
+    }
+
+    #[test]
+    fn loop_widens_ranges_to_whole_loop() {
+        // 0: acc = 0.0
+        // 1: for i              (loop spans positions 1..=3)
+        // 2:   t = A[i]
+        // 3:   acc = acc + t
+        // 4: Y[0] = acc
+        let mut kb = KernelBuilder::new("t");
+        let a = kb.ptr_param("A");
+        let y = kb.ptr_param("Y");
+        let n = kb.int_param("n");
+        let acc = kb.local("acc", Ty::F64);
+        let t = kb.local("t", Ty::F64);
+        let i = kb.loop_var("i");
+        kb.push(assign(acc, f64c(0.0)));
+        kb.push(for_(
+            i,
+            int(0),
+            var(n),
+            1,
+            vec![assign(t, idx(a, var(i))), add_assign(acc, var(t))],
+        ));
+        kb.push(store(y, int(0), var(acc)));
+        let k = kb.finish();
+        let lv = Liveness::analyze(&k);
+
+        // t referenced only at 2 and 3, but the loop spans 1..=3, so t is
+        // widened to at least the loop header.
+        let rt = lv.range(t).unwrap();
+        assert!(rt.first <= 1, "t range {rt:?} must reach the loop header");
+        assert_eq!(rt.last, 3);
+
+        // acc lives from 0 to the final store at 4.
+        assert_eq!(lv.range(acc), Some(LiveRange { first: 0, last: 4 }));
+        assert!(lv.live_at(acc, 2));
+    }
+
+    #[test]
+    fn pressure_counts_simultaneous_f64s() {
+        let mut kb = KernelBuilder::new("t");
+        let a = kb.local("a", Ty::F64);
+        let b = kb.local("b", Ty::F64);
+        let c = kb.local("c", Ty::F64);
+        kb.push(assign(a, f64c(1.0)));
+        kb.push(assign(b, f64c(2.0)));
+        kb.push(assign(c, add(var(a), var(b))));
+        let k = kb.finish();
+        let lv = Liveness::analyze(&k);
+        assert_eq!(lv.max_pressure(&k), 3); // a, b, c all live at pos 2
+    }
+
+    #[test]
+    fn unreferenced_symbol_has_no_range() {
+        let mut kb = KernelBuilder::new("t");
+        let unused = kb.local("unused", Ty::F64);
+        let x = kb.local("x", Ty::F64);
+        kb.push(assign(x, f64c(0.0)));
+        let k = kb.finish();
+        let lv = Liveness::analyze(&k);
+        assert_eq!(lv.range(unused), None);
+        assert!(lv.dead_after(unused, 0));
+    }
+}

@@ -1,0 +1,249 @@
+//! C pretty-printer.
+//!
+//! Prints a [`Kernel`] as readable C. Used for golden tests that mirror the
+//! paper's figures (e.g. the optimized GEMM of Figure 13 and the
+//! template-tagged version of Figure 14) and for `--emit c` style debugging
+//! in the pipeline driver.
+
+use crate::ast::{Annot, AnnotValue, Expr, Kernel, LValue, Stmt};
+use crate::sym::{SymKind, SymbolTable, Ty};
+use std::fmt::Write;
+
+/// Prints `kernel` as a C function definition.
+pub fn print_kernel(kernel: &Kernel) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = kernel
+        .params
+        .iter()
+        .map(|&p| format!("{} {}", kernel.syms.ty(p).c_name(), kernel.syms.name(p)))
+        .collect();
+    let _ = writeln!(out, "void {}({}) {{", kernel.name, params.join(", "));
+
+    // Declarations for locals and loop vars, grouped by type.
+    for ty in [Ty::I64, Ty::F64, Ty::PtrF64] {
+        let names: Vec<&str> = kernel
+            .syms
+            .all()
+            .filter(|&s| kernel.syms.kind(s) != SymKind::Param && kernel.syms.ty(s) == ty)
+            .map(|s| kernel.syms.name(s))
+            .collect();
+        if !names.is_empty() {
+            let _ = writeln!(out, "  {} {};", ty.c_name(), names.join(", "));
+        }
+    }
+
+    for s in &kernel.body {
+        print_stmt(&mut out, s, &kernel.syms, 1);
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Prints a statement list (used by tests that only care about a region).
+pub fn print_stmts(stmts: &[Stmt], syms: &SymbolTable) -> String {
+    let mut out = String::new();
+    for s in stmts {
+        print_stmt(&mut out, s, syms, 0);
+    }
+    out
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn print_stmt(out: &mut String, s: &Stmt, syms: &SymbolTable, level: usize) {
+    match s {
+        Stmt::Assign { dst, src } => {
+            indent(out, level);
+            let _ = writeln!(out, "{} = {};", lvalue_str(dst, syms), expr_str(src, syms));
+        }
+        Stmt::For {
+            var,
+            init,
+            bound,
+            step,
+            body,
+        } => {
+            indent(out, level);
+            let v = syms.name(*var);
+            let inc = if *step == 1 {
+                format!("{v}++")
+            } else {
+                format!("{v} += {step}")
+            };
+            let _ = writeln!(
+                out,
+                "for ({v} = {}; {v} < {}; {inc}) {{",
+                expr_str(init, syms),
+                expr_str(bound, syms)
+            );
+            for b in body {
+                print_stmt(out, b, syms, level + 1);
+            }
+            indent(out, level);
+            out.push_str("}\n");
+        }
+        Stmt::Prefetch {
+            base,
+            index,
+            write,
+            locality,
+        } => {
+            indent(out, level);
+            let _ = writeln!(
+                out,
+                "__builtin_prefetch(&{}[{}], {}, {});",
+                syms.name(*base),
+                expr_str(index, syms),
+                u8::from(*write),
+                locality
+            );
+        }
+        Stmt::Region { annot, body } => {
+            indent(out, level);
+            let _ = writeln!(out, "/* BEGIN {} */", annot_str(annot, syms));
+            for b in body {
+                print_stmt(out, b, syms, level);
+            }
+            indent(out, level);
+            let _ = writeln!(out, "/* END {} */", annot.template);
+        }
+        Stmt::Comment(c) => {
+            indent(out, level);
+            let _ = writeln!(out, "/* {c} */");
+        }
+    }
+}
+
+fn annot_str(a: &Annot, syms: &SymbolTable) -> String {
+    let params: Vec<String> = a
+        .params
+        .iter()
+        .map(|(k, v)| {
+            let vs = match v {
+                AnnotValue::Sym(s) => syms.name(*s).to_string(),
+                AnnotValue::Int(i) => i.to_string(),
+                AnnotValue::Syms(ss) => {
+                    let names: Vec<&str> = ss.iter().map(|s| syms.name(*s)).collect();
+                    format!("[{}]", names.join(","))
+                }
+                AnnotValue::Expr(e) => expr_str(e, syms),
+            };
+            format!("{k}={vs}")
+        })
+        .collect();
+    format!("{}({})", a.template, params.join(", "))
+}
+
+fn lvalue_str(l: &LValue, syms: &SymbolTable) -> String {
+    match l {
+        LValue::Var(s) => syms.name(*s).to_string(),
+        LValue::ArrayRef { base, index } => {
+            format!("{}[{}]", syms.name(*base), expr_str(index, syms))
+        }
+    }
+}
+
+/// Prints an expression with minimal parentheses (every nested binop gets
+/// parens — unambiguous and good enough for golden tests).
+pub fn expr_str(e: &Expr, syms: &SymbolTable) -> String {
+    match e {
+        Expr::Int(v) => v.to_string(),
+        Expr::F64(v) => {
+            if *v == v.trunc() && v.is_finite() {
+                format!("{v:.1}")
+            } else {
+                format!("{v}")
+            }
+        }
+        Expr::Var(s) => syms.name(*s).to_string(),
+        Expr::ArrayRef { base, index } => {
+            format!("{}[{}]", syms.name(*base), expr_str(index, syms))
+        }
+        Expr::Bin(op, l, r) => {
+            let ls = match &**l {
+                Expr::Bin(..) => format!("({})", expr_str(l, syms)),
+                _ => expr_str(l, syms),
+            };
+            let rs = match &**r {
+                Expr::Bin(..) => format!("({})", expr_str(r, syms)),
+                _ => expr_str(r, syms),
+            };
+            format!("{ls} {} {rs}", op.c_symbol())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::*;
+    use crate::sym::Ty;
+
+    #[test]
+    fn prints_axpy_like_figure_16() {
+        let mut kb = KernelBuilder::new("daxpy");
+        let n = kb.int_param("n");
+        let alpha = kb.f64_param("alpha");
+        let x = kb.ptr_param("X");
+        let y = kb.ptr_param("Y");
+        let i = kb.loop_var("i");
+        kb.push(for_(
+            i,
+            int(0),
+            var(n),
+            1,
+            vec![store_add(y, var(i), mul(idx(x, var(i)), var(alpha)))],
+        ));
+        let c = print_kernel(&kb.finish());
+        assert!(c.contains("void daxpy(long n, double alpha, double* X, double* Y)"));
+        assert!(c.contains("for (i = 0; i < n; i++) {"));
+        assert!(c.contains("Y[i] = Y[i] + (X[i] * alpha);"));
+        assert!(c.contains("long i;"));
+    }
+
+    #[test]
+    fn prints_region_annotations() {
+        let mut kb = KernelBuilder::new("t");
+        let a = kb.ptr_param("A");
+        let r = kb.local("res0", Ty::F64);
+        let body = vec![assign(r, idx(a, int(0)))];
+        kb.push(Stmt::Region {
+            annot: crate::ast::Annot::new("mmCOMP")
+                .with("A", crate::ast::AnnotValue::Sym(a))
+                .with("idx1", crate::ast::AnnotValue::Int(0)),
+            body,
+        });
+        let c = print_kernel(&kb.finish());
+        assert!(c.contains("/* BEGIN mmCOMP(A=A, idx1=0) */"));
+        assert!(c.contains("/* END mmCOMP */"));
+    }
+
+    #[test]
+    fn float_literals_keep_a_decimal_point() {
+        let syms = SymbolTable::new();
+        assert_eq!(expr_str(&f64c(0.0), &syms), "0.0");
+        assert_eq!(expr_str(&f64c(1.5), &syms), "1.5");
+    }
+
+    #[test]
+    fn nested_binops_are_parenthesized() {
+        let mut kb = KernelBuilder::new("t");
+        let x = kb.local("x", Ty::F64);
+        let e = mul(add(var(x), int(1)), int(2));
+        let k = kb.finish();
+        assert_eq!(expr_str(&e, &k.syms), "(x + 1) * 2");
+    }
+
+    #[test]
+    fn prefetch_prints_builtin() {
+        let mut kb = KernelBuilder::new("t");
+        let a = kb.ptr_param("A");
+        kb.push(prefetch_read(a, int(64), 3));
+        let c = print_kernel(&kb.finish());
+        assert!(c.contains("__builtin_prefetch(&A[64], 0, 3);"));
+    }
+}

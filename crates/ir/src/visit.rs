@@ -1,0 +1,245 @@
+//! Generic AST walkers shared by the transform passes, the template
+//! identifier, liveness analysis and the optimizer.
+//!
+//! [`walk_with_positions`] defines the *canonical statement numbering*: a
+//! pre-order depth-first traversal where every statement (including loop
+//! and region headers) gets one consecutive position. Liveness ranges are
+//! expressed in this numbering, and the Template Optimizer walks the kernel
+//! with the same function so its positions agree.
+
+use crate::ast::{Expr, LValue, Stmt};
+use crate::sym::Sym;
+use std::collections::HashMap;
+
+/// Calls `f` on every statement in pre-order, passing its canonical
+/// position. Returns the number of positions assigned.
+pub fn walk_with_positions(stmts: &[Stmt], f: &mut impl FnMut(u32, &Stmt)) -> u32 {
+    fn go(stmts: &[Stmt], pos: &mut u32, f: &mut impl FnMut(u32, &Stmt)) {
+        for s in stmts {
+            f(*pos, s);
+            *pos += 1;
+            match s {
+                Stmt::For { body, .. } | Stmt::Region { body, .. } => go(body, pos, f),
+                _ => {}
+            }
+        }
+    }
+    let mut pos = 0;
+    go(stmts, &mut pos, f);
+    pos
+}
+
+/// Calls `f` on every statement block (the top level, then every loop and
+/// region body, innermost last), allowing in-place rewriting.
+pub fn for_each_block_mut(stmts: &mut Vec<Stmt>, f: &mut impl FnMut(&mut Vec<Stmt>)) {
+    for s in stmts.iter_mut() {
+        match s {
+            Stmt::For { body, .. } | Stmt::Region { body, .. } => for_each_block_mut(body, f),
+            _ => {}
+        }
+    }
+    f(stmts);
+}
+
+/// Calls `f` on every expression in the statement (assignment sources,
+/// lvalue/array indices, loop bounds, prefetch indices), allowing mutation.
+pub fn for_each_expr_mut(s: &mut Stmt, f: &mut impl FnMut(&mut Expr)) {
+    fn expr(e: &mut Expr, f: &mut impl FnMut(&mut Expr)) {
+        match e {
+            Expr::Bin(_, l, r) => {
+                expr(l, f);
+                expr(r, f);
+            }
+            Expr::ArrayRef { index, .. } => expr(index, f),
+            _ => {}
+        }
+        f(e);
+    }
+    match s {
+        Stmt::Assign { dst, src } => {
+            if let LValue::ArrayRef { index, .. } = dst {
+                expr(index, f);
+            }
+            expr(src, f);
+        }
+        Stmt::For {
+            init, bound, body, ..
+        } => {
+            expr(init, f);
+            expr(bound, f);
+            for b in body {
+                for_each_expr_mut(b, f);
+            }
+        }
+        Stmt::Prefetch { index, .. } => expr(index, f),
+        Stmt::Region { body, .. } => {
+            for b in body {
+                for_each_expr_mut(b, f);
+            }
+        }
+        Stmt::Comment(_) => {}
+    }
+}
+
+/// Replaces every `Var(from)` in the statement with `to` (an arbitrary
+/// expression). Used by loop unrolling to substitute `i -> i + k`.
+pub fn subst_var(s: &mut Stmt, from: Sym, to: &Expr) {
+    for_each_expr_mut(s, &mut |e| {
+        if matches!(e, Expr::Var(v) if *v == from) {
+            *e = to.clone();
+        }
+    });
+}
+
+/// Renames symbols per `map` everywhere they appear: variable reads, array
+/// bases, lvalues, loop variables, prefetch bases. Symbols not in the map
+/// are untouched. Used by unroll&jam to give each unrolled iteration its
+/// own scalar copies.
+pub fn rename_syms(s: &mut Stmt, map: &HashMap<Sym, Sym>) {
+    let lookup = |sym: Sym| map.get(&sym).copied().unwrap_or(sym);
+    for_each_expr_mut(s, &mut |e| match e {
+        Expr::Var(v) => *v = lookup(*v),
+        Expr::ArrayRef { base, .. } => *base = lookup(*base),
+        _ => {}
+    });
+    match s {
+        Stmt::Assign { dst, .. } => match dst {
+            LValue::Var(v) => *v = lookup(*v),
+            LValue::ArrayRef { base, .. } => *base = lookup(*base),
+        },
+        Stmt::For { var, body, .. } => {
+            *var = lookup(*var);
+            for b in body {
+                rename_syms(b, map);
+            }
+        }
+        Stmt::Prefetch { base, .. } => *base = lookup(*base),
+        Stmt::Region { body, .. } => {
+            for b in body {
+                rename_syms(b, map);
+            }
+        }
+        Stmt::Comment(_) => {}
+    }
+}
+
+/// Symbols read by the statement (uses), appended to `out`. The lvalue of
+/// an assignment is *not* a use, except an array store's base and index.
+pub fn stmt_uses(s: &Stmt, out: &mut Vec<Sym>) {
+    match s {
+        Stmt::Assign { dst, src } => {
+            if let LValue::ArrayRef { base, index } = dst {
+                out.push(*base);
+                index.collect_syms(out);
+            }
+            src.collect_syms(out);
+        }
+        Stmt::For { init, bound, .. } => {
+            init.collect_syms(out);
+            bound.collect_syms(out);
+        }
+        Stmt::Prefetch { base, index, .. } => {
+            out.push(*base);
+            index.collect_syms(out);
+        }
+        Stmt::Region { .. } | Stmt::Comment(_) => {}
+    }
+}
+
+/// The symbol defined (written) by the statement, if any. Array stores
+/// define no scalar.
+pub fn stmt_def(s: &Stmt) -> Option<Sym> {
+    match s {
+        Stmt::Assign {
+            dst: LValue::Var(v),
+            ..
+        } => Some(*v),
+        Stmt::For { var, .. } => Some(*var),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::*;
+    use crate::sym::{SymKind, SymbolTable, Ty};
+
+    fn mk_syms() -> (SymbolTable, Sym, Sym, Sym, Sym) {
+        let mut t = SymbolTable::new();
+        let a = t.define("A", Ty::PtrF64, SymKind::Param);
+        let x = t.define("x", Ty::F64, SymKind::Local);
+        let y = t.define("y", Ty::F64, SymKind::Local);
+        let i = t.define("i", Ty::I64, SymKind::LoopVar);
+        (t, a, x, y, i)
+    }
+
+    #[test]
+    fn positions_are_preorder_and_consecutive() {
+        let (_t, a, x, _y, i) = mk_syms();
+        let stmts = vec![
+            assign(x, f64c(0.0)),                                     // 0
+            for_(i, int(0), int(4), 1, vec![
+                assign(x, idx(a, var(i))),                            // 2
+                store(a, var(i), var(x)),                             // 3
+            ]),                                                       // 1
+            assign(x, f64c(1.0)),                                     // 4
+        ];
+        let mut seen = Vec::new();
+        let n = walk_with_positions(&stmts, &mut |p, _| seen.push(p));
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn subst_var_replaces_induction_variable() {
+        let (t, a, x, _y, i) = mk_syms();
+        let mut s = assign(x, idx(a, var(i)));
+        subst_var(&mut s, i, &add(var(i), int(2)));
+        let printed = crate::print::print_stmts(&[s], &t);
+        assert_eq!(printed.trim(), "x = A[i + 2];");
+    }
+
+    #[test]
+    fn rename_syms_renames_defs_and_uses() {
+        let (mut t, a, x, y, i) = mk_syms();
+        let x2 = t.define("x2", Ty::F64, SymKind::Local);
+        let mut s = for_(i, int(0), int(4), 1, vec![
+            assign(x, idx(a, var(i))),
+            assign(y, var(x)),
+        ]);
+        let map: HashMap<Sym, Sym> = [(x, x2)].into_iter().collect();
+        rename_syms(&mut s, &map);
+        let printed = crate::print::print_stmts(&[s], &t);
+        assert!(printed.contains("x2 = A[i];"));
+        assert!(printed.contains("y = x2;"));
+        assert!(!printed.contains("y = x;"));
+    }
+
+    #[test]
+    fn uses_and_defs() {
+        let (_t, a, x, y, i) = mk_syms();
+        // y = x * x    defs y, uses x
+        let s1 = assign(y, mul(var(x), var(x)));
+        assert_eq!(stmt_def(&s1), Some(y));
+        let mut uses = Vec::new();
+        stmt_uses(&s1, &mut uses);
+        assert_eq!(uses, vec![x, x]);
+
+        // A[i] = y     defs nothing scalar, uses A, i, y
+        let s2 = store(a, var(i), var(y));
+        assert_eq!(stmt_def(&s2), None);
+        uses.clear();
+        stmt_uses(&s2, &mut uses);
+        assert_eq!(uses, vec![a, i, y]);
+    }
+
+    #[test]
+    fn for_each_block_visits_innermost_first() {
+        let (_t, _a, x, _y, i) = mk_syms();
+        let mut stmts = vec![for_(i, int(0), int(2), 1, vec![assign(x, f64c(1.0))])];
+        let mut sizes = Vec::new();
+        for_each_block_mut(&mut stmts, &mut |b| sizes.push(b.len()));
+        assert_eq!(sizes, vec![1, 1]); // inner body then top level
+    }
+}

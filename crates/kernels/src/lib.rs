@@ -1,0 +1,26 @@
+//! # augem-kernels
+//!
+//! The "simple C implementations" that the AUGEM pipeline takes as input —
+//! the paper's Figure 12 (GEMM), Figure 15 (GEMV), Figure 16 (AXPY) and
+//! Figure 17 (DOT) — expressed as `augem-ir` kernels, plus straightforward
+//! pure-Rust reference implementations used as ground truth by every
+//! correctness test in the workspace.
+//!
+//! ## Data layouts
+//!
+//! The GEMM micro-kernel operates on *packed* operands exactly as in the
+//! Goto algorithm the paper builds on (§4.1): a block of A packed so that
+//! the `i` direction is contiguous (leading dimension `Mc`), and a panel of
+//! B packed so that the `j` direction is contiguous (leading dimension
+//! `Nr`). The paper's Figure 12 prints the B subscript as `B[j*Kc+l]`, but
+//! its own worked examples (Figures 7–9 and 13–14) show a *single*
+//! strength-reduced `ptr_B` with constant offsets `ptr_B[0], ptr_B[1]` —
+//! which is only possible when consecutive `j` are adjacent in memory, i.e.
+//! the packed layout. We therefore index B as `B[l*Nr + j]`; this is the
+//! layout GotoBLAS/OpenBLAS actually hand their micro-kernels.
+
+pub mod reference;
+pub mod simple;
+
+pub use reference::*;
+pub use simple::*;

@@ -1,0 +1,140 @@
+//! Pure-Rust reference implementations — the ground truth every generated
+//! kernel is validated against.
+//!
+//! These are deliberately naive (same loop order and accumulation order as
+//! the simple C kernels) so results match the IR interpreter bit-for-bit.
+
+/// `C[j*ldc + i] += sum_l A[l*mc + i] * B[l*ldb + j]` over the
+/// `mr x nr x kc` micro-tile. Packed-A leading dimension is `mc`, packed-B
+/// leading dimension `ldb`.
+pub fn ref_gemm_packed(
+    mr: usize,
+    nr: usize,
+    kc: usize,
+    mc: usize,
+    ldb: usize,
+    ldc: usize,
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+) {
+    for j in 0..nr {
+        for i in 0..mr {
+            let mut res = 0.0f64;
+            for l in 0..kc {
+                res += a[l * mc + i] * b[l * ldb + j];
+            }
+            c[j * ldc + i] += res;
+        }
+    }
+}
+
+/// Column-major `y += A*x`: `Y[j] += A[i*lda + j] * X[i]`.
+pub fn ref_gemv_colmajor(m: usize, n: usize, lda: usize, a: &[f64], x: &[f64], y: &mut [f64]) {
+    for i in 0..n {
+        let scal = x[i];
+        for j in 0..m {
+            y[j] += a[i * lda + j] * scal;
+        }
+    }
+}
+
+/// `y += alpha * x`.
+pub fn ref_axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += xi * alpha;
+    }
+}
+
+/// `x · y` with left-to-right accumulation.
+pub fn ref_dot(x: &[f64], y: &[f64]) -> f64 {
+    let mut res = 0.0;
+    for (xi, yi) in x.iter().zip(y) {
+        res += xi * yi;
+    }
+    res
+}
+
+/// Row-slices-of-columns general (unpacked) GEMM used by the Level-3
+/// routine tests: column-major `C(m x n) += A(m x k) * B(k x n)`.
+pub fn ref_gemm_colmajor(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    for j in 0..n {
+        for i in 0..m {
+            let mut acc = 0.0;
+            for l in 0..k {
+                acc += a[l * lda + i] * b[j * ldb + l];
+            }
+            c[j * ldc + i] += acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_packed_small_by_hand() {
+        // mr=nr=kc=2, identity-ish check:
+        // A (mc=2): col l of A = A[l*2..l*2+2]; B (ldb=2): row l = B[l*2..]
+        let a = vec![1.0, 2.0, 3.0, 4.0]; // l=0: (1,2); l=1: (3,4)
+        let b = vec![5.0, 6.0, 7.0, 8.0]; // l=0: (5,6); l=1: (7,8)
+        let mut c = vec![0.0; 4];
+        ref_gemm_packed(2, 2, 2, 2, 2, 2, &a, &b, &mut c);
+        // C[j*2+i] = sum_l A[l*2+i]*B[l*2+j]
+        // C[0] = 1*5 + 3*7 = 26 ; C[1] = 2*5 + 4*7 = 38
+        // C[2] = 1*6 + 3*8 = 30 ; C[3] = 2*6 + 4*8 = 44
+        assert_eq!(c, vec![26.0, 38.0, 30.0, 44.0]);
+    }
+
+    #[test]
+    fn gemv_small_by_hand() {
+        // m=2, n=2, lda=2. A col-major: col0=(1,2), col1=(3,4); x=(10,100)
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let x = vec![10.0, 100.0];
+        let mut y = vec![0.0, 0.0];
+        ref_gemv_colmajor(2, 2, 2, &a, &x, &mut y);
+        assert_eq!(y, vec![310.0, 420.0]);
+    }
+
+    #[test]
+    fn axpy_and_dot() {
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![1.0, 1.0, 1.0];
+        ref_axpy(2.0, &x, &mut y);
+        assert_eq!(y, vec![3.0, 5.0, 7.0]);
+        assert_eq!(ref_dot(&x, &y), 3.0 + 10.0 + 21.0);
+    }
+
+    #[test]
+    fn colmajor_gemm_agrees_with_packed_on_compatible_layout() {
+        // With lda=m, packed layout A[l*mc+i] equals col-major A (k cols of
+        // height m); with ldb=n ("B row l contiguous") packed B is the
+        // TRANSPOSE of col-major B. Build both consistently and compare.
+        let (m, n, k) = (3usize, 2usize, 4usize);
+        let a: Vec<f64> = (0..m * k).map(|v| v as f64).collect();
+        let b_packed: Vec<f64> = (0..k * n).map(|v| (v * v % 11) as f64).collect();
+        // col-major B: B_cm[j*k + l] = b_packed[l*n + j]
+        let mut b_cm = vec![0.0; k * n];
+        for l in 0..k {
+            for j in 0..n {
+                b_cm[j * k + l] = b_packed[l * n + j];
+            }
+        }
+        let mut c1 = vec![0.0; m * n];
+        let mut c2 = vec![0.0; m * n];
+        ref_gemm_packed(m, n, k, m, n, m, &a, &b_packed, &mut c1);
+        ref_gemm_colmajor(m, n, k, &a, m, &b_cm, k, &mut c2, m);
+        assert_eq!(c1, c2);
+    }
+}

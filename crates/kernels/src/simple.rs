@@ -1,0 +1,612 @@
+//! The four simple C kernels, as IR (paper Figures 12, 15, 16, 17).
+
+use augem_ir::{
+    add, add_assign, assign, f64c, for_, idx, int, mul, store, store_add, var, Kernel,
+    KernelBuilder,
+};
+
+/// Which DLA kernel a [`Kernel`] was built as. Drives pipeline decisions
+/// (e.g. which blocking/driver the benchmarks wrap around the kernel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DlaKernel {
+    /// Level-3: C += A*B micro-kernel on packed operands.
+    Gemm,
+    /// Level-2: y += A*x, column-wise.
+    Gemv,
+    /// Level-2: rank-1 update A += x*y^T (Table 6's GER row).
+    Ger,
+    /// Level-1: y += alpha*x.
+    Axpy,
+    /// Level-1: r += x·y.
+    Dot,
+    /// Level-1: y *= alpha (extension kernel; exercises the svSCAL
+    /// template added per the paper's §7 extensibility discussion).
+    Scal,
+}
+
+impl DlaKernel {
+    pub const ALL: [DlaKernel; 6] = [
+        DlaKernel::Gemm,
+        DlaKernel::Gemv,
+        DlaKernel::Ger,
+        DlaKernel::Axpy,
+        DlaKernel::Dot,
+        DlaKernel::Scal,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            DlaKernel::Gemm => "dgemm",
+            DlaKernel::Gemv => "dgemv",
+            DlaKernel::Ger => "dger",
+            DlaKernel::Axpy => "daxpy",
+            DlaKernel::Dot => "ddot",
+            DlaKernel::Scal => "dscal",
+        }
+    }
+
+    /// Builds the simple-C IR for this kernel.
+    pub fn build(self) -> Kernel {
+        match self {
+            DlaKernel::Gemm => gemm_simple(),
+            DlaKernel::Gemv => gemv_simple(),
+            DlaKernel::Ger => ger_simple(),
+            DlaKernel::Axpy => axpy_simple(),
+            DlaKernel::Dot => dot_simple(),
+            DlaKernel::Scal => scal_simple(),
+        }
+    }
+
+    /// Floating-point operations performed by one kernel invocation with
+    /// the given problem sizes (used by the Mflops reports).
+    pub fn flops(self, dims: &KernelDims) -> u64 {
+        match self {
+            DlaKernel::Gemm => 2 * dims.m * dims.n * dims.k,
+            DlaKernel::Gemv | DlaKernel::Ger => 2 * dims.m * dims.n,
+            DlaKernel::Axpy | DlaKernel::Dot => 2 * dims.n,
+            DlaKernel::Scal => dims.n,
+        }
+    }
+}
+
+/// Problem dimensions for a kernel invocation. Unused dimensions are 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelDims {
+    pub m: u64,
+    pub n: u64,
+    pub k: u64,
+}
+
+impl KernelDims {
+    pub fn gemm(m: u64, n: u64, k: u64) -> Self {
+        KernelDims { m, n, k }
+    }
+    pub fn gemv(m: u64, n: u64) -> Self {
+        KernelDims { m, n, k: 1 }
+    }
+    pub fn vec(n: u64) -> Self {
+        KernelDims { m: 1, n, k: 1 }
+    }
+}
+
+/// Paper Figure 12 — the simple GEMM micro-kernel over packed operands.
+///
+/// ```c
+/// void dgemm(long Mr, long Nr, long Kc, long Mc, long LDB, long LDC,
+///            double* A, double* B, double* C) {
+///   long i, j, l; double res;
+///   for (j = 0; j < Nr; j++) {
+///     for (i = 0; i < Mr; i++) {
+///       res = 0.0;
+///       for (l = 0; l < Kc; l++)
+///         res = res + A[l*Mc + i] * B[l*LDB + j];
+///       C[j*LDC + i] = C[j*LDC + i] + res;
+///     }
+///   }
+/// }
+/// ```
+///
+/// `Mc` is packed A's leading dimension and `LDB` packed B's (the driver
+/// passes `LDB = Nr`); see the crate docs for why B is `j`-contiguous.
+pub fn gemm_simple() -> Kernel {
+    let mut kb = KernelBuilder::new("dgemm");
+    let mr = kb.int_param("Mr");
+    let nr = kb.int_param("Nr");
+    let kc = kb.int_param("Kc");
+    let mc = kb.int_param("Mc");
+    let ldb = kb.int_param("LDB");
+    let ldc = kb.int_param("LDC");
+    let a = kb.ptr_param("A");
+    let b = kb.ptr_param("B");
+    let c = kb.ptr_param("C");
+    let i = kb.loop_var("i");
+    let j = kb.loop_var("j");
+    let l = kb.loop_var("l");
+    let res = kb.local("res", augem_ir::Ty::F64);
+
+    let a_elem = idx(a, add(mul(var(l), var(mc)), var(i)));
+    let b_elem = idx(b, add(mul(var(l), var(ldb)), var(j)));
+    let c_index = add(mul(var(j), var(ldc)), var(i));
+
+    kb.push(for_(
+        j,
+        int(0),
+        var(nr),
+        1,
+        vec![for_(
+            i,
+            int(0),
+            var(mr),
+            1,
+            vec![
+                assign(res, f64c(0.0)),
+                for_(
+                    l,
+                    int(0),
+                    var(kc),
+                    1,
+                    vec![add_assign(res, mul(a_elem, b_elem))],
+                ),
+                store_add(c, c_index, var(res)),
+            ],
+        )],
+    ));
+    kb.finish()
+}
+
+/// Paper Figure 15 — the simple GEMV kernel (column-wise `y += A*x`).
+///
+/// ```c
+/// void dgemv(long m, long n, long LDA, double* A, double* X, double* Y) {
+///   long i, j; double scal;
+///   for (i = 0; i < n; i++) {
+///     scal = X[i];
+///     for (j = 0; j < m; j++)
+///       Y[j] = Y[j] + A[i*LDA + j] * scal;
+///   }
+/// }
+/// ```
+pub fn gemv_simple() -> Kernel {
+    let mut kb = KernelBuilder::new("dgemv");
+    let m = kb.int_param("m");
+    let n = kb.int_param("n");
+    let lda = kb.int_param("LDA");
+    let a = kb.ptr_param("A");
+    let x = kb.ptr_param("X");
+    let y = kb.ptr_param("Y");
+    let i = kb.loop_var("i");
+    let j = kb.loop_var("j");
+    let scal = kb.local("scal", augem_ir::Ty::F64);
+
+    kb.push(for_(
+        i,
+        int(0),
+        var(n),
+        1,
+        vec![
+            assign(scal, idx(x, var(i))),
+            for_(
+                j,
+                int(0),
+                var(m),
+                1,
+                vec![store_add(
+                    y,
+                    var(j),
+                    mul(idx(a, add(mul(var(i), var(lda)), var(j))), var(scal)),
+                )],
+            ),
+        ],
+    ));
+    kb.finish()
+}
+
+/// Paper Figure 16 — the simple AXPY kernel (`y += alpha*x`).
+///
+/// ```c
+/// void daxpy(long n, double alpha, double* X, double* Y) {
+///   long i;
+///   for (i = 0; i < n; i++)
+///     Y[i] = Y[i] + X[i] * alpha;
+/// }
+/// ```
+pub fn axpy_simple() -> Kernel {
+    let mut kb = KernelBuilder::new("daxpy");
+    let n = kb.int_param("n");
+    let alpha = kb.f64_param("alpha");
+    let x = kb.ptr_param("X");
+    let y = kb.ptr_param("Y");
+    let i = kb.loop_var("i");
+    kb.push(for_(
+        i,
+        int(0),
+        var(n),
+        1,
+        vec![store_add(y, var(i), mul(idx(x, var(i)), var(alpha)))],
+    ));
+    kb.finish()
+}
+
+/// Paper Figure 17 — the simple DOT kernel (`r += x·y`).
+///
+/// ```c
+/// void ddot(long n, double* X, double* Y, double* R) {
+///   long i; double res;
+///   res = 0.0;
+///   for (i = 0; i < n; i++)
+///     res = res + X[i] * Y[i];
+///   R[0] = R[0] + res;
+/// }
+/// ```
+///
+/// The result is accumulated into a length-1 output array `R` so that the
+/// final reduction matches the `mmSTORE` template exactly as §4.4 says
+/// ("the optimization of this code can be driven by the same templates as
+/// those identified for the GEMM kernel").
+pub fn dot_simple() -> Kernel {
+    let mut kb = KernelBuilder::new("ddot");
+    let n = kb.int_param("n");
+    let x = kb.ptr_param("X");
+    let y = kb.ptr_param("Y");
+    let r = kb.ptr_param("R");
+    let i = kb.loop_var("i");
+    let res = kb.local("res", augem_ir::Ty::F64);
+    kb.push(assign(res, f64c(0.0)));
+    kb.push(for_(
+        i,
+        int(0),
+        var(n),
+        1,
+        vec![add_assign(res, mul(idx(x, var(i)), idx(y, var(i))))],
+    ));
+    kb.push(store_add(r, int(0), var(res)));
+    kb.finish()
+}
+
+/// GER — the rank-1 update `A += x * y^T` (the paper's Table 6 GER row,
+/// a Level-2 routine that "invokes optimized Level-1 kernels").
+///
+/// ```c
+/// void dger(long m, long n, long LDA, double* X, double* Y, double* A) {
+///   long i, j; double scal;
+///   for (j = 0; j < n; j++) {
+///     scal = Y[j];
+///     for (i = 0; i < m; i++)
+///       A[j*LDA + i] = A[j*LDA + i] + X[i] * scal;
+///   }
+/// }
+/// ```
+///
+/// The inner loop is exactly the `mvCOMP` pattern (with the matrix in the
+/// store role), so the existing GEMV templates drive its optimization —
+/// precisely §4.4's point about Level-2 routines.
+pub fn ger_simple() -> Kernel {
+    let mut kb = KernelBuilder::new("dger");
+    let m = kb.int_param("m");
+    let n = kb.int_param("n");
+    let lda = kb.int_param("LDA");
+    let x = kb.ptr_param("X");
+    let y = kb.ptr_param("Y");
+    let a = kb.ptr_param("A");
+    let i = kb.loop_var("i");
+    let j = kb.loop_var("j");
+    let scal = kb.local("scal", augem_ir::Ty::F64);
+    kb.push(for_(
+        j,
+        int(0),
+        var(n),
+        1,
+        vec![
+            assign(scal, idx(y, var(j))),
+            for_(
+                i,
+                int(0),
+                var(m),
+                1,
+                vec![store_add(
+                    a,
+                    add(mul(var(j), var(lda)), var(i)),
+                    mul(idx(x, var(i)), var(scal)),
+                )],
+            ),
+        ],
+    ));
+    kb.finish()
+}
+
+/// SCAL — `y *= alpha` (extension kernel, not in the paper's four; added
+/// to demonstrate §7's claim that "our approach can be extended to
+/// summarize additional common sequences of instructions by using
+/// templates": its in-place scale pattern is matched by the svSCAL
+/// template in `augem-templates`).
+///
+/// ```c
+/// void dscal(long n, double alpha, double* Y) {
+///   long i;
+///   for (i = 0; i < n; i++)
+///     Y[i] = Y[i] * alpha;
+/// }
+/// ```
+pub fn scal_simple() -> Kernel {
+    let mut kb = KernelBuilder::new("dscal");
+    let n = kb.int_param("n");
+    let alpha = kb.f64_param("alpha");
+    let y = kb.ptr_param("Y");
+    let i = kb.loop_var("i");
+    kb.push(for_(
+        i,
+        int(0),
+        var(n),
+        1,
+        vec![store(y, var(i), mul(idx(y, var(i)), var(alpha)))],
+    ));
+    kb.finish()
+}
+
+/// Transposed GEMV — `y += A^T x` for column-major A, computed as one dot
+/// product per column. Not one of the paper's four kernels, but the
+/// natural second case of BLAS `dgemv(trans='T')`; its inner loop is the
+/// DOT pattern, so the GEMM-family templates drive it (§4.4's point that
+/// "most Level-2 routines invoke optimized Level-1 kernels").
+///
+/// ```c
+/// void dgemv_t(long m, long n, long LDA, double* A, double* X, double* Y) {
+///   long i, j; double res;
+///   for (j = 0; j < n; j++) {
+///     res = 0.0;
+///     for (i = 0; i < m; i++)
+///       res = res + A[j*LDA + i] * X[i];
+///     Y[j] = Y[j] + res;
+///   }
+/// }
+/// ```
+pub fn gemv_t_simple() -> Kernel {
+    let mut kb = KernelBuilder::new("dgemv_t");
+    let m = kb.int_param("m");
+    let n = kb.int_param("n");
+    let lda = kb.int_param("LDA");
+    let a = kb.ptr_param("A");
+    let x = kb.ptr_param("X");
+    let y = kb.ptr_param("Y");
+    let i = kb.loop_var("i");
+    let j = kb.loop_var("j");
+    let res = kb.local("res", augem_ir::Ty::F64);
+    kb.push(for_(
+        j,
+        int(0),
+        var(n),
+        1,
+        vec![
+            assign(res, f64c(0.0)),
+            for_(
+                i,
+                int(0),
+                var(m),
+                1,
+                vec![add_assign(
+                    res,
+                    mul(idx(a, add(mul(var(j), var(lda)), var(i))), idx(x, var(i))),
+                )],
+            ),
+            store_add(y, var(j), var(res)),
+        ],
+    ));
+    kb.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use augem_ir::{print::print_kernel, ArgValue, Interpreter};
+
+    #[test]
+    fn gemm_simple_matches_reference() {
+        let k = gemm_simple();
+        let (mr, nr, kc) = (4usize, 2usize, 3usize);
+        let mc = 4usize; // A leading dim
+        let ldb = nr;
+        let ldc = 8usize;
+        let a: Vec<f64> = (0..mc * kc).map(|v| v as f64 * 0.5).collect();
+        let b: Vec<f64> = (0..kc * ldb).map(|v| v as f64 * 0.25 + 1.0).collect();
+        let c0: Vec<f64> = vec![1.0; ldc * nr];
+
+        let out = Interpreter::new()
+            .run(
+                &k,
+                vec![
+                    ArgValue::Int(mr as i64),
+                    ArgValue::Int(nr as i64),
+                    ArgValue::Int(kc as i64),
+                    ArgValue::Int(mc as i64),
+                    ArgValue::Int(ldb as i64),
+                    ArgValue::Int(ldc as i64),
+                    ArgValue::Array(a.clone()),
+                    ArgValue::Array(b.clone()),
+                    ArgValue::Array(c0.clone()),
+                ],
+            )
+            .unwrap();
+
+        let mut expect = c0.clone();
+        crate::reference::ref_gemm_packed(mr, nr, kc, mc, ldb, ldc, &a, &b, &mut expect);
+        assert_eq!(out[2], expect);
+    }
+
+    #[test]
+    fn gemv_simple_matches_reference() {
+        let k = gemv_simple();
+        let (m, n, lda) = (5usize, 3usize, 6usize);
+        let a: Vec<f64> = (0..lda * n).map(|v| (v % 7) as f64).collect();
+        let x: Vec<f64> = (0..n).map(|v| v as f64 + 0.5).collect();
+        let y0: Vec<f64> = vec![2.0; m];
+        let out = Interpreter::new()
+            .run(
+                &k,
+                vec![
+                    ArgValue::Int(m as i64),
+                    ArgValue::Int(n as i64),
+                    ArgValue::Int(lda as i64),
+                    ArgValue::Array(a.clone()),
+                    ArgValue::Array(x.clone()),
+                    ArgValue::Array(y0.clone()),
+                ],
+            )
+            .unwrap();
+        let mut expect = y0.clone();
+        crate::reference::ref_gemv_colmajor(m, n, lda, &a, &x, &mut expect);
+        assert_eq!(out[2], expect);
+    }
+
+    #[test]
+    fn axpy_simple_matches_reference() {
+        let k = axpy_simple();
+        let n = 17usize;
+        let x: Vec<f64> = (0..n).map(|v| v as f64).collect();
+        let y0: Vec<f64> = (0..n).map(|v| 100.0 - v as f64).collect();
+        let out = Interpreter::new()
+            .run(
+                &k,
+                vec![
+                    ArgValue::Int(n as i64),
+                    ArgValue::F64(0.75),
+                    ArgValue::Array(x.clone()),
+                    ArgValue::Array(y0.clone()),
+                ],
+            )
+            .unwrap();
+        let mut expect = y0.clone();
+        crate::reference::ref_axpy(0.75, &x, &mut expect);
+        assert_eq!(out[1], expect);
+    }
+
+    #[test]
+    fn dot_simple_matches_reference() {
+        let k = dot_simple();
+        let n = 9usize;
+        let x: Vec<f64> = (0..n).map(|v| v as f64 * 0.1).collect();
+        let y: Vec<f64> = (0..n).map(|v| 1.0 + v as f64).collect();
+        let out = Interpreter::new()
+            .run(
+                &k,
+                vec![
+                    ArgValue::Int(n as i64),
+                    ArgValue::Array(x.clone()),
+                    ArgValue::Array(y.clone()),
+                    ArgValue::Array(vec![5.0]),
+                ],
+            )
+            .unwrap();
+        assert_eq!(out[2][0], 5.0 + crate::reference::ref_dot(&x, &y));
+    }
+
+    #[test]
+    fn printed_axpy_matches_figure_16_shape() {
+        let c = print_kernel(&axpy_simple());
+        assert!(c.contains("for (i = 0; i < n; i++)"));
+        assert!(c.contains("Y[i] = Y[i] + (X[i] * alpha);"));
+    }
+
+    #[test]
+    fn all_kernels_build_and_have_expected_arrays() {
+        for dk in DlaKernel::ALL {
+            let k = dk.build();
+            let arrays = k.array_params().len();
+            let expect = match dk {
+                DlaKernel::Gemm | DlaKernel::Gemv | DlaKernel::Ger | DlaKernel::Dot => 3,
+                DlaKernel::Axpy => 2,
+                DlaKernel::Scal => 1,
+            };
+            assert_eq!(arrays, expect, "{}", dk.name());
+        }
+    }
+
+    #[test]
+    fn ger_simple_matches_reference() {
+        let k = ger_simple();
+        let (m, n, lda) = (5usize, 3usize, 6usize);
+        let x: Vec<f64> = (0..m).map(|v| v as f64 + 1.0).collect();
+        let y: Vec<f64> = (0..n).map(|v| 2.0 - v as f64).collect();
+        let a0: Vec<f64> = (0..lda * n).map(|v| (v % 4) as f64).collect();
+        let out = Interpreter::new()
+            .run(
+                &k,
+                vec![
+                    ArgValue::Int(m as i64),
+                    ArgValue::Int(n as i64),
+                    ArgValue::Int(lda as i64),
+                    ArgValue::Array(x.clone()),
+                    ArgValue::Array(y.clone()),
+                    ArgValue::Array(a0.clone()),
+                ],
+            )
+            .unwrap();
+        let mut expect = a0;
+        for j in 0..n {
+            for i in 0..m {
+                expect[j * lda + i] += x[i] * y[j];
+            }
+        }
+        assert_eq!(out[2], expect);
+    }
+
+    #[test]
+    fn scal_simple_matches_reference() {
+        let k = scal_simple();
+        let n = 7usize;
+        let y0: Vec<f64> = (0..n).map(|v| v as f64 - 3.0).collect();
+        let out = Interpreter::new()
+            .run(
+                &k,
+                vec![
+                    ArgValue::Int(n as i64),
+                    ArgValue::F64(0.5),
+                    ArgValue::Array(y0.clone()),
+                ],
+            )
+            .unwrap();
+        let expect: Vec<f64> = y0.iter().map(|v| v * 0.5).collect();
+        assert_eq!(out[0], expect);
+    }
+
+    #[test]
+    fn gemv_t_simple_matches_reference() {
+        let k = gemv_t_simple();
+        let (m, n, lda) = (6usize, 4usize, 7usize);
+        let a: Vec<f64> = (0..lda * n).map(|v| ((v * 3) % 8) as f64).collect();
+        let x: Vec<f64> = (0..m).map(|v| v as f64 * 0.5).collect();
+        let y0: Vec<f64> = vec![1.0; n];
+        let out = Interpreter::new()
+            .run(
+                &k,
+                vec![
+                    ArgValue::Int(m as i64),
+                    ArgValue::Int(n as i64),
+                    ArgValue::Int(lda as i64),
+                    ArgValue::Array(a.clone()),
+                    ArgValue::Array(x.clone()),
+                    ArgValue::Array(y0.clone()),
+                ],
+            )
+            .unwrap();
+        let mut expect = y0;
+        for j in 0..n {
+            for i in 0..m {
+                expect[j] += a[j * lda + i] * x[i];
+            }
+        }
+        assert_eq!(out[2], expect);
+    }
+
+    #[test]
+    fn flops_formulas() {
+        assert_eq!(
+            DlaKernel::Gemm.flops(&KernelDims::gemm(4, 4, 256)),
+            2 * 4 * 4 * 256
+        );
+        assert_eq!(DlaKernel::Gemv.flops(&KernelDims::gemv(8, 16)), 2 * 8 * 16);
+        assert_eq!(DlaKernel::Axpy.flops(&KernelDims::vec(100)), 200);
+        assert_eq!(DlaKernel::Dot.flops(&KernelDims::vec(100)), 200);
+        assert_eq!(DlaKernel::Ger.flops(&KernelDims::gemv(8, 16)), 2 * 8 * 16);
+        assert_eq!(DlaKernel::Scal.flops(&KernelDims::vec(100)), 100);
+    }
+}

@@ -1,0 +1,221 @@
+//! Complete machine specifications and the two paper platforms (Table 5).
+
+use crate::cache::{CacheHierarchy, CacheLevel};
+use crate::isa::{IsaFeature, IsaSet, SimdMode};
+use crate::regs::RegisterFile;
+use crate::timing::{piledriver_timing, sandy_bridge_timing, TimingModel};
+
+/// Identifier for a modeled microarchitecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Microarch {
+    /// Intel Sandy Bridge (Xeon E5-2680).
+    SandyBridge,
+    /// AMD Piledriver (Opteron 6380).
+    Piledriver,
+}
+
+impl Microarch {
+    pub fn name(self) -> &'static str {
+        match self {
+            Microarch::SandyBridge => "Intel Sandy Bridge E5-2680",
+            Microarch::Piledriver => "AMD Piledriver 6380",
+        }
+    }
+
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Microarch::SandyBridge => "sandybridge",
+            Microarch::Piledriver => "piledriver",
+        }
+    }
+}
+
+/// Everything AUGEM needs to know about a target machine.
+#[derive(Debug, Clone)]
+pub struct MachineSpec {
+    pub arch: Microarch,
+    pub isa: IsaSet,
+    pub regs: RegisterFile,
+    pub timing: TimingModel,
+    pub caches: CacheHierarchy,
+    /// Base clock in GHz (paper Table 5 reports base clocks).
+    pub freq_ghz: f64,
+    /// Single-core turbo clock in GHz; the paper's single-threaded kernel
+    /// measurements run at turbo.
+    pub turbo_ghz: f64,
+    /// Cores per socket (Table 5: 8 for both).
+    pub cores_per_socket: u32,
+    pub sockets: u32,
+}
+
+impl MachineSpec {
+    /// The Intel Sandy Bridge platform of the paper's Table 5.
+    pub fn sandy_bridge() -> Self {
+        MachineSpec {
+            arch: Microarch::SandyBridge,
+            isa: IsaSet::new(&[IsaFeature::Avx]),
+            regs: RegisterFile::X86_64,
+            timing: TimingModel::new(6, 4, sandy_bridge_timing),
+            caches: CacheHierarchy {
+                l1d: CacheLevel {
+                    size: 32 * 1024,
+                    line: 64,
+                    assoc: 8,
+                    latency: 4,
+                    bw_bytes_per_cycle: 32.0,
+                },
+                l2: CacheLevel {
+                    size: 256 * 1024,
+                    line: 64,
+                    assoc: 8,
+                    latency: 12,
+                    bw_bytes_per_cycle: 21.0,
+                },
+                l3: Some(CacheLevel {
+                    size: 20 * 1024 * 1024,
+                    line: 64,
+                    assoc: 20,
+                    latency: 28,
+                    bw_bytes_per_cycle: 14.0,
+                }),
+                dram_bw_bytes_per_cycle: 5.5,
+                dram_latency: 180,
+                hw_prefetch_coverage: 0.85,
+            },
+            freq_ghz: 2.7,
+            turbo_ghz: 3.3,
+            cores_per_socket: 8,
+            sockets: 2,
+        }
+    }
+
+    /// The AMD Piledriver platform of the paper's Table 5.
+    pub fn piledriver() -> Self {
+        MachineSpec {
+            arch: Microarch::Piledriver,
+            isa: IsaSet::new(&[IsaFeature::Avx, IsaFeature::Fma3, IsaFeature::Fma4]),
+            regs: RegisterFile::X86_64,
+            timing: TimingModel::new(6, 4, piledriver_timing),
+            caches: CacheHierarchy {
+                l1d: CacheLevel {
+                    size: 16 * 1024,
+                    line: 64,
+                    assoc: 4,
+                    latency: 4,
+                    bw_bytes_per_cycle: 32.0,
+                },
+                l2: CacheLevel {
+                    size: 2 * 1024 * 1024,
+                    line: 64,
+                    assoc: 16,
+                    latency: 20,
+                    bw_bytes_per_cycle: 12.0,
+                },
+                l3: Some(CacheLevel {
+                    size: 8 * 1024 * 1024,
+                    line: 64,
+                    assoc: 64,
+                    latency: 45,
+                    bw_bytes_per_cycle: 8.0,
+                }),
+                dram_bw_bytes_per_cycle: 4.5,
+                dram_latency: 220,
+                hw_prefetch_coverage: 0.75,
+            },
+            freq_ghz: 2.5,
+            turbo_ghz: 2.6,
+            cores_per_socket: 8,
+            sockets: 2,
+        }
+    }
+
+    /// Spec for `arch`.
+    pub fn preset(arch: Microarch) -> Self {
+        match arch {
+            Microarch::SandyBridge => Self::sandy_bridge(),
+            Microarch::Piledriver => Self::piledriver(),
+        }
+    }
+
+    /// Both paper platforms.
+    pub fn paper_platforms() -> Vec<MachineSpec> {
+        vec![Self::sandy_bridge(), Self::piledriver()]
+    }
+
+    /// Widest SIMD mode the machine supports.
+    pub fn simd_mode(&self) -> SimdMode {
+        self.isa.widest_mode()
+    }
+
+    /// Theoretical single-core double-precision peak in Mflops at turbo.
+    pub fn peak_mflops(&self) -> f64 {
+        let fpc = self
+            .timing
+            .peak_dp_flops_per_cycle(self.simd_mode(), self.isa.has_fma());
+        fpc * self.turbo_ghz * 1000.0
+    }
+
+    /// A copy of this machine restricted to SSE (models a legacy library
+    /// running on modern hardware, e.g. GotoBLAS2 1.13 which predates AVX).
+    pub fn with_isa_clamped(&self, mode: SimdMode) -> Self {
+        let mut m = self.clone();
+        m.isa = m.isa.clamped_to(mode);
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_parameters() {
+        let snb = MachineSpec::sandy_bridge();
+        assert_eq!(snb.caches.l1d.size, 32 * 1024);
+        assert_eq!(snb.caches.l2.size, 256 * 1024);
+        assert_eq!(snb.simd_mode().width_bytes(), 32); // 256-bit
+        assert_eq!(snb.freq_ghz, 2.7);
+        assert_eq!(snb.cores_per_socket, 8);
+        assert!(!snb.isa.has_fma());
+
+        let pd = MachineSpec::piledriver();
+        assert_eq!(pd.caches.l1d.size, 16 * 1024);
+        assert_eq!(pd.caches.l2.size, 2 * 1024 * 1024);
+        assert_eq!(pd.simd_mode().width_bytes(), 32);
+        assert_eq!(pd.freq_ghz, 2.5);
+        assert!(pd.isa.has(IsaFeature::Fma3));
+        assert!(pd.isa.has(IsaFeature::Fma4));
+    }
+
+    #[test]
+    fn peaks_bracket_paper_results() {
+        // Paper Fig 18 tops out near 27 GFlops on SNB and 20 GFlops on
+        // Piledriver; single-core peaks must sit just above those.
+        let snb = MachineSpec::sandy_bridge().peak_mflops();
+        assert!(snb > 24_000.0 && snb < 30_000.0, "SNB peak {snb}");
+        let pd = MachineSpec::piledriver().peak_mflops();
+        assert!(pd > 18_000.0 && pd < 24_000.0, "PD peak {pd}");
+    }
+
+    #[test]
+    fn clamping_to_sse_halves_peak() {
+        let snb = MachineSpec::sandy_bridge();
+        let sse = snb.with_isa_clamped(SimdMode::Sse);
+        assert_eq!(sse.simd_mode(), SimdMode::Sse);
+        let full = snb
+            .timing
+            .peak_dp_flops_per_cycle(snb.simd_mode(), snb.isa.has_fma());
+        let clamped = sse
+            .timing
+            .peak_dp_flops_per_cycle(sse.simd_mode(), sse.isa.has_fma());
+        assert!((full / clamped - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn preset_round_trip() {
+        for arch in [Microarch::SandyBridge, Microarch::Piledriver] {
+            assert_eq!(MachineSpec::preset(arch).arch, arch);
+        }
+        assert_eq!(MachineSpec::paper_platforms().len(), 2);
+    }
+}

@@ -1,0 +1,159 @@
+//! Cache and memory hierarchy parameters.
+//!
+//! Two consumers:
+//!
+//! * **Blocking selection** (`augem-tune`): Goto-style GEMM picks `Kc` so a
+//!   `Mr x Kc` sliver of packed A plus streaming B stays in L1, and `Mc x Kc`
+//!   of packed A fills about half of L2.
+//! * **Timing model** (`augem-sim`): sustained bandwidth per level bounds
+//!   the memory-bound Level-1/2 kernels, and per-access latency feeds the
+//!   miss penalty of the kernel steady-state model.
+
+/// One level of the data-cache hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheLevel {
+    /// Capacity in bytes.
+    pub size: usize,
+    /// Line size in bytes.
+    pub line: usize,
+    /// Associativity (ways).
+    pub assoc: usize,
+    /// Load-to-use latency in cycles.
+    pub latency: u32,
+    /// Sustained bandwidth in bytes per cycle (per core).
+    pub bw_bytes_per_cycle: f64,
+}
+
+/// A full hierarchy: L1d, L2, optional L3, then DRAM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheHierarchy {
+    pub l1d: CacheLevel,
+    pub l2: CacheLevel,
+    pub l3: Option<CacheLevel>,
+    /// Sustained DRAM bandwidth in bytes per cycle (per core).
+    pub dram_bw_bytes_per_cycle: f64,
+    /// DRAM access latency in cycles.
+    pub dram_latency: u32,
+    /// Fraction of demand misses the hardware prefetchers hide on streaming
+    /// access patterns (0.0 = none, 1.0 = all).
+    pub hw_prefetch_coverage: f64,
+}
+
+impl CacheHierarchy {
+    /// The level (1-based; 0 = register, 4 = DRAM) that a working set of
+    /// `bytes` fits into.
+    pub fn fitting_level(&self, bytes: usize) -> u8 {
+        if bytes <= self.l1d.size {
+            1
+        } else if bytes <= self.l2.size {
+            2
+        } else if let Some(l3) = &self.l3 {
+            if bytes <= l3.size {
+                3
+            } else {
+                4
+            }
+        } else {
+            4
+        }
+    }
+
+    /// Sustained bandwidth (bytes/cycle) for a streaming working set of
+    /// `bytes`.
+    pub fn stream_bw(&self, bytes: usize) -> f64 {
+        match self.fitting_level(bytes) {
+            1 => self.l1d.bw_bytes_per_cycle,
+            2 => self.l2.bw_bytes_per_cycle,
+            3 => self.l3.as_ref().map(|c| c.bw_bytes_per_cycle).unwrap_or(self.dram_bw_bytes_per_cycle),
+            _ => self.dram_bw_bytes_per_cycle,
+        }
+    }
+
+    /// Average load latency for a streaming working set of `bytes`, after
+    /// hardware prefetching.
+    pub fn stream_latency(&self, bytes: usize) -> f64 {
+        let raw = match self.fitting_level(bytes) {
+            1 => self.l1d.latency as f64,
+            2 => self.l2.latency as f64,
+            3 => self
+                .l3
+                .as_ref()
+                .map(|c| c.latency as f64)
+                .unwrap_or(self.dram_latency as f64),
+            _ => self.dram_latency as f64,
+        };
+        let l1 = self.l1d.latency as f64;
+        l1 + (raw - l1) * (1.0 - self.hw_prefetch_coverage)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h() -> CacheHierarchy {
+        CacheHierarchy {
+            l1d: CacheLevel {
+                size: 32 * 1024,
+                line: 64,
+                assoc: 8,
+                latency: 4,
+                bw_bytes_per_cycle: 32.0,
+            },
+            l2: CacheLevel {
+                size: 256 * 1024,
+                line: 64,
+                assoc: 8,
+                latency: 12,
+                bw_bytes_per_cycle: 16.0,
+            },
+            l3: Some(CacheLevel {
+                size: 20 * 1024 * 1024,
+                line: 64,
+                assoc: 20,
+                latency: 30,
+                bw_bytes_per_cycle: 8.0,
+            }),
+            dram_bw_bytes_per_cycle: 4.0,
+            dram_latency: 200,
+            hw_prefetch_coverage: 0.8,
+        }
+    }
+
+    #[test]
+    fn fitting_level_boundaries() {
+        let c = h();
+        assert_eq!(c.fitting_level(1024), 1);
+        assert_eq!(c.fitting_level(32 * 1024), 1);
+        assert_eq!(c.fitting_level(32 * 1024 + 1), 2);
+        assert_eq!(c.fitting_level(256 * 1024), 2);
+        assert_eq!(c.fitting_level(1024 * 1024), 3);
+        assert_eq!(c.fitting_level(64 * 1024 * 1024), 4);
+    }
+
+    #[test]
+    fn bandwidth_degrades_down_the_hierarchy() {
+        let c = h();
+        assert!(c.stream_bw(1024) > c.stream_bw(1024 * 1024));
+        assert!(c.stream_bw(1024 * 1024) > c.stream_bw(256 * 1024 * 1024));
+    }
+
+    #[test]
+    fn prefetch_hides_most_latency() {
+        let c = h();
+        let lat = c.stream_latency(64 * 1024 * 1024);
+        // 4 + (200-4)*0.2 = 43.2
+        assert!((lat - 43.2).abs() < 1e-9, "got {lat}");
+        let mut no_pf = h();
+        no_pf.hw_prefetch_coverage = 0.0;
+        assert!(no_pf.stream_latency(64 * 1024 * 1024) > lat);
+    }
+
+    #[test]
+    fn no_l3_falls_through_to_dram() {
+        let mut c = h();
+        c.l3 = None;
+        assert_eq!(c.fitting_level(1024 * 1024), 4);
+        assert_eq!(c.stream_bw(1024 * 1024), c.dram_bw_bytes_per_cycle);
+    }
+}

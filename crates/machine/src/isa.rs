@@ -1,0 +1,235 @@
+//! ISA feature sets and SIMD modes.
+//!
+//! AUGEM's instruction selection (paper §3, Tables 1–4) branches on three
+//! questions about the target ISA:
+//!
+//! 1. Is 256-bit AVX available, or only 128-bit SSE? (vector width, and
+//!    two-operand vs three-operand instruction forms)
+//! 2. Is FMA3 available? (`Mul`+`Add` fuse into one instruction whose
+//!    destination must alias a source)
+//! 3. Is FMA4 available? (fused multiply-add with an independent fourth
+//!    destination operand)
+
+use std::fmt;
+
+/// A single ISA capability relevant to DLA kernel generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IsaFeature {
+    /// 128-bit SSE2 (baseline for every x86-64 CPU).
+    Sse2,
+    /// 256-bit AVX with non-destructive three-operand forms.
+    Avx,
+    /// Fused multiply-add, three-operand form (`d = a*b + d`, destination
+    /// must be one of the sources).
+    Fma3,
+    /// Fused multiply-add, four-operand form (`d = a*b + c` with an
+    /// independent destination register).
+    Fma4,
+}
+
+impl fmt::Display for IsaFeature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            IsaFeature::Sse2 => "SSE2",
+            IsaFeature::Avx => "AVX",
+            IsaFeature::Fma3 => "FMA3",
+            IsaFeature::Fma4 => "FMA4",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The SIMD instruction mode a kernel is generated for.
+///
+/// The paper supports "two SIMD instruction modes, SSE and AVX" (§3); the
+/// mode fixes the vector register width and therefore the vectorization
+/// factor `n` used by the Vdup/Shuf strategies of §3.4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimdMode {
+    /// 128-bit XMM registers: 2 doubles / 4 floats per register.
+    Sse,
+    /// 256-bit YMM registers: 4 doubles / 8 floats per register.
+    Avx,
+}
+
+impl SimdMode {
+    /// Number of double-precision lanes in one vector register.
+    #[inline]
+    pub fn f64_lanes(self) -> usize {
+        match self {
+            SimdMode::Sse => 2,
+            SimdMode::Avx => 4,
+        }
+    }
+
+    /// Number of single-precision lanes in one vector register.
+    #[inline]
+    pub fn f32_lanes(self) -> usize {
+        self.f64_lanes() * 2
+    }
+
+    /// Vector register width in bytes.
+    #[inline]
+    pub fn width_bytes(self) -> usize {
+        self.f64_lanes() * 8
+    }
+}
+
+impl fmt::Display for SimdMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimdMode::Sse => f.write_str("SSE"),
+            SimdMode::Avx => f.write_str("AVX"),
+        }
+    }
+}
+
+/// The full set of ISA features a machine supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IsaSet {
+    sse2: bool,
+    avx: bool,
+    fma3: bool,
+    fma4: bool,
+}
+
+impl IsaSet {
+    /// Builds a set from an explicit feature list. `Sse2` is always implied.
+    pub fn new(features: &[IsaFeature]) -> Self {
+        let mut s = IsaSet {
+            sse2: true,
+            ..Default::default()
+        };
+        for f in features {
+            match f {
+                IsaFeature::Sse2 => s.sse2 = true,
+                IsaFeature::Avx => s.avx = true,
+                IsaFeature::Fma3 => s.fma3 = true,
+                IsaFeature::Fma4 => s.fma4 = true,
+            }
+        }
+        s
+    }
+
+    /// Baseline x86-64: SSE2 only.
+    pub fn sse2_only() -> Self {
+        IsaSet::new(&[])
+    }
+
+    /// Whether `feature` is supported.
+    #[inline]
+    pub fn has(&self, feature: IsaFeature) -> bool {
+        match feature {
+            IsaFeature::Sse2 => self.sse2,
+            IsaFeature::Avx => self.avx,
+            IsaFeature::Fma3 => self.fma3,
+            IsaFeature::Fma4 => self.fma4,
+        }
+    }
+
+    /// Whether any fused multiply-add form is available.
+    #[inline]
+    pub fn has_fma(&self) -> bool {
+        self.fma3 || self.fma4
+    }
+
+    /// The widest SIMD mode this ISA supports.
+    #[inline]
+    pub fn widest_mode(&self) -> SimdMode {
+        if self.avx {
+            SimdMode::Avx
+        } else {
+            SimdMode::Sse
+        }
+    }
+
+    /// Restricts the set to at most `mode` (used to model legacy libraries
+    /// such as GotoBLAS that never emit AVX even on AVX-capable machines).
+    pub fn clamped_to(self, mode: SimdMode) -> Self {
+        match mode {
+            SimdMode::Avx => self,
+            SimdMode::Sse => IsaSet {
+                sse2: true,
+                avx: false,
+                fma3: false,
+                fma4: false,
+            },
+        }
+    }
+
+    /// All supported features, in canonical order.
+    pub fn features(&self) -> Vec<IsaFeature> {
+        let mut v = vec![IsaFeature::Sse2];
+        if self.avx {
+            v.push(IsaFeature::Avx);
+        }
+        if self.fma3 {
+            v.push(IsaFeature::Fma3);
+        }
+        if self.fma4 {
+            v.push(IsaFeature::Fma4);
+        }
+        v
+    }
+}
+
+impl fmt::Display for IsaSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let feats = self.features();
+        let strs: Vec<String> = feats.iter().map(|x| x.to_string()).collect();
+        f.write_str(&strs.join("+"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sse2_is_always_implied() {
+        let s = IsaSet::new(&[IsaFeature::Avx]);
+        assert!(s.has(IsaFeature::Sse2));
+        assert!(s.has(IsaFeature::Avx));
+        assert!(!s.has(IsaFeature::Fma3));
+    }
+
+    #[test]
+    fn widest_mode_tracks_avx() {
+        assert_eq!(IsaSet::sse2_only().widest_mode(), SimdMode::Sse);
+        assert_eq!(
+            IsaSet::new(&[IsaFeature::Avx]).widest_mode(),
+            SimdMode::Avx
+        );
+    }
+
+    #[test]
+    fn lane_counts() {
+        assert_eq!(SimdMode::Sse.f64_lanes(), 2);
+        assert_eq!(SimdMode::Avx.f64_lanes(), 4);
+        assert_eq!(SimdMode::Sse.f32_lanes(), 4);
+        assert_eq!(SimdMode::Avx.width_bytes(), 32);
+    }
+
+    #[test]
+    fn clamp_strips_avx_and_fma() {
+        let pd = IsaSet::new(&[IsaFeature::Avx, IsaFeature::Fma3, IsaFeature::Fma4]);
+        let clamped = pd.clamped_to(SimdMode::Sse);
+        assert!(!clamped.has(IsaFeature::Avx));
+        assert!(!clamped.has_fma());
+        assert!(clamped.has(IsaFeature::Sse2));
+    }
+
+    #[test]
+    fn display_formats() {
+        let pd = IsaSet::new(&[IsaFeature::Avx, IsaFeature::Fma3]);
+        assert_eq!(pd.to_string(), "SSE2+AVX+FMA3");
+        assert_eq!(SimdMode::Avx.to_string(), "AVX");
+    }
+
+    #[test]
+    fn has_fma_any_form() {
+        assert!(IsaSet::new(&[IsaFeature::Fma4]).has_fma());
+        assert!(IsaSet::new(&[IsaFeature::Fma3]).has_fma());
+        assert!(!IsaSet::new(&[IsaFeature::Avx]).has_fma());
+    }
+}

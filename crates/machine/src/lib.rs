@@ -1,0 +1,36 @@
+//! # augem-machine
+//!
+//! Microarchitecture descriptions consumed by the AUGEM code generator and
+//! the timing simulator.
+//!
+//! The AUGEM paper (SC'13) evaluates on two machines (its Table 5):
+//!
+//! * **Intel Sandy Bridge** — Xeon E5-2680, 2.7 GHz, 32 KB L1d, 256 KB L2,
+//!   256-bit AVX (no FMA).
+//! * **AMD Piledriver** — Opteron 6380, 2.5 GHz, 16 KB L1d, 2 MB L2,
+//!   256-bit AVX plus FMA3 and FMA4.
+//!
+//! A [`MachineSpec`] bundles everything a backend needs to make decisions:
+//! the ISA feature set (which drives instruction selection, paper Tables
+//! 1–4), the register files (which bound the per-array register queues of
+//! §3.1), per-instruction-class timing (latency / throughput / execution
+//! ports, which drive the scoreboard model in `augem-sim`), and the cache
+//! hierarchy (which drives cache blocking and the bandwidth model for the
+//! memory-bound Level-1/2 kernels).
+//!
+//! Timing parameters are first-order approximations taken from public
+//! optimization manuals; absolute cycle counts are calibrated, but the
+//! *relative* effects the paper exploits (SIMD width, FMA fusion, false
+//! dependences, port contention) are modeled structurally.
+
+pub mod arch;
+pub mod cache;
+pub mod isa;
+pub mod regs;
+pub mod timing;
+
+pub use arch::{MachineSpec, Microarch};
+pub use cache::{CacheHierarchy, CacheLevel};
+pub use isa::{IsaFeature, IsaSet, SimdMode};
+pub use regs::{GpReg, RegisterFile, VecReg};
+pub use timing::{InstClass, InstTiming, PortSet, TimingModel};

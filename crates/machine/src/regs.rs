@@ -1,0 +1,154 @@
+//! Register file descriptions.
+//!
+//! AUGEM's register allocator (paper §3.1) partitions the *vector* register
+//! file into per-array queues ("a separate register queue is dedicated to
+//! each array variable... our framework currently dedicates R/m registers to
+//! each array variable"). General-purpose registers hold pointers and loop
+//! counters, allocated by the Assembly Kernel Generator.
+
+use std::fmt;
+
+/// An x86-64 general-purpose register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GpReg(pub u8);
+
+impl GpReg {
+    pub const COUNT: u8 = 16;
+
+    /// AT&T-syntax name (`%rax` ... `%r15`).
+    pub fn name(self) -> &'static str {
+        const NAMES: [&str; 16] = [
+            "%rax", "%rbx", "%rcx", "%rdx", "%rsi", "%rdi", "%rbp", "%rsp", "%r8", "%r9", "%r10",
+            "%r11", "%r12", "%r13", "%r14", "%r15",
+        ];
+        NAMES[self.0 as usize]
+    }
+
+    /// Registers usable for kernel-local pointers/counters, in allocation
+    /// order. Excludes `%rsp`/`%rbp` (stack discipline) and the System-V
+    /// argument registers come first so parameters stay where the ABI put
+    /// them when possible.
+    pub fn allocatable() -> &'static [GpReg] {
+        // rdi rsi rdx rcx r8 r9 (args), then rax r10 r11 rbx r12..r15
+        const ORDER: [GpReg; 14] = [
+            GpReg(5),
+            GpReg(4),
+            GpReg(3),
+            GpReg(2),
+            GpReg(8),
+            GpReg(9),
+            GpReg(0),
+            GpReg(10),
+            GpReg(11),
+            GpReg(1),
+            GpReg(12),
+            GpReg(13),
+            GpReg(14),
+            GpReg(15),
+        ];
+        &ORDER
+    }
+}
+
+impl fmt::Display for GpReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An x86-64 vector register (`xmm`/`ymm` 0–15).
+///
+/// Whether the register is printed as `%xmmN` or `%ymmN` is decided at
+/// instruction-selection time from the SIMD mode; the allocator only tracks
+/// the index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VecReg(pub u8);
+
+impl VecReg {
+    pub const COUNT: u8 = 16;
+
+    /// AT&T 128-bit name.
+    pub fn xmm_name(self) -> String {
+        format!("%xmm{}", self.0)
+    }
+
+    /// AT&T 256-bit name.
+    pub fn ymm_name(self) -> String {
+        format!("%ymm{}", self.0)
+    }
+}
+
+impl fmt::Display for VecReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Description of a machine's register files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegisterFile {
+    /// Number of architectural vector registers (16 on x86-64).
+    pub vector_regs: u8,
+    /// Number of general-purpose registers (16 on x86-64).
+    pub gp_regs: u8,
+}
+
+impl RegisterFile {
+    pub const X86_64: RegisterFile = RegisterFile {
+        vector_regs: 16,
+        gp_regs: 16,
+    };
+
+    /// The per-array register quota of paper §3.1: with `R` available
+    /// vector registers and `m` distinct arrays, each array's queue gets
+    /// `R/m` registers (integer division, minimum 1).
+    pub fn per_array_quota(&self, arrays: usize) -> usize {
+        if arrays == 0 {
+            self.vector_regs as usize
+        } else {
+            ((self.vector_regs as usize) / arrays).max(1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gp_names_cover_all_sixteen() {
+        let names: Vec<&str> = (0..16).map(|i| GpReg(i).name()).collect();
+        assert_eq!(names[0], "%rax");
+        assert_eq!(names[7], "%rsp");
+        assert_eq!(names[15], "%r15");
+        // all distinct
+        let mut sorted = names.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 16);
+    }
+
+    #[test]
+    fn allocatable_excludes_stack_registers() {
+        let alloc = GpReg::allocatable();
+        assert!(!alloc.contains(&GpReg(7)), "rsp must not be allocatable");
+        assert!(!alloc.contains(&GpReg(6)), "rbp must not be allocatable");
+        assert_eq!(alloc.len(), 14);
+    }
+
+    #[test]
+    fn vec_reg_names() {
+        assert_eq!(VecReg(3).xmm_name(), "%xmm3");
+        assert_eq!(VecReg(15).ymm_name(), "%ymm15");
+    }
+
+    #[test]
+    fn per_array_quota_matches_paper_rule() {
+        let rf = RegisterFile::X86_64;
+        assert_eq!(rf.per_array_quota(3), 5); // R/m = 16/3
+        assert_eq!(rf.per_array_quota(4), 4);
+        assert_eq!(rf.per_array_quota(1), 16);
+        assert_eq!(rf.per_array_quota(0), 16);
+        assert_eq!(rf.per_array_quota(32), 1); // never zero
+    }
+}

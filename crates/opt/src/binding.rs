@@ -1,0 +1,376 @@
+//! Register-allocation state: the global `reg_table` and per-array queues.
+
+use augem_ir::{Kernel, Sym};
+use augem_machine::{GpReg, MachineSpec, VecReg};
+use std::collections::{HashMap, VecDeque};
+
+/// Where a scalar variable lives (an entry of the paper's `reg_table`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Binding {
+    /// Integer/pointer in a general-purpose register.
+    Gp(GpReg),
+    /// `double` in lane 0 of a vector register.
+    ScalarVec(VecReg),
+    /// `double` packed into one lane of a shared vector register (SIMD
+    /// accumulators: `res0..res3` of Figure 8 live as lanes of `vec_res`).
+    Lane { reg: VecReg, lane: u8 },
+    /// `double` replicated across every lane (the `Vdup`-ed `scal`).
+    Broadcast(VecReg),
+    /// Integer/pointer spilled to a stack slot (8-byte slots off `%rsp`).
+    Spilled(usize),
+}
+
+impl Binding {
+    pub fn vec_reg(&self) -> Option<VecReg> {
+        match self {
+            Binding::ScalarVec(r) | Binding::Broadcast(r) => Some(*r),
+            Binding::Lane { reg, .. } => Some(*reg),
+            Binding::Gp(_) | Binding::Spilled(_) => None,
+        }
+    }
+}
+
+/// Allocation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocError {
+    /// No vector register available in the class (or the shared pool).
+    OutOfVecRegs(String),
+    /// No general-purpose register available.
+    OutOfGpRegs,
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::OutOfVecRegs(class) => {
+                write!(f, "out of vector registers for class {class}")
+            }
+            AllocError::OutOfGpRegs => write!(f, "out of general-purpose registers"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// The allocator: per-array vector-register queues + a GP free list + the
+/// global `reg_table`.
+#[derive(Debug)]
+pub struct RegAllocator {
+    /// Free vector registers per array class (keyed by the *original*
+    /// array symbol), plus one shared temp class keyed by `None`.
+    vec_queues: HashMap<Option<Sym>, VecDeque<VecReg>>,
+    /// Class each in-use vector register was drawn from (for release).
+    vec_class_of: HashMap<VecReg, Option<Sym>>,
+    /// Free general-purpose registers.
+    gp_free: VecDeque<GpReg>,
+    /// The paper's `reg_table`: variable → register binding.
+    table: HashMap<Sym, Binding>,
+    /// Class names for error messages.
+    class_names: HashMap<Option<Sym>, String>,
+}
+
+impl RegAllocator {
+    /// Builds an allocator for `kernel` on `machine`: the vector file is
+    /// split into per-array queues of `R/m` registers each (§3.1), with
+    /// the remainder forming the shared temp queue; `reserved_vec`
+    /// registers (used for pre-bound f64 parameters) are excluded.
+    pub fn new(kernel: &Kernel, machine: &MachineSpec, reserved_vec: &[VecReg]) -> Self {
+        Self::with_queue_mode(kernel, machine, reserved_vec, true)
+    }
+
+    /// Ablation variant: `per_array = false` pools every vector register
+    /// in one shared queue (the allocation discipline §3.1 argues against
+    /// because register reuse across arrays introduces false dependences).
+    pub fn with_queue_mode(
+        kernel: &Kernel,
+        machine: &MachineSpec,
+        reserved_vec: &[VecReg],
+        per_array: bool,
+    ) -> Self {
+        let arrays = if per_array {
+            kernel.array_params()
+        } else {
+            Vec::new()
+        };
+        let r = machine.regs.vector_regs;
+        let all: Vec<VecReg> = (0..r)
+            .map(VecReg)
+            .filter(|v| !reserved_vec.contains(v))
+            .collect();
+        let m = arrays.len().max(1);
+        let quota = (all.len() / m).max(1).min(all.len());
+
+        let mut vec_queues: HashMap<Option<Sym>, VecDeque<VecReg>> = HashMap::new();
+        let mut class_names = HashMap::new();
+        let mut cursor = 0usize;
+        for &a in &arrays {
+            let take = quota.min(all.len().saturating_sub(cursor));
+            let q: VecDeque<VecReg> = all[cursor..cursor + take].iter().copied().collect();
+            cursor += take;
+            vec_queues.insert(Some(a), q);
+            class_names.insert(Some(a), kernel.syms.name(a).to_string());
+        }
+        // Whatever is left is the shared temp queue.
+        let temp: VecDeque<VecReg> = all[cursor..].iter().copied().collect();
+        vec_queues.insert(None, temp);
+        class_names.insert(None, "<temp>".to_string());
+
+        let gp_free: VecDeque<GpReg> = GpReg::allocatable().iter().copied().collect();
+
+        RegAllocator {
+            vec_queues,
+            vec_class_of: HashMap::new(),
+            gp_free,
+            table: HashMap::new(),
+            class_names,
+        }
+    }
+
+    /// Allocates a vector register from `class`'s queue; falls back to the
+    /// shared temp queue, then to any other queue with spare registers
+    /// (a full class must not kill compilation when others sit idle).
+    pub fn alloc_vec(&mut self, class: Option<Sym>) -> Result<VecReg, AllocError> {
+        // Deterministic fallback order: requested class, shared temps,
+        // then every other class sorted (HashMap order must never leak
+        // into generated code).
+        let mut rest: Vec<Option<Sym>> = self.vec_queues.keys().copied().collect();
+        rest.sort();
+        let order: Vec<Option<Sym>> = std::iter::once(class)
+            .chain(std::iter::once(None))
+            .chain(rest)
+            .collect();
+        for c in order {
+            if let Some(q) = self.vec_queues.get_mut(&c) {
+                if let Some(r) = q.pop_front() {
+                    self.vec_class_of.insert(r, c);
+                    return Ok(r);
+                }
+            }
+        }
+        Err(AllocError::OutOfVecRegs(
+            self.class_names
+                .get(&class)
+                .cloned()
+                .unwrap_or_else(|| "<unknown>".into()),
+        ))
+    }
+
+    /// Allocates a general-purpose register.
+    pub fn alloc_gp(&mut self) -> Result<GpReg, AllocError> {
+        self.gp_free.pop_front().ok_or(AllocError::OutOfGpRegs)
+    }
+
+    /// Removes a specific GP register from the free list (parameter
+    /// pre-binding). No-op if already taken.
+    pub fn claim_gp(&mut self, r: GpReg) {
+        self.gp_free.retain(|&x| x != r);
+    }
+
+    /// Returns a vector register to the queue it came from.
+    pub fn free_vec(&mut self, r: VecReg) {
+        let class = self.vec_class_of.remove(&r).unwrap_or(None);
+        if let Some(q) = self.vec_queues.get_mut(&class) {
+            if !q.contains(&r) {
+                q.push_back(r);
+            }
+        }
+    }
+
+    /// Returns a GP register to the free list.
+    pub fn free_gp(&mut self, r: GpReg) {
+        if !self.gp_free.contains(&r) {
+            self.gp_free.push_back(r);
+        }
+    }
+
+    // ---- reg_table operations ----
+
+    pub fn bind(&mut self, sym: Sym, b: Binding) {
+        self.table.insert(sym, b);
+    }
+
+    pub fn lookup(&self, sym: Sym) -> Option<Binding> {
+        self.table.get(&sym).copied()
+    }
+
+    /// Drops a symbol's binding and releases its register *unless* another
+    /// live symbol shares it (lane-packed accumulators share one register).
+    pub fn release(&mut self, sym: Sym) {
+        let Some(b) = self.table.remove(&sym) else {
+            return;
+        };
+        match b {
+            Binding::Gp(r) => {
+                if !self.table.values().any(|x| *x == Binding::Gp(r)) {
+                    self.free_gp(r);
+                }
+            }
+            Binding::Spilled(_) => {}
+            _ => {
+                if let Some(v) = b.vec_reg() {
+                    let still_used = self.table.values().any(|x| x.vec_reg() == Some(v));
+                    if !still_used {
+                        self.free_vec(v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Rebinds `sym` without touching register free lists (used when a
+    /// horizontal sum moves an accumulator from a lane to a scalar).
+    pub fn rebind(&mut self, sym: Sym, b: Binding) {
+        self.table.insert(sym, b);
+    }
+
+    /// Number of free vector registers across every queue.
+    pub fn free_vec_count(&self) -> usize {
+        self.vec_queues.values().map(|q| q.len()).sum()
+    }
+
+    /// Symbols currently holding a GP register, with that register.
+    pub fn gp_bound_syms(&self) -> Vec<(Sym, GpReg)> {
+        let mut v: Vec<(Sym, GpReg)> = self
+            .table
+            .iter()
+            .filter_map(|(s, b)| match b {
+                Binding::Gp(r) => Some((*s, *r)),
+                _ => None,
+            })
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Symbols currently bound (diagnostics).
+    pub fn bound_syms(&self) -> Vec<Sym> {
+        let mut v: Vec<Sym> = self.table.keys().copied().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use augem_ir::{KernelBuilder, SymKind, Ty};
+    use augem_machine::MachineSpec;
+
+    fn kernel3() -> Kernel {
+        let mut kb = KernelBuilder::new("t");
+        kb.ptr_param("A");
+        kb.ptr_param("B");
+        kb.ptr_param("C");
+        kb.int_param("n");
+        kb.finish()
+    }
+
+    #[test]
+    fn per_array_quota_matches_rule() {
+        let k = kernel3();
+        let m = MachineSpec::sandy_bridge();
+        let mut a = RegAllocator::new(&k, &m, &[]);
+        // 16 regs / 3 arrays = 5 each, 1 left for temps.
+        assert_eq!(a.free_vec_count(), 16);
+        let arr = k.array_params()[0];
+        let mut got = Vec::new();
+        for _ in 0..5 {
+            got.push(a.alloc_vec(Some(arr)).unwrap());
+        }
+        // 6th allocation for the same class falls back (temp queue).
+        assert!(a.alloc_vec(Some(arr)).is_ok());
+        assert_eq!(a.free_vec_count(), 10);
+    }
+
+    #[test]
+    fn classes_get_disjoint_registers() {
+        let k = kernel3();
+        let m = MachineSpec::sandy_bridge();
+        let mut a = RegAllocator::new(&k, &m, &[]);
+        let arrs = k.array_params();
+        let ra = a.alloc_vec(Some(arrs[0])).unwrap();
+        let rb = a.alloc_vec(Some(arrs[1])).unwrap();
+        let rc = a.alloc_vec(Some(arrs[2])).unwrap();
+        assert_ne!(ra, rb);
+        assert_ne!(rb, rc);
+        assert_ne!(ra, rc);
+    }
+
+    #[test]
+    fn release_returns_register_to_its_class() {
+        let k = kernel3();
+        let m = MachineSpec::sandy_bridge();
+        let mut a = RegAllocator::new(&k, &m, &[]);
+        let arr = k.array_params()[0];
+        let s = k.params[0]; // any symbol works as a key
+        let r = a.alloc_vec(Some(arr)).unwrap();
+        a.bind(s, Binding::ScalarVec(r));
+        assert_eq!(a.lookup(s), Some(Binding::ScalarVec(r)));
+        a.release(s);
+        assert_eq!(a.lookup(s), None);
+        // The register cycles back into the class queue.
+        let mut seen = Vec::new();
+        for _ in 0..5 {
+            seen.push(a.alloc_vec(Some(arr)).unwrap());
+        }
+        assert!(seen.contains(&r), "released {r:?} not reusable: {seen:?}");
+    }
+
+    #[test]
+    fn shared_lane_register_freed_only_when_last_user_dies() {
+        let mut kb = KernelBuilder::new("t");
+        kb.ptr_param("A");
+        let mut k = kb.finish();
+        let s0 = k.syms.define("r0", Ty::F64, SymKind::Local);
+        let s1 = k.syms.define("r1", Ty::F64, SymKind::Local);
+        let m = MachineSpec::sandy_bridge();
+        let mut a = RegAllocator::new(&k, &m, &[]);
+        let v = a.alloc_vec(None).unwrap();
+        a.bind(s0, Binding::Lane { reg: v, lane: 0 });
+        a.bind(s1, Binding::Lane { reg: v, lane: 1 });
+        let before = a.free_vec_count();
+        a.release(s0);
+        assert_eq!(a.free_vec_count(), before, "s1 still uses the register");
+        a.release(s1);
+        assert_eq!(a.free_vec_count(), before + 1);
+    }
+
+    #[test]
+    fn reserved_registers_are_never_handed_out() {
+        let k = kernel3();
+        let m = MachineSpec::sandy_bridge();
+        let reserved = [VecReg(0)];
+        let mut a = RegAllocator::new(&k, &m, &reserved);
+        for _ in 0..15 {
+            let r = a.alloc_vec(None).unwrap();
+            assert_ne!(r, VecReg(0));
+        }
+        assert!(a.alloc_vec(None).is_err());
+    }
+
+    #[test]
+    fn gp_alloc_and_claim() {
+        let k = kernel3();
+        let m = MachineSpec::sandy_bridge();
+        let mut a = RegAllocator::new(&k, &m, &[]);
+        let first = a.alloc_gp().unwrap();
+        assert_eq!(first, GpReg::allocatable()[0]);
+        a.claim_gp(GpReg::allocatable()[1]);
+        let third = a.alloc_gp().unwrap();
+        assert_eq!(third, GpReg::allocatable()[2]);
+        a.free_gp(first);
+        // freed registers cycle back
+        let mut seen = false;
+        for _ in 0..14 {
+            match a.alloc_gp() {
+                Ok(r) if r == first => {
+                    seen = true;
+                    break;
+                }
+                Ok(_) => {}
+                Err(_) => break,
+            }
+        }
+        assert!(seen);
+    }
+}

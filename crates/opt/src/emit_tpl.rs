@@ -1,0 +1,594 @@
+//! The specialized template optimizers (paper §3.1–§3.6): machine-code
+//! emitters for each tagged region, invoked by the Assembly Kernel
+//! Generator's walk.
+
+use crate::akg::{mul_add, Codegen, CodegenError};
+use crate::isel;
+use crate::plan::VecStrategy;
+use augem_asm::{Width, XInst};
+use augem_ir::{Annot, Expr, Sym};
+use augem_machine::{IsaFeature, VecReg};
+use augem_templates::def::{MmUnrolledComp, MmUnrolledStore, MvUnrolledComp, SvUnrolledScal};
+
+fn annot_sym(a: &Annot, key: &str) -> Result<Sym, CodegenError> {
+    a.get(key)
+        .and_then(|v| v.as_sym())
+        .ok_or_else(|| CodegenError::Malformed(format!("{} missing param {key}", a.template)))
+}
+
+fn annot_expr<'a>(a: &'a Annot, key: &str) -> Result<&'a Expr, CodegenError> {
+    a.get(key)
+        .and_then(|v| v.as_expr())
+        .ok_or_else(|| CodegenError::Malformed(format!("{} missing param {key}", a.template)))
+}
+
+impl<'a> Codegen<'a> {
+    /// Accumulator registers of the plan group owning `res`.
+    fn acc_regs(&mut self, res: Sym) -> Result<Vec<VecReg>, CodegenError> {
+        self.ensure_sym(res)?;
+        let gi = *self
+            .plan
+            .sym_group
+            .get(&res)
+            .ok_or_else(|| CodegenError::Malformed("result scalar not in any group".into()))?;
+        self.group_regs[gi]
+            .clone()
+            .ok_or_else(|| CodegenError::Malformed("group not allocated".into()))
+    }
+
+    /// §3.1 — the mmCOMP optimizer (Figure 4).
+    pub(crate) fn emit_mm_comp(&mut self, annot: &Annot) -> Result<(), CodegenError> {
+        let a = annot_sym(annot, "A")?;
+        let b = annot_sym(annot, "B")?;
+        let res = annot_sym(annot, "res")?;
+        let idx1 = annot_expr(annot, "idx1")?.clone();
+        let idx2 = annot_expr(annot, "idx2")?.clone();
+
+        self.ensure_sym(res)?;
+        if self.alloc.lookup(res).is_none() {
+            let r = self.alloc.alloc_vec(None)?;
+            self.alloc
+                .bind(res, crate::binding::Binding::ScalarVec(r));
+        }
+        let res_reg = self.scalar_reg(res)?;
+
+        let mem_a = self.mem_operand(a, &idx1)?;
+        let mem_b = self.mem_operand(b, &idx2)?;
+        let ca = Some(self.kernel.origin_of(a));
+        let cb = Some(self.kernel.origin_of(b));
+        let t0 = self.alloc.alloc_vec(ca)?;
+        let t1 = self.alloc.alloc_vec(cb)?;
+        self.push(XInst::FLoad {
+            dst: t0,
+            mem: mem_a,
+            w: Width::S,
+        });
+        self.push(XInst::FLoad {
+            dst: t1,
+            mem: mem_b,
+            w: Width::S,
+        });
+        mul_add(self, t0, t1, res_reg, Width::S)?;
+        self.alloc.free_vec(t0);
+        self.alloc.free_vec(t1);
+        Ok(())
+    }
+
+    /// §3.2 — the mmSTORE optimizer (Figure 5, Table 2).
+    pub(crate) fn emit_mm_store(&mut self, annot: &Annot) -> Result<(), CodegenError> {
+        let c = annot_sym(annot, "C")?;
+        let res = annot_sym(annot, "res")?;
+        let idx = annot_expr(annot, "idx")?.clone();
+        let res_reg = self.scalar_reg(res)?;
+        let mem = self.mem_operand(c, &idx)?;
+        let cls = Some(self.kernel.origin_of(c));
+        let t0 = self.alloc.alloc_vec(cls)?;
+        self.push(XInst::FLoad {
+            dst: t0,
+            mem,
+            w: Width::S,
+        });
+        // res = res + t0 (Table 2 line 2), then store res back.
+        self.push_all(isel::sel_add(t0, res_reg, res_reg, Width::S, &self.isa));
+        self.push(XInst::FStore {
+            src: res_reg,
+            mem,
+            w: Width::S,
+        });
+        self.alloc.free_vec(t0);
+        Ok(())
+    }
+
+    /// §3.3 — the mvCOMP optimizer (Figure 6, Table 3).
+    pub(crate) fn emit_mv_comp(&mut self, annot: &Annot) -> Result<(), CodegenError> {
+        let a = annot_sym(annot, "A")?;
+        let b = annot_sym(annot, "B")?;
+        let scal = annot_sym(annot, "scal")?;
+        let idx1 = annot_expr(annot, "idx1")?.clone();
+        let idx2 = annot_expr(annot, "idx2")?.clone();
+        self.emit_mv_scalar_rep(a, &idx1, b, &idx2, scal)
+    }
+
+    fn emit_mv_scalar_rep(
+        &mut self,
+        a: Sym,
+        idx1: &Expr,
+        b: Sym,
+        idx2: &Expr,
+        scal: Sym,
+    ) -> Result<(), CodegenError> {
+        let scal_reg = self.scalar_reg(scal)?;
+        let mem_a = self.mem_operand(a, idx1)?;
+        let mem_b = self.mem_operand(b, idx2)?;
+        let ca = Some(self.kernel.origin_of(a));
+        let cb = Some(self.kernel.origin_of(b));
+        let t0 = self.alloc.alloc_vec(ca)?;
+        let t1 = self.alloc.alloc_vec(cb)?;
+        self.push(XInst::FLoad {
+            dst: t0,
+            mem: mem_a,
+            w: Width::S,
+        });
+        self.push(XInst::FLoad {
+            dst: t1,
+            mem: mem_b,
+            w: Width::S,
+        });
+        // t1 += t0 * scal (Table 3 lines 2-4, collectively translated).
+        mul_add(self, t0, scal_reg, t1, Width::S)?;
+        self.push(XInst::FStore {
+            src: t1,
+            mem: mem_b,
+            w: Width::S,
+        });
+        self.alloc.free_vec(t0);
+        self.alloc.free_vec(t1);
+        Ok(())
+    }
+
+    /// §3.4 — the mmUnrollCOMP optimizer: Vdup (Figure 8) and Shuf
+    /// (Figure 9) vectorization.
+    pub(crate) fn emit_mm_unrolled_comp(
+        &mut self,
+        annot: &Annot,
+        strategy: VecStrategy,
+    ) -> Result<(), CodegenError> {
+        let t = MmUnrolledComp::from_annot(annot)
+            .ok_or_else(|| CodegenError::Malformed("bad mmUnrolledCOMP annotation".into()))?;
+        let w = self.packed.lanes();
+        let pw = self.packed;
+        let ca = Some(self.kernel.origin_of(t.a));
+        let cb = Some(self.kernel.origin_of(t.b));
+
+        match strategy {
+            VecStrategy::Scalar => {
+                // Per-repetition scalar translation (Figure 4).
+                if t.diag {
+                    for k in 0..t.n1 {
+                        let res = t.res[k];
+                        self.emit_scalar_rep(
+                            t.a,
+                            t.idx1 + k as i64,
+                            t.b,
+                            t.idx2 + k as i64,
+                            res,
+                        )?;
+                    }
+                } else {
+                    for b_off in 0..t.n2 {
+                        for a_off in 0..t.n1 {
+                            let res = t.res[b_off * t.n1 + a_off];
+                            self.emit_scalar_rep(
+                                t.a,
+                                t.idx1 + a_off as i64,
+                                t.b,
+                                t.idx2 + b_off as i64,
+                                res,
+                            )?;
+                        }
+                    }
+                }
+                Ok(())
+            }
+            VecStrategy::Vdup if t.diag => {
+                // Reduction groups: Vld-Vld-Vmul-Vadd per chunk.
+                let accs = self.acc_regs(t.res[0])?;
+                let chunks = t.n1 / w;
+                for c in 0..chunks {
+                    let ra = self.alloc.alloc_vec(ca)?;
+                    let rb = self.alloc.alloc_vec(cb)?;
+                    let ma = self.mem_operand(t.a, &Expr::Int(t.idx1 + (c * w) as i64))?;
+                    let mb = self.mem_operand(t.b, &Expr::Int(t.idx2 + (c * w) as i64))?;
+                    self.push(XInst::FLoad { dst: ra, mem: ma, w: pw });
+                    self.push(XInst::FLoad { dst: rb, mem: mb, w: pw });
+                    mul_add(self, ra, rb, accs[c], pw)?;
+                    self.alloc.free_vec(ra);
+                    self.alloc.free_vec(rb);
+                }
+                Ok(())
+            }
+            VecStrategy::Vdup => {
+                // Figure 8: Vld A chunk, Vdup each B element, accumulate.
+                let accs = self.acc_regs(t.res[0])?;
+                let chunks = t.n1 / w;
+                let no_fma = isel::fma_choice(&self.isa, self.opts.fma).is_none();
+                if !self.isa.has(IsaFeature::Avx) && no_fma {
+                    // SSE two-operand forms would need a Mov per pair
+                    // (Table 1 line 2). Expert SSE kernels instead
+                    // re-broadcast B per multiply and destroy the copy:
+                    // Vdup-Vmul-Vadd with the dup as the scratch, trading
+                    // the port-0/1 Mov for a load-port movddup.
+                    for c in 0..chunks {
+                        let ra = self.alloc.alloc_vec(ca)?;
+                        let ma = self.mem_operand(t.a, &Expr::Int(t.idx1 + (c * w) as i64))?;
+                        self.push(XInst::FLoad { dst: ra, mem: ma, w: pw });
+                        for b_off in 0..t.n2 {
+                            let d = self.alloc.alloc_vec(cb)?;
+                            let mb =
+                                self.mem_operand(t.b, &Expr::Int(t.idx2 + b_off as i64))?;
+                            self.push_all(isel::sel_dup(mb, d, pw));
+                            self.push(XInst::FMul2 { dstsrc: d, src: ra, w: pw });
+                            self.push(XInst::FAdd2 {
+                                dstsrc: accs[b_off * chunks + c],
+                                src: d,
+                                w: pw,
+                            });
+                            self.alloc.free_vec(d);
+                        }
+                        self.alloc.free_vec(ra);
+                    }
+                    return Ok(());
+                }
+                let mut dups = Vec::with_capacity(t.n2);
+                for b_off in 0..t.n2 {
+                    let d = self.alloc.alloc_vec(cb)?;
+                    let mb = self.mem_operand(t.b, &Expr::Int(t.idx2 + b_off as i64))?;
+                    self.push_all(isel::sel_dup(mb, d, pw));
+                    dups.push(d);
+                }
+                for c in 0..chunks {
+                    let ra = self.alloc.alloc_vec(ca)?;
+                    let ma = self.mem_operand(t.a, &Expr::Int(t.idx1 + (c * w) as i64))?;
+                    self.push(XInst::FLoad { dst: ra, mem: ma, w: pw });
+                    for (b_off, &d) in dups.iter().enumerate() {
+                        mul_add(self, ra, d, accs[b_off * chunks + c], pw)?;
+                    }
+                    self.alloc.free_vec(ra);
+                }
+                for d in dups {
+                    self.alloc.free_vec(d);
+                }
+                Ok(())
+            }
+            VecStrategy::Shuf => {
+                // Figure 9: Vld-Vld-Vmul-Vadd then Shuf-Vmul-Vadd chains.
+                let accs = self.acc_regs(t.res[0])?;
+                let ra = self.alloc.alloc_vec(ca)?;
+                let rb = self.alloc.alloc_vec(cb)?;
+                let ma = self.mem_operand(t.a, &Expr::Int(t.idx1))?;
+                let mb = self.mem_operand(t.b, &Expr::Int(t.idx2))?;
+                self.push(XInst::FLoad { dst: ra, mem: ma, w: pw });
+                self.push(XInst::FLoad { dst: rb, mem: mb, w: pw });
+                mul_add(self, ra, rb, accs[0], pw)?;
+                for k in 1..w {
+                    let sh = self.alloc.alloc_vec(cb)?;
+                    let seq = isel::sel_shuf_xor(k as u8, rb, sh, pw, &self.isa);
+                    self.push_all(seq);
+                    mul_add(self, ra, sh, accs[k], pw)?;
+                    self.alloc.free_vec(sh);
+                }
+                self.alloc.free_vec(ra);
+                self.alloc.free_vec(rb);
+                Ok(())
+            }
+        }
+    }
+
+    fn emit_scalar_rep(
+        &mut self,
+        a: Sym,
+        idx1: i64,
+        b: Sym,
+        idx2: i64,
+        res: Sym,
+    ) -> Result<(), CodegenError> {
+        self.ensure_sym(res)?;
+        if self.alloc.lookup(res).is_none() {
+            let r = self.alloc.alloc_vec(None)?;
+            self.alloc
+                .bind(res, crate::binding::Binding::ScalarVec(r));
+        }
+        let res_reg = self.scalar_reg(res)?;
+        let ca = Some(self.kernel.origin_of(a));
+        let cb = Some(self.kernel.origin_of(b));
+        let t0 = self.alloc.alloc_vec(ca)?;
+        let t1 = self.alloc.alloc_vec(cb)?;
+        let ma = self.mem_operand(a, &Expr::Int(idx1))?;
+        let mb = self.mem_operand(b, &Expr::Int(idx2))?;
+        self.push(XInst::FLoad { dst: t0, mem: ma, w: Width::S });
+        self.push(XInst::FLoad { dst: t1, mem: mb, w: Width::S });
+        mul_add(self, t0, t1, res_reg, Width::S)?;
+        self.alloc.free_vec(t0);
+        self.alloc.free_vec(t1);
+        Ok(())
+    }
+
+    /// §3.5 — the mmUnrollSTORE optimizer (Figure 10): Vld-Vadd-Vst,
+    /// with lane unscrambling when the Shuf strategy packed results
+    /// out of store order.
+    pub(crate) fn emit_mm_unrolled_store(&mut self, annot: &Annot) -> Result<(), CodegenError> {
+        let t = MmUnrolledStore::from_annot(annot)
+            .ok_or_else(|| CodegenError::Malformed("bad mmUnrolledSTORE annotation".into()))?;
+        let w = self.packed.lanes();
+        let pw = self.packed;
+        let cls = Some(self.kernel.origin_of(t.c));
+
+        for &r in &t.res {
+            self.ensure_sym(r)?;
+        }
+        let all_lane_bound = t.res.iter().all(|r| {
+            matches!(
+                self.alloc.lookup(*r),
+                Some(crate::binding::Binding::Lane { .. })
+            )
+        });
+
+        if all_lane_bound && t.n % w == 0 {
+            for chunk in 0..t.n / w {
+                let mut sources = Vec::with_capacity(w);
+                for l in 0..w {
+                    match self.alloc.lookup(t.res[chunk * w + l]) {
+                        Some(crate::binding::Binding::Lane { reg, lane }) => {
+                            sources.push((reg, lane))
+                        }
+                        _ => unreachable!("checked lane-bound above"),
+                    }
+                }
+                let direct = sources.iter().all(|(r, _)| *r == sources[0].0)
+                    && sources.iter().enumerate().all(|(i, (_, l))| *l as usize == i);
+                let (src, temp) = if direct {
+                    (sources[0].0, None)
+                } else {
+                    let u = self.unscramble(&sources, cls)?;
+                    (u, Some(u))
+                };
+                let mc = self.mem_operand(t.c, &Expr::Int(t.idx + (chunk * w) as i64))?;
+                let rc = self.alloc.alloc_vec(cls)?;
+                self.push(XInst::FLoad { dst: rc, mem: mc, w: pw });
+                // res += C tile, then store (Figure 10(b)).
+                self.push_all(isel::sel_add(rc, src, src, pw, &self.isa));
+                self.push(XInst::FStore { src, mem: mc, w: pw });
+                self.alloc.free_vec(rc);
+                if let Some(u) = temp {
+                    self.alloc.free_vec(u);
+                }
+            }
+            return Ok(());
+        }
+
+        // Scalar fallback: n independent mmSTOREs.
+        for (k, &res) in t.res.iter().enumerate() {
+            let res_reg = self.scalar_reg(res)?;
+            let mem = self.mem_operand(t.c, &Expr::Int(t.idx + k as i64))?;
+            let t0 = self.alloc.alloc_vec(cls)?;
+            self.push(XInst::FLoad { dst: t0, mem, w: Width::S });
+            self.push_all(isel::sel_add(t0, res_reg, res_reg, Width::S, &self.isa));
+            self.push(XInst::FStore { src: res_reg, mem, w: Width::S });
+            self.alloc.free_vec(t0);
+        }
+        Ok(())
+    }
+
+    /// Gathers `(reg, lane)` sources into one register in lane order.
+    fn unscramble(
+        &mut self,
+        sources: &[(VecReg, u8)],
+        cls: Option<Sym>,
+    ) -> Result<VecReg, CodegenError> {
+        match sources.len() {
+            2 => {
+                let (r0, l0) = sources[0];
+                let (r1, l1) = sources[1];
+                let dst = self.alloc.alloc_vec(cls)?;
+                let imm = (l0 & 1) | ((l1 & 1) << 1);
+                if self.isa.has(IsaFeature::Avx) {
+                    self.push(XInst::Shuf3 {
+                        dst,
+                        a: r0,
+                        b: r1,
+                        imm,
+                        w: Width::V2,
+                    });
+                } else {
+                    self.push(XInst::FMov {
+                        dst,
+                        src: r0,
+                        w: Width::V2,
+                    });
+                    self.push(XInst::Shuf2 {
+                        dstsrc: dst,
+                        src: r1,
+                        imm,
+                        w: Width::V2,
+                    });
+                }
+                Ok(dst)
+            }
+            4 => {
+                // Shuf-method pattern: lane i of the output comes from
+                // lane i of sources[i].
+                if !sources.iter().enumerate().all(|(i, (_, l))| *l as usize == i) {
+                    return Err(CodegenError::Unsupported(
+                        "general 4-lane gather not needed by any strategy".into(),
+                    ));
+                }
+                let (r0, _) = sources[0];
+                let (r1, _) = sources[1];
+                let (r2, _) = sources[2];
+                let (r3, _) = sources[3];
+                let s1 = self.alloc.alloc_vec(None)?;
+                let s2 = self.alloc.alloc_vec(None)?;
+                // s1 = [r0[0], r1[1], r0[2], r1[3]]; low half is ours.
+                self.push(XInst::Shuf3 {
+                    dst: s1,
+                    a: r0,
+                    b: r1,
+                    imm: 0b1010,
+                    w: Width::V4,
+                });
+                // s2 = [r2[0], r3[1], r2[2], r3[3]]; high half is ours.
+                self.push(XInst::Shuf3 {
+                    dst: s2,
+                    a: r2,
+                    b: r3,
+                    imm: 0b1010,
+                    w: Width::V4,
+                });
+                let dst = self.alloc.alloc_vec(cls)?;
+                self.push(XInst::Perm2f128 {
+                    dst,
+                    a: s1,
+                    b: s2,
+                    imm: 0x30,
+                });
+                self.alloc.free_vec(s1);
+                self.alloc.free_vec(s2);
+                Ok(dst)
+            }
+            n => Err(CodegenError::Unsupported(format!(
+                "unscramble of {n}-lane groups"
+            ))),
+        }
+    }
+
+    /// svSCAL (extension template, §7): `t0 = Y[idx]; t0 = t0*scal;
+    /// Y[idx] = t0` — Load-Mul-Store, scalar form.
+    pub(crate) fn emit_sv_scal(&mut self, annot: &Annot) -> Result<(), CodegenError> {
+        let y = annot_sym(annot, "Y")?;
+        let scal = annot_sym(annot, "scal")?;
+        let idx = annot_expr(annot, "idx")?.clone();
+        self.emit_sv_scalar_rep(y, &idx, scal)
+    }
+
+    fn emit_sv_scalar_rep(
+        &mut self,
+        y: Sym,
+        idx: &Expr,
+        scal: Sym,
+    ) -> Result<(), CodegenError> {
+        let scal_reg = self.scalar_reg(scal)?;
+        let mem = self.mem_operand(y, idx)?;
+        let cy = Some(self.kernel.origin_of(y));
+        let t0 = self.alloc.alloc_vec(cy)?;
+        self.push(XInst::FLoad { dst: t0, mem, w: Width::S });
+        if self.isa.has(IsaFeature::Avx) {
+            self.push(XInst::FMul3 { dst: t0, a: t0, b: scal_reg, w: Width::S });
+        } else {
+            self.push(XInst::FMul2 { dstsrc: t0, src: scal_reg, w: Width::S });
+        }
+        self.push(XInst::FStore { src: t0, mem, w: Width::S });
+        self.alloc.free_vec(t0);
+        Ok(())
+    }
+
+    /// svUnrolledSCAL (extension template): `Vld-Vmul-Vst` per chunk with
+    /// the broadcast `scal`.
+    pub(crate) fn emit_sv_unrolled_scal(
+        &mut self,
+        annot: &Annot,
+        strategy: VecStrategy,
+    ) -> Result<(), CodegenError> {
+        let t = SvUnrolledScal::from_annot(annot)
+            .ok_or_else(|| CodegenError::Malformed("bad svUnrolledSCAL annotation".into()))?;
+        let w = self.packed.lanes();
+        let pw = self.packed;
+
+        if strategy == VecStrategy::Scalar || t.n % w != 0 {
+            for k in 0..t.n {
+                self.emit_sv_scalar_rep(t.y, &Expr::Int(t.idx + k as i64), t.scal)?;
+            }
+            return Ok(());
+        }
+        let scal_reg = match self.alloc.lookup(t.scal) {
+            Some(crate::binding::Binding::Broadcast(r)) => r,
+            other => {
+                return Err(CodegenError::Malformed(format!(
+                    "scal not broadcast-bound at svUnrolledSCAL: {other:?}"
+                )))
+            }
+        };
+        let cy = Some(self.kernel.origin_of(t.y));
+        for chunk in 0..t.n / w {
+            let ry = self.alloc.alloc_vec(cy)?;
+            let mem = self.mem_operand(t.y, &Expr::Int(t.idx + (chunk * w) as i64))?;
+            self.push(XInst::FLoad { dst: ry, mem, w: pw });
+            if self.isa.has(IsaFeature::Avx) {
+                self.push(XInst::FMul3 { dst: ry, a: ry, b: scal_reg, w: pw });
+            } else {
+                self.push(XInst::FMul2 { dstsrc: ry, src: scal_reg, w: pw });
+            }
+            self.push(XInst::FStore { src: ry, mem, w: pw });
+            self.alloc.free_vec(ry);
+        }
+        Ok(())
+    }
+
+    /// §3.6 — the mvUnrollCOMP optimizer (Figure 11):
+    /// Vld-Vld-Vmul-Vadd-Vst.
+    pub(crate) fn emit_mv_unrolled_comp(
+        &mut self,
+        annot: &Annot,
+        strategy: VecStrategy,
+    ) -> Result<(), CodegenError> {
+        let t = MvUnrolledComp::from_annot(annot)
+            .ok_or_else(|| CodegenError::Malformed("bad mvUnrolledCOMP annotation".into()))?;
+        let w = self.packed.lanes();
+        let pw = self.packed;
+
+        if strategy == VecStrategy::Scalar || t.n % w != 0 {
+            for k in 0..t.n {
+                self.emit_mv_scalar_rep(
+                    t.a,
+                    &Expr::Int(t.idx1 + k as i64),
+                    t.b,
+                    &Expr::Int(t.idx2 + k as i64),
+                    t.scal,
+                )?;
+            }
+            return Ok(());
+        }
+
+        // The scal register must already hold the broadcast value (either
+        // a pre-broadcast f64 parameter or a Vdup-ed load).
+        let scal_reg = match self.alloc.lookup(t.scal) {
+            Some(crate::binding::Binding::Broadcast(r)) => r,
+            Some(other) => {
+                return Err(CodegenError::Malformed(format!(
+                    "scal {} not broadcast-bound ({other:?})",
+                    self.kernel.syms.name(t.scal)
+                )))
+            }
+            None => {
+                return Err(CodegenError::Malformed(format!(
+                    "scal {} unbound at mvUnrolledCOMP",
+                    self.kernel.syms.name(t.scal)
+                )))
+            }
+        };
+        let ca = Some(self.kernel.origin_of(t.a));
+        let cb = Some(self.kernel.origin_of(t.b));
+        for chunk in 0..t.n / w {
+            let ra = self.alloc.alloc_vec(ca)?;
+            let rb = self.alloc.alloc_vec(cb)?;
+            let ma = self.mem_operand(t.a, &Expr::Int(t.idx1 + (chunk * w) as i64))?;
+            let mb = self.mem_operand(t.b, &Expr::Int(t.idx2 + (chunk * w) as i64))?;
+            self.push(XInst::FLoad { dst: ra, mem: ma, w: pw });
+            self.push(XInst::FLoad { dst: rb, mem: mb, w: pw });
+            mul_add(self, ra, scal_reg, rb, pw)?;
+            self.push(XInst::FStore { src: rb, mem: mb, w: pw });
+            self.alloc.free_vec(ra);
+            self.alloc.free_vec(rb);
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,323 @@
+//! Instruction selection — the mapping rules of paper Tables 1–4.
+//!
+//! Each helper lowers one abstract three-operand operation (or the
+//! collectively-translated `Mul`+`Add` pair) to concrete instructions for
+//! the target ISA:
+//!
+//! * **SSE** — two-operand destructive forms; `Mul r0,r1,r2; Add r2,r3,r3`
+//!   becomes `Mov r1,r2; Mul r0,r2; Add r2,r3` (Table 1 line 2).
+//! * **AVX** — non-destructive three-operand forms, one instruction each.
+//! * **FMA3** — the pair fuses into `FMA3 r0,r1,r3` (`r3 += r0*r1`).
+//! * **FMA4** — the pair fuses into `FMA4 r0,r1,r3,r3`.
+
+use augem_asm::{Mem, Width, XInst};
+use augem_machine::{IsaFeature, IsaSet, VecReg};
+
+/// Which FMA form instruction selection may use (ablation knob; the paper
+/// selects "according to the ISA supported by the target processor").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FmaPolicy {
+    /// Use FMA3 if available, else FMA4, else mul+add.
+    #[default]
+    Auto,
+    /// Prefer FMA4 over FMA3 when both exist (Piledriver supports both).
+    PreferFma4,
+    /// Never fuse (the ablation baseline).
+    NoFma,
+}
+
+/// Resolved FMA decision for a machine + policy.
+pub fn fma_choice(isa: &IsaSet, policy: FmaPolicy) -> Option<IsaFeature> {
+    match policy {
+        FmaPolicy::NoFma => None,
+        FmaPolicy::PreferFma4 => {
+            if isa.has(IsaFeature::Fma4) {
+                Some(IsaFeature::Fma4)
+            } else if isa.has(IsaFeature::Fma3) {
+                Some(IsaFeature::Fma3)
+            } else {
+                None
+            }
+        }
+        FmaPolicy::Auto => {
+            if isa.has(IsaFeature::Fma3) {
+                Some(IsaFeature::Fma3)
+            } else if isa.has(IsaFeature::Fma4) {
+                Some(IsaFeature::Fma4)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// `Load arr,idx,r1` (Tables 1–3 line 1).
+pub fn sel_load(mem: Mem, dst: VecReg, w: Width) -> Vec<XInst> {
+    vec![XInst::FLoad { dst, mem, w }]
+}
+
+/// `Store r,arr,idx` (Tables 2–3).
+pub fn sel_store(src: VecReg, mem: Mem, w: Width) -> Vec<XInst> {
+    vec![XInst::FStore { src, mem, w }]
+}
+
+/// `Vdup arr,idx,r1` (Table 4 line 1).
+pub fn sel_dup(mem: Mem, dst: VecReg, w: Width) -> Vec<XInst> {
+    vec![XInst::FDup { dst, mem, w }]
+}
+
+/// The collectively-translated `Mul r0,r1,r2; Add r2,r3,r3` pair
+/// (`r3 += r0 * r1`) — Tables 1 and 3, lines 2–4. `scratch` is the `r2`
+/// intermediate, needed only on the non-FMA paths.
+pub fn sel_mul_add(
+    r0: VecReg,
+    r1: VecReg,
+    r3: VecReg,
+    scratch: Option<VecReg>,
+    w: Width,
+    isa: &IsaSet,
+    policy: FmaPolicy,
+) -> Vec<XInst> {
+    match fma_choice(isa, policy) {
+        Some(IsaFeature::Fma3) => vec![XInst::Fma3 {
+            acc: r3,
+            a: r0,
+            b: r1,
+            w,
+        }],
+        Some(IsaFeature::Fma4) => vec![XInst::Fma4 {
+            dst: r3,
+            a: r0,
+            b: r1,
+            c: r3,
+            w,
+        }],
+        _ => {
+            let r2 = scratch.expect("non-FMA mul+add needs a scratch register");
+            if isa.has(IsaFeature::Avx) {
+                // Mul r0,r1,r2 ; Add r2,r3,r3
+                vec![
+                    XInst::FMul3 { dst: r2, a: r0, b: r1, w },
+                    XInst::FAdd3 { dst: r3, a: r2, b: r3, w },
+                ]
+            } else {
+                // Mov r1,r2 ; Mul r0,r2 ; Add r2,r3
+                vec![
+                    XInst::FMov { dst: r2, src: r1, w },
+                    XInst::FMul2 { dstsrc: r2, src: r0, w },
+                    XInst::FAdd2 { dstsrc: r3, src: r2, w },
+                ]
+            }
+        }
+    }
+}
+
+/// The mmSTORE arithmetic `Add r1,r2,r3` (Table 2 line 2): on SSE the add
+/// is two-operand (`r3` must alias `r2`); the emitter accumulates into the
+/// template's `res` register, matching the template semantics
+/// (`res = res + t0`).
+pub fn sel_add(r1: VecReg, r2: VecReg, r3: VecReg, w: Width, isa: &IsaSet) -> Vec<XInst> {
+    if isa.has(IsaFeature::Avx) {
+        vec![XInst::FAdd3 { dst: r3, a: r1, b: r2, w }]
+    } else {
+        assert_eq!(
+            r2, r3,
+            "SSE two-operand add requires the destination to alias a source"
+        );
+        vec![XInst::FAdd2 { dstsrc: r3, src: r1, w }]
+    }
+}
+
+/// `Shuf imm,r1,r2` (Table 4 line 2): `r2 = shuffle(r1)` by an XOR-lane
+/// mask. Masks: 1 = swap within 128-bit pairs, 2 = swap halves (AVX only),
+/// 3 = both.
+pub fn sel_shuf_xor(
+    mask: u8,
+    src: VecReg,
+    dst: VecReg,
+    w: Width,
+    isa: &IsaSet,
+) -> Vec<XInst> {
+    match (w, mask) {
+        (Width::V2, 1) => {
+            if isa.has(IsaFeature::Avx) {
+                vec![XInst::Shuf3 { dst, a: src, b: src, imm: 0b01, w }]
+            } else {
+                // SSE shufpd is destructive: copy then shuffle.
+                vec![
+                    XInst::FMov { dst, src, w },
+                    XInst::Shuf2 { dstsrc: dst, src, imm: 0b01, w },
+                ]
+            }
+        }
+        (Width::V4, 1) => vec![XInst::Shuf3 { dst, a: src, b: src, imm: 0b0101, w }],
+        (Width::V4, 2) => vec![XInst::SwapHalves { dst, src }],
+        (Width::V4, 3) => vec![
+            XInst::SwapHalves { dst, src },
+            XInst::Shuf3 { dst, a: dst, b: dst, imm: 0b0101, w },
+        ],
+        _ => panic!("unsupported shuffle mask {mask} for width {w:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use augem_machine::GpReg;
+
+    fn sse() -> IsaSet {
+        IsaSet::sse2_only()
+    }
+    fn avx() -> IsaSet {
+        IsaSet::new(&[IsaFeature::Avx])
+    }
+    fn piledriver() -> IsaSet {
+        IsaSet::new(&[IsaFeature::Avx, IsaFeature::Fma3, IsaFeature::Fma4])
+    }
+
+    fn regs() -> (VecReg, VecReg, VecReg, VecReg) {
+        (VecReg(0), VecReg(1), VecReg(2), VecReg(3))
+    }
+
+    // ---- Table 1 golden tests ----
+
+    #[test]
+    fn table1_sse_mul_add_is_mov_mul_add() {
+        let (r0, r1, r2, r3) = regs();
+        let seq = sel_mul_add(r0, r1, r3, Some(r2), Width::V2, &sse(), FmaPolicy::Auto);
+        assert_eq!(
+            seq,
+            vec![
+                XInst::FMov { dst: r2, src: r1, w: Width::V2 },
+                XInst::FMul2 { dstsrc: r2, src: r0, w: Width::V2 },
+                XInst::FAdd2 { dstsrc: r3, src: r2, w: Width::V2 },
+            ]
+        );
+    }
+
+    #[test]
+    fn table1_avx_mul_add_is_two_three_operand_insts() {
+        let (r0, r1, r2, r3) = regs();
+        let seq = sel_mul_add(r0, r1, r3, Some(r2), Width::V4, &avx(), FmaPolicy::Auto);
+        assert_eq!(
+            seq,
+            vec![
+                XInst::FMul3 { dst: r2, a: r0, b: r1, w: Width::V4 },
+                XInst::FAdd3 { dst: r3, a: r2, b: r3, w: Width::V4 },
+            ]
+        );
+    }
+
+    #[test]
+    fn table1_fma3_line() {
+        let (r0, r1, _r2, r3) = regs();
+        let seq = sel_mul_add(r0, r1, r3, None, Width::V4, &piledriver(), FmaPolicy::Auto);
+        assert_eq!(
+            seq,
+            vec![XInst::Fma3 { acc: r3, a: r0, b: r1, w: Width::V4 }]
+        );
+    }
+
+    #[test]
+    fn table1_fma4_line() {
+        let (r0, r1, _r2, r3) = regs();
+        let seq = sel_mul_add(
+            r0,
+            r1,
+            r3,
+            None,
+            Width::V4,
+            &piledriver(),
+            FmaPolicy::PreferFma4,
+        );
+        assert_eq!(
+            seq,
+            vec![XInst::Fma4 { dst: r3, a: r0, b: r1, c: r3, w: Width::V4 }]
+        );
+    }
+
+    #[test]
+    fn no_fma_policy_disables_fusion() {
+        let (r0, r1, r2, r3) = regs();
+        let seq = sel_mul_add(
+            r0,
+            r1,
+            r3,
+            Some(r2),
+            Width::V4,
+            &piledriver(),
+            FmaPolicy::NoFma,
+        );
+        assert_eq!(seq.len(), 2); // vmul + vadd
+    }
+
+    // ---- Table 2 golden tests ----
+
+    #[test]
+    fn table2_sse_add_is_two_operand() {
+        let (_r0, r1, _r2, r3) = regs();
+        let seq = sel_add(r1, r3, r3, Width::V2, &sse());
+        assert_eq!(seq, vec![XInst::FAdd2 { dstsrc: r3, src: r1, w: Width::V2 }]);
+    }
+
+    #[test]
+    fn table2_avx_add_is_three_operand() {
+        let (_r0, r1, r2, r3) = regs();
+        let seq = sel_add(r1, r2, r3, Width::V4, &avx());
+        assert_eq!(
+            seq,
+            vec![XInst::FAdd3 { dst: r3, a: r1, b: r2, w: Width::V4 }]
+        );
+    }
+
+    // ---- Table 4 golden tests ----
+
+    #[test]
+    fn table4_vdup() {
+        let m = Mem::elem(GpReg(5), 0);
+        assert_eq!(
+            sel_dup(m, VecReg(1), Width::V4),
+            vec![XInst::FDup { dst: VecReg(1), mem: m, w: Width::V4 }]
+        );
+    }
+
+    #[test]
+    fn table4_shuf_sse_needs_copy() {
+        let seq = sel_shuf_xor(1, VecReg(1), VecReg(2), Width::V2, &sse());
+        assert_eq!(seq.len(), 2);
+        assert!(matches!(seq[0], XInst::FMov { .. }));
+        assert!(matches!(seq[1], XInst::Shuf2 { imm: 1, .. }));
+    }
+
+    #[test]
+    fn table4_shuf_avx_masks() {
+        let one = sel_shuf_xor(1, VecReg(1), VecReg(2), Width::V4, &avx());
+        assert_eq!(one.len(), 1);
+        let two = sel_shuf_xor(2, VecReg(1), VecReg(2), Width::V4, &avx());
+        assert!(matches!(two[0], XInst::SwapHalves { .. }));
+        let three = sel_shuf_xor(3, VecReg(1), VecReg(2), Width::V4, &avx());
+        assert_eq!(three.len(), 2);
+    }
+
+    #[test]
+    fn load_store_single_instruction() {
+        let m = Mem::elem(GpReg(4), 3);
+        assert_eq!(sel_load(m, VecReg(7), Width::S).len(), 1);
+        assert_eq!(sel_store(VecReg(7), m, Width::V4).len(), 1);
+    }
+
+    #[test]
+    fn fma_choice_matrix() {
+        assert_eq!(fma_choice(&sse(), FmaPolicy::Auto), None);
+        assert_eq!(fma_choice(&avx(), FmaPolicy::Auto), None);
+        assert_eq!(
+            fma_choice(&piledriver(), FmaPolicy::Auto),
+            Some(IsaFeature::Fma3)
+        );
+        assert_eq!(
+            fma_choice(&piledriver(), FmaPolicy::PreferFma4),
+            Some(IsaFeature::Fma4)
+        );
+        assert_eq!(fma_choice(&piledriver(), FmaPolicy::NoFma), None);
+    }
+}

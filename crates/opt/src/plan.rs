@@ -1,0 +1,403 @@
+//! Planning pass: chooses a vectorization strategy per template region and
+//! precomputes the accumulator lane layout (paper §3.4).
+//!
+//! The plan is pure analysis — registers are allocated lazily during code
+//! generation, the first time any symbol of an accumulator group is
+//! touched, so that registers of disjoint regions (main loop vs remainder
+//! loops) can be reused once liveness releases them.
+
+use crate::isel::FmaPolicy;
+use augem_ir::{Expr, Kernel, LValue, Stmt, Sym};
+use augem_machine::MachineSpec;
+use augem_templates::def::{MmUnrolledComp, TemplateKind};
+use std::collections::{HashMap, HashSet};
+
+/// SIMD vectorization strategy for an `mmUnrolledCOMP` region (§3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VecStrategy {
+    /// The **Vdup method**: `Vld-Vdup-Vmul-Vadd` — n contiguous A elements
+    /// against one broadcast B element (Figure 8).
+    Vdup,
+    /// The **Shuf method**: `Vld-Vld-Vmul-Vadd` plus `Shuf-Vmul-Vadd`
+    /// repetitions (Figure 9).
+    Shuf,
+    /// No vectorization — scalar translation per Figure 4.
+    Scalar,
+}
+
+/// Strategy preference (a tuning dimension; the paper selects per
+/// microarchitecture by empirical feedback).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StrategyPref {
+    /// Use Vdup whenever the shape allows it.
+    #[default]
+    Vdup,
+    /// Use Shuf when the region is a full `w x w` grid, else Vdup.
+    Shuf,
+    /// Force scalar code (ablation baseline).
+    ScalarOnly,
+}
+
+/// One accumulator group: the SIMD registers one `mmUnrolledCOMP` region
+/// accumulates into, with each result scalar's `(acc index, lane)`.
+#[derive(Debug, Clone)]
+pub struct AccGroup {
+    /// Number of accumulator vector registers needed.
+    pub accs: usize,
+    /// `(sym, acc index, lane)` for every result scalar.
+    pub layout: Vec<(Sym, u8, u8)>,
+    /// Register class to draw the accumulators from (the array whose
+    /// elements the results are "later saved as", per §3.1 — usually C).
+    pub class: Option<Sym>,
+}
+
+/// The whole-kernel plan.
+#[derive(Debug, Clone, Default)]
+pub struct Plan {
+    /// Accumulator groups, indexed by `sym_group` values.
+    pub groups: Vec<AccGroup>,
+    /// Result scalar → its accumulator group.
+    pub sym_group: HashMap<Sym, usize>,
+    /// Per-region strategy, in pre-order region-encounter order.
+    pub strategies: Vec<VecStrategy>,
+    /// Scalars that must live broadcast across lanes (`scal` of mv
+    /// templates).
+    pub broadcast_syms: HashSet<Sym>,
+    /// Scalar-strategy result accumulators → register class.
+    pub scalar_res_class: HashMap<Sym, Option<Sym>>,
+}
+
+/// Options shared by planning and code generation.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanOptions {
+    pub strategy: StrategyPref,
+    pub fma: FmaPolicy,
+}
+
+impl Default for PlanOptions {
+    fn default() -> Self {
+        PlanOptions {
+            strategy: StrategyPref::Vdup,
+            fma: FmaPolicy::Auto,
+        }
+    }
+}
+
+/// Builds the plan for a tagged kernel.
+pub fn build(kernel: &Kernel, machine: &MachineSpec, opts: &PlanOptions) -> Plan {
+    let w = machine.simd_mode().f64_lanes();
+    let mut plan = Plan::default();
+
+    // Pass 0: result scalar -> class of the array it is finally stored to.
+    let mut res_class: HashMap<Sym, Sym> = HashMap::new();
+    collect_res_classes(&kernel.body, kernel, &mut res_class);
+
+    // Pass 1: per-region strategies + lane layouts.
+    visit_regions(&kernel.body, &mut |annot| {
+        let kind = TemplateKind::from_name(&annot.template);
+        match kind {
+            Some(TemplateKind::MmUnrolledComp) => {
+                let t = MmUnrolledComp::from_annot(annot)
+                    .expect("malformed mmUnrolledCOMP annotation");
+                let strategy = choose_strategy(&t, w, opts.strategy);
+                plan.strategies.push(strategy);
+                match strategy {
+                    VecStrategy::Scalar => {
+                        for &r in &t.res {
+                            plan.scalar_res_class
+                                .insert(r, res_class.get(&r).copied());
+                        }
+                    }
+                    VecStrategy::Vdup => {
+                        let class = t.res.iter().find_map(|r| res_class.get(r).copied());
+                        let gi = plan.groups.len();
+                        if t.diag {
+                            // res[c*w + lane] -> (acc c, lane)
+                            let chunks = t.n1 / w;
+                            let mut layout = Vec::new();
+                            for (k, &r) in t.res.iter().enumerate() {
+                                layout.push((r, (k / w) as u8, (k % w) as u8));
+                                plan.sym_group.insert(r, gi);
+                            }
+                            plan.groups.push(AccGroup {
+                                accs: chunks,
+                                layout,
+                                class,
+                            });
+                        } else {
+                            // res[b*n1 + c*w + lane] -> (acc b*chunks + c, lane)
+                            let chunks = t.n1 / w;
+                            let mut layout = Vec::new();
+                            for b in 0..t.n2 {
+                                for c in 0..chunks {
+                                    for lane in 0..w {
+                                        let r = t.res[b * t.n1 + c * w + lane];
+                                        layout.push((
+                                            r,
+                                            (b * chunks + c) as u8,
+                                            lane as u8,
+                                        ));
+                                        plan.sym_group.insert(r, gi);
+                                    }
+                                }
+                            }
+                            plan.groups.push(AccGroup {
+                                accs: t.n2 * chunks,
+                                layout,
+                                class,
+                            });
+                        }
+                    }
+                    VecStrategy::Shuf => {
+                        // acc_k[i] accumulates A[i]*B[i^k]:
+                        // res[b*n1 + a] with b = i^k, a = i  ->  (acc k, lane i)
+                        let class = t.res.iter().find_map(|r| res_class.get(r).copied());
+                        let gi = plan.groups.len();
+                        let mut layout = Vec::new();
+                        for k in 0..w {
+                            for i in 0..w {
+                                let r = t.res[(i ^ k) * t.n1 + i];
+                                layout.push((r, k as u8, i as u8));
+                                plan.sym_group.insert(r, gi);
+                            }
+                        }
+                        plan.groups.push(AccGroup {
+                            accs: w,
+                            layout,
+                            class,
+                        });
+                    }
+                }
+            }
+            Some(TemplateKind::MmComp) => {
+                plan.strategies.push(VecStrategy::Scalar);
+                if let Some(r) = annot.get("res").and_then(|v| v.as_sym()) {
+                    plan.scalar_res_class
+                        .entry(r)
+                        .or_insert_with(|| res_class.get(&r).copied());
+                }
+            }
+            Some(TemplateKind::MvComp)
+            | Some(TemplateKind::MvUnrolledComp)
+            | Some(TemplateKind::SvScal)
+            | Some(TemplateKind::SvUnrolledScal) => {
+                let unrolled = matches!(
+                    kind,
+                    Some(TemplateKind::MvUnrolledComp) | Some(TemplateKind::SvUnrolledScal)
+                );
+                let strat = if unrolled && opts.strategy != StrategyPref::ScalarOnly {
+                    VecStrategy::Vdup
+                } else {
+                    VecStrategy::Scalar
+                };
+                plan.strategies.push(strat);
+                if let Some(s) = annot.get("scal").and_then(|v| v.as_sym()) {
+                    plan.broadcast_syms.insert(s);
+                }
+            }
+            _ => plan.strategies.push(VecStrategy::Scalar),
+        }
+    });
+
+    plan
+}
+
+fn choose_strategy(t: &MmUnrolledComp, w: usize, pref: StrategyPref) -> VecStrategy {
+    if pref == StrategyPref::ScalarOnly {
+        return VecStrategy::Scalar;
+    }
+    if t.diag {
+        return if t.n1 % w == 0 && t.n1 >= w {
+            VecStrategy::Vdup
+        } else {
+            VecStrategy::Scalar
+        };
+    }
+    if pref == StrategyPref::Shuf && t.n1 == w && t.n2 == w {
+        return VecStrategy::Shuf;
+    }
+    if t.n1 % w == 0 && t.n1 >= w {
+        VecStrategy::Vdup
+    } else {
+        VecStrategy::Scalar
+    }
+}
+
+/// Pre-order visit of every region annotation (same order code generation
+/// encounters them).
+pub fn visit_regions(stmts: &[Stmt], f: &mut impl FnMut(&augem_ir::Annot)) {
+    for s in stmts {
+        match s {
+            Stmt::Region { annot, body } => {
+                f(annot);
+                visit_regions(body, f);
+            }
+            Stmt::For { body, .. } => visit_regions(body, f),
+            _ => {}
+        }
+    }
+}
+
+/// Maps result scalars to the array they are eventually stored into, via
+/// the store templates' annotations and raw store statements.
+fn collect_res_classes(stmts: &[Stmt], kernel: &Kernel, out: &mut HashMap<Sym, Sym>) {
+    for s in stmts {
+        match s {
+            Stmt::Region { annot, body } => {
+                let kind = TemplateKind::from_name(&annot.template);
+                match kind {
+                    Some(TemplateKind::MmStore) => {
+                        if let (Some(c), Some(r)) = (
+                            annot.get("C").and_then(|v| v.as_sym()),
+                            annot.get("res").and_then(|v| v.as_sym()),
+                        ) {
+                            out.insert(r, kernel.origin_of(c));
+                        }
+                    }
+                    Some(TemplateKind::MmUnrolledStore) => {
+                        if let (Some(c), Some(rs)) = (
+                            annot.get("C").and_then(|v| v.as_sym()),
+                            annot.get("res").and_then(|v| v.as_syms()),
+                        ) {
+                            for &r in rs {
+                                out.insert(r, kernel.origin_of(c));
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+                collect_res_classes(body, kernel, out);
+            }
+            Stmt::For { body, .. } => collect_res_classes(body, kernel, out),
+            Stmt::Assign {
+                dst: LValue::ArrayRef { base, .. },
+                src: Expr::Var(v),
+            } => {
+                out.entry(*v).or_insert_with(|| kernel.origin_of(*base));
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use augem_kernels::{axpy_simple, dot_simple, gemm_simple};
+    use augem_templates::identify;
+    use augem_transforms::{generate_optimized, OptimizeConfig};
+
+    fn tagged_gemm(nu: usize, mu: usize) -> Kernel {
+        let mut k =
+            generate_optimized(&gemm_simple(), &OptimizeConfig::gemm(nu, mu, 1)).unwrap();
+        identify(&mut k);
+        k
+    }
+
+    #[test]
+    fn sse_2x2_plans_one_vdup_group_with_two_accs() {
+        let k = tagged_gemm(2, 2);
+        let m = MachineSpec::sandy_bridge().with_isa_clamped(augem_machine::SimdMode::Sse);
+        let plan = build(&k, &m, &PlanOptions::default());
+        // Main grid group: n1=2, w=2 -> 1 chunk x n2=2 -> 2 accumulators.
+        let g = plan
+            .groups
+            .iter()
+            .find(|g| g.accs == 2)
+            .expect("main 2x2 group");
+        assert_eq!(g.layout.len(), 4);
+        // Class should resolve to the C array.
+        let c = k.params.iter().find(|&&p| k.syms.name(p) == "C").copied();
+        assert_eq!(g.class, c);
+    }
+
+    #[test]
+    fn avx_2x2_falls_back_to_scalar() {
+        // A 2x2 grid cannot fill a 4-lane AVX register: no accumulator
+        // groups may form, and every region must take the scalar path.
+        let k = tagged_gemm(2, 2);
+        let m = MachineSpec::sandy_bridge(); // AVX, w=4; n1=2 not divisible
+        let plan = build(&k, &m, &PlanOptions::default());
+        assert!(plan.groups.is_empty(), "{:?}", plan.groups);
+        assert!(plan.strategies.iter().all(|s| *s == VecStrategy::Scalar));
+        assert!(!plan.scalar_res_class.is_empty());
+    }
+
+    #[test]
+    fn avx_4x4_plans_vdup_group() {
+        let k = tagged_gemm(4, 4);
+        let m = MachineSpec::sandy_bridge();
+        let plan = build(&k, &m, &PlanOptions::default());
+        let g = plan
+            .groups
+            .iter()
+            .max_by_key(|g| g.layout.len())
+            .expect("main group");
+        assert_eq!(g.layout.len(), 16);
+        assert_eq!(g.accs, 4); // 4 columns x 1 chunk
+    }
+
+    #[test]
+    fn shuf_preference_selects_shuf_on_square_groups() {
+        let k = tagged_gemm(2, 2);
+        let m = MachineSpec::sandy_bridge().with_isa_clamped(augem_machine::SimdMode::Sse);
+        let plan = build(
+            &k,
+            &m,
+            &PlanOptions {
+                strategy: StrategyPref::Shuf,
+                fma: FmaPolicy::Auto,
+            },
+        );
+        assert!(
+            plan.strategies.contains(&VecStrategy::Shuf),
+            "{:?}",
+            plan.strategies
+        );
+        // Shuf lane layout: res[(i^k)*n1+i] -> (k, i). Check acc count.
+        let g = plan.groups.iter().find(|g| g.layout.len() == 4).unwrap();
+        assert_eq!(g.accs, 2);
+    }
+
+    #[test]
+    fn dot_plan_groups_diagonal_accumulators() {
+        let mut k = generate_optimized(&dot_simple(), &OptimizeConfig::vector(4, true)).unwrap();
+        identify(&mut k);
+        let m = MachineSpec::sandy_bridge().with_isa_clamped(augem_machine::SimdMode::Sse);
+        let plan = build(&k, &m, &PlanOptions::default());
+        // 4 accumulators over w=2 -> one group with 2 acc registers.
+        let g = plan.groups.iter().find(|g| g.layout.len() == 4).unwrap();
+        assert_eq!(g.accs, 2);
+        // Lane layout: res_k -> (k/2, k%2).
+        for (pos, &(_, acc, lane)) in g.layout.iter().enumerate() {
+            assert_eq!(acc as usize, pos / 2);
+            assert_eq!(lane as usize, pos % 2);
+        }
+    }
+
+    #[test]
+    fn axpy_plan_marks_scal_broadcast() {
+        let mut k = generate_optimized(&axpy_simple(), &OptimizeConfig::vector(4, false)).unwrap();
+        identify(&mut k);
+        let m = MachineSpec::sandy_bridge();
+        let plan = build(&k, &m, &PlanOptions::default());
+        let alpha = k.params.iter().find(|&&p| k.syms.name(p) == "alpha").copied().unwrap();
+        assert!(plan.broadcast_syms.contains(&alpha));
+    }
+
+    #[test]
+    fn scalar_only_pref_never_vectorizes() {
+        let k = tagged_gemm(4, 4);
+        let m = MachineSpec::sandy_bridge();
+        let plan = build(
+            &k,
+            &m,
+            &PlanOptions {
+                strategy: StrategyPref::ScalarOnly,
+                fma: FmaPolicy::Auto,
+            },
+        );
+        assert!(plan.groups.is_empty());
+        assert!(plan.strategies.iter().all(|s| *s == VecStrategy::Scalar));
+    }
+}

@@ -1,0 +1,369 @@
+//! Post-pass instruction scheduling (one of the four machine-level
+//! optimizations of §2.3).
+//!
+//! A latency-aware list scheduler over straight-line segments: within each
+//! basic block (delimited by labels and branches) instructions are
+//! reordered so that loads issue early and dependent arithmetic is spaced
+//! out, respecting register and memory dependences. The paper's manual
+//! kernels interleave loads with FMAs for exactly this reason; the
+//! ablation benchmark compares scheduled vs unscheduled streams.
+
+use augem_asm::{GpOrImm, XInst};
+use augem_machine::{GpReg, MachineSpec};
+
+/// GP registers read by an instruction.
+fn gp_uses(i: &XInst) -> Vec<GpReg> {
+    fn from_operand(o: &GpOrImm, v: &mut Vec<GpReg>) {
+        if let GpOrImm::Gp(r) = o {
+            v.push(*r);
+        }
+    }
+    let mut v = Vec::new();
+    match i {
+        XInst::FLoad { mem, .. }
+        | XInst::FStore { mem, .. }
+        | XInst::FDup { mem, .. }
+        | XInst::Prefetch { mem, .. } => v.push(mem.base),
+        XInst::IMov { src, .. } => v.push(*src),
+        XInst::ILoad { mem, .. } => v.push(mem.base),
+        XInst::IStore { src, mem } => {
+            v.push(*src);
+            v.push(mem.base);
+        }
+        XInst::IAdd { dst, src } | XInst::ISub { dst, src } | XInst::IMul { dst, src } => {
+            v.push(*dst);
+            from_operand(src, &mut v);
+        }
+        XInst::Lea { base, idx, .. } => {
+            v.push(*base);
+            if let Some((r, _)) = idx {
+                v.push(*r);
+            }
+        }
+        XInst::Cmp { a, b } => {
+            v.push(*a);
+            from_operand(b, &mut v);
+        }
+        _ => {}
+    }
+    v
+}
+
+/// GP register written by an instruction.
+fn gp_def(i: &XInst) -> Option<GpReg> {
+    match i {
+        XInst::IMovImm { dst, .. }
+        | XInst::IMov { dst, .. }
+        | XInst::IAdd { dst, .. }
+        | XInst::ISub { dst, .. }
+        | XInst::IMul { dst, .. }
+        | XInst::ILoad { dst, .. }
+        | XInst::Lea { dst, .. } => Some(*dst),
+        _ => None,
+    }
+}
+
+fn is_mem_read(i: &XInst) -> bool {
+    matches!(i, XInst::FLoad { .. } | XInst::FDup { .. } | XInst::ILoad { .. })
+}
+
+fn is_mem_write(i: &XInst) -> bool {
+    matches!(i, XInst::FStore { .. } | XInst::IStore { .. })
+}
+
+fn is_boundary(i: &XInst) -> bool {
+    matches!(
+        i,
+        XInst::Label(_)
+            | XInst::Jl(_)
+            | XInst::Jge(_)
+            | XInst::Jmp(_)
+            | XInst::Ret
+            | XInst::Cmp { .. }
+    )
+}
+
+/// Schedules the instruction stream for `machine`.
+pub fn schedule(insts: Vec<XInst>, machine: &MachineSpec) -> Vec<XInst> {
+    let mut out = Vec::with_capacity(insts.len());
+    let mut block: Vec<XInst> = Vec::new();
+    for i in insts {
+        if is_boundary(&i) {
+            flush_block(&mut block, machine, &mut out);
+            out.push(i);
+        } else {
+            block.push(i);
+        }
+    }
+    flush_block(&mut block, machine, &mut out);
+    out
+}
+
+fn flush_block(block: &mut Vec<XInst>, machine: &MachineSpec, out: &mut Vec<XInst>) {
+    if block.is_empty() {
+        return;
+    }
+    let insts = std::mem::take(block);
+    // Comments are hoisted to the block head (they carry no dependences).
+    let (comments, body): (Vec<XInst>, Vec<XInst>) = insts
+        .into_iter()
+        .partition(|i| matches!(i, XInst::Comment(_)));
+    out.extend(comments);
+    out.extend(list_schedule(body, machine));
+}
+
+fn latency_of(i: &XInst, machine: &MachineSpec) -> u32 {
+    match i.class() {
+        Some((class, mode)) => machine.timing.timing(class, mode).latency,
+        None => 0,
+    }
+}
+
+fn list_schedule(body: Vec<XInst>, machine: &MachineSpec) -> Vec<XInst> {
+    let n = body.len();
+    if n <= 1 {
+        return body;
+    }
+    // Dependence edges: i -> j means j depends on i.
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut preds: Vec<usize> = vec![0; n];
+    for j in 0..n {
+        for i in 0..j {
+            if depends(&body[i], &body[j]) {
+                succs[i].push(j);
+                preds[j] += 1;
+            }
+        }
+    }
+    // Priority: critical-path height.
+    let mut height = vec![0u32; n];
+    for i in (0..n).rev() {
+        let lat = latency_of(&body[i], machine);
+        let best = succs[i].iter().map(|&s| height[s]).max().unwrap_or(0);
+        height[i] = best + lat.max(1);
+    }
+
+    // Cycle-driven greedy selection.
+    let mut ready_at = vec![0u64; n]; // earliest issue cycle per inst
+    let mut done = vec![false; n];
+    let mut remaining = n;
+    let mut pending_preds = preds;
+    let mut ready: Vec<usize> = (0..n).filter(|&i| pending_preds[i] == 0).collect();
+    let mut cycle = 0u64;
+    let mut order = Vec::with_capacity(n);
+    while remaining > 0 {
+        // Pick the ready instruction (issueable this cycle) with the
+        // greatest critical-path height; fall back to earliest-ready.
+        let candidate = ready
+            .iter()
+            .copied()
+            .filter(|&i| !done[i] && ready_at[i] <= cycle)
+            .max_by_key(|&i| (height[i], std::cmp::Reverse(i)));
+        match candidate {
+            Some(i) => {
+                done[i] = true;
+                remaining -= 1;
+                order.push(i);
+                let finish = cycle + latency_of(&body[i], machine) as u64;
+                for &s in &succs[i] {
+                    pending_preds[s] -= 1;
+                    ready_at[s] = ready_at[s].max(finish);
+                    if pending_preds[s] == 0 {
+                        ready.push(s);
+                    }
+                }
+                cycle += 1; // issue width 1 approximation for ordering
+            }
+            None => {
+                cycle += 1;
+            }
+        }
+    }
+    let mut positions = vec![0usize; n];
+    for (p, &i) in order.iter().enumerate() {
+        positions[i] = p;
+    }
+    let mut indexed: Vec<(usize, XInst)> = body.into_iter().enumerate().collect();
+    indexed.sort_by_key(|(i, _)| positions[*i]);
+    indexed.into_iter().map(|(_, x)| x).collect()
+}
+
+/// Conservative dependence test: true if `later` must stay after `earlier`.
+fn depends(earlier: &XInst, later: &XInst) -> bool {
+    // Memory ordering: writes order with everything; reads commute.
+    if is_mem_write(earlier) && (is_mem_read(later) || is_mem_write(later)) {
+        return true;
+    }
+    if is_mem_read(earlier) && is_mem_write(later) {
+        return true;
+    }
+    // Vector register dependences.
+    let e_def = earlier.vec_def();
+    let l_def = later.vec_def();
+    if let Some(d) = e_def {
+        if later.vec_uses().contains(&d) || l_def == Some(d) {
+            return true;
+        }
+    }
+    if let Some(d) = l_def {
+        if earlier.vec_uses().contains(&d) {
+            return true;
+        }
+    }
+    // GP register dependences.
+    let e_gdef = gp_def(earlier);
+    let l_gdef = gp_def(later);
+    if let Some(d) = e_gdef {
+        if gp_uses(later).contains(&d) || l_gdef == Some(d) {
+            return true;
+        }
+    }
+    if let Some(d) = l_gdef {
+        if gp_uses(earlier).contains(&d) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use augem_asm::{Mem, Width};
+    use augem_machine::VecReg;
+
+    fn m() -> MachineSpec {
+        MachineSpec::sandy_bridge()
+    }
+
+    #[test]
+    fn dependent_chain_keeps_order() {
+        let insts = vec![
+            XInst::FLoad {
+                dst: VecReg(1),
+                mem: Mem::elem(GpReg(5), 0),
+                w: Width::S,
+            },
+            XInst::FMul3 {
+                dst: VecReg(2),
+                a: VecReg(1),
+                b: VecReg(1),
+                w: Width::S,
+            },
+            XInst::FAdd3 {
+                dst: VecReg(3),
+                a: VecReg(2),
+                b: VecReg(2),
+                w: Width::S,
+            },
+        ];
+        let s = schedule(insts.clone(), &m());
+        assert_eq!(s, insts);
+    }
+
+    #[test]
+    fn independent_load_hoists_above_dependent_arithmetic() {
+        // load r1; mul r2 = r1*r1; load r4  ->  the second load should
+        // move up between (or before) the dependent ops.
+        let insts = vec![
+            XInst::FLoad {
+                dst: VecReg(1),
+                mem: Mem::elem(GpReg(5), 0),
+                w: Width::S,
+            },
+            XInst::FMul3 {
+                dst: VecReg(2),
+                a: VecReg(1),
+                b: VecReg(1),
+                w: Width::S,
+            },
+            XInst::FMul3 {
+                dst: VecReg(3),
+                a: VecReg(2),
+                b: VecReg(2),
+                w: Width::S,
+            },
+            XInst::FLoad {
+                dst: VecReg(4),
+                mem: Mem::elem(GpReg(5), 8),
+                w: Width::S,
+            },
+            XInst::FAdd3 {
+                dst: VecReg(5),
+                a: VecReg(4),
+                b: VecReg(3),
+                w: Width::S,
+            },
+        ];
+        let s = schedule(insts, &m());
+        let pos_load2 = s
+            .iter()
+            .position(|i| matches!(i, XInst::FLoad { dst, .. } if *dst == VecReg(4)))
+            .unwrap();
+        let pos_mul2 = s
+            .iter()
+            .position(|i| matches!(i, XInst::FMul3 { dst, .. } if *dst == VecReg(3)))
+            .unwrap();
+        assert!(
+            pos_load2 < pos_mul2,
+            "independent load should hoist: {s:?}"
+        );
+    }
+
+    #[test]
+    fn stores_never_cross_loads_of_same_stream() {
+        let insts = vec![
+            XInst::FStore {
+                src: VecReg(1),
+                mem: Mem::elem(GpReg(5), 0),
+                w: Width::S,
+            },
+            XInst::FLoad {
+                dst: VecReg(2),
+                mem: Mem::elem(GpReg(5), 0),
+                w: Width::S,
+            },
+        ];
+        let s = schedule(insts.clone(), &m());
+        assert_eq!(s, insts);
+    }
+
+    #[test]
+    fn blocks_do_not_cross_labels() {
+        let insts = vec![
+            XInst::FLoad {
+                dst: VecReg(1),
+                mem: Mem::elem(GpReg(5), 0),
+                w: Width::S,
+            },
+            XInst::Label("L".into()),
+            XInst::FLoad {
+                dst: VecReg(2),
+                mem: Mem::elem(GpReg(5), 8),
+                w: Width::S,
+            },
+        ];
+        let s = schedule(insts.clone(), &m());
+        assert_eq!(s, insts);
+    }
+
+    #[test]
+    fn cmp_stays_adjacent_to_branch() {
+        let insts = vec![
+            XInst::IAdd {
+                dst: GpReg(0),
+                src: GpOrImm::Imm(1),
+            },
+            XInst::Cmp {
+                a: GpReg(0),
+                b: GpOrImm::Imm(10),
+            },
+            XInst::Jl("L".into()),
+            XInst::Label("L".into()),
+            XInst::Ret,
+        ];
+        let s = schedule(insts.clone(), &m());
+        let cmp = s.iter().position(|i| matches!(i, XInst::Cmp { .. })).unwrap();
+        assert!(matches!(s[cmp + 1], XInst::Jl(_)));
+    }
+}

@@ -1,0 +1,257 @@
+//! Structural tests on the generated instruction streams: the codegen
+//! idioms the paper's sections describe must actually appear (and the
+//! wasteful ones must not).
+
+use augem_asm::{emit::emit_att, XInst};
+use augem_kernels::{dot_simple, gemm_simple, gemv_simple};
+use augem_machine::{MachineSpec, SimdMode};
+use augem_opt::{generate, CodegenOptions};
+use augem_templates::identify;
+use augem_transforms::{generate_optimized, OptimizeConfig, PrefetchConfig};
+
+fn build(
+    kernel: &augem_ir::Kernel,
+    cfg: &OptimizeConfig,
+    machine: &MachineSpec,
+    opts: &CodegenOptions,
+) -> augem_asm::AsmKernel {
+    let mut k = generate_optimized(kernel, cfg).unwrap();
+    identify(&mut k);
+    generate(&k, machine, opts).unwrap()
+}
+
+/// Extracts the instruction lines of the hottest *innermost* loop body:
+/// among label→back-edge spans containing no nested labels, the one with
+/// the most floating-point instructions.
+fn hottest_loop_body(asm: &augem_asm::AsmKernel) -> Vec<XInst> {
+    let fp_count = |body: &[XInst]| {
+        body.iter()
+            .filter(|i| {
+                matches!(
+                    i.class(),
+                    Some((
+                        augem_machine::InstClass::FMul
+                            | augem_machine::InstClass::FAdd
+                            | augem_machine::InstClass::Fma,
+                        _
+                    ))
+                )
+            })
+            .count()
+    };
+    let mut best: Vec<XInst> = Vec::new();
+    for (i, inst) in asm.insts.iter().enumerate() {
+        if let XInst::Label(l) = inst {
+            for (j, later) in asm.insts.iter().enumerate().skip(i + 1) {
+                if matches!(later, XInst::Label(_)) {
+                    break; // not innermost
+                }
+                if matches!(later, XInst::Jl(t) if t == l) {
+                    let body: Vec<XInst> = asm.insts[i + 1..j]
+                        .iter()
+                        .filter(|x| x.class().is_some())
+                        .cloned()
+                        .collect();
+                    if fp_count(&body) > fp_count(&best) {
+                        best = body;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    best
+}
+
+#[test]
+fn zero_init_coalesces_to_one_xor_per_accumulator_register() {
+    // 8x4 AVX: 32 result scalars pack into 8 YMM accumulators; their 32
+    // `res = 0.0` statements must lower to exactly 8 vxorpd per i-loop
+    // iteration, not 32.
+    let m = MachineSpec::sandy_bridge();
+    let asm = build(
+        &gemm_simple(),
+        &OptimizeConfig::gemm(4, 8, 1),
+        &m,
+        &CodegenOptions {
+            schedule: false,
+            ..Default::default()
+        },
+    );
+    // Count FZero between the i-loop label and the l-loop label: the
+    // simplest robust proxy is the total static count — one per acc reg
+    // per loop level that zeroes (main i body = 8, remainder bodies add
+    // their own smaller sets).
+    let total_fzero = asm
+        .insts
+        .iter()
+        .filter(|i| matches!(i, XInst::FZero { .. }))
+        .count();
+    assert!(
+        (8..=24).contains(&total_fzero),
+        "expected coalesced zeroing (8 accs + remainder paths), got {total_fzero}"
+    );
+}
+
+#[test]
+fn dot_epilogue_is_a_horizontal_sum_on_avx() {
+    let m = MachineSpec::sandy_bridge();
+    let asm = build(
+        &dot_simple(),
+        &OptimizeConfig::vector(8, true),
+        &m,
+        &CodegenOptions::default(),
+    );
+    let text = emit_att(&asm, &m.isa);
+    assert!(
+        text.contains("vextractf128"),
+        "AVX horizontal sum needs the high half:\n{text}"
+    );
+    // The merge chain must NOT appear as per-lane scalar adds: with 8
+    // accumulators in 2 YMM registers the epilogue is 2 hsums + 2 scalar
+    // combines, far fewer than 7 scalar adds.
+    let scalar_adds = asm
+        .insts
+        .iter()
+        .filter(|i| {
+            matches!(
+                i,
+                XInst::FAdd3 {
+                    w: augem_asm::Width::S,
+                    ..
+                }
+            )
+        })
+        .count();
+    // (2 hsum tail-adds + 1 cross-register combine + 1 remainder combine
+    // + the mmSTORE add ≈ 5-6; an unfolded per-lane chain would need 7
+    // merges plus the rest.)
+    assert!(
+        scalar_adds <= 6,
+        "reduction epilogue should be folded, got {scalar_adds} scalar adds:\n{text}"
+    );
+}
+
+#[test]
+fn sse_inner_loop_uses_the_redup_idiom() {
+    // GotoBLAS-era SSE kernels re-broadcast B per multiply instead of
+    // copying registers: the inner loop must contain movddup and no
+    // movapd register moves.
+    let m = MachineSpec::sandy_bridge().with_isa_clamped(SimdMode::Sse);
+    let asm = build(
+        &gemm_simple(),
+        &OptimizeConfig::gemm(4, 4, 1),
+        &m,
+        &CodegenOptions {
+            schedule: false,
+            ..Default::default()
+        },
+    );
+    let body = hottest_loop_body(&asm);
+    assert!(!body.is_empty());
+    let dups = body.iter().filter(|i| matches!(i, XInst::FDup { .. })).count();
+    let movs = body.iter().filter(|i| matches!(i, XInst::FMov { .. })).count();
+    let muls = body.iter().filter(|i| matches!(i, XInst::FMul2 { .. })).count();
+    assert_eq!(dups, 8, "one re-dup per (A chunk, B column) pair: {body:?}");
+    assert_eq!(movs, 0, "no register copies in the SSE inner loop");
+    assert_eq!(muls, 8, "2 chunks x 4 columns");
+}
+
+#[test]
+fn avx_inner_loop_instruction_budget() {
+    // 8x4 AVX Vdup: per l iteration the inner loop needs exactly
+    // 2 packed A loads + 4 broadcasts + 8 vmul + 8 vadd + 2 lea
+    // + loop control. Anything more is waste the timing model would
+    // charge for.
+    let m = MachineSpec::sandy_bridge();
+    let asm = build(
+        &gemm_simple(),
+        &OptimizeConfig::gemm(4, 8, 1),
+        &m,
+        &CodegenOptions {
+            schedule: false,
+            ..Default::default()
+        },
+    );
+    let body = hottest_loop_body(&asm);
+    let count = |f: &dyn Fn(&XInst) -> bool| body.iter().filter(|i| f(i)).count();
+    assert_eq!(count(&|i| matches!(i, XInst::FLoad { .. })), 2);
+    assert_eq!(count(&|i| matches!(i, XInst::FDup { .. })), 4);
+    assert_eq!(count(&|i| matches!(i, XInst::FMul3 { .. })), 8);
+    assert_eq!(count(&|i| matches!(i, XInst::FAdd3 { .. })), 8);
+    assert_eq!(count(&|i| matches!(i, XInst::FMov { .. })), 0);
+}
+
+#[test]
+fn piledriver_inner_loop_is_pure_fma() {
+    let m = MachineSpec::piledriver();
+    let asm = build(
+        &gemm_simple(),
+        &OptimizeConfig::gemm(4, 8, 1),
+        &m,
+        &CodegenOptions {
+            schedule: false,
+            ..Default::default()
+        },
+    );
+    let body = hottest_loop_body(&asm);
+    let fmas = body.iter().filter(|i| matches!(i, XInst::Fma3 { .. })).count();
+    let muls = body
+        .iter()
+        .filter(|i| matches!(i, XInst::FMul2 { .. } | XInst::FMul3 { .. }))
+        .count();
+    assert_eq!(fmas, 8, "{body:?}");
+    assert_eq!(muls, 0, "every multiply must fuse on Piledriver");
+}
+
+#[test]
+fn gemv_inner_loop_has_no_scalar_fallback() {
+    let m = MachineSpec::sandy_bridge();
+    let asm = build(
+        &gemv_simple(),
+        &OptimizeConfig::gemv(8),
+        &m,
+        &CodegenOptions::default(),
+    );
+    let body = hottest_loop_body(&asm);
+    let packed_ops = body
+        .iter()
+        .filter(|i| {
+            matches!(i.class(), Some((c, _)) if matches!(c, augem_machine::InstClass::FMul | augem_machine::InstClass::FAdd | augem_machine::InstClass::Fma))
+        })
+        .filter(|i| match i {
+            XInst::FMul2 { w, .. }
+            | XInst::FAdd2 { w, .. }
+            | XInst::FMul3 { w, .. }
+            | XInst::FAdd3 { w, .. }
+            | XInst::Fma3 { w, .. }
+            | XInst::Fma4 { w, .. } => *w == augem_asm::Width::V4,
+            _ => false,
+        })
+        .count();
+    assert!(packed_ops >= 4, "main GEMV loop must be fully packed: {body:?}");
+}
+
+#[test]
+fn prefetch_instructions_survive_to_assembly() {
+    let m = MachineSpec::sandy_bridge();
+    let mut cfg = OptimizeConfig::gemm(4, 8, 1);
+    cfg.prefetch = PrefetchConfig {
+        read_dist: Some(128),
+        write_prefetch: true,
+        locality: 3,
+    };
+    let asm = build(&gemm_simple(), &cfg, &m, &CodegenOptions::default());
+    let reads = asm
+        .insts
+        .iter()
+        .filter(|i| matches!(i, XInst::Prefetch { write: false, .. }))
+        .count();
+    let writes = asm
+        .insts
+        .iter()
+        .filter(|i| matches!(i, XInst::Prefetch { write: true, .. }))
+        .count();
+    assert!(reads >= 2, "A and B read prefetches");
+    assert!(writes >= 1, "C tile write prefetch");
+}

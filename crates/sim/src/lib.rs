@@ -1,0 +1,31 @@
+//! # augem-sim
+//!
+//! Simulators for AUGEM-generated assembly kernels — this reproduction's
+//! substitute for the paper's physical Sandy Bridge / Piledriver testbed
+//! (see DESIGN.md's substitution table).
+//!
+//! * [`func`] — a **functional simulator**: executes the concrete
+//!   [`augem_asm::XInst`] stream over real `f64` memory with faithful
+//!   SSE/AVX lane semantics (legacy-SSE upper-lane preservation vs VEX
+//!   zeroing included), proving the generated kernels compute exactly what
+//!   the C kernels compute.
+//! * [`cache`] — a set-associative write-allocate cache simulator with a
+//!   stream prefetcher, fed by the functional simulator's memory trace.
+//! * [`timing`] — a **cycle-approximate timing model**: replays the
+//!   dynamic instruction trace through an issue-width + execution-port
+//!   scoreboard with data-dependence latencies and cache-modeled load
+//!   latencies, yielding cycles and Mflops for a kernel invocation.
+//!
+//! The timing model captures the first-order effects the paper's
+//! optimizations target — SIMD width, FMA fusion, false dependences from
+//! register reuse, port contention, prefetch coverage — and is calibrated
+//! (not validated) against the paper's absolute numbers; EXPERIMENTS.md
+//! compares shapes only.
+
+pub mod cache;
+pub mod func;
+pub mod timing;
+
+pub use cache::CacheSim;
+pub use func::{FuncSim, SimError, SimValue, Trace};
+pub use timing::{simulate_timing, simulate_timing_steady, TimingReport};

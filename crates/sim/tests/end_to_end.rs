@@ -1,0 +1,529 @@
+//! End-to-end validation: simple C kernel → Optimized C Kernel Generator →
+//! Template Identifier → Template Optimizer / Assembly Kernel Generator →
+//! functional simulation — compared against pure-Rust references.
+//!
+//! This is the reproduction's equivalent of the paper's correctness
+//! criterion (generated assembly must compute what the C kernel computes),
+//! exercised across both paper platforms, both SIMD modes, both
+//! vectorization strategies and all four FMA/non-FMA paths.
+
+use augem_kernels::{axpy_simple, dot_simple, gemm_simple, gemv_simple};
+use augem_kernels::{ref_axpy, ref_dot, ref_gemm_packed, ref_gemv_colmajor};
+use augem_machine::{MachineSpec, SimdMode};
+use augem_opt::{generate, CodegenOptions, FmaPolicy, StrategyPref};
+use augem_sim::{FuncSim, SimValue};
+use augem_templates::identify;
+use augem_transforms::{generate_optimized, OptimizeConfig};
+
+fn machines() -> Vec<(&'static str, MachineSpec)> {
+    vec![
+        ("snb-avx", MachineSpec::sandy_bridge()),
+        (
+            "snb-sse",
+            MachineSpec::sandy_bridge().with_isa_clamped(SimdMode::Sse),
+        ),
+        ("piledriver", MachineSpec::piledriver()),
+        (
+            "piledriver-sse",
+            MachineSpec::piledriver().with_isa_clamped(SimdMode::Sse),
+        ),
+    ]
+}
+
+fn build_asm(
+    kernel: &augem_ir::Kernel,
+    cfg: &OptimizeConfig,
+    machine: &MachineSpec,
+    opts: &CodegenOptions,
+) -> augem_asm::AsmKernel {
+    let mut k = generate_optimized(kernel, cfg).expect("optimized C generation");
+    identify(&mut k);
+    generate(&k, machine, opts).expect("assembly generation")
+}
+
+fn approx_eq(a: &[f64], b: &[f64], tol: f64) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+}
+
+// ---------------- GEMM ----------------
+
+fn check_gemm(
+    machine: &MachineSpec,
+    opts: &CodegenOptions,
+    nu: usize,
+    mu: usize,
+    ku: usize,
+    mr: usize,
+    nr: usize,
+    kc: usize,
+) {
+    let cfg = OptimizeConfig::gemm(nu, mu, ku);
+    let asm = build_asm(&gemm_simple(), &cfg, machine, opts);
+
+    let mc = mr; // packed-A leading dimension
+    let ldb = nr + 1; // packed-B leading dimension (> nr to catch stride bugs)
+    let ldc = mr + 2;
+    let a: Vec<f64> = (0..mc * kc).map(|v| ((v * 7) % 13) as f64 - 5.0).collect();
+    let b: Vec<f64> = (0..kc * ldb).map(|v| ((v * 3) % 11) as f64 * 0.25).collect();
+    let c0: Vec<f64> = (0..ldc * nr).map(|v| (v % 5) as f64 * 0.5).collect();
+
+    let mut expect = c0.clone();
+    ref_gemm_packed(mr, nr, kc, mc, ldb, ldc, &a, &b, &mut expect);
+
+    let sim = FuncSim::new(machine.isa);
+    let (arrays, _) = sim
+        .run(
+            &asm,
+            vec![
+                SimValue::Int(mr as i64),
+                SimValue::Int(nr as i64),
+                SimValue::Int(kc as i64),
+                SimValue::Int(mc as i64),
+                SimValue::Int(ldb as i64),
+                SimValue::Int(ldc as i64),
+                SimValue::Array(a),
+                SimValue::Array(b),
+                SimValue::Array(c0),
+            ],
+        )
+        .unwrap_or_else(|e| panic!("simulation failed ({}): {e}", machine.arch.short_name()));
+    assert!(
+        approx_eq(&arrays[2], &expect, 1e-12),
+        "GEMM mismatch on {} nu={nu} mu={mu} ku={ku} mr={mr} nr={nr} kc={kc}\ngot:    {:?}\nexpect: {:?}",
+        machine.arch.short_name(),
+        &arrays[2][..8.min(arrays[2].len())],
+        &expect[..8.min(expect.len())],
+    );
+}
+
+#[test]
+fn gemm_sse_2x2_vdup_exact_sizes() {
+    let m = MachineSpec::sandy_bridge().with_isa_clamped(SimdMode::Sse);
+    check_gemm(&m, &CodegenOptions::default(), 2, 2, 1, 4, 4, 8);
+}
+
+#[test]
+fn gemm_sse_2x2_vdup_remainder_sizes() {
+    let m = MachineSpec::sandy_bridge().with_isa_clamped(SimdMode::Sse);
+    check_gemm(&m, &CodegenOptions::default(), 2, 2, 1, 5, 3, 7);
+}
+
+#[test]
+fn gemm_sse_2x2_shuf_method() {
+    let m = MachineSpec::sandy_bridge().with_isa_clamped(SimdMode::Sse);
+    let opts = CodegenOptions {
+        strategy: StrategyPref::Shuf,
+        ..Default::default()
+    };
+    check_gemm(&m, &opts, 2, 2, 1, 4, 4, 6);
+    check_gemm(&m, &opts, 2, 2, 1, 5, 5, 3);
+}
+
+#[test]
+fn gemm_avx_4x4_vdup() {
+    let m = MachineSpec::sandy_bridge();
+    check_gemm(&m, &CodegenOptions::default(), 4, 4, 1, 8, 8, 5);
+    check_gemm(&m, &CodegenOptions::default(), 4, 4, 1, 9, 6, 4);
+}
+
+#[test]
+fn gemm_avx_4x4_shuf_method() {
+    let m = MachineSpec::sandy_bridge();
+    let opts = CodegenOptions {
+        strategy: StrategyPref::Shuf,
+        ..Default::default()
+    };
+    check_gemm(&m, &opts, 4, 4, 1, 8, 8, 3);
+    check_gemm(&m, &opts, 4, 4, 1, 10, 7, 4);
+}
+
+#[test]
+fn gemm_piledriver_fma3() {
+    let m = MachineSpec::piledriver();
+    check_gemm(&m, &CodegenOptions::default(), 4, 4, 1, 8, 8, 6);
+}
+
+#[test]
+fn gemm_piledriver_fma4() {
+    let m = MachineSpec::piledriver();
+    let opts = CodegenOptions {
+        fma: FmaPolicy::PreferFma4,
+        ..Default::default()
+    };
+    check_gemm(&m, &opts, 4, 4, 1, 8, 8, 6);
+    // FMA4 + Shuf combination
+    let opts = CodegenOptions {
+        fma: FmaPolicy::PreferFma4,
+        strategy: StrategyPref::Shuf,
+        ..Default::default()
+    };
+    check_gemm(&m, &opts, 4, 4, 1, 8, 4, 5);
+}
+
+#[test]
+fn gemm_inner_unroll() {
+    let m = MachineSpec::sandy_bridge();
+    check_gemm(&m, &CodegenOptions::default(), 2, 4, 2, 8, 6, 9);
+    let sse = MachineSpec::sandy_bridge().with_isa_clamped(SimdMode::Sse);
+    check_gemm(&sse, &CodegenOptions::default(), 2, 2, 4, 6, 6, 12);
+}
+
+#[test]
+fn gemm_all_machines_smoke() {
+    for (name, m) in machines() {
+        let (nu, mu) = if m.simd_mode() == SimdMode::Avx {
+            (4, 4)
+        } else {
+            (2, 2)
+        };
+        let _ = name;
+        check_gemm(&m, &CodegenOptions::default(), nu, mu, 1, mu + 1, nu + 1, 5);
+    }
+}
+
+#[test]
+fn gemm_without_scheduling_matches() {
+    let m = MachineSpec::sandy_bridge();
+    let opts = CodegenOptions {
+        schedule: false,
+        ..Default::default()
+    };
+    check_gemm(&m, &opts, 4, 4, 1, 8, 8, 4);
+}
+
+// ---------------- AXPY ----------------
+
+fn check_axpy(machine: &MachineSpec, opts: &CodegenOptions, unroll: usize, n: usize) {
+    let cfg = OptimizeConfig::vector(unroll, false);
+    let asm = build_asm(&axpy_simple(), &cfg, machine, opts);
+    let alpha = 1.75;
+    let x: Vec<f64> = (0..n).map(|v| (v as f64) * 0.5 - 3.0).collect();
+    let y0: Vec<f64> = (0..n).map(|v| ((v * 3) % 7) as f64).collect();
+    let mut expect = y0.clone();
+    ref_axpy(alpha, &x, &mut expect);
+
+    let sim = FuncSim::new(machine.isa);
+    let (arrays, _) = sim
+        .run(
+            &asm,
+            vec![
+                SimValue::Int(n as i64),
+                SimValue::F64(alpha),
+                SimValue::Array(x),
+                SimValue::Array(y0),
+            ],
+        )
+        .unwrap();
+    assert_eq!(arrays[1], expect, "AXPY mismatch on {}", machine.arch.short_name());
+}
+
+#[test]
+fn axpy_all_machines_unroll_sweep() {
+    for (_, m) in machines() {
+        for unroll in [2, 4, 8] {
+            for n in [32, 37] {
+                check_axpy(&m, &CodegenOptions::default(), unroll, n);
+            }
+        }
+    }
+}
+
+// ---------------- DOT ----------------
+
+fn check_dot(machine: &MachineSpec, unroll: usize, n: usize) {
+    let cfg = OptimizeConfig::vector(unroll, true);
+    let asm = build_asm(&dot_simple(), &cfg, machine, &CodegenOptions::default());
+    let x: Vec<f64> = (0..n).map(|v| (v as f64).sin()).collect();
+    let y: Vec<f64> = (0..n).map(|v| (v as f64 * 0.3).cos()).collect();
+    let exact = ref_dot(&x, &y);
+
+    let sim = FuncSim::new(machine.isa);
+    let (arrays, _) = sim
+        .run(
+            &asm,
+            vec![
+                SimValue::Int(n as i64),
+                SimValue::Array(x),
+                SimValue::Array(y),
+                SimValue::Array(vec![0.25]),
+            ],
+        )
+        .unwrap();
+    let got = arrays[2][0] - 0.25;
+    assert!(
+        (got - exact).abs() < 1e-12 * (n as f64),
+        "DOT mismatch on {} unroll={unroll} n={n}: {got} vs {exact}",
+        machine.arch.short_name()
+    );
+}
+
+#[test]
+fn dot_all_machines() {
+    for (_, m) in machines() {
+        let w = m.simd_mode().f64_lanes();
+        for unroll in [w, 2 * w] {
+            for n in [40, 41, 43] {
+                check_dot(&m, unroll, n);
+            }
+        }
+    }
+}
+
+// ---------------- GEMV ----------------
+
+fn check_gemv(machine: &MachineSpec, unroll: usize, m_rows: usize, n_cols: usize) {
+    let cfg = OptimizeConfig::gemv(unroll);
+    let asm = build_asm(&gemv_simple(), &cfg, machine, &CodegenOptions::default());
+    let lda = m_rows + 1;
+    let a: Vec<f64> = (0..lda * n_cols).map(|v| ((v * 5) % 9) as f64 - 2.0).collect();
+    let x: Vec<f64> = (0..n_cols).map(|v| 0.5 + v as f64 * 0.25).collect();
+    let y0: Vec<f64> = vec![1.0; m_rows];
+    let mut expect = y0.clone();
+    ref_gemv_colmajor(m_rows, n_cols, lda, &a, &x, &mut expect);
+
+    let sim = FuncSim::new(machine.isa);
+    let (arrays, _) = sim
+        .run(
+            &asm,
+            vec![
+                SimValue::Int(m_rows as i64),
+                SimValue::Int(n_cols as i64),
+                SimValue::Int(lda as i64),
+                SimValue::Array(a),
+                SimValue::Array(x),
+                SimValue::Array(y0),
+            ],
+        )
+        .unwrap();
+    assert_eq!(
+        arrays[2], expect,
+        "GEMV mismatch on {} unroll={unroll} m={m_rows} n={n_cols}",
+        machine.arch.short_name()
+    );
+}
+
+#[test]
+fn gemv_all_machines() {
+    for (_, m) in machines() {
+        for unroll in [2, 4] {
+            check_gemv(&m, unroll, 12, 5);
+            check_gemv(&m, unroll, 13, 4);
+        }
+    }
+}
+
+// ---------------- emitted text sanity ----------------
+
+#[test]
+fn emitted_avx_gemm_uses_expected_mnemonics() {
+    let m = MachineSpec::sandy_bridge();
+    let cfg = OptimizeConfig::gemm(4, 4, 1);
+    let asm = build_asm(&gemm_simple(), &cfg, &m, &CodegenOptions::default());
+    let text = augem_asm::emit::emit_att(&asm, &m.isa);
+    assert!(text.contains("vbroadcastsd"), "Vdup method must broadcast:\n{text}");
+    assert!(text.contains("vmulpd") || text.contains("vfmadd"), "{text}");
+    assert!(text.contains("vmovupd"), "{text}");
+    assert!(text.contains("prefetcht0"), "{text}");
+}
+
+#[test]
+fn emitted_piledriver_gemm_uses_fma3() {
+    let m = MachineSpec::piledriver();
+    let cfg = OptimizeConfig::gemm(4, 4, 1);
+    let asm = build_asm(&gemm_simple(), &cfg, &m, &CodegenOptions::default());
+    let text = augem_asm::emit::emit_att(&asm, &m.isa);
+    assert!(text.contains("vfmadd231pd"), "{text}");
+}
+
+#[test]
+fn emitted_sse_gemm_has_no_avx() {
+    let m = MachineSpec::sandy_bridge().with_isa_clamped(SimdMode::Sse);
+    let cfg = OptimizeConfig::gemm(2, 2, 1);
+    let asm = build_asm(&gemm_simple(), &cfg, &m, &CodegenOptions::default());
+    let text = augem_asm::emit::emit_att(&asm, &m.isa);
+    assert!(!text.contains("%ymm"), "SSE kernel must not touch ymm:\n{text}");
+    assert!(!text.contains("vmulpd"), "{text}");
+    assert!(text.contains("mulpd") || text.contains("mulsd"), "{text}");
+}
+
+// ---------------- GER ----------------
+
+fn check_ger(machine: &MachineSpec, unroll: usize, m_rows: usize, n_cols: usize) {
+    let cfg = OptimizeConfig::vector(unroll, false);
+    let asm = build_asm(
+        &augem_kernels::ger_simple(),
+        &cfg,
+        machine,
+        &CodegenOptions::default(),
+    );
+    let lda = m_rows + 1;
+    let x: Vec<f64> = (0..m_rows).map(|v| v as f64 * 0.5 - 1.0).collect();
+    let y: Vec<f64> = (0..n_cols).map(|v| 2.0 - v as f64 * 0.25).collect();
+    let a0: Vec<f64> = (0..lda * n_cols).map(|v| (v % 7) as f64).collect();
+    let mut expect = a0.clone();
+    for j in 0..n_cols {
+        for i in 0..m_rows {
+            expect[j * lda + i] += x[i] * y[j];
+        }
+    }
+    let sim = FuncSim::new(machine.isa);
+    let (arrays, _) = sim
+        .run(
+            &asm,
+            vec![
+                SimValue::Int(m_rows as i64),
+                SimValue::Int(n_cols as i64),
+                SimValue::Int(lda as i64),
+                SimValue::Array(x),
+                SimValue::Array(y),
+                SimValue::Array(a0),
+            ],
+        )
+        .unwrap();
+    assert_eq!(
+        arrays[2], expect,
+        "GER mismatch on {} unroll={unroll} {m_rows}x{n_cols}",
+        machine.arch.short_name()
+    );
+}
+
+#[test]
+fn ger_all_machines() {
+    for (_, m) in machines() {
+        for unroll in [2, 4, 8] {
+            check_ger(&m, unroll, 14, 5);
+            check_ger(&m, unroll, 13, 3);
+        }
+    }
+}
+
+// ---------------- SCAL (extension template) ----------------
+
+fn check_scal(machine: &MachineSpec, unroll: usize, n: usize) {
+    let cfg = OptimizeConfig::vector(unroll, false);
+    let asm = build_asm(
+        &augem_kernels::scal_simple(),
+        &cfg,
+        machine,
+        &CodegenOptions::default(),
+    );
+    let alpha = 0.375;
+    let y0: Vec<f64> = (0..n).map(|v| v as f64 - 7.0).collect();
+    let expect: Vec<f64> = y0.iter().map(|v| v * alpha).collect();
+    let sim = FuncSim::new(machine.isa);
+    let (arrays, _) = sim
+        .run(
+            &asm,
+            vec![
+                SimValue::Int(n as i64),
+                SimValue::F64(alpha),
+                SimValue::Array(y0),
+            ],
+        )
+        .unwrap();
+    assert_eq!(
+        arrays[0], expect,
+        "SCAL mismatch on {} unroll={unroll} n={n}",
+        machine.arch.short_name()
+    );
+}
+
+#[test]
+fn scal_all_machines() {
+    for (_, m) in machines() {
+        for unroll in [2, 4, 8] {
+            for n in [32, 37, 3] {
+                check_scal(&m, unroll, n);
+            }
+        }
+    }
+}
+
+#[test]
+fn scal_uses_the_extension_template() {
+    // The svUnrolledSCAL region must actually drive the vectorization:
+    // Vld-Vmul-Vst with a broadcast multiplier, no adds in the hot loop.
+    let m = MachineSpec::sandy_bridge();
+    let mut k = augem_transforms::generate_optimized(
+        &augem_kernels::scal_simple(),
+        &OptimizeConfig::vector(8, false),
+    )
+    .unwrap();
+    let stats = identify(&mut k);
+    assert!(stats.sv_unrolled_scal >= 1, "{stats:?}");
+    let asm = augem_opt::generate(&k, &m, &CodegenOptions::default()).unwrap();
+    let text = augem_asm::emit::emit_att(&asm, &m.isa);
+    assert!(text.contains("vmulpd"), "{text}");
+    assert!(!text.contains("vaddpd"), "SCAL has no adds:\n{text}");
+}
+
+// ---------------- transposed GEMV (dot-product inner loop) ----------------
+
+#[test]
+fn gemv_transposed_reduction_inside_outer_loop() {
+    // The per-column reduction runs the whole accumulator-expansion /
+    // horizontal-sum machinery once per outer iteration — the hardest
+    // structural case for the reduction epilogue.
+    for (_, machine) in machines() {
+        let w = machine.simd_mode().f64_lanes();
+        let cfg = OptimizeConfig {
+            unroll_jam: vec![],
+            inner_unroll: Some(("i".into(), 2 * w, true)),
+            prefetch: augem_transforms::PrefetchConfig::default(),
+        };
+        let asm = build_asm(
+            &augem_kernels::gemv_t_simple(),
+            &cfg,
+            &machine,
+            &CodegenOptions::default(),
+        );
+        let (m, n) = (21usize, 5usize);
+        let lda = m + 2;
+        let a: Vec<f64> = (0..lda * n).map(|v| ((v * 5) % 11) as f64 * 0.25 - 1.0).collect();
+        let x: Vec<f64> = (0..m).map(|v| (v as f64 * 0.3).sin()).collect();
+        let y0: Vec<f64> = vec![0.5; n];
+        let mut expect = y0.clone();
+        for j in 0..n {
+            let mut lanes = vec![0.0f64; 2 * w];
+            let main = (m / (2 * w)) * (2 * w);
+            for g in (0..main).step_by(2 * w) {
+                for t in 0..2 * w {
+                    lanes[t] += a[j * lda + g + t] * x[g + t];
+                }
+            }
+            let mut rem = 0.0;
+            for i in main..m {
+                rem += a[j * lda + i] * x[i];
+            }
+            let mut res = lanes[0];
+            for lane in lanes.iter().skip(1) {
+                res += lane;
+            }
+            expect[j] += res + rem;
+        }
+        let sim = FuncSim::new(machine.isa);
+        let (arrays, _) = sim
+            .run(
+                &asm,
+                vec![
+                    SimValue::Int(m as i64),
+                    SimValue::Int(n as i64),
+                    SimValue::Int(lda as i64),
+                    SimValue::Array(a),
+                    SimValue::Array(x),
+                    SimValue::Array(y0),
+                ],
+            )
+            .unwrap();
+        for (g, wnt) in arrays[2].iter().zip(&expect) {
+            assert!(
+                (g - wnt).abs() < 1e-12,
+                "GEMV^T mismatch on {}: {g} vs {wnt}",
+                machine.arch.short_name()
+            );
+        }
+    }
+}

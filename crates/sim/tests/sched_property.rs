@@ -1,0 +1,112 @@
+//! Property test: the list scheduler may reorder instructions but must
+//! never change what a kernel computes. Random straight-line streams over
+//! a scratch array are executed before and after scheduling and compared
+//! bit-for-bit.
+
+use augem_asm::{AsmKernel, GpOrImm, Mem, ParamLoc, Width, XInst};
+use augem_machine::{GpReg, MachineSpec, VecReg};
+use augem_opt::sched::schedule;
+use augem_sim::{FuncSim, SimValue};
+use proptest::prelude::*;
+
+const ARRAY_LEN: usize = 32;
+
+/// Strategy for one random (always-valid) instruction. The array base
+/// register is never mutated, so every memory access stays in bounds.
+fn inst_strategy() -> impl Strategy<Value = XInst> {
+    let vreg = || (1u8..8).prop_map(VecReg);
+    let lane_w = prop::sample::select(vec![Width::S, Width::V2, Width::V4]);
+    let base = GpReg::allocatable()[0];
+    let elem = move |w: &Width| 0i64..(ARRAY_LEN as i64 - w.lanes() as i64);
+
+    prop_oneof![
+        (vreg(), lane_w.clone()).prop_flat_map(move |(d, w)| {
+            elem(&w).prop_map(move |e| XInst::FLoad {
+                dst: d,
+                mem: Mem::elem(base, e),
+                w,
+            })
+        }),
+        (vreg(), lane_w.clone()).prop_flat_map(move |(s, w)| {
+            elem(&w).prop_map(move |e| XInst::FStore {
+                src: s,
+                mem: Mem::elem(base, e),
+                w,
+            })
+        }),
+        (vreg(), vreg(), vreg(), lane_w.clone()).prop_map(|(d, a, b, w)| XInst::FMul3 {
+            dst: d,
+            a,
+            b,
+            w
+        }),
+        (vreg(), vreg(), vreg(), lane_w.clone()).prop_map(|(d, a, b, w)| XInst::FAdd3 {
+            dst: d,
+            a,
+            b,
+            w
+        }),
+        (vreg(), vreg(), vreg(), lane_w.clone()).prop_map(|(acc, a, b, w)| XInst::Fma3 {
+            acc,
+            a,
+            b,
+            w
+        }),
+        (vreg(), vreg(), lane_w.clone()).prop_map(|(d, s, w)| XInst::FMov { dst: d, src: s, w }),
+        (vreg(), lane_w.clone()).prop_map(|(d, w)| XInst::FZero { dst: d, w }),
+        (vreg(), vreg(), lane_w.clone()).prop_map(|(d, s, w)| XInst::FMul2 {
+            dstsrc: d,
+            src: s,
+            w
+        }),
+        vreg().prop_map(|d| XInst::FDup {
+            dst: d,
+            mem: Mem::elem(GpReg::allocatable()[0], 3),
+            w: Width::V4,
+        }),
+        (vreg(), vreg()).prop_map(|(d, s)| XInst::SwapHalves { dst: d, src: s }),
+        // Integer noise on scratch registers (never the array base).
+        (2u8..5).prop_map(|i| XInst::IAdd {
+            dst: GpReg::allocatable()[i as usize],
+            src: GpOrImm::Imm(i as i64),
+        }),
+    ]
+}
+
+fn kernel_of(insts: Vec<XInst>) -> AsmKernel {
+    let mut k = AsmKernel::new("rand");
+    k.params
+        .push(("A".into(), ParamLoc::Gp(GpReg::allocatable()[0])));
+    k.insts = insts;
+    k.insts.push(XInst::Ret);
+    k
+}
+
+fn run(k: &AsmKernel, machine: &MachineSpec) -> Vec<f64> {
+    let data: Vec<f64> = (0..ARRAY_LEN).map(|v| v as f64 * 0.25 + 1.0).collect();
+    let sim = FuncSim::new(machine.isa);
+    let (arrays, _) = sim.run(k, vec![SimValue::Array(data)]).unwrap();
+    arrays.into_iter().next().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn scheduling_preserves_behavior(insts in prop::collection::vec(inst_strategy(), 0..40)) {
+        let machine = MachineSpec::sandy_bridge();
+        let original = kernel_of(insts);
+        let mut scheduled = original.clone();
+        scheduled.insts = schedule(original.insts.clone(), &machine);
+
+        // Same multiset of instructions...
+        let mut a: Vec<String> = original.insts.iter().map(|i| format!("{i:?}")).collect();
+        let mut b: Vec<String> = scheduled.insts.iter().map(|i| format!("{i:?}")).collect();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+
+        // ...and identical results.
+        prop_assert_eq!(run(&original, &machine), run(&scheduled, &machine));
+    }
+}

@@ -1,0 +1,352 @@
+//! Template kinds and their annotation schemas.
+
+use augem_ir::{Annot, AnnotValue, Expr, Sym};
+
+/// The six templates of paper Figure 3, plus the svSCAL pair — an
+/// extension template added exactly as §7 prescribes ("our approach can
+/// be extended to summarize additional common sequences of instructions
+/// by using templates similar to those shown in Figure 3").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TemplateKind {
+    MmComp,
+    MmStore,
+    MvComp,
+    SvScal,
+    MmUnrolledComp,
+    MmUnrolledStore,
+    MvUnrolledComp,
+    SvUnrolledScal,
+}
+
+impl TemplateKind {
+    /// The paper's name for the template (used as the annotation tag).
+    pub fn name(self) -> &'static str {
+        match self {
+            TemplateKind::MmComp => "mmCOMP",
+            TemplateKind::MmStore => "mmSTORE",
+            TemplateKind::MvComp => "mvCOMP",
+            TemplateKind::MmUnrolledComp => "mmUnrolledCOMP",
+            TemplateKind::MmUnrolledStore => "mmUnrolledSTORE",
+            TemplateKind::MvUnrolledComp => "mvUnrolledCOMP",
+            TemplateKind::SvScal => "svSCAL",
+            TemplateKind::SvUnrolledScal => "svUnrolledSCAL",
+        }
+    }
+
+    /// Inverse of [`TemplateKind::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "mmCOMP" => TemplateKind::MmComp,
+            "mmSTORE" => TemplateKind::MmStore,
+            "mvCOMP" => TemplateKind::MvComp,
+            "mmUnrolledCOMP" => TemplateKind::MmUnrolledComp,
+            "mmUnrolledSTORE" => TemplateKind::MmUnrolledStore,
+            "mvUnrolledCOMP" => TemplateKind::MvUnrolledComp,
+            "svSCAL" => TemplateKind::SvScal,
+            "svUnrolledSCAL" => TemplateKind::SvUnrolledScal,
+            _ => return None,
+        })
+    }
+
+    pub const ALL: [TemplateKind; 8] = [
+        TemplateKind::MmComp,
+        TemplateKind::MmStore,
+        TemplateKind::MvComp,
+        TemplateKind::SvScal,
+        TemplateKind::MmUnrolledComp,
+        TemplateKind::MmUnrolledStore,
+        TemplateKind::MvUnrolledComp,
+        TemplateKind::SvUnrolledScal,
+    ];
+}
+
+/// A matched `mmCOMP(A, idx1, B, idx2, res)`:
+/// `t0 = A[idx1]; t1 = B[idx2]; t2 = t0*t1; res = res + t2`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MmComp {
+    pub a: Sym,
+    pub idx1: Expr,
+    pub b: Sym,
+    pub idx2: Expr,
+    pub res: Sym,
+    pub t0: Sym,
+    pub t1: Sym,
+    pub t2: Sym,
+}
+
+impl MmComp {
+    pub fn annot(&self) -> Annot {
+        Annot::new(TemplateKind::MmComp.name())
+            .with("A", AnnotValue::Sym(self.a))
+            .with("idx1", AnnotValue::Expr(self.idx1.clone()))
+            .with("B", AnnotValue::Sym(self.b))
+            .with("idx2", AnnotValue::Expr(self.idx2.clone()))
+            .with("res", AnnotValue::Sym(self.res))
+            .with("tmps", AnnotValue::Syms(vec![self.t0, self.t1, self.t2]))
+    }
+}
+
+/// A matched `mmSTORE(C, idx, res)`:
+/// `t0 = C[idx]; res = res + t0; C[idx] = res`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MmStore {
+    pub c: Sym,
+    pub idx: Expr,
+    pub res: Sym,
+    pub t0: Sym,
+}
+
+impl MmStore {
+    pub fn annot(&self) -> Annot {
+        Annot::new(TemplateKind::MmStore.name())
+            .with("C", AnnotValue::Sym(self.c))
+            .with("idx", AnnotValue::Expr(self.idx.clone()))
+            .with("res", AnnotValue::Sym(self.res))
+            .with("tmps", AnnotValue::Syms(vec![self.t0]))
+    }
+}
+
+/// A matched `mvCOMP(A, idx1, B, idx2, scal)`:
+/// `t0 = A[idx1]; t1 = B[idx2]; t0 = t0*scal; t1 = t1 + t0; B[idx2] = t1`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MvComp {
+    pub a: Sym,
+    pub idx1: Expr,
+    pub b: Sym,
+    pub idx2: Expr,
+    pub scal: Sym,
+    pub t0: Sym,
+    pub t1: Sym,
+}
+
+impl MvComp {
+    pub fn annot(&self) -> Annot {
+        Annot::new(TemplateKind::MvComp.name())
+            .with("A", AnnotValue::Sym(self.a))
+            .with("idx1", AnnotValue::Expr(self.idx1.clone()))
+            .with("B", AnnotValue::Sym(self.b))
+            .with("idx2", AnnotValue::Expr(self.idx2.clone()))
+            .with("scal", AnnotValue::Sym(self.scal))
+            .with("tmps", AnnotValue::Syms(vec![self.t0, self.t1]))
+    }
+}
+
+/// A merged `mmUnrolledCOMP(A, idx1, n1, B, idx2, n2, res)`.
+///
+/// `res[b_off * n1 + a_off]` is the accumulator for
+/// `A[idx1 + a_off] * B[idx2 + b_off]`. With `diag = true` the group is the
+/// reduction (DOT) variant: `n1 == n2 == n` repetitions at offsets `(d, d)`
+/// and `res[d]` accumulates `A[idx1+d] * B[idx2+d]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MmUnrolledComp {
+    pub a: Sym,
+    pub idx1: i64,
+    pub n1: usize,
+    pub b: Sym,
+    pub idx2: i64,
+    pub n2: usize,
+    pub res: Vec<Sym>,
+    pub diag: bool,
+}
+
+impl MmUnrolledComp {
+    pub fn annot(&self) -> Annot {
+        Annot::new(TemplateKind::MmUnrolledComp.name())
+            .with("A", AnnotValue::Sym(self.a))
+            .with("idx1", AnnotValue::Int(self.idx1))
+            .with("n1", AnnotValue::Int(self.n1 as i64))
+            .with("B", AnnotValue::Sym(self.b))
+            .with("idx2", AnnotValue::Int(self.idx2))
+            .with("n2", AnnotValue::Int(self.n2 as i64))
+            .with("res", AnnotValue::Syms(self.res.clone()))
+            .with("diag", AnnotValue::Int(i64::from(self.diag)))
+    }
+
+    /// Parses the annotation back (used by the Template Optimizer).
+    pub fn from_annot(a: &Annot) -> Option<Self> {
+        Some(MmUnrolledComp {
+            a: a.get("A")?.as_sym()?,
+            idx1: a.get("idx1")?.as_int()?,
+            n1: a.get("n1")?.as_int()? as usize,
+            b: a.get("B")?.as_sym()?,
+            idx2: a.get("idx2")?.as_int()?,
+            n2: a.get("n2")?.as_int()? as usize,
+            res: a.get("res")?.as_syms()?.to_vec(),
+            diag: a.get("diag")?.as_int()? != 0,
+        })
+    }
+}
+
+/// A merged `mmUnrolledSTORE(C, idx, n, res)`: `res[k]` goes to `C[idx+k]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MmUnrolledStore {
+    pub c: Sym,
+    pub idx: i64,
+    pub n: usize,
+    pub res: Vec<Sym>,
+}
+
+impl MmUnrolledStore {
+    pub fn annot(&self) -> Annot {
+        Annot::new(TemplateKind::MmUnrolledStore.name())
+            .with("C", AnnotValue::Sym(self.c))
+            .with("idx", AnnotValue::Int(self.idx))
+            .with("n", AnnotValue::Int(self.n as i64))
+            .with("res", AnnotValue::Syms(self.res.clone()))
+    }
+
+    pub fn from_annot(a: &Annot) -> Option<Self> {
+        Some(MmUnrolledStore {
+            c: a.get("C")?.as_sym()?,
+            idx: a.get("idx")?.as_int()?,
+            n: a.get("n")?.as_int()? as usize,
+            res: a.get("res")?.as_syms()?.to_vec(),
+        })
+    }
+}
+
+/// A merged `mvUnrolledCOMP(A, idx1, B, idx2, n, scal)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MvUnrolledComp {
+    pub a: Sym,
+    pub idx1: i64,
+    pub b: Sym,
+    pub idx2: i64,
+    pub n: usize,
+    pub scal: Sym,
+}
+
+impl MvUnrolledComp {
+    pub fn annot(&self) -> Annot {
+        Annot::new(TemplateKind::MvUnrolledComp.name())
+            .with("A", AnnotValue::Sym(self.a))
+            .with("idx1", AnnotValue::Int(self.idx1))
+            .with("B", AnnotValue::Sym(self.b))
+            .with("idx2", AnnotValue::Int(self.idx2))
+            .with("n", AnnotValue::Int(self.n as i64))
+            .with("scal", AnnotValue::Sym(self.scal))
+    }
+
+    pub fn from_annot(a: &Annot) -> Option<Self> {
+        Some(MvUnrolledComp {
+            a: a.get("A")?.as_sym()?,
+            idx1: a.get("idx1")?.as_int()?,
+            b: a.get("B")?.as_sym()?,
+            idx2: a.get("idx2")?.as_int()?,
+            n: a.get("n")?.as_int()? as usize,
+            scal: a.get("scal")?.as_sym()?,
+        })
+    }
+}
+
+/// A matched `svSCAL(Y, idx, scal)`:
+/// `t0 = Y[idx]; t0 = t0*scal; Y[idx] = t0`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SvScal {
+    pub y: Sym,
+    pub idx: Expr,
+    pub scal: Sym,
+    pub t0: Sym,
+}
+
+impl SvScal {
+    pub fn annot(&self) -> Annot {
+        Annot::new(TemplateKind::SvScal.name())
+            .with("Y", AnnotValue::Sym(self.y))
+            .with("idx", AnnotValue::Expr(self.idx.clone()))
+            .with("scal", AnnotValue::Sym(self.scal))
+            .with("tmps", AnnotValue::Syms(vec![self.t0]))
+    }
+}
+
+/// A merged `svUnrolledSCAL(Y, idx, n, scal)`: `n` contiguous in-place
+/// scales, vectorized as `Vld-Vmul-Vst` with a broadcast `scal`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SvUnrolledScal {
+    pub y: Sym,
+    pub idx: i64,
+    pub n: usize,
+    pub scal: Sym,
+}
+
+impl SvUnrolledScal {
+    pub fn annot(&self) -> Annot {
+        Annot::new(TemplateKind::SvUnrolledScal.name())
+            .with("Y", AnnotValue::Sym(self.y))
+            .with("idx", AnnotValue::Int(self.idx))
+            .with("n", AnnotValue::Int(self.n as i64))
+            .with("scal", AnnotValue::Sym(self.scal))
+    }
+
+    pub fn from_annot(a: &Annot) -> Option<Self> {
+        Some(SvUnrolledScal {
+            y: a.get("Y")?.as_sym()?,
+            idx: a.get("idx")?.as_int()?,
+            n: a.get("n")?.as_int()? as usize,
+            scal: a.get("scal")?.as_sym()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for k in TemplateKind::ALL {
+            assert_eq!(TemplateKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(TemplateKind::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn unrolled_comp_annot_round_trip() {
+        let t = MmUnrolledComp {
+            a: Sym(1),
+            idx1: 0,
+            n1: 2,
+            b: Sym(2),
+            idx2: 0,
+            n2: 2,
+            res: vec![Sym(3), Sym(4), Sym(5), Sym(6)],
+            diag: false,
+        };
+        assert_eq!(MmUnrolledComp::from_annot(&t.annot()), Some(t));
+    }
+
+    #[test]
+    fn unrolled_store_annot_round_trip() {
+        let t = MmUnrolledStore {
+            c: Sym(9),
+            idx: 0,
+            n: 2,
+            res: vec![Sym(3), Sym(4)],
+        };
+        assert_eq!(MmUnrolledStore::from_annot(&t.annot()), Some(t));
+    }
+
+    #[test]
+    fn sv_unrolled_annot_round_trip() {
+        let t = SvUnrolledScal {
+            y: Sym(2),
+            idx: 4,
+            n: 8,
+            scal: Sym(1),
+        };
+        assert_eq!(SvUnrolledScal::from_annot(&t.annot()), Some(t));
+    }
+
+    #[test]
+    fn mv_unrolled_annot_round_trip() {
+        let t = MvUnrolledComp {
+            a: Sym(1),
+            idx1: 0,
+            b: Sym(2),
+            idx2: 0,
+            n: 4,
+            scal: Sym(7),
+        };
+        assert_eq!(MvUnrolledComp::from_annot(&t.annot()), Some(t));
+    }
+}

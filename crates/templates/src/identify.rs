@@ -1,0 +1,644 @@
+//! The Template Identifier (paper §2.2, Figure 14).
+//!
+//! Walks every statement block recursive-descent, matches the single
+//! templates, merges consecutive matches into the unrolled templates, and
+//! wraps each result in a tagged [`Stmt::Region`].
+
+use crate::def::{
+    MmComp, MmStore, MmUnrolledComp, MmUnrolledStore, MvComp, MvUnrolledComp, SvScal,
+    SvUnrolledScal, TemplateKind,
+};
+use crate::matcher::{match_mm_comp, match_mm_store, match_mv_comp, match_sv_scal};
+use augem_ir::{Annot, Expr, Kernel, Stmt, Sym, SymbolTable};
+
+/// Per-kind match counts returned by [`identify`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IdentifyStats {
+    pub mm_comp: usize,
+    pub mm_store: usize,
+    pub mv_comp: usize,
+    pub sv_scal: usize,
+    pub mm_unrolled_comp: usize,
+    pub mm_unrolled_store: usize,
+    pub mv_unrolled_comp: usize,
+    pub sv_unrolled_scal: usize,
+}
+
+impl IdentifyStats {
+    pub fn total_regions(&self) -> usize {
+        self.mm_comp
+            + self.mm_store
+            + self.mv_comp
+            + self.sv_scal
+            + self.mm_unrolled_comp
+            + self.mm_unrolled_store
+            + self.mv_unrolled_comp
+            + self.sv_unrolled_scal
+    }
+}
+
+/// One matched single template plus its statement window.
+#[derive(Debug, Clone)]
+enum Match {
+    Mm(MmComp),
+    Store(MmStore),
+    Mv(MvComp),
+    Sv(SvScal),
+}
+
+impl Match {
+    fn len(&self) -> usize {
+        match self {
+            Match::Mm(_) => 4,
+            Match::Store(_) | Match::Sv(_) => 3,
+            Match::Mv(_) => 5,
+        }
+    }
+    fn kind(&self) -> TemplateKind {
+        match self {
+            Match::Mm(_) => TemplateKind::MmComp,
+            Match::Store(_) => TemplateKind::MmStore,
+            Match::Mv(_) => TemplateKind::MvComp,
+            Match::Sv(_) => TemplateKind::SvScal,
+        }
+    }
+}
+
+/// Tags all template instances in `kernel`, returning match statistics.
+pub fn identify(kernel: &mut Kernel) -> IdentifyStats {
+    let mut stats = IdentifyStats::default();
+    let syms = std::mem::take(&mut kernel.syms);
+    let mut body = std::mem::take(&mut kernel.body);
+    process_block(&mut body, &syms, &mut stats);
+    kernel.syms = syms;
+    kernel.body = body;
+    stats
+}
+
+fn process_block(stmts: &mut Vec<Stmt>, syms: &SymbolTable, stats: &mut IdentifyStats) {
+    // Recurse first (recursive descent of the AST).
+    for s in stmts.iter_mut() {
+        if let Stmt::For { body, .. } | Stmt::Region { body, .. } = s {
+            process_block(body, syms, stats);
+        }
+    }
+
+    // Scan this block for single-template matches.
+    let mut events: Vec<(usize, Match)> = Vec::new();
+    let mut pos = 0;
+    while pos < stmts.len() {
+        let window = &stmts[pos..];
+        if let Some(m) = match_mv_comp(window, syms) {
+            events.push((pos, Match::Mv(m)));
+            pos += 5;
+        } else if let Some(m) = match_mm_comp(window, syms) {
+            events.push((pos, Match::Mm(m)));
+            pos += 4;
+        } else if let Some(m) = match_mm_store(window, syms) {
+            events.push((pos, Match::Store(m)));
+            pos += 3;
+        } else if let Some(m) = match_sv_scal(window, syms) {
+            events.push((pos, Match::Sv(m)));
+            pos += 3;
+        } else {
+            pos += 1;
+        }
+    }
+    if events.is_empty() {
+        return;
+    }
+
+    // Rebuild the block, merging consecutive same-kind runs.
+    let old = std::mem::take(stmts);
+    let mut out: Vec<Stmt> = Vec::with_capacity(old.len());
+    let mut old_iter = old.into_iter().enumerate().peekable();
+    let mut ev = events.into_iter().peekable();
+
+    loop {
+        let Some((start, _)) = ev.peek() else { break };
+        let start = *start;
+        // Copy passthrough statements before the run.
+        while old_iter.peek().is_some_and(|(i, _)| *i < start) {
+            out.push(old_iter.next().unwrap().1);
+        }
+        // Collect a maximal run of adjacent same-kind matches.
+        let kind = ev.peek().unwrap().1.kind();
+        let mut run: Vec<(usize, Match)> = Vec::new();
+        let mut expect = start;
+        while let Some((p, m)) = ev.peek() {
+            if *p == expect && m.kind() == kind {
+                let (p, m) = ev.next().unwrap();
+                expect = p + m.len();
+                run.push((p, m));
+            } else {
+                break;
+            }
+        }
+        // Pull the run's statements out of the source iterator.
+        let mut run_stmts: Vec<Vec<Stmt>> = Vec::with_capacity(run.len());
+        for (_, m) in &run {
+            let mut chunk = Vec::with_capacity(m.len());
+            for _ in 0..m.len() {
+                chunk.push(old_iter.next().unwrap().1);
+            }
+            run_stmts.push(chunk);
+        }
+        emit_run(kind, run, run_stmts, &mut out, stats);
+        if ev.peek().is_none() {
+            break;
+        }
+    }
+    // Remaining passthrough.
+    for (_, s) in old_iter {
+        out.push(s);
+    }
+    *stmts = out;
+}
+
+fn const_idx(e: &Expr) -> Option<i64> {
+    e.as_const_int()
+}
+
+fn emit_run(
+    kind: TemplateKind,
+    run: Vec<(usize, Match)>,
+    run_stmts: Vec<Vec<Stmt>>,
+    out: &mut Vec<Stmt>,
+    stats: &mut IdentifyStats,
+) {
+    match kind {
+        TemplateKind::MmComp => emit_mm_run(run, run_stmts, out, stats),
+        TemplateKind::MmStore => emit_store_run(run, run_stmts, out, stats),
+        TemplateKind::MvComp => emit_mv_run(run, run_stmts, out, stats),
+        TemplateKind::SvScal => emit_sv_run(run, run_stmts, out, stats),
+        _ => unreachable!("runs are built from single-template matches"),
+    }
+}
+
+fn emit_sv_run(
+    run: Vec<(usize, Match)>,
+    run_stmts: Vec<Vec<Stmt>>,
+    out: &mut Vec<Stmt>,
+    stats: &mut IdentifyStats,
+) {
+    let ms: Vec<SvScal> = run
+        .into_iter()
+        .map(|(_, m)| match m {
+            Match::Sv(c) => c,
+            _ => unreachable!(),
+        })
+        .collect();
+
+    let mut i = 0;
+    let mut stmt_iter = run_stmts.into_iter();
+    while i < ms.len() {
+        let (y, scal) = (ms[i].y, ms[i].scal);
+        let mut j = i + 1;
+        while j < ms.len() && ms[j].y == y && ms[j].scal == scal {
+            j += 1;
+        }
+        let group = &ms[i..j];
+        let group_stmts: Vec<Vec<Stmt>> = (&mut stmt_iter).take(j - i).collect();
+
+        let offs: Option<Vec<i64>> = group.iter().map(|m| const_idx(&m.idx)).collect();
+        let mut merged = false;
+        if group.len() >= 2 {
+            if let Some(offs) = offs {
+                let base = offs[0];
+                let contiguous = offs
+                    .iter()
+                    .enumerate()
+                    .all(|(k, o)| *o == base + k as i64);
+                if contiguous {
+                    let t = SvUnrolledScal {
+                        y,
+                        idx: base,
+                        n: group.len(),
+                        scal,
+                    };
+                    stats.sv_unrolled_scal += 1;
+                    single_region(t.annot(), group_stmts.concat(), out);
+                    merged = true;
+                }
+            }
+        }
+        if !merged {
+            for (m, body) in group.iter().zip(group_stmts) {
+                stats.sv_scal += 1;
+                single_region(m.annot(), body, out);
+            }
+        }
+        i = j;
+    }
+}
+
+fn single_region(annot: Annot, body: Vec<Stmt>, out: &mut Vec<Stmt>) {
+    out.push(Stmt::Region { annot, body });
+}
+
+fn emit_mm_run(
+    run: Vec<(usize, Match)>,
+    run_stmts: Vec<Vec<Stmt>>,
+    out: &mut Vec<Stmt>,
+    stats: &mut IdentifyStats,
+) {
+    let ms: Vec<MmComp> = run
+        .into_iter()
+        .map(|(_, m)| match m {
+            Match::Mm(c) => c,
+            _ => unreachable!(),
+        })
+        .collect();
+
+    // Split into maximal sub-runs with uniform (A, B) bases.
+    let mut i = 0;
+    let mut stmt_iter = run_stmts.into_iter();
+    while i < ms.len() {
+        let (a, b) = (ms[i].a, ms[i].b);
+        let mut j = i + 1;
+        while j < ms.len() && ms[j].a == a && ms[j].b == b {
+            j += 1;
+        }
+        let group = &ms[i..j];
+        let group_stmts: Vec<Vec<Stmt>> = (&mut stmt_iter).take(j - i).collect();
+        emit_mm_group(group, group_stmts, out, stats);
+        i = j;
+    }
+}
+
+fn emit_mm_group(
+    group: &[MmComp],
+    group_stmts: Vec<Vec<Stmt>>,
+    out: &mut Vec<Stmt>,
+    stats: &mut IdentifyStats,
+) {
+    // Need constant offsets and at least 2 repetitions to merge.
+    let offsets: Option<Vec<(i64, i64)>> = group
+        .iter()
+        .map(|m| Some((const_idx(&m.idx1)?, const_idx(&m.idx2)?)))
+        .collect();
+    if group.len() >= 2 {
+        if let Some(offs) = offsets {
+            let res: Vec<Sym> = group.iter().map(|m| m.res).collect();
+            let distinct = {
+                let mut r = res.clone();
+                r.sort();
+                r.dedup();
+                r.len() == res.len()
+            };
+            if distinct {
+                // Diagonal (reduction) grouping: (d, d), (d+1, d+1), ...
+                let base = offs[0];
+                let diag = base.0 == base.1
+                    && offs
+                        .iter()
+                        .enumerate()
+                        .all(|(k, o)| o.0 == base.0 + k as i64 && o.1 == base.1 + k as i64);
+                if diag {
+                    let t = MmUnrolledComp {
+                        a: group[0].a,
+                        idx1: base.0,
+                        n1: group.len(),
+                        b: group[0].b,
+                        idx2: base.1,
+                        n2: group.len(),
+                        res,
+                        diag: true,
+                    };
+                    stats.mm_unrolled_comp += 1;
+                    single_region(t.annot(), group_stmts.concat(), out);
+                    return;
+                }
+                // Full-grid grouping: all combinations of contiguous
+                // offsets, any order.
+                let min1 = offs.iter().map(|o| o.0).min().unwrap();
+                let max1 = offs.iter().map(|o| o.0).max().unwrap();
+                let min2 = offs.iter().map(|o| o.1).min().unwrap();
+                let max2 = offs.iter().map(|o| o.1).max().unwrap();
+                let n1 = (max1 - min1 + 1) as usize;
+                let n2 = (max2 - min2 + 1) as usize;
+                if n1 * n2 == group.len() {
+                    let mut grid: Vec<Option<Sym>> = vec![None; n1 * n2];
+                    let mut complete = true;
+                    for (k, o) in offs.iter().enumerate() {
+                        let slot = ((o.1 - min2) as usize) * n1 + ((o.0 - min1) as usize);
+                        if grid[slot].is_some() {
+                            complete = false;
+                            break;
+                        }
+                        grid[slot] = Some(group[k].res);
+                    }
+                    if complete && grid.iter().all(|g| g.is_some()) {
+                        let t = MmUnrolledComp {
+                            a: group[0].a,
+                            idx1: min1,
+                            n1,
+                            b: group[0].b,
+                            idx2: min2,
+                            n2,
+                            res: grid.into_iter().map(|g| g.unwrap()).collect(),
+                            diag: false,
+                        };
+                        stats.mm_unrolled_comp += 1;
+                        single_region(t.annot(), group_stmts.concat(), out);
+                        return;
+                    }
+                }
+            }
+        }
+    }
+    // Fallback: individual mmCOMP regions.
+    for (m, body) in group.iter().zip(group_stmts) {
+        stats.mm_comp += 1;
+        single_region(m.annot(), body, out);
+    }
+}
+
+fn emit_store_run(
+    run: Vec<(usize, Match)>,
+    run_stmts: Vec<Vec<Stmt>>,
+    out: &mut Vec<Stmt>,
+    stats: &mut IdentifyStats,
+) {
+    let ms: Vec<MmStore> = run
+        .into_iter()
+        .map(|(_, m)| match m {
+            Match::Store(c) => c,
+            _ => unreachable!(),
+        })
+        .collect();
+
+    // Group by target array, preserving first-appearance order. This may
+    // reorder stores across *different* pointers — sound for the packed,
+    // non-aliasing tiles the GEMM driver passes (see crate docs).
+    let mut bases: Vec<Sym> = Vec::new();
+    for m in &ms {
+        if !bases.contains(&m.c) {
+            bases.push(m.c);
+        }
+    }
+    let indexed: Vec<(MmStore, Vec<Stmt>)> = ms.into_iter().zip(run_stmts).collect();
+    for base in bases {
+        let mut members: Vec<&(MmStore, Vec<Stmt>)> =
+            indexed.iter().filter(|(m, _)| m.c == base).collect();
+        let offs: Option<Vec<i64>> = members.iter().map(|(m, _)| const_idx(&m.idx)).collect();
+        let merged = if members.len() >= 2 {
+            if let Some(mut offs) = offs {
+                members.sort_by_key(|(m, _)| const_idx(&m.idx).unwrap());
+                offs.sort();
+                let contiguous = offs.windows(2).all(|w| w[1] == w[0] + 1);
+                let res: Vec<Sym> = members.iter().map(|(m, _)| m.res).collect();
+                let mut rs = res.clone();
+                rs.sort();
+                rs.dedup();
+                if contiguous && rs.len() == res.len() {
+                    let t = MmUnrolledStore {
+                        c: base,
+                        idx: offs[0],
+                        n: members.len(),
+                        res,
+                    };
+                    stats.mm_unrolled_store += 1;
+                    let body: Vec<Stmt> =
+                        members.iter().flat_map(|(_, s)| s.iter().cloned()).collect();
+                    single_region(t.annot(), body, out);
+                    true
+                } else {
+                    false
+                }
+            } else {
+                false
+            }
+        } else {
+            false
+        };
+        if !merged {
+            for (m, body) in members {
+                stats.mm_store += 1;
+                single_region(m.annot(), body.clone(), out);
+            }
+        }
+    }
+}
+
+fn emit_mv_run(
+    run: Vec<(usize, Match)>,
+    run_stmts: Vec<Vec<Stmt>>,
+    out: &mut Vec<Stmt>,
+    stats: &mut IdentifyStats,
+) {
+    let ms: Vec<MvComp> = run
+        .into_iter()
+        .map(|(_, m)| match m {
+            Match::Mv(c) => c,
+            _ => unreachable!(),
+        })
+        .collect();
+
+    let mut i = 0;
+    let mut stmt_iter = run_stmts.into_iter();
+    while i < ms.len() {
+        let (a, b, scal) = (ms[i].a, ms[i].b, ms[i].scal);
+        let mut j = i + 1;
+        while j < ms.len() && ms[j].a == a && ms[j].b == b && ms[j].scal == scal {
+            j += 1;
+        }
+        let group = &ms[i..j];
+        let group_stmts: Vec<Vec<Stmt>> = (&mut stmt_iter).take(j - i).collect();
+
+        let offs: Option<Vec<(i64, i64)>> = group
+            .iter()
+            .map(|m| Some((const_idx(&m.idx1)?, const_idx(&m.idx2)?)))
+            .collect();
+        let mut merged = false;
+        if group.len() >= 2 {
+            if let Some(offs) = offs {
+                let base = offs[0];
+                let diag = offs
+                    .iter()
+                    .enumerate()
+                    .all(|(k, o)| o.0 == base.0 + k as i64 && o.1 == base.1 + k as i64);
+                if diag {
+                    let t = MvUnrolledComp {
+                        a,
+                        idx1: base.0,
+                        b,
+                        idx2: base.1,
+                        n: group.len(),
+                        scal,
+                    };
+                    stats.mv_unrolled_comp += 1;
+                    single_region(t.annot(), group_stmts.concat(), out);
+                    merged = true;
+                }
+            }
+        }
+        if !merged {
+            for (m, body) in group.iter().zip(group_stmts) {
+                stats.mv_comp += 1;
+                single_region(m.annot(), body, out);
+            }
+        }
+        i = j;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use augem_ir::print::print_kernel;
+    use augem_ir::{ArgValue, Interpreter};
+    use augem_kernels::{axpy_simple, dot_simple, gemm_simple, gemv_simple};
+    use augem_transforms::{generate_optimized, OptimizeConfig};
+
+    fn gemm_tagged(nu: usize, mu: usize, ku: usize) -> (Kernel, IdentifyStats) {
+        let mut k =
+            generate_optimized(&gemm_simple(), &OptimizeConfig::gemm(nu, mu, ku)).unwrap();
+        let stats = identify(&mut k);
+        (k, stats)
+    }
+
+    #[test]
+    fn gemm_2x2_matches_figure_14() {
+        let (k, stats) = gemm_tagged(2, 2, 1);
+        // Main nest: one mmUnrolledCOMP (4 mmCOMPs merged) and two
+        // mmUnrolledSTOREs (2+2 split by C pointer) — exactly §4.1.2.
+        assert!(stats.mm_unrolled_comp >= 1, "{stats:?}\n{}", print_kernel(&k));
+        assert!(stats.mm_unrolled_store >= 2, "{stats:?}\n{}", print_kernel(&k));
+        let c = print_kernel(&k);
+        assert!(c.contains("BEGIN mmUnrolledCOMP"), "{c}");
+        assert!(c.contains("BEGIN mmUnrolledSTORE"), "{c}");
+    }
+
+    #[test]
+    fn gemm_main_group_is_2x2_grid() {
+        let (k, _) = gemm_tagged(2, 2, 1);
+        // Find the first mmUnrolledCOMP annotation and check its shape.
+        fn find<'a>(stmts: &'a [Stmt]) -> Option<&'a Annot> {
+            for s in stmts {
+                match s {
+                    Stmt::Region { annot, .. } if annot.template == "mmUnrolledCOMP" => {
+                        return Some(annot)
+                    }
+                    Stmt::For { body, .. } | Stmt::Region { body, .. } => {
+                        if let Some(a) = find(body) {
+                            return Some(a);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            None
+        }
+        let annot = find(&k.body).expect("mmUnrolledCOMP in tagged GEMM");
+        let t = MmUnrolledComp::from_annot(annot).unwrap();
+        assert_eq!((t.n1, t.n2), (2, 2));
+        assert!(!t.diag);
+        assert_eq!(t.res.len(), 4);
+        assert_eq!(t.idx1, 0);
+        assert_eq!(t.idx2, 0);
+    }
+
+    #[test]
+    fn gemm_4x2_grid() {
+        let (k, stats) = gemm_tagged(2, 4, 1);
+        assert!(stats.mm_unrolled_comp >= 1, "{}", print_kernel(&k));
+        fn find_grid(stmts: &[Stmt]) -> Option<(usize, usize)> {
+            for s in stmts {
+                match s {
+                    Stmt::Region { annot, .. } if annot.template == "mmUnrolledCOMP" => {
+                        let t = MmUnrolledComp::from_annot(annot).unwrap();
+                        if !t.diag {
+                            return Some((t.n1, t.n2));
+                        }
+                    }
+                    Stmt::For { body, .. } | Stmt::Region { body, .. } => {
+                        if let Some(g) = find_grid(body) {
+                            return Some(g);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            None
+        }
+        assert_eq!(find_grid(&k.body), Some((4, 2)));
+    }
+
+    #[test]
+    fn dot_matches_diagonal_group_and_store() {
+        let mut k = generate_optimized(&dot_simple(), &OptimizeConfig::vector(4, true)).unwrap();
+        let stats = identify(&mut k);
+        assert!(stats.mm_unrolled_comp >= 1, "{stats:?}\n{}", print_kernel(&k));
+        assert!(stats.mm_store >= 1, "{stats:?}\n{}", print_kernel(&k));
+        fn find_diag(stmts: &[Stmt]) -> Option<MmUnrolledComp> {
+            for s in stmts {
+                match s {
+                    Stmt::Region { annot, .. } if annot.template == "mmUnrolledCOMP" => {
+                        let t = MmUnrolledComp::from_annot(annot).unwrap();
+                        if t.diag {
+                            return Some(t);
+                        }
+                    }
+                    Stmt::For { body, .. } | Stmt::Region { body, .. } => {
+                        if let Some(t) = find_diag(body) {
+                            return Some(t);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            None
+        }
+        let t = find_diag(&k.body).expect("diagonal mmUnrolledCOMP for DOT");
+        assert_eq!(t.n1, 4);
+        assert_eq!(t.res.len(), 4);
+    }
+
+    #[test]
+    fn axpy_matches_mv_unrolled() {
+        let mut k = generate_optimized(&axpy_simple(), &OptimizeConfig::vector(4, false)).unwrap();
+        let stats = identify(&mut k);
+        assert_eq!(stats.mv_unrolled_comp, 1, "{stats:?}\n{}", print_kernel(&k));
+        // The remainder loop keeps a single mvCOMP.
+        assert!(stats.mv_comp >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn gemv_matches_mv_unrolled() {
+        let mut k = generate_optimized(&gemv_simple(), &OptimizeConfig::gemv(4)).unwrap();
+        let stats = identify(&mut k);
+        assert!(stats.mv_unrolled_comp >= 1, "{stats:?}\n{}", print_kernel(&k));
+    }
+
+    #[test]
+    fn tagging_preserves_semantics() {
+        let args = |mr: i64, nr: i64, kc: i64| {
+            let (mc, ldb, ldc) = (mr, nr, mr);
+            vec![
+                ArgValue::Int(mr),
+                ArgValue::Int(nr),
+                ArgValue::Int(kc),
+                ArgValue::Int(mc),
+                ArgValue::Int(ldb),
+                ArgValue::Int(ldc),
+                ArgValue::Array((0..(mc * kc) as usize).map(|x| (x % 11) as f64).collect()),
+                ArgValue::Array((0..(kc * ldb) as usize).map(|x| (x % 6) as f64).collect()),
+                ArgValue::Array((0..(ldc * nr) as usize).map(|x| (x % 4) as f64).collect()),
+            ]
+        };
+        let opt = generate_optimized(&gemm_simple(), &OptimizeConfig::gemm_2x2()).unwrap();
+        let expect = Interpreter::new().run(&opt, args(6, 6, 5)).unwrap();
+        let mut tagged = opt.clone();
+        identify(&mut tagged);
+        let got = Interpreter::new().run(&tagged, args(6, 6, 5)).unwrap();
+        assert_eq!(got, expect, "region tagging must not change behavior");
+    }
+
+    #[test]
+    fn unmatched_code_is_left_alone() {
+        let mut k = gemm_simple(); // no scalar replacement: nothing matches
+        let stats = identify(&mut k);
+        assert_eq!(stats.total_regions(), 0);
+    }
+}

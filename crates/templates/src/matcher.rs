@@ -1,0 +1,386 @@
+//! Single-template structural matchers.
+//!
+//! Each matcher inspects a window at the head of a statement slice and
+//! returns the instantiated template parameters on success. The patterns
+//! are the exact statement shapes `augem-transforms`' scalar replacement
+//! emits (which themselves mirror the paper's Figures 4–6).
+
+use crate::def::{MmComp, MmStore, MvComp, SvScal};
+use augem_ir::{BinOp, Expr, LValue, Stmt, Sym, SymbolTable, Ty};
+
+fn as_scalar_load(s: &Stmt) -> Option<(Sym, Sym, &Expr)> {
+    // t = base[idx]
+    if let Stmt::Assign {
+        dst: LValue::Var(t),
+        src: Expr::ArrayRef { base, index },
+    } = s
+    {
+        Some((*t, *base, index))
+    } else {
+        None
+    }
+}
+
+fn as_store_of_var(s: &Stmt) -> Option<(Sym, &Expr, Sym)> {
+    // base[idx] = v
+    if let Stmt::Assign {
+        dst: LValue::ArrayRef { base, index },
+        src: Expr::Var(v),
+    } = s
+    {
+        Some((*base, index, *v))
+    } else {
+        None
+    }
+}
+
+/// `d = l <op> r` with all three being plain variables.
+fn as_var_binop(s: &Stmt, op: BinOp) -> Option<(Sym, Sym, Sym)> {
+    if let Stmt::Assign {
+        dst: LValue::Var(d),
+        src: Expr::Bin(o, l, r),
+    } = s
+    {
+        if *o == op {
+            if let (Expr::Var(a), Expr::Var(b)) = (&**l, &**r) {
+                return Some((*d, *a, *b));
+            }
+        }
+    }
+    None
+}
+
+/// Matches `mmCOMP` at the head of `stmts` (4 statements):
+/// `t0 = A[idx1]; t1 = B[idx2]; t2 = t0*t1; res = res + t2`.
+pub fn match_mm_comp(stmts: &[Stmt], syms: &SymbolTable) -> Option<MmComp> {
+    if stmts.len() < 4 {
+        return None;
+    }
+    let (t0, a, idx1) = as_scalar_load(&stmts[0])?;
+    let (t1, b, idx2) = as_scalar_load(&stmts[1])?;
+    let (t2, m0, m1) = as_var_binop(&stmts[2], BinOp::Mul)?;
+    if !((m0 == t0 && m1 == t1) || (m0 == t1 && m1 == t0)) {
+        return None;
+    }
+    let (res, a0, a1) = as_var_binop(&stmts[3], BinOp::Add)?;
+    let ok = (a0 == res && a1 == t2) || (a0 == t2 && a1 == res);
+    if !ok || res == t0 || res == t1 || res == t2 {
+        return None;
+    }
+    if t0 == t1 || t0 == t2 || t1 == t2 {
+        return None;
+    }
+    if syms.ty(res) != Ty::F64 {
+        return None;
+    }
+    Some(MmComp {
+        a,
+        idx1: idx1.clone(),
+        b,
+        idx2: idx2.clone(),
+        res,
+        t0,
+        t1,
+        t2,
+    })
+}
+
+/// Matches `mmSTORE` at the head of `stmts` (3 statements):
+/// `t0 = C[idx]; res = res + t0; C[idx] = res`.
+pub fn match_mm_store(stmts: &[Stmt], syms: &SymbolTable) -> Option<MmStore> {
+    if stmts.len() < 3 {
+        return None;
+    }
+    let (t0, c, idx) = as_scalar_load(&stmts[0])?;
+    let (res, a0, a1) = as_var_binop(&stmts[1], BinOp::Add)?;
+    if !((a0 == res && a1 == t0) || (a0 == t0 && a1 == res)) || res == t0 {
+        return None;
+    }
+    let (c2, idx2, v) = as_store_of_var(&stmts[2])?;
+    if c2 != c || idx2 != idx || v != res {
+        return None;
+    }
+    if syms.ty(res) != Ty::F64 {
+        return None;
+    }
+    Some(MmStore {
+        c,
+        idx: idx.clone(),
+        res,
+        t0,
+    })
+}
+
+/// Matches `mvCOMP` at the head of `stmts` (5 statements):
+/// `t0 = A[idx1]; t1 = B[idx2]; t0 = t0*scal; t1 = t1 + t0; B[idx2] = t1`.
+pub fn match_mv_comp(stmts: &[Stmt], syms: &SymbolTable) -> Option<MvComp> {
+    if stmts.len() < 5 {
+        return None;
+    }
+    let (t0, a, idx1) = as_scalar_load(&stmts[0])?;
+    let (t1, b, idx2) = as_scalar_load(&stmts[1])?;
+    if t0 == t1 {
+        return None;
+    }
+    // t0 = t0 * scal (scal on either side)
+    let (d2, m0, m1) = as_var_binop(&stmts[2], BinOp::Mul)?;
+    if d2 != t0 {
+        return None;
+    }
+    let scal = if m0 == t0 {
+        m1
+    } else if m1 == t0 {
+        m0
+    } else {
+        return None;
+    };
+    if scal == t0 || scal == t1 || syms.ty(scal) != Ty::F64 {
+        return None;
+    }
+    // t1 = t1 + t0
+    let (d3, a0, a1) = as_var_binop(&stmts[3], BinOp::Add)?;
+    if d3 != t1 || !((a0 == t1 && a1 == t0) || (a0 == t0 && a1 == t1)) {
+        return None;
+    }
+    // B[idx2] = t1
+    let (b2, idx2b, v) = as_store_of_var(&stmts[4])?;
+    if b2 != b || idx2b != idx2 || v != t1 {
+        return None;
+    }
+    Some(MvComp {
+        a,
+        idx1: idx1.clone(),
+        b,
+        idx2: idx2.clone(),
+        scal,
+        t0,
+        t1,
+    })
+}
+
+/// Matches `svSCAL` at the head of `stmts` (3 statements):
+/// `t0 = Y[idx]; t0 = t0*scal; Y[idx] = t0`.
+pub fn match_sv_scal(stmts: &[Stmt], syms: &SymbolTable) -> Option<SvScal> {
+    if stmts.len() < 3 {
+        return None;
+    }
+    let (t0, y, idx) = as_scalar_load(&stmts[0])?;
+    let (d1, m0, m1) = as_var_binop(&stmts[1], BinOp::Mul)?;
+    if d1 != t0 {
+        return None;
+    }
+    let scal = if m0 == t0 {
+        m1
+    } else if m1 == t0 {
+        m0
+    } else {
+        return None;
+    };
+    if scal == t0 || syms.ty(scal) != Ty::F64 {
+        return None;
+    }
+    let (y2, idx2, v) = as_store_of_var(&stmts[2])?;
+    if y2 != y || idx2 != idx || v != t0 {
+        return None;
+    }
+    Some(SvScal {
+        y,
+        idx: idx.clone(),
+        scal,
+        t0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use augem_ir::*;
+
+    struct Fix {
+        syms: SymbolTable,
+        a: Sym,
+        b: Sym,
+        c: Sym,
+        t0: Sym,
+        t1: Sym,
+        t2: Sym,
+        res: Sym,
+        scal: Sym,
+    }
+
+    fn fix() -> Fix {
+        let mut syms = SymbolTable::new();
+        let a = syms.define("A", Ty::PtrF64, SymKind::Param);
+        let b = syms.define("B", Ty::PtrF64, SymKind::Param);
+        let c = syms.define("C", Ty::PtrF64, SymKind::Param);
+        let t0 = syms.define("tmp0", Ty::F64, SymKind::Local);
+        let t1 = syms.define("tmp1", Ty::F64, SymKind::Local);
+        let t2 = syms.define("tmp2", Ty::F64, SymKind::Local);
+        let res = syms.define("res0", Ty::F64, SymKind::Local);
+        let scal = syms.define("scal", Ty::F64, SymKind::Local);
+        Fix {
+            syms,
+            a,
+            b,
+            c,
+            t0,
+            t1,
+            t2,
+            res,
+            scal,
+        }
+    }
+
+    fn mm_comp_stmts(f: &Fix) -> Vec<Stmt> {
+        vec![
+            assign(f.t0, idx(f.a, int(0))),
+            assign(f.t1, idx(f.b, int(0))),
+            assign(f.t2, mul(var(f.t0), var(f.t1))),
+            assign(f.res, add(var(f.res), var(f.t2))),
+        ]
+    }
+
+    #[test]
+    fn mm_comp_matches_figure_4a() {
+        let f = fix();
+        let m = match_mm_comp(&mm_comp_stmts(&f), &f.syms).unwrap();
+        assert_eq!(m.a, f.a);
+        assert_eq!(m.b, f.b);
+        assert_eq!(m.res, f.res);
+        assert_eq!(m.idx1, int(0));
+    }
+
+    #[test]
+    fn mm_comp_rejects_wrong_mul_operands() {
+        let f = fix();
+        let mut s = mm_comp_stmts(&f);
+        s[2] = assign(f.t2, mul(var(f.t0), var(f.t0))); // t0*t0, not t0*t1
+        assert!(match_mm_comp(&s, &f.syms).is_none());
+    }
+
+    #[test]
+    fn mm_comp_rejects_accumulator_aliasing_tmp() {
+        let f = fix();
+        let mut s = mm_comp_stmts(&f);
+        s[3] = assign(f.t2, add(var(f.t2), var(f.t2)));
+        assert!(match_mm_comp(&s, &f.syms).is_none());
+    }
+
+    #[test]
+    fn mm_comp_accepts_commuted_add() {
+        let f = fix();
+        let mut s = mm_comp_stmts(&f);
+        s[3] = assign(f.res, add(var(f.t2), var(f.res)));
+        assert!(match_mm_comp(&s, &f.syms).is_some());
+    }
+
+    fn mm_store_stmts(f: &Fix) -> Vec<Stmt> {
+        vec![
+            assign(f.t0, idx(f.c, int(1))),
+            assign(f.res, add(var(f.res), var(f.t0))),
+            store(f.c, int(1), var(f.res)),
+        ]
+    }
+
+    #[test]
+    fn mm_store_matches_figure_5a() {
+        let f = fix();
+        let m = match_mm_store(&mm_store_stmts(&f), &f.syms).unwrap();
+        assert_eq!(m.c, f.c);
+        assert_eq!(m.idx, int(1));
+        assert_eq!(m.res, f.res);
+    }
+
+    #[test]
+    fn mm_store_rejects_mismatched_store_index() {
+        let f = fix();
+        let mut s = mm_store_stmts(&f);
+        s[2] = store(f.c, int(2), var(f.res));
+        assert!(match_mm_store(&s, &f.syms).is_none());
+    }
+
+    #[test]
+    fn mm_store_rejects_store_to_other_array() {
+        let f = fix();
+        let mut s = mm_store_stmts(&f);
+        s[2] = store(f.a, int(1), var(f.res));
+        assert!(match_mm_store(&s, &f.syms).is_none());
+    }
+
+    fn mv_comp_stmts(f: &Fix) -> Vec<Stmt> {
+        vec![
+            assign(f.t0, idx(f.a, int(0))),
+            assign(f.t1, idx(f.b, int(0))),
+            assign(f.t0, mul(var(f.t0), var(f.scal))),
+            assign(f.t1, add(var(f.t1), var(f.t0))),
+            store(f.b, int(0), var(f.t1)),
+        ]
+    }
+
+    #[test]
+    fn mv_comp_matches_figure_6a() {
+        let f = fix();
+        let m = match_mv_comp(&mv_comp_stmts(&f), &f.syms).unwrap();
+        assert_eq!(m.a, f.a);
+        assert_eq!(m.b, f.b);
+        assert_eq!(m.scal, f.scal);
+    }
+
+    #[test]
+    fn mv_comp_rejects_store_back_to_wrong_index() {
+        let f = fix();
+        let mut s = mv_comp_stmts(&f);
+        s[4] = store(f.b, int(3), var(f.t1));
+        assert!(match_mv_comp(&s, &f.syms).is_none());
+    }
+
+    #[test]
+    fn mv_comp_scal_must_not_be_a_tmp() {
+        let f = fix();
+        let mut s = mv_comp_stmts(&f);
+        s[2] = assign(f.t0, mul(var(f.t0), var(f.t1)));
+        assert!(match_mv_comp(&s, &f.syms).is_none());
+    }
+
+    fn sv_scal_stmts(f: &Fix) -> Vec<Stmt> {
+        vec![
+            assign(f.t0, idx(f.b, int(2))),
+            assign(f.t0, mul(var(f.t0), var(f.scal))),
+            store(f.b, int(2), var(f.t0)),
+        ]
+    }
+
+    #[test]
+    fn sv_scal_matches() {
+        let f = fix();
+        let m = match_sv_scal(&sv_scal_stmts(&f), &f.syms).unwrap();
+        assert_eq!(m.y, f.b);
+        assert_eq!(m.scal, f.scal);
+        assert_eq!(m.idx, int(2));
+    }
+
+    #[test]
+    fn sv_scal_rejects_store_elsewhere() {
+        let f = fix();
+        let mut s = sv_scal_stmts(&f);
+        s[2] = store(f.b, int(3), var(f.t0));
+        assert!(match_sv_scal(&s, &f.syms).is_none());
+    }
+
+    #[test]
+    fn sv_scal_does_not_shadow_mm_store() {
+        // mmSTORE's middle statement is an Add; svSCAL's is a Mul — the
+        // two 3-statement windows must never cross-match.
+        let f = fix();
+        assert!(match_sv_scal(&mm_store_stmts(&f), &f.syms).is_none());
+        assert!(match_mm_store(&sv_scal_stmts(&f), &f.syms).is_none());
+    }
+
+    #[test]
+    fn short_windows_do_not_match() {
+        let f = fix();
+        assert!(match_mm_comp(&mm_comp_stmts(&f)[..3], &f.syms).is_none());
+        assert!(match_mm_store(&mm_store_stmts(&f)[..2], &f.syms).is_none());
+        assert!(match_mv_comp(&mv_comp_stmts(&f)[..4], &f.syms).is_none());
+    }
+}

@@ -1,0 +1,307 @@
+//! Linear (sum-of-products) normal form for index expressions.
+//!
+//! Strength reduction and the template identifier both need to reason about
+//! array subscripts like `(l * Mc) + i + 1`: which loop variable they
+//! stride over, what the stride is, and whether two subscripts differ only
+//! by an integer constant. This module flattens the integer `Expr` subset
+//! (`+`, `-`, `*`, variables, constants) into a canonical list of
+//! [`Term`]s — each an integer coefficient times a (possibly empty, sorted)
+//! product of variables — supporting exactly the affine-ish forms DLA
+//! subscripts take.
+
+use augem_ir::{BinOp, Expr, Sym};
+
+/// `coeff * factors[0] * factors[1] * ...` — `factors` sorted, possibly
+/// empty (a pure constant term).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Term {
+    pub coeff: i64,
+    pub factors: Vec<Sym>,
+}
+
+impl Term {
+    fn constant(c: i64) -> Self {
+        Term {
+            coeff: c,
+            factors: Vec::new(),
+        }
+    }
+
+    fn var(s: Sym) -> Self {
+        Term {
+            coeff: 1,
+            factors: vec![s],
+        }
+    }
+
+    /// Whether the term mentions `v`.
+    pub fn mentions(&self, v: Sym) -> bool {
+        self.factors.contains(&v)
+    }
+}
+
+/// A sum of [`Term`]s in canonical order with like terms combined and
+/// zero-coefficient terms removed.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LinearForm {
+    pub terms: Vec<Term>,
+}
+
+impl LinearForm {
+    /// Flattens `e`; `None` if `e` contains anything outside the integer
+    /// `+`/`-`/`*`/var/const subset (e.g. division, floats, array refs).
+    pub fn of(e: &Expr) -> Option<LinearForm> {
+        let mut terms = Vec::new();
+        flatten(e, 1, &mut terms)?;
+        Some(normalize(terms))
+    }
+
+    /// The pure-constant component.
+    pub fn const_part(&self) -> i64 {
+        self.terms
+            .iter()
+            .filter(|t| t.factors.is_empty())
+            .map(|t| t.coeff)
+            .sum()
+    }
+
+    /// The form minus its constant component.
+    pub fn core(&self) -> LinearForm {
+        LinearForm {
+            terms: self
+                .terms
+                .iter()
+                .filter(|t| !t.factors.is_empty())
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Splits into `(coefficient-of-v, remainder)` if the form is linear in
+    /// `v`: every term mentioning `v` must contain it exactly once; the
+    /// returned coefficient is those terms with one `v` removed.
+    pub fn split_on(&self, v: Sym) -> Option<(LinearForm, LinearForm)> {
+        let mut coeff = Vec::new();
+        let mut rest = Vec::new();
+        for t in &self.terms {
+            let occurrences = t.factors.iter().filter(|&&f| f == v).count();
+            match occurrences {
+                0 => rest.push(t.clone()),
+                1 => {
+                    let mut f = t.factors.clone();
+                    let pos = f.iter().position(|&x| x == v).unwrap();
+                    f.remove(pos);
+                    coeff.push(Term {
+                        coeff: t.coeff,
+                        factors: f,
+                    });
+                }
+                _ => return None, // quadratic in v
+            }
+        }
+        Some((normalize(coeff), normalize(rest)))
+    }
+
+    /// Whether the form mentions `v` at all.
+    pub fn mentions(&self, v: Sym) -> bool {
+        self.terms.iter().any(|t| t.mentions(v))
+    }
+
+    /// Whether the form is the constant zero.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Whether the form is a nonzero integer constant (or zero).
+    pub fn as_const(&self) -> Option<i64> {
+        if self.terms.iter().all(|t| t.factors.is_empty()) {
+            Some(self.const_part())
+        } else {
+            None
+        }
+    }
+
+    /// Rebuilds an [`Expr`] (0 for the empty form).
+    pub fn to_expr(&self) -> Expr {
+        if self.terms.is_empty() {
+            return Expr::Int(0);
+        }
+        let mut acc: Option<Expr> = None;
+        for t in &self.terms {
+            let mut te: Option<Expr> = None;
+            for &f in &t.factors {
+                te = Some(match te {
+                    None => Expr::Var(f),
+                    Some(prev) => Expr::Bin(BinOp::Mul, Box::new(prev), Box::new(Expr::Var(f))),
+                });
+            }
+            let te = match (te, t.coeff) {
+                (None, c) => Expr::Int(c),
+                (Some(e), 1) => e,
+                (Some(e), c) => Expr::Bin(BinOp::Mul, Box::new(Expr::Int(c)), Box::new(e)),
+            };
+            acc = Some(match acc {
+                None => te,
+                Some(prev) => Expr::Bin(BinOp::Add, Box::new(prev), Box::new(te)),
+            });
+        }
+        acc.unwrap()
+    }
+
+    /// Structural equality ignoring the constant part; returns the offset
+    /// `other.const - self.const` when cores match.
+    pub fn const_offset_to(&self, other: &LinearForm) -> Option<i64> {
+        if self.core() == other.core() {
+            Some(other.const_part() - self.const_part())
+        } else {
+            None
+        }
+    }
+}
+
+fn flatten(e: &Expr, sign: i64, out: &mut Vec<Term>) -> Option<()> {
+    match e {
+        Expr::Int(c) => {
+            out.push(Term::constant(sign * c));
+            Some(())
+        }
+        Expr::Var(v) => {
+            let mut t = Term::var(*v);
+            t.coeff = sign;
+            out.push(t);
+            Some(())
+        }
+        Expr::Bin(BinOp::Add, l, r) => {
+            flatten(l, sign, out)?;
+            flatten(r, sign, out)
+        }
+        Expr::Bin(BinOp::Sub, l, r) => {
+            flatten(l, sign, out)?;
+            flatten(r, -sign, out)
+        }
+        Expr::Bin(BinOp::Mul, l, r) => {
+            let mut lt = Vec::new();
+            let mut rt = Vec::new();
+            flatten(l, 1, &mut lt)?;
+            flatten(r, 1, &mut rt)?;
+            for a in &lt {
+                for b in &rt {
+                    let mut factors = a.factors.clone();
+                    factors.extend_from_slice(&b.factors);
+                    factors.sort();
+                    out.push(Term {
+                        coeff: sign * a.coeff * b.coeff,
+                        factors,
+                    });
+                }
+            }
+            Some(())
+        }
+        _ => None,
+    }
+}
+
+fn normalize(mut terms: Vec<Term>) -> LinearForm {
+    terms.sort_by(|a, b| a.factors.cmp(&b.factors));
+    let mut out: Vec<Term> = Vec::new();
+    for t in terms {
+        match out.last_mut() {
+            Some(last) if last.factors == t.factors => last.coeff += t.coeff,
+            _ => out.push(t),
+        }
+    }
+    out.retain(|t| t.coeff != 0);
+    LinearForm { terms: out }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use augem_ir::{add, int, mul, sub, var, SymKind, SymbolTable, Ty};
+
+    fn syms() -> (SymbolTable, Sym, Sym, Sym) {
+        let mut t = SymbolTable::new();
+        let i = t.define("i", Ty::I64, SymKind::LoopVar);
+        let l = t.define("l", Ty::I64, SymKind::LoopVar);
+        let mc = t.define("Mc", Ty::I64, SymKind::Param);
+        (t, i, l, mc)
+    }
+
+    #[test]
+    fn flatten_gemm_subscript() {
+        let (_t, i, l, mc) = syms();
+        // (l * Mc) + i + 1
+        let e = add(add(mul(var(l), var(mc)), var(i)), int(1));
+        let lf = LinearForm::of(&e).unwrap();
+        assert_eq!(lf.const_part(), 1);
+        assert!(lf.mentions(l));
+        let (coeff, rest) = lf.split_on(l).unwrap();
+        assert_eq!(coeff.to_expr(), var(mc));
+        assert_eq!(rest.const_part(), 1);
+        assert!(rest.mentions(i));
+        assert!(!rest.mentions(l));
+    }
+
+    #[test]
+    fn like_terms_combine_and_cancel() {
+        let (_t, i, _l, _mc) = syms();
+        // i + i - 2*i  == 0
+        let e = sub(add(var(i), var(i)), mul(int(2), var(i)));
+        let lf = LinearForm::of(&e).unwrap();
+        assert!(lf.is_zero());
+        assert_eq!(lf.as_const(), Some(0));
+    }
+
+    #[test]
+    fn distribution_over_sums() {
+        let (_t, i, l, mc) = syms();
+        // (i + 2) * (l + 3) = i*l + 3i + 2l + 6
+        let e = mul(add(var(i), int(2)), add(var(l), int(3)));
+        let lf = LinearForm::of(&e).unwrap();
+        assert_eq!(lf.const_part(), 6);
+        // quadratic in neither i nor l alone, but i*l term mentions both
+        let (ci, _) = lf.split_on(i).unwrap();
+        assert!(ci.mentions(l)); // coefficient of i is l + 3
+        let _ = mc;
+    }
+
+    #[test]
+    fn split_rejects_quadratic() {
+        let (_t, i, _l, _mc) = syms();
+        let e = mul(var(i), var(i));
+        let lf = LinearForm::of(&e).unwrap();
+        assert!(lf.split_on(i).is_none());
+    }
+
+    #[test]
+    fn const_offset_detection() {
+        let (_t, i, l, mc) = syms();
+        let e1 = add(mul(var(l), var(mc)), var(i));
+        let e2 = add(add(mul(var(l), var(mc)), var(i)), int(3));
+        let f1 = LinearForm::of(&e1).unwrap();
+        let f2 = LinearForm::of(&e2).unwrap();
+        assert_eq!(f1.const_offset_to(&f2), Some(3));
+        assert_eq!(f2.const_offset_to(&f1), Some(-3));
+        // different cores don't match
+        let e3 = add(var(i), int(3));
+        let f3 = LinearForm::of(&e3).unwrap();
+        assert_eq!(f1.const_offset_to(&f3), None);
+    }
+
+    #[test]
+    fn to_expr_round_trips_through_flatten() {
+        let (_t, i, l, mc) = syms();
+        let e = add(add(mul(var(l), var(mc)), mul(int(4), var(i))), int(7));
+        let lf = LinearForm::of(&e).unwrap();
+        let back = LinearForm::of(&lf.to_expr()).unwrap();
+        assert_eq!(lf, back);
+    }
+
+    #[test]
+    fn non_linear_forms_rejected() {
+        let (_t, i, _l, _mc) = syms();
+        let e = augem_ir::div(var(i), int(2));
+        assert!(LinearForm::of(&e).is_none());
+        assert!(LinearForm::of(&augem_ir::f64c(1.0)).is_none());
+    }
+}

@@ -1,0 +1,195 @@
+//! The full Optimized C Kernel Generator (paper §2.1, Figure 1 left half):
+//! chains the five source-to-source passes in the paper's order.
+
+pub use crate::prefetch::PrefetchConfig;
+use crate::prefetch::insert_prefetch;
+use crate::scalar::scalar_replace;
+use crate::strength::strength_reduce;
+use crate::unroll::{unroll_and_jam, unroll_inner, TransformError};
+use augem_ir::Kernel;
+
+/// One optimization configuration — the point in the tuning space that
+/// `augem-tune` sweeps ("automatically experiments with different unrolling
+/// and unroll&jam configurations and selects the best performing").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptimizeConfig {
+    /// Outer loops to unroll&jam, outermost first: `(loop var name, factor)`.
+    pub unroll_jam: Vec<(String, usize)>,
+    /// Innermost loop to unroll: `(loop var name, factor, expand accumulators)`.
+    pub inner_unroll: Option<(String, usize, bool)>,
+    /// Prefetch insertion parameters.
+    pub prefetch: PrefetchConfig,
+}
+
+impl OptimizeConfig {
+    /// The paper's Figure 13 configuration for GEMM: `j` and `i` unrolled
+    /// by 2 and jammed, inner `l` unrolling "optionally turned off".
+    pub fn gemm_2x2() -> Self {
+        OptimizeConfig {
+            unroll_jam: vec![("j".into(), 2), ("i".into(), 2)],
+            inner_unroll: None,
+            prefetch: PrefetchConfig::default(),
+        }
+    }
+
+    /// A GEMM configuration with arbitrary unroll&jam factors.
+    pub fn gemm(nu: usize, mu: usize, ku: usize) -> Self {
+        OptimizeConfig {
+            unroll_jam: vec![("j".into(), nu), ("i".into(), mu)],
+            inner_unroll: if ku > 1 {
+                Some(("l".into(), ku, false))
+            } else {
+                None
+            },
+            prefetch: PrefetchConfig::default(),
+        }
+    }
+
+    /// Vector-kernel configuration (AXPY/DOT): unroll `i` by `factor`,
+    /// expanding accumulators when the kernel is a reduction.
+    pub fn vector(factor: usize, expand: bool) -> Self {
+        OptimizeConfig {
+            unroll_jam: Vec::new(),
+            inner_unroll: Some(("i".into(), factor, expand)),
+            prefetch: PrefetchConfig::default(),
+        }
+    }
+
+    /// GEMV configuration: unroll the row loop `j` by `factor`.
+    pub fn gemv(factor: usize) -> Self {
+        OptimizeConfig {
+            unroll_jam: Vec::new(),
+            inner_unroll: Some(("j".into(), factor, false)),
+            prefetch: PrefetchConfig::default(),
+        }
+    }
+}
+
+/// Runs the Optimized C Kernel Generator: unroll&jam → inner unrolling →
+/// strength reduction → scalar replacement → prefetch insertion.
+pub fn generate_optimized(kernel: &Kernel, cfg: &OptimizeConfig) -> Result<Kernel, TransformError> {
+    let mut k = kernel.clone();
+    for (v, f) in &cfg.unroll_jam {
+        unroll_and_jam(&mut k, v, *f)?;
+    }
+    if let Some((v, f, expand)) = &cfg.inner_unroll {
+        unroll_inner(&mut k, v, *f, *expand)?;
+    }
+    strength_reduce(&mut k);
+    scalar_replace(&mut k);
+    insert_prefetch(&mut k, &cfg.prefetch);
+    Ok(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use augem_ir::print::print_kernel;
+    use augem_ir::{ArgValue, Interpreter};
+    use augem_kernels::{axpy_simple, dot_simple, gemm_simple, gemv_simple};
+
+    #[test]
+    fn figure_13_configuration_runs_end_to_end() {
+        let k = generate_optimized(&gemm_simple(), &OptimizeConfig::gemm_2x2()).unwrap();
+        let c = print_kernel(&k);
+        // Strength-reduced pointers, scalar temporaries and prefetches all
+        // present, as in Figure 13.
+        assert!(c.contains("ptr_A"), "{c}");
+        assert!(c.contains("tmp"), "{c}");
+        assert!(c.contains("__builtin_prefetch"), "{c}");
+    }
+
+    #[test]
+    fn full_generator_preserves_gemm_semantics() {
+        let args = |mr: i64, nr: i64, kc: i64| {
+            let (mc, ldb, ldc) = (mr, nr, mr + 2);
+            vec![
+                ArgValue::Int(mr),
+                ArgValue::Int(nr),
+                ArgValue::Int(kc),
+                ArgValue::Int(mc),
+                ArgValue::Int(ldb),
+                ArgValue::Int(ldc),
+                ArgValue::Array((0..(mc * kc) as usize).map(|x| (x % 13) as f64).collect()),
+                ArgValue::Array((0..(kc * ldb) as usize).map(|x| (x % 7) as f64).collect()),
+                ArgValue::Array((0..(ldc * nr) as usize).map(|x| (x % 3) as f64).collect()),
+            ]
+        };
+        let expect = Interpreter::new().run(&gemm_simple(), args(8, 6, 9)).unwrap();
+        for cfg in [
+            OptimizeConfig::gemm_2x2(),
+            OptimizeConfig::gemm(2, 4, 1),
+            OptimizeConfig::gemm(2, 4, 2),
+            OptimizeConfig::gemm(4, 4, 4),
+        ] {
+            let k = generate_optimized(&gemm_simple(), &cfg).unwrap();
+            assert_eq!(
+                Interpreter::new().run(&k, args(8, 6, 9)).unwrap(),
+                expect,
+                "cfg {cfg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_generator_preserves_axpy_and_gemv_semantics() {
+        let n = 21usize;
+        let axpy_args = || {
+            vec![
+                ArgValue::Int(n as i64),
+                ArgValue::F64(0.5),
+                ArgValue::Array((0..n).map(|x| x as f64).collect()),
+                ArgValue::Array((0..n).map(|x| (x % 4) as f64).collect()),
+            ]
+        };
+        let expect = Interpreter::new().run(&axpy_simple(), axpy_args()).unwrap();
+        for f in [2, 4, 8] {
+            let k = generate_optimized(&axpy_simple(), &OptimizeConfig::vector(f, false)).unwrap();
+            assert_eq!(Interpreter::new().run(&k, axpy_args()).unwrap(), expect);
+        }
+
+        let (m, nn, lda) = (14usize, 5usize, 14usize);
+        let gemv_args = || {
+            vec![
+                ArgValue::Int(m as i64),
+                ArgValue::Int(nn as i64),
+                ArgValue::Int(lda as i64),
+                ArgValue::Array((0..lda * nn).map(|x| ((x * 3) % 8) as f64).collect()),
+                ArgValue::Array((0..nn).map(|x| x as f64 - 1.0).collect()),
+                ArgValue::Array(vec![1.0; m]),
+            ]
+        };
+        let expect = Interpreter::new().run(&gemv_simple(), gemv_args()).unwrap();
+        let k = generate_optimized(&gemv_simple(), &OptimizeConfig::gemv(4)).unwrap();
+        assert_eq!(Interpreter::new().run(&k, gemv_args()).unwrap(), expect);
+    }
+
+    #[test]
+    fn dot_reduction_pipeline_close_to_reference() {
+        let n = 33usize;
+        let x: Vec<f64> = (0..n).map(|v| (v as f64).sin()).collect();
+        let y: Vec<f64> = (0..n).map(|v| (v as f64 * 0.5).cos()).collect();
+        let args = || {
+            vec![
+                ArgValue::Int(n as i64),
+                ArgValue::Array(x.clone()),
+                ArgValue::Array(y.clone()),
+                ArgValue::Array(vec![0.0]),
+            ]
+        };
+        let exact: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let k = generate_optimized(&dot_simple(), &OptimizeConfig::vector(4, true)).unwrap();
+        let got = Interpreter::new().run(&k, args()).unwrap()[2][0];
+        assert!((got - exact).abs() < 1e-12 * n as f64, "{got} vs {exact}");
+    }
+
+    #[test]
+    fn bad_config_surfaces_error() {
+        let cfg = OptimizeConfig {
+            unroll_jam: vec![("nope".into(), 2)],
+            inner_unroll: None,
+            prefetch: PrefetchConfig::disabled(),
+        };
+        assert!(generate_optimized(&gemm_simple(), &cfg).is_err());
+    }
+}

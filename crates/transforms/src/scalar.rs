@@ -1,0 +1,489 @@
+//! Scalar replacement (paper §2.1) — also the pass that lowers hot
+//! floating-point statements to three-address form.
+//!
+//! "The array references to ptr_A, ptr_B, ptr_C0, and ptr_C1 are replaced
+//! with scalar variables, e.g., tmp0, tmp1, tmp2, and res0 ... by the
+//! scalar replacement optimization to promote register reuse."
+//!
+//! The decompositions are pattern-directed so the emitted statement runs
+//! match the paper's templates (Figure 3) *exactly*:
+//!
+//! * `res = res + A[i1]*B[i2]`  →  the 4-statement **mmCOMP** shape
+//!   (`tmp0 = A[i1]; tmp1 = B[i2]; tmp2 = tmp0*tmp1; res = res + tmp2`)
+//! * `C[i] = C[i] + res`        →  the 3-statement **mmSTORE** shape
+//!   (`tmp0 = C[i]; res = res + tmp0; C[i] = res`) — note the paper
+//!   accumulates *into* `res`, which is safe only when `res` is dead
+//!   afterwards; the pass verifies that and falls back to a fresh
+//!   temporary otherwise.
+//! * `B[i2] = B[i2] + A[i1]*scal` → the 5-statement **mvCOMP** shape
+//!   (`tmp0 = A[i1]; tmp1 = B[i2]; tmp0 = tmp0*scal; tmp1 = tmp1+tmp0;
+//!   B[i2] = tmp1`).
+//!
+//! Anything else with nested floating-point operators is flattened
+//! generically with fresh temporaries.
+
+use augem_ir::visit::stmt_uses;
+use augem_ir::{
+    add, assign, idx as idx_of, mul, store, var, BinOp, Expr, Kernel, LValue, Stmt, Sym, SymKind,
+    SymbolTable, Ty,
+};
+
+/// Applies scalar replacement / three-address lowering to the whole kernel.
+pub fn scalar_replace(k: &mut Kernel) {
+    let mut syms = std::mem::take(&mut k.syms);
+    let mut body = std::mem::take(&mut k.body);
+    process_block(&mut body, &mut syms);
+    k.syms = syms;
+    k.body = body;
+}
+
+fn process_block(stmts: &mut Vec<Stmt>, syms: &mut SymbolTable) {
+    let mut pos = 0;
+    while pos < stmts.len() {
+        // Recurse first so `used_later` checks see already-lowered code.
+        if let Stmt::For { body, .. } | Stmt::Region { body, .. } = &mut stmts[pos] {
+            process_block(body, syms);
+            pos += 1;
+            continue;
+        }
+        let lowered = match &stmts[pos] {
+            Stmt::Assign { .. } => {
+                let used_later = |sym: Sym| any_use_after(stmts, pos, sym);
+                lower_assign(&stmts[pos], syms, used_later)
+            }
+            _ => None,
+        };
+        if let Some(repl) = lowered {
+            let n = repl.len();
+            stmts.splice(pos..=pos, repl);
+            pos += n;
+        } else {
+            pos += 1;
+        }
+    }
+}
+
+/// Whether `sym` is used by any statement after `pos` in this block
+/// (recursing into nested bodies).
+fn any_use_after(stmts: &[Stmt], pos: usize, sym: Sym) -> bool {
+    fn uses(s: &Stmt, sym: Sym) -> bool {
+        let mut v = Vec::new();
+        stmt_uses(s, &mut v);
+        if v.contains(&sym) {
+            return true;
+        }
+        if let Stmt::For { body, .. } | Stmt::Region { body, .. } = s {
+            return body.iter().any(|b| uses(b, sym));
+        }
+        false
+    }
+    stmts[pos + 1..].iter().any(|s| uses(s, sym))
+}
+
+fn fresh_tmp(syms: &mut SymbolTable) -> Sym {
+    syms.fresh("tmp", Ty::F64, SymKind::Local)
+}
+
+/// Attempts to lower one assignment; `None` means leave it alone.
+fn lower_assign(
+    s: &Stmt,
+    syms: &mut SymbolTable,
+    used_later: impl Fn(Sym) -> bool,
+) -> Option<Vec<Stmt>> {
+    let Stmt::Assign { dst, src } = s else {
+        return None;
+    };
+
+    // Only lower floating-point computations; pointer/integer arithmetic
+    // (strength-reduction bookkeeping, loop math) stays as-is.
+    match dst {
+        LValue::Var(v) if syms.ty(*v) != Ty::F64 => return None,
+        _ => {}
+    }
+
+    match (dst, src) {
+        // --- mmCOMP: res = res + A[i1]*B[i2] (either operand order) ---
+        (LValue::Var(res), Expr::Bin(BinOp::Add, l, r)) => {
+            let (self_ref, other) = if matches!(**l, Expr::Var(v) if v == *res) {
+                (true, &**r)
+            } else if matches!(**r, Expr::Var(v) if v == *res) {
+                (true, &**l)
+            } else {
+                (false, src)
+            };
+            if self_ref {
+                if let Expr::Bin(BinOp::Mul, ml, mr) = other {
+                    if let (
+                        Expr::ArrayRef { base: a, index: i1 },
+                        Expr::ArrayRef { base: b, index: i2 },
+                    ) = (&**ml, &**mr)
+                    {
+                        let tmp0 = fresh_tmp(syms);
+                        let tmp1 = fresh_tmp(syms);
+                        let tmp2 = fresh_tmp(syms);
+                        return Some(vec![
+                            assign(tmp0, idx_of(*a, (**i1).clone())),
+                            assign(tmp1, idx_of(*b, (**i2).clone())),
+                            assign(tmp2, mul(var(tmp0), var(tmp1))),
+                            assign(*res, add(var(*res), var(tmp2))),
+                        ]);
+                    }
+                    // res = res + A[i1]*scal  (GEMV outer-product flavor):
+                    // decompose as load + mul-by-var + add.
+                    if let (Expr::ArrayRef { base: a, index: i1 }, Expr::Var(scal)) =
+                        (&**ml, &**mr)
+                    {
+                        let tmp0 = fresh_tmp(syms);
+                        let tmp2 = fresh_tmp(syms);
+                        return Some(vec![
+                            assign(tmp0, idx_of(*a, (**i1).clone())),
+                            assign(tmp2, mul(var(tmp0), var(*scal))),
+                            assign(*res, add(var(*res), var(tmp2))),
+                        ]);
+                    }
+                }
+                // res = res + <atomic>: already three-address.
+                if other.op_count() == 0 && !matches!(other, Expr::ArrayRef { .. }) {
+                    return None;
+                }
+            }
+            // Fall through to generic lowering.
+            lower_generic(dst, src, syms)
+        }
+
+        // --- svSCAL: Y[i] = Y[i] * scal (in-place scale) ---
+        (LValue::ArrayRef { base: y, index: yi }, Expr::Bin(BinOp::Mul, l, r)) => {
+            let scal = match (&**l, &**r) {
+                (Expr::ArrayRef { base, index }, Expr::Var(sv))
+                    if base == y && **index == **yi =>
+                {
+                    Some(*sv)
+                }
+                (Expr::Var(sv), Expr::ArrayRef { base, index })
+                    if base == y && **index == **yi =>
+                {
+                    Some(*sv)
+                }
+                _ => None,
+            };
+            if let Some(sv) = scal {
+                let tmp0 = fresh_tmp(syms);
+                return Some(vec![
+                    assign(tmp0, idx_of(*y, (**yi).clone())),
+                    assign(tmp0, mul(var(tmp0), var(sv))),
+                    store(*y, (**yi).clone(), var(tmp0)),
+                ]);
+            }
+            lower_generic(dst, src, syms)
+        }
+
+        // --- Array-store forms ---
+        (LValue::ArrayRef { base: c, index: ci }, Expr::Bin(BinOp::Add, l, r)) => {
+            // Identify the reload of the same cell on either side.
+            let (reload_side, addend) = match (&**l, &**r) {
+                (Expr::ArrayRef { base, index }, other) if base == c && **index == **ci => {
+                    (true, other)
+                }
+                (other, Expr::ArrayRef { base, index }) if base == c && **index == **ci => {
+                    (true, other)
+                }
+                _ => (false, &**l),
+            };
+            if reload_side {
+                match addend {
+                    // mmSTORE: C[i] = C[i] + res
+                    Expr::Var(res) => {
+                        let tmp0 = fresh_tmp(syms);
+                        if used_later(*res) {
+                            // Safe variant: don't clobber res.
+                            let tmp1 = fresh_tmp(syms);
+                            return Some(vec![
+                                assign(tmp0, idx_of(*c, (**ci).clone())),
+                                assign(tmp1, add(var(*res), var(tmp0))),
+                                store(*c, (**ci).clone(), var(tmp1)),
+                            ]);
+                        }
+                        return Some(vec![
+                            assign(tmp0, idx_of(*c, (**ci).clone())),
+                            assign(*res, add(var(*res), var(tmp0))),
+                            store(*c, (**ci).clone(), var(*res)),
+                        ]);
+                    }
+                    // mvCOMP: B[i2] = B[i2] + A[i1]*scal (scal on either side)
+                    Expr::Bin(BinOp::Mul, ml, mr) => {
+                        let (aref, scal) = match (&**ml, &**mr) {
+                            (Expr::ArrayRef { .. }, Expr::Var(s)) => (&**ml, *s),
+                            (Expr::Var(s), Expr::ArrayRef { .. }) => (&**mr, *s),
+                            _ => return lower_generic(dst, src, syms),
+                        };
+                        let Expr::ArrayRef { base: a, index: i1 } = aref else {
+                            unreachable!()
+                        };
+                        let tmp0 = fresh_tmp(syms);
+                        let tmp1 = fresh_tmp(syms);
+                        return Some(vec![
+                            assign(tmp0, idx_of(*a, (**i1).clone())),
+                            assign(tmp1, idx_of(*c, (**ci).clone())),
+                            assign(tmp0, mul(var(tmp0), var(scal))),
+                            assign(tmp1, add(var(tmp1), var(tmp0))),
+                            store(*c, (**ci).clone(), var(tmp1)),
+                        ]);
+                    }
+                    _ => {}
+                }
+            }
+            lower_generic(dst, src, syms)
+        }
+
+        _ => lower_generic(dst, src, syms),
+    }
+}
+
+/// Generic three-address flattening: loads and nested operations get fresh
+/// temporaries; the final value lands in `dst`.
+fn lower_generic(dst: &LValue, src: &Expr, syms: &mut SymbolTable) -> Option<Vec<Stmt>> {
+    // Already three-address? Leave alone.
+    let trivially_ok = match src {
+        Expr::Int(_) | Expr::F64(_) | Expr::Var(_) | Expr::ArrayRef { .. } => true,
+        Expr::Bin(_, l, r) => {
+            matches!(**l, Expr::Var(_) | Expr::Int(_) | Expr::F64(_))
+                && matches!(**r, Expr::Var(_) | Expr::Int(_) | Expr::F64(_))
+        }
+    };
+    if trivially_ok {
+        return None;
+    }
+
+    let mut out = Vec::new();
+    // Stores must come from a plain variable (the assembly generator's
+    // store rule); scalar destinations may keep one top-level operator.
+    let force = matches!(dst, LValue::ArrayRef { .. });
+    let final_expr = flatten_expr(src, syms, &mut out, force);
+    out.push(Stmt::Assign {
+        dst: dst.clone(),
+        src: final_expr,
+    });
+    Some(out)
+}
+
+/// Recursively flattens `e`, emitting temporaries into `out`. With
+/// `force_atomic`, the returned expression is a variable or literal.
+fn flatten_expr(e: &Expr, syms: &mut SymbolTable, out: &mut Vec<Stmt>, force_atomic: bool) -> Expr {
+    match e {
+        Expr::Int(_) | Expr::F64(_) | Expr::Var(_) => e.clone(),
+        Expr::ArrayRef { .. } => {
+            if force_atomic {
+                let t = fresh_tmp(syms);
+                out.push(Stmt::Assign {
+                    dst: LValue::Var(t),
+                    src: e.clone(),
+                });
+                var(t)
+            } else {
+                // Top-level load can stay a load (it's 3AC by itself) —
+                // but inside a binop callers pass force_atomic=true.
+                e.clone()
+            }
+        }
+        Expr::Bin(op, l, r) => {
+            let la = flatten_expr(l, syms, out, true);
+            let ra = flatten_expr(r, syms, out, true);
+            let combined = Expr::Bin(*op, Box::new(la), Box::new(ra));
+            if force_atomic {
+                let t = fresh_tmp(syms);
+                out.push(Stmt::Assign {
+                    dst: LValue::Var(t),
+                    src: combined,
+                });
+                var(t)
+            } else {
+                combined
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strength::strength_reduce;
+    use crate::unroll::{unroll_and_jam, unroll_inner};
+    use augem_ir::print::print_kernel;
+    use augem_ir::{ArgValue, Interpreter, Kernel};
+    use augem_kernels::{axpy_simple, dot_simple, gemm_simple, gemv_simple};
+
+    fn run(k: &Kernel, args: Vec<ArgValue>) -> Vec<Vec<f64>> {
+        Interpreter::new().run(k, args).unwrap()
+    }
+
+    fn hot_loops_are_three_address(k: &Kernel) -> bool {
+        // Every statement inside innermost loops must be 3AC.
+        fn innermost_ok(stmts: &[Stmt]) -> bool {
+            for s in stmts {
+                if let Stmt::For { body, .. } = s {
+                    let has_inner = body.iter().any(|b| matches!(b, Stmt::For { .. }));
+                    if has_inner {
+                        if !innermost_ok(body) {
+                            return false;
+                        }
+                    } else if !body.iter().all(|b| b.is_three_address()) {
+                        return false;
+                    }
+                }
+            }
+            true
+        }
+        innermost_ok(&k.body)
+    }
+
+    #[test]
+    fn gemm_full_front_half_pipeline_preserves_semantics_and_is_3ac() {
+        let gemm_args = |mr: i64, nr: i64, kc: i64| {
+            let (mc, ldb, ldc) = (mr, nr, mr);
+            vec![
+                ArgValue::Int(mr),
+                ArgValue::Int(nr),
+                ArgValue::Int(kc),
+                ArgValue::Int(mc),
+                ArgValue::Int(ldb),
+                ArgValue::Int(ldc),
+                ArgValue::Array((0..(mc * kc) as usize).map(|x| (x % 9) as f64 - 4.0).collect()),
+                ArgValue::Array((0..(kc * ldb) as usize).map(|x| (x % 5) as f64 * 0.5).collect()),
+                ArgValue::Array((0..(ldc * nr) as usize).map(|x| x as f64 * 0.1).collect()),
+            ]
+        };
+        let expect = run(&gemm_simple(), gemm_args(4, 4, 6));
+        let mut k = gemm_simple();
+        unroll_and_jam(&mut k, "j", 2).unwrap();
+        unroll_and_jam(&mut k, "i", 2).unwrap();
+        strength_reduce(&mut k);
+        scalar_replace(&mut k);
+        assert_eq!(run(&k, gemm_args(4, 4, 6)), expect);
+        assert!(
+            hot_loops_are_three_address(&k),
+            "not 3AC:\n{}",
+            print_kernel(&k)
+        );
+    }
+
+    #[test]
+    fn gemm_inner_body_has_mmcomp_shape() {
+        let mut k = gemm_simple();
+        unroll_and_jam(&mut k, "j", 2).unwrap();
+        unroll_and_jam(&mut k, "i", 2).unwrap();
+        strength_reduce(&mut k);
+        scalar_replace(&mut k);
+        let c = print_kernel(&k);
+        // Each accumulation decomposes into loads, a multiply and an add:
+        // tmpX = ptr_A[0]; tmpY = ptr_B[0]; tmpZ = tmpX * tmpY; res = res + tmpZ;
+        assert!(c.contains("= ptr_A"), "{c}");
+        assert!(c.contains("* tmp"), "{c}");
+        // mmSTORE shape: accumulate into res then store it.
+        assert!(c.contains("= ptr_C"), "{c}");
+    }
+
+    #[test]
+    fn axpy_lowered_to_mvcomp_shape() {
+        let n = 13usize;
+        let args = || {
+            vec![
+                ArgValue::Int(n as i64),
+                ArgValue::F64(2.5),
+                ArgValue::Array((0..n).map(|x| x as f64).collect()),
+                ArgValue::Array(vec![1.0; n]),
+            ]
+        };
+        let expect = run(&axpy_simple(), args());
+        let mut k = axpy_simple();
+        unroll_inner(&mut k, "i", 2, false).unwrap();
+        strength_reduce(&mut k);
+        scalar_replace(&mut k);
+        assert_eq!(run(&k, args()), expect);
+        let c = print_kernel(&k);
+        // mvCOMP: tmp0 = X; tmp1 = Y; tmp0 = tmp0*alpha; tmp1 = tmp1+tmp0; Y = tmp1
+        assert!(c.contains("* alpha;"), "{c}");
+        assert!(hot_loops_are_three_address(&k), "{c}");
+    }
+
+    #[test]
+    fn gemv_lowering_preserves_semantics() {
+        let (m, n, lda) = (10usize, 6usize, 10usize);
+        let args = || {
+            vec![
+                ArgValue::Int(m as i64),
+                ArgValue::Int(n as i64),
+                ArgValue::Int(lda as i64),
+                ArgValue::Array((0..lda * n).map(|x| ((x * 7) % 11) as f64).collect()),
+                ArgValue::Array((0..n).map(|x| x as f64 * 0.3).collect()),
+                ArgValue::Array(vec![0.25; m]),
+            ]
+        };
+        let expect = run(&gemv_simple(), args());
+        let mut k = gemv_simple();
+        unroll_inner(&mut k, "j", 4, false).unwrap();
+        strength_reduce(&mut k);
+        scalar_replace(&mut k);
+        assert_eq!(run(&k, args()), expect);
+    }
+
+    #[test]
+    fn dot_lowering_preserves_semantics() {
+        let n = 12usize;
+        let args = || {
+            vec![
+                ArgValue::Int(n as i64),
+                ArgValue::Array((0..n).map(|x| x as f64 - 3.0).collect()),
+                ArgValue::Array((0..n).map(|x| 0.5 * x as f64 + 1.0).collect()),
+                ArgValue::Array(vec![0.0]),
+            ]
+        };
+        let mut unrolled = dot_simple();
+        unroll_inner(&mut unrolled, "i", 2, true).unwrap();
+        let expect = run(&unrolled, args());
+        let mut k = dot_simple();
+        unroll_inner(&mut k, "i", 2, true).unwrap();
+        strength_reduce(&mut k);
+        scalar_replace(&mut k);
+        assert_eq!(run(&k, args()), expect);
+        let c = print_kernel(&k);
+        assert!(hot_loops_are_three_address(&k), "{c}");
+    }
+
+    #[test]
+    fn mmstore_keeps_res_when_still_needed() {
+        // C0[0] += res; C1[0] += res  — the first store must NOT clobber res.
+        use augem_ir::*;
+        let mut kb = KernelBuilder::new("t");
+        let c0 = kb.ptr_param("C0");
+        let c1 = kb.ptr_param("C1");
+        let res = kb.local("res", Ty::F64);
+        kb.push(assign(res, f64c(2.0)));
+        kb.push(store_add(c0, int(0), var(res)));
+        kb.push(store_add(c1, int(0), var(res)));
+        let mut k = kb.finish();
+        scalar_replace(&mut k);
+        let out = Interpreter::new()
+            .run(
+                &k,
+                vec![ArgValue::Array(vec![10.0]), ArgValue::Array(vec![20.0])],
+            )
+            .unwrap();
+        assert_eq!(out[0], vec![12.0]);
+        assert_eq!(out[1], vec![22.0]);
+    }
+
+    #[test]
+    fn non_float_assignments_untouched() {
+        use augem_ir::*;
+        let mut kb = KernelBuilder::new("t");
+        let a = kb.ptr_param("A");
+        let p = kb.local("p", Ty::PtrF64);
+        let n = kb.local("n", Ty::I64);
+        kb.push(assign(p, add(var(a), mul(int(2), int(3)))));
+        kb.push(assign(n, add(int(1), mul(int(2), int(3)))));
+        let mut k = kb.finish();
+        let before = print_kernel(&k);
+        scalar_replace(&mut k);
+        assert_eq!(print_kernel(&k), before);
+    }
+}

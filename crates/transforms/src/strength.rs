@@ -1,0 +1,450 @@
+//! Strength reduction (paper §2.1, Figure 13).
+//!
+//! Replaces affine array subscripts with incrementally-adjusted pointer
+//! variables: `A[l*Mc + i]` inside loop `l` becomes `ptr_A[0]` with
+//! `ptr_A = A + i` hoisted in front of the loop and `ptr_A = ptr_A + Mc`
+//! appended to the loop body — "to reduce the cost of evaluating array
+//! subscripts by incrementally adjusting the starting addresses of matrices
+//! at each loop iteration".
+//!
+//! Loops are processed innermost-first. For each loop with induction
+//! variable `v`, every array reference whose subscript is linear in `v`
+//! (`subscript = c*v + rest`, `c` loop-invariant) is grouped by
+//! `(array, c, rest-minus-constant)`; each group gets one pointer, and the
+//! group's references become constant-offset accesses through it — which is
+//! precisely the shape the Template Identifier needs (`ptr_A[0]`,
+//! `ptr_A[1]`, ...).
+
+use crate::linear::LinearForm;
+use augem_ir::{add, assign, int, mul, var, Expr, Kernel, LValue, Stmt, Sym, SymKind, Ty};
+
+/// One pointer group discovered under a loop.
+#[derive(Debug)]
+struct Group {
+    base: Sym,
+    coeff: LinearForm,
+    core: LinearForm,
+    /// Constant offsets seen (for diagnostics; replacement recomputes).
+    offsets: Vec<i64>,
+    ptr: Option<Sym>,
+}
+
+/// Applies strength reduction to every loop in the kernel, innermost-first.
+pub fn strength_reduce(k: &mut Kernel) {
+    let mut syms = std::mem::take(&mut k.syms);
+    let mut body = std::mem::take(&mut k.body);
+    let mut origin = std::mem::take(&mut k.ptr_origin);
+    process_block(&mut body, &mut syms, &mut origin);
+    k.syms = syms;
+    k.body = body;
+    k.ptr_origin = origin;
+}
+
+fn process_block(
+    stmts: &mut Vec<Stmt>,
+    syms: &mut augem_ir::SymbolTable,
+    origin: &mut std::collections::HashMap<Sym, Sym>,
+) {
+    let mut pos = 0;
+    while pos < stmts.len() {
+        // Recurse into region bodies without treating them as loops.
+        if let Stmt::Region { body, .. } = &mut stmts[pos] {
+            process_block(body, syms, origin);
+            pos += 1;
+            continue;
+        }
+        let is_for = matches!(stmts[pos], Stmt::For { .. });
+        if !is_for {
+            pos += 1;
+            continue;
+        }
+        let Stmt::For {
+            var: v,
+            init,
+            bound,
+            step,
+            body: mut loop_body,
+        } = replace_with_placeholder(&mut stmts[pos])
+        else {
+            unreachable!()
+        };
+
+        // Innermost first.
+        process_block(&mut loop_body, syms, origin);
+
+        let inner_loop_vars = collect_loop_vars(&loop_body);
+        let mut groups: Vec<Group> = Vec::new();
+        collect_groups(&loop_body, v, &inner_loop_vars, &mut groups);
+
+        let mut inits = Vec::new();
+        for g in &mut groups {
+            let ptr = syms.fresh(
+                &format!("ptr_{}", syms.name(g.base)),
+                Ty::PtrF64,
+                SymKind::Local,
+            );
+            g.ptr = Some(ptr);
+            origin.insert(ptr, g.base);
+            // ptr = base + core + c*init
+            let mut offset_expr: Option<Expr> = None;
+            if !g.core.is_zero() {
+                offset_expr = Some(g.core.to_expr());
+            }
+            let init_is_zero = matches!(init, Expr::Int(0));
+            if !init_is_zero && !g.coeff.is_zero() {
+                // c * init, folding the common c == 1 case.
+                let cv = if g.coeff.as_const() == Some(1) {
+                    init.clone()
+                } else {
+                    mul(g.coeff.to_expr(), init.clone())
+                };
+                offset_expr = Some(match offset_expr {
+                    None => cv,
+                    Some(prev) => add(prev, cv),
+                });
+            }
+            let rhs = match offset_expr {
+                None => var(g.base),
+                Some(off) => add(var(g.base), off),
+            };
+            inits.push(assign(ptr, rhs));
+        }
+
+        if !groups.is_empty() {
+            replace_refs(&mut loop_body, v, &groups);
+            for g in &groups {
+                // ptr = ptr + c*step
+                let inc = match g.coeff.as_const() {
+                    Some(c) => int(c * step),
+                    None => {
+                        if step == 1 {
+                            g.coeff.to_expr()
+                        } else {
+                            mul(int(step), g.coeff.to_expr())
+                        }
+                    }
+                };
+                let p = g.ptr.unwrap();
+                loop_body.push(assign(p, add(var(p), inc)));
+            }
+        }
+
+        stmts[pos] = Stmt::For {
+            var: v,
+            init,
+            bound,
+            step,
+            body: loop_body,
+        };
+        for (k_off, s) in inits.into_iter().enumerate() {
+            stmts.insert(pos + k_off, s);
+        }
+        pos += 1;
+    }
+}
+
+fn replace_with_placeholder(slot: &mut Stmt) -> Stmt {
+    std::mem::replace(slot, Stmt::Comment(String::new()))
+}
+
+fn collect_loop_vars(stmts: &[Stmt]) -> Vec<Sym> {
+    let mut out = Vec::new();
+    fn go(stmts: &[Stmt], out: &mut Vec<Sym>) {
+        for s in stmts {
+            if let Stmt::For { var, body, .. } = s {
+                out.push(*var);
+                go(body, out);
+            } else if let Stmt::Region { body, .. } = s {
+                go(body, out);
+            }
+        }
+    }
+    go(stmts, &mut out);
+    out
+}
+
+/// Classifies one subscript w.r.t. loop variable `v`. Returns
+/// `(coeff, core, const_offset)` when reducible.
+fn classify(index: &Expr, v: Sym, inner_vars: &[Sym]) -> Option<(LinearForm, LinearForm, i64)> {
+    let lf = LinearForm::of(index)?;
+    if !lf.mentions(v) {
+        return None;
+    }
+    let (coeff, rest) = lf.split_on(v)?;
+    if coeff.is_zero() || coeff.mentions(v) {
+        return None;
+    }
+    // The hoisted init must not reference variables of loops nested inside.
+    for &iv in inner_vars {
+        if coeff.mentions(iv) || rest.mentions(iv) {
+            return None;
+        }
+    }
+    let off = rest.const_part();
+    Some((coeff, rest.core(), off))
+}
+
+fn note_group(groups: &mut Vec<Group>, base: Sym, coeff: LinearForm, core: LinearForm, off: i64) {
+    for g in groups.iter_mut() {
+        if g.base == base && g.coeff == coeff && g.core == core {
+            if !g.offsets.contains(&off) {
+                g.offsets.push(off);
+            }
+            return;
+        }
+    }
+    groups.push(Group {
+        base,
+        coeff,
+        core,
+        offsets: vec![off],
+        ptr: None,
+    });
+}
+
+fn collect_groups(stmts: &[Stmt], v: Sym, inner_vars: &[Sym], groups: &mut Vec<Group>) {
+    fn scan_expr(e: &Expr, v: Sym, inner: &[Sym], groups: &mut Vec<Group>) {
+        match e {
+            Expr::ArrayRef { base, index } => {
+                if let Some((c, core, off)) = classify(index, v, inner) {
+                    note_group(groups, *base, c, core, off);
+                }
+                scan_expr(index, v, inner, groups);
+            }
+            Expr::Bin(_, l, r) => {
+                scan_expr(l, v, inner, groups);
+                scan_expr(r, v, inner, groups);
+            }
+            _ => {}
+        }
+    }
+    for s in stmts {
+        match s {
+            Stmt::Assign { dst, src } => {
+                if let LValue::ArrayRef { base, index } = dst {
+                    if let Some((c, core, off)) = classify(index, v, inner_vars) {
+                        note_group(groups, *base, c, core, off);
+                    }
+                    scan_expr(index, v, inner_vars, groups);
+                }
+                scan_expr(src, v, inner_vars, groups);
+            }
+            Stmt::For {
+                init, bound, body, ..
+            } => {
+                scan_expr(init, v, inner_vars, groups);
+                scan_expr(bound, v, inner_vars, groups);
+                collect_groups(body, v, inner_vars, groups);
+            }
+            Stmt::Prefetch { index, .. } => scan_expr(index, v, inner_vars, groups),
+            Stmt::Region { body, .. } => collect_groups(body, v, inner_vars, groups),
+            Stmt::Comment(_) => {}
+        }
+    }
+}
+
+fn rewrite_ref(base: &mut Sym, index: &mut Expr, v: Sym, groups: &[Group]) {
+    let Some(lf) = LinearForm::of(index) else {
+        return;
+    };
+    if !lf.mentions(v) {
+        return;
+    }
+    let Some((coeff, rest)) = lf.split_on(v) else {
+        return;
+    };
+    for g in groups {
+        if g.base == *base && g.coeff == coeff && g.core == rest.core() {
+            *base = g.ptr.unwrap();
+            *index = int(rest.const_part());
+            return;
+        }
+    }
+}
+
+fn replace_refs(stmts: &mut [Stmt], v: Sym, groups: &[Group]) {
+    fn go_expr(e: &mut Expr, v: Sym, groups: &[Group]) {
+        match e {
+            Expr::ArrayRef { base, index } => {
+                go_expr(index, v, groups);
+                rewrite_ref(base, index, v, groups);
+            }
+            Expr::Bin(_, l, r) => {
+                go_expr(l, v, groups);
+                go_expr(r, v, groups);
+            }
+            _ => {}
+        }
+    }
+    for s in stmts {
+        match s {
+            Stmt::Assign { dst, src } => {
+                if let LValue::ArrayRef { base, index } = dst {
+                    go_expr(index, v, groups);
+                    rewrite_ref(base, index, v, groups);
+                }
+                go_expr(src, v, groups);
+            }
+            Stmt::For {
+                init, bound, body, ..
+            } => {
+                go_expr(init, v, groups);
+                go_expr(bound, v, groups);
+                replace_refs(body, v, groups);
+            }
+            Stmt::Prefetch { index, .. } => go_expr(index, v, groups),
+            Stmt::Region { body, .. } => replace_refs(body, v, groups),
+            Stmt::Comment(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unroll::{unroll_and_jam, unroll_inner};
+    use augem_ir::print::print_kernel;
+    use augem_ir::{ArgValue, Interpreter};
+    use augem_kernels::{axpy_simple, dot_simple, gemm_simple, gemv_simple};
+
+    fn run(k: &Kernel, args: Vec<ArgValue>) -> Vec<Vec<f64>> {
+        Interpreter::new().run(k, args).unwrap()
+    }
+
+    fn gemm_args(mr: i64, nr: i64, kc: i64) -> Vec<ArgValue> {
+        let (mc, ldb, ldc) = (mr, nr, mr + 1);
+        vec![
+            ArgValue::Int(mr),
+            ArgValue::Int(nr),
+            ArgValue::Int(kc),
+            ArgValue::Int(mc),
+            ArgValue::Int(ldb),
+            ArgValue::Int(ldc),
+            ArgValue::Array((0..(mc * kc) as usize).map(|x| x as f64).collect()),
+            ArgValue::Array((0..(kc * ldb) as usize).map(|x| (x as f64) * 0.5).collect()),
+            ArgValue::Array((0..(ldc * nr) as usize).map(|x| (x % 3) as f64).collect()),
+        ]
+    }
+
+    #[test]
+    fn gemm_strength_reduction_preserves_semantics() {
+        let expect = run(&gemm_simple(), gemm_args(4, 4, 5));
+        let mut k = gemm_simple();
+        strength_reduce(&mut k);
+        assert_eq!(run(&k, gemm_args(4, 4, 5)), expect);
+    }
+
+    #[test]
+    fn unrolled_gemm_strength_reduction_preserves_semantics() {
+        let expect = run(&gemm_simple(), gemm_args(6, 6, 7));
+        let mut k = gemm_simple();
+        unroll_and_jam(&mut k, "j", 2).unwrap();
+        unroll_and_jam(&mut k, "i", 2).unwrap();
+        strength_reduce(&mut k);
+        assert_eq!(run(&k, gemm_args(6, 6, 7)), expect);
+    }
+
+    #[test]
+    fn gemm_gets_single_a_and_b_pointers_with_const_offsets() {
+        // 2x2 unroll&jam then strength reduction must produce the paper's
+        // Figure 13 shape: one A pointer with offsets 0/1, one B pointer
+        // with offsets 0/1, two C pointers, and symbolic-stride increments.
+        let mut k = gemm_simple();
+        unroll_and_jam(&mut k, "j", 2).unwrap();
+        unroll_and_jam(&mut k, "i", 2).unwrap();
+        strength_reduce(&mut k);
+        let c = print_kernel(&k);
+        // One A pointer with offsets 0 and 1 feeding the multiplies:
+        assert!(c.contains("[0] * ptr_B"), "missing A[0]*B in:\n{c}");
+        assert!(c.contains("[1] * ptr_B"), "missing A[1]*B in:\n{c}");
+        assert!(c.contains("ptr_A"), "missing A pointer in:\n{c}");
+        assert!(c.contains("ptr_C"), "missing C pointers in:\n{c}");
+        assert!(c.contains("+ Mc;"), "A increment missing:\n{c}");
+        assert!(c.contains("+ LDB;"), "B increment missing:\n{c}");
+    }
+
+    #[test]
+    fn axpy_strength_reduction() {
+        let n = 11usize;
+        let args = || {
+            vec![
+                ArgValue::Int(n as i64),
+                ArgValue::F64(3.0),
+                ArgValue::Array((0..n).map(|x| x as f64).collect()),
+                ArgValue::Array(vec![1.0; n]),
+            ]
+        };
+        let expect = run(&axpy_simple(), args());
+        let mut k = axpy_simple();
+        unroll_inner(&mut k, "i", 4, false).unwrap();
+        strength_reduce(&mut k);
+        let c = print_kernel(&k);
+        assert!(c.contains("ptr_X"), "{c}");
+        assert!(c.contains("ptr_Y"), "{c}");
+        assert_eq!(run(&k, args()), expect);
+    }
+
+    #[test]
+    fn gemv_strength_reduction() {
+        let (m, n, lda) = (9usize, 4usize, 9usize);
+        let args = || {
+            vec![
+                ArgValue::Int(m as i64),
+                ArgValue::Int(n as i64),
+                ArgValue::Int(lda as i64),
+                ArgValue::Array((0..lda * n).map(|x| (x % 5) as f64).collect()),
+                ArgValue::Array((0..n).map(|x| x as f64 + 1.0).collect()),
+                ArgValue::Array(vec![0.0; m]),
+            ]
+        };
+        let expect = run(&gemv_simple(), args());
+        let mut k = gemv_simple();
+        unroll_inner(&mut k, "j", 2, false).unwrap();
+        strength_reduce(&mut k);
+        assert_eq!(run(&k, args()), expect);
+    }
+
+    #[test]
+    fn dot_strength_reduction_with_expansion() {
+        let n = 10usize;
+        let args = || {
+            vec![
+                ArgValue::Int(n as i64),
+                ArgValue::Array((0..n).map(|x| x as f64).collect()),
+                ArgValue::Array((0..n).map(|x| 2.0 * x as f64).collect()),
+                ArgValue::Array(vec![0.0]),
+            ]
+        };
+        let mut plain = dot_simple();
+        unroll_inner(&mut plain, "i", 2, true).unwrap();
+        let expect = run(&plain, args());
+        let mut k = dot_simple();
+        unroll_inner(&mut k, "i", 2, true).unwrap();
+        strength_reduce(&mut k);
+        assert_eq!(run(&k, args()), expect);
+    }
+
+    #[test]
+    fn loop_invariant_refs_are_untouched() {
+        // X[5] does not depend on i; no pointer should be created for it.
+        use augem_ir::*;
+        let mut kb = KernelBuilder::new("t");
+        let n = kb.int_param("n");
+        let x = kb.ptr_param("X");
+        let y = kb.ptr_param("Y");
+        let i = kb.loop_var("i");
+        kb.push(for_(
+            i,
+            int(0),
+            var(n),
+            1,
+            vec![store_add(y, var(i), idx(x, int(5)))],
+        ));
+        let mut k = kb.finish();
+        strength_reduce(&mut k);
+        let c = print_kernel(&k);
+        assert!(c.contains("X[5]"), "{c}");
+        assert!(c.contains("ptr_Y"), "{c}");
+        assert!(!c.contains("ptr_X"), "{c}");
+    }
+}

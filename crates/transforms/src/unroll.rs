@@ -1,0 +1,770 @@
+//! Loop unroll&jam and inner-loop unrolling (paper §2.1).
+//!
+//! **Unroll&jam** unrolls an outer loop and *jams* the copies into the loop
+//! nest below it, merging the copies' identical inner loops so the unrolled
+//! iterations end up side by side in the innermost body — exactly the shape
+//! of the paper's Figure 13, where both `j` and `i` of GEMM are unrolled by
+//! 2 and their iterations appear as four consecutive accumulations inside
+//! loop `l`. Scalar locals defined in the unrolled body (e.g. `res`) are
+//! *scalar-expanded*: each unrolled instance gets its own fresh copy
+//! (`res0 ... res3`), which is what later lets the Template Optimizer keep
+//! independent accumulators in independent registers.
+//!
+//! **Inner unrolling** unrolls an innermost loop in place. For reduction
+//! loops (DOT's `res = res + X[i]*Y[i]`) it optionally performs
+//! *accumulator expansion*, giving each unrolled instance its own partial
+//! sum that is re-merged after the loop; this is the one transformation in
+//! the crate that reassociates floating-point arithmetic, and it is exactly
+//! what makes the reduction vectorizable as an `mmUnrolledCOMP` group.
+//!
+//! Both passes emit a *remainder loop* (reusing the same induction
+//! variable, which holds its exit value) so they are correct for trip
+//! counts that are not multiples of the unroll factor.
+
+use augem_ir::visit::{rename_syms, stmt_def, stmt_uses, subst_var};
+use augem_ir::{add, assign, f64c, int, sub, var, BinOp, Expr, Kernel, Stmt, Sym, SymKind, Ty};
+use std::collections::{HashMap, HashSet};
+
+/// Errors from the unrolling passes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransformError {
+    /// No loop with the requested induction-variable name exists.
+    LoopNotFound(String),
+    /// Unroll factor must be >= 1.
+    BadFactor(usize),
+    /// A scalar local is read before it is written inside the loop body;
+    /// scalar expansion would change semantics.
+    LiveInLocal(String),
+    /// The pass expected the loop to be innermost.
+    NotInnermost(String),
+}
+
+impl std::fmt::Display for TransformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransformError::LoopNotFound(v) => write!(f, "no loop over variable `{v}`"),
+            TransformError::BadFactor(n) => write!(f, "invalid unroll factor {n}"),
+            TransformError::LiveInLocal(v) => {
+                write!(f, "local `{v}` is live into the loop body; cannot expand")
+            }
+            TransformError::NotInnermost(v) => write!(f, "loop over `{v}` is not innermost"),
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+/// Unrolls the loop over `var_name` by `factor` and jams the copies into
+/// the nest below (see module docs).
+pub fn unroll_and_jam(
+    k: &mut Kernel,
+    var_name: &str,
+    factor: usize,
+) -> Result<(), TransformError> {
+    if factor == 0 {
+        return Err(TransformError::BadFactor(0));
+    }
+    let mut syms = std::mem::take(&mut k.syms);
+    let mut body = std::mem::take(&mut k.body);
+    let res = if factor == 1 {
+        rewrite_loop(&mut body, var_name, &mut |s, _| Ok(vec![s]), &mut syms)
+    } else {
+        rewrite_loop(
+            &mut body,
+            var_name,
+            &mut |loop_stmt, syms| expand_unroll_jam(loop_stmt, factor, syms),
+            &mut syms,
+        )
+    };
+    k.syms = syms;
+    k.body = body;
+    res
+}
+
+/// Unrolls the (typically innermost) loop over `var_name` by `factor`,
+/// sequentially concatenating the copies. With `expand_accumulators`,
+/// reduction accumulators get per-instance partial sums (see module docs).
+pub fn unroll_inner(
+    k: &mut Kernel,
+    var_name: &str,
+    factor: usize,
+    expand_accumulators: bool,
+) -> Result<(), TransformError> {
+    if factor == 0 {
+        return Err(TransformError::BadFactor(0));
+    }
+    let mut syms = std::mem::take(&mut k.syms);
+    let mut body = std::mem::take(&mut k.body);
+    let res = if factor == 1 {
+        rewrite_loop(&mut body, var_name, &mut |s, _| Ok(vec![s]), &mut syms)
+    } else {
+        rewrite_loop(
+            &mut body,
+            var_name,
+            &mut |loop_stmt, syms| expand_unroll_inner(loop_stmt, factor, expand_accumulators, syms),
+            &mut syms,
+        )
+    };
+    k.syms = syms;
+    k.body = body;
+    res
+}
+
+type LoopRewriter<'a> =
+    dyn FnMut(Stmt, &mut augem_ir::SymbolTable) -> Result<Vec<Stmt>, TransformError> + 'a;
+
+/// Finds the unique loop whose induction variable is named `var_name` and
+/// replaces it with the statements the rewriter returns.
+fn rewrite_loop(
+    stmts: &mut Vec<Stmt>,
+    var_name: &str,
+    rewriter: &mut LoopRewriter<'_>,
+    syms: &mut augem_ir::SymbolTable,
+) -> Result<(), TransformError> {
+    fn go(
+        stmts: &mut Vec<Stmt>,
+        var_name: &str,
+        rewriter: &mut LoopRewriter<'_>,
+        syms: &mut augem_ir::SymbolTable,
+    ) -> Result<bool, TransformError> {
+        for pos in 0..stmts.len() {
+            let is_target = matches!(&stmts[pos], Stmt::For { var, .. } if syms.name(*var) == var_name);
+            if is_target {
+                let loop_stmt = stmts.remove(pos);
+                let replacement = rewriter(loop_stmt, syms)?;
+                for (off, s) in replacement.into_iter().enumerate() {
+                    stmts.insert(pos + off, s);
+                }
+                return Ok(true);
+            }
+            if let Stmt::For { body, .. } | Stmt::Region { body, .. } = &mut stmts[pos] {
+                if go(body, var_name, rewriter, syms)? {
+                    return Ok(true);
+                }
+            }
+        }
+        Ok(false)
+    }
+    if go(stmts, var_name, rewriter, syms)? {
+        Ok(())
+    } else {
+        Err(TransformError::LoopNotFound(var_name.into()))
+    }
+}
+
+/// Scalar locals defined anywhere inside `stmts` (recursively).
+fn locals_defined(stmts: &[Stmt], syms: &augem_ir::SymbolTable) -> Vec<Sym> {
+    let mut out = Vec::new();
+    fn go(stmts: &[Stmt], syms: &augem_ir::SymbolTable, out: &mut Vec<Sym>) {
+        for s in stmts {
+            if let Some(d) = stmt_def(s) {
+                if syms.kind(d) == SymKind::Local && !out.contains(&d) {
+                    out.push(d);
+                }
+            }
+            if let Stmt::For { body, .. } | Stmt::Region { body, .. } = s {
+                go(body, syms, out);
+            }
+        }
+    }
+    go(stmts, syms, &mut out);
+    out
+}
+
+/// Rejects locals that are read before their first write in a linear
+/// (loops inlined) walk of `stmts`.
+fn check_no_live_in(
+    stmts: &[Stmt],
+    locals: &[Sym],
+    syms: &augem_ir::SymbolTable,
+) -> Result<(), TransformError> {
+    fn go(
+        stmts: &[Stmt],
+        locals: &[Sym],
+        written: &mut HashSet<Sym>,
+        syms: &augem_ir::SymbolTable,
+    ) -> Result<(), TransformError> {
+        for s in stmts {
+            let mut uses = Vec::new();
+            stmt_uses(s, &mut uses);
+            for u in uses {
+                if locals.contains(&u) && !written.contains(&u) {
+                    // `acc = acc + e` style self-use counts as a read.
+                    return Err(TransformError::LiveInLocal(syms.name(u).to_string()));
+                }
+            }
+            if let Some(d) = stmt_def(s) {
+                written.insert(d);
+            }
+            if let Stmt::For { body, .. } | Stmt::Region { body, .. } = s {
+                go(body, locals, written, syms)?;
+            }
+        }
+        Ok(())
+    }
+    let mut written = HashSet::new();
+    go(stmts, locals, &mut written, syms)
+}
+
+fn expand_unroll_jam(
+    loop_stmt: Stmt,
+    factor: usize,
+    syms: &mut augem_ir::SymbolTable,
+) -> Result<Vec<Stmt>, TransformError> {
+    let Stmt::For {
+        var: v,
+        init,
+        bound,
+        step,
+        body,
+    } = loop_stmt
+    else {
+        unreachable!("rewrite_loop only passes For statements");
+    };
+
+    let locals = locals_defined(&body, syms);
+    check_no_live_in(&body, &locals, syms)?;
+
+    let mut instances: Vec<Vec<Stmt>> = Vec::with_capacity(factor);
+    for t in 0..factor {
+        let mut inst = body.clone();
+        if t > 0 {
+            let offset = add(var(v), int(t as i64 * step));
+            let mut map = HashMap::new();
+            for &loc in &locals {
+                let fresh = syms.fresh(
+                    &format!("{}_j", syms.name(loc)),
+                    syms.ty(loc),
+                    SymKind::Local,
+                );
+                map.insert(loc, fresh);
+            }
+            for s in inst.iter_mut() {
+                subst_var(s, v, &offset);
+                rename_syms(s, &map);
+            }
+        }
+        instances.push(inst);
+    }
+
+    let merged = zip_merge(instances);
+    let main = Stmt::For {
+        var: v,
+        init,
+        bound: sub(bound.clone(), int((factor as i64 - 1) * step)),
+        step: step * factor as i64,
+        body: merged,
+    };
+    // Remainder: reuse the induction variable's exit value as the start.
+    let remainder = Stmt::For {
+        var: v,
+        init: var(v),
+        bound,
+        step,
+        body,
+    };
+    Ok(vec![main, remainder])
+}
+
+/// Structurally zips unrolled instances: loops with identical headers merge
+/// recursively (that's the "jam"); everything else concatenates in instance
+/// order, position by position.
+fn zip_merge(instances: Vec<Vec<Stmt>>) -> Vec<Stmt> {
+    let len = instances[0].len();
+    debug_assert!(instances.iter().all(|i| i.len() == len));
+    let mut rows: Vec<std::vec::IntoIter<Stmt>> =
+        instances.into_iter().map(|i| i.into_iter()).collect();
+    let mut out = Vec::new();
+    for _ in 0..len {
+        let col: Vec<Stmt> = rows.iter_mut().map(|r| r.next().unwrap()).collect();
+        let mergeable = col.iter().all(|s| {
+            if let (
+                Stmt::For {
+                    var, init, bound, step, ..
+                },
+                Stmt::For {
+                    var: v0,
+                    init: i0,
+                    bound: b0,
+                    step: s0,
+                    ..
+                },
+            ) = (s, &col[0])
+            {
+                var == v0 && init == i0 && bound == b0 && step == s0
+            } else {
+                false
+            }
+        });
+        if mergeable && col.len() > 1 {
+            let mut headers = None;
+            let bodies: Vec<Vec<Stmt>> = col
+                .into_iter()
+                .map(|s| {
+                    if let Stmt::For {
+                        var,
+                        init,
+                        bound,
+                        step,
+                        body,
+                    } = s
+                    {
+                        headers.get_or_insert((var, init, bound, step));
+                        body
+                    } else {
+                        unreachable!()
+                    }
+                })
+                .collect();
+            let (var, init, bound, step) = headers.unwrap();
+            out.push(Stmt::For {
+                var,
+                init,
+                bound,
+                step,
+                body: zip_merge(bodies),
+            });
+        } else {
+            out.extend(col);
+        }
+    }
+    out
+}
+
+fn expand_unroll_inner(
+    loop_stmt: Stmt,
+    factor: usize,
+    expand_accumulators: bool,
+    syms: &mut augem_ir::SymbolTable,
+) -> Result<Vec<Stmt>, TransformError> {
+    let Stmt::For {
+        var: v,
+        init,
+        bound,
+        step,
+        body,
+    } = loop_stmt
+    else {
+        unreachable!("rewrite_loop only passes For statements");
+    };
+
+    let accumulators = if expand_accumulators {
+        find_accumulators(&body, syms)
+    } else {
+        Vec::new()
+    };
+
+    let mut pre = Vec::new();
+    let mut post = Vec::new();
+    // Per-accumulator per-instance replacement symbols (instance 0 keeps
+    // the original).
+    let mut acc_copies: HashMap<Sym, Vec<Sym>> = HashMap::new();
+    for &acc in &accumulators {
+        let mut copies = vec![acc];
+        for t in 1..factor {
+            let fresh = syms.fresh(
+                &format!("{}_l{}", syms.name(acc), t),
+                Ty::F64,
+                SymKind::Local,
+            );
+            pre.push(assign(fresh, f64c(0.0)));
+            copies.push(fresh);
+        }
+        // Remainder-loop accumulator, merged last.
+        let rem = syms.fresh(&format!("{}_r", syms.name(acc)), Ty::F64, SymKind::Local);
+        pre.push(assign(rem, f64c(0.0)));
+        for t in 1..factor {
+            post.push(assign(acc, add(var(acc), var(copies[t]))));
+        }
+        post.push(assign(acc, add(var(acc), var(rem))));
+        copies.push(rem); // last entry = remainder symbol
+        acc_copies.insert(acc, copies);
+    }
+
+    let mut main_body = Vec::new();
+    for t in 0..factor {
+        let mut inst = body.clone();
+        let offset = add(var(v), int(t as i64 * step));
+        let map: HashMap<Sym, Sym> = acc_copies
+            .iter()
+            .map(|(&acc, copies)| (acc, copies[t]))
+            .collect();
+        for s in inst.iter_mut() {
+            if t > 0 {
+                subst_var(s, v, &offset);
+            }
+            if t > 0 {
+                rename_syms(s, &map);
+            }
+        }
+        main_body.extend(inst);
+    }
+
+    let main = Stmt::For {
+        var: v,
+        init,
+        bound: sub(bound.clone(), int((factor as i64 - 1) * step)),
+        step: step * factor as i64,
+        body: main_body,
+    };
+    let mut rem_body = body;
+    let rem_map: HashMap<Sym, Sym> = acc_copies
+        .iter()
+        .map(|(&acc, copies)| (acc, *copies.last().unwrap()))
+        .collect();
+    for s in rem_body.iter_mut() {
+        rename_syms(s, &rem_map);
+    }
+    let remainder = Stmt::For {
+        var: v,
+        init: var(v),
+        bound,
+        step,
+        body: rem_body,
+    };
+
+    let mut out = pre;
+    out.push(main);
+    out.push(remainder);
+    out.extend(post);
+    Ok(out)
+}
+
+/// Accumulators eligible for expansion: `double` locals whose *every*
+/// occurrence in the body is as `acc = acc + e` with `acc` not inside `e`.
+fn find_accumulators(body: &[Stmt], syms: &augem_ir::SymbolTable) -> Vec<Sym> {
+    use augem_ir::LValue;
+    let mut candidates: HashMap<Sym, bool> = HashMap::new(); // sym -> still ok
+    fn scan(stmts: &[Stmt], syms: &augem_ir::SymbolTable, cand: &mut HashMap<Sym, bool>) {
+        for s in stmts {
+            match s {
+                Stmt::Assign {
+                    dst: LValue::Var(d),
+                    src: Expr::Bin(BinOp::Add, l, r),
+                } if matches!(**l, Expr::Var(x) if x == *d) => {
+                    // acc = acc + e; e must not mention acc
+                    let mut rhs_syms = Vec::new();
+                    r.collect_syms(&mut rhs_syms);
+                    let ok = !rhs_syms.contains(d)
+                        && syms.ty(*d) == Ty::F64
+                        && syms.kind(*d) == SymKind::Local;
+                    let entry = cand.entry(*d).or_insert(ok);
+                    *entry = *entry && ok;
+                    // Other syms in rhs are plain uses; if any was a
+                    // candidate, it is disqualified below by the generic
+                    // use scan only when used outside the acc position —
+                    // rhs use of a DIFFERENT accumulator disqualifies it.
+                    for u in rhs_syms {
+                        if u != *d {
+                            if let Some(e) = cand.get_mut(&u) {
+                                *e = false;
+                            }
+                        }
+                    }
+                }
+                other => {
+                    let mut uses = Vec::new();
+                    stmt_uses(other, &mut uses);
+                    for u in uses {
+                        if let Some(e) = cand.get_mut(&u) {
+                            *e = false;
+                        }
+                    }
+                    if let Some(d) = stmt_def(other) {
+                        if let Some(e) = cand.get_mut(&d) {
+                            *e = false;
+                        }
+                    }
+                    if let Stmt::For { body, .. } | Stmt::Region { body, .. } = other {
+                        scan(body, syms, cand);
+                    }
+                }
+            }
+        }
+    }
+    scan(body, syms, &mut candidates);
+    // Second pass: a candidate first seen in a disqualifying position never
+    // entered the map with true; ones poisoned later carry false.
+    let mut out: Vec<Sym> = candidates
+        .into_iter()
+        .filter(|(_, ok)| *ok)
+        .map(|(s, _)| s)
+        .collect();
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use augem_ir::{print::print_kernel, ArgValue, Interpreter};
+    use augem_kernels::{axpy_simple, dot_simple, gemm_simple, gemv_simple};
+
+    fn run(k: &Kernel, args: Vec<ArgValue>) -> Vec<Vec<f64>> {
+        Interpreter::new().run(k, args).unwrap()
+    }
+
+    fn gemm_args(mr: i64, nr: i64, kc: i64) -> Vec<ArgValue> {
+        let mc = mr; // pack height == Mr for these tests
+        let ldb = nr;
+        let ldc = mr + 3;
+        let a: Vec<f64> = (0..(mc * kc) as usize).map(|v| (v % 13) as f64 - 3.0).collect();
+        let b: Vec<f64> = (0..(kc * ldb) as usize).map(|v| (v % 7) as f64 * 0.5).collect();
+        let c: Vec<f64> = (0..(ldc * nr) as usize).map(|v| v as f64 * 0.01).collect();
+        vec![
+            ArgValue::Int(mr),
+            ArgValue::Int(nr),
+            ArgValue::Int(kc),
+            ArgValue::Int(mc),
+            ArgValue::Int(ldb),
+            ArgValue::Int(ldc),
+            ArgValue::Array(a),
+            ArgValue::Array(b),
+            ArgValue::Array(c),
+        ]
+    }
+
+    #[test]
+    fn unroll_jam_gemm_j_and_i_preserves_semantics() {
+        for (mr, nr, kc) in [(4, 4, 8), (5, 3, 7), (2, 2, 1), (8, 6, 16)] {
+            let base = gemm_simple();
+            let expect = run(&base, gemm_args(mr, nr, kc));
+            let mut opt = gemm_simple();
+            unroll_and_jam(&mut opt, "j", 2).unwrap();
+            unroll_and_jam(&mut opt, "i", 2).unwrap();
+            let got = run(&opt, gemm_args(mr, nr, kc));
+            assert_eq!(got, expect, "mr={mr} nr={nr} kc={kc}");
+        }
+    }
+
+    #[test]
+    fn unroll_jam_produces_consecutive_accumulations_in_l_body() {
+        let mut k = gemm_simple();
+        unroll_and_jam(&mut k, "j", 2).unwrap();
+        unroll_and_jam(&mut k, "i", 2).unwrap();
+        // Find the innermost main l loop and count its accumulate stmts.
+        fn find_l_body<'a>(stmts: &'a [Stmt], syms: &augem_ir::SymbolTable) -> Option<&'a [Stmt]> {
+            for s in stmts {
+                if let Stmt::For { var, body, step, .. } = s {
+                    if syms.name(*var) == "l" && *step == 1 {
+                        return Some(body);
+                    }
+                    if let Some(b) = find_l_body(body, syms) {
+                        return Some(b);
+                    }
+                }
+            }
+            None
+        }
+        let body = find_l_body(&k.body, &k.syms).expect("l loop");
+        let assigns = body
+            .iter()
+            .filter(|s| matches!(s, Stmt::Assign { .. }))
+            .count();
+        assert_eq!(assigns, 4, "2x2 unroll&jam must put 4 accumulations in l body:\n{}", print_kernel(&k));
+    }
+
+    #[test]
+    fn unroll_jam_handles_non_divisible_trip_counts() {
+        let base = gemm_simple();
+        // nr=5, mr=7 not divisible by 2: remainder loops must handle it.
+        let expect = run(&base, gemm_args(7, 5, 3));
+        let mut opt = gemm_simple();
+        unroll_and_jam(&mut opt, "j", 2).unwrap();
+        unroll_and_jam(&mut opt, "i", 2).unwrap();
+        assert_eq!(run(&opt, gemm_args(7, 5, 3)), expect);
+    }
+
+    #[test]
+    fn unroll_jam_factor_4() {
+        let base = gemm_simple();
+        let expect = run(&base, gemm_args(8, 8, 4));
+        let mut opt = gemm_simple();
+        unroll_and_jam(&mut opt, "j", 4).unwrap();
+        unroll_and_jam(&mut opt, "i", 4).unwrap();
+        assert_eq!(run(&opt, gemm_args(8, 8, 4)), expect);
+    }
+
+    #[test]
+    fn unroll_inner_axpy_exact() {
+        let n = 23usize;
+        let x: Vec<f64> = (0..n).map(|v| v as f64 * 0.3).collect();
+        let y: Vec<f64> = (0..n).map(|v| 1.0 / (v + 1) as f64).collect();
+        let args = || {
+            vec![
+                ArgValue::Int(n as i64),
+                ArgValue::F64(1.25),
+                ArgValue::Array(x.clone()),
+                ArgValue::Array(y.clone()),
+            ]
+        };
+        let expect = run(&axpy_simple(), args());
+        for factor in [2, 4, 8] {
+            let mut k = axpy_simple();
+            unroll_inner(&mut k, "i", factor, false).unwrap();
+            assert_eq!(run(&k, args()), expect, "factor {factor}");
+        }
+    }
+
+    #[test]
+    fn unroll_inner_gemv_exact() {
+        let (m, n, lda) = (13usize, 5usize, 13usize);
+        let a: Vec<f64> = (0..lda * n).map(|v| ((v * 31) % 17) as f64).collect();
+        let x: Vec<f64> = (0..n).map(|v| v as f64 - 2.0).collect();
+        let y: Vec<f64> = vec![0.5; m];
+        let args = || {
+            vec![
+                ArgValue::Int(m as i64),
+                ArgValue::Int(n as i64),
+                ArgValue::Int(lda as i64),
+                ArgValue::Array(a.clone()),
+                ArgValue::Array(x.clone()),
+                ArgValue::Array(y.clone()),
+            ]
+        };
+        let expect = run(&gemv_simple(), args());
+        let mut k = gemv_simple();
+        unroll_inner(&mut k, "j", 4, false).unwrap();
+        assert_eq!(run(&k, args()), expect);
+    }
+
+    #[test]
+    fn unroll_inner_dot_with_expansion_matches_lane_reference() {
+        let n = 19usize;
+        let x: Vec<f64> = (0..n).map(|v| (v as f64).sin()).collect();
+        let y: Vec<f64> = (0..n).map(|v| (v as f64).cos() + 1.0).collect();
+        let factor = 4usize;
+
+        let mut k = dot_simple();
+        unroll_inner(&mut k, "i", factor, true).unwrap();
+        let out = run(
+            &k,
+            vec![
+                ArgValue::Int(n as i64),
+                ArgValue::Array(x.clone()),
+                ArgValue::Array(y.clone()),
+                ArgValue::Array(vec![0.0]),
+            ],
+        );
+
+        // Lane-wise reference: partial sums per residue class (main loop
+        // covers full groups; tail goes to the remainder accumulator),
+        // merged in lane order then remainder.
+        let main_end = (n / factor) * factor;
+        let mut lanes = vec![0.0f64; factor];
+        for g in (0..main_end).step_by(factor) {
+            for t in 0..factor {
+                lanes[t] += x[g + t] * y[g + t];
+            }
+        }
+        let mut rem = 0.0;
+        for i in main_end..n {
+            rem += x[i] * y[i];
+        }
+        let mut res = lanes[0];
+        for lane in lanes.iter().skip(1) {
+            res += lane;
+        }
+        res += rem;
+        assert_eq!(out[2][0], res);
+    }
+
+    #[test]
+    fn unroll_inner_dot_without_expansion_is_bit_exact() {
+        let n = 17usize;
+        let x: Vec<f64> = (0..n).map(|v| (v as f64) * 0.7 - 3.0).collect();
+        let y: Vec<f64> = (0..n).map(|v| (v as f64) * 0.11 + 0.5).collect();
+        let args = || {
+            vec![
+                ArgValue::Int(n as i64),
+                ArgValue::Array(x.clone()),
+                ArgValue::Array(y.clone()),
+                ArgValue::Array(vec![2.5]),
+            ]
+        };
+        let expect = run(&dot_simple(), args());
+        let mut k = dot_simple();
+        unroll_inner(&mut k, "i", 2, false).unwrap();
+        assert_eq!(run(&k, args()), expect);
+    }
+
+    #[test]
+    fn missing_loop_is_an_error() {
+        let mut k = axpy_simple();
+        assert_eq!(
+            unroll_and_jam(&mut k, "zz", 2),
+            Err(TransformError::LoopNotFound("zz".into()))
+        );
+        assert_eq!(
+            unroll_inner(&mut k, "zz", 2, false),
+            Err(TransformError::LoopNotFound("zz".into()))
+        );
+    }
+
+    #[test]
+    fn zero_factor_is_an_error() {
+        let mut k = axpy_simple();
+        assert_eq!(
+            unroll_and_jam(&mut k, "i", 0),
+            Err(TransformError::BadFactor(0))
+        );
+    }
+
+    #[test]
+    fn factor_one_is_identity() {
+        let mut k = axpy_simple();
+        let before = print_kernel(&k);
+        unroll_inner(&mut k, "i", 1, false).unwrap();
+        assert_eq!(print_kernel(&k), before);
+    }
+
+    #[test]
+    fn live_in_local_rejected_by_unroll_jam() {
+        // acc accumulates ACROSS i iterations: scalar expansion would break
+        // it, so the pass must refuse.
+        use augem_ir::*;
+        let mut kb = KernelBuilder::new("t");
+        let n = kb.int_param("n");
+        let y = kb.ptr_param("Y");
+        let acc = kb.local("acc", Ty::F64);
+        let i = kb.loop_var("i");
+        kb.push(assign(acc, f64c(0.0)));
+        kb.push(for_(
+            i,
+            int(0),
+            var(n),
+            1,
+            vec![add_assign(acc, f64c(1.0))],
+        ));
+        kb.push(store(y, int(0), var(acc)));
+        let mut k = kb.finish();
+        assert_eq!(
+            unroll_and_jam(&mut k, "i", 2),
+            Err(TransformError::LiveInLocal("acc".into()))
+        );
+    }
+
+    #[test]
+    fn gemv_unroll_jam_outer_preserves_semantics() {
+        // Unroll&jam the column loop i: scal is defined in the body, so it
+        // gets scalar-expanded into scal and scal_j*.
+        let (m, n, lda) = (6usize, 7usize, 6usize);
+        let a: Vec<f64> = (0..lda * n).map(|v| (v % 5) as f64).collect();
+        let x: Vec<f64> = (0..n).map(|v| v as f64).collect();
+        let y: Vec<f64> = vec![1.0; m];
+        let args = || {
+            vec![
+                ArgValue::Int(m as i64),
+                ArgValue::Int(n as i64),
+                ArgValue::Int(lda as i64),
+                ArgValue::Array(a.clone()),
+                ArgValue::Array(x.clone()),
+                ArgValue::Array(y.clone()),
+            ]
+        };
+        let expect = run(&gemv_simple(), args());
+        let mut k = gemv_simple();
+        unroll_and_jam(&mut k, "i", 2).unwrap();
+        assert_eq!(run(&k, args()), expect);
+    }
+}

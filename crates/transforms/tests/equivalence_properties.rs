@@ -1,0 +1,111 @@
+//! Property tests: every Optimized-C-Kernel-Generator configuration is
+//! semantics-preserving on random problems (bit-exact through the IR
+//! interpreter for the non-reassociating kernels).
+
+use augem_ir::{ArgValue, Interpreter, Kernel};
+use augem_kernels::{axpy_simple, gemm_simple, gemv_simple, ger_simple, scal_simple};
+use augem_transforms::{generate_optimized, OptimizeConfig, PrefetchConfig};
+use proptest::prelude::*;
+
+fn run(k: &Kernel, args: Vec<ArgValue>) -> Vec<Vec<f64>> {
+    Interpreter::new().run(k, args).unwrap()
+}
+
+fn data(n: usize, seed: u64) -> Vec<f64> {
+    let mult = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    (0..n)
+        .map(|i| ((((i as u64).wrapping_mul(mult)) >> 33) % 1000) as f64 * 0.001 - 0.5)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn gemm_any_config_is_exact(
+        nu in 1usize..5,
+        mu in 1usize..5,
+        ku in 1usize..4,
+        mr in 1usize..12,
+        nr in 1usize..9,
+        kc in 1usize..16,
+        pf in any::<bool>(),
+        seed in 1u64..5000,
+    ) {
+        let mut cfg = OptimizeConfig::gemm(nu, mu, ku);
+        if !pf {
+            cfg.prefetch = PrefetchConfig::disabled();
+        }
+        let opt = generate_optimized(&gemm_simple(), &cfg).unwrap();
+        let (mc, ldb, ldc) = (mr + 1, nr + 1, mr + 2);
+        let args = || vec![
+            ArgValue::Int(mr as i64),
+            ArgValue::Int(nr as i64),
+            ArgValue::Int(kc as i64),
+            ArgValue::Int(mc as i64),
+            ArgValue::Int(ldb as i64),
+            ArgValue::Int(ldc as i64),
+            ArgValue::Array(data(mc * kc, seed)),
+            ArgValue::Array(data(kc * ldb, seed + 1)),
+            ArgValue::Array(data(ldc * nr, seed + 2)),
+        ];
+        prop_assert_eq!(run(&gemm_simple(), args()), run(&opt, args()));
+    }
+
+    #[test]
+    fn axpy_and_scal_any_unroll_is_exact(
+        unroll in 2usize..10,
+        n in 0usize..80,
+        seed in 1u64..5000,
+    ) {
+        let opt = generate_optimized(&axpy_simple(), &OptimizeConfig::vector(unroll, false)).unwrap();
+        let args = || vec![
+            ArgValue::Int(n as i64),
+            ArgValue::F64(1.25),
+            ArgValue::Array(data(n, seed)),
+            ArgValue::Array(data(n, seed + 1)),
+        ];
+        prop_assert_eq!(run(&axpy_simple(), args()), run(&opt, args()));
+
+        let opt = generate_optimized(&scal_simple(), &OptimizeConfig::vector(unroll, false)).unwrap();
+        let args = || vec![
+            ArgValue::Int(n as i64),
+            ArgValue::F64(0.75),
+            ArgValue::Array(data(n, seed + 2)),
+        ];
+        prop_assert_eq!(run(&scal_simple(), args()), run(&opt, args()));
+    }
+
+    #[test]
+    fn gemv_and_ger_any_unroll_is_exact(
+        unroll in 2usize..9,
+        m in 1usize..24,
+        n in 1usize..8,
+        seed in 1u64..5000,
+    ) {
+        let lda = m + 1;
+        let gemv_args = || vec![
+            ArgValue::Int(m as i64),
+            ArgValue::Int(n as i64),
+            ArgValue::Int(lda as i64),
+            ArgValue::Array(data(lda * n, seed)),
+            ArgValue::Array(data(n, seed + 1)),
+            ArgValue::Array(data(m, seed + 2)),
+        ];
+        let opt = generate_optimized(&gemv_simple(), &OptimizeConfig::gemv(unroll)).unwrap();
+        prop_assert_eq!(run(&gemv_simple(), gemv_args()), run(&opt, gemv_args()));
+
+        let ger_args = || vec![
+            ArgValue::Int(m as i64),
+            ArgValue::Int(n as i64),
+            ArgValue::Int(lda as i64),
+            ArgValue::Array(data(m, seed + 3)),
+            ArgValue::Array(data(n, seed + 4)),
+            ArgValue::Array(data(lda * n, seed + 5)),
+        ];
+        let opt = generate_optimized(&ger_simple(), &OptimizeConfig::vector(unroll, false)).unwrap();
+        prop_assert_eq!(run(&ger_simple(), ger_args()), run(&opt, ger_args()));
+    }
+}

@@ -1,0 +1,274 @@
+//! Tunable kernel configurations and candidate generation.
+
+use augem_asm::AsmKernel;
+use augem_ir::Kernel;
+use augem_kernels::{axpy_simple, dot_simple, gemm_simple, gemv_simple, ger_simple, scal_simple};
+use augem_machine::{MachineSpec, SimdMode};
+use augem_opt::{generate, CodegenError, CodegenOptions, FmaPolicy, StrategyPref};
+use augem_templates::identify;
+use augem_transforms::{generate_optimized, OptimizeConfig, PrefetchConfig, TransformError};
+
+/// A point in the GEMM tuning space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GemmConfig {
+    /// unroll&jam factor of the column loop `j` (Nr direction).
+    pub nu: usize,
+    /// unroll&jam factor of the row loop `i` (Mr direction).
+    pub mu: usize,
+    /// inner (`l`) unrolling factor (1 = off, as in Figure 13).
+    pub ku: usize,
+    pub strategy: StrategyPref,
+    pub fma: FmaPolicy,
+    pub prefetch: PrefetchConfig,
+    pub schedule: bool,
+}
+
+impl GemmConfig {
+    /// The paper's Figure 13 starting point.
+    pub fn fig13() -> Self {
+        GemmConfig {
+            nu: 2,
+            mu: 2,
+            ku: 1,
+            strategy: StrategyPref::Vdup,
+            fma: FmaPolicy::Auto,
+            prefetch: PrefetchConfig::default(),
+            schedule: true,
+        }
+    }
+
+    /// Human-readable tag for reports.
+    pub fn tag(&self) -> String {
+        format!(
+            "{}x{}x{} {:?} {:?} pf={} sched={}",
+            self.mu,
+            self.nu,
+            self.ku,
+            self.strategy,
+            self.fma,
+            self.prefetch.read_dist.map(|d| d.to_string()).unwrap_or_else(|| "off".into()),
+            self.schedule
+        )
+    }
+
+    fn opt_config(&self) -> OptimizeConfig {
+        let mut cfg = OptimizeConfig::gemm(self.nu, self.mu, self.ku);
+        cfg.prefetch = self.prefetch;
+        cfg
+    }
+
+    fn codegen_options(&self) -> CodegenOptions {
+        CodegenOptions {
+            strategy: self.strategy,
+            fma: self.fma,
+            schedule: self.schedule,
+            ..Default::default()
+        }
+    }
+
+    /// Runs the full pipeline for this configuration.
+    pub fn build(&self, machine: &MachineSpec) -> Result<AsmKernel, BuildError> {
+        build_pipeline(&gemm_simple(), &self.opt_config(), &self.codegen_options(), machine)
+    }
+}
+
+/// Which vector-style kernel a [`VectorConfig`] tunes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VectorKernel {
+    Axpy,
+    Dot,
+    Gemv,
+    Ger,
+    Scal,
+}
+
+impl VectorKernel {
+    pub fn name(self) -> &'static str {
+        match self {
+            VectorKernel::Axpy => "daxpy",
+            VectorKernel::Dot => "ddot",
+            VectorKernel::Gemv => "dgemv",
+            VectorKernel::Ger => "dger",
+            VectorKernel::Scal => "dscal",
+        }
+    }
+}
+
+/// A point in the Level-1/2 tuning space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VectorConfig {
+    pub kernel: VectorKernel,
+    pub unroll: usize,
+    pub prefetch: PrefetchConfig,
+    pub schedule: bool,
+}
+
+impl VectorConfig {
+    pub fn tag(&self) -> String {
+        format!(
+            "{} u{} pf={} sched={}",
+            self.kernel.name(),
+            self.unroll,
+            self.prefetch.read_dist.map(|d| d.to_string()).unwrap_or_else(|| "off".into()),
+            self.schedule
+        )
+    }
+
+    /// Runs the full pipeline for this configuration.
+    pub fn build(&self, machine: &MachineSpec) -> Result<AsmKernel, BuildError> {
+        let (kernel, mut cfg): (Kernel, OptimizeConfig) = match self.kernel {
+            VectorKernel::Axpy => (axpy_simple(), OptimizeConfig::vector(self.unroll, false)),
+            VectorKernel::Dot => (dot_simple(), OptimizeConfig::vector(self.unroll, true)),
+            VectorKernel::Gemv => (gemv_simple(), OptimizeConfig::gemv(self.unroll)),
+            // GER's inner loop runs over i (rows); SCAL over its only loop i.
+            VectorKernel::Ger => (ger_simple(), OptimizeConfig::vector(self.unroll, false)),
+            VectorKernel::Scal => (scal_simple(), OptimizeConfig::vector(self.unroll, false)),
+        };
+        cfg.prefetch = self.prefetch;
+        let opts = CodegenOptions {
+            strategy: StrategyPref::Vdup,
+            fma: FmaPolicy::Auto,
+            schedule: self.schedule,
+            ..Default::default()
+        };
+        build_pipeline(&kernel, &cfg, &opts, machine)
+    }
+}
+
+/// Pipeline failure (either half).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    Transform(TransformError),
+    Codegen(CodegenError),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::Transform(e) => write!(f, "transform: {e}"),
+            BuildError::Codegen(e) => write!(f, "codegen: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Simple C → optimized C → tagged → assembly.
+pub fn build_pipeline(
+    simple: &Kernel,
+    cfg: &OptimizeConfig,
+    opts: &CodegenOptions,
+    machine: &MachineSpec,
+) -> Result<AsmKernel, BuildError> {
+    let mut k = generate_optimized(simple, cfg).map_err(BuildError::Transform)?;
+    identify(&mut k);
+    generate(&k, machine, opts).map_err(BuildError::Codegen)
+}
+
+/// GEMM candidate set for a machine's SIMD width (the tuner's search
+/// space). Shapes that cannot vectorize on the machine are omitted.
+pub fn gemm_candidates(machine: &MachineSpec) -> Vec<GemmConfig> {
+    let w = machine.simd_mode().f64_lanes();
+    let shapes: &[(usize, usize)] = if machine.simd_mode() == SimdMode::Avx {
+        &[(4, 1), (4, 2), (4, 4), (8, 1), (8, 2), (8, 3), (8, 4), (12, 2)]
+    } else {
+        &[(2, 1), (2, 2), (2, 4), (4, 2), (4, 3), (4, 4), (6, 2), (8, 2)]
+    };
+    let mut out = Vec::new();
+    for &(mu, nu) in shapes {
+        for ku in [1usize, 2] {
+            for strategy in [StrategyPref::Vdup, StrategyPref::Shuf] {
+                if strategy == StrategyPref::Shuf && (mu != w || nu != w) {
+                    continue;
+                }
+                for pf in [PrefetchConfig::default(), PrefetchConfig::disabled()] {
+                    out.push(GemmConfig {
+                        nu,
+                        mu,
+                        ku,
+                        strategy,
+                        fma: FmaPolicy::Auto,
+                        prefetch: pf,
+                        schedule: true,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Vector-kernel candidate set.
+pub fn vector_candidates(kernel: VectorKernel, machine: &MachineSpec) -> Vec<VectorConfig> {
+    let w = machine.simd_mode().f64_lanes();
+    let mut out = Vec::new();
+    for unroll in [w, 2 * w, 4 * w] {
+        for dist in [None, Some(32i64), Some(64), Some(128)] {
+            let prefetch = match dist {
+                None => PrefetchConfig::disabled(),
+                Some(d) => PrefetchConfig {
+                    read_dist: Some(d),
+                    write_prefetch: false,
+                    locality: 3,
+                },
+            };
+            out.push(VectorConfig {
+                kernel,
+                unroll,
+                prefetch,
+                schedule: true,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidate_sets_are_nonempty_and_buildable_mostly() {
+        for m in MachineSpec::paper_platforms() {
+            let cands = gemm_candidates(&m);
+            assert!(cands.len() >= 10);
+            let ok = cands.iter().filter(|c| c.build(&m).is_ok()).count();
+            assert!(
+                ok * 2 >= cands.len(),
+                "most GEMM candidates should build on {}: {ok}/{}",
+                m.arch.short_name(),
+                cands.len()
+            );
+        }
+    }
+
+    #[test]
+    fn shuf_candidates_only_square_width_shapes() {
+        let m = MachineSpec::sandy_bridge();
+        for c in gemm_candidates(&m) {
+            if c.strategy == StrategyPref::Shuf {
+                assert_eq!(c.mu, 4);
+                assert_eq!(c.nu, 4);
+            }
+        }
+    }
+
+    #[test]
+    fn vector_candidates_build() {
+        let m = MachineSpec::piledriver();
+        for k in [VectorKernel::Axpy, VectorKernel::Dot, VectorKernel::Gemv] {
+            let cands = vector_candidates(k, &m);
+            assert_eq!(cands.len(), 12);
+            for c in &cands {
+                c.build(&m).unwrap_or_else(|e| panic!("{} failed: {e}", c.tag()));
+            }
+        }
+    }
+
+    #[test]
+    fn fig13_config_builds_everywhere() {
+        for m in MachineSpec::paper_platforms() {
+            GemmConfig::fig13().build(&m).unwrap();
+        }
+    }
+}

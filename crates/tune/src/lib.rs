@@ -1,0 +1,27 @@
+//! # augem-tune
+//!
+//! Empirical auto-tuning (paper §2.1): "because loop unrolling factors are
+//! extremely sensitive to variations of the underlying machine
+//! architecture, our Optimized C Kernel Generator automatically experiments
+//! with different unrolling and unroll&jam configurations and selects the
+//! best performing configurations based on the performance of their
+//! optimized code."
+//!
+//! In the paper, candidates are compiled and run on hardware; here they
+//! are generated through the full pipeline and *timed on the
+//! cycle-approximate simulator* (`augem-sim`) over a cache-resident
+//! steady-state micro-problem — the same feedback loop, with the simulator
+//! standing in for the testbed (DESIGN.md substitution table).
+//!
+//! The tuner also doubles as the ablation driver: every configuration
+//! dimension (unroll&jam factors, inner unrolling, Vdup vs Shuf, FMA
+//! policy, prefetching, instruction scheduling) can be frozen to measure
+//! its contribution.
+
+pub mod config;
+pub mod evaluate;
+pub mod search;
+
+pub use config::{GemmConfig, VectorConfig, VectorKernel};
+pub use evaluate::{evaluate_gemm, evaluate_vector, EvalError, Evaluation};
+pub use search::{tune_gemm, tune_vector, TuneResult};

@@ -1,0 +1,107 @@
+//! The search driver: evaluate every candidate (in parallel) and keep the
+//! best — the paper's "selects the best performing configurations based on
+//! the performance of their optimized code".
+
+use crate::config::{gemm_candidates, vector_candidates, GemmConfig, VectorConfig, VectorKernel};
+use crate::evaluate::{evaluate_gemm, evaluate_vector, Evaluation};
+use augem_machine::MachineSpec;
+use rayon::prelude::*;
+
+/// The tuner's verdict for one kernel on one machine.
+#[derive(Debug, Clone)]
+pub struct TuneResult<C> {
+    pub best: C,
+    pub best_eval: Evaluation,
+    /// Every evaluated `(config, mflops)` pair, best first (failed builds
+    /// are omitted — some shapes legitimately exceed the register file).
+    pub ranking: Vec<(C, f64)>,
+}
+
+/// Tunes the GEMM micro-kernel for `machine`.
+pub fn tune_gemm(machine: &MachineSpec) -> TuneResult<GemmConfig> {
+    let candidates = gemm_candidates(machine);
+    let mut scored: Vec<(GemmConfig, Evaluation)> = candidates
+        .par_iter()
+        .filter_map(|c| evaluate_gemm(c, machine).ok().map(|e| (*c, e)))
+        .collect();
+    assert!(
+        !scored.is_empty(),
+        "no GEMM candidate built on {}",
+        machine.arch.short_name()
+    );
+    scored.sort_by(|a, b| b.1.mflops.partial_cmp(&a.1.mflops).unwrap());
+    let ranking = scored.iter().map(|(c, e)| (*c, e.mflops)).collect();
+    let (best, best_eval) = scored.into_iter().next().unwrap();
+    TuneResult {
+        best,
+        best_eval,
+        ranking,
+    }
+}
+
+/// Tunes one of the vector-style kernels for `machine`.
+pub fn tune_vector(kernel: VectorKernel, machine: &MachineSpec) -> TuneResult<VectorConfig> {
+    let candidates = vector_candidates(kernel, machine);
+    let mut scored: Vec<(VectorConfig, Evaluation)> = candidates
+        .par_iter()
+        .filter_map(|c| evaluate_vector(c, machine).ok().map(|e| (*c, e)))
+        .collect();
+    assert!(
+        !scored.is_empty(),
+        "no {} candidate built on {}",
+        kernel.name(),
+        machine.arch.short_name()
+    );
+    scored.sort_by(|a, b| b.1.mflops.partial_cmp(&a.1.mflops).unwrap());
+    let ranking = scored.iter().map(|(c, e)| (*c, e.mflops)).collect();
+    let (best, best_eval) = scored.into_iter().next().unwrap();
+    TuneResult {
+        best,
+        best_eval,
+        ranking,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuned_gemm_reaches_most_of_peak_on_sandy_bridge() {
+        let m = MachineSpec::sandy_bridge();
+        let r = tune_gemm(&m);
+        let peak = m.peak_mflops();
+        let frac = r.best_eval.mflops / peak;
+        assert!(
+            frac > 0.5,
+            "tuned GEMM only reaches {:.1}% of peak ({} of {peak})",
+            frac * 100.0,
+            r.best_eval.mflops
+        );
+        // The winner must be a vectorizable shape on AVX.
+        assert_eq!(r.best.mu % 4, 0, "winner {:?}", r.best);
+        assert!(r.ranking.len() > 4);
+    }
+
+    #[test]
+    fn tuned_gemm_on_piledriver_uses_fma_era_throughput() {
+        let m = MachineSpec::piledriver();
+        let r = tune_gemm(&m);
+        let frac = r.best_eval.mflops / m.peak_mflops();
+        assert!(
+            frac > 0.4,
+            "tuned GEMM reaches {:.1}% of Piledriver peak",
+            frac * 100.0
+        );
+    }
+
+    #[test]
+    fn tuning_orders_candidates() {
+        let m = MachineSpec::sandy_bridge();
+        let r = tune_vector(VectorKernel::Axpy, &m);
+        for w in r.ranking.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        assert_eq!(r.best_eval.mflops, r.ranking[0].1);
+    }
+}

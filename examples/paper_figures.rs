@@ -1,0 +1,72 @@
+//! Condensed reproduction of the paper's evaluation (§5): library-vs-
+//! library averages for Figures 18–21 and the Table 6 routine rows, on
+//! both platforms. The full sweeps come from
+//! `cargo run --release -p augem-bench --bin figures -- all`.
+//!
+//! ```text
+//! cargo run --release --example paper_figures
+//! ```
+
+use augem::blas::{Library, PerfModel, RoutineKind};
+use augem::machine::MachineSpec;
+
+fn avg(points: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = points.collect();
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+fn main() {
+    for machine in MachineSpec::paper_platforms() {
+        println!("==== {} ====", machine.arch.name());
+        let models: Vec<(Library, PerfModel)> = Library::ALL
+            .iter()
+            .map(|&l| (l, PerfModel::build(l, &machine).expect("model")))
+            .collect();
+
+        print!("{:<10}", "kernel");
+        for (lib, _) in &models {
+            print!("{:>16}", lib.display_name(&machine));
+        }
+        println!();
+
+        let gemm_sizes: Vec<usize> = (1024..=6144).step_by(256).collect();
+        let gemv_sizes: Vec<usize> = (2048..=5120).step_by(256).collect();
+        let vec_sizes: Vec<usize> = (100_000..=200_000).step_by(5_000).collect();
+
+        print!("{:<10}", "DGEMM");
+        for (_, m) in &models {
+            print!("{:>16.0}", avg(gemm_sizes.iter().map(|&s| m.gemm_mflops(s, s, 256))));
+        }
+        println!();
+        print!("{:<10}", "DGEMV");
+        for (_, m) in &models {
+            print!("{:>16.0}", avg(gemv_sizes.iter().map(|&s| m.gemv_mflops(s))));
+        }
+        println!();
+        print!("{:<10}", "DAXPY");
+        for (_, m) in &models {
+            print!("{:>16.0}", avg(vec_sizes.iter().map(|&s| m.axpy_mflops(s))));
+        }
+        println!();
+        print!("{:<10}", "DDOT");
+        for (_, m) in &models {
+            print!("{:>16.0}", avg(vec_sizes.iter().map(|&s| m.dot_mflops(s))));
+        }
+        println!();
+
+        for kind in RoutineKind::ALL {
+            print!("{:<10}", kind.name());
+            for (_, m) in &models {
+                let v = match kind {
+                    RoutineKind::Ger => {
+                        avg(gemv_sizes.iter().map(|&s| m.routine_mflops(kind, s, 0)))
+                    }
+                    _ => avg(gemm_sizes.iter().map(|&s| m.routine_mflops(kind, s, 256))),
+                };
+                print!("{:>16.0}", v);
+            }
+            println!();
+        }
+        println!();
+    }
+}

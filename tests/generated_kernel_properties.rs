@@ -1,0 +1,136 @@
+//! Property-based cross-crate tests: for random problem shapes and random
+//! data, the generated assembly (run on the functional simulator) must
+//! agree with the pure-Rust references — on both paper platforms.
+
+use augem::kernels::{ref_axpy, ref_dot, ref_gemm_packed, ref_gemv_colmajor};
+use augem::machine::MachineSpec;
+use augem::opt::CodegenOptions;
+use augem::sim::{FuncSim, SimValue};
+use augem::templates::identify;
+use augem::transforms::{generate_optimized, OptimizeConfig};
+use proptest::prelude::*;
+
+fn build(
+    kernel: &augem::ir::Kernel,
+    cfg: &OptimizeConfig,
+    machine: &MachineSpec,
+) -> augem::asm::AsmKernel {
+    let mut k = generate_optimized(kernel, cfg).unwrap();
+    identify(&mut k);
+    augem::opt::generate(&k, machine, &CodegenOptions::default()).unwrap()
+}
+
+fn machines() -> Vec<MachineSpec> {
+    vec![MachineSpec::sandy_bridge(), MachineSpec::piledriver()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn gemm_matches_reference(
+        mr in 1usize..14,
+        nr in 1usize..10,
+        kc in 1usize..24,
+        seed in 0u64..1000,
+    ) {
+        let machine = &machines()[(seed % 2) as usize];
+        let asm = build(
+            &augem::kernels::gemm_simple(),
+            &OptimizeConfig::gemm(4, 8, 1),
+            machine,
+        );
+        let (mc, ldb, ldc) = (mr + 1, nr + 2, mr + 3);
+        let mix = |i: usize, s: u64| (((i as u64).wrapping_mul(s * 2 + 7) % 19) as f64) * 0.25 - 2.0;
+        let a: Vec<f64> = (0..mc * kc).map(|i| mix(i, seed)).collect();
+        let b: Vec<f64> = (0..kc * ldb).map(|i| mix(i, seed + 1)).collect();
+        let c0: Vec<f64> = (0..ldc * nr).map(|i| mix(i, seed + 2)).collect();
+        let mut expect = c0.clone();
+        ref_gemm_packed(mr, nr, kc, mc, ldb, ldc, &a, &b, &mut expect);
+
+        let (arrays, _) = FuncSim::new(machine.isa).run(&asm, vec![
+            SimValue::Int(mr as i64), SimValue::Int(nr as i64), SimValue::Int(kc as i64),
+            SimValue::Int(mc as i64), SimValue::Int(ldb as i64), SimValue::Int(ldc as i64),
+            SimValue::Array(a), SimValue::Array(b), SimValue::Array(c0),
+        ]).unwrap();
+        for (g, w) in arrays[2].iter().zip(&expect) {
+            prop_assert!((g - w).abs() < 1e-9, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn axpy_matches_reference(n in 1usize..200, unroll in prop::sample::select(vec![2usize, 4, 8]), seed in 0u64..1000) {
+        let machine = &machines()[(seed % 2) as usize];
+        let asm = build(&augem::kernels::axpy_simple(), &OptimizeConfig::vector(unroll, false), machine);
+        let alpha = (seed as f64) * 0.01 - 3.0;
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 + seed as f64).sin()).collect();
+        let y0: Vec<f64> = (0..n).map(|i| (i % 13) as f64).collect();
+        let mut expect = y0.clone();
+        ref_axpy(alpha, &x, &mut expect);
+        let (arrays, _) = FuncSim::new(machine.isa).run(&asm, vec![
+            SimValue::Int(n as i64), SimValue::F64(alpha),
+            SimValue::Array(x), SimValue::Array(y0),
+        ]).unwrap();
+        prop_assert_eq!(&arrays[1], &expect);
+    }
+
+    #[test]
+    fn dot_matches_reference(n in 1usize..300, seed in 0u64..1000) {
+        let machine = &machines()[(seed % 2) as usize];
+        let w = machine.simd_mode().f64_lanes();
+        let asm = build(&augem::kernels::dot_simple(), &OptimizeConfig::vector(2 * w, true), machine);
+        let x: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.7 + seed as f64).cos()).collect();
+        let y: Vec<f64> = (0..n).map(|i| (i as f64) * 0.013 - 1.0).collect();
+        let exact = ref_dot(&x, &y);
+        let (arrays, _) = FuncSim::new(machine.isa).run(&asm, vec![
+            SimValue::Int(n as i64), SimValue::Array(x), SimValue::Array(y),
+            SimValue::Array(vec![0.0]),
+        ]).unwrap();
+        prop_assert!((arrays[2][0] - exact).abs() < 1e-10 * (1.0 + exact.abs()) * (n.max(1) as f64),
+            "{} vs {exact}", arrays[2][0]);
+    }
+
+    #[test]
+    fn gemv_matches_reference(m in 1usize..40, n in 1usize..12, seed in 0u64..1000) {
+        let machine = &machines()[(seed % 2) as usize];
+        let asm = build(&augem::kernels::gemv_simple(), &OptimizeConfig::gemv(4), machine);
+        let lda = m + (seed % 3) as usize;
+        let a: Vec<f64> = (0..lda * n).map(|i| ((i * 7 + seed as usize) % 15) as f64 * 0.2).collect();
+        let x: Vec<f64> = (0..n).map(|i| i as f64 - 2.0).collect();
+        let y0: Vec<f64> = vec![0.75; m];
+        let mut expect = y0.clone();
+        ref_gemv_colmajor(m, n, lda, &a, &x, &mut expect);
+        let (arrays, _) = FuncSim::new(machine.isa).run(&asm, vec![
+            SimValue::Int(m as i64), SimValue::Int(n as i64), SimValue::Int(lda as i64),
+            SimValue::Array(a), SimValue::Array(x), SimValue::Array(y0),
+        ]).unwrap();
+        prop_assert_eq!(&arrays[2], &expect);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn native_dgemm_matches_naive(m in 1usize..40, n in 1usize..40, k in 0usize..40, seed in 0u64..100) {
+        let a: Vec<f64> = (0..m * k.max(1)).map(|i| ((i as u64 * 31 + seed) % 23) as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..k.max(1) * n).map(|i| ((i as u64 * 17 + seed) % 19) as f64 * 0.2).collect();
+        let c0: Vec<f64> = (0..m * n).map(|i| (i % 5) as f64).collect();
+        let mut got = c0.clone();
+        let mut want = c0;
+        augem::blas::dgemm(m, n, k, 1.5, &a, m.max(1), &b, k.max(1), 0.5, &mut got, m.max(1));
+        // naive
+        for j in 0..n {
+            for i in 0..m {
+                let mut acc = 0.0;
+                for l in 0..k {
+                    acc += a[l * m.max(1) + i] * b[j * k.max(1) + l];
+                }
+                want[j * m.max(1) + i] = 1.5 * acc + 0.5 * want[j * m.max(1) + i];
+            }
+        }
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert!((g - w).abs() < 1e-9 * (1.0 + w.abs()), "{g} vs {w}");
+        }
+    }
+}

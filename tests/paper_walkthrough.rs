@@ -1,0 +1,175 @@
+//! Cross-crate integration test following the paper's worked example end
+//! to end: the simple GEMM kernel of Figure 12 through the Optimized C
+//! Kernel Generator (Figure 13), the Template Identifier (Figure 14), the
+//! Template Optimizer's instruction selection (Tables 1–4) and the
+//! Assembly Kernel Generator, with artifacts checked at every stage.
+
+use augem::asm::emit::emit_att;
+use augem::ir::print::print_kernel;
+use augem::kernels::gemm_simple;
+use augem::machine::{MachineSpec, SimdMode};
+use augem::opt::{generate, CodegenOptions, StrategyPref};
+use augem::sim::{FuncSim, SimValue};
+use augem::templates::identify;
+use augem::transforms::{generate_optimized, OptimizeConfig};
+
+#[test]
+fn figure_12_to_14_walkthrough() {
+    // Figure 12: the simple kernel.
+    let simple = gemm_simple();
+    let c0 = print_kernel(&simple);
+    assert!(c0.contains("for (j = 0; j < Nr; j++)"));
+    assert!(c0.contains("for (l = 0; l < Kc; l++)"));
+    assert!(!c0.contains("ptr_"), "no strength reduction yet");
+
+    // Figure 13: optimized C with 2x2 unroll&jam, strength-reduced
+    // pointers, scalar temporaries and prefetches.
+    let optimized = generate_optimized(&simple, &OptimizeConfig::gemm_2x2()).unwrap();
+    let c1 = print_kernel(&optimized);
+    assert!(c1.contains("ptr_A"), "strength-reduced A pointer:\n{c1}");
+    assert!(c1.contains("ptr_C"), "strength-reduced C pointers:\n{c1}");
+    assert!(c1.contains("tmp"), "scalar replacement temporaries:\n{c1}");
+    assert!(c1.contains("__builtin_prefetch"), "prefetches:\n{c1}");
+    assert!(c1.contains("j += 2"), "unroll&jam stride:\n{c1}");
+
+    // Figure 14: template-tagged kernel — one mmUnrolledCOMP in loop l,
+    // two mmUnrolledSTOREs after it (split by C pointer).
+    let mut tagged = optimized;
+    let stats = identify(&mut tagged);
+    assert!(stats.mm_unrolled_comp >= 1, "{stats:?}");
+    assert!(stats.mm_unrolled_store >= 2, "{stats:?}");
+    let c2 = print_kernel(&tagged);
+    assert!(c2.contains("BEGIN mmUnrolledCOMP"));
+    assert!(c2.contains("BEGIN mmUnrolledSTORE"));
+
+    // Assembly on SSE (the 128-bit columns of Tables 1/2/4).
+    let sse = MachineSpec::sandy_bridge().with_isa_clamped(SimdMode::Sse);
+    let asm = generate(&tagged, &sse, &CodegenOptions::default()).unwrap();
+    let text = emit_att(&asm, &sse.isa);
+    assert!(text.contains("movddup"), "Vdup on SSE:\n{text}");
+    assert!(text.contains("mulpd"), "{text}");
+    assert!(text.contains("addpd"), "{text}");
+    assert!(!text.contains("%ymm"), "SSE kernel must stay 128-bit");
+}
+
+#[test]
+fn table_1_isa_selection_end_to_end() {
+    // The same tagged kernel lowers to three different instruction mixes
+    // depending on the ISA — the crux of Tables 1 and 3.
+    let mut tagged = generate_optimized(&gemm_simple(), &OptimizeConfig::gemm(4, 8, 1)).unwrap();
+    identify(&mut tagged);
+
+    let snb = MachineSpec::sandy_bridge();
+    let avx_text = emit_att(
+        &generate(&tagged, &snb, &CodegenOptions::default()).unwrap(),
+        &snb.isa,
+    );
+    assert!(avx_text.contains("vmulpd") && avx_text.contains("vaddpd"));
+    assert!(!avx_text.contains("vfmadd"), "SNB has no FMA");
+
+    let pd = MachineSpec::piledriver();
+    let fma3_text = emit_att(
+        &generate(&tagged, &pd, &CodegenOptions::default()).unwrap(),
+        &pd.isa,
+    );
+    assert!(fma3_text.contains("vfmadd231pd"), "FMA3 fusion on Piledriver");
+
+    let fma4_text = emit_att(
+        &generate(
+            &tagged,
+            &pd,
+            &CodegenOptions {
+                fma: augem::opt::FmaPolicy::PreferFma4,
+                ..Default::default()
+            },
+        )
+        .unwrap(),
+        &pd.isa,
+    );
+    assert!(fma4_text.contains("vfmaddpd"), "FMA4 form:\n{fma4_text}");
+}
+
+#[test]
+fn shuf_method_emits_shuffles_and_stays_correct() {
+    let mut tagged = generate_optimized(&gemm_simple(), &OptimizeConfig::gemm(4, 4, 1)).unwrap();
+    identify(&mut tagged);
+    let snb = MachineSpec::sandy_bridge();
+    let opts = CodegenOptions {
+        strategy: StrategyPref::Shuf,
+        ..Default::default()
+    };
+    let asm = generate(&tagged, &snb, &opts).unwrap();
+    let text = emit_att(&asm, &snb.isa);
+    assert!(text.contains("vshufpd"), "Shuf method shuffles:\n{text}");
+    assert!(text.contains("vperm2f128"), "cross-half shuffles on AVX");
+
+    // Numerical check on a multiple-of-4 problem.
+    let (mr, nr, kc) = (8usize, 8usize, 16usize);
+    let (mc, ldb, ldc) = (mr, nr, mr);
+    let a: Vec<f64> = (0..mc * kc).map(|v| (v % 7) as f64 - 3.0).collect();
+    let b: Vec<f64> = (0..kc * ldb).map(|v| (v % 5) as f64 * 0.5).collect();
+    let c0 = vec![1.0; ldc * nr];
+    let mut expect = c0.clone();
+    augem::kernels::ref_gemm_packed(mr, nr, kc, mc, ldb, ldc, &a, &b, &mut expect);
+    let (arrays, _) = FuncSim::new(snb.isa)
+        .run(
+            &asm,
+            vec![
+                SimValue::Int(mr as i64),
+                SimValue::Int(nr as i64),
+                SimValue::Int(kc as i64),
+                SimValue::Int(mc as i64),
+                SimValue::Int(ldb as i64),
+                SimValue::Int(ldc as i64),
+                SimValue::Array(a),
+                SimValue::Array(b),
+                SimValue::Array(c0),
+            ],
+        )
+        .unwrap();
+    for (g, w) in arrays[2].iter().zip(&expect) {
+        assert!((g - w).abs() < 1e-10, "{g} vs {w}");
+    }
+}
+
+#[test]
+fn shared_register_queue_ablation_is_still_correct() {
+    // §3.1 motivates per-array queues; the ablation flips to one shared
+    // pool. Behavior must be identical either way.
+    let mut tagged = generate_optimized(&gemm_simple(), &OptimizeConfig::gemm(4, 8, 1)).unwrap();
+    identify(&mut tagged);
+    let snb = MachineSpec::sandy_bridge();
+    for per_array in [true, false] {
+        let opts = CodegenOptions {
+            per_array_queues: per_array,
+            ..Default::default()
+        };
+        let asm = generate(&tagged, &snb, &opts).unwrap();
+        let (mr, nr, kc) = (9usize, 5usize, 7usize);
+        let (mc, ldb, ldc) = (mr, nr, mr);
+        let a: Vec<f64> = (0..mc * kc).map(|v| v as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..kc * ldb).map(|v| (v % 3) as f64).collect();
+        let c0 = vec![0.5; ldc * nr];
+        let mut expect = c0.clone();
+        augem::kernels::ref_gemm_packed(mr, nr, kc, mc, ldb, ldc, &a, &b, &mut expect);
+        let (arrays, _) = FuncSim::new(snb.isa)
+            .run(
+                &asm,
+                vec![
+                    SimValue::Int(mr as i64),
+                    SimValue::Int(nr as i64),
+                    SimValue::Int(kc as i64),
+                    SimValue::Int(mc as i64),
+                    SimValue::Int(ldb as i64),
+                    SimValue::Int(ldc as i64),
+                    SimValue::Array(a),
+                    SimValue::Array(b),
+                    SimValue::Array(c0),
+                ],
+            )
+            .unwrap();
+        for (g, w) in arrays[2].iter().zip(&expect) {
+            assert!((g - w).abs() < 1e-10, "per_array={per_array}: {g} vs {w}");
+        }
+    }
+}
