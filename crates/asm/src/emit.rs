@@ -112,7 +112,12 @@ pub fn format_inst(i: &XInst, isa: &IsaSet) -> String {
                 vreg(*dst, *w)
             )
         }
-        XInst::Shuf2 { dstsrc, src, imm, w } => {
+        XInst::Shuf2 {
+            dstsrc,
+            src,
+            imm,
+            w,
+        } => {
             format!("shufpd ${imm}, {}, {}", vreg(*src, *w), vreg(*dstsrc, *w))
         }
         XInst::Shuf3 { dst, a, b, imm, w } => {
@@ -270,10 +275,7 @@ mod tests {
             b: VecReg(1),
             w: Width::V4,
         };
-        assert_eq!(
-            format_inst(&f3, &avx()),
-            "vfmadd231pd %ymm1, %ymm0, %ymm3"
-        );
+        assert_eq!(format_inst(&f3, &avx()), "vfmadd231pd %ymm1, %ymm0, %ymm3");
         let f4 = XInst::Fma4 {
             dst: VecReg(4),
             a: VecReg(0),

@@ -86,65 +86,150 @@ pub enum GpOrImm {
 pub enum XInst {
     // ---- floating point: moves ----
     /// Load: `movsd/movupd/vmovupd mem, dst`.
-    FLoad { dst: VecReg, mem: Mem, w: Width },
+    FLoad {
+        dst: VecReg,
+        mem: Mem,
+        w: Width,
+    },
     /// Store: `movsd/movupd/vmovupd src, mem`.
-    FStore { src: VecReg, mem: Mem, w: Width },
+    FStore {
+        src: VecReg,
+        mem: Mem,
+        w: Width,
+    },
     /// Broadcast load: `movddup` (SSE) / `vbroadcastsd` (AVX):
     /// all lanes of `dst` get `mem`'s scalar.
-    FDup { dst: VecReg, mem: Mem, w: Width },
+    FDup {
+        dst: VecReg,
+        mem: Mem,
+        w: Width,
+    },
     /// Register move: `movapd/vmovapd src, dst`.
-    FMov { dst: VecReg, src: VecReg, w: Width },
+    FMov {
+        dst: VecReg,
+        src: VecReg,
+        w: Width,
+    },
     /// Zero a register: `xorpd dst, dst` / `vxorpd dst, dst, dst`.
-    FZero { dst: VecReg, w: Width },
+    FZero {
+        dst: VecReg,
+        w: Width,
+    },
 
     // ---- floating point: two-operand (SSE) arithmetic ----
     /// `mulsd/mulpd src, dstsrc` — `dstsrc *= src`.
-    FMul2 { dstsrc: VecReg, src: VecReg, w: Width },
+    FMul2 {
+        dstsrc: VecReg,
+        src: VecReg,
+        w: Width,
+    },
     /// `addsd/addpd src, dstsrc` — `dstsrc += src`.
-    FAdd2 { dstsrc: VecReg, src: VecReg, w: Width },
+    FAdd2 {
+        dstsrc: VecReg,
+        src: VecReg,
+        w: Width,
+    },
 
     // ---- floating point: three-operand (AVX) arithmetic ----
     /// `vmulsd/vmulpd a, b, dst` — `dst = a * b`.
-    FMul3 { dst: VecReg, a: VecReg, b: VecReg, w: Width },
+    FMul3 {
+        dst: VecReg,
+        a: VecReg,
+        b: VecReg,
+        w: Width,
+    },
     /// `vaddsd/vaddpd a, b, dst` — `dst = a + b`.
-    FAdd3 { dst: VecReg, a: VecReg, b: VecReg, w: Width },
+    FAdd3 {
+        dst: VecReg,
+        a: VecReg,
+        b: VecReg,
+        w: Width,
+    },
 
     // ---- fused multiply-add ----
     /// FMA3 `vfmadd231sd/pd a, b, acc` — `acc += a * b` (destination must
     /// be a source: the defining constraint of the 3-operand FMA form).
-    Fma3 { acc: VecReg, a: VecReg, b: VecReg, w: Width },
+    Fma3 {
+        acc: VecReg,
+        a: VecReg,
+        b: VecReg,
+        w: Width,
+    },
     /// FMA4 `vfmaddpd c, b, a, dst` — `dst = a*b + c` with an independent
     /// destination (Piledriver only).
-    Fma4 { dst: VecReg, a: VecReg, b: VecReg, c: VecReg, w: Width },
+    Fma4 {
+        dst: VecReg,
+        a: VecReg,
+        b: VecReg,
+        c: VecReg,
+        w: Width,
+    },
 
     // ---- lane manipulation (the Shuf vectorization strategy) ----
     /// SSE `shufpd imm, src, dstsrc`:
     /// `dstsrc[0] = dstsrc[imm&1]; dstsrc[1] = src[(imm>>1)&1]`.
-    Shuf2 { dstsrc: VecReg, src: VecReg, imm: u8, w: Width },
+    Shuf2 {
+        dstsrc: VecReg,
+        src: VecReg,
+        imm: u8,
+        w: Width,
+    },
     /// AVX `vshufpd imm, b, a, dst` — per-128-bit-half shuffle:
     /// within each half `h`: `dst[2h] = a[2h + (imm>>2h & 1)];
     /// dst[2h+1] = b[2h + (imm>>(2h+1) & 1)]`.
-    Shuf3 { dst: VecReg, a: VecReg, b: VecReg, imm: u8, w: Width },
+    Shuf3 {
+        dst: VecReg,
+        a: VecReg,
+        b: VecReg,
+        imm: u8,
+        w: Width,
+    },
     /// AVX `vperm2f128 $0x01, src, src, dst` — swap 128-bit halves.
-    SwapHalves { dst: VecReg, src: VecReg },
+    SwapHalves {
+        dst: VecReg,
+        src: VecReg,
+    },
     /// AVX `vperm2f128 $imm, b, a, dst` — general 128-bit-half select:
     /// `dst.low = (imm & 2 == 0 ? a : b).half[imm & 1]`,
     /// `dst.high = (imm>>4 & 2 == 0 ? a : b).half[imm>>4 & 1]`.
-    Perm2f128 { dst: VecReg, a: VecReg, b: VecReg, imm: u8 },
+    Perm2f128 {
+        dst: VecReg,
+        a: VecReg,
+        b: VecReg,
+        imm: u8,
+    },
     /// `vextractf128 $1, src, dst` — high 128 bits of a YMM into an XMM.
-    ExtractHi { dst: VecReg, src: VecReg },
+    ExtractHi {
+        dst: VecReg,
+        src: VecReg,
+    },
 
     // ---- integer / pointer ----
     /// `mov $imm, dst`.
-    IMovImm { dst: GpReg, imm: i64 },
+    IMovImm {
+        dst: GpReg,
+        imm: i64,
+    },
     /// `mov src, dst`.
-    IMov { dst: GpReg, src: GpReg },
+    IMov {
+        dst: GpReg,
+        src: GpReg,
+    },
     /// `add src, dst` / `add $imm, dst`.
-    IAdd { dst: GpReg, src: GpOrImm },
+    IAdd {
+        dst: GpReg,
+        src: GpOrImm,
+    },
     /// `sub src, dst` / `sub $imm, dst`.
-    ISub { dst: GpReg, src: GpOrImm },
+    ISub {
+        dst: GpReg,
+        src: GpOrImm,
+    },
     /// `imul src, dst` / `imul $imm, src, dst`.
-    IMul { dst: GpReg, src: GpOrImm },
+    IMul {
+        dst: GpReg,
+        src: GpOrImm,
+    },
     /// `lea disp(base,idx,scale), dst` — address arithmetic.
     Lea {
         dst: GpReg,
@@ -153,14 +238,23 @@ pub enum XInst {
         disp: i64,
     },
     /// Spill reload: `mov disp(base), dst` (64-bit GP load).
-    ILoad { dst: GpReg, mem: Mem },
+    ILoad {
+        dst: GpReg,
+        mem: Mem,
+    },
     /// Spill store: `mov src, disp(base)` (64-bit GP store).
-    IStore { src: GpReg, mem: Mem },
+    IStore {
+        src: GpReg,
+        mem: Mem,
+    },
 
     // ---- control flow ----
     Label(String),
     /// `cmp b, a` (AT&T operand order; sets flags for `a ? b`).
-    Cmp { a: GpReg, b: GpOrImm },
+    Cmp {
+        a: GpReg,
+        b: GpOrImm,
+    },
     /// `jl label` — jump when previous `Cmp`'s `a < b`.
     Jl(String),
     /// `jge label`.
@@ -171,7 +265,11 @@ pub enum XInst {
 
     // ---- memory hints ----
     /// `prefetcht0/1/2 / prefetchw mem`.
-    Prefetch { mem: Mem, write: bool, locality: u8 },
+    Prefetch {
+        mem: Mem,
+        write: bool,
+        locality: u8,
+    },
 
     /// Assembly comment (emitted as `# ...`).
     Comment(String),
@@ -297,7 +395,7 @@ mod tests {
     }
 
     #[test]
-    fn labels_and_comments_have_no_class()  {
+    fn labels_and_comments_have_no_class() {
         assert_eq!(XInst::Label("L0".into()).class(), None);
         assert_eq!(XInst::Comment("hi".into()).class(), None);
     }

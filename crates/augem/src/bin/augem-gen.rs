@@ -21,6 +21,10 @@ struct Args {
     machine: MachineSpec,
     emit: Emit,
     output: Option<String>,
+    /// Print the run report (stages, tuner, sim counters) to stderr.
+    trace: bool,
+    /// Write the machine-readable JSON run report here.
+    report: Option<String>,
 }
 
 #[derive(PartialEq)]
@@ -34,6 +38,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: augem-gen --kernel <gemm|gemv|ger|axpy|dot|scal> \
          --machine <sandybridge|piledriver> [--emit asm|c|tagged] [-o FILE]\n\
+         \x20                [--trace] [--report FILE.json]\n\
          \x20      augem-gen --list"
     );
     ExitCode::from(2)
@@ -57,6 +62,8 @@ fn parse() -> Result<Option<Args>, ExitCode> {
     let mut machine = None;
     let mut emit = Emit::Asm;
     let mut output = None;
+    let mut trace = false;
+    let mut report = None;
     let mut it = argv.into_iter();
     while let Some(flag) = it.next() {
         let mut val = |name: &str| {
@@ -105,6 +112,8 @@ fn parse() -> Result<Option<Args>, ExitCode> {
                 };
             }
             "-o" | "--output" => output = Some(val("-o")?),
+            "--trace" => trace = true,
+            "--report" => report = Some(val("--report")?),
             other => {
                 eprintln!("unknown flag `{other}`");
                 return Err(usage());
@@ -119,6 +128,8 @@ fn parse() -> Result<Option<Args>, ExitCode> {
         machine,
         emit,
         output,
+        trace,
+        report,
     }))
 }
 
@@ -141,16 +152,33 @@ fn main() -> ExitCode {
         Err(code) => return code,
     };
 
+    if (args.trace || args.report.is_some()) && args.emit != Emit::Asm {
+        eprintln!("--trace/--report only apply to --emit asm (the tuned pipeline)");
+        return ExitCode::from(2);
+    }
+
     let text = match args.emit {
         Emit::Asm => {
             let driver = Augem::new(args.machine.clone());
-            match driver.generate(args.kernel) {
-                Ok(g) => format!(
-                    "# tuned configuration: {} ({:.0} Mflops steady-state)\n{}",
-                    g.config_tag,
-                    g.mflops,
-                    g.assembly_text()
-                ),
+            match driver.generate_report(args.kernel) {
+                Ok((g, run)) => {
+                    if args.trace {
+                        eprint!("{}", run.render_text());
+                    }
+                    if let Some(path) = &args.report {
+                        let json = run.to_json().render_pretty();
+                        if let Err(e) = std::fs::write(path, json + "\n") {
+                            eprintln!("cannot write {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                    format!(
+                        "# tuned configuration: {} ({:.0} Mflops steady-state)\n{}",
+                        g.config_tag,
+                        g.mflops,
+                        g.assembly_text()
+                    )
+                }
                 Err(e) => {
                     eprintln!("generation failed: {e}");
                     return ExitCode::FAILURE;

@@ -39,6 +39,7 @@ pub use augem_blas as blas;
 pub use augem_ir as ir;
 pub use augem_kernels as kernels;
 pub use augem_machine as machine;
+pub use augem_obs as obs;
 pub use augem_opt as opt;
 pub use augem_sim as sim;
 pub use augem_templates as templates;
@@ -49,10 +50,14 @@ pub use augem_kernels::DlaKernel;
 
 use augem_asm::AsmKernel;
 use augem_machine::MachineSpec;
+use augem_obs::{
+    CandidateFailure, Collector, RankedCandidate, RunReport, SimCounters, Tracer, TunerTelemetry,
+};
 use augem_sim::TimingReport;
 use augem_tune::config::{GemmConfig, VectorConfig, VectorKernel};
 use augem_tune::evaluate::{evaluate_gemm, evaluate_vector, EvalError};
-use augem_tune::{tune_gemm, tune_vector};
+use augem_tune::search::TuneError;
+use augem_tune::{tune_gemm_traced, tune_vector_traced, TuneResult};
 
 /// A fully generated, tuned, simulated kernel.
 #[derive(Debug, Clone)]
@@ -82,17 +87,56 @@ impl Generated {
 #[derive(Debug)]
 pub enum AugemError {
     Eval(EvalError),
+    /// The empirical search had no viable candidate (carries the
+    /// per-candidate failure reasons).
+    Tune(TuneError),
 }
 
 impl std::fmt::Display for AugemError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             AugemError::Eval(e) => write!(f, "{e}"),
+            AugemError::Tune(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for AugemError {}
+
+/// Converts a tuner result into report telemetry.
+fn telemetry_of<C>(t: &TuneResult<C>, tag: impl Fn(&C) -> String) -> TunerTelemetry {
+    TunerTelemetry::from_ranking(
+        t.ranking
+            .iter()
+            .map(|(c, mflops)| RankedCandidate {
+                tag: tag(c),
+                mflops: *mflops,
+            })
+            .collect(),
+        t.failures
+            .iter()
+            .map(|(tag, reason)| CandidateFailure {
+                tag: tag.clone(),
+                reason: reason.clone(),
+            })
+            .collect(),
+        t.generated as u64,
+    )
+}
+
+/// Repackages the winner's [`TimingReport`] for the run report.
+fn sim_counters(r: &TimingReport) -> SimCounters {
+    SimCounters {
+        cycles: r.cycles,
+        dyn_insts: r.dyn_insts,
+        flops: r.flops,
+        mem_accesses: r.mem_accesses,
+        l1_hits: r.l1_hits(),
+        l1_misses: r.l1_misses,
+        llc_misses: r.llc_misses,
+        port_uops: r.port_uops.clone(),
+    }
+}
 
 /// The end-to-end driver: "taking as input a simple C implementation of a
 /// DLA kernel, it automatically generates an efficient assembly kernel"
@@ -113,21 +157,66 @@ impl Augem {
 
     /// Runs the full pipeline with empirical tuning for `kernel`.
     pub fn generate(&self, kernel: DlaKernel) -> Result<Generated, AugemError> {
+        self.generate_traced(kernel, augem_obs::null())
+    }
+
+    /// [`generate`](Augem::generate) with every stage instrumented
+    /// through `tracer`: per-stage spans and counters from the whole
+    /// tuning sweep, then a final traced rebuild of the winner (so
+    /// last-write labels like `opt.simd_strategy` describe the winning
+    /// configuration, not whichever candidate happened to finish last).
+    pub fn generate_traced(
+        &self,
+        kernel: DlaKernel,
+        tracer: &dyn Tracer,
+    ) -> Result<Generated, AugemError> {
+        self.generate_inner(kernel, tracer).map(|(g, _)| g)
+    }
+
+    /// Runs a traced generation and packages everything the collector and
+    /// the tuner saw into an `augem.run-report/v1` [`RunReport`].
+    pub fn generate_report(&self, kernel: DlaKernel) -> Result<(Generated, RunReport), AugemError> {
+        let collector = Collector::new();
+        let (g, tuner) = self.generate_inner(kernel, &collector)?;
+        let mut report = RunReport::from_snapshot(&collector.snapshot());
+        report.kernel = kernel.name().to_string();
+        report.machine = self.machine.arch.short_name().to_string();
+        report.config = g.config_tag.clone();
+        report.simd_strategy = report
+            .labels
+            .get("opt.simd_strategy")
+            .cloned()
+            .unwrap_or_default();
+        report.mflops = g.mflops;
+        report.sim = Some(sim_counters(&g.report));
+        report.tuner = Some(tuner);
+        Ok((g, report))
+    }
+
+    fn generate_inner(
+        &self,
+        kernel: DlaKernel,
+        tracer: &dyn Tracer,
+    ) -> Result<(Generated, TunerTelemetry), AugemError> {
         match kernel {
             DlaKernel::Gemm => {
-                let t = tune_gemm(&self.machine);
+                let t = tune_gemm_traced(&self.machine, tracer).map_err(AugemError::Tune)?;
+                let telemetry = telemetry_of(&t, |c| c.tag());
                 let asm = t
                     .best
-                    .build(&self.machine)
+                    .build_traced(&self.machine, tracer)
                     .map_err(|e| AugemError::Eval(EvalError::Build(e)))?;
-                Ok(Generated {
-                    kernel,
-                    machine: self.machine.clone(),
-                    asm,
-                    config_tag: t.best.tag(),
-                    report: t.best_eval.report,
-                    mflops: t.best_eval.mflops,
-                })
+                Ok((
+                    Generated {
+                        kernel,
+                        machine: self.machine.clone(),
+                        asm,
+                        config_tag: t.best.tag(),
+                        report: t.best_eval.report,
+                        mflops: t.best_eval.mflops,
+                    },
+                    telemetry,
+                ))
             }
             DlaKernel::Axpy
             | DlaKernel::Dot
@@ -141,19 +230,23 @@ impl Augem {
                     DlaKernel::Scal => VectorKernel::Scal,
                     _ => VectorKernel::Gemv,
                 };
-                let t = tune_vector(vk, &self.machine);
+                let t = tune_vector_traced(vk, &self.machine, tracer).map_err(AugemError::Tune)?;
+                let telemetry = telemetry_of(&t, |c| c.tag());
                 let asm = t
                     .best
-                    .build(&self.machine)
+                    .build_traced(&self.machine, tracer)
                     .map_err(|e| AugemError::Eval(EvalError::Build(e)))?;
-                Ok(Generated {
-                    kernel,
-                    machine: self.machine.clone(),
-                    asm,
-                    config_tag: t.best.tag(),
-                    report: t.best_eval.report,
-                    mflops: t.best_eval.mflops,
-                })
+                Ok((
+                    Generated {
+                        kernel,
+                        machine: self.machine.clone(),
+                        asm,
+                        config_tag: t.best.tag(),
+                        report: t.best_eval.report,
+                        mflops: t.best_eval.mflops,
+                    },
+                    telemetry,
+                ))
             }
         }
     }

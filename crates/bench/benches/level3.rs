@@ -51,35 +51,90 @@ fn bench(c: &mut Criterion) {
     group.bench_function("dsymm", |b| {
         b.iter(|| {
             let mut cmat = vec![0.0; m * n];
-            dsymm(Side::Left, Uplo::Lower, m, n, 1.0, black_box(&full), m, &bmat, m, 0.0, &mut cmat, m);
+            dsymm(
+                Side::Left,
+                Uplo::Lower,
+                m,
+                n,
+                1.0,
+                black_box(&full),
+                m,
+                &bmat,
+                m,
+                0.0,
+                &mut cmat,
+                m,
+            );
             cmat
         })
     });
     group.bench_function("dsyrk", |b| {
         b.iter(|| {
             let mut cmat = vec![0.0; m * m];
-            dsyrk(Uplo::Lower, m, k, 1.0, black_box(&amat), m, 0.0, &mut cmat, m);
+            dsyrk(
+                Uplo::Lower,
+                m,
+                k,
+                1.0,
+                black_box(&amat),
+                m,
+                0.0,
+                &mut cmat,
+                m,
+            );
             cmat
         })
     });
     group.bench_function("dsyr2k", |b| {
         b.iter(|| {
             let mut cmat = vec![0.0; m * m];
-            dsyr2k(Uplo::Lower, m, k, 1.0, black_box(&amat), m, &amat, m, 0.0, &mut cmat, m);
+            dsyr2k(
+                Uplo::Lower,
+                m,
+                k,
+                1.0,
+                black_box(&amat),
+                m,
+                &amat,
+                m,
+                0.0,
+                &mut cmat,
+                m,
+            );
             cmat
         })
     });
     group.bench_function("dtrmm", |b| {
         b.iter(|| {
             let mut bm = bmat.clone();
-            dtrmm(Side::Left, Uplo::Lower, m, n, 1.0, black_box(&tri), m, &mut bm, m);
+            dtrmm(
+                Side::Left,
+                Uplo::Lower,
+                m,
+                n,
+                1.0,
+                black_box(&tri),
+                m,
+                &mut bm,
+                m,
+            );
             bm
         })
     });
     group.bench_function("dtrsm", |b| {
         b.iter(|| {
             let mut bm = bmat.clone();
-            dtrsm(Side::Left, Uplo::Lower, m, n, 1.0, black_box(&tri), m, &mut bm, m);
+            dtrsm(
+                Side::Left,
+                Uplo::Lower,
+                m,
+                n,
+                1.0,
+                black_box(&tri),
+                m,
+                &mut bm,
+                m,
+            );
             bm
         })
     });

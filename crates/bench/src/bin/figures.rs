@@ -5,18 +5,56 @@
 //! cargo run --release -p augem-bench --bin figures -- fig18 fig19
 //! cargo run --release -p augem-bench --bin figures -- table6 ablations
 //! cargo run --release -p augem-bench --bin figures -- asm      # dump tuned kernels
+//! cargo run --release -p augem-bench --bin figures -- pipeline # BENCH_pipeline.json
 //! ```
 
+use augem::obs::Json;
 use augem::Augem;
 use augem_bench::{ablations, format_figure, Models};
 use augem_kernels::DlaKernel;
 use augem_machine::MachineSpec;
+
+/// Runs a traced generation per kernel × platform and writes the run
+/// reports to `BENCH_pipeline.json` — the machine-readable perf
+/// trajectory (stage wall times, tuner telemetry, sim counters).
+fn emit_pipeline_reports(platforms: &[MachineSpec]) {
+    let mut entries = Vec::new();
+    for machine in platforms {
+        let driver = Augem::new(machine.clone());
+        for k in DlaKernel::ALL {
+            match driver.generate_report(k) {
+                Ok((_, run)) => entries.push(run.to_json()),
+                Err(e) => eprintln!(
+                    "pipeline report failed for {} on {}: {e}",
+                    k.name(),
+                    machine.arch.short_name()
+                ),
+            }
+        }
+    }
+    let doc = Json::obj(vec![
+        ("schema", Json::str("augem.bench-pipeline/v1")),
+        ("runs", Json::Arr(entries)),
+    ]);
+    let path = "BENCH_pipeline.json";
+    match std::fs::write(path, doc.render_pretty() + "\n") {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name || a == "all");
 
     let platforms = MachineSpec::paper_platforms();
+
+    if want("pipeline") && args.iter().any(|a| a == "pipeline" || a == "all") {
+        emit_pipeline_reports(&platforms);
+        if args.iter().all(|a| a == "pipeline") {
+            return;
+        }
+    }
 
     if want("asm") && args.iter().any(|a| a == "asm") {
         for machine in &platforms {
@@ -53,7 +91,10 @@ fn main() {
                 print!(
                     "{}",
                     format_figure(
-                        &format!("Figure 18 ({}): DGEMM Mflops, m=n sweep, k=256", machine.arch.short_name()),
+                        &format!(
+                            "Figure 18 ({}): DGEMM Mflops, m=n sweep, k=256",
+                            machine.arch.short_name()
+                        ),
                         &models.fig18()
                     )
                 );
@@ -63,7 +104,10 @@ fn main() {
                 print!(
                     "{}",
                     format_figure(
-                        &format!("Figure 19 ({}): DGEMV Mflops, m=n sweep", machine.arch.short_name()),
+                        &format!(
+                            "Figure 19 ({}): DGEMV Mflops, m=n sweep",
+                            machine.arch.short_name()
+                        ),
                         &models.fig19()
                     )
                 );
@@ -73,7 +117,10 @@ fn main() {
                 print!(
                     "{}",
                     format_figure(
-                        &format!("Figure 20 ({}): DAXPY Mflops, vector-length sweep", machine.arch.short_name()),
+                        &format!(
+                            "Figure 20 ({}): DAXPY Mflops, vector-length sweep",
+                            machine.arch.short_name()
+                        ),
                         &models.fig20()
                     )
                 );
@@ -83,7 +130,10 @@ fn main() {
                 print!(
                     "{}",
                     format_figure(
-                        &format!("Figure 21 ({}): DDOT Mflops, vector-length sweep", machine.arch.short_name()),
+                        &format!(
+                            "Figure 21 ({}): DDOT Mflops, vector-length sweep",
+                            machine.arch.short_name()
+                        ),
                         &models.fig21()
                     )
                 );
@@ -112,7 +162,10 @@ fn main() {
         }
 
         if want("ablations") {
-            println!("## Ablations ({}): GEMM micro-kernel steady-state Mflops\n", machine.arch.short_name());
+            println!(
+                "## Ablations ({}): GEMM micro-kernel steady-state Mflops\n",
+                machine.arch.short_name()
+            );
             for a in ablations(machine) {
                 println!("{:>10.0}  {}", a.mflops, a.name);
             }

@@ -187,7 +187,13 @@ pub fn ablations(machine: &MachineSpec) -> Vec<Ablation> {
             ..base
         },
     );
-    probe("no FMA fusion", GemmConfig { fma: FmaPolicy::NoFma, ..base });
+    probe(
+        "no FMA fusion",
+        GemmConfig {
+            fma: FmaPolicy::NoFma,
+            ..base
+        },
+    );
     probe(
         "no software prefetch",
         GemmConfig {
@@ -195,7 +201,13 @@ pub fn ablations(machine: &MachineSpec) -> Vec<Ablation> {
             ..base
         },
     );
-    probe("no instruction scheduling", GemmConfig { schedule: false, ..base });
+    probe(
+        "no instruction scheduling",
+        GemmConfig {
+            schedule: false,
+            ..base
+        },
+    );
     // Scalar code cannot hold 2w x 4 accumulators in 16 registers; the
     // honest scalar baseline is the small Figure-13 shape.
     probe(
@@ -207,7 +219,14 @@ pub fn ablations(machine: &MachineSpec) -> Vec<Ablation> {
             ..base
         },
     );
-    probe("fixed 2x2 unroll (Fig 13 default)", GemmConfig { mu: 2, nu: 2, ..base });
+    probe(
+        "fixed 2x2 unroll (Fig 13 default)",
+        GemmConfig {
+            mu: 2,
+            nu: 2,
+            ..base
+        },
+    );
     out
 }
 

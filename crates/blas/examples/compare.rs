@@ -4,11 +4,18 @@ use augem_machine::MachineSpec;
 fn main() {
     for m in MachineSpec::paper_platforms() {
         println!("== {} ==", m.arch.name());
-        let models: Vec<PerfModel> = Library::ALL.iter().map(|&l| PerfModel::build(l, &m).unwrap()).collect();
+        let models: Vec<PerfModel> = Library::ALL
+            .iter()
+            .map(|&l| PerfModel::build(l, &m).unwrap())
+            .collect();
         let sizes: Vec<usize> = (1024..=6144).step_by(256).collect();
         print!("{:<14}", "GEMM avg");
         for pm in &models {
-            let avg: f64 = sizes.iter().map(|&s| pm.gemm_mflops(s, s, 256)).sum::<f64>() / sizes.len() as f64;
+            let avg: f64 = sizes
+                .iter()
+                .map(|&s| pm.gemm_mflops(s, s, 256))
+                .sum::<f64>()
+                / sizes.len() as f64;
             print!("{:>10.0}", avg);
         }
         println!();
@@ -22,13 +29,24 @@ fn main() {
         for (name, f) in [("AXPY avg", true), ("DOT avg", false)] {
             print!("{:<14}", name);
             for pm in &models {
-                let avg: f64 = (100_000..=200_000).step_by(5000)
-                    .map(|n| if f { pm.axpy_mflops(n) } else { pm.dot_mflops(n) })
-                    .sum::<f64>() / 21.0;
+                let avg: f64 = (100_000..=200_000)
+                    .step_by(5000)
+                    .map(|n| {
+                        if f {
+                            pm.axpy_mflops(n)
+                        } else {
+                            pm.dot_mflops(n)
+                        }
+                    })
+                    .sum::<f64>()
+                    / 21.0;
                 print!("{:>10.0}", avg);
             }
             println!();
         }
-        println!("{:<14}{:>10}{:>10}{:>10}{:>10}", "", "AUGEM", "Vendor", "ATLAS", "Goto");
+        println!(
+            "{:<14}{:>10}{:>10}{:>10}{:>10}",
+            "", "AUGEM", "Vendor", "ATLAS", "Goto"
+        );
     }
 }

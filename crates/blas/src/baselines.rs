@@ -38,7 +38,12 @@ pub enum Library {
 }
 
 impl Library {
-    pub const ALL: [Library; 4] = [Library::Augem, Library::Vendor, Library::Atlas, Library::Goto];
+    pub const ALL: [Library; 4] = [
+        Library::Augem,
+        Library::Vendor,
+        Library::Atlas,
+        Library::Goto,
+    ];
 
     /// Display name as in the paper's figure legends.
     pub fn display_name(self, machine: &MachineSpec) -> &'static str {
@@ -67,7 +72,7 @@ impl Library {
         let eff = self.effective_machine(machine);
         let w = eff.simd_mode().f64_lanes();
         match self {
-            Library::Augem => tune_gemm(&eff).best,
+            Library::Augem => tune_gemm(&eff).unwrap_or_else(|e| panic!("{e}")).best,
             Library::Vendor => GemmConfig {
                 mu: 2 * w,
                 nu: 4,
@@ -92,7 +97,7 @@ impl Library {
             },
             // GotoBLAS kernels were expertly tuned for their (pre-AVX)
             // era: give them the full empirical search, on SSE.
-            Library::Goto => tune_gemm(&eff).best,
+            Library::Goto => tune_gemm(&eff).unwrap_or_else(|e| panic!("{e}")).best,
         }
     }
 
@@ -101,7 +106,11 @@ impl Library {
         let eff = self.effective_machine(machine);
         let w = eff.simd_mode().f64_lanes();
         match self {
-            Library::Augem => tune_vector(kernel, &eff).best,
+            Library::Augem => {
+                tune_vector(kernel, &eff)
+                    .unwrap_or_else(|e| panic!("{e}"))
+                    .best
+            }
             Library::Vendor => VectorConfig {
                 kernel,
                 unroll: 2 * w,

@@ -44,15 +44,7 @@ pub fn dgemv(
 ///
 /// # Panics
 /// On inconsistent dimensions.
-pub fn dger(
-    m: usize,
-    n: usize,
-    alpha: f64,
-    x: &[f64],
-    y: &[f64],
-    a: &mut [f64],
-    lda: usize,
-) {
+pub fn dger(m: usize, n: usize, alpha: f64, x: &[f64], y: &[f64], a: &mut [f64], lda: usize) {
     assert!(lda >= m, "dger: lda {lda} < m {m}");
     assert_eq!(x.len(), m, "dger: x length");
     assert_eq!(y.len(), n, "dger: y length");
@@ -76,7 +68,9 @@ mod tests {
     #[test]
     fn gemv_matches_naive() {
         let (m, n, lda) = (17usize, 9usize, 19usize);
-        let a: Vec<f64> = (0..lda * n).map(|v| ((v * 13) % 31) as f64 * 0.25).collect();
+        let a: Vec<f64> = (0..lda * n)
+            .map(|v| ((v * 13) % 31) as f64 * 0.25)
+            .collect();
         let x: Vec<f64> = (0..n).map(|v| v as f64 - 4.0).collect();
         let y0: Vec<f64> = (0..m).map(|v| (v % 3) as f64).collect();
 

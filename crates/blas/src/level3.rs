@@ -227,11 +227,7 @@ pub fn dgemm(
         let mut consumed = 0usize;
         for &(j0, w) in &panels {
             debug_assert_eq!(j0, consumed);
-            let take = if j0 + w == n {
-                rest.len()
-            } else {
-                w * ldc
-            };
+            let take = if j0 + w == n { rest.len() } else { w * ldc };
             let (head, tail) = rest.split_at_mut(take);
             chunks.push(head);
             rest = tail;
@@ -291,7 +287,11 @@ pub fn dsymm(
     let mut full = vec![0.0; m * m];
     for j in 0..m {
         for i in 0..m {
-            full[j * m + i] = if i >= j { a[j * lda + i] } else { a[i * lda + j] };
+            full[j * m + i] = if i >= j {
+                a[j * lda + i]
+            } else {
+                a[i * lda + j]
+            };
         }
     }
     dgemm(m, n, m, alpha, &full, m, b, ldb, beta, c, ldc);
@@ -341,8 +341,7 @@ pub fn dsyrk(
             for ii in 0..rows {
                 let row = j0 + ii;
                 if row >= col {
-                    c[col * ldc + row] =
-                        tmp[jj * rows + ii] + beta * c[col * ldc + row];
+                    c[col * ldc + row] = tmp[jj * rows + ii] + beta * c[col * ldc + row];
                 }
             }
         }
@@ -416,7 +415,19 @@ pub fn dtrmm(
     for j0 in (0..n).step_by(512) {
         let w = 512.min(n - j0);
         let mut out = vec![0.0; m * w];
-        dgemm(m, w, m, alpha, &full, m, &tmp[j0 * m..], m, 0.0, &mut out, m);
+        dgemm(
+            m,
+            w,
+            m,
+            alpha,
+            &full,
+            m,
+            &tmp[j0 * m..],
+            m,
+            0.0,
+            &mut out,
+            m,
+        );
         for jj in 0..w {
             b[(j0 + jj) * ldb..(j0 + jj) * ldb + m].copy_from_slice(&out[jj * m..jj * m + m]);
         }
@@ -518,10 +529,21 @@ mod tests {
 
     #[test]
     fn gemm_matches_naive_various_shapes() {
-        for (m, n, k) in [(1, 1, 1), (4, 4, 4), (5, 3, 7), (17, 9, 12), (64, 64, 64), (33, 65, 19)] {
+        for (m, n, k) in [
+            (1, 1, 1),
+            (4, 4, 4),
+            (5, 3, 7),
+            (17, 9, 12),
+            (64, 64, 64),
+            (33, 65, 19),
+        ] {
             let (lda, ldb, ldc) = (m + 1, k + 2, m + 3);
-            let a: Vec<f64> = (0..lda * k).map(|v| ((v * 7) % 23) as f64 * 0.25 - 2.0).collect();
-            let b: Vec<f64> = (0..ldb * n).map(|v| ((v * 5) % 17) as f64 * 0.5 - 3.0).collect();
+            let a: Vec<f64> = (0..lda * k)
+                .map(|v| ((v * 7) % 23) as f64 * 0.25 - 2.0)
+                .collect();
+            let b: Vec<f64> = (0..ldb * n)
+                .map(|v| ((v * 5) % 17) as f64 * 0.5 - 3.0)
+                .collect();
             let c0: Vec<f64> = (0..ldc * n).map(|v| (v % 11) as f64).collect();
             let mut got = c0.clone();
             let mut want = c0;
@@ -579,7 +601,20 @@ mod tests {
         let c0: Vec<f64> = (0..m * n).map(|v| (v % 3) as f64).collect();
         let mut got = c0.clone();
         let mut want = c0;
-        dsymm(Side::Left, Uplo::Lower, m, n, 1.5, &a, lda, &b, m, 0.5, &mut got, m);
+        dsymm(
+            Side::Left,
+            Uplo::Lower,
+            m,
+            n,
+            1.5,
+            &a,
+            lda,
+            &b,
+            m,
+            0.5,
+            &mut got,
+            m,
+        );
         naive::symm_lower_left(m, n, 1.5, &a, lda, &b, m, 0.5, &mut want, m);
         assert_close(&got, &want, 1e-10, "symm");
     }
@@ -587,7 +622,9 @@ mod tests {
     #[test]
     fn syrk_matches_naive() {
         let (n, k) = (13usize, 8usize);
-        let a: Vec<f64> = (0..n * k).map(|v| ((v * 3) % 11) as f64 * 0.3 - 1.0).collect();
+        let a: Vec<f64> = (0..n * k)
+            .map(|v| ((v * 3) % 11) as f64 * 0.3 - 1.0)
+            .collect();
         let c0: Vec<f64> = (0..n * n).map(|v| (v % 4) as f64).collect();
         let mut got = c0.clone();
         let mut want = c0;
@@ -627,7 +664,9 @@ mod tests {
     fn syr2k_matches_naive() {
         let (n, k) = (10usize, 6usize);
         let a: Vec<f64> = (0..n * k).map(|v| (v % 9) as f64 * 0.25).collect();
-        let b: Vec<f64> = (0..n * k).map(|v| ((v * 2) % 7) as f64 * 0.5 - 1.0).collect();
+        let b: Vec<f64> = (0..n * k)
+            .map(|v| ((v * 2) % 7) as f64 * 0.5 - 1.0)
+            .collect();
         let c0: Vec<f64> = (0..n * n).map(|v| (v % 6) as f64).collect();
         let mut got = c0.clone();
         let mut want = c0;
@@ -666,7 +705,11 @@ mod tests {
         let mut a = vec![0.0; lda * m];
         for j in 0..m {
             for i in j..m {
-                a[j * lda + i] = if i == j { 3.0 + (i % 4) as f64 } else { 0.01 * ((i + j) % 9) as f64 };
+                a[j * lda + i] = if i == j {
+                    3.0 + (i % 4) as f64
+                } else {
+                    0.01 * ((i + j) % 9) as f64
+                };
             }
         }
         let b0: Vec<f64> = (0..m * n).map(|v| ((v * 7) % 13) as f64 - 6.0).collect();

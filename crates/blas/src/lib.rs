@@ -25,6 +25,9 @@
 //!    DESIGN.md's substitution table: these models stand in for the
 //!    proprietary binaries and the physical testbed).
 
+// BLAS-convention signatures (m, n, k, alpha, lda, ...) intentionally
+// mirror the routines they model.
+#![allow(clippy::too_many_arguments)]
 pub mod baselines;
 pub mod level1;
 pub mod level2;

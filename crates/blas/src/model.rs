@@ -22,8 +22,8 @@
 use crate::baselines::Library;
 use crate::level3::BlockSizes;
 use augem_machine::MachineSpec;
-use augem_tune::evaluate::{evaluate_gemm, evaluate_vector, vector_eval_n, EvalError};
 use augem_tune::config::{VectorConfig, VectorKernel};
+use augem_tune::evaluate::{evaluate_gemm, evaluate_vector, vector_eval_n, EvalError};
 
 /// Higher-level routines of the paper's Table 6.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -95,10 +95,7 @@ fn bw_bytes_per_sec(machine: &MachineSpec, ws_bytes: usize) -> f64 {
 /// Calibrates a vector kernel with the *same* cold streaming evaluation
 /// the tuner optimizes (so AUGEM's tuned pick is never worse than a fixed
 /// baseline config by construction).
-fn calibrate_vector(
-    cfg: &VectorConfig,
-    machine: &MachineSpec,
-) -> Result<StreamCal, EvalError> {
+fn calibrate_vector(cfg: &VectorConfig, machine: &MachineSpec) -> Result<StreamCal, EvalError> {
     let e = evaluate_vector(cfg, machine)?;
     let (n0, n1) = vector_eval_n(cfg.kernel);
     let (ws, bpf) = match cfg.kernel {
@@ -216,13 +213,10 @@ impl PerfModel {
                     Library::Augem | Library::Goto => 0.15,
                 };
                 let slow_rate = solve_quality
-                    * self
-                        .machine
-                        .timing
-                        .peak_dp_flops_per_cycle(
-                            self.machine.simd_mode(),
-                            self.machine.isa.has_fma(),
-                        )
+                    * self.machine.timing.peak_dp_flops_per_cycle(
+                        self.machine.simd_mode(),
+                        self.machine.isa.has_fma(),
+                    )
                     * self.machine.turbo_ghz
                     * 1000.0;
                 1.0 / ((1.0 - slow_frac) / gemm + slow_frac / slow_rate)
@@ -258,7 +252,10 @@ mod tests {
         // shrink as C traffic moves out to DRAM), a little under the
         // steady-state micro-kernel rate.
         let rel = (large - small).abs() / small;
-        assert!(rel < 0.10, "curve should be nearly flat: {small} -> {large}");
+        assert!(
+            rel < 0.10,
+            "curve should be nearly flat: {small} -> {large}"
+        );
         for v in [small, large] {
             assert!(
                 v > 0.85 * m.gemm.micro_mflops && v < m.gemm.micro_mflops,
@@ -275,7 +272,10 @@ mod tests {
         // 2048^2 doubles = 32 MiB -> DRAM-bound: a few GFlops, far below
         // the compute plateau.
         assert!(r > 1000.0 && r < 9000.0, "GEMV@2048: {r}");
-        assert!(m.gemv_mflops(5120) <= r * 1.05, "bigger should not be faster");
+        assert!(
+            m.gemv_mflops(5120) <= r * 1.05,
+            "bigger should not be faster"
+        );
     }
 
     #[test]
@@ -285,7 +285,10 @@ mod tests {
         let dot = m.dot_mflops(100_000);
         // Paper Fig 20/21 (SNB): AXPY ~4 GFlops, DOT ~5 GFlops at 1e5.
         assert!(axpy > 1500.0 && axpy < 12000.0, "AXPY {axpy}");
-        assert!(dot > axpy, "DOT ({dot}) reads less per flop than AXPY ({axpy})");
+        assert!(
+            dot > axpy,
+            "DOT ({dot}) reads less per flop than AXPY ({axpy})"
+        );
     }
 
     #[test]
@@ -294,7 +297,10 @@ mod tests {
         let symm = m.routine_mflops(RoutineKind::Symm, 2048, 256);
         let trsm = m.routine_mflops(RoutineKind::Trsm, 2048, 256);
         assert!(trsm < symm, "TRSM {trsm} vs SYMM {symm}");
-        assert!(trsm > 0.75 * symm, "TRSM shouldn't collapse: {trsm} vs {symm}");
+        assert!(
+            trsm > 0.75 * symm,
+            "TRSM shouldn't collapse: {trsm} vs {symm}"
+        );
     }
 
     #[test]

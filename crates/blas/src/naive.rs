@@ -148,7 +148,11 @@ pub fn trmm_lower_left(
     for j in 0..n {
         // compute column j: b[:,j] = alpha * L * b[:,j] (bottom-up)
         for i in (0..m).rev() {
-            let mut acc = if unit { b[j * ldb + i] } else { a[i * lda + i] * b[j * ldb + i] };
+            let mut acc = if unit {
+                b[j * ldb + i]
+            } else {
+                a[i * lda + i] * b[j * ldb + i]
+            };
             for l in 0..i {
                 acc += a[l * lda + i] * b[j * ldb + l];
             }
@@ -198,7 +202,11 @@ mod tests {
         let mut l = vec![0.0; m * m];
         for j in 0..m {
             for i in j..m {
-                l[j * lda + i] = if i == j { 2.0 + i as f64 } else { 0.3 * (i + j) as f64 + 0.1 };
+                l[j * lda + i] = if i == j {
+                    2.0 + i as f64
+                } else {
+                    0.3 * (i + j) as f64 + 0.1
+                };
             }
         }
         let x: Vec<f64> = (0..m * n).map(|v| (v % 7) as f64 - 3.0).collect();
@@ -225,7 +233,11 @@ mod tests {
         let mut full = vec![0.0; m * m];
         for j in 0..m {
             for i in 0..m {
-                full[j * m + i] = if i >= j { a[j * lda + i] } else { a[i * lda + j] };
+                full[j * m + i] = if i >= j {
+                    a[j * lda + i]
+                } else {
+                    a[i * lda + j]
+                };
             }
         }
         let b: Vec<f64> = (0..m * n).map(|v| v as f64).collect();

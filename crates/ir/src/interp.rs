@@ -28,7 +28,10 @@ enum Value {
     I64(i64),
     F64(f64),
     /// A pointer into argument array `array` at element `offset`.
-    Ptr { array: usize, offset: i64 },
+    Ptr {
+        array: usize,
+        offset: i64,
+    },
 }
 
 /// Interpretation errors.

@@ -178,12 +178,18 @@ mod tests {
     fn positions_are_preorder_and_consecutive() {
         let (_t, a, x, _y, i) = mk_syms();
         let stmts = vec![
-            assign(x, f64c(0.0)),                                     // 0
-            for_(i, int(0), int(4), 1, vec![
-                assign(x, idx(a, var(i))),                            // 2
-                store(a, var(i), var(x)),                             // 3
-            ]),                                                       // 1
-            assign(x, f64c(1.0)),                                     // 4
+            assign(x, f64c(0.0)), // 0
+            for_(
+                i,
+                int(0),
+                int(4),
+                1,
+                vec![
+                    assign(x, idx(a, var(i))), // 2
+                    store(a, var(i), var(x)),  // 3
+                ],
+            ), // 1
+            assign(x, f64c(1.0)), // 4
         ];
         let mut seen = Vec::new();
         let n = walk_with_positions(&stmts, &mut |p, _| seen.push(p));
@@ -204,10 +210,13 @@ mod tests {
     fn rename_syms_renames_defs_and_uses() {
         let (mut t, a, x, y, i) = mk_syms();
         let x2 = t.define("x2", Ty::F64, SymKind::Local);
-        let mut s = for_(i, int(0), int(4), 1, vec![
-            assign(x, idx(a, var(i))),
-            assign(y, var(x)),
-        ]);
+        let mut s = for_(
+            i,
+            int(0),
+            int(4),
+            1,
+            vec![assign(x, idx(a, var(i))), assign(y, var(x))],
+        );
         let map: HashMap<Sym, Sym> = [(x, x2)].into_iter().collect();
         rename_syms(&mut s, &map);
         let printed = crate::print::print_stmts(&[s], &t);

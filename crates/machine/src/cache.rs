@@ -64,7 +64,11 @@ impl CacheHierarchy {
         match self.fitting_level(bytes) {
             1 => self.l1d.bw_bytes_per_cycle,
             2 => self.l2.bw_bytes_per_cycle,
-            3 => self.l3.as_ref().map(|c| c.bw_bytes_per_cycle).unwrap_or(self.dram_bw_bytes_per_cycle),
+            3 => self
+                .l3
+                .as_ref()
+                .map(|c| c.bw_bytes_per_cycle)
+                .unwrap_or(self.dram_bw_bytes_per_cycle),
             _ => self.dram_bw_bytes_per_cycle,
         }
     }

@@ -196,10 +196,7 @@ mod tests {
     #[test]
     fn widest_mode_tracks_avx() {
         assert_eq!(IsaSet::sse2_only().widest_mode(), SimdMode::Sse);
-        assert_eq!(
-            IsaSet::new(&[IsaFeature::Avx]).widest_mode(),
-            SimdMode::Avx
-        );
+        assert_eq!(IsaSet::new(&[IsaFeature::Avx]).widest_mode(), SimdMode::Avx);
     }
 
     #[test]

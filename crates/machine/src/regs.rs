@@ -103,10 +103,9 @@ impl RegisterFile {
     /// vector registers and `m` distinct arrays, each array's queue gets
     /// `R/m` registers (integer division, minimum 1).
     pub fn per_array_quota(&self, arrays: usize) -> usize {
-        if arrays == 0 {
-            self.vector_regs as usize
-        } else {
-            ((self.vector_regs as usize) / arrays).max(1)
+        match (self.vector_regs as usize).checked_div(arrays) {
+            Some(q) => q.max(1),
+            None => self.vector_regs as usize,
         }
     }
 }

@@ -125,7 +125,11 @@ pub struct TimingModel {
 }
 
 impl TimingModel {
-    pub fn new(num_ports: u8, issue_width: u32, lookup: fn(InstClass, SimdMode) -> InstTiming) -> Self {
+    pub fn new(
+        num_ports: u8,
+        issue_width: u32,
+        lookup: fn(InstClass, SimdMode) -> InstTiming,
+    ) -> Self {
         TimingModel {
             num_ports,
             issue_width,

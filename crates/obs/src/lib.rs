@@ -1,0 +1,59 @@
+//! `augem-obs`: dependency-free observability for the AUGEM pipeline.
+//!
+//! The code generator is a pipeline — C-kernel generation, template
+//! identification, assembly generation, simulation — wrapped in an
+//! empirical tuner that runs the whole thing once per candidate
+//! configuration. When a tuned kernel is slower than expected, the first
+//! question is always *where did the time and the instructions go*: which
+//! transform blew up the statement count, which SIMD strategy the
+//! optimizer picked, how many candidates the search actually evaluated,
+//! what the simulator's cache counters said about the winner.
+//!
+//! This crate answers those questions without adding a dependency or
+//! perturbing the untraced paths:
+//!
+//! - [`Tracer`] — the object-safe instrumentation trait the rest of the
+//!   workspace codes against: spans (`span_begin`/`span_end`, or the RAII
+//!   [`span`] helper), monotonic counters ([`Tracer::add`]), high-water
+//!   gauges ([`Tracer::hwm`]), last-write-wins labels ([`Tracer::label`]),
+//!   and structured events ([`Tracer::event`]).
+//! - [`NullTracer`] / [`null`] — the zero-cost default; every traced API
+//!   has an untraced twin that passes this.
+//! - [`Collector`] — a thread-safe [`Tracer`] that records everything and
+//!   produces a [`Snapshot`] with per-stage aggregation.
+//! - [`RunReport`] — the `augem.run-report/v1` document built from a
+//!   snapshot plus tuner/simulator telemetry, serializable to JSON
+//!   ([`Json`]) and to human-readable text.
+//!
+//! Stage names used by the pipeline are the [`stage`] constants; spelling
+//! them once here keeps producers (the traced pipeline) and consumers
+//! (reports, tests, plotting scripts) in agreement.
+
+mod collect;
+mod json;
+mod report;
+
+pub use collect::{
+    null, span, Collector, EventRec, NullTracer, Snapshot, Span, SpanSnapshot, SpanToken, StageAgg,
+    Tracer, Value,
+};
+pub use json::{Json, JsonError};
+pub use report::{
+    CandidateFailure, RankedCandidate, RunReport, SimCounters, TunerTelemetry, SCHEMA,
+};
+
+/// Canonical span names for the pipeline stages. One tuner candidate
+/// produces one span of each of the first four; the `TUNE` umbrella span
+/// wraps the whole search.
+pub mod stage {
+    /// Optimized-C kernel generation (`transforms::pipeline`).
+    pub const CGEN: &str = "cgen";
+    /// Template identification (`templates::identify`).
+    pub const IDENTIFY: &str = "identify";
+    /// Assembly kernel generation (`opt::akg`).
+    pub const AKG: &str = "akg";
+    /// Timing simulation (`sim`).
+    pub const SIM: &str = "sim";
+    /// The whole empirical search (`tune::search`).
+    pub const TUNE: &str = "tune";
+}

@@ -1,0 +1,575 @@
+//! The machine-readable run report: what one traced pipeline run looked
+//! like, stage by stage — the artifact behind `augem-gen --report` and the
+//! repo's `BENCH_*.json` perf trajectory.
+//!
+//! The schema (`augem.run-report/v1`) is stable and round-trippable via
+//! [`RunReport::to_json`] / [`RunReport::from_json`]:
+//!
+//! ```json
+//! {
+//!   "schema": "augem.run-report/v1",
+//!   "kernel": "dgemm", "machine": "SNB", "config": "8x4x1 ...",
+//!   "simd_strategy": "Vdup", "mflops": 12345.6,
+//!   "stages": [{"name": "cgen", "calls": 64, "wall_ns": 123456}, ...],
+//!   "counters": {"ir.stmts.before": 9, ...},
+//!   "highwater": {"regs.vec": 14, ...},
+//!   "labels": {"opt.simd_strategy": "Vdup", ...},
+//!   "tuner": {"generated": 64, "built": 60, "pruned": 4,
+//!             "best_mflops": ..., "median_mflops": ..., "best_vs_median": ...,
+//!             "ranking": [{"tag": "...", "mflops": ...}, ...],
+//!             "failures": [{"tag": "...", "reason": "..."}]},
+//!   "sim": {"cycles": ..., "dyn_insts": ..., "flops": ...,
+//!           "mem_accesses": ..., "l1_hits": ..., "l1_misses": ...,
+//!           "llc_misses": ..., "port_uops": [...]}
+//! }
+//! ```
+
+use crate::collect::{Snapshot, StageAgg};
+use crate::json::Json;
+use std::collections::BTreeMap;
+
+/// Schema identifier embedded in every report.
+pub const SCHEMA: &str = "augem.run-report/v1";
+
+/// One candidate in the tuner's final ranking (best first).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedCandidate {
+    pub tag: String,
+    pub mflops: f64,
+}
+
+/// One candidate the tuner could not evaluate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateFailure {
+    pub tag: String,
+    pub reason: String,
+}
+
+/// Search telemetry from one tuner invocation.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TunerTelemetry {
+    /// Candidates the generator enumerated.
+    pub generated: u64,
+    /// Candidates that built and simulated successfully.
+    pub built: u64,
+    /// Candidates dropped (failed build or simulation).
+    pub pruned: u64,
+    pub best_mflops: f64,
+    pub median_mflops: f64,
+    /// `best_mflops / median_mflops` — how much the search won over a
+    /// blind median pick (1.0 = tuning did not matter).
+    pub best_vs_median: f64,
+    /// Full ranking, best first.
+    pub ranking: Vec<RankedCandidate>,
+    /// Why each pruned candidate was dropped.
+    pub failures: Vec<CandidateFailure>,
+}
+
+impl TunerTelemetry {
+    /// Builds the summary stats from a ranking + failure list.
+    pub fn from_ranking(
+        ranking: Vec<RankedCandidate>,
+        failures: Vec<CandidateFailure>,
+        generated: u64,
+    ) -> Self {
+        let built = ranking.len() as u64;
+        let best = ranking.first().map(|r| r.mflops).unwrap_or(0.0);
+        let median = if ranking.is_empty() {
+            0.0
+        } else {
+            ranking[ranking.len() / 2].mflops
+        };
+        TunerTelemetry {
+            generated,
+            built,
+            pruned: generated.saturating_sub(built),
+            best_mflops: best,
+            median_mflops: median,
+            best_vs_median: if median > 0.0 { best / median } else { 0.0 },
+            ranking,
+            failures,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("generated", Json::uint(self.generated)),
+            ("built", Json::uint(self.built)),
+            ("pruned", Json::uint(self.pruned)),
+            ("best_mflops", Json::Num(self.best_mflops)),
+            ("median_mflops", Json::Num(self.median_mflops)),
+            ("best_vs_median", Json::Num(self.best_vs_median)),
+            (
+                "ranking",
+                Json::Arr(
+                    self.ranking
+                        .iter()
+                        .map(|r| {
+                            Json::obj(vec![
+                                ("tag", Json::str(r.tag.clone())),
+                                ("mflops", Json::Num(r.mflops)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "failures",
+                Json::Arr(
+                    self.failures
+                        .iter()
+                        .map(|f| {
+                            Json::obj(vec![
+                                ("tag", Json::str(f.tag.clone())),
+                                ("reason", Json::str(f.reason.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Option<Self> {
+        Some(TunerTelemetry {
+            generated: v.get("generated")?.as_u64()?,
+            built: v.get("built")?.as_u64()?,
+            pruned: v.get("pruned")?.as_u64()?,
+            best_mflops: v.get("best_mflops")?.as_f64()?,
+            median_mflops: v.get("median_mflops")?.as_f64()?,
+            best_vs_median: v.get("best_vs_median")?.as_f64()?,
+            ranking: v
+                .get("ranking")?
+                .as_arr()?
+                .iter()
+                .map(|r| {
+                    Some(RankedCandidate {
+                        tag: r.get("tag")?.as_str()?.to_string(),
+                        mflops: r.get("mflops")?.as_f64()?,
+                    })
+                })
+                .collect::<Option<Vec<_>>>()?,
+            failures: v
+                .get("failures")?
+                .as_arr()?
+                .iter()
+                .map(|f| {
+                    Some(CandidateFailure {
+                        tag: f.get("tag")?.as_str()?.to_string(),
+                        reason: f.get("reason")?.as_str()?.to_string(),
+                    })
+                })
+                .collect::<Option<Vec<_>>>()?,
+        })
+    }
+}
+
+/// Cycle and cache counters from the timing simulator (the winning
+/// candidate's steady-state measurement).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SimCounters {
+    pub cycles: u64,
+    pub dyn_insts: u64,
+    pub flops: u64,
+    pub mem_accesses: u64,
+    pub l1_hits: u64,
+    pub l1_misses: u64,
+    pub llc_misses: u64,
+    /// µops retired per execution port.
+    pub port_uops: Vec<u64>,
+}
+
+impl SimCounters {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("cycles", Json::uint(self.cycles)),
+            ("dyn_insts", Json::uint(self.dyn_insts)),
+            ("flops", Json::uint(self.flops)),
+            ("mem_accesses", Json::uint(self.mem_accesses)),
+            ("l1_hits", Json::uint(self.l1_hits)),
+            ("l1_misses", Json::uint(self.l1_misses)),
+            ("llc_misses", Json::uint(self.llc_misses)),
+            (
+                "port_uops",
+                Json::Arr(self.port_uops.iter().map(|&u| Json::uint(u)).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Option<Self> {
+        Some(SimCounters {
+            cycles: v.get("cycles")?.as_u64()?,
+            dyn_insts: v.get("dyn_insts")?.as_u64()?,
+            flops: v.get("flops")?.as_u64()?,
+            mem_accesses: v.get("mem_accesses")?.as_u64()?,
+            l1_hits: v.get("l1_hits")?.as_u64()?,
+            l1_misses: v.get("l1_misses")?.as_u64()?,
+            llc_misses: v.get("llc_misses")?.as_u64()?,
+            port_uops: v
+                .get("port_uops")?
+                .as_arr()?
+                .iter()
+                .map(Json::as_u64)
+                .collect::<Option<Vec<_>>>()?,
+        })
+    }
+}
+
+/// The complete machine-readable record of one traced pipeline run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunReport {
+    pub kernel: String,
+    pub machine: String,
+    /// Winning configuration tag.
+    pub config: String,
+    /// SIMD vectorization strategy the optimizer chose (Vdup / Shuf /
+    /// Scalar) for the winning configuration.
+    pub simd_strategy: String,
+    /// Steady-state useful Mflops of the winning configuration.
+    pub mflops: f64,
+    /// Aggregated wall time per pipeline stage (span name), first-seen
+    /// order.
+    pub stages: Vec<StageAgg>,
+    pub counters: BTreeMap<String, u64>,
+    pub highwater: BTreeMap<String, u64>,
+    pub labels: BTreeMap<String, String>,
+    pub tuner: Option<TunerTelemetry>,
+    pub sim: Option<SimCounters>,
+}
+
+impl RunReport {
+    /// Seeds a report from everything a [`crate::Collector`] gathered.
+    pub fn from_snapshot(snap: &Snapshot) -> Self {
+        RunReport {
+            stages: snap.stages(),
+            counters: snap.counters.clone(),
+            highwater: snap.hwm.clone(),
+            labels: snap.labels.clone(),
+            ..Default::default()
+        }
+    }
+
+    /// Wall time of a named stage, if it ran.
+    pub fn stage_wall_ns(&self, name: &str) -> Option<u64> {
+        self.stages
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.wall_ns)
+    }
+
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("schema", Json::str(SCHEMA)),
+            ("kernel", Json::str(self.kernel.clone())),
+            ("machine", Json::str(self.machine.clone())),
+            ("config", Json::str(self.config.clone())),
+            ("simd_strategy", Json::str(self.simd_strategy.clone())),
+            ("mflops", Json::Num(self.mflops)),
+            (
+                "stages",
+                Json::Arr(
+                    self.stages
+                        .iter()
+                        .map(|s| {
+                            Json::obj(vec![
+                                ("name", Json::str(s.name.clone())),
+                                ("calls", Json::uint(s.calls)),
+                                ("wall_ns", Json::uint(s.wall_ns)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("counters", Json::from_map(&self.counters)),
+            ("highwater", Json::from_map(&self.highwater)),
+            (
+                "labels",
+                Json::Obj(
+                    self.labels
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::str(v.clone())))
+                        .collect(),
+                ),
+            ),
+        ];
+        if let Some(t) = &self.tuner {
+            pairs.push(("tuner", t.to_json()));
+        }
+        if let Some(s) = &self.sim {
+            pairs.push(("sim", s.to_json()));
+        }
+        Json::obj(pairs)
+    }
+
+    /// Parses a report previously produced by [`to_json`].
+    ///
+    /// [`to_json`]: RunReport::to_json
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        if v.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+            return Err(format!("not a {SCHEMA} document"));
+        }
+        let str_field = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field `{key}`"))
+        };
+        let map_field = |key: &str| -> Result<BTreeMap<String, u64>, String> {
+            match v.get(key) {
+                Some(Json::Obj(pairs)) => pairs
+                    .iter()
+                    .map(|(k, val)| {
+                        val.as_u64()
+                            .map(|u| (k.clone(), u))
+                            .ok_or_else(|| format!("non-integer entry in `{key}`"))
+                    })
+                    .collect(),
+                _ => Err(format!("missing object field `{key}`")),
+            }
+        };
+        let stages = v
+            .get("stages")
+            .and_then(Json::as_arr)
+            .ok_or("missing `stages` array")?
+            .iter()
+            .map(|s| {
+                Some(StageAgg {
+                    name: s.get("name")?.as_str()?.to_string(),
+                    calls: s.get("calls")?.as_u64()?,
+                    wall_ns: s.get("wall_ns")?.as_u64()?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()
+            .ok_or("malformed stage entry")?;
+        let labels = match v.get("labels") {
+            Some(Json::Obj(pairs)) => pairs
+                .iter()
+                .map(|(k, val)| {
+                    val.as_str()
+                        .map(|s| (k.clone(), s.to_string()))
+                        .ok_or_else(|| "non-string label".to_string())
+                })
+                .collect::<Result<BTreeMap<_, _>, _>>()?,
+            _ => return Err("missing `labels` object".into()),
+        };
+        Ok(RunReport {
+            kernel: str_field("kernel")?,
+            machine: str_field("machine")?,
+            config: str_field("config")?,
+            simd_strategy: str_field("simd_strategy")?,
+            mflops: v
+                .get("mflops")
+                .and_then(Json::as_f64)
+                .ok_or("missing `mflops`")?,
+            stages,
+            counters: map_field("counters")?,
+            highwater: map_field("highwater")?,
+            labels,
+            tuner: v.get("tuner").and_then(TunerTelemetry::from_json),
+            sim: v.get("sim").and_then(SimCounters::from_json),
+        })
+    }
+
+    /// Human-readable rendering (the `--trace` sink).
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "run report: {} on {} — {:.0} Mflops",
+            self.kernel, self.machine, self.mflops
+        );
+        let _ = writeln!(out, "  winning config: {}", self.config);
+        let _ = writeln!(out, "  simd strategy:  {}", self.simd_strategy);
+        if !self.stages.is_empty() {
+            let _ = writeln!(out, "  stages (aggregated wall time):");
+            for s in &self.stages {
+                let _ = writeln!(
+                    out,
+                    "    {:<24} {:>6} call{} {:>12}",
+                    s.name,
+                    s.calls,
+                    if s.calls == 1 { " " } else { "s" },
+                    format_ns(s.wall_ns),
+                );
+            }
+        }
+        if let Some(t) = &self.tuner {
+            let _ = writeln!(
+                out,
+                "  tuner: {} generated, {} built, {} pruned; best {:.0} / median {:.0} Mflops ({:.2}x)",
+                t.generated, t.built, t.pruned, t.best_mflops, t.median_mflops, t.best_vs_median
+            );
+            for (i, r) in t.ranking.iter().take(5).enumerate() {
+                let _ = writeln!(
+                    out,
+                    "    #{:<2} {:>10.0} Mflops  {}",
+                    i + 1,
+                    r.mflops,
+                    r.tag
+                );
+            }
+            if t.ranking.len() > 5 {
+                let _ = writeln!(out, "    ... {} more", t.ranking.len() - 5);
+            }
+            for f in t.failures.iter().take(3) {
+                let _ = writeln!(out, "    pruned: {} ({})", f.tag, f.reason);
+            }
+        }
+        if let Some(s) = &self.sim {
+            let _ =
+                writeln!(
+                out,
+                "  sim: {} cycles, {} insts, {} flops; mem {} (L1 {} hit / {} miss, LLC {} miss)",
+                s.cycles, s.dyn_insts, s.flops, s.mem_accesses, s.l1_hits, s.l1_misses, s.llc_misses
+            );
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "  counters:");
+            for (k, v) in &self.counters {
+                let _ = writeln!(out, "    {k:<40} {v:>12}");
+            }
+        }
+        if !self.highwater.is_empty() {
+            let _ = writeln!(out, "  high-water marks:");
+            for (k, v) in &self.highwater {
+                let _ = writeln!(out, "    {k:<40} {v:>12}");
+            }
+        }
+        out
+    }
+}
+
+fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> RunReport {
+        RunReport {
+            kernel: "dgemm".into(),
+            machine: "SNB".into(),
+            config: "8x4x1 Vdup Auto pf=64 sched=true".into(),
+            simd_strategy: "Vdup".into(),
+            mflops: 12345.5,
+            stages: vec![
+                StageAgg {
+                    name: "cgen".into(),
+                    calls: 64,
+                    wall_ns: 1_234_567,
+                },
+                StageAgg {
+                    name: "identify".into(),
+                    calls: 64,
+                    wall_ns: 234_567,
+                },
+            ],
+            counters: [("ir.stmts.before".to_string(), 9u64)]
+                .into_iter()
+                .collect(),
+            highwater: [("regs.vec".to_string(), 14u64)].into_iter().collect(),
+            labels: [("opt.simd_strategy".to_string(), "Vdup".to_string())]
+                .into_iter()
+                .collect(),
+            tuner: Some(TunerTelemetry::from_ranking(
+                vec![
+                    RankedCandidate {
+                        tag: "8x4".into(),
+                        mflops: 12345.5,
+                    },
+                    RankedCandidate {
+                        tag: "4x4".into(),
+                        mflops: 8000.0,
+                    },
+                ],
+                vec![CandidateFailure {
+                    tag: "12x2".into(),
+                    reason: "register allocation failed".into(),
+                }],
+                3,
+            )),
+            sim: Some(SimCounters {
+                cycles: 5000,
+                dyn_insts: 4000,
+                flops: 65536,
+                mem_accesses: 1000,
+                l1_hits: 990,
+                l1_misses: 10,
+                llc_misses: 2,
+                port_uops: vec![100, 200, 300],
+            }),
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let r = sample_report();
+        let text = r.to_json().render_pretty();
+        let back = RunReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn schema_is_validated() {
+        let mut j = sample_report().to_json();
+        if let Json::Obj(pairs) = &mut j {
+            pairs[0].1 = Json::str("something-else/v9");
+        }
+        assert!(RunReport::from_json(&j).is_err());
+    }
+
+    #[test]
+    fn telemetry_summary_math() {
+        let t = TunerTelemetry::from_ranking(
+            vec![
+                RankedCandidate {
+                    tag: "a".into(),
+                    mflops: 100.0,
+                },
+                RankedCandidate {
+                    tag: "b".into(),
+                    mflops: 80.0,
+                },
+                RankedCandidate {
+                    tag: "c".into(),
+                    mflops: 50.0,
+                },
+            ],
+            vec![],
+            5,
+        );
+        assert_eq!(t.built, 3);
+        assert_eq!(t.pruned, 2);
+        assert_eq!(t.best_mflops, 100.0);
+        assert_eq!(t.median_mflops, 80.0);
+        assert!((t.best_vs_median - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn text_rendering_mentions_key_facts() {
+        let text = sample_report().render_text();
+        assert!(text.contains("dgemm"), "{text}");
+        assert!(text.contains("Vdup"), "{text}");
+        assert!(text.contains("cgen"), "{text}");
+        assert!(text.contains("tuner"), "{text}");
+        assert!(text.contains("cycles"), "{text}");
+    }
+
+    #[test]
+    fn stage_lookup() {
+        let r = sample_report();
+        assert_eq!(r.stage_wall_ns("cgen"), Some(1_234_567));
+        assert_eq!(r.stage_wall_ns("missing"), None);
+    }
+}

@@ -120,11 +120,34 @@ pub fn generate(
     machine: &MachineSpec,
     opts: &CodegenOptions,
 ) -> Result<AsmKernel, CodegenError> {
+    generate_traced(kernel, machine, opts, augem_obs::null())
+}
+
+/// [`generate`] under an `akg` span. Records the SIMD strategy the plan
+/// chose (`opt.simd_strategy` label), register-pressure high-water marks
+/// (`regs.vec` / `regs.gp` gauges) and the emitted instruction count
+/// (`akg.insts`).
+pub fn generate_traced(
+    kernel: &Kernel,
+    machine: &MachineSpec,
+    opts: &CodegenOptions,
+    tracer: &dyn augem_obs::Tracer,
+) -> Result<AsmKernel, CodegenError> {
+    let _stage = augem_obs::span(tracer, augem_obs::stage::AKG);
     let plan_opts = PlanOptions {
         strategy: opts.strategy,
         fma: opts.fma,
     };
     let plan = plan::build(kernel, machine, &plan_opts);
+    // The strategy the vectorizer actually used: the first vectorized
+    // region's choice, or Scalar if nothing vectorized.
+    let chosen = plan
+        .strategies
+        .iter()
+        .find(|s| !matches!(s, VecStrategy::Scalar))
+        .copied()
+        .unwrap_or(VecStrategy::Scalar);
+    tracer.label("opt.simd_strategy", &format!("{chosen:?}"));
     let liveness = Liveness::analyze(kernel);
 
     // Pre-bind parameters: f64 params reserve low vector registers.
@@ -192,11 +215,15 @@ pub fn generate(
     cg.walk(&kernel.body)?;
     cg.push(XInst::Ret);
 
+    tracer.hwm("regs.vec", cg.alloc.vec_high_water() as u64);
+    tracer.hwm("regs.gp", cg.alloc.gp_high_water() as u64);
     let stack_slots = cg.next_slot;
     let mut insts = cg.out;
     if opts.schedule {
+        let _s = augem_obs::span(tracer, "akg.sched");
         insts = sched::schedule(insts, machine);
     }
+    tracer.add("akg.insts", insts.len() as u64);
 
     let asm = AsmKernel {
         name: kernel.name.clone(),
@@ -612,7 +639,10 @@ impl<'a> Codegen<'a> {
                         self.alloc.bind(synth, Binding::Gp(reg));
                     } else {
                         let copy = self.get_gp()?;
-                        self.push(XInst::IMov { dst: copy, src: reg });
+                        self.push(XInst::IMov {
+                            dst: copy,
+                            src: reg,
+                        });
                         self.alloc.bind(synth, Binding::Gp(copy));
                     }
                     BoundHandle::Synth(synth)
@@ -850,14 +880,32 @@ impl<'a> Codegen<'a> {
             let other = if x == a { rb } else { ra };
             let inst = if avx {
                 match op {
-                    BinOp::Add => XInst::FAdd3 { dst: rx, a: rx, b: other, w },
-                    BinOp::Mul => XInst::FMul3 { dst: rx, a: rx, b: other, w },
+                    BinOp::Add => XInst::FAdd3 {
+                        dst: rx,
+                        a: rx,
+                        b: other,
+                        w,
+                    },
+                    BinOp::Mul => XInst::FMul3 {
+                        dst: rx,
+                        a: rx,
+                        b: other,
+                        w,
+                    },
                     _ => unreachable!(),
                 }
             } else {
                 match op {
-                    BinOp::Add => XInst::FAdd2 { dstsrc: rx, src: other, w },
-                    BinOp::Mul => XInst::FMul2 { dstsrc: rx, src: other, w },
+                    BinOp::Add => XInst::FAdd2 {
+                        dstsrc: rx,
+                        src: other,
+                        w,
+                    },
+                    BinOp::Mul => XInst::FMul2 {
+                        dstsrc: rx,
+                        src: other,
+                        w,
+                    },
                     _ => unreachable!(),
                 }
             };
@@ -879,16 +927,38 @@ impl<'a> Codegen<'a> {
         };
         if avx {
             let inst = match op {
-                BinOp::Add => XInst::FAdd3 { dst: rx, a: ra, b: rb, w },
-                BinOp::Mul => XInst::FMul3 { dst: rx, a: ra, b: rb, w },
+                BinOp::Add => XInst::FAdd3 {
+                    dst: rx,
+                    a: ra,
+                    b: rb,
+                    w,
+                },
+                BinOp::Mul => XInst::FMul3 {
+                    dst: rx,
+                    a: ra,
+                    b: rb,
+                    w,
+                },
                 _ => unreachable!(),
             };
             self.push(inst);
         } else {
-            self.push(XInst::FMov { dst: rx, src: ra, w });
+            self.push(XInst::FMov {
+                dst: rx,
+                src: ra,
+                w,
+            });
             let inst = match op {
-                BinOp::Add => XInst::FAdd2 { dstsrc: rx, src: rb, w },
-                BinOp::Mul => XInst::FMul2 { dstsrc: rx, src: rb, w },
+                BinOp::Add => XInst::FAdd2 {
+                    dstsrc: rx,
+                    src: rb,
+                    w,
+                },
+                BinOp::Mul => XInst::FMul2 {
+                    dstsrc: rx,
+                    src: rb,
+                    w,
+                },
                 _ => unreachable!(),
             };
             self.push(inst);

@@ -67,6 +67,14 @@ pub struct RegAllocator {
     table: HashMap<Sym, Binding>,
     /// Class names for error messages.
     class_names: HashMap<Option<Sym>, String>,
+    /// Vector registers currently checked out of the queues.
+    vec_in_use: usize,
+    /// Most vector registers ever simultaneously checked out — the
+    /// kernel's register-pressure high-water mark.
+    vec_hwm: usize,
+    /// Allocatable GP registers at construction (for the GP mark).
+    gp_total: usize,
+    gp_hwm: usize,
 }
 
 impl RegAllocator {
@@ -116,6 +124,7 @@ impl RegAllocator {
         class_names.insert(None, "<temp>".to_string());
 
         let gp_free: VecDeque<GpReg> = GpReg::allocatable().iter().copied().collect();
+        let gp_total = gp_free.len();
 
         RegAllocator {
             vec_queues,
@@ -123,7 +132,25 @@ impl RegAllocator {
             gp_free,
             table: HashMap::new(),
             class_names,
+            vec_in_use: 0,
+            vec_hwm: 0,
+            gp_total,
+            gp_hwm: 0,
         }
+    }
+
+    /// Most vector registers ever simultaneously in use.
+    pub fn vec_high_water(&self) -> usize {
+        self.vec_hwm
+    }
+
+    /// Most GP registers ever simultaneously in use.
+    pub fn gp_high_water(&self) -> usize {
+        self.gp_hwm
+    }
+
+    fn note_gp_pressure(&mut self) {
+        self.gp_hwm = self.gp_hwm.max(self.gp_total - self.gp_free.len());
     }
 
     /// Allocates a vector register from `class`'s queue; falls back to the
@@ -143,6 +170,8 @@ impl RegAllocator {
             if let Some(q) = self.vec_queues.get_mut(&c) {
                 if let Some(r) = q.pop_front() {
                     self.vec_class_of.insert(r, c);
+                    self.vec_in_use += 1;
+                    self.vec_hwm = self.vec_hwm.max(self.vec_in_use);
                     return Ok(r);
                 }
             }
@@ -157,18 +186,25 @@ impl RegAllocator {
 
     /// Allocates a general-purpose register.
     pub fn alloc_gp(&mut self) -> Result<GpReg, AllocError> {
-        self.gp_free.pop_front().ok_or(AllocError::OutOfGpRegs)
+        let r = self.gp_free.pop_front().ok_or(AllocError::OutOfGpRegs);
+        self.note_gp_pressure();
+        r
     }
 
     /// Removes a specific GP register from the free list (parameter
     /// pre-binding). No-op if already taken.
     pub fn claim_gp(&mut self, r: GpReg) {
         self.gp_free.retain(|&x| x != r);
+        self.note_gp_pressure();
     }
 
     /// Returns a vector register to the queue it came from.
     pub fn free_vec(&mut self, r: VecReg) {
+        let tracked = self.vec_class_of.contains_key(&r);
         let class = self.vec_class_of.remove(&r).unwrap_or(None);
+        if tracked {
+            self.vec_in_use = self.vec_in_use.saturating_sub(1);
+        }
         if let Some(q) = self.vec_queues.get_mut(&class) {
             if !q.contains(&r) {
                 q.push_back(r);

@@ -47,8 +47,7 @@ impl<'a> Codegen<'a> {
         self.ensure_sym(res)?;
         if self.alloc.lookup(res).is_none() {
             let r = self.alloc.alloc_vec(None)?;
-            self.alloc
-                .bind(res, crate::binding::Binding::ScalarVec(r));
+            self.alloc.bind(res, crate::binding::Binding::ScalarVec(r));
         }
         let res_reg = self.scalar_reg(res)?;
 
@@ -166,13 +165,7 @@ impl<'a> Codegen<'a> {
                 if t.diag {
                     for k in 0..t.n1 {
                         let res = t.res[k];
-                        self.emit_scalar_rep(
-                            t.a,
-                            t.idx1 + k as i64,
-                            t.b,
-                            t.idx2 + k as i64,
-                            res,
-                        )?;
+                        self.emit_scalar_rep(t.a, t.idx1 + k as i64, t.b, t.idx2 + k as i64, res)?;
                     }
                 } else {
                     for b_off in 0..t.n2 {
@@ -194,14 +187,22 @@ impl<'a> Codegen<'a> {
                 // Reduction groups: Vld-Vld-Vmul-Vadd per chunk.
                 let accs = self.acc_regs(t.res[0])?;
                 let chunks = t.n1 / w;
-                for c in 0..chunks {
+                for (c, &acc) in accs.iter().enumerate().take(chunks) {
                     let ra = self.alloc.alloc_vec(ca)?;
                     let rb = self.alloc.alloc_vec(cb)?;
                     let ma = self.mem_operand(t.a, &Expr::Int(t.idx1 + (c * w) as i64))?;
                     let mb = self.mem_operand(t.b, &Expr::Int(t.idx2 + (c * w) as i64))?;
-                    self.push(XInst::FLoad { dst: ra, mem: ma, w: pw });
-                    self.push(XInst::FLoad { dst: rb, mem: mb, w: pw });
-                    mul_add(self, ra, rb, accs[c], pw)?;
+                    self.push(XInst::FLoad {
+                        dst: ra,
+                        mem: ma,
+                        w: pw,
+                    });
+                    self.push(XInst::FLoad {
+                        dst: rb,
+                        mem: mb,
+                        w: pw,
+                    });
+                    mul_add(self, ra, rb, acc, pw)?;
                     self.alloc.free_vec(ra);
                     self.alloc.free_vec(rb);
                 }
@@ -221,13 +222,20 @@ impl<'a> Codegen<'a> {
                     for c in 0..chunks {
                         let ra = self.alloc.alloc_vec(ca)?;
                         let ma = self.mem_operand(t.a, &Expr::Int(t.idx1 + (c * w) as i64))?;
-                        self.push(XInst::FLoad { dst: ra, mem: ma, w: pw });
+                        self.push(XInst::FLoad {
+                            dst: ra,
+                            mem: ma,
+                            w: pw,
+                        });
                         for b_off in 0..t.n2 {
                             let d = self.alloc.alloc_vec(cb)?;
-                            let mb =
-                                self.mem_operand(t.b, &Expr::Int(t.idx2 + b_off as i64))?;
+                            let mb = self.mem_operand(t.b, &Expr::Int(t.idx2 + b_off as i64))?;
                             self.push_all(isel::sel_dup(mb, d, pw));
-                            self.push(XInst::FMul2 { dstsrc: d, src: ra, w: pw });
+                            self.push(XInst::FMul2 {
+                                dstsrc: d,
+                                src: ra,
+                                w: pw,
+                            });
                             self.push(XInst::FAdd2 {
                                 dstsrc: accs[b_off * chunks + c],
                                 src: d,
@@ -249,7 +257,11 @@ impl<'a> Codegen<'a> {
                 for c in 0..chunks {
                     let ra = self.alloc.alloc_vec(ca)?;
                     let ma = self.mem_operand(t.a, &Expr::Int(t.idx1 + (c * w) as i64))?;
-                    self.push(XInst::FLoad { dst: ra, mem: ma, w: pw });
+                    self.push(XInst::FLoad {
+                        dst: ra,
+                        mem: ma,
+                        w: pw,
+                    });
                     for (b_off, &d) in dups.iter().enumerate() {
                         mul_add(self, ra, d, accs[b_off * chunks + c], pw)?;
                     }
@@ -267,14 +279,22 @@ impl<'a> Codegen<'a> {
                 let rb = self.alloc.alloc_vec(cb)?;
                 let ma = self.mem_operand(t.a, &Expr::Int(t.idx1))?;
                 let mb = self.mem_operand(t.b, &Expr::Int(t.idx2))?;
-                self.push(XInst::FLoad { dst: ra, mem: ma, w: pw });
-                self.push(XInst::FLoad { dst: rb, mem: mb, w: pw });
+                self.push(XInst::FLoad {
+                    dst: ra,
+                    mem: ma,
+                    w: pw,
+                });
+                self.push(XInst::FLoad {
+                    dst: rb,
+                    mem: mb,
+                    w: pw,
+                });
                 mul_add(self, ra, rb, accs[0], pw)?;
-                for k in 1..w {
+                for (k, &acc) in accs.iter().enumerate().take(w).skip(1) {
                     let sh = self.alloc.alloc_vec(cb)?;
                     let seq = isel::sel_shuf_xor(k as u8, rb, sh, pw, &self.isa);
                     self.push_all(seq);
-                    mul_add(self, ra, sh, accs[k], pw)?;
+                    mul_add(self, ra, sh, acc, pw)?;
                     self.alloc.free_vec(sh);
                 }
                 self.alloc.free_vec(ra);
@@ -295,8 +315,7 @@ impl<'a> Codegen<'a> {
         self.ensure_sym(res)?;
         if self.alloc.lookup(res).is_none() {
             let r = self.alloc.alloc_vec(None)?;
-            self.alloc
-                .bind(res, crate::binding::Binding::ScalarVec(r));
+            self.alloc.bind(res, crate::binding::Binding::ScalarVec(r));
         }
         let res_reg = self.scalar_reg(res)?;
         let ca = Some(self.kernel.origin_of(a));
@@ -305,8 +324,16 @@ impl<'a> Codegen<'a> {
         let t1 = self.alloc.alloc_vec(cb)?;
         let ma = self.mem_operand(a, &Expr::Int(idx1))?;
         let mb = self.mem_operand(b, &Expr::Int(idx2))?;
-        self.push(XInst::FLoad { dst: t0, mem: ma, w: Width::S });
-        self.push(XInst::FLoad { dst: t1, mem: mb, w: Width::S });
+        self.push(XInst::FLoad {
+            dst: t0,
+            mem: ma,
+            w: Width::S,
+        });
+        self.push(XInst::FLoad {
+            dst: t1,
+            mem: mb,
+            w: Width::S,
+        });
         mul_add(self, t0, t1, res_reg, Width::S)?;
         self.alloc.free_vec(t0);
         self.alloc.free_vec(t1);
@@ -345,7 +372,10 @@ impl<'a> Codegen<'a> {
                     }
                 }
                 let direct = sources.iter().all(|(r, _)| *r == sources[0].0)
-                    && sources.iter().enumerate().all(|(i, (_, l))| *l as usize == i);
+                    && sources
+                        .iter()
+                        .enumerate()
+                        .all(|(i, (_, l))| *l as usize == i);
                 let (src, temp) = if direct {
                     (sources[0].0, None)
                 } else {
@@ -354,10 +384,18 @@ impl<'a> Codegen<'a> {
                 };
                 let mc = self.mem_operand(t.c, &Expr::Int(t.idx + (chunk * w) as i64))?;
                 let rc = self.alloc.alloc_vec(cls)?;
-                self.push(XInst::FLoad { dst: rc, mem: mc, w: pw });
+                self.push(XInst::FLoad {
+                    dst: rc,
+                    mem: mc,
+                    w: pw,
+                });
                 // res += C tile, then store (Figure 10(b)).
                 self.push_all(isel::sel_add(rc, src, src, pw, &self.isa));
-                self.push(XInst::FStore { src, mem: mc, w: pw });
+                self.push(XInst::FStore {
+                    src,
+                    mem: mc,
+                    w: pw,
+                });
                 self.alloc.free_vec(rc);
                 if let Some(u) = temp {
                     self.alloc.free_vec(u);
@@ -371,9 +409,17 @@ impl<'a> Codegen<'a> {
             let res_reg = self.scalar_reg(res)?;
             let mem = self.mem_operand(t.c, &Expr::Int(t.idx + k as i64))?;
             let t0 = self.alloc.alloc_vec(cls)?;
-            self.push(XInst::FLoad { dst: t0, mem, w: Width::S });
+            self.push(XInst::FLoad {
+                dst: t0,
+                mem,
+                w: Width::S,
+            });
             self.push_all(isel::sel_add(t0, res_reg, res_reg, Width::S, &self.isa));
-            self.push(XInst::FStore { src: res_reg, mem, w: Width::S });
+            self.push(XInst::FStore {
+                src: res_reg,
+                mem,
+                w: Width::S,
+            });
             self.alloc.free_vec(t0);
         }
         Ok(())
@@ -417,7 +463,11 @@ impl<'a> Codegen<'a> {
             4 => {
                 // Shuf-method pattern: lane i of the output comes from
                 // lane i of sources[i].
-                if !sources.iter().enumerate().all(|(i, (_, l))| *l as usize == i) {
+                if !sources
+                    .iter()
+                    .enumerate()
+                    .all(|(i, (_, l))| *l as usize == i)
+                {
                     return Err(CodegenError::Unsupported(
                         "general 4-lane gather not needed by any strategy".into(),
                     ));
@@ -470,23 +520,35 @@ impl<'a> Codegen<'a> {
         self.emit_sv_scalar_rep(y, &idx, scal)
     }
 
-    fn emit_sv_scalar_rep(
-        &mut self,
-        y: Sym,
-        idx: &Expr,
-        scal: Sym,
-    ) -> Result<(), CodegenError> {
+    fn emit_sv_scalar_rep(&mut self, y: Sym, idx: &Expr, scal: Sym) -> Result<(), CodegenError> {
         let scal_reg = self.scalar_reg(scal)?;
         let mem = self.mem_operand(y, idx)?;
         let cy = Some(self.kernel.origin_of(y));
         let t0 = self.alloc.alloc_vec(cy)?;
-        self.push(XInst::FLoad { dst: t0, mem, w: Width::S });
+        self.push(XInst::FLoad {
+            dst: t0,
+            mem,
+            w: Width::S,
+        });
         if self.isa.has(IsaFeature::Avx) {
-            self.push(XInst::FMul3 { dst: t0, a: t0, b: scal_reg, w: Width::S });
+            self.push(XInst::FMul3 {
+                dst: t0,
+                a: t0,
+                b: scal_reg,
+                w: Width::S,
+            });
         } else {
-            self.push(XInst::FMul2 { dstsrc: t0, src: scal_reg, w: Width::S });
+            self.push(XInst::FMul2 {
+                dstsrc: t0,
+                src: scal_reg,
+                w: Width::S,
+            });
         }
-        self.push(XInst::FStore { src: t0, mem, w: Width::S });
+        self.push(XInst::FStore {
+            src: t0,
+            mem,
+            w: Width::S,
+        });
         self.alloc.free_vec(t0);
         Ok(())
     }
@@ -521,13 +583,30 @@ impl<'a> Codegen<'a> {
         for chunk in 0..t.n / w {
             let ry = self.alloc.alloc_vec(cy)?;
             let mem = self.mem_operand(t.y, &Expr::Int(t.idx + (chunk * w) as i64))?;
-            self.push(XInst::FLoad { dst: ry, mem, w: pw });
+            self.push(XInst::FLoad {
+                dst: ry,
+                mem,
+                w: pw,
+            });
             if self.isa.has(IsaFeature::Avx) {
-                self.push(XInst::FMul3 { dst: ry, a: ry, b: scal_reg, w: pw });
+                self.push(XInst::FMul3 {
+                    dst: ry,
+                    a: ry,
+                    b: scal_reg,
+                    w: pw,
+                });
             } else {
-                self.push(XInst::FMul2 { dstsrc: ry, src: scal_reg, w: pw });
+                self.push(XInst::FMul2 {
+                    dstsrc: ry,
+                    src: scal_reg,
+                    w: pw,
+                });
             }
-            self.push(XInst::FStore { src: ry, mem, w: pw });
+            self.push(XInst::FStore {
+                src: ry,
+                mem,
+                w: pw,
+            });
             self.alloc.free_vec(ry);
         }
         Ok(())
@@ -582,10 +661,22 @@ impl<'a> Codegen<'a> {
             let rb = self.alloc.alloc_vec(cb)?;
             let ma = self.mem_operand(t.a, &Expr::Int(t.idx1 + (chunk * w) as i64))?;
             let mb = self.mem_operand(t.b, &Expr::Int(t.idx2 + (chunk * w) as i64))?;
-            self.push(XInst::FLoad { dst: ra, mem: ma, w: pw });
-            self.push(XInst::FLoad { dst: rb, mem: mb, w: pw });
+            self.push(XInst::FLoad {
+                dst: ra,
+                mem: ma,
+                w: pw,
+            });
+            self.push(XInst::FLoad {
+                dst: rb,
+                mem: mb,
+                w: pw,
+            });
             mul_add(self, ra, scal_reg, rb, pw)?;
-            self.push(XInst::FStore { src: rb, mem: mb, w: pw });
+            self.push(XInst::FStore {
+                src: rb,
+                mem: mb,
+                w: pw,
+            });
             self.alloc.free_vec(ra);
             self.alloc.free_vec(rb);
         }

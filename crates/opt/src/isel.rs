@@ -97,15 +97,37 @@ pub fn sel_mul_add(
             if isa.has(IsaFeature::Avx) {
                 // Mul r0,r1,r2 ; Add r2,r3,r3
                 vec![
-                    XInst::FMul3 { dst: r2, a: r0, b: r1, w },
-                    XInst::FAdd3 { dst: r3, a: r2, b: r3, w },
+                    XInst::FMul3 {
+                        dst: r2,
+                        a: r0,
+                        b: r1,
+                        w,
+                    },
+                    XInst::FAdd3 {
+                        dst: r3,
+                        a: r2,
+                        b: r3,
+                        w,
+                    },
                 ]
             } else {
                 // Mov r1,r2 ; Mul r0,r2 ; Add r2,r3
                 vec![
-                    XInst::FMov { dst: r2, src: r1, w },
-                    XInst::FMul2 { dstsrc: r2, src: r0, w },
-                    XInst::FAdd2 { dstsrc: r3, src: r2, w },
+                    XInst::FMov {
+                        dst: r2,
+                        src: r1,
+                        w,
+                    },
+                    XInst::FMul2 {
+                        dstsrc: r2,
+                        src: r0,
+                        w,
+                    },
+                    XInst::FAdd2 {
+                        dstsrc: r3,
+                        src: r2,
+                        w,
+                    },
                 ]
             }
         }
@@ -118,43 +140,69 @@ pub fn sel_mul_add(
 /// (`res = res + t0`).
 pub fn sel_add(r1: VecReg, r2: VecReg, r3: VecReg, w: Width, isa: &IsaSet) -> Vec<XInst> {
     if isa.has(IsaFeature::Avx) {
-        vec![XInst::FAdd3 { dst: r3, a: r1, b: r2, w }]
+        vec![XInst::FAdd3 {
+            dst: r3,
+            a: r1,
+            b: r2,
+            w,
+        }]
     } else {
         assert_eq!(
             r2, r3,
             "SSE two-operand add requires the destination to alias a source"
         );
-        vec![XInst::FAdd2 { dstsrc: r3, src: r1, w }]
+        vec![XInst::FAdd2 {
+            dstsrc: r3,
+            src: r1,
+            w,
+        }]
     }
 }
 
 /// `Shuf imm,r1,r2` (Table 4 line 2): `r2 = shuffle(r1)` by an XOR-lane
 /// mask. Masks: 1 = swap within 128-bit pairs, 2 = swap halves (AVX only),
 /// 3 = both.
-pub fn sel_shuf_xor(
-    mask: u8,
-    src: VecReg,
-    dst: VecReg,
-    w: Width,
-    isa: &IsaSet,
-) -> Vec<XInst> {
+pub fn sel_shuf_xor(mask: u8, src: VecReg, dst: VecReg, w: Width, isa: &IsaSet) -> Vec<XInst> {
     match (w, mask) {
         (Width::V2, 1) => {
             if isa.has(IsaFeature::Avx) {
-                vec![XInst::Shuf3 { dst, a: src, b: src, imm: 0b01, w }]
+                vec![XInst::Shuf3 {
+                    dst,
+                    a: src,
+                    b: src,
+                    imm: 0b01,
+                    w,
+                }]
             } else {
                 // SSE shufpd is destructive: copy then shuffle.
                 vec![
                     XInst::FMov { dst, src, w },
-                    XInst::Shuf2 { dstsrc: dst, src, imm: 0b01, w },
+                    XInst::Shuf2 {
+                        dstsrc: dst,
+                        src,
+                        imm: 0b01,
+                        w,
+                    },
                 ]
             }
         }
-        (Width::V4, 1) => vec![XInst::Shuf3 { dst, a: src, b: src, imm: 0b0101, w }],
+        (Width::V4, 1) => vec![XInst::Shuf3 {
+            dst,
+            a: src,
+            b: src,
+            imm: 0b0101,
+            w,
+        }],
         (Width::V4, 2) => vec![XInst::SwapHalves { dst, src }],
         (Width::V4, 3) => vec![
             XInst::SwapHalves { dst, src },
-            XInst::Shuf3 { dst, a: dst, b: dst, imm: 0b0101, w },
+            XInst::Shuf3 {
+                dst,
+                a: dst,
+                b: dst,
+                imm: 0b0101,
+                w,
+            },
         ],
         _ => panic!("unsupported shuffle mask {mask} for width {w:?}"),
     }
@@ -188,9 +236,21 @@ mod tests {
         assert_eq!(
             seq,
             vec![
-                XInst::FMov { dst: r2, src: r1, w: Width::V2 },
-                XInst::FMul2 { dstsrc: r2, src: r0, w: Width::V2 },
-                XInst::FAdd2 { dstsrc: r3, src: r2, w: Width::V2 },
+                XInst::FMov {
+                    dst: r2,
+                    src: r1,
+                    w: Width::V2
+                },
+                XInst::FMul2 {
+                    dstsrc: r2,
+                    src: r0,
+                    w: Width::V2
+                },
+                XInst::FAdd2 {
+                    dstsrc: r3,
+                    src: r2,
+                    w: Width::V2
+                },
             ]
         );
     }
@@ -202,8 +262,18 @@ mod tests {
         assert_eq!(
             seq,
             vec![
-                XInst::FMul3 { dst: r2, a: r0, b: r1, w: Width::V4 },
-                XInst::FAdd3 { dst: r3, a: r2, b: r3, w: Width::V4 },
+                XInst::FMul3 {
+                    dst: r2,
+                    a: r0,
+                    b: r1,
+                    w: Width::V4
+                },
+                XInst::FAdd3 {
+                    dst: r3,
+                    a: r2,
+                    b: r3,
+                    w: Width::V4
+                },
             ]
         );
     }
@@ -214,7 +284,12 @@ mod tests {
         let seq = sel_mul_add(r0, r1, r3, None, Width::V4, &piledriver(), FmaPolicy::Auto);
         assert_eq!(
             seq,
-            vec![XInst::Fma3 { acc: r3, a: r0, b: r1, w: Width::V4 }]
+            vec![XInst::Fma3 {
+                acc: r3,
+                a: r0,
+                b: r1,
+                w: Width::V4
+            }]
         );
     }
 
@@ -232,7 +307,13 @@ mod tests {
         );
         assert_eq!(
             seq,
-            vec![XInst::Fma4 { dst: r3, a: r0, b: r1, c: r3, w: Width::V4 }]
+            vec![XInst::Fma4 {
+                dst: r3,
+                a: r0,
+                b: r1,
+                c: r3,
+                w: Width::V4
+            }]
         );
     }
 
@@ -257,7 +338,14 @@ mod tests {
     fn table2_sse_add_is_two_operand() {
         let (_r0, r1, _r2, r3) = regs();
         let seq = sel_add(r1, r3, r3, Width::V2, &sse());
-        assert_eq!(seq, vec![XInst::FAdd2 { dstsrc: r3, src: r1, w: Width::V2 }]);
+        assert_eq!(
+            seq,
+            vec![XInst::FAdd2 {
+                dstsrc: r3,
+                src: r1,
+                w: Width::V2
+            }]
+        );
     }
 
     #[test]
@@ -266,7 +354,12 @@ mod tests {
         let seq = sel_add(r1, r2, r3, Width::V4, &avx());
         assert_eq!(
             seq,
-            vec![XInst::FAdd3 { dst: r3, a: r1, b: r2, w: Width::V4 }]
+            vec![XInst::FAdd3 {
+                dst: r3,
+                a: r1,
+                b: r2,
+                w: Width::V4
+            }]
         );
     }
 
@@ -277,7 +370,11 @@ mod tests {
         let m = Mem::elem(GpReg(5), 0);
         assert_eq!(
             sel_dup(m, VecReg(1), Width::V4),
-            vec![XInst::FDup { dst: VecReg(1), mem: m, w: Width::V4 }]
+            vec![XInst::FDup {
+                dst: VecReg(1),
+                mem: m,
+                w: Width::V4
+            }]
         );
     }
 

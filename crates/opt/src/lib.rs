@@ -33,7 +33,7 @@ pub mod isel;
 pub mod plan;
 pub mod sched;
 
-pub use akg::{generate, CodegenError, CodegenOptions};
+pub use akg::{generate, generate_traced, CodegenError, CodegenOptions};
 pub use binding::{Binding, RegAllocator};
 pub use isel::FmaPolicy;
 pub use plan::{StrategyPref, VecStrategy};

@@ -97,15 +97,14 @@ pub fn build(kernel: &Kernel, machine: &MachineSpec, opts: &PlanOptions) -> Plan
         let kind = TemplateKind::from_name(&annot.template);
         match kind {
             Some(TemplateKind::MmUnrolledComp) => {
-                let t = MmUnrolledComp::from_annot(annot)
-                    .expect("malformed mmUnrolledCOMP annotation");
+                let t =
+                    MmUnrolledComp::from_annot(annot).expect("malformed mmUnrolledCOMP annotation");
                 let strategy = choose_strategy(&t, w, opts.strategy);
                 plan.strategies.push(strategy);
                 match strategy {
                     VecStrategy::Scalar => {
                         for &r in &t.res {
-                            plan.scalar_res_class
-                                .insert(r, res_class.get(&r).copied());
+                            plan.scalar_res_class.insert(r, res_class.get(&r).copied());
                         }
                     }
                     VecStrategy::Vdup => {
@@ -132,11 +131,7 @@ pub fn build(kernel: &Kernel, machine: &MachineSpec, opts: &PlanOptions) -> Plan
                                 for c in 0..chunks {
                                     for lane in 0..w {
                                         let r = t.res[b * t.n1 + c * w + lane];
-                                        layout.push((
-                                            r,
-                                            (b * chunks + c) as u8,
-                                            lane as u8,
-                                        ));
+                                        layout.push((r, (b * chunks + c) as u8, lane as u8));
                                         plan.sym_group.insert(r, gi);
                                     }
                                 }
@@ -207,7 +202,7 @@ fn choose_strategy(t: &MmUnrolledComp, w: usize, pref: StrategyPref) -> VecStrat
         return VecStrategy::Scalar;
     }
     if t.diag {
-        return if t.n1 % w == 0 && t.n1 >= w {
+        return if t.n1.is_multiple_of(w) && t.n1 >= w {
             VecStrategy::Vdup
         } else {
             VecStrategy::Scalar
@@ -216,7 +211,7 @@ fn choose_strategy(t: &MmUnrolledComp, w: usize, pref: StrategyPref) -> VecStrat
     if pref == StrategyPref::Shuf && t.n1 == w && t.n2 == w {
         return VecStrategy::Shuf;
     }
-    if t.n1 % w == 0 && t.n1 >= w {
+    if t.n1.is_multiple_of(w) && t.n1 >= w {
         VecStrategy::Vdup
     } else {
         VecStrategy::Scalar
@@ -288,8 +283,7 @@ mod tests {
     use augem_transforms::{generate_optimized, OptimizeConfig};
 
     fn tagged_gemm(nu: usize, mu: usize) -> Kernel {
-        let mut k =
-            generate_optimized(&gemm_simple(), &OptimizeConfig::gemm(nu, mu, 1)).unwrap();
+        let mut k = generate_optimized(&gemm_simple(), &OptimizeConfig::gemm(nu, mu, 1)).unwrap();
         identify(&mut k);
         k
     }
@@ -381,7 +375,12 @@ mod tests {
         identify(&mut k);
         let m = MachineSpec::sandy_bridge();
         let plan = build(&k, &m, &PlanOptions::default());
-        let alpha = k.params.iter().find(|&&p| k.syms.name(p) == "alpha").copied().unwrap();
+        let alpha = k
+            .params
+            .iter()
+            .find(|&&p| k.syms.name(p) == "alpha")
+            .copied()
+            .unwrap();
         assert!(plan.broadcast_syms.contains(&alpha));
     }
 

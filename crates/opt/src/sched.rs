@@ -64,7 +64,10 @@ fn gp_def(i: &XInst) -> Option<GpReg> {
 }
 
 fn is_mem_read(i: &XInst) -> bool {
-    matches!(i, XInst::FLoad { .. } | XInst::FDup { .. } | XInst::ILoad { .. })
+    matches!(
+        i,
+        XInst::FLoad { .. } | XInst::FDup { .. } | XInst::ILoad { .. }
+    )
 }
 
 fn is_mem_write(i: &XInst) -> bool {
@@ -304,10 +307,7 @@ mod tests {
             .iter()
             .position(|i| matches!(i, XInst::FMul3 { dst, .. } if *dst == VecReg(3)))
             .unwrap();
-        assert!(
-            pos_load2 < pos_mul2,
-            "independent load should hoist: {s:?}"
-        );
+        assert!(pos_load2 < pos_mul2, "independent load should hoist: {s:?}");
     }
 
     #[test]
@@ -363,7 +363,10 @@ mod tests {
             XInst::Ret,
         ];
         let s = schedule(insts.clone(), &m());
-        let cmp = s.iter().position(|i| matches!(i, XInst::Cmp { .. })).unwrap();
+        let cmp = s
+            .iter()
+            .position(|i| matches!(i, XInst::Cmp { .. }))
+            .unwrap();
         assert!(matches!(s[cmp + 1], XInst::Jl(_)));
     }
 }

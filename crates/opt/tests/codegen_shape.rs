@@ -149,9 +149,18 @@ fn sse_inner_loop_uses_the_redup_idiom() {
     );
     let body = hottest_loop_body(&asm);
     assert!(!body.is_empty());
-    let dups = body.iter().filter(|i| matches!(i, XInst::FDup { .. })).count();
-    let movs = body.iter().filter(|i| matches!(i, XInst::FMov { .. })).count();
-    let muls = body.iter().filter(|i| matches!(i, XInst::FMul2 { .. })).count();
+    let dups = body
+        .iter()
+        .filter(|i| matches!(i, XInst::FDup { .. }))
+        .count();
+    let movs = body
+        .iter()
+        .filter(|i| matches!(i, XInst::FMov { .. }))
+        .count();
+    let muls = body
+        .iter()
+        .filter(|i| matches!(i, XInst::FMul2 { .. }))
+        .count();
     assert_eq!(dups, 8, "one re-dup per (A chunk, B column) pair: {body:?}");
     assert_eq!(movs, 0, "no register copies in the SSE inner loop");
     assert_eq!(muls, 8, "2 chunks x 4 columns");
@@ -195,7 +204,10 @@ fn piledriver_inner_loop_is_pure_fma() {
         },
     );
     let body = hottest_loop_body(&asm);
-    let fmas = body.iter().filter(|i| matches!(i, XInst::Fma3 { .. })).count();
+    let fmas = body
+        .iter()
+        .filter(|i| matches!(i, XInst::Fma3 { .. }))
+        .count();
     let muls = body
         .iter()
         .filter(|i| matches!(i, XInst::FMul2 { .. } | XInst::FMul3 { .. }))
@@ -229,7 +241,10 @@ fn gemv_inner_loop_has_no_scalar_fallback() {
             _ => false,
         })
         .count();
-    assert!(packed_ops >= 4, "main GEMV loop must be fully packed: {body:?}");
+    assert!(
+        packed_ops >= 4,
+        "main GEMV loop must be fully packed: {body:?}"
+    );
 }
 
 #[test]

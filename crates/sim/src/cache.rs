@@ -20,7 +20,10 @@ impl Level {
         let lines = (spec.size / spec.line).max(1);
         let assoc = spec.assoc.max(1).min(lines);
         let num_sets = (lines / assoc).max(1);
-        debug_assert!(num_sets.is_power_of_two(), "set count must be a power of two");
+        debug_assert!(
+            num_sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
         Level {
             sets: vec![Vec::new(); num_sets],
             assoc,
@@ -234,7 +237,7 @@ mod tests {
     fn straddling_access_touches_both_lines() {
         let mut c = sim();
         c.access(0x40 - 8, 16, false); // crosses the 0x40 line boundary
-        // Both lines now resident:
+                                       // Both lines now resident:
         assert_eq!(c.access(0x38, 8, false), 4);
         assert_eq!(c.access(0x40, 8, false), 4);
     }

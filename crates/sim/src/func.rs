@@ -304,7 +304,12 @@ impl FuncSim {
                         }
                     }
                 }
-                XInst::Shuf2 { dstsrc, src, imm, w } => {
+                XInst::Shuf2 {
+                    dstsrc,
+                    src,
+                    imm,
+                    w,
+                } => {
                     // shufpd: dst[0] = dst[imm&1]; dst[1] = src[(imm>>1)&1].
                     let _ = w;
                     let s = st.vec[src.0 as usize];
@@ -331,8 +336,7 @@ impl FuncSim {
                             for half in 0..2 {
                                 let base = half * 2;
                                 out[base] = va[base + ((imm >> (2 * half)) & 1) as usize];
-                                out[base + 1] =
-                                    vb[base + ((imm >> (2 * half + 1)) & 1) as usize];
+                                out[base + 1] = vb[base + ((imm >> (2 * half + 1)) & 1) as usize];
                             }
                             *d = out;
                         }
@@ -481,10 +485,7 @@ impl FuncSim {
         if elem + n > len {
             return Err(SimError::OutOfBounds {
                 addr,
-                detail: format!(
-                    "elements {elem}..{} of array {arr} (len {len})",
-                    elem + n
-                ),
+                detail: format!("elements {elem}..{} of array {arr} (len {len})", elem + n),
             });
         }
         Ok((arr as usize, elem))
@@ -649,10 +650,7 @@ mod tests {
         ];
         let sim = FuncSim::new(avx());
         let err = sim
-            .run(
-                &k,
-                vec![SimValue::Array(vec![0.0; 2]), SimValue::F64(1.0)],
-            )
+            .run(&k, vec![SimValue::Array(vec![0.0; 2]), SimValue::F64(1.0)])
             .unwrap_err();
         assert!(matches!(err, SimError::OutOfBounds { .. }), "{err:?}");
     }
@@ -660,7 +658,8 @@ mod tests {
     #[test]
     fn shuffle_semantics() {
         let mut k = AsmKernel::new("shuf");
-        k.params.push(("Y".into(), ParamLoc::Gp(GpReg::allocatable()[0])));
+        k.params
+            .push(("Y".into(), ParamLoc::Gp(GpReg::allocatable()[0])));
         let ry = GpReg::allocatable()[0];
         k.insts = vec![
             XInst::FLoad {

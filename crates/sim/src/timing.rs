@@ -70,6 +70,24 @@ impl TimingReport {
     pub fn cpi(&self) -> f64 {
         self.cycles as f64 / self.dyn_insts.max(1) as f64
     }
+
+    /// Demand accesses served by L1 (accesses minus L1 misses).
+    pub fn l1_hits(&self) -> u64 {
+        self.mem_accesses.saturating_sub(self.l1_misses)
+    }
+
+    /// L1 misses served by the last-level cache.
+    pub fn llc_hits(&self) -> u64 {
+        self.l1_misses.saturating_sub(self.llc_misses)
+    }
+
+    /// L1 hit fraction of demand accesses (1.0 when there were none).
+    pub fn l1_hit_rate(&self) -> f64 {
+        if self.mem_accesses == 0 {
+            return 1.0;
+        }
+        self.l1_hits() as f64 / self.mem_accesses as f64
+    }
 }
 
 fn flops_of(inst: &XInst) -> u64 {
@@ -161,7 +179,12 @@ pub fn simulate_timing_steady(
 
 /// Scoreboard replay of a recorded trace (see module docs). With `warm`,
 /// the cache is pre-trained on the access stream first.
-pub fn replay(kernel: &AsmKernel, trace: &Trace, machine: &MachineSpec, warm: bool) -> TimingReport {
+pub fn replay(
+    kernel: &AsmKernel,
+    trace: &Trace,
+    machine: &MachineSpec,
+    warm: bool,
+) -> TimingReport {
     let mut cache = CacheSim::new(&machine.caches);
     if warm {
         for a in trace.accesses.iter().flatten() {
@@ -187,9 +210,9 @@ pub fn replay(kernel: &AsmKernel, trace: &Trace, machine: &MachineSpec, warm: bo
     let mut flops = 0u64;
     let mut dyn_insts = 0u64;
     let mut store_ready_floor = 0u64; // stores retire in order w.r.t. loads
-    // Reorder window: issue cycle of each in-flight instruction, oldest
-    // first; an instruction cannot issue until the one `ROB_WINDOW` ahead
-    // of it has issued.
+                                      // Reorder window: issue cycle of each in-flight instruction, oldest
+                                      // first; an instruction cannot issue until the one `ROB_WINDOW` ahead
+                                      // of it has issued.
     let mut window: std::collections::VecDeque<u64> =
         std::collections::VecDeque::with_capacity(ROB_WINDOW);
 
@@ -331,10 +354,8 @@ mod tests {
     fn independent_accumulators_beat_serial_chain() {
         let m = augem_machine::MachineSpec::piledriver();
         let args = || vec![SimValue::Array(vec![1.0; 8])];
-        let (serial, _) =
-            simulate_timing(&fma_chain_kernel(false), args(), &m).unwrap();
-        let (parallel, _) =
-            simulate_timing(&fma_chain_kernel(true), args(), &m).unwrap();
+        let (serial, _) = simulate_timing(&fma_chain_kernel(false), args(), &m).unwrap();
+        let (parallel, _) = simulate_timing(&fma_chain_kernel(true), args(), &m).unwrap();
         assert!(
             parallel.cycles * 2 < serial.cycles,
             "parallel {} vs serial {}",

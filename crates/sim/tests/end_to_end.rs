@@ -50,6 +50,7 @@ fn approx_eq(a: &[f64], b: &[f64], tol: f64) -> bool {
 
 // ---------------- GEMM ----------------
 
+#[allow(clippy::too_many_arguments)]
 fn check_gemm(
     machine: &MachineSpec,
     opts: &CodegenOptions,
@@ -67,7 +68,9 @@ fn check_gemm(
     let ldb = nr + 1; // packed-B leading dimension (> nr to catch stride bugs)
     let ldc = mr + 2;
     let a: Vec<f64> = (0..mc * kc).map(|v| ((v * 7) % 13) as f64 - 5.0).collect();
-    let b: Vec<f64> = (0..kc * ldb).map(|v| ((v * 3) % 11) as f64 * 0.25).collect();
+    let b: Vec<f64> = (0..kc * ldb)
+        .map(|v| ((v * 3) % 11) as f64 * 0.25)
+        .collect();
     let c0: Vec<f64> = (0..ldc * nr).map(|v| (v % 5) as f64 * 0.5).collect();
 
     let mut expect = c0.clone();
@@ -217,7 +220,12 @@ fn check_axpy(machine: &MachineSpec, opts: &CodegenOptions, unroll: usize, n: us
             ],
         )
         .unwrap();
-    assert_eq!(arrays[1], expect, "AXPY mismatch on {}", machine.arch.short_name());
+    assert_eq!(
+        arrays[1],
+        expect,
+        "AXPY mismatch on {}",
+        machine.arch.short_name()
+    );
 }
 
 #[test]
@@ -278,7 +286,9 @@ fn check_gemv(machine: &MachineSpec, unroll: usize, m_rows: usize, n_cols: usize
     let cfg = OptimizeConfig::gemv(unroll);
     let asm = build_asm(&gemv_simple(), &cfg, machine, &CodegenOptions::default());
     let lda = m_rows + 1;
-    let a: Vec<f64> = (0..lda * n_cols).map(|v| ((v * 5) % 9) as f64 - 2.0).collect();
+    let a: Vec<f64> = (0..lda * n_cols)
+        .map(|v| ((v * 5) % 9) as f64 - 2.0)
+        .collect();
     let x: Vec<f64> = (0..n_cols).map(|v| 0.5 + v as f64 * 0.25).collect();
     let y0: Vec<f64> = vec![1.0; m_rows];
     let mut expect = y0.clone();
@@ -299,7 +309,8 @@ fn check_gemv(machine: &MachineSpec, unroll: usize, m_rows: usize, n_cols: usize
         )
         .unwrap();
     assert_eq!(
-        arrays[2], expect,
+        arrays[2],
+        expect,
         "GEMV mismatch on {} unroll={unroll} m={m_rows} n={n_cols}",
         machine.arch.short_name()
     );
@@ -323,7 +334,10 @@ fn emitted_avx_gemm_uses_expected_mnemonics() {
     let cfg = OptimizeConfig::gemm(4, 4, 1);
     let asm = build_asm(&gemm_simple(), &cfg, &m, &CodegenOptions::default());
     let text = augem_asm::emit::emit_att(&asm, &m.isa);
-    assert!(text.contains("vbroadcastsd"), "Vdup method must broadcast:\n{text}");
+    assert!(
+        text.contains("vbroadcastsd"),
+        "Vdup method must broadcast:\n{text}"
+    );
     assert!(text.contains("vmulpd") || text.contains("vfmadd"), "{text}");
     assert!(text.contains("vmovupd"), "{text}");
     assert!(text.contains("prefetcht0"), "{text}");
@@ -344,7 +358,10 @@ fn emitted_sse_gemm_has_no_avx() {
     let cfg = OptimizeConfig::gemm(2, 2, 1);
     let asm = build_asm(&gemm_simple(), &cfg, &m, &CodegenOptions::default());
     let text = augem_asm::emit::emit_att(&asm, &m.isa);
-    assert!(!text.contains("%ymm"), "SSE kernel must not touch ymm:\n{text}");
+    assert!(
+        !text.contains("%ymm"),
+        "SSE kernel must not touch ymm:\n{text}"
+    );
     assert!(!text.contains("vmulpd"), "{text}");
     assert!(text.contains("mulpd") || text.contains("mulsd"), "{text}");
 }
@@ -384,7 +401,8 @@ fn check_ger(machine: &MachineSpec, unroll: usize, m_rows: usize, n_cols: usize)
         )
         .unwrap();
     assert_eq!(
-        arrays[2], expect,
+        arrays[2],
+        expect,
         "GER mismatch on {} unroll={unroll} {m_rows}x{n_cols}",
         machine.arch.short_name()
     );
@@ -425,7 +443,8 @@ fn check_scal(machine: &MachineSpec, unroll: usize, n: usize) {
         )
         .unwrap();
     assert_eq!(
-        arrays[0], expect,
+        arrays[0],
+        expect,
         "SCAL mismatch on {} unroll={unroll} n={n}",
         machine.arch.short_name()
     );
@@ -482,7 +501,9 @@ fn gemv_transposed_reduction_inside_outer_loop() {
         );
         let (m, n) = (21usize, 5usize);
         let lda = m + 2;
-        let a: Vec<f64> = (0..lda * n).map(|v| ((v * 5) % 11) as f64 * 0.25 - 1.0).collect();
+        let a: Vec<f64> = (0..lda * n)
+            .map(|v| ((v * 5) % 11) as f64 * 0.25 - 1.0)
+            .collect();
         let x: Vec<f64> = (0..m).map(|v| (v as f64 * 0.3).sin()).collect();
         let y0: Vec<f64> = vec![0.5; n];
         let mut expect = y0.clone();

@@ -66,6 +66,34 @@ impl Match {
 
 /// Tags all template instances in `kernel`, returning match statistics.
 pub fn identify(kernel: &mut Kernel) -> IdentifyStats {
+    identify_traced(kernel, augem_obs::null())
+}
+
+/// [`identify`] under an `identify` span, with per-kind match counts
+/// recorded as `identify.<kind>` counters (zero counts are skipped) and
+/// the region total as `identify.regions`.
+pub fn identify_traced(kernel: &mut Kernel, tracer: &dyn augem_obs::Tracer) -> IdentifyStats {
+    let _s = augem_obs::span(tracer, augem_obs::stage::IDENTIFY);
+    let stats = identify_inner(kernel);
+    for (name, n) in [
+        ("identify.mm_comp", stats.mm_comp),
+        ("identify.mm_store", stats.mm_store),
+        ("identify.mv_comp", stats.mv_comp),
+        ("identify.sv_scal", stats.sv_scal),
+        ("identify.mm_unrolled_comp", stats.mm_unrolled_comp),
+        ("identify.mm_unrolled_store", stats.mm_unrolled_store),
+        ("identify.mv_unrolled_comp", stats.mv_unrolled_comp),
+        ("identify.sv_unrolled_scal", stats.sv_unrolled_scal),
+    ] {
+        if n > 0 {
+            tracer.add(name, n as u64);
+        }
+    }
+    tracer.add("identify.regions", stats.total_regions() as u64);
+    stats
+}
+
+fn identify_inner(kernel: &mut Kernel) -> IdentifyStats {
     let mut stats = IdentifyStats::default();
     let syms = std::mem::take(&mut kernel.syms);
     let mut body = std::mem::take(&mut kernel.body);
@@ -114,8 +142,7 @@ fn process_block(stmts: &mut Vec<Stmt>, syms: &SymbolTable, stats: &mut Identify
     let mut old_iter = old.into_iter().enumerate().peekable();
     let mut ev = events.into_iter().peekable();
 
-    loop {
-        let Some((start, _)) = ev.peek() else { break };
+    while let Some((start, _)) = ev.peek() {
         let start = *start;
         // Copy passthrough statements before the run.
         while old_iter.peek().is_some_and(|(i, _)| *i < start) {
@@ -144,9 +171,6 @@ fn process_block(stmts: &mut Vec<Stmt>, syms: &SymbolTable, stats: &mut Identify
             run_stmts.push(chunk);
         }
         emit_run(kind, run, run_stmts, &mut out, stats);
-        if ev.peek().is_none() {
-            break;
-        }
     }
     // Remaining passthrough.
     for (_, s) in old_iter {
@@ -205,10 +229,7 @@ fn emit_sv_run(
         if group.len() >= 2 {
             if let Some(offs) = offs {
                 let base = offs[0];
-                let contiguous = offs
-                    .iter()
-                    .enumerate()
-                    .all(|(k, o)| *o == base + k as i64);
+                let contiguous = offs.iter().enumerate().all(|(k, o)| *o == base + k as i64);
                 if contiguous {
                     let t = SvUnrolledScal {
                         y,
@@ -399,8 +420,10 @@ fn emit_store_run(
                         res,
                     };
                     stats.mm_unrolled_store += 1;
-                    let body: Vec<Stmt> =
-                        members.iter().flat_map(|(_, s)| s.iter().cloned()).collect();
+                    let body: Vec<Stmt> = members
+                        .iter()
+                        .flat_map(|(_, s)| s.iter().cloned())
+                        .collect();
                     single_region(t.annot(), body, out);
                     true
                 } else {
@@ -492,8 +515,7 @@ mod tests {
     use augem_transforms::{generate_optimized, OptimizeConfig};
 
     fn gemm_tagged(nu: usize, mu: usize, ku: usize) -> (Kernel, IdentifyStats) {
-        let mut k =
-            generate_optimized(&gemm_simple(), &OptimizeConfig::gemm(nu, mu, ku)).unwrap();
+        let mut k = generate_optimized(&gemm_simple(), &OptimizeConfig::gemm(nu, mu, ku)).unwrap();
         let stats = identify(&mut k);
         (k, stats)
     }
@@ -503,8 +525,16 @@ mod tests {
         let (k, stats) = gemm_tagged(2, 2, 1);
         // Main nest: one mmUnrolledCOMP (4 mmCOMPs merged) and two
         // mmUnrolledSTOREs (2+2 split by C pointer) — exactly §4.1.2.
-        assert!(stats.mm_unrolled_comp >= 1, "{stats:?}\n{}", print_kernel(&k));
-        assert!(stats.mm_unrolled_store >= 2, "{stats:?}\n{}", print_kernel(&k));
+        assert!(
+            stats.mm_unrolled_comp >= 1,
+            "{stats:?}\n{}",
+            print_kernel(&k)
+        );
+        assert!(
+            stats.mm_unrolled_store >= 2,
+            "{stats:?}\n{}",
+            print_kernel(&k)
+        );
         let c = print_kernel(&k);
         assert!(c.contains("BEGIN mmUnrolledCOMP"), "{c}");
         assert!(c.contains("BEGIN mmUnrolledSTORE"), "{c}");
@@ -514,7 +544,7 @@ mod tests {
     fn gemm_main_group_is_2x2_grid() {
         let (k, _) = gemm_tagged(2, 2, 1);
         // Find the first mmUnrolledCOMP annotation and check its shape.
-        fn find<'a>(stmts: &'a [Stmt]) -> Option<&'a Annot> {
+        fn find(stmts: &[Stmt]) -> Option<&Annot> {
             for s in stmts {
                 match s {
                     Stmt::Region { annot, .. } if annot.template == "mmUnrolledCOMP" => {
@@ -569,7 +599,11 @@ mod tests {
     fn dot_matches_diagonal_group_and_store() {
         let mut k = generate_optimized(&dot_simple(), &OptimizeConfig::vector(4, true)).unwrap();
         let stats = identify(&mut k);
-        assert!(stats.mm_unrolled_comp >= 1, "{stats:?}\n{}", print_kernel(&k));
+        assert!(
+            stats.mm_unrolled_comp >= 1,
+            "{stats:?}\n{}",
+            print_kernel(&k)
+        );
         assert!(stats.mm_store >= 1, "{stats:?}\n{}", print_kernel(&k));
         fn find_diag(stmts: &[Stmt]) -> Option<MmUnrolledComp> {
             for s in stmts {
@@ -608,7 +642,11 @@ mod tests {
     fn gemv_matches_mv_unrolled() {
         let mut k = generate_optimized(&gemv_simple(), &OptimizeConfig::gemv(4)).unwrap();
         let stats = identify(&mut k);
-        assert!(stats.mv_unrolled_comp >= 1, "{stats:?}\n{}", print_kernel(&k));
+        assert!(
+            stats.mv_unrolled_comp >= 1,
+            "{stats:?}\n{}",
+            print_kernel(&k)
+        );
     }
 
     #[test]

@@ -37,4 +37,4 @@ pub mod identify;
 pub mod matcher;
 
 pub use def::TemplateKind;
-pub use identify::{identify, IdentifyStats};
+pub use identify::{identify, identify_traced, IdentifyStats};

@@ -31,5 +31,5 @@ pub mod scalar;
 pub mod strength;
 pub mod unroll;
 
-pub use pipeline::{generate_optimized, OptimizeConfig, PrefetchConfig};
+pub use pipeline::{generate_optimized, generate_optimized_traced, OptimizeConfig, PrefetchConfig};
 pub use unroll::TransformError;

@@ -1,12 +1,13 @@
 //! The full Optimized C Kernel Generator (paper §2.1, Figure 1 left half):
 //! chains the five source-to-source passes in the paper's order.
 
-pub use crate::prefetch::PrefetchConfig;
 use crate::prefetch::insert_prefetch;
+pub use crate::prefetch::PrefetchConfig;
 use crate::scalar::scalar_replace;
 use crate::strength::strength_reduce;
 use crate::unroll::{unroll_and_jam, unroll_inner, TransformError};
 use augem_ir::Kernel;
+use augem_obs::{span, stage, Tracer};
 
 /// One optimization configuration — the point in the tuning space that
 /// `augem-tune` sweeps ("automatically experiments with different unrolling
@@ -68,16 +69,49 @@ impl OptimizeConfig {
 /// Runs the Optimized C Kernel Generator: unroll&jam → inner unrolling →
 /// strength reduction → scalar replacement → prefetch insertion.
 pub fn generate_optimized(kernel: &Kernel, cfg: &OptimizeConfig) -> Result<Kernel, TransformError> {
+    generate_optimized_traced(kernel, cfg, augem_obs::null())
+}
+
+/// [`generate_optimized`] with instrumentation: the whole run is a
+/// `cgen` span with one sub-span per pass, and the IR statement counts
+/// before and after the pass chain go to the `cgen.stmts.before` /
+/// `cgen.stmts.after` counters (per-pass growth is recorded as
+/// `cgen.stmts.<pass>`).
+pub fn generate_optimized_traced(
+    kernel: &Kernel,
+    cfg: &OptimizeConfig,
+    tracer: &dyn Tracer,
+) -> Result<Kernel, TransformError> {
+    let _stage = span(tracer, stage::CGEN);
     let mut k = kernel.clone();
-    for (v, f) in &cfg.unroll_jam {
-        unroll_and_jam(&mut k, v, *f)?;
+    tracer.add("cgen.stmts.before", k.stmt_count() as u64);
+    {
+        let _s = span(tracer, "cgen.unroll_jam");
+        for (v, f) in &cfg.unroll_jam {
+            unroll_and_jam(&mut k, v, *f)?;
+        }
+        tracer.add("cgen.stmts.unroll_jam", k.stmt_count() as u64);
     }
-    if let Some((v, f, expand)) = &cfg.inner_unroll {
-        unroll_inner(&mut k, v, *f, *expand)?;
+    {
+        let _s = span(tracer, "cgen.unroll_inner");
+        if let Some((v, f, expand)) = &cfg.inner_unroll {
+            unroll_inner(&mut k, v, *f, *expand)?;
+        }
+        tracer.add("cgen.stmts.unroll_inner", k.stmt_count() as u64);
     }
-    strength_reduce(&mut k);
-    scalar_replace(&mut k);
-    insert_prefetch(&mut k, &cfg.prefetch);
+    {
+        let _s = span(tracer, "cgen.strength_reduce");
+        strength_reduce(&mut k);
+    }
+    {
+        let _s = span(tracer, "cgen.scalar_replace");
+        scalar_replace(&mut k);
+    }
+    {
+        let _s = span(tracer, "cgen.prefetch");
+        insert_prefetch(&mut k, &cfg.prefetch);
+    }
+    tracer.add("cgen.stmts.after", k.stmt_count() as u64);
     Ok(k)
 }
 
@@ -115,7 +149,9 @@ mod tests {
                 ArgValue::Array((0..(ldc * nr) as usize).map(|x| (x % 3) as f64).collect()),
             ]
         };
-        let expect = Interpreter::new().run(&gemm_simple(), args(8, 6, 9)).unwrap();
+        let expect = Interpreter::new()
+            .run(&gemm_simple(), args(8, 6, 9))
+            .unwrap();
         for cfg in [
             OptimizeConfig::gemm_2x2(),
             OptimizeConfig::gemm(2, 4, 1),

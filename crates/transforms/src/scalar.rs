@@ -130,8 +130,7 @@ fn lower_assign(
                     }
                     // res = res + A[i1]*scal  (GEMV outer-product flavor):
                     // decompose as load + mul-by-var + add.
-                    if let (Expr::ArrayRef { base: a, index: i1 }, Expr::Var(scal)) =
-                        (&**ml, &**mr)
+                    if let (Expr::ArrayRef { base: a, index: i1 }, Expr::Var(scal)) = (&**ml, &**mr)
                     {
                         let tmp0 = fresh_tmp(syms);
                         let tmp2 = fresh_tmp(syms);
@@ -154,14 +153,10 @@ fn lower_assign(
         // --- svSCAL: Y[i] = Y[i] * scal (in-place scale) ---
         (LValue::ArrayRef { base: y, index: yi }, Expr::Bin(BinOp::Mul, l, r)) => {
             let scal = match (&**l, &**r) {
-                (Expr::ArrayRef { base, index }, Expr::Var(sv))
-                    if base == y && **index == **yi =>
-                {
+                (Expr::ArrayRef { base, index }, Expr::Var(sv)) if base == y && **index == **yi => {
                     Some(*sv)
                 }
-                (Expr::Var(sv), Expr::ArrayRef { base, index })
-                    if base == y && **index == **yi =>
-                {
+                (Expr::Var(sv), Expr::ArrayRef { base, index }) if base == y && **index == **yi => {
                     Some(*sv)
                 }
                 _ => None,
@@ -347,8 +342,16 @@ mod tests {
                 ArgValue::Int(mc),
                 ArgValue::Int(ldb),
                 ArgValue::Int(ldc),
-                ArgValue::Array((0..(mc * kc) as usize).map(|x| (x % 9) as f64 - 4.0).collect()),
-                ArgValue::Array((0..(kc * ldb) as usize).map(|x| (x % 5) as f64 * 0.5).collect()),
+                ArgValue::Array(
+                    (0..(mc * kc) as usize)
+                        .map(|x| (x % 9) as f64 - 4.0)
+                        .collect(),
+                ),
+                ArgValue::Array(
+                    (0..(kc * ldb) as usize)
+                        .map(|x| (x % 5) as f64 * 0.5)
+                        .collect(),
+                ),
                 ArgValue::Array((0..(ldc * nr) as usize).map(|x| x as f64 * 0.1).collect()),
             ]
         };

@@ -56,11 +56,7 @@ impl std::error::Error for TransformError {}
 
 /// Unrolls the loop over `var_name` by `factor` and jams the copies into
 /// the nest below (see module docs).
-pub fn unroll_and_jam(
-    k: &mut Kernel,
-    var_name: &str,
-    factor: usize,
-) -> Result<(), TransformError> {
+pub fn unroll_and_jam(k: &mut Kernel, var_name: &str, factor: usize) -> Result<(), TransformError> {
     if factor == 0 {
         return Err(TransformError::BadFactor(0));
     }
@@ -101,7 +97,9 @@ pub fn unroll_inner(
         rewrite_loop(
             &mut body,
             var_name,
-            &mut |loop_stmt, syms| expand_unroll_inner(loop_stmt, factor, expand_accumulators, syms),
+            &mut |loop_stmt, syms| {
+                expand_unroll_inner(loop_stmt, factor, expand_accumulators, syms)
+            },
             &mut syms,
         )
     };
@@ -128,7 +126,8 @@ fn rewrite_loop(
         syms: &mut augem_ir::SymbolTable,
     ) -> Result<bool, TransformError> {
         for pos in 0..stmts.len() {
-            let is_target = matches!(&stmts[pos], Stmt::For { var, .. } if syms.name(*var) == var_name);
+            let is_target =
+                matches!(&stmts[pos], Stmt::For { var, .. } if syms.name(*var) == var_name);
             if is_target {
                 let loop_stmt = stmts.remove(pos);
                 let replacement = rewriter(loop_stmt, syms)?;
@@ -280,7 +279,11 @@ fn zip_merge(instances: Vec<Vec<Stmt>>) -> Vec<Stmt> {
         let mergeable = col.iter().all(|s| {
             if let (
                 Stmt::For {
-                    var, init, bound, step, ..
+                    var,
+                    init,
+                    bound,
+                    step,
+                    ..
                 },
                 Stmt::For {
                     var: v0,
@@ -373,8 +376,8 @@ fn expand_unroll_inner(
         // Remainder-loop accumulator, merged last.
         let rem = syms.fresh(&format!("{}_r", syms.name(acc)), Ty::F64, SymKind::Local);
         pre.push(assign(rem, f64c(0.0)));
-        for t in 1..factor {
-            post.push(assign(acc, add(var(acc), var(copies[t]))));
+        for &copy in copies.iter().take(factor).skip(1) {
+            post.push(assign(acc, add(var(acc), var(copy))));
         }
         post.push(assign(acc, add(var(acc), var(rem))));
         copies.push(rem); // last entry = remainder symbol
@@ -508,8 +511,12 @@ mod tests {
         let mc = mr; // pack height == Mr for these tests
         let ldb = nr;
         let ldc = mr + 3;
-        let a: Vec<f64> = (0..(mc * kc) as usize).map(|v| (v % 13) as f64 - 3.0).collect();
-        let b: Vec<f64> = (0..(kc * ldb) as usize).map(|v| (v % 7) as f64 * 0.5).collect();
+        let a: Vec<f64> = (0..(mc * kc) as usize)
+            .map(|v| (v % 13) as f64 - 3.0)
+            .collect();
+        let b: Vec<f64> = (0..(kc * ldb) as usize)
+            .map(|v| (v % 7) as f64 * 0.5)
+            .collect();
         let c: Vec<f64> = (0..(ldc * nr) as usize).map(|v| v as f64 * 0.01).collect();
         vec![
             ArgValue::Int(mr),
@@ -545,7 +552,10 @@ mod tests {
         // Find the innermost main l loop and count its accumulate stmts.
         fn find_l_body<'a>(stmts: &'a [Stmt], syms: &augem_ir::SymbolTable) -> Option<&'a [Stmt]> {
             for s in stmts {
-                if let Stmt::For { var, body, step, .. } = s {
+                if let Stmt::For {
+                    var, body, step, ..
+                } = s
+                {
                     if syms.name(*var) == "l" && *step == 1 {
                         return Some(body);
                     }
@@ -561,7 +571,12 @@ mod tests {
             .iter()
             .filter(|s| matches!(s, Stmt::Assign { .. }))
             .count();
-        assert_eq!(assigns, 4, "2x2 unroll&jam must put 4 accumulations in l body:\n{}", print_kernel(&k));
+        assert_eq!(
+            assigns,
+            4,
+            "2x2 unroll&jam must put 4 accumulations in l body:\n{}",
+            print_kernel(&k)
+        );
     }
 
     #[test]
@@ -729,13 +744,7 @@ mod tests {
         let acc = kb.local("acc", Ty::F64);
         let i = kb.loop_var("i");
         kb.push(assign(acc, f64c(0.0)));
-        kb.push(for_(
-            i,
-            int(0),
-            var(n),
-            1,
-            vec![add_assign(acc, f64c(1.0))],
-        ));
+        kb.push(for_(i, int(0), var(n), 1, vec![add_assign(acc, f64c(1.0))]));
         kb.push(store(y, int(0), var(acc)));
         let mut k = kb.finish();
         assert_eq!(

@@ -3,15 +3,29 @@ use augem_tune::{tune_gemm, tune_vector, VectorKernel};
 
 fn main() {
     for m in MachineSpec::paper_platforms() {
-        println!("== {} (peak {:.0} Mflops) ==", m.arch.name(), m.peak_mflops());
-        let g = tune_gemm(&m);
-        println!("GEMM best: {}  -> {:.0} Mflops ({:.1}% of peak)", g.best.tag(), g.best_eval.mflops, 100.0*g.best_eval.mflops/m.peak_mflops());
+        println!(
+            "== {} (peak {:.0} Mflops) ==",
+            m.arch.name(),
+            m.peak_mflops()
+        );
+        let g = tune_gemm(&m).unwrap_or_else(|e| panic!("{e}"));
+        println!(
+            "GEMM best: {}  -> {:.0} Mflops ({:.1}% of peak)",
+            g.best.tag(),
+            g.best_eval.mflops,
+            100.0 * g.best_eval.mflops / m.peak_mflops()
+        );
         for (c, f) in g.ranking.iter().take(5) {
             println!("   {:>8.0}  {}", f, c.tag());
         }
         for k in [VectorKernel::Axpy, VectorKernel::Dot, VectorKernel::Gemv] {
-            let r = tune_vector(k, &m);
-            println!("{} best: {} -> {:.0} Mflops", k.name(), r.best.tag(), r.best_eval.mflops);
+            let r = tune_vector(k, &m).unwrap_or_else(|e| panic!("{e}"));
+            println!(
+                "{} best: {} -> {:.0} Mflops",
+                k.name(),
+                r.best.tag(),
+                r.best_eval.mflops
+            );
         }
     }
 }

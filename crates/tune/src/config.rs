@@ -4,9 +4,8 @@ use augem_asm::AsmKernel;
 use augem_ir::Kernel;
 use augem_kernels::{axpy_simple, dot_simple, gemm_simple, gemv_simple, ger_simple, scal_simple};
 use augem_machine::{MachineSpec, SimdMode};
-use augem_opt::{generate, CodegenError, CodegenOptions, FmaPolicy, StrategyPref};
-use augem_templates::identify;
-use augem_transforms::{generate_optimized, OptimizeConfig, PrefetchConfig, TransformError};
+use augem_opt::{CodegenError, CodegenOptions, FmaPolicy, StrategyPref};
+use augem_transforms::{OptimizeConfig, PrefetchConfig, TransformError};
 
 /// A point in the GEMM tuning space.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,7 +45,10 @@ impl GemmConfig {
             self.ku,
             self.strategy,
             self.fma,
-            self.prefetch.read_dist.map(|d| d.to_string()).unwrap_or_else(|| "off".into()),
+            self.prefetch
+                .read_dist
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "off".into()),
             self.schedule
         )
     }
@@ -68,7 +70,27 @@ impl GemmConfig {
 
     /// Runs the full pipeline for this configuration.
     pub fn build(&self, machine: &MachineSpec) -> Result<AsmKernel, BuildError> {
-        build_pipeline(&gemm_simple(), &self.opt_config(), &self.codegen_options(), machine)
+        build_pipeline(
+            &gemm_simple(),
+            &self.opt_config(),
+            &self.codegen_options(),
+            machine,
+        )
+    }
+
+    /// [`build`](GemmConfig::build) with stage tracing.
+    pub fn build_traced(
+        &self,
+        machine: &MachineSpec,
+        tracer: &dyn augem_obs::Tracer,
+    ) -> Result<AsmKernel, BuildError> {
+        build_pipeline_traced(
+            &gemm_simple(),
+            &self.opt_config(),
+            &self.codegen_options(),
+            machine,
+            tracer,
+        )
     }
 }
 
@@ -109,13 +131,25 @@ impl VectorConfig {
             "{} u{} pf={} sched={}",
             self.kernel.name(),
             self.unroll,
-            self.prefetch.read_dist.map(|d| d.to_string()).unwrap_or_else(|| "off".into()),
+            self.prefetch
+                .read_dist
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "off".into()),
             self.schedule
         )
     }
 
     /// Runs the full pipeline for this configuration.
     pub fn build(&self, machine: &MachineSpec) -> Result<AsmKernel, BuildError> {
+        self.build_traced(machine, augem_obs::null())
+    }
+
+    /// [`build`](VectorConfig::build) with stage tracing.
+    pub fn build_traced(
+        &self,
+        machine: &MachineSpec,
+        tracer: &dyn augem_obs::Tracer,
+    ) -> Result<AsmKernel, BuildError> {
         let (kernel, mut cfg): (Kernel, OptimizeConfig) = match self.kernel {
             VectorKernel::Axpy => (axpy_simple(), OptimizeConfig::vector(self.unroll, false)),
             VectorKernel::Dot => (dot_simple(), OptimizeConfig::vector(self.unroll, true)),
@@ -131,7 +165,7 @@ impl VectorConfig {
             schedule: self.schedule,
             ..Default::default()
         };
-        build_pipeline(&kernel, &cfg, &opts, machine)
+        build_pipeline_traced(&kernel, &cfg, &opts, machine, tracer)
     }
 }
 
@@ -160,9 +194,22 @@ pub fn build_pipeline(
     opts: &CodegenOptions,
     machine: &MachineSpec,
 ) -> Result<AsmKernel, BuildError> {
-    let mut k = generate_optimized(simple, cfg).map_err(BuildError::Transform)?;
-    identify(&mut k);
-    generate(&k, machine, opts).map_err(BuildError::Codegen)
+    build_pipeline_traced(simple, cfg, opts, machine, augem_obs::null())
+}
+
+/// [`build_pipeline`] with each stage traced (`cgen` → `identify` →
+/// `akg` spans, plus their counters and gauges).
+pub fn build_pipeline_traced(
+    simple: &Kernel,
+    cfg: &OptimizeConfig,
+    opts: &CodegenOptions,
+    machine: &MachineSpec,
+    tracer: &dyn augem_obs::Tracer,
+) -> Result<AsmKernel, BuildError> {
+    let mut k = augem_transforms::generate_optimized_traced(simple, cfg, tracer)
+        .map_err(BuildError::Transform)?;
+    augem_templates::identify_traced(&mut k, tracer);
+    augem_opt::generate_traced(&k, machine, opts, tracer).map_err(BuildError::Codegen)
 }
 
 /// GEMM candidate set for a machine's SIMD width (the tuner's search
@@ -170,9 +217,27 @@ pub fn build_pipeline(
 pub fn gemm_candidates(machine: &MachineSpec) -> Vec<GemmConfig> {
     let w = machine.simd_mode().f64_lanes();
     let shapes: &[(usize, usize)] = if machine.simd_mode() == SimdMode::Avx {
-        &[(4, 1), (4, 2), (4, 4), (8, 1), (8, 2), (8, 3), (8, 4), (12, 2)]
+        &[
+            (4, 1),
+            (4, 2),
+            (4, 4),
+            (8, 1),
+            (8, 2),
+            (8, 3),
+            (8, 4),
+            (12, 2),
+        ]
     } else {
-        &[(2, 1), (2, 2), (2, 4), (4, 2), (4, 3), (4, 4), (6, 2), (8, 2)]
+        &[
+            (2, 1),
+            (2, 2),
+            (2, 4),
+            (4, 2),
+            (4, 3),
+            (4, 4),
+            (6, 2),
+            (8, 2),
+        ]
     };
     let mut out = Vec::new();
     for &(mu, nu) in shapes {
@@ -260,7 +325,8 @@ mod tests {
             let cands = vector_candidates(k, &m);
             assert_eq!(cands.len(), 12);
             for c in &cands {
-                c.build(&m).unwrap_or_else(|e| panic!("{} failed: {e}", c.tag()));
+                c.build(&m)
+                    .unwrap_or_else(|e| panic!("{} failed: {e}", c.tag()));
             }
         }
     }

@@ -49,7 +49,19 @@ pub fn gemm_eval_dims(cfg: &GemmConfig) -> (usize, usize, usize) {
 
 /// Evaluates a GEMM configuration; returns useful Mflops.
 pub fn evaluate_gemm(cfg: &GemmConfig, machine: &MachineSpec) -> Result<Evaluation, EvalError> {
-    let asm = cfg.build(machine).map_err(EvalError::Build)?;
+    evaluate_gemm_traced(cfg, machine, augem_obs::null())
+}
+
+/// [`evaluate_gemm`] with the build stages and the simulation traced
+/// (the simulator run is a `sim` span; its counters land under `sim.*`).
+pub fn evaluate_gemm_traced(
+    cfg: &GemmConfig,
+    machine: &MachineSpec,
+    tracer: &dyn augem_obs::Tracer,
+) -> Result<Evaluation, EvalError> {
+    let asm = cfg
+        .build_traced(machine, tracer)
+        .map_err(EvalError::Build)?;
     let (mr, nr, kc) = gemm_eval_dims(cfg);
     let (mc, ldb, ldc) = (mr, nr, mr);
     let a: Vec<f64> = (0..mc * kc).map(|v| (v % 17) as f64 * 0.25).collect();
@@ -66,7 +78,12 @@ pub fn evaluate_gemm(cfg: &GemmConfig, machine: &MachineSpec) -> Result<Evaluati
         SimValue::Array(b),
         SimValue::Array(c),
     ];
-    let (report, _) = simulate_timing_steady(&asm, args, machine).map_err(EvalError::Sim)?;
+    let report = {
+        let _s = augem_obs::span(tracer, augem_obs::stage::SIM);
+        let (report, _) = simulate_timing_steady(&asm, args, machine).map_err(EvalError::Sim)?;
+        report
+    };
+    record_sim_counters(tracer, &report);
     let useful = (2 * mr * nr * kc) as u64;
     let mflops = report.useful_mflops(useful, machine.turbo_ghz);
     Ok(Evaluation {
@@ -74,6 +91,17 @@ pub fn evaluate_gemm(cfg: &GemmConfig, machine: &MachineSpec) -> Result<Evaluati
         mflops,
         useful_flops: useful,
     })
+}
+
+/// Aggregate simulator counters (summed over every simulated candidate).
+fn record_sim_counters(tracer: &dyn augem_obs::Tracer, report: &TimingReport) {
+    tracer.add("sim.cycles", report.cycles);
+    tracer.add("sim.dyn_insts", report.dyn_insts);
+    tracer.add("sim.flops", report.flops);
+    tracer.add("sim.mem_accesses", report.mem_accesses);
+    tracer.add("sim.l1_hits", report.l1_hits());
+    tracer.add("sim.l1_misses", report.l1_misses);
+    tracer.add("sim.llc_misses", report.llc_misses);
 }
 
 /// Micro-problem sizes for the vector kernels. Unlike GEMM (whose packed
@@ -90,7 +118,18 @@ pub fn vector_eval_n(kernel: VectorKernel) -> (usize, usize) {
 
 /// Evaluates a vector-kernel configuration.
 pub fn evaluate_vector(cfg: &VectorConfig, machine: &MachineSpec) -> Result<Evaluation, EvalError> {
-    let asm = cfg.build(machine).map_err(EvalError::Build)?;
+    evaluate_vector_traced(cfg, machine, augem_obs::null())
+}
+
+/// [`evaluate_vector`] with the build stages and the simulation traced.
+pub fn evaluate_vector_traced(
+    cfg: &VectorConfig,
+    machine: &MachineSpec,
+    tracer: &dyn augem_obs::Tracer,
+) -> Result<Evaluation, EvalError> {
+    let asm = cfg
+        .build_traced(machine, tracer)
+        .map_err(EvalError::Build)?;
     let (n0, n1) = vector_eval_n(cfg.kernel);
     let (args, useful) = match cfg.kernel {
         VectorKernel::Axpy => {
@@ -160,7 +199,13 @@ pub fn evaluate_vector(cfg: &VectorConfig, machine: &MachineSpec) -> Result<Eval
         }
     };
     // Cold run: streaming behavior is the tuning objective here.
-    let (report, _) = augem_sim::simulate_timing(&asm, args, machine).map_err(EvalError::Sim)?;
+    let report = {
+        let _s = augem_obs::span(tracer, augem_obs::stage::SIM);
+        let (report, _) =
+            augem_sim::simulate_timing(&asm, args, machine).map_err(EvalError::Sim)?;
+        report
+    };
+    record_sim_counters(tracer, &report);
     let mflops = report.useful_mflops(useful, machine.turbo_ghz);
     Ok(Evaluation {
         report,
@@ -245,7 +290,7 @@ mod tests {
     }
 
     #[test]
-    fn shuf_and_vdup_both_work_on_sse(){
+    fn shuf_and_vdup_both_work_on_sse() {
         let m = MachineSpec::sandy_bridge().with_isa_clamped(SimdMode::Sse);
         let vdup = GemmConfig {
             mu: 2,

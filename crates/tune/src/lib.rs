@@ -23,5 +23,10 @@ pub mod evaluate;
 pub mod search;
 
 pub use config::{GemmConfig, VectorConfig, VectorKernel};
-pub use evaluate::{evaluate_gemm, evaluate_vector, EvalError, Evaluation};
-pub use search::{tune_gemm, tune_vector, TuneResult};
+pub use evaluate::{
+    evaluate_gemm, evaluate_gemm_traced, evaluate_vector, evaluate_vector_traced, EvalError,
+    Evaluation,
+};
+pub use search::{
+    tune_gemm, tune_gemm_traced, tune_vector, tune_vector_traced, TuneError, TuneResult,
+};

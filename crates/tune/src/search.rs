@@ -3,8 +3,9 @@
 //! the performance of their optimized code".
 
 use crate::config::{gemm_candidates, vector_candidates, GemmConfig, VectorConfig, VectorKernel};
-use crate::evaluate::{evaluate_gemm, evaluate_vector, Evaluation};
+use crate::evaluate::{evaluate_gemm_traced, evaluate_vector_traced, Evaluation};
 use augem_machine::MachineSpec;
+use augem_obs::{span, stage, Tracer, Value};
 use rayon::prelude::*;
 
 /// The tuner's verdict for one kernel on one machine.
@@ -12,54 +13,161 @@ use rayon::prelude::*;
 pub struct TuneResult<C> {
     pub best: C,
     pub best_eval: Evaluation,
-    /// Every evaluated `(config, mflops)` pair, best first (failed builds
-    /// are omitted — some shapes legitimately exceed the register file).
+    /// Every evaluated `(config, mflops)` pair, best first.
     pub ranking: Vec<(C, f64)>,
+    /// Candidates the generator enumerated (evaluated + pruned).
+    pub generated: usize,
+    /// Candidates that failed to build or simulate: `(config tag, why)`.
+    /// Some shapes legitimately exceed the register file — pruning is
+    /// part of the search, not an error — but the reasons are kept so a
+    /// run report can show what the search rejected.
+    pub failures: Vec<(String, String)>,
 }
 
-/// Tunes the GEMM micro-kernel for `machine`.
-pub fn tune_gemm(machine: &MachineSpec) -> TuneResult<GemmConfig> {
-    let candidates = gemm_candidates(machine);
-    let mut scored: Vec<(GemmConfig, Evaluation)> = candidates
-        .par_iter()
-        .filter_map(|c| evaluate_gemm(c, machine).ok().map(|e| (*c, e)))
-        .collect();
-    assert!(
-        !scored.is_empty(),
-        "no GEMM candidate built on {}",
-        machine.arch.short_name()
-    );
-    scored.sort_by(|a, b| b.1.mflops.partial_cmp(&a.1.mflops).unwrap());
-    let ranking = scored.iter().map(|(c, e)| (*c, e.mflops)).collect();
-    let (best, best_eval) = scored.into_iter().next().unwrap();
-    TuneResult {
-        best,
-        best_eval,
-        ranking,
+/// Every candidate failed: the search has nothing to rank. Carries the
+/// per-candidate reasons so the caller can see *why* the space was empty
+/// (the usual causes: an ISA too narrow for every shape, or a machine
+/// description with too few vector registers).
+#[derive(Debug, Clone)]
+pub struct TuneError {
+    /// Kernel being tuned (e.g. `dgemm`).
+    pub kernel: String,
+    /// Target microarchitecture short name.
+    pub machine: String,
+    /// `(config tag, failure reason)` for every candidate tried.
+    pub failures: Vec<(String, String)>,
+}
+
+impl std::fmt::Display for TuneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "no {} candidate built on {} ({} tried):",
+            self.kernel,
+            self.machine,
+            self.failures.len()
+        )?;
+        for (tag, why) in &self.failures {
+            writeln!(f, "  {tag}: {why}")?;
+        }
+        Ok(())
     }
+}
+
+impl std::error::Error for TuneError {}
+
+/// Tunes the GEMM micro-kernel for `machine`.
+pub fn tune_gemm(machine: &MachineSpec) -> Result<TuneResult<GemmConfig>, TuneError> {
+    tune_gemm_traced(machine, augem_obs::null())
+}
+
+/// [`tune_gemm`] with search telemetry: the whole sweep is a `tune` span,
+/// every candidate emits a `tuner.candidate` event (its tag with either
+/// Mflops or an error), and the `tuner.generated` / `tuner.built` /
+/// `tuner.pruned` counters summarize the space.
+pub fn tune_gemm_traced(
+    machine: &MachineSpec,
+    tracer: &dyn Tracer,
+) -> Result<TuneResult<GemmConfig>, TuneError> {
+    let _s = span(tracer, stage::TUNE);
+    let candidates = gemm_candidates(machine);
+    let evaluated: Vec<(GemmConfig, Result<Evaluation, String>)> = candidates
+        .par_iter()
+        .map(|c| {
+            (
+                *c,
+                evaluate_gemm_traced(c, machine, tracer).map_err(|e| e.to_string()),
+            )
+        })
+        .collect();
+    rank("dgemm", machine, evaluated, |c| c.tag(), tracer)
 }
 
 /// Tunes one of the vector-style kernels for `machine`.
-pub fn tune_vector(kernel: VectorKernel, machine: &MachineSpec) -> TuneResult<VectorConfig> {
+pub fn tune_vector(
+    kernel: VectorKernel,
+    machine: &MachineSpec,
+) -> Result<TuneResult<VectorConfig>, TuneError> {
+    tune_vector_traced(kernel, machine, augem_obs::null())
+}
+
+/// [`tune_vector`] with search telemetry (see [`tune_gemm_traced`]).
+pub fn tune_vector_traced(
+    kernel: VectorKernel,
+    machine: &MachineSpec,
+    tracer: &dyn Tracer,
+) -> Result<TuneResult<VectorConfig>, TuneError> {
+    let _s = span(tracer, stage::TUNE);
     let candidates = vector_candidates(kernel, machine);
-    let mut scored: Vec<(VectorConfig, Evaluation)> = candidates
+    let evaluated: Vec<(VectorConfig, Result<Evaluation, String>)> = candidates
         .par_iter()
-        .filter_map(|c| evaluate_vector(c, machine).ok().map(|e| (*c, e)))
+        .map(|c| {
+            (
+                *c,
+                evaluate_vector_traced(c, machine, tracer).map_err(|e| e.to_string()),
+            )
+        })
         .collect();
-    assert!(
-        !scored.is_empty(),
-        "no {} candidate built on {}",
-        kernel.name(),
-        machine.arch.short_name()
-    );
+    rank(kernel.name(), machine, evaluated, |c| c.tag(), tracer)
+}
+
+/// Sorts the evaluated candidates and packages the result, emitting the
+/// search telemetry along the way.
+fn rank<C: Copy>(
+    kernel: &str,
+    machine: &MachineSpec,
+    evaluated: Vec<(C, Result<Evaluation, String>)>,
+    tag: impl Fn(&C) -> String,
+    tracer: &dyn Tracer,
+) -> Result<TuneResult<C>, TuneError> {
+    let generated = evaluated.len();
+    let mut scored: Vec<(C, Evaluation)> = Vec::new();
+    let mut failures: Vec<(String, String)> = Vec::new();
+    for (c, r) in evaluated {
+        match r {
+            Ok(e) => {
+                tracer.event(
+                    "tuner.candidate",
+                    &[
+                        ("tag", Value::from(tag(&c))),
+                        ("mflops", Value::from(e.mflops)),
+                    ],
+                );
+                scored.push((c, e));
+            }
+            Err(why) => {
+                tracer.event(
+                    "tuner.candidate",
+                    &[
+                        ("tag", Value::from(tag(&c))),
+                        ("error", Value::from(why.clone())),
+                    ],
+                );
+                failures.push((tag(&c), why));
+            }
+        }
+    }
+    tracer.add("tuner.generated", generated as u64);
+    tracer.add("tuner.built", scored.len() as u64);
+    tracer.add("tuner.pruned", failures.len() as u64);
+    if scored.is_empty() {
+        return Err(TuneError {
+            kernel: kernel.to_string(),
+            machine: machine.arch.short_name().to_string(),
+            failures,
+        });
+    }
     scored.sort_by(|a, b| b.1.mflops.partial_cmp(&a.1.mflops).unwrap());
     let ranking = scored.iter().map(|(c, e)| (*c, e.mflops)).collect();
     let (best, best_eval) = scored.into_iter().next().unwrap();
-    TuneResult {
+    tracer.label("tuner.best", &tag(&best));
+    Ok(TuneResult {
         best,
         best_eval,
         ranking,
-    }
+        generated,
+        failures,
+    })
 }
 
 #[cfg(test)]
@@ -69,7 +177,7 @@ mod tests {
     #[test]
     fn tuned_gemm_reaches_most_of_peak_on_sandy_bridge() {
         let m = MachineSpec::sandy_bridge();
-        let r = tune_gemm(&m);
+        let r = tune_gemm(&m).unwrap();
         let peak = m.peak_mflops();
         let frac = r.best_eval.mflops / peak;
         assert!(
@@ -81,12 +189,13 @@ mod tests {
         // The winner must be a vectorizable shape on AVX.
         assert_eq!(r.best.mu % 4, 0, "winner {:?}", r.best);
         assert!(r.ranking.len() > 4);
+        assert_eq!(r.generated, r.ranking.len() + r.failures.len());
     }
 
     #[test]
     fn tuned_gemm_on_piledriver_uses_fma_era_throughput() {
         let m = MachineSpec::piledriver();
-        let r = tune_gemm(&m);
+        let r = tune_gemm(&m).unwrap();
         let frac = r.best_eval.mflops / m.peak_mflops();
         assert!(
             frac > 0.4,
@@ -98,10 +207,52 @@ mod tests {
     #[test]
     fn tuning_orders_candidates() {
         let m = MachineSpec::sandy_bridge();
-        let r = tune_vector(VectorKernel::Axpy, &m);
+        let r = tune_vector(VectorKernel::Axpy, &m).unwrap();
         for w in r.ranking.windows(2) {
             assert!(w[0].1 >= w[1].1);
         }
         assert_eq!(r.best_eval.mflops, r.ranking[0].1);
+    }
+
+    #[test]
+    fn empty_search_space_reports_every_failure() {
+        // A machine with almost no vector registers cannot build any
+        // candidate; the error must name each one with a reason.
+        let mut m = MachineSpec::sandy_bridge();
+        m.regs.vector_regs = 1;
+        match tune_gemm(&m) {
+            Err(e) => {
+                assert!(!e.failures.is_empty());
+                assert_eq!(e.kernel, "dgemm");
+                for (tag, why) in &e.failures {
+                    assert!(!tag.is_empty() && !why.is_empty());
+                }
+                let msg = e.to_string();
+                assert!(msg.contains("no dgemm candidate"), "{msg}");
+            }
+            Ok(r) => {
+                // If some candidate still builds with one register, the
+                // search must at least have pruned most of the space.
+                assert!(r.failures.len() > r.ranking.len());
+            }
+        }
+    }
+
+    #[test]
+    fn traced_search_emits_candidate_events() {
+        let m = MachineSpec::sandy_bridge();
+        let c = augem_obs::Collector::new();
+        let r = tune_vector_traced(VectorKernel::Axpy, &m, &c).unwrap();
+        let snap = c.snapshot();
+        let events: Vec<_> = snap
+            .events
+            .iter()
+            .filter(|e| e.name == "tuner.candidate")
+            .collect();
+        assert_eq!(events.len(), r.generated);
+        assert_eq!(snap.counters["tuner.generated"], r.generated as u64);
+        assert_eq!(snap.counters["tuner.built"], r.ranking.len() as u64);
+        assert!(snap.stages().iter().any(|s| s.name == stage::TUNE));
+        assert!(snap.stages().iter().any(|s| s.name == stage::SIM));
     }
 }

@@ -75,7 +75,9 @@ fn cholesky(a: &mut [f64], n: usize) {
                         tile[jj * rem + ii] = a[(j + jj) * lda + j + w + ii];
                     }
                 }
-                dgemm(rem, w, j, -1.0, &below, rem, &panel_t, j, 1.0, &mut tile, rem);
+                dgemm(
+                    rem, w, j, -1.0, &below, rem, &panel_t, j, 1.0, &mut tile, rem,
+                );
                 for jj in 0..w {
                     for ii in 0..rem {
                         a[(j + jj) * lda + j + w + ii] = tile[jj * rem + ii];
@@ -123,9 +125,23 @@ fn cholesky(a: &mut [f64], n: usize) {
 fn main() {
     let n = 256usize;
     // Build an SPD matrix A = M M^T + n*I.
-    let msrc: Vec<f64> = (0..n * n).map(|v| ((v * 13) % 7) as f64 * 0.1 - 0.3).collect();
+    let msrc: Vec<f64> = (0..n * n)
+        .map(|v| ((v * 13) % 7) as f64 * 0.1 - 0.3)
+        .collect();
     let mut a = vec![0.0; n * n];
-    dgemm(n, n, n, 1.0, &msrc, n, &transpose(&msrc, n, n), n, 0.0, &mut a, n);
+    dgemm(
+        n,
+        n,
+        n,
+        1.0,
+        &msrc,
+        n,
+        &transpose(&msrc, n, n),
+        n,
+        0.0,
+        &mut a,
+        n,
+    );
     for i in 0..n {
         a[i * n + i] += n as f64;
     }

@@ -45,8 +45,12 @@ fn main() {
         // paths too).
         let (mr, nr, kc) = (13usize, 7usize, 33usize);
         let (mc, ldb, ldc) = (mr, nr + 2, mr + 1);
-        let a: Vec<f64> = (0..mc * kc).map(|v| ((v * 7) % 23) as f64 * 0.5 - 5.0).collect();
-        let b: Vec<f64> = (0..kc * ldb).map(|v| ((v * 3) % 17) as f64 * 0.25).collect();
+        let a: Vec<f64> = (0..mc * kc)
+            .map(|v| ((v * 7) % 23) as f64 * 0.5 - 5.0)
+            .collect();
+        let b: Vec<f64> = (0..kc * ldb)
+            .map(|v| ((v * 3) % 17) as f64 * 0.25)
+            .collect();
         let c0: Vec<f64> = (0..ldc * nr).map(|v| (v % 9) as f64).collect();
         let mut expect = c0.clone();
         ref_gemm_packed(mr, nr, kc, mc, ldb, ldc, &a, &b, &mut expect);

@@ -35,12 +35,18 @@ fn main() {
 
         print!("{:<10}", "DGEMM");
         for (_, m) in &models {
-            print!("{:>16.0}", avg(gemm_sizes.iter().map(|&s| m.gemm_mflops(s, s, 256))));
+            print!(
+                "{:>16.0}",
+                avg(gemm_sizes.iter().map(|&s| m.gemm_mflops(s, s, 256)))
+            );
         }
         println!();
         print!("{:<10}", "DGEMV");
         for (_, m) in &models {
-            print!("{:>16.0}", avg(gemv_sizes.iter().map(|&s| m.gemv_mflops(s))));
+            print!(
+                "{:>16.0}",
+                avg(gemv_sizes.iter().map(|&s| m.gemv_mflops(s)))
+            );
         }
         println!();
         print!("{:<10}", "DAXPY");

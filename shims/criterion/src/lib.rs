@@ -1,0 +1,217 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace-local package implements the criterion API surface the
+//! benches under `crates/bench/benches/` use — `criterion_group!` /
+//! `criterion_main!`, `Criterion::{bench_function, benchmark_group}`,
+//! `BenchmarkGroup::{sample_size, throughput, bench_function,
+//! bench_with_input, finish}`, `Bencher::iter`, `BenchmarkId`,
+//! `Throughput` — as a small wall-clock harness: each benchmark warms up
+//! once, runs `sample_size` timed samples, and prints min/mean times (plus
+//! element throughput when declared). No statistics, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle (one per `criterion_main!` binary).
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, DEFAULT_SAMPLES, None, f);
+        self
+    }
+
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLES,
+            throughput: None,
+        }
+    }
+
+    pub fn final_summary(self) {}
+}
+
+const DEFAULT_SAMPLES: usize = 10;
+
+/// A named group of related benchmarks sharing sample/throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<S: std::fmt::Display, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id);
+        run_bench(&name, self.sample_size, self.throughput.clone(), f);
+        self
+    }
+
+    pub fn bench_with_input<S: std::fmt::Display, I: ?Sized, F>(
+        &mut self,
+        id: S,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id);
+        run_bench(&name, self.sample_size, self.throughput.clone(), |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Benchmark identifier (`BenchmarkId::new("f", size)` or
+/// `BenchmarkId::from_parameter(size)`).
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: std::fmt::Display, P: std::fmt::Display>(function: S, parameter: P) -> Self {
+        BenchmarkId {
+            text: format!("{function}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Declared per-iteration work, for throughput reporting.
+#[derive(Clone, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Passed to the benchmark closure; `iter` times one sample.
+pub struct Bencher {
+    sample: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.sample = start.elapsed();
+        std::hint::black_box(out);
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    name: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        sample: Duration::ZERO,
+    };
+    f(&mut b); // warmup
+    let mut total = Duration::ZERO;
+    let mut min = Duration::MAX;
+    for _ in 0..samples {
+        f(&mut b);
+        total += b.sample;
+        min = min.min(b.sample);
+    }
+    let mean = total / samples as u32;
+    let rate = throughput
+        .map(|t| match t {
+            Throughput::Elements(n) => {
+                format!("  {:.1} Melem/s", n as f64 / mean.as_secs_f64() / 1e6)
+            }
+            Throughput::Bytes(n) => {
+                format!(
+                    "  {:.1} MiB/s",
+                    n as f64 / mean.as_secs_f64() / (1 << 20) as f64
+                )
+            }
+        })
+        .unwrap_or_default();
+    println!("bench {name:<48} mean {mean:>12.2?}  min {min:>12.2?}{rate}");
+}
+
+/// `criterion_group!(benches, f1, f2, ...)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// `criterion_main!(benches);`
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut runs = 0u32;
+        {
+            let mut g = c.benchmark_group("t");
+            g.sample_size(3);
+            g.throughput(Throughput::Elements(100));
+            g.bench_function("count", |b| b.iter(|| runs += 1));
+            g.finish();
+        }
+        // warmup + 3 samples
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 64).to_string(), "f/64");
+        assert_eq!(BenchmarkId::from_parameter(128).to_string(), "128");
+    }
+}

@@ -17,7 +17,10 @@ fn models(machine: &MachineSpec) -> &'static HashMap<&'static str, PerfModel> {
     cell.get_or_init(|| {
         let mut m = HashMap::new();
         m.insert("augem", PerfModel::build(Library::Augem, machine).unwrap());
-        m.insert("vendor", PerfModel::build(Library::Vendor, machine).unwrap());
+        m.insert(
+            "vendor",
+            PerfModel::build(Library::Vendor, machine).unwrap(),
+        );
         m.insert("atlas", PerfModel::build(Library::Atlas, machine).unwrap());
         m.insert("goto", PerfModel::build(Library::Goto, machine).unwrap());
         m

@@ -72,7 +72,10 @@ fn table_1_isa_selection_end_to_end() {
         &generate(&tagged, &pd, &CodegenOptions::default()).unwrap(),
         &pd.isa,
     );
-    assert!(fma3_text.contains("vfmadd231pd"), "FMA3 fusion on Piledriver");
+    assert!(
+        fma3_text.contains("vfmadd231pd"),
+        "FMA3 fusion on Piledriver"
+    );
 
     let fma4_text = emit_att(
         &generate(
