@@ -16,4 +16,15 @@ cargo build --release
 echo "== tier-1: cargo test -q"
 cargo test -q
 
+echo "== verify: static kernel verification across the kernel x ISA matrix"
+# The generated winner for every kernel on every paper platform must pass
+# the static verifier (augem-gen exits non-zero on any error diagnostic).
+for machine in sandybridge piledriver; do
+  for kernel in gemm gemv ger axpy dot scal; do
+    echo "-- verify $kernel on $machine"
+    ./target/release/augem-gen --kernel "$kernel" --machine "$machine" \
+      --verify -o /dev/null
+  done
+done
+
 echo "CI OK"

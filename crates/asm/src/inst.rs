@@ -345,6 +345,94 @@ impl XInst {
             _ => None,
         }
     }
+
+    /// GP registers read by this instruction (memory bases included).
+    pub fn gp_uses(&self) -> Vec<GpReg> {
+        fn from_operand(o: &GpOrImm, v: &mut Vec<GpReg>) {
+            if let GpOrImm::Gp(r) = o {
+                v.push(*r);
+            }
+        }
+        let mut v = Vec::new();
+        match self {
+            XInst::FLoad { mem, .. }
+            | XInst::FStore { mem, .. }
+            | XInst::FDup { mem, .. }
+            | XInst::Prefetch { mem, .. } => v.push(mem.base),
+            XInst::IMov { src, .. } => v.push(*src),
+            XInst::ILoad { mem, .. } => v.push(mem.base),
+            XInst::IStore { src, mem } => {
+                v.push(*src);
+                v.push(mem.base);
+            }
+            XInst::IAdd { dst, src } | XInst::ISub { dst, src } | XInst::IMul { dst, src } => {
+                v.push(*dst);
+                from_operand(src, &mut v);
+            }
+            XInst::Lea { base, idx, .. } => {
+                v.push(*base);
+                if let Some((r, _)) = idx {
+                    v.push(*r);
+                }
+            }
+            XInst::Cmp { a, b } => {
+                v.push(*a);
+                from_operand(b, &mut v);
+            }
+            _ => {}
+        }
+        v
+    }
+
+    /// GP register written by this instruction.
+    pub fn gp_def(&self) -> Option<GpReg> {
+        match self {
+            XInst::IMovImm { dst, .. }
+            | XInst::IMov { dst, .. }
+            | XInst::IAdd { dst, .. }
+            | XInst::ISub { dst, .. }
+            | XInst::IMul { dst, .. }
+            | XInst::ILoad { dst, .. }
+            | XInst::Lea { dst, .. } => Some(*dst),
+            _ => None,
+        }
+    }
+
+    /// Whether this instruction reads memory (prefetch hints excluded:
+    /// they cannot fault and carry no value dependence).
+    pub fn is_mem_read(&self) -> bool {
+        matches!(
+            self,
+            XInst::FLoad { .. } | XInst::FDup { .. } | XInst::ILoad { .. }
+        )
+    }
+
+    /// Whether this instruction writes memory.
+    pub fn is_mem_write(&self) -> bool {
+        matches!(self, XInst::FStore { .. } | XInst::IStore { .. })
+    }
+
+    /// The memory operand, if any (prefetch included here: its address
+    /// expression is still subject to bounds analysis).
+    pub fn mem(&self) -> Option<&Mem> {
+        match self {
+            XInst::FLoad { mem, .. }
+            | XInst::FStore { mem, .. }
+            | XInst::FDup { mem, .. }
+            | XInst::ILoad { mem, .. }
+            | XInst::IStore { mem, .. }
+            | XInst::Prefetch { mem, .. } => Some(mem),
+            _ => None,
+        }
+    }
+
+    /// Whether this instruction writes the x86 flags register.
+    pub fn sets_flags(&self) -> bool {
+        matches!(
+            self,
+            XInst::IAdd { .. } | XInst::ISub { .. } | XInst::IMul { .. } | XInst::Cmp { .. }
+        )
+    }
 }
 
 #[cfg(test)]

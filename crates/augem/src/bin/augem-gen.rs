@@ -5,8 +5,15 @@
 //! augem-gen --kernel axpy --machine piledriver --emit c    # optimized C instead
 //! augem-gen --kernel gemm --machine sandybridge --emit tagged
 //! augem-gen --kernel dot  --machine sandybridge -o dot.s   # write to a file
+//! augem-gen --kernel gemm --machine piledriver --verify    # static verification
 //! augem-gen --list                                         # kernels & machines
 //! ```
+//!
+//! `--verify` reruns the winning configuration through the pipeline with
+//! binding-event logging and runs the static kernel verifier
+//! (`augem-verify`) over the result: register-allocation replay, dataflow,
+//! SIMD width/ISA typing, and memory bounds. Diagnostics go to stderr;
+//! any `error:`-severity diagnostic makes the exit status non-zero.
 
 use augem::ir::print::print_kernel;
 use augem::machine::{MachineSpec, Microarch};
@@ -25,6 +32,8 @@ struct Args {
     trace: bool,
     /// Write the machine-readable JSON run report here.
     report: Option<String>,
+    /// Run the static kernel verifier on the winning configuration.
+    verify: bool,
 }
 
 #[derive(PartialEq)]
@@ -38,7 +47,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: augem-gen --kernel <gemm|gemv|ger|axpy|dot|scal> \
          --machine <sandybridge|piledriver> [--emit asm|c|tagged] [-o FILE]\n\
-         \x20                [--trace] [--report FILE.json]\n\
+         \x20                [--trace] [--report FILE.json] [--verify]\n\
          \x20      augem-gen --list"
     );
     ExitCode::from(2)
@@ -64,6 +73,7 @@ fn parse() -> Result<Option<Args>, ExitCode> {
     let mut output = None;
     let mut trace = false;
     let mut report = None;
+    let mut verify = false;
     let mut it = argv.into_iter();
     while let Some(flag) = it.next() {
         let mut val = |name: &str| {
@@ -114,6 +124,7 @@ fn parse() -> Result<Option<Args>, ExitCode> {
             "-o" | "--output" => output = Some(val("-o")?),
             "--trace" => trace = true,
             "--report" => report = Some(val("--report")?),
+            "--verify" => verify = true,
             other => {
                 eprintln!("unknown flag `{other}`");
                 return Err(usage());
@@ -130,6 +141,7 @@ fn parse() -> Result<Option<Args>, ExitCode> {
         output,
         trace,
         report,
+        verify,
     }))
 }
 
@@ -152,15 +164,37 @@ fn main() -> ExitCode {
         Err(code) => return code,
     };
 
-    if (args.trace || args.report.is_some()) && args.emit != Emit::Asm {
-        eprintln!("--trace/--report only apply to --emit asm (the tuned pipeline)");
+    if (args.trace || args.report.is_some() || args.verify) && args.emit != Emit::Asm {
+        eprintln!("--trace/--report/--verify only apply to --emit asm (the tuned pipeline)");
         return ExitCode::from(2);
     }
 
+    let mut verify_errors = 0usize;
     let text = match args.emit {
         Emit::Asm => {
             let driver = Augem::new(args.machine.clone());
-            match driver.generate_report(args.kernel) {
+            let generated = if args.verify {
+                driver
+                    .generate_report_verified(args.kernel)
+                    .map(|(g, run, diags)| {
+                        for d in &diags {
+                            eprintln!("{d}");
+                        }
+                        verify_errors = augem::verify::errors(&diags).len();
+                        let warnings = diags.len() - verify_errors;
+                        eprintln!(
+                            "verify: {} error(s), {} warning(s) for {} on {}",
+                            verify_errors,
+                            warnings,
+                            g.config_tag,
+                            args.machine.arch.short_name()
+                        );
+                        (g, run)
+                    })
+            } else {
+                driver.generate_report(args.kernel)
+            };
+            match generated {
                 Ok((g, run)) => {
                     if args.trace {
                         eprint!("{}", run.render_text());
@@ -211,6 +245,10 @@ fn main() -> ExitCode {
         None => {
             let _ = std::io::stdout().write_all(text.as_bytes());
         }
+    }
+    if verify_errors > 0 {
+        eprintln!("verification failed: {verify_errors} error(s)");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -45,6 +45,7 @@ pub use augem_sim as sim;
 pub use augem_templates as templates;
 pub use augem_transforms as transforms;
 pub use augem_tune as tune;
+pub use augem_verify as verify;
 
 pub use augem_kernels::DlaKernel;
 
@@ -138,6 +139,14 @@ fn sim_counters(r: &TimingReport) -> SimCounters {
     }
 }
 
+/// The tuner's winning configuration, kept so the verifier can rebuild
+/// the exact same kernel with its binding log.
+#[derive(Debug, Clone)]
+enum Winner {
+    Gemm(GemmConfig),
+    Vector(VectorConfig),
+}
+
 /// The end-to-end driver: "taking as input a simple C implementation of a
 /// DLA kernel, it automatically generates an efficient assembly kernel"
 /// (paper §2), selecting configurations by empirical feedback.
@@ -170,14 +179,47 @@ impl Augem {
         kernel: DlaKernel,
         tracer: &dyn Tracer,
     ) -> Result<Generated, AugemError> {
-        self.generate_inner(kernel, tracer).map(|(g, _)| g)
+        self.generate_inner(kernel, tracer).map(|(g, _, _)| g)
     }
 
     /// Runs a traced generation and packages everything the collector and
     /// the tuner saw into an `augem.run-report/v1` [`RunReport`].
     pub fn generate_report(&self, kernel: DlaKernel) -> Result<(Generated, RunReport), AugemError> {
         let collector = Collector::new();
-        let (g, tuner) = self.generate_inner(kernel, &collector)?;
+        let (g, tuner, _) = self.generate_inner(kernel, &collector)?;
+        let report = self.finish_report(&collector, kernel, &g, tuner);
+        Ok((g, report))
+    }
+
+    /// [`generate_report`](Augem::generate_report), then rebuilds the
+    /// winning configuration with its binding log and runs the static
+    /// kernel verifier ([`verify::check`]) over it. Diagnostics are
+    /// returned and also land in the run report as `verify.diagnostic`
+    /// events plus `verify.errors` / `verify.warnings` counters.
+    pub fn generate_report_verified(
+        &self,
+        kernel: DlaKernel,
+    ) -> Result<(Generated, RunReport, Vec<augem_verify::Diagnostic>), AugemError> {
+        let collector = Collector::new();
+        let (g, tuner, winner) = self.generate_inner(kernel, &collector)?;
+        let logged = match &winner {
+            Winner::Gemm(c) => c.build_logged(&self.machine),
+            Winner::Vector(c) => c.build_logged(&self.machine),
+        }
+        .map_err(|e| AugemError::Eval(EvalError::Build(e)))?;
+        let diags =
+            augem_verify::check_traced(&logged.kernel, &logged.asm, &logged.log, &collector);
+        let report = self.finish_report(&collector, kernel, &g, tuner);
+        Ok((g, report, diags))
+    }
+
+    fn finish_report(
+        &self,
+        collector: &Collector,
+        kernel: DlaKernel,
+        g: &Generated,
+        tuner: TunerTelemetry,
+    ) -> RunReport {
         let mut report = RunReport::from_snapshot(&collector.snapshot());
         report.kernel = kernel.name().to_string();
         report.machine = self.machine.arch.short_name().to_string();
@@ -190,14 +232,14 @@ impl Augem {
         report.mflops = g.mflops;
         report.sim = Some(sim_counters(&g.report));
         report.tuner = Some(tuner);
-        Ok((g, report))
+        report
     }
 
     fn generate_inner(
         &self,
         kernel: DlaKernel,
         tracer: &dyn Tracer,
-    ) -> Result<(Generated, TunerTelemetry), AugemError> {
+    ) -> Result<(Generated, TunerTelemetry, Winner), AugemError> {
         match kernel {
             DlaKernel::Gemm => {
                 let t = tune_gemm_traced(&self.machine, tracer).map_err(AugemError::Tune)?;
@@ -216,6 +258,7 @@ impl Augem {
                         mflops: t.best_eval.mflops,
                     },
                     telemetry,
+                    Winner::Gemm(t.best),
                 ))
             }
             DlaKernel::Axpy
@@ -246,6 +289,7 @@ impl Augem {
                         mflops: t.best_eval.mflops,
                     },
                     telemetry,
+                    Winner::Vector(t.best),
                 ))
             }
         }
@@ -305,6 +349,18 @@ mod tests {
             assert!(text.contains(&format!(".globl {}", k.name())), "{text}");
             assert!(g.asm.validate().is_ok());
         }
+    }
+
+    #[test]
+    fn verified_generation_is_error_free() {
+        let driver = Augem::new(MachineSpec::sandy_bridge());
+        let (g, report, diags) = driver
+            .generate_report_verified(DlaKernel::Gemv)
+            .expect("gemv generates");
+        assert!(g.mflops > 0.0);
+        assert!(report.mflops > 0.0);
+        let errs = augem_verify::errors(&diags);
+        assert!(errs.is_empty(), "verifier errors on tuned winner: {errs:?}");
     }
 
     #[test]

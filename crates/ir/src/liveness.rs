@@ -78,6 +78,98 @@ impl Liveness {
         v
     }
 
+    /// Symbols that are written but never read afterwards: the last
+    /// write happens at or after the last read, so the final value is
+    /// dead (and, for a local, every register holding it was wasted).
+    ///
+    /// Reads inside a loop are treated as recurring through the back
+    /// edge (a read at iteration *k* happens again after any write at
+    /// iteration *k*), so a loop-carried `acc = acc + t` does not flag.
+    /// Loop variables count as read by the loop's own bound check.
+    /// Returns `(sym, last_write_pos)` pairs, sorted for determinism.
+    pub fn unread_after_last_write(kernel: &Kernel) -> Vec<(Sym, u32)> {
+        #[derive(Default, Clone, Copy)]
+        struct Rw {
+            last_read: Option<u32>,
+            last_write: Option<u32>,
+            /// Both the last read and the last write sit inside one loop
+            /// body, so the read happens again after the write through
+            /// the back edge (cleared by any write past the read).
+            recurs: bool,
+        }
+        fn scan(stmts: &[Stmt], pos: &mut u32, rw: &mut HashMap<Sym, Rw>) {
+            for s in stmts {
+                let here = *pos;
+                *pos += 1;
+                let mut reads = Vec::new();
+                stmt_uses(s, &mut reads);
+                if let Stmt::For { var, .. } = s {
+                    // The back-edge compare reads the induction variable
+                    // after every increment: it is never unread.
+                    rw.entry(*var).or_default().last_read = Some(u32::MAX);
+                }
+                for sym in reads {
+                    let e = rw.entry(sym).or_default();
+                    e.last_read = Some(e.last_read.map_or(here, |p| p.max(here)));
+                }
+                if let Some(d) = stmt_def(s) {
+                    let e = rw.entry(d).or_default();
+                    e.last_write = Some(e.last_write.map_or(here, |p| p.max(here)));
+                    // A write strictly past the last read is not covered
+                    // by any earlier back edge.
+                    if e.last_read.is_none_or(|r| here > r) {
+                        e.recurs = false;
+                    }
+                }
+                match s {
+                    Stmt::For { body, .. } => {
+                        let body_start = *pos;
+                        scan(body, pos, rw);
+                        let body_end = pos.saturating_sub(1);
+                        // Any read inside the loop recurs after any
+                        // write inside it: widen reads to the loop end,
+                        // and mark read-after-write through the back
+                        // edge (a self-advancing `p = p + k` reads its
+                        // own previous write every iteration).
+                        for e in rw.values_mut() {
+                            let read_in = e
+                                .last_read
+                                .is_some_and(|r| r >= body_start && r <= body_end);
+                            if read_in {
+                                e.last_read = Some(body_end);
+                                if e.last_write
+                                    .is_some_and(|w| w >= body_start && w <= body_end)
+                                {
+                                    e.recurs = true;
+                                }
+                            }
+                        }
+                    }
+                    Stmt::Region { body, .. } => scan(body, pos, rw),
+                    _ => {}
+                }
+            }
+        }
+        let mut rw = HashMap::new();
+        let mut pos = 0u32;
+        scan(&kernel.body, &mut pos, &mut rw);
+        let mut out: Vec<(Sym, u32)> = rw
+            .into_iter()
+            .filter_map(|(sym, e)| {
+                let w = e.last_write?;
+                if e.recurs {
+                    return None;
+                }
+                match e.last_read {
+                    Some(r) if r > w => None,
+                    _ => Some((sym, w)),
+                }
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
     /// Maximum number of simultaneously-live `double` scalars — a lower
     /// bound on the vector registers an allocation needs (ignores the
     /// per-array partitioning).
@@ -220,6 +312,90 @@ mod tests {
         let k = kb.finish();
         let lv = Liveness::analyze(&k);
         assert_eq!(lv.max_pressure(&k), 3); // a, b, c all live at pos 2
+    }
+
+    #[test]
+    fn unread_after_last_write_flags_dead_final_value() {
+        // 0: x = 1.0
+        // 1: y = x * x      <- y never read again: flagged
+        // 2: Y[0] = x
+        let mut kb = KernelBuilder::new("t");
+        let yp = kb.ptr_param("Y");
+        let x = kb.local("x", Ty::F64);
+        let y = kb.local("y", Ty::F64);
+        kb.push(assign(x, f64c(1.0)));
+        kb.push(assign(y, mul(var(x), var(x))));
+        kb.push(store(yp, int(0), var(x)));
+        let k = kb.finish();
+        let dead = Liveness::unread_after_last_write(&k);
+        assert_eq!(dead, vec![(y, 1)]);
+    }
+
+    #[test]
+    fn loop_carried_accumulator_is_not_flagged() {
+        // acc is written each iteration and read the next time around
+        // plus by the final store; the loop var is read by its own
+        // bound check. Neither may flag.
+        let mut kb = KernelBuilder::new("t");
+        let a = kb.ptr_param("A");
+        let yp = kb.ptr_param("Y");
+        let n = kb.int_param("n");
+        let acc = kb.local("acc", Ty::F64);
+        let t = kb.local("t", Ty::F64);
+        let i = kb.loop_var("i");
+        kb.push(assign(acc, f64c(0.0)));
+        kb.push(for_(
+            i,
+            int(0),
+            var(n),
+            1,
+            vec![assign(t, idx(a, var(i))), add_assign(acc, var(t))],
+        ));
+        kb.push(store(yp, int(0), var(acc)));
+        let k = kb.finish();
+        assert_eq!(Liveness::unread_after_last_write(&k), vec![]);
+    }
+
+    #[test]
+    fn self_advancing_pointer_is_not_flagged() {
+        // x = x + 1 inside the loop reads its own previous write through
+        // the back edge on every iteration but the last: not dead code,
+        // even though nothing reads x after the loop.
+        let mut kb = KernelBuilder::new("t");
+        let n = kb.int_param("n");
+        let x = kb.local("x", Ty::I64);
+        let i = kb.loop_var("i");
+        kb.push(assign(x, int(0)));
+        kb.push(for_(
+            i,
+            int(0),
+            var(n),
+            1,
+            vec![assign(x, add(var(x), int(1)))],
+        ));
+        let k = kb.finish();
+        assert_eq!(Liveness::unread_after_last_write(&k), vec![]);
+    }
+
+    #[test]
+    fn write_after_loop_clears_backedge_cover() {
+        // The loop's read covers the in-loop writes, but the write after
+        // the loop is past every read: flagged at its position.
+        let mut kb = KernelBuilder::new("t");
+        let n = kb.int_param("n");
+        let x = kb.local("x", Ty::I64);
+        let i = kb.loop_var("i");
+        kb.push(assign(x, int(0)));
+        kb.push(for_(
+            i,
+            int(0),
+            var(n),
+            1,
+            vec![assign(x, add(var(x), int(1)))],
+        ));
+        kb.push(assign(x, int(7)));
+        let k = kb.finish();
+        assert_eq!(Liveness::unread_after_last_write(&k), vec![(x, 3)]);
     }
 
     #[test]

@@ -48,6 +48,29 @@ impl GpReg {
         ];
         &ORDER
     }
+
+    /// The System-V AMD64 stack pointer, `%rsp`.
+    pub const RSP: GpReg = GpReg(7);
+
+    /// Callee-saved registers of the System-V AMD64 ABI (excluding
+    /// `%rsp`): `%rbx`, `%rbp`, `%r12`–`%r15`. A function that writes
+    /// any of these must restore the caller's value before returning.
+    pub fn callee_saved() -> &'static [GpReg] {
+        const SAVED: [GpReg; 6] = [
+            GpReg(1),
+            GpReg(6),
+            GpReg(12),
+            GpReg(13),
+            GpReg(14),
+            GpReg(15),
+        ];
+        &SAVED
+    }
+
+    /// Whether this register is callee-saved under the System-V ABI.
+    pub fn is_callee_saved(self) -> bool {
+        Self::callee_saved().contains(&self)
+    }
 }
 
 impl fmt::Display for GpReg {

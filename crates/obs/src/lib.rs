@@ -54,6 +54,8 @@ pub mod stage {
     pub const AKG: &str = "akg";
     /// Timing simulation (`sim`).
     pub const SIM: &str = "sim";
+    /// Static verification of the winning kernel (`verify::check`).
+    pub const VERIFY: &str = "verify";
     /// The whole empirical search (`tune::search`).
     pub const TUNE: &str = "tune";
 }

@@ -20,7 +20,7 @@
 //!   register becomes an extract/shuffle/add horizontal sum, after which
 //!   `res` is rebound as a scalar.
 
-use crate::binding::{AllocError, Binding, RegAllocator};
+use crate::binding::{AllocError, Binding, BindingEvent, RegAllocator};
 use crate::isel;
 use crate::plan::{self, Plan, PlanOptions, StrategyPref, VecStrategy};
 use crate::sched;
@@ -83,6 +83,31 @@ impl std::fmt::Display for CodegenError {
 
 impl std::error::Error for CodegenError {}
 
+/// Everything the verifier needs to replay a compilation: the
+/// allocator's decision log, the pre-schedule instruction stream those
+/// decisions refer to, and the generator's planning context.
+///
+/// Produced by [`generate_with_log`]; consumed by `verify::check`.
+#[derive(Debug, Clone)]
+pub struct BindingLog {
+    /// Allocator decisions in emission order.
+    pub events: Vec<BindingEvent>,
+    /// Pre-schedule instruction stream (event `inst_pos` indexes here).
+    pub insts: Vec<XInst>,
+    /// Canonical IR position of the statement each instruction lowers.
+    pub inst_ir: Vec<u32>,
+    /// Vector registers pre-bound to f64 parameters.
+    pub reserved: Vec<VecReg>,
+    /// ISA features the stream was generated for.
+    pub isa: IsaSet,
+    /// Packed width of the target's SIMD mode.
+    pub packed: Width,
+    /// Per-region vectorization strategy the plan chose.
+    pub strategies: Vec<VecStrategy>,
+    /// Stack slots (8-byte, `%rsp`-relative) the kernel owns.
+    pub stack_slots: usize,
+}
+
 /// Shared code-generation state (used by the template emitters too).
 pub(crate) struct Codegen<'a> {
     pub(crate) kernel: &'a Kernel,
@@ -95,6 +120,10 @@ pub(crate) struct Codegen<'a> {
     /// Allocated accumulator registers per plan group (lazy).
     pub(crate) group_regs: Vec<Option<Vec<VecReg>>>,
     pub(crate) out: Vec<XInst>,
+    /// Canonical IR position of the statement each `out` entry lowers.
+    inst_ir: Vec<u32>,
+    /// IR position of the statement currently being translated.
+    cur_ir: u32,
     pub(crate) pos: u32,
     pub(crate) region_idx: usize,
     pub(crate) zeroed: HashSet<VecReg>,
@@ -133,6 +162,18 @@ pub fn generate_traced(
     opts: &CodegenOptions,
     tracer: &dyn augem_obs::Tracer,
 ) -> Result<AsmKernel, CodegenError> {
+    generate_with_log(kernel, machine, opts, tracer).map(|(asm, _)| asm)
+}
+
+/// [`generate_traced`] that additionally returns the [`BindingLog`] the
+/// verifier replays: every allocator decision, stamped with instruction
+/// and IR positions, plus the pre-schedule instruction stream.
+pub fn generate_with_log(
+    kernel: &Kernel,
+    machine: &MachineSpec,
+    opts: &CodegenOptions,
+    tracer: &dyn augem_obs::Tracer,
+) -> Result<(AsmKernel, BindingLog), CodegenError> {
     let _stage = augem_obs::span(tracer, augem_obs::stage::AKG);
     let plan_opts = PlanOptions {
         strategy: opts.strategy,
@@ -199,6 +240,8 @@ pub fn generate_traced(
         plan,
         group_regs: vec![None; group_count],
         out: Vec::new(),
+        inst_ir: Vec::new(),
+        cur_ir: 0,
         pos: 0,
         region_idx: 0,
         zeroed: HashSet::new(),
@@ -217,8 +260,67 @@ pub fn generate_traced(
 
     tracer.hwm("regs.vec", cg.alloc.vec_high_water() as u64);
     tracer.hwm("regs.gp", cg.alloc.gp_high_water() as u64);
+
+    // ABI prologue/epilogue: the GP pool hands out callee-saved
+    // registers (%rbx, %r12–%r15) once the caller-saved ones run out,
+    // so any the kernel writes must be parked in stack slots around
+    // the body — a C caller owns their values across the call.
+    let mut saved: Vec<(GpReg, usize)> = Vec::new();
+    for i in &cg.out {
+        if let Some(d) = i.gp_def() {
+            if d.is_callee_saved() && !saved.iter().any(|(r, _)| *r == d) {
+                let slot = cg.next_slot;
+                cg.next_slot += 1;
+                saved.push((d, slot));
+            }
+        }
+    }
+    let mut pre = cg.out;
+    let mut pre_ir = cg.inst_ir;
+    if !saved.is_empty() {
+        let ret_ir = pre_ir.last().copied().unwrap_or(0);
+        let body_len = pre.len() - 1; // Ret is always last
+        let mut insts = Vec::with_capacity(pre.len() + 2 * saved.len());
+        let mut ir = Vec::with_capacity(insts.capacity());
+        for &(r, slot) in &saved {
+            insts.push(XInst::IStore {
+                src: r,
+                mem: Mem::elem(GpReg(7), slot as i64),
+            });
+            ir.push(0);
+        }
+        insts.extend(pre.drain(..body_len));
+        ir.extend(pre_ir[..body_len].iter().copied());
+        for &(r, slot) in &saved {
+            insts.push(XInst::ILoad {
+                dst: r,
+                mem: Mem::elem(GpReg(7), slot as i64),
+            });
+            ir.push(ret_ir);
+        }
+        insts.push(XInst::Ret);
+        ir.push(ret_ir);
+        pre = insts;
+        pre_ir = ir;
+    }
+    let mut events = cg.alloc.take_events();
+    for e in &mut events {
+        e.inst_pos += saved.len();
+    }
+
     let stack_slots = cg.next_slot;
-    let mut insts = cg.out;
+    let log = BindingLog {
+        events,
+        insts: pre.clone(),
+        inst_ir: pre_ir,
+        reserved,
+        isa: machine.isa,
+        packed: Width::packed(machine.simd_mode()),
+        strategies: cg.plan.strategies.clone(),
+        stack_slots,
+    };
+
+    let mut insts = pre;
     if opts.schedule {
         let _s = augem_obs::span(tracer, "akg.sched");
         insts = sched::schedule(insts, machine);
@@ -232,7 +334,7 @@ pub fn generate_traced(
         stack_slots,
     };
     asm.validate().map_err(CodegenError::Malformed)?;
-    Ok(asm)
+    Ok((asm, log))
 }
 
 impl<'a> Codegen<'a> {
@@ -242,7 +344,9 @@ impl<'a> Codegen<'a> {
                 self.zeroed.remove(&d);
             }
         }
+        self.inst_ir.push(self.cur_ir);
         self.out.push(inst);
+        self.alloc.note_inst_count(self.out.len());
     }
 
     pub(crate) fn push_all(&mut self, insts: Vec<XInst>) {
@@ -474,6 +578,9 @@ impl<'a> Codegen<'a> {
         if self.suppress_release > 0 {
             return;
         }
+        // Stamp releases with the position they are "as of" so the
+        // verifier can compare against the symbol's live range.
+        self.alloc.set_ir_pos(pos);
         for s in self.liveness.dying_at(pos) {
             self.alloc.release(s);
             self.hsum_consumed.remove(&s);
@@ -499,6 +606,8 @@ impl<'a> Codegen<'a> {
             self.clear_pins();
             let here = self.pos;
             self.pos += 1;
+            self.cur_ir = here;
+            self.alloc.set_ir_pos(here);
             match s {
                 Stmt::Region { annot, body } => {
                     let idx = self.region_idx;
@@ -695,6 +804,7 @@ impl<'a> Codegen<'a> {
         // including the header's own position.
         if self.suppress_release == 0 {
             for p in header_pos..self.pos {
+                self.alloc.set_ir_pos(p);
                 for s in self.liveness.dying_at(p) {
                     self.alloc.release(s);
                     self.hsum_consumed.remove(&s);

@@ -52,6 +52,54 @@ impl std::fmt::Display for AllocError {
 
 impl std::error::Error for AllocError {}
 
+/// One allocator decision, recorded for post-hoc verification.
+///
+/// The verifier (`crates/verify`) replays these events against the
+/// emitted instruction stream to prove the paper's `reg_table`
+/// contracts (§2.4, §3.1) held for the whole compilation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BindingEventKind {
+    /// A vector register was checked out of a queue.
+    AllocVec { reg: VecReg },
+    /// A vector register was returned. `double` marks a return of a
+    /// register that was not checked out (a double free).
+    FreeVec { reg: VecReg, double: bool },
+    /// A GP register was checked out of the free list.
+    AllocGp { reg: GpReg },
+    /// A GP register was removed from the free list by name.
+    ClaimGp { reg: GpReg },
+    /// A GP register was returned. `double` as for [`FreeVec`].
+    ///
+    /// [`FreeVec`]: BindingEventKind::FreeVec
+    FreeGp { reg: GpReg, double: bool },
+    /// `reg_table[sym] = binding`; `prev` is the overwritten entry.
+    Bind {
+        sym: Sym,
+        binding: Binding,
+        prev: Option<Binding>,
+    },
+    /// `sym` left the `reg_table` (its live range ended).
+    Release { sym: Sym, binding: Binding },
+    /// `sym` moved to a new binding without freeing the old register
+    /// (spill, reload, or a horizontal sum collapsing a lane).
+    Rebind {
+        sym: Sym,
+        binding: Binding,
+        prev: Option<Binding>,
+    },
+}
+
+/// A [`BindingEventKind`] stamped with where it happened: `inst_pos` is
+/// the length of the instruction stream at event time (the index the
+/// next emitted instruction will occupy) and `ir_pos` the canonical IR
+/// position of the statement being translated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BindingEvent {
+    pub kind: BindingEventKind,
+    pub inst_pos: usize,
+    pub ir_pos: u32,
+}
+
 /// The allocator: per-array vector-register queues + a GP free list + the
 /// global `reg_table`.
 #[derive(Debug)]
@@ -75,6 +123,14 @@ pub struct RegAllocator {
     /// Allocatable GP registers at construction (for the GP mark).
     gp_total: usize,
     gp_hwm: usize,
+    /// Pre-bound (parameter) vector registers, excluded from the queues.
+    reserved: Vec<VecReg>,
+    /// Decision log consumed by the verifier.
+    events: Vec<BindingEvent>,
+    /// Current instruction-stream length (kept in sync by codegen).
+    cur_inst: usize,
+    /// Canonical IR position of the statement being translated.
+    cur_ir: u32,
 }
 
 impl RegAllocator {
@@ -136,7 +192,41 @@ impl RegAllocator {
             vec_hwm: 0,
             gp_total,
             gp_hwm: 0,
+            reserved: reserved_vec.to_vec(),
+            events: Vec::new(),
+            cur_inst: 0,
+            cur_ir: 0,
         }
+    }
+
+    // ---- decision log ----
+
+    fn ev(&mut self, kind: BindingEventKind) {
+        self.events.push(BindingEvent {
+            kind,
+            inst_pos: self.cur_inst,
+            ir_pos: self.cur_ir,
+        });
+    }
+
+    /// Updates the IR position stamped onto subsequent events.
+    pub fn set_ir_pos(&mut self, pos: u32) {
+        self.cur_ir = pos;
+    }
+
+    /// Updates the instruction-stream length stamped onto events.
+    pub fn note_inst_count(&mut self, n: usize) {
+        self.cur_inst = n;
+    }
+
+    /// Drains the recorded decision log.
+    pub fn take_events(&mut self) -> Vec<BindingEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Pre-bound (parameter) vector registers.
+    pub fn reserved_vec(&self) -> &[VecReg] {
+        &self.reserved
     }
 
     /// Most vector registers ever simultaneously in use.
@@ -172,6 +262,7 @@ impl RegAllocator {
                     self.vec_class_of.insert(r, c);
                     self.vec_in_use += 1;
                     self.vec_hwm = self.vec_hwm.max(self.vec_in_use);
+                    self.ev(BindingEventKind::AllocVec { reg: r });
                     return Ok(r);
                 }
             }
@@ -188,6 +279,9 @@ impl RegAllocator {
     pub fn alloc_gp(&mut self) -> Result<GpReg, AllocError> {
         let r = self.gp_free.pop_front().ok_or(AllocError::OutOfGpRegs);
         self.note_gp_pressure();
+        if let Ok(reg) = r {
+            self.ev(BindingEventKind::AllocGp { reg });
+        }
         r
     }
 
@@ -196,25 +290,49 @@ impl RegAllocator {
     pub fn claim_gp(&mut self, r: GpReg) {
         self.gp_free.retain(|&x| x != r);
         self.note_gp_pressure();
+        self.ev(BindingEventKind::ClaimGp { reg: r });
     }
 
     /// Returns a vector register to the queue it came from.
     pub fn free_vec(&mut self, r: VecReg) {
-        let tracked = self.vec_class_of.contains_key(&r);
-        let class = self.vec_class_of.remove(&r).unwrap_or(None);
-        if tracked {
-            self.vec_in_use = self.vec_in_use.saturating_sub(1);
-        }
-        if let Some(q) = self.vec_queues.get_mut(&class) {
-            if !q.contains(&r) {
-                q.push_back(r);
+        match self.vec_class_of.remove(&r) {
+            Some(class) => {
+                self.vec_in_use = self.vec_in_use.saturating_sub(1);
+                self.ev(BindingEventKind::FreeVec {
+                    reg: r,
+                    double: false,
+                });
+                if let Some(q) = self.vec_queues.get_mut(&class) {
+                    if !q.contains(&r) {
+                        q.push_back(r);
+                    }
+                }
+            }
+            None => {
+                // Not checked out of any queue. A reserved (parameter)
+                // register whose owner died joins the shared pool; any
+                // other untracked register is a double free and must
+                // not be injected — it may already sit in a different
+                // queue, and pushing it here would let the allocator
+                // hand the same register out twice.
+                let recycle =
+                    self.reserved.contains(&r) && !self.vec_queues.values().any(|q| q.contains(&r));
+                self.ev(BindingEventKind::FreeVec {
+                    reg: r,
+                    double: !recycle,
+                });
+                if recycle {
+                    self.vec_queues.entry(None).or_default().push_back(r);
+                }
             }
         }
     }
 
     /// Returns a GP register to the free list.
     pub fn free_gp(&mut self, r: GpReg) {
-        if !self.gp_free.contains(&r) {
+        let double = self.gp_free.contains(&r);
+        self.ev(BindingEventKind::FreeGp { reg: r, double });
+        if !double {
             self.gp_free.push_back(r);
         }
     }
@@ -222,7 +340,12 @@ impl RegAllocator {
     // ---- reg_table operations ----
 
     pub fn bind(&mut self, sym: Sym, b: Binding) {
-        self.table.insert(sym, b);
+        let prev = self.table.insert(sym, b);
+        self.ev(BindingEventKind::Bind {
+            sym,
+            binding: b,
+            prev,
+        });
     }
 
     pub fn lookup(&self, sym: Sym) -> Option<Binding> {
@@ -235,6 +358,7 @@ impl RegAllocator {
         let Some(b) = self.table.remove(&sym) else {
             return;
         };
+        self.ev(BindingEventKind::Release { sym, binding: b });
         match b {
             Binding::Gp(r) => {
                 if !self.table.values().any(|x| *x == Binding::Gp(r)) {
@@ -256,7 +380,12 @@ impl RegAllocator {
     /// Rebinds `sym` without touching register free lists (used when a
     /// horizontal sum moves an accumulator from a lane to a scalar).
     pub fn rebind(&mut self, sym: Sym, b: Binding) {
-        self.table.insert(sym, b);
+        let prev = self.table.insert(sym, b);
+        self.ev(BindingEventKind::Rebind {
+            sym,
+            binding: b,
+            prev,
+        });
     }
 
     /// Number of free vector registers across every queue.

@@ -8,71 +8,8 @@
 //! kernels interleave loads with FMAs for exactly this reason; the
 //! ablation benchmark compares scheduled vs unscheduled streams.
 
-use augem_asm::{GpOrImm, XInst};
-use augem_machine::{GpReg, MachineSpec};
-
-/// GP registers read by an instruction.
-fn gp_uses(i: &XInst) -> Vec<GpReg> {
-    fn from_operand(o: &GpOrImm, v: &mut Vec<GpReg>) {
-        if let GpOrImm::Gp(r) = o {
-            v.push(*r);
-        }
-    }
-    let mut v = Vec::new();
-    match i {
-        XInst::FLoad { mem, .. }
-        | XInst::FStore { mem, .. }
-        | XInst::FDup { mem, .. }
-        | XInst::Prefetch { mem, .. } => v.push(mem.base),
-        XInst::IMov { src, .. } => v.push(*src),
-        XInst::ILoad { mem, .. } => v.push(mem.base),
-        XInst::IStore { src, mem } => {
-            v.push(*src);
-            v.push(mem.base);
-        }
-        XInst::IAdd { dst, src } | XInst::ISub { dst, src } | XInst::IMul { dst, src } => {
-            v.push(*dst);
-            from_operand(src, &mut v);
-        }
-        XInst::Lea { base, idx, .. } => {
-            v.push(*base);
-            if let Some((r, _)) = idx {
-                v.push(*r);
-            }
-        }
-        XInst::Cmp { a, b } => {
-            v.push(*a);
-            from_operand(b, &mut v);
-        }
-        _ => {}
-    }
-    v
-}
-
-/// GP register written by an instruction.
-fn gp_def(i: &XInst) -> Option<GpReg> {
-    match i {
-        XInst::IMovImm { dst, .. }
-        | XInst::IMov { dst, .. }
-        | XInst::IAdd { dst, .. }
-        | XInst::ISub { dst, .. }
-        | XInst::IMul { dst, .. }
-        | XInst::ILoad { dst, .. }
-        | XInst::Lea { dst, .. } => Some(*dst),
-        _ => None,
-    }
-}
-
-fn is_mem_read(i: &XInst) -> bool {
-    matches!(
-        i,
-        XInst::FLoad { .. } | XInst::FDup { .. } | XInst::ILoad { .. }
-    )
-}
-
-fn is_mem_write(i: &XInst) -> bool {
-    matches!(i, XInst::FStore { .. } | XInst::IStore { .. })
-}
+use augem_asm::XInst;
+use augem_machine::MachineSpec;
 
 fn is_boundary(i: &XInst) -> bool {
     matches!(
@@ -194,10 +131,10 @@ fn list_schedule(body: Vec<XInst>, machine: &MachineSpec) -> Vec<XInst> {
 /// Conservative dependence test: true if `later` must stay after `earlier`.
 fn depends(earlier: &XInst, later: &XInst) -> bool {
     // Memory ordering: writes order with everything; reads commute.
-    if is_mem_write(earlier) && (is_mem_read(later) || is_mem_write(later)) {
+    if earlier.is_mem_write() && (later.is_mem_read() || later.is_mem_write()) {
         return true;
     }
-    if is_mem_read(earlier) && is_mem_write(later) {
+    if earlier.is_mem_read() && later.is_mem_write() {
         return true;
     }
     // Vector register dependences.
@@ -214,15 +151,15 @@ fn depends(earlier: &XInst, later: &XInst) -> bool {
         }
     }
     // GP register dependences.
-    let e_gdef = gp_def(earlier);
-    let l_gdef = gp_def(later);
+    let e_gdef = earlier.gp_def();
+    let l_gdef = later.gp_def();
     if let Some(d) = e_gdef {
-        if gp_uses(later).contains(&d) || l_gdef == Some(d) {
+        if later.gp_uses().contains(&d) || l_gdef == Some(d) {
             return true;
         }
     }
     if let Some(d) = l_gdef {
-        if gp_uses(earlier).contains(&d) {
+        if earlier.gp_uses().contains(&d) {
             return true;
         }
     }
@@ -232,8 +169,8 @@ fn depends(earlier: &XInst, later: &XInst) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use augem_asm::{Mem, Width};
-    use augem_machine::VecReg;
+    use augem_asm::{GpOrImm, Mem, Width};
+    use augem_machine::{GpReg, VecReg};
 
     fn m() -> MachineSpec {
         MachineSpec::sandy_bridge()

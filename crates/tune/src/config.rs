@@ -92,6 +92,18 @@ impl GemmConfig {
             tracer,
         )
     }
+
+    /// [`build`](GemmConfig::build) keeping every artifact the static
+    /// verifier consumes.
+    pub fn build_logged(&self, machine: &MachineSpec) -> Result<LoggedBuild, BuildError> {
+        build_pipeline_logged(
+            &gemm_simple(),
+            &self.opt_config(),
+            &self.codegen_options(),
+            machine,
+            augem_obs::null(),
+        )
+    }
 }
 
 /// Which vector-style kernel a [`VectorConfig`] tunes.
@@ -150,6 +162,18 @@ impl VectorConfig {
         machine: &MachineSpec,
         tracer: &dyn augem_obs::Tracer,
     ) -> Result<AsmKernel, BuildError> {
+        let (kernel, cfg, opts) = self.pipeline_inputs();
+        build_pipeline_traced(&kernel, &cfg, &opts, machine, tracer)
+    }
+
+    /// [`build`](VectorConfig::build) keeping every artifact the static
+    /// verifier consumes.
+    pub fn build_logged(&self, machine: &MachineSpec) -> Result<LoggedBuild, BuildError> {
+        let (kernel, cfg, opts) = self.pipeline_inputs();
+        build_pipeline_logged(&kernel, &cfg, &opts, machine, augem_obs::null())
+    }
+
+    fn pipeline_inputs(&self) -> (Kernel, OptimizeConfig, CodegenOptions) {
         let (kernel, mut cfg): (Kernel, OptimizeConfig) = match self.kernel {
             VectorKernel::Axpy => (axpy_simple(), OptimizeConfig::vector(self.unroll, false)),
             VectorKernel::Dot => (dot_simple(), OptimizeConfig::vector(self.unroll, true)),
@@ -165,7 +189,7 @@ impl VectorConfig {
             schedule: self.schedule,
             ..Default::default()
         };
-        build_pipeline_traced(&kernel, &cfg, &opts, machine, tracer)
+        (kernel, cfg, opts)
     }
 }
 
@@ -210,6 +234,40 @@ pub fn build_pipeline_traced(
         .map_err(BuildError::Transform)?;
     augem_templates::identify_traced(&mut k, tracer);
     augem_opt::generate_traced(&k, machine, opts, tracer).map_err(BuildError::Codegen)
+}
+
+/// One compilation with every artifact the static verifier needs: the
+/// template-tagged IR kernel, the final assembly, and the allocator's
+/// decision log.
+#[derive(Debug, Clone)]
+pub struct LoggedBuild {
+    /// The optimized, template-tagged low-level C kernel.
+    pub kernel: Kernel,
+    /// The final (scheduled) assembly kernel.
+    pub asm: AsmKernel,
+    /// The register-allocation decision log.
+    pub log: augem_opt::BindingLog,
+}
+
+/// [`build_pipeline_traced`] that keeps the tagged kernel and the
+/// binding log alongside the assembly, for `verify::check`.
+pub fn build_pipeline_logged(
+    simple: &Kernel,
+    cfg: &OptimizeConfig,
+    opts: &CodegenOptions,
+    machine: &MachineSpec,
+    tracer: &dyn augem_obs::Tracer,
+) -> Result<LoggedBuild, BuildError> {
+    let mut k = augem_transforms::generate_optimized_traced(simple, cfg, tracer)
+        .map_err(BuildError::Transform)?;
+    augem_templates::identify_traced(&mut k, tracer);
+    let (asm, log) =
+        augem_opt::generate_with_log(&k, machine, opts, tracer).map_err(BuildError::Codegen)?;
+    Ok(LoggedBuild {
+        kernel: k,
+        asm,
+        log,
+    })
 }
 
 /// GEMM candidate set for a machine's SIMD width (the tuner's search

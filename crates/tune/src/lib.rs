@@ -22,7 +22,10 @@ pub mod config;
 pub mod evaluate;
 pub mod search;
 
-pub use config::{GemmConfig, VectorConfig, VectorKernel};
+pub use config::{
+    build_pipeline, build_pipeline_logged, build_pipeline_traced, gemm_candidates,
+    vector_candidates, BuildError, GemmConfig, LoggedBuild, VectorConfig, VectorKernel,
+};
 pub use evaluate::{
     evaluate_gemm, evaluate_gemm_traced, evaluate_vector, evaluate_vector_traced, EvalError,
     Evaluation,

@@ -1,0 +1,465 @@
+//! Register dataflow over the emitted instruction stream.
+//!
+//! Three checks, all on a basic-block CFG rebuilt from labels and
+//! branches:
+//!
+//! * **use-before-def** — a forward *must-defined* analysis (meet =
+//!   intersection over predecessors) proves every register read is
+//!   dominated by a write; parameters, `%rsp`, and the callee-saved
+//!   registers (whose caller values are real) seed the entry state.
+//! * **dead definitions** — a backward liveness analysis flags writes
+//!   whose value no path can observe (flag-setting instructions are
+//!   exempt; callee-saved registers and `%rsp` are live at `ret`).
+//! * **flags discipline** — every `jl`/`jge` must consume flags set by
+//!   a `cmp`, not by intervening arithmetic (the scheduler keeps the
+//!   pair adjacent; this proves it).
+
+use crate::diag::{Diagnostic, Rule, Span};
+use augem_asm::{AsmKernel, ParamLoc, XInst};
+use augem_machine::{GpReg, VecReg};
+use std::collections::HashMap;
+
+/// Register set as a bitmask: bits 0..16 the GP file, 16..32 the
+/// vector file.
+type RegSet = u32;
+
+fn gp_bit(r: GpReg) -> RegSet {
+    1u32 << (r.0 as u32 & 15)
+}
+
+fn vec_bit(r: VecReg) -> RegSet {
+    1u32 << (16 + (r.0 as u32 & 15))
+}
+
+fn uses_of(inst: &XInst) -> RegSet {
+    let mut s = 0;
+    for r in inst.gp_uses() {
+        s |= gp_bit(r);
+    }
+    for r in inst.vec_uses() {
+        s |= vec_bit(r);
+    }
+    s
+}
+
+fn defs_of(inst: &XInst) -> RegSet {
+    let mut s = 0;
+    if let Some(r) = inst.gp_def() {
+        s |= gp_bit(r);
+    }
+    if let Some(r) = inst.vec_def() {
+        s |= vec_bit(r);
+    }
+    s
+}
+
+fn reg_names(set: RegSet) -> String {
+    let mut v = Vec::new();
+    for i in 0..16u8 {
+        if set & gp_bit(GpReg(i)) != 0 {
+            v.push(format!("{:?}", GpReg(i)));
+        }
+        if set & vec_bit(VecReg(i)) != 0 {
+            v.push(format!("{:?}", VecReg(i)));
+        }
+    }
+    v.join(", ")
+}
+
+/// Basic block: instruction index range `[start, end)` plus successor
+/// block ids.
+struct Block {
+    start: usize,
+    end: usize,
+    succs: Vec<usize>,
+}
+
+/// Splits `insts` at labels and after branches.
+fn build_cfg(insts: &[XInst]) -> Vec<Block> {
+    let n = insts.len();
+    let mut leader = vec![false; n.max(1)];
+    if n > 0 {
+        leader[0] = true;
+    }
+    let mut label_at: HashMap<&str, usize> = HashMap::new();
+    for (i, inst) in insts.iter().enumerate() {
+        match inst {
+            XInst::Label(l) => {
+                leader[i] = true;
+                label_at.insert(l.as_str(), i);
+            }
+            XInst::Jl(_) | XInst::Jge(_) | XInst::Jmp(_) | XInst::Ret if i + 1 < n => {
+                leader[i + 1] = true;
+            }
+            _ => {}
+        }
+    }
+    let starts: Vec<usize> = (0..n).filter(|&i| leader[i]).collect();
+    let block_of: HashMap<usize, usize> = starts.iter().enumerate().map(|(b, &s)| (s, b)).collect();
+    let mut blocks = Vec::with_capacity(starts.len());
+    for (b, &start) in starts.iter().enumerate() {
+        let end = starts.get(b + 1).copied().unwrap_or(n);
+        let mut succs = Vec::new();
+        match insts.get(end.wrapping_sub(1)) {
+            Some(XInst::Jl(t)) | Some(XInst::Jge(t)) => {
+                if let Some(&ti) = label_at.get(t.as_str()) {
+                    succs.push(block_of[&ti]);
+                }
+                if end < n {
+                    succs.push(b + 1);
+                }
+            }
+            Some(XInst::Jmp(t)) => {
+                if let Some(&ti) = label_at.get(t.as_str()) {
+                    succs.push(block_of[&ti]);
+                }
+            }
+            Some(XInst::Ret) => {}
+            _ => {
+                if end < n {
+                    succs.push(b + 1);
+                }
+            }
+        }
+        blocks.push(Block { start, end, succs });
+    }
+    blocks
+}
+
+/// Registers carrying a defined value at kernel entry: the parameter
+/// registers, `%rsp`, and the callee-saved file (the caller's values
+/// are real — the prologue may read them to save them).
+fn entry_set(asm: &AsmKernel) -> RegSet {
+    let mut s = gp_bit(GpReg::RSP);
+    for &r in GpReg::callee_saved() {
+        s |= gp_bit(r);
+    }
+    for (_, loc) in &asm.params {
+        match loc {
+            ParamLoc::Gp(r) => s |= gp_bit(*r),
+            ParamLoc::Vec(r) | ParamLoc::VecBroadcast(r) => s |= vec_bit(*r),
+        }
+    }
+    s
+}
+
+pub fn check(asm: &AsmKernel, diags: &mut Vec<Diagnostic>) {
+    let insts = &asm.insts;
+    if insts.is_empty() {
+        return;
+    }
+    let blocks = build_cfg(insts);
+    let preds = predecessors(&blocks);
+
+    check_use_before_def(asm, insts, &blocks, &preds, diags);
+    check_dead_defs(insts, &blocks, diags);
+    check_flags(insts, diags);
+}
+
+fn predecessors(blocks: &[Block]) -> Vec<Vec<usize>> {
+    let mut preds = vec![Vec::new(); blocks.len()];
+    for (b, blk) in blocks.iter().enumerate() {
+        for &s in &blk.succs {
+            preds[s].push(b);
+        }
+    }
+    preds
+}
+
+fn check_use_before_def(
+    asm: &AsmKernel,
+    insts: &[XInst],
+    blocks: &[Block],
+    preds: &[Vec<usize>],
+    diags: &mut Vec<Diagnostic>,
+) {
+    // Forward must-defined: IN = ∩ preds' OUT, OUT = IN ∪ defs. OUT
+    // starts at ⊤ (all defined) so back edges do not poison the meet;
+    // the entry block's IN is pinned to the parameter set.
+    let entry = entry_set(asm);
+    let top = RegSet::MAX;
+    let mut out = vec![top; blocks.len()];
+    let mut reach = vec![false; blocks.len()];
+    reach[0] = true;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 0..blocks.len() {
+            if !reach[b] {
+                continue;
+            }
+            let inb = if b == 0 {
+                entry
+            } else {
+                preds[b]
+                    .iter()
+                    .filter(|&&p| reach[p])
+                    .fold(top, |acc, &p| acc & out[p])
+            };
+            let mut cur = inb;
+            for inst in &insts[blocks[b].start..blocks[b].end] {
+                cur |= defs_of(inst);
+            }
+            if cur != out[b] {
+                out[b] = cur;
+                changed = true;
+            }
+            for &s in &blocks[b].succs {
+                if !reach[s] {
+                    reach[s] = true;
+                    changed = true;
+                }
+            }
+        }
+    }
+    for (b, blk) in blocks.iter().enumerate() {
+        if !reach[b] {
+            continue;
+        }
+        let mut cur = if b == 0 {
+            entry
+        } else {
+            preds[b]
+                .iter()
+                .filter(|&&p| reach[p])
+                .fold(top, |acc, &p| acc & out[p])
+        };
+        for (i, inst) in insts[blk.start..blk.end].iter().enumerate() {
+            let undef = uses_of(inst) & !cur;
+            if undef != 0 {
+                diags.push(Diagnostic::new(
+                    Rule::UseBeforeDef,
+                    Span::at(blk.start + i),
+                    format!("{inst:?} reads {} before any definition", reg_names(undef)),
+                ));
+            }
+            cur |= defs_of(inst);
+        }
+    }
+}
+
+fn check_dead_defs(insts: &[XInst], blocks: &[Block], diags: &mut Vec<Diagnostic>) {
+    // Backward liveness. At `ret`, callee-saved registers and %rsp are
+    // live (the caller observes them); everything else is dead.
+    let mut exit_live = gp_bit(GpReg::RSP);
+    for &r in GpReg::callee_saved() {
+        exit_live |= gp_bit(r);
+    }
+    let mut live_in = vec![0 as RegSet; blocks.len()];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (b, blk) in blocks.iter().enumerate().rev() {
+            let mut live = block_live_out(blk, &live_in, exit_live);
+            for inst in insts[blk.start..blk.end].iter().rev() {
+                live &= !defs_of(inst);
+                live |= uses_of(inst);
+            }
+            if live != live_in[b] {
+                live_in[b] = live;
+                changed = true;
+            }
+        }
+    }
+    for (b, blk) in blocks.iter().enumerate() {
+        let mut live = block_live_out(blk, &live_in, exit_live);
+        // Walk backward; report defs whose target is dead. Flag-setting
+        // arithmetic is exempt (the def is incidental to the flags),
+        // as is anything without a timing class (labels, comments).
+        let mut dead: Vec<(usize, RegSet)> = Vec::new();
+        for (i, inst) in insts[blk.start..blk.end].iter().enumerate().rev() {
+            let d = defs_of(inst);
+            if d != 0 && d & live == 0 && !inst.sets_flags() && inst.class().is_some() {
+                dead.push((blk.start + i, d));
+            }
+            live &= !d;
+            live |= uses_of(inst);
+        }
+        let _ = b;
+        for (i, d) in dead.into_iter().rev() {
+            diags.push(Diagnostic::new(
+                Rule::DeadDef,
+                Span::at(i),
+                format!(
+                    "{:?} writes {} but no path reads it",
+                    insts[i],
+                    reg_names(d)
+                ),
+            ));
+        }
+    }
+}
+
+fn block_live_out(blk: &Block, live_in: &[RegSet], exit_live: RegSet) -> RegSet {
+    if blk.succs.is_empty() {
+        exit_live
+    } else {
+        blk.succs.iter().fold(0, |acc, &s| acc | live_in[s])
+    }
+}
+
+fn check_flags(insts: &[XInst], diags: &mut Vec<Diagnostic>) {
+    // Linear scan: generated code always emits cmp immediately before
+    // its branch (the scheduler treats the pair as a block boundary),
+    // so the most recent flag writer at any jl/jge must be a cmp.
+    let mut last_flags: Option<usize> = None;
+    for (i, inst) in insts.iter().enumerate() {
+        if inst.sets_flags() {
+            last_flags = Some(i);
+        }
+        if matches!(inst, XInst::Jl(_) | XInst::Jge(_)) {
+            match last_flags {
+                None => diags.push(Diagnostic::new(
+                    Rule::FlagsClobber,
+                    Span::at(i),
+                    format!("{inst:?} consumes flags never set"),
+                )),
+                Some(j) if !matches!(insts[j], XInst::Cmp { .. }) => diags.push(Diagnostic::new(
+                    Rule::FlagsClobber,
+                    Span::Insts { first: j, last: i },
+                    format!("{:?} consumes flags set by {:?}, not a cmp", inst, insts[j]),
+                )),
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use augem_asm::{GpOrImm, Mem, Width};
+
+    fn wrap(insts: Vec<XInst>) -> AsmKernel {
+        let mut k = AsmKernel::new("t");
+        k.params.push(("A".into(), ParamLoc::Gp(GpReg(5))));
+        k.params.push(("n".into(), ParamLoc::Gp(GpReg(4))));
+        k.insts = insts;
+        k
+    }
+
+    fn run(insts: Vec<XInst>) -> Vec<Diagnostic> {
+        let mut d = Vec::new();
+        check(&wrap(insts), &mut d);
+        d
+    }
+
+    #[test]
+    fn clean_loop_passes() {
+        let d = run(vec![
+            XInst::IMovImm {
+                dst: GpReg(0),
+                imm: 0,
+            },
+            XInst::Cmp {
+                a: GpReg(0),
+                b: GpOrImm::Gp(GpReg(4)),
+            },
+            XInst::Jge("Le".into()),
+            XInst::Label("L0".into()),
+            XInst::FLoad {
+                dst: VecReg(1),
+                mem: Mem::new(GpReg(5), 0),
+                w: Width::S,
+            },
+            XInst::FStore {
+                src: VecReg(1),
+                mem: Mem::new(GpReg(5), 0),
+                w: Width::S,
+            },
+            XInst::IAdd {
+                dst: GpReg(0),
+                src: GpOrImm::Imm(1),
+            },
+            XInst::Cmp {
+                a: GpReg(0),
+                b: GpOrImm::Gp(GpReg(4)),
+            },
+            XInst::Jl("L0".into()),
+            XInst::Label("Le".into()),
+            XInst::Ret,
+        ]);
+        assert!(d.is_empty(), "unexpected: {d:?}");
+    }
+
+    #[test]
+    fn use_before_def_fires() {
+        let d = run(vec![
+            XInst::FStore {
+                src: VecReg(9),
+                mem: Mem::new(GpReg(5), 0),
+                w: Width::S,
+            },
+            XInst::Ret,
+        ]);
+        assert!(d.iter().any(|x| x.rule == Rule::UseBeforeDef), "{d:?}");
+    }
+
+    #[test]
+    fn dead_store_to_register_warns() {
+        let d = run(vec![
+            XInst::FLoad {
+                dst: VecReg(1),
+                mem: Mem::new(GpReg(5), 0),
+                w: Width::S,
+            },
+            XInst::Ret,
+        ]);
+        assert!(d.iter().any(|x| x.rule == Rule::DeadDef), "{d:?}");
+        assert!(d.iter().all(|x| !x.is_error()), "{d:?}");
+    }
+
+    #[test]
+    fn flags_clobber_between_cmp_and_branch_fires() {
+        let d = run(vec![
+            XInst::Label("L0".into()),
+            XInst::Cmp {
+                a: GpReg(4),
+                b: GpOrImm::Imm(1),
+            },
+            XInst::IAdd {
+                dst: GpReg(4),
+                src: GpOrImm::Imm(1),
+            },
+            XInst::Jl("L0".into()),
+            XInst::Ret,
+        ]);
+        assert!(d.iter().any(|x| x.rule == Rule::FlagsClobber), "{d:?}");
+    }
+
+    #[test]
+    fn branch_without_cmp_fires() {
+        let d = run(vec![
+            XInst::Label("L0".into()),
+            XInst::Jl("L0".into()),
+            XInst::Ret,
+        ]);
+        assert!(d.iter().any(|x| x.rule == Rule::FlagsClobber), "{d:?}");
+    }
+
+    #[test]
+    fn prologue_save_of_caller_value_is_defined() {
+        // IStore of an unwritten callee-saved register is a prologue
+        // save of the caller's value: not use-before-def.
+        let d = run(vec![
+            XInst::IStore {
+                src: GpReg(1),
+                mem: Mem::elem(GpReg::RSP, 0),
+            },
+            XInst::IMovImm {
+                dst: GpReg(1),
+                imm: 5,
+            },
+            XInst::IStore {
+                src: GpReg(1),
+                mem: Mem::elem(GpReg(5), 0),
+            },
+            XInst::ILoad {
+                dst: GpReg(1),
+                mem: Mem::elem(GpReg::RSP, 0),
+            },
+            XInst::Ret,
+        ]);
+        assert!(d.is_empty(), "unexpected: {d:?}");
+    }
+}

@@ -1,0 +1,212 @@
+//! Diagnostics: the verifier's findings, one rule violation each.
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but not provably wrong (wasted work, dead values).
+    Warning,
+    /// A contract violation: the kernel can compute wrong results or
+    /// corrupt its caller.
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Where in the kernel a finding is anchored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Span {
+    /// A range of instruction indices (inclusive) in the stream the
+    /// check ran over.
+    Insts { first: usize, last: usize },
+    /// A canonical IR statement position
+    /// ([`augem_ir::visit::walk_with_positions`] numbering).
+    Ir(u32),
+    /// The kernel as a whole.
+    Kernel,
+}
+
+impl Span {
+    pub fn at(i: usize) -> Span {
+        Span::Insts { first: i, last: i }
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Span::Insts { first, last } if first == last => write!(f, "inst {first}"),
+            Span::Insts { first, last } => write!(f, "insts {first}..={last}"),
+            Span::Ir(p) => write!(f, "ir stmt {p}"),
+            Span::Kernel => write!(f, "kernel"),
+        }
+    }
+}
+
+/// The contract each diagnostic enforces. Grouped by analysis:
+/// dataflow (V00x), register allocation replay (V01x), ABI/stack
+/// (V02x), SIMD widths (V03x), memory bounds (V04x), IR-level
+/// liveness reporting (V05x).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// A register is read on some path before anything defines it.
+    UseBeforeDef,
+    /// A register is written and the value can never be observed.
+    DeadDef,
+    /// A conditional branch consumes flags not set by a `Cmp` (or set
+    /// by nothing at all).
+    FlagsClobber,
+    /// An instruction overwrites a register still bound to a live
+    /// symbol in the `reg_table` (paper §2.4: bindings stay consistent
+    /// across template boundaries).
+    RegClobber,
+    /// A register was returned to a free queue it was not checked out
+    /// of — the allocator could hand the same register out twice.
+    DoubleFree,
+    /// A `reg_table` entry was overwritten without a release, or a
+    /// binding names a register the allocator never handed out.
+    DoubleBind,
+    /// A symbol's register was released while its global live range
+    /// was still open (paper §3.1: "Only when a scalar is no longer
+    /// alive would its register be released").
+    EarlyRelease,
+    /// A callee-saved register is written without a matching
+    /// save/restore pair (System V x86-64 ABI).
+    AbiCalleeSaved,
+    /// The stack pointer itself is overwritten.
+    AbiStackPointer,
+    /// A spill slot access falls outside the kernel's declared stack
+    /// frame.
+    StackBounds,
+    /// An instruction reads more SIMD lanes than its source holds, or
+    /// mixes operand widths.
+    WidthMismatch,
+    /// An instruction form the target ISA does not have (YMM without
+    /// AVX, FMA without the FMA feature).
+    IsaViolation,
+    /// Packed arithmetic inconsistent with the vectorization strategy
+    /// the planner chose (paper §3.4).
+    StrategyViolation,
+    /// A memory access provably outside the bounds implied by the
+    /// loop's pointer stride or a fresh array base.
+    OobAccess,
+    /// An IR symbol is written but never read afterwards (its final
+    /// value — and the register holding it — is wasted).
+    UnreadSymbol,
+}
+
+impl Rule {
+    /// Stable short code, for reports and CI greps.
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::UseBeforeDef => "V001",
+            Rule::DeadDef => "V002",
+            Rule::FlagsClobber => "V003",
+            Rule::RegClobber => "V010",
+            Rule::DoubleFree => "V011",
+            Rule::DoubleBind => "V012",
+            Rule::EarlyRelease => "V013",
+            Rule::AbiCalleeSaved => "V020",
+            Rule::AbiStackPointer => "V021",
+            Rule::StackBounds => "V022",
+            Rule::WidthMismatch => "V030",
+            Rule::IsaViolation => "V031",
+            Rule::StrategyViolation => "V032",
+            Rule::OobAccess => "V040",
+            Rule::UnreadSymbol => "V050",
+        }
+    }
+
+    /// The severity this rule always carries.
+    pub fn severity(self) -> Severity {
+        match self {
+            Rule::DeadDef | Rule::UnreadSymbol => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+}
+
+impl std::fmt::Display for Rule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}[{:?}]", self.code(), self)
+    }
+}
+
+/// One verifier finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    pub rule: Rule,
+    pub severity: Severity,
+    pub span: Span,
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub fn new(rule: Rule, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            rule,
+            severity: rule.severity(),
+            span,
+            message: message.into(),
+        }
+    }
+
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} at {}: {}",
+            self.severity, self.rule, self.span, self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique() {
+        let rules = [
+            Rule::UseBeforeDef,
+            Rule::DeadDef,
+            Rule::FlagsClobber,
+            Rule::RegClobber,
+            Rule::DoubleFree,
+            Rule::DoubleBind,
+            Rule::EarlyRelease,
+            Rule::AbiCalleeSaved,
+            Rule::AbiStackPointer,
+            Rule::StackBounds,
+            Rule::WidthMismatch,
+            Rule::IsaViolation,
+            Rule::StrategyViolation,
+            Rule::OobAccess,
+            Rule::UnreadSymbol,
+        ];
+        let mut codes: Vec<&str> = rules.iter().map(|r| r.code()).collect();
+        codes.sort();
+        codes.dedup();
+        assert_eq!(codes.len(), rules.len());
+    }
+
+    #[test]
+    fn display_is_greppable() {
+        let d = Diagnostic::new(Rule::RegClobber, Span::at(3), "xmm4 overwritten");
+        let s = d.to_string();
+        assert!(s.contains("V010"));
+        assert!(s.contains("error"));
+        assert!(s.contains("inst 3"));
+    }
+}

@@ -1,0 +1,110 @@
+//! # augem-verify
+//!
+//! Static verification of generated assembly kernels: a proof, per
+//! compilation, that the paper's register, liveness, and memory
+//! contracts held.
+//!
+//! The AUGEM pipeline ends in an assembly kernel whose correctness
+//! rests on three contracts the paper states but the generator only
+//! enforces by construction:
+//!
+//! * §2.4 — the global `reg_table` stays consistent across template
+//!   boundaries (no register handed out twice, no binding silently
+//!   overwritten);
+//! * §3.1 — a register is released only after its symbol's *global*
+//!   live range ends;
+//! * §3.4 — every template region computes at the single SIMD width
+//!   its Vdup/Shuf strategy planned.
+//!
+//! [`check`] re-derives each contract from the artifacts of one
+//! compilation — the tagged IR kernel, the final [`AsmKernel`], and
+//! the [`BindingLog`] of allocator decisions — using four independent
+//! analyses:
+//!
+//! * [`dataflow`] — CFG-based use-before-def and dead-definition
+//!   analysis plus flags discipline over the final stream;
+//! * [`regalloc`] — a replay of the binding log against global IR
+//!   liveness (double frees, double binds, early releases, clobbers of
+//!   live-bound registers) plus System V ABI and stack-frame checks;
+//! * [`simd`] — per-register valid-lane typing, ISA feature gating,
+//!   and strategy consistency;
+//! * [`memcheck`] — bounds analysis of unrolled/prefetched accesses
+//!   against array bases and loop strides.
+//!
+//! Findings come back as [`Diagnostic`]s; [`Severity::Error`] means
+//! the kernel can compute wrong results or corrupt its caller, and the
+//! `augem-gen --verify` CLI exits non-zero on any of them.
+
+pub mod dataflow;
+pub mod diag;
+pub mod memcheck;
+pub mod regalloc;
+pub mod simd;
+
+pub use diag::{Diagnostic, Rule, Severity, Span};
+
+use augem_asm::AsmKernel;
+use augem_ir::{Kernel, Liveness};
+use augem_opt::BindingLog;
+
+/// Runs every analysis over one compilation's artifacts. Diagnostics
+/// come back grouped by analysis, errors before warnings within none —
+/// callers that need ranking sort by [`Diagnostic::severity`].
+pub fn check(kernel: &Kernel, asm: &AsmKernel, log: &BindingLog) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    dataflow::check(asm, &mut diags);
+    regalloc::check(kernel, asm, log, &mut diags);
+    simd::check(asm, log, &mut diags);
+    memcheck::check(kernel, asm, &mut diags);
+    // IR-level reporting: symbols whose final value is never read
+    // (wasted stores and the registers that held them).
+    for (sym, pos) in Liveness::unread_after_last_write(kernel) {
+        diags.push(Diagnostic::new(
+            diag::Rule::UnreadSymbol,
+            Span::Ir(pos),
+            format!(
+                "{} is written at ir {pos} but never read afterwards",
+                kernel.syms.name(sym)
+            ),
+        ));
+    }
+    diags
+}
+
+/// [`check`] with telemetry: wraps the run in a `verify` stage span,
+/// emits one `verify.diagnostic` event per finding, and counts
+/// errors/warnings into the run report.
+pub fn check_traced(
+    kernel: &Kernel,
+    asm: &AsmKernel,
+    log: &BindingLog,
+    tracer: &dyn augem_obs::Tracer,
+) -> Vec<Diagnostic> {
+    let _stage = augem_obs::span(tracer, augem_obs::stage::VERIFY);
+    let diags = check(kernel, asm, log);
+    let mut errors = 0u64;
+    let mut warnings = 0u64;
+    for d in &diags {
+        tracer.event(
+            "verify.diagnostic",
+            &[
+                ("rule", d.rule.code().into()),
+                ("severity", d.severity.to_string().into()),
+                ("span", d.span.to_string().into()),
+                ("message", d.message.as_str().into()),
+            ],
+        );
+        match d.severity {
+            Severity::Error => errors += 1,
+            Severity::Warning => warnings += 1,
+        }
+    }
+    tracer.add("verify.errors", errors);
+    tracer.add("verify.warnings", warnings);
+    diags
+}
+
+/// Convenience: the error-severity findings only.
+pub fn errors(diags: &[Diagnostic]) -> Vec<&Diagnostic> {
+    diags.iter().filter(|d| d.is_error()).collect()
+}

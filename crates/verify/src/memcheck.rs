@@ -1,0 +1,300 @@
+//! Memory-access bounds analysis for unrolled, strength-reduced loops.
+//!
+//! The unroll and prefetch transforms turn `A[i]` walks into a pointer
+//! that advances by a fixed byte stride per iteration plus a fan of
+//! constant displacements. Two symbolic facts bound every such access
+//! without knowing the trip count:
+//!
+//! * a **fresh array base** (the parameter register, before anything
+//!   redefines it) points at element 0 — negative displacements are
+//!   out of bounds;
+//! * inside a loop whose only update of a base register is a single
+//!   `add $k` with `k > 0`, every access `disp(base)` of `n` bytes
+//!   must satisfy `0 <= disp && disp + n <= k`, otherwise the final
+//!   iteration (which the loop bound only guarantees to stay `k` bytes
+//!   inside the array) reads or writes past the end.
+//!
+//! Prefetches are exempt from both: they cannot fault and the prefetch
+//! transform intentionally runs ahead of the data stream.
+
+use crate::diag::{Diagnostic, Rule, Span};
+use augem_asm::{AsmKernel, GpOrImm, ParamLoc, XInst};
+use augem_ir::{Kernel, Ty};
+use augem_machine::GpReg;
+use std::collections::HashMap;
+
+pub fn check(kernel: &Kernel, asm: &AsmKernel, diags: &mut Vec<Diagnostic>) {
+    check_fresh_bases(kernel, asm, diags);
+    check_loop_strides(asm, diags);
+}
+
+/// Bytes a data access touches (`None` for prefetches and non-memory
+/// instructions).
+fn access_bytes(inst: &XInst) -> Option<i64> {
+    match inst {
+        XInst::FLoad { w, .. } | XInst::FStore { w, .. } => Some(w.lanes() as i64 * 8),
+        XInst::FDup { .. } => Some(8),
+        _ => None,
+    }
+}
+
+/// Negative displacement off a still-pristine array parameter register.
+fn check_fresh_bases(kernel: &Kernel, asm: &AsmKernel, diags: &mut Vec<Diagnostic>) {
+    // Array parameters by name: the IR symbol gives the type, the asm
+    // parameter list the entry register.
+    let mut fresh: HashMap<GpReg, String> = HashMap::new();
+    for &p in &kernel.params {
+        if kernel.syms.ty(p) != Ty::PtrF64 {
+            continue;
+        }
+        let name = kernel.syms.name(p);
+        for (pname, loc) in &asm.params {
+            if pname == name {
+                if let ParamLoc::Gp(r) = loc {
+                    fresh.insert(*r, name.to_string());
+                }
+            }
+        }
+    }
+    for (i, inst) in asm.insts.iter().enumerate() {
+        if let (Some(mem), Some(_)) = (inst.mem(), access_bytes(inst)) {
+            if let Some(name) = fresh.get(&mem.base) {
+                if mem.disp < 0 {
+                    diags.push(Diagnostic::new(
+                        Rule::OobAccess,
+                        Span::at(i),
+                        format!(
+                            "{inst:?} reads {} bytes before array {name} (base {:?} is \
+                             still the parameter value)",
+                            -mem.disp, mem.base
+                        ),
+                    ));
+                }
+            }
+        }
+        if let Some(d) = inst.gp_def() {
+            fresh.remove(&d);
+        }
+    }
+}
+
+/// Stride windows: accesses inside a loop must fit the per-iteration
+/// advance of their base pointer.
+fn check_loop_strides(asm: &AsmKernel, diags: &mut Vec<Diagnostic>) {
+    let insts = &asm.insts;
+    // Pair each label with the backward branch that targets it.
+    for (head, inst) in insts.iter().enumerate() {
+        let XInst::Label(l) = inst else { continue };
+        let Some(tail) =
+            insts.iter().enumerate().skip(head + 1).find_map(|(j, x)| {
+                matches!(x, XInst::Jl(t) | XInst::Jmp(t) if t == l).then_some(j)
+            })
+        else {
+            continue;
+        };
+        let body = &insts[head + 1..tail];
+        // Base registers advanced exactly once, by a positive constant.
+        let mut advance: HashMap<GpReg, Option<i64>> = HashMap::new();
+        for x in body {
+            if let Some(d) = x.gp_def() {
+                let k = match x {
+                    XInst::IAdd {
+                        dst,
+                        src: GpOrImm::Imm(k),
+                    } if *dst == d && *k > 0 => Some(*k),
+                    _ => None,
+                };
+                advance
+                    .entry(d)
+                    .and_modify(|e| *e = None) // second def: give up
+                    .or_insert(k);
+            }
+        }
+        for (bi, x) in body.iter().enumerate() {
+            let (Some(mem), Some(bytes)) = (x.mem(), access_bytes(x)) else {
+                continue;
+            };
+            if mem.base == GpReg::RSP {
+                continue;
+            }
+            let Some(Some(k)) = advance.get(&mem.base) else {
+                continue;
+            };
+            if mem.disp < 0 || mem.disp + bytes > *k {
+                diags.push(Diagnostic::new(
+                    Rule::OobAccess,
+                    Span::at(head + 1 + bi),
+                    format!(
+                        "{x:?} touches bytes {}..{} of a pointer that advances {k} \
+                         bytes per iteration — the last iteration lands past the end",
+                        mem.disp,
+                        mem.disp + bytes
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use augem_asm::{Mem, Width};
+    use augem_ir::KernelBuilder;
+    use augem_machine::VecReg;
+
+    fn fixture() -> (Kernel, AsmKernel) {
+        let mut kb = KernelBuilder::new("t");
+        kb.ptr_param("A");
+        kb.int_param("n");
+        let k = kb.finish();
+        let mut asm = AsmKernel::new("t");
+        asm.params.push(("A".into(), ParamLoc::Gp(GpReg(5))));
+        asm.params.push(("n".into(), ParamLoc::Gp(GpReg(4))));
+        (k, asm)
+    }
+
+    #[test]
+    fn negative_offset_from_fresh_base_is_oob() {
+        let (k, mut asm) = fixture();
+        asm.insts = vec![
+            XInst::FLoad {
+                dst: VecReg(0),
+                mem: Mem::new(GpReg(5), -8),
+                w: Width::S,
+            },
+            XInst::Ret,
+        ];
+        let mut d = Vec::new();
+        check(&k, &asm, &mut d);
+        assert!(d.iter().any(|x| x.rule == Rule::OobAccess), "{d:?}");
+    }
+
+    #[test]
+    fn unrolled_access_beyond_the_stride_is_oob() {
+        let (k, mut asm) = fixture();
+        // Loop advances A by 16 bytes/iter but loads disp 16 (a 2x
+        // unroll that forgot to double the advance).
+        asm.insts = vec![
+            XInst::IMovImm {
+                dst: GpReg(0),
+                imm: 0,
+            },
+            XInst::Label("L0".into()),
+            XInst::FLoad {
+                dst: VecReg(0),
+                mem: Mem::new(GpReg(5), 0),
+                w: Width::S,
+            },
+            XInst::FLoad {
+                dst: VecReg(1),
+                mem: Mem::new(GpReg(5), 16),
+                w: Width::S,
+            },
+            XInst::FStore {
+                src: VecReg(0),
+                mem: Mem::new(GpReg(5), 0),
+                w: Width::S,
+            },
+            XInst::FStore {
+                src: VecReg(1),
+                mem: Mem::new(GpReg(5), 8),
+                w: Width::S,
+            },
+            XInst::IAdd {
+                dst: GpReg(5),
+                src: GpOrImm::Imm(16),
+            },
+            XInst::IAdd {
+                dst: GpReg(0),
+                src: GpOrImm::Imm(2),
+            },
+            XInst::Cmp {
+                a: GpReg(0),
+                b: GpOrImm::Gp(GpReg(4)),
+            },
+            XInst::Jl("L0".into()),
+            XInst::Ret,
+        ];
+        let mut d = Vec::new();
+        check(&k, &asm, &mut d);
+        let oob: Vec<_> = d.iter().filter(|x| x.rule == Rule::OobAccess).collect();
+        assert_eq!(oob.len(), 1, "{d:?}");
+        assert_eq!(oob[0].span, Span::at(3));
+    }
+
+    #[test]
+    fn in_stride_unroll_is_clean() {
+        let (k, mut asm) = fixture();
+        asm.insts = vec![
+            XInst::IMovImm {
+                dst: GpReg(0),
+                imm: 0,
+            },
+            XInst::Label("L0".into()),
+            XInst::FLoad {
+                dst: VecReg(0),
+                mem: Mem::new(GpReg(5), 0),
+                w: Width::V2,
+            },
+            XInst::FStore {
+                src: VecReg(0),
+                mem: Mem::new(GpReg(5), 16),
+                w: Width::V2,
+            },
+            XInst::IAdd {
+                dst: GpReg(5),
+                src: GpOrImm::Imm(32),
+            },
+            XInst::IAdd {
+                dst: GpReg(0),
+                src: GpOrImm::Imm(4),
+            },
+            XInst::Cmp {
+                a: GpReg(0),
+                b: GpOrImm::Gp(GpReg(4)),
+            },
+            XInst::Jl("L0".into()),
+            XInst::Ret,
+        ];
+        let mut d = Vec::new();
+        check(&k, &asm, &mut d);
+        assert!(d.iter().all(|x| x.rule != Rule::OobAccess), "{d:?}");
+    }
+
+    #[test]
+    fn prefetch_past_the_stride_is_exempt() {
+        let (k, mut asm) = fixture();
+        asm.insts = vec![
+            XInst::Label("L0".into()),
+            XInst::Prefetch {
+                mem: Mem::new(GpReg(5), 512),
+                write: false,
+                locality: 0,
+            },
+            XInst::FLoad {
+                dst: VecReg(0),
+                mem: Mem::new(GpReg(5), 0),
+                w: Width::S,
+            },
+            XInst::FStore {
+                src: VecReg(0),
+                mem: Mem::new(GpReg(5), 0),
+                w: Width::S,
+            },
+            XInst::IAdd {
+                dst: GpReg(5),
+                src: GpOrImm::Imm(8),
+            },
+            XInst::Cmp {
+                a: GpReg(0),
+                b: GpOrImm::Gp(GpReg(4)),
+            },
+            XInst::Jl("L0".into()),
+            XInst::Ret,
+        ];
+        let mut d = Vec::new();
+        check(&k, &asm, &mut d);
+        assert!(d.iter().all(|x| x.rule != Rule::OobAccess), "{d:?}");
+    }
+}

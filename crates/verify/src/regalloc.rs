@@ -1,0 +1,490 @@
+//! Register-allocation replay: proves the `reg_table` contracts.
+//!
+//! [`augem_opt::generate_with_log`] records every allocator decision
+//! (check-outs, frees, binds, releases) stamped with the instruction
+//! index and canonical IR position where it happened. This module
+//! replays that log against the pre-schedule instruction stream and
+//! the kernel's *global* liveness, proving the paper's two central
+//! allocation contracts:
+//!
+//! * §2.4 — the `reg_table` stays consistent across template
+//!   boundaries: no binding is overwritten without a release, no
+//!   register is handed out twice, and no instruction overwrites a
+//!   register while a live symbol still owns it.
+//! * §3.1 — "Only when a scalar is no longer alive would its register
+//!   be released": every release happens at or after the owner's
+//!   global last use.
+//!
+//! It also validates the System V ABI surface of the *final* stream:
+//! callee-saved registers are saved before their first write and
+//! restored after their last, `%rsp` is never clobbered, and every
+//! spill-slot access stays inside the declared frame.
+
+use crate::diag::{Diagnostic, Rule, Span};
+use augem_asm::{AsmKernel, XInst};
+use augem_ir::visit::stmt_def;
+use augem_ir::{Kernel, Liveness, Stmt, Sym};
+use augem_machine::{GpReg, VecReg};
+use augem_opt::{Binding, BindingEventKind, BindingLog};
+use std::collections::{HashMap, HashSet};
+
+/// For each canonical IR position, the symbols the statement there
+/// defines — with every definition also attributed to each enclosing
+/// template region's header position, because the region emitters
+/// produce all their instructions stamped with the header's position.
+fn attribution(kernel: &Kernel) -> HashMap<u32, HashSet<Sym>> {
+    fn go(
+        stmts: &[Stmt],
+        pos: &mut u32,
+        regions: &mut Vec<u32>,
+        map: &mut HashMap<u32, HashSet<Sym>>,
+    ) {
+        for s in stmts {
+            let here = *pos;
+            *pos += 1;
+            if let Some(d) = stmt_def(s) {
+                map.entry(here).or_default().insert(d);
+                for &r in regions.iter() {
+                    map.entry(r).or_default().insert(d);
+                }
+            }
+            match s {
+                Stmt::For { body, .. } => go(body, pos, regions, map),
+                Stmt::Region { body, .. } => {
+                    regions.push(here);
+                    go(body, pos, regions, map);
+                    regions.pop();
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut map = HashMap::new();
+    let mut pos = 0u32;
+    go(&kernel.body, &mut pos, &mut Vec::new(), &mut map);
+    map
+}
+
+pub fn check(kernel: &Kernel, asm: &AsmKernel, log: &BindingLog, diags: &mut Vec<Diagnostic>) {
+    replay(kernel, log, diags);
+    check_abi(asm, diags);
+    check_stack_bounds(asm, diags);
+}
+
+struct Replay<'a> {
+    kernel: &'a Kernel,
+    live: Liveness,
+    attrib: HashMap<u32, HashSet<Sym>>,
+    /// Vector registers currently checked out of the queues.
+    vec_out: HashSet<VecReg>,
+    /// GP registers currently off the free list.
+    gp_out: HashSet<GpReg>,
+    /// The reconstructed `reg_table`.
+    table: HashMap<Sym, Binding>,
+}
+
+impl Replay<'_> {
+    fn name(&self, s: Sym) -> &str {
+        self.kernel.syms.name(s)
+    }
+
+    fn vec_owners(&self, r: VecReg) -> Vec<Sym> {
+        let mut v: Vec<Sym> = self
+            .table
+            .iter()
+            .filter(|(_, b)| b.vec_reg() == Some(r))
+            .map(|(s, _)| *s)
+            .collect();
+        v.sort();
+        v
+    }
+
+    fn gp_owners(&self, r: GpReg) -> Vec<Sym> {
+        let mut v: Vec<Sym> = self
+            .table
+            .iter()
+            .filter(|(_, b)| **b == Binding::Gp(r))
+            .map(|(s, _)| *s)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Whether a binding's target register was legitimately obtained:
+    /// checked out of a queue, pre-bound (reserved / parameter), or a
+    /// stack slot.
+    fn binding_backed(&self, b: &Binding, reserved: &[VecReg]) -> bool {
+        match b {
+            Binding::Gp(r) => self.gp_out.contains(r),
+            Binding::Spilled(_) => true,
+            _ => match b.vec_reg() {
+                Some(v) => self.vec_out.contains(&v) || reserved.contains(&v),
+                None => true,
+            },
+        }
+    }
+}
+
+fn replay(kernel: &Kernel, log: &BindingLog, diags: &mut Vec<Diagnostic>) {
+    let mut st = Replay {
+        kernel,
+        live: Liveness::analyze(kernel),
+        attrib: attribution(kernel),
+        vec_out: HashSet::new(),
+        gp_out: HashSet::new(),
+        table: HashMap::new(),
+    };
+
+    let mut ei = 0usize;
+    for i in 0..=log.insts.len() {
+        // Events stamped with `inst_pos == i` happened before the
+        // instruction at index `i` was emitted.
+        while ei < log.events.len() && log.events[ei].inst_pos <= i {
+            apply_event(&mut st, log, ei, diags);
+            ei += 1;
+        }
+        if let Some(inst) = log.insts.get(i) {
+            let ir = log.inst_ir.get(i).copied().unwrap_or(0);
+            check_inst(&st, inst, i, ir, diags);
+        }
+    }
+}
+
+fn apply_event(st: &mut Replay<'_>, log: &BindingLog, ei: usize, diags: &mut Vec<Diagnostic>) {
+    let ev = &log.events[ei];
+    let span = Span::at(ev.inst_pos.min(log.insts.len().saturating_sub(1)));
+    match &ev.kind {
+        BindingEventKind::AllocVec { reg } => {
+            if !st.vec_out.insert(*reg) {
+                diags.push(Diagnostic::new(
+                    Rule::DoubleBind,
+                    span,
+                    format!("allocator handed out {reg:?} while it was already checked out"),
+                ));
+            }
+            let owners = st.vec_owners(*reg);
+            if !owners.is_empty() {
+                let names: Vec<&str> = owners.iter().map(|&s| st.name(s)).collect();
+                diags.push(Diagnostic::new(
+                    Rule::DoubleBind,
+                    span,
+                    format!(
+                        "{reg:?} allocated while still bound to {}",
+                        names.join(", ")
+                    ),
+                ));
+            }
+        }
+        BindingEventKind::FreeVec { reg, double } => {
+            // Trust nothing: the allocator's own `double` flag AND the
+            // replayed check-out set must both say the free is clean
+            // (reserved parameter registers are recycled without ever
+            // being checked out — that is legitimate).
+            let tracked = st.vec_out.remove(reg);
+            if *double || (!tracked && !log.reserved.contains(reg)) {
+                diags.push(Diagnostic::new(
+                    Rule::DoubleFree,
+                    span,
+                    format!("{reg:?} returned to a queue it was not checked out of"),
+                ));
+            }
+        }
+        BindingEventKind::AllocGp { reg } | BindingEventKind::ClaimGp { reg } => {
+            st.gp_out.insert(*reg);
+            let owners = st.gp_owners(*reg);
+            if !owners.is_empty() {
+                let names: Vec<&str> = owners.iter().map(|&s| st.name(s)).collect();
+                diags.push(Diagnostic::new(
+                    Rule::DoubleBind,
+                    span,
+                    format!(
+                        "{reg:?} allocated while still bound to {}",
+                        names.join(", ")
+                    ),
+                ));
+            }
+        }
+        BindingEventKind::FreeGp { reg, double } => {
+            let tracked = st.gp_out.remove(reg);
+            if *double || !tracked {
+                diags.push(Diagnostic::new(
+                    Rule::DoubleFree,
+                    span,
+                    format!("{reg:?} returned to the free list twice"),
+                ));
+            }
+        }
+        BindingEventKind::Bind { sym, binding, .. } => {
+            // The replayed table is authoritative (the recorded `prev`
+            // would let a corrupted log lie about the overwrite).
+            if let Some(p) = st.table.get(sym) {
+                diags.push(Diagnostic::new(
+                    Rule::DoubleBind,
+                    span,
+                    format!(
+                        "{} bound to {binding:?} over live binding {p:?} without a release",
+                        st.name(*sym)
+                    ),
+                ));
+            }
+            if !st.binding_backed(binding, &log.reserved) {
+                diags.push(Diagnostic::new(
+                    Rule::DoubleBind,
+                    span,
+                    format!(
+                        "{} bound to {binding:?}, a register the allocator never handed out",
+                        st.name(*sym)
+                    ),
+                ));
+            }
+            st.table.insert(*sym, *binding);
+        }
+        BindingEventKind::Release { sym, binding } => {
+            if let Some(r) = st.live.range(*sym) {
+                if r.last > ev.ir_pos {
+                    diags.push(Diagnostic::new(
+                        Rule::EarlyRelease,
+                        span,
+                        format!(
+                            "{} ({binding:?}) released at ir {} but live until ir {}",
+                            st.name(*sym),
+                            ev.ir_pos,
+                            r.last
+                        ),
+                    ));
+                }
+            }
+            st.table.remove(sym);
+        }
+        BindingEventKind::Rebind { sym, binding, .. } => {
+            if !st.binding_backed(binding, &log.reserved) {
+                diags.push(Diagnostic::new(
+                    Rule::DoubleBind,
+                    span,
+                    format!(
+                        "{} rebound to {binding:?}, a register the allocator never handed out",
+                        st.name(*sym)
+                    ),
+                ));
+            }
+            st.table.insert(*sym, *binding);
+        }
+    }
+}
+
+/// An instruction that overwrites a register (without reading it)
+/// while the `reg_table` still binds a live symbol to it — unless the
+/// statement being translated is exactly the one defining that symbol.
+fn check_inst(st: &Replay<'_>, inst: &XInst, i: usize, ir: u32, diags: &mut Vec<Diagnostic>) {
+    let empty = HashSet::new();
+    let defined_here = st.attrib.get(&ir).unwrap_or(&empty);
+    if let Some(d) = inst.vec_def() {
+        if !inst.vec_uses().contains(&d) {
+            let owners = st.vec_owners(d);
+            // A write on behalf of any owner is legitimate for the
+            // whole group: zero-coalescing initializes every lane of a
+            // shared accumulator register while translating lane 0's
+            // assignment.
+            if !owners.iter().any(|o| defined_here.contains(o)) {
+                for owner in owners {
+                    clobber(st, inst, d_name(d), owner, i, ir, diags);
+                }
+            }
+        }
+    }
+    if let Some(d) = inst.gp_def() {
+        if !inst.gp_uses().contains(&d) {
+            let owners = st.gp_owners(d);
+            if !owners.iter().any(|o| defined_here.contains(o)) {
+                for owner in owners {
+                    clobber(st, inst, format!("{d:?}"), owner, i, ir, diags);
+                }
+            }
+        }
+    }
+}
+
+fn d_name(d: VecReg) -> String {
+    format!("{d:?}")
+}
+
+fn clobber(
+    st: &Replay<'_>,
+    inst: &XInst,
+    reg: String,
+    owner: Sym,
+    i: usize,
+    ir: u32,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let live_past = st.live.range(owner).is_some_and(|r| r.last > ir);
+    if live_past {
+        diags.push(Diagnostic::new(
+            Rule::RegClobber,
+            Span::at(i),
+            format!(
+                "{inst:?} overwrites {reg} still bound to live symbol {} \
+                 (pre-schedule stream, ir {ir})",
+                st.name(owner)
+            ),
+        ));
+    }
+}
+
+/// System V callee-saved discipline over the final stream.
+fn check_abi(asm: &AsmKernel, diags: &mut Vec<Diagnostic>) {
+    for (i, inst) in asm.insts.iter().enumerate() {
+        if inst.gp_def() == Some(GpReg::RSP) {
+            diags.push(Diagnostic::new(
+                Rule::AbiStackPointer,
+                Span::at(i),
+                format!("{inst:?} overwrites the stack pointer"),
+            ));
+        }
+    }
+    for &r in GpReg::callee_saved() {
+        let mut saves: Vec<(usize, i64)> = Vec::new();
+        let mut restores: Vec<(usize, i64)> = Vec::new();
+        let mut writes: Vec<usize> = Vec::new();
+        for (i, inst) in asm.insts.iter().enumerate() {
+            match inst {
+                XInst::IStore { src, mem } if *src == r && mem.base == GpReg::RSP => {
+                    saves.push((i, mem.disp));
+                }
+                XInst::ILoad { dst, mem } if *dst == r && mem.base == GpReg::RSP => {
+                    restores.push((i, mem.disp));
+                }
+                _ => {
+                    if inst.gp_def() == Some(r) {
+                        writes.push(i);
+                    }
+                }
+            }
+        }
+        let (Some(&first_w), Some(&last_w)) = (writes.first(), writes.last()) else {
+            continue;
+        };
+        let saved_early: Vec<i64> = saves
+            .iter()
+            .filter(|(i, _)| *i < first_w)
+            .map(|(_, d)| *d)
+            .collect();
+        let restored_late = restores
+            .iter()
+            .any(|(i, d)| *i > last_w && saved_early.contains(d));
+        if saved_early.is_empty() || !restored_late {
+            diags.push(Diagnostic::new(
+                Rule::AbiCalleeSaved,
+                Span::at(first_w),
+                format!(
+                    "callee-saved {r:?} written without a save before its first write \
+                     and a matching restore after its last"
+                ),
+            ));
+        }
+    }
+}
+
+/// Every `%rsp`-relative access must hit an aligned slot inside the
+/// declared frame.
+fn check_stack_bounds(asm: &AsmKernel, diags: &mut Vec<Diagnostic>) {
+    for (i, inst) in asm.insts.iter().enumerate() {
+        let Some(mem) = inst.mem() else { continue };
+        if mem.base != GpReg::RSP {
+            continue;
+        }
+        let slots = asm.stack_slots as i64;
+        if mem.disp < 0 || mem.disp % 8 != 0 || mem.disp / 8 >= slots {
+            diags.push(Diagnostic::new(
+                Rule::StackBounds,
+                Span::at(i),
+                format!(
+                    "{inst:?} accesses stack offset {} outside the {}-slot frame",
+                    mem.disp, asm.stack_slots
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use augem_asm::Mem;
+
+    fn empty_asm(stack_slots: usize) -> AsmKernel {
+        let mut k = AsmKernel::new("t");
+        k.insts = vec![XInst::Ret];
+        k.stack_slots = stack_slots;
+        k
+    }
+
+    #[test]
+    fn unsaved_callee_saved_write_is_an_abi_error() {
+        let mut asm = empty_asm(0);
+        asm.insts.insert(
+            0,
+            XInst::IMovImm {
+                dst: GpReg(1), // rbx
+                imm: 0,
+            },
+        );
+        let mut d = Vec::new();
+        check_abi(&asm, &mut d);
+        assert!(d.iter().any(|x| x.rule == Rule::AbiCalleeSaved), "{d:?}");
+    }
+
+    #[test]
+    fn saved_and_restored_callee_saved_write_is_clean() {
+        let mut asm = empty_asm(1);
+        asm.insts = vec![
+            XInst::IStore {
+                src: GpReg(1),
+                mem: Mem::elem(GpReg::RSP, 0),
+            },
+            XInst::IMovImm {
+                dst: GpReg(1),
+                imm: 0,
+            },
+            XInst::ILoad {
+                dst: GpReg(1),
+                mem: Mem::elem(GpReg::RSP, 0),
+            },
+            XInst::Ret,
+        ];
+        let mut d = Vec::new();
+        check_abi(&asm, &mut d);
+        check_stack_bounds(&asm, &mut d);
+        assert!(d.is_empty(), "unexpected: {d:?}");
+    }
+
+    #[test]
+    fn rsp_write_is_an_error() {
+        let mut asm = empty_asm(0);
+        asm.insts.insert(
+            0,
+            XInst::IAdd {
+                dst: GpReg::RSP,
+                src: augem_asm::GpOrImm::Imm(8),
+            },
+        );
+        let mut d = Vec::new();
+        check_abi(&asm, &mut d);
+        assert!(d.iter().any(|x| x.rule == Rule::AbiStackPointer), "{d:?}");
+    }
+
+    #[test]
+    fn out_of_frame_spill_slot_is_an_error() {
+        let mut asm = empty_asm(2);
+        asm.insts.insert(
+            0,
+            XInst::IStore {
+                src: GpReg(0),
+                mem: Mem::elem(GpReg::RSP, 2), // slot 2 of a 2-slot frame
+            },
+        );
+        let mut d = Vec::new();
+        check_stack_bounds(&asm, &mut d);
+        assert!(d.iter().any(|x| x.rule == Rule::StackBounds), "{d:?}");
+    }
+}

@@ -1,0 +1,420 @@
+//! SIMD lane/width typing, ISA gating, and strategy consistency.
+//!
+//! Every vector register is typed with a *valid-lane count*: how many
+//! low f64 lanes hold meaningful data. Scalar (`*sd`) forms produce 1,
+//! 128-bit packed forms 2, 256-bit forms 4. An instruction that reads
+//! more lanes than its source holds consumes garbage — exactly the bug
+//! class the paper's Vdup/Shuf strategy split (§3.4) can introduce if
+//! a template emitter mixes the two.
+//!
+//! The walk is linear over the final stream (state carried across
+//! labels). That is an approximation of per-path dataflow, but a sound
+//! one for generated kernels: loop bodies leave every register at the
+//! same width they found it, because the emitters assign one width per
+//! register per region.
+
+use crate::diag::{Diagnostic, Rule, Span};
+use augem_asm::{AsmKernel, ParamLoc, Width, XInst};
+use augem_machine::{IsaFeature, VecReg};
+use augem_opt::{BindingLog, VecStrategy};
+
+fn lanes(w: Width) -> u8 {
+    w.lanes() as u8
+}
+
+pub fn check(asm: &AsmKernel, log: &BindingLog, diags: &mut Vec<Diagnostic>) {
+    let mut valid = [0u8; 16];
+    for (_, loc) in &asm.params {
+        match loc {
+            ParamLoc::Vec(r) => valid[r.0 as usize] = 1,
+            ParamLoc::VecBroadcast(r) => valid[r.0 as usize] = 4,
+            ParamLoc::Gp(_) => {}
+        }
+    }
+    for (i, inst) in asm.insts.iter().enumerate() {
+        check_isa(inst, i, log, diags);
+        check_strategy(inst, i, log, diags);
+        check_widths(inst, i, &mut valid, diags);
+    }
+}
+
+fn get(valid: &[u8; 16], r: VecReg) -> u8 {
+    valid[r.0 as usize & 15]
+}
+
+fn set(valid: &mut [u8; 16], r: VecReg, v: u8) {
+    valid[r.0 as usize & 15] = v;
+}
+
+/// Requires `r` to hold at least `need` valid lanes. Registers at 0
+/// are undefined — the dataflow pass owns that diagnostic, so they
+/// are skipped here to avoid double-reporting.
+fn require(
+    valid: &[u8; 16],
+    r: VecReg,
+    need: u8,
+    inst: &XInst,
+    i: usize,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let have = get(valid, r);
+    if have != 0 && have < need {
+        diags.push(Diagnostic::new(
+            Rule::WidthMismatch,
+            Span::at(i),
+            format!("{inst:?} reads {need} lanes of {r:?} but only {have} are valid"),
+        ));
+    }
+}
+
+fn check_widths(inst: &XInst, i: usize, valid: &mut [u8; 16], diags: &mut Vec<Diagnostic>) {
+    // Lanes a scalar-width read actually consumes.
+    let rd = |w: Width| if w == Width::S { 1 } else { lanes(w) };
+    match inst {
+        XInst::FLoad { dst, w, .. } | XInst::FDup { dst, w, .. } | XInst::FZero { dst, w } => {
+            set(valid, *dst, lanes(*w));
+        }
+        XInst::FStore { src, w, .. } => require(valid, *src, rd(*w), inst, i, diags),
+        XInst::FMov { dst, src, w } => {
+            require(valid, *src, rd(*w), inst, i, diags);
+            // movsd reg,reg merges lane 0 into dst; packed moves copy.
+            let v = match w {
+                Width::S => get(valid, *dst).max(1),
+                _ => lanes(*w),
+            };
+            set(valid, *dst, v);
+        }
+        XInst::FMul2 { dstsrc, src, w }
+        | XInst::FAdd2 { dstsrc, src, w }
+        | XInst::Shuf2 { dstsrc, src, w, .. } => {
+            let need = if matches!(inst, XInst::Shuf2 { .. }) {
+                2
+            } else {
+                rd(*w)
+            };
+            require(valid, *dstsrc, need, inst, i, diags);
+            require(valid, *src, need, inst, i, diags);
+            let v = match w {
+                Width::S => get(valid, *dstsrc).max(1),
+                _ => lanes(*w).max(need),
+            };
+            set(valid, *dstsrc, v);
+        }
+        XInst::FMul3 { dst, a, b, w } | XInst::FAdd3 { dst, a, b, w } => {
+            require(valid, *a, rd(*w), inst, i, diags);
+            require(valid, *b, rd(*w), inst, i, diags);
+            // VEX scalar forms copy the upper bits of the first source.
+            let v = match w {
+                Width::S => get(valid, *a).clamp(1, 2),
+                _ => lanes(*w),
+            };
+            set(valid, *dst, v);
+        }
+        XInst::Fma3 { acc, a, b, w } => {
+            require(valid, *acc, rd(*w), inst, i, diags);
+            require(valid, *a, rd(*w), inst, i, diags);
+            require(valid, *b, rd(*w), inst, i, diags);
+            let v = match w {
+                Width::S => get(valid, *acc).clamp(1, 2),
+                _ => lanes(*w),
+            };
+            set(valid, *acc, v);
+        }
+        XInst::Fma4 { dst, a, b, c, w } => {
+            require(valid, *a, rd(*w), inst, i, diags);
+            require(valid, *b, rd(*w), inst, i, diags);
+            require(valid, *c, rd(*w), inst, i, diags);
+            let v = match w {
+                Width::S => get(valid, *a).clamp(1, 2),
+                _ => lanes(*w),
+            };
+            set(valid, *dst, v);
+        }
+        XInst::Shuf3 { dst, a, b, w, .. } => {
+            require(valid, *a, lanes(*w), inst, i, diags);
+            require(valid, *b, lanes(*w), inst, i, diags);
+            set(valid, *dst, lanes(*w));
+        }
+        XInst::SwapHalves { dst, src } => {
+            require(valid, *src, 4, inst, i, diags);
+            set(valid, *dst, 4);
+        }
+        XInst::Perm2f128 { dst, a, b, .. } => {
+            require(valid, *a, 4, inst, i, diags);
+            require(valid, *b, 4, inst, i, diags);
+            set(valid, *dst, 4);
+        }
+        XInst::ExtractHi { dst, src } => {
+            require(valid, *src, 4, inst, i, diags);
+            set(valid, *dst, 2);
+        }
+        _ => {}
+    }
+}
+
+fn width_of(inst: &XInst) -> Option<Width> {
+    match inst {
+        XInst::FLoad { w, .. }
+        | XInst::FStore { w, .. }
+        | XInst::FDup { w, .. }
+        | XInst::FMov { w, .. }
+        | XInst::FZero { w, .. }
+        | XInst::FMul2 { w, .. }
+        | XInst::FAdd2 { w, .. }
+        | XInst::FMul3 { w, .. }
+        | XInst::FAdd3 { w, .. }
+        | XInst::Fma3 { w, .. }
+        | XInst::Fma4 { w, .. }
+        | XInst::Shuf2 { w, .. }
+        | XInst::Shuf3 { w, .. } => Some(*w),
+        XInst::SwapHalves { .. } | XInst::ExtractHi { .. } | XInst::Perm2f128 { .. } => {
+            Some(Width::V4)
+        }
+        _ => None,
+    }
+}
+
+fn check_isa(inst: &XInst, i: usize, log: &BindingLog, diags: &mut Vec<Diagnostic>) {
+    let avx_only = matches!(
+        inst,
+        XInst::FMul3 { .. }
+            | XInst::FAdd3 { .. }
+            | XInst::Shuf3 { .. }
+            | XInst::SwapHalves { .. }
+            | XInst::ExtractHi { .. }
+            | XInst::Perm2f128 { .. }
+    );
+    let ymm = width_of(inst).is_some_and(|w| w.is_ymm());
+    if (avx_only || ymm) && !log.isa.has(IsaFeature::Avx) {
+        diags.push(Diagnostic::new(
+            Rule::IsaViolation,
+            Span::at(i),
+            format!("{inst:?} needs AVX but the target ISA lacks it"),
+        ));
+    }
+    if matches!(inst, XInst::Fma3 { .. }) && !log.isa.has(IsaFeature::Fma3) {
+        diags.push(Diagnostic::new(
+            Rule::IsaViolation,
+            Span::at(i),
+            format!("{inst:?} needs FMA3 but the target ISA lacks it"),
+        ));
+    }
+    if matches!(inst, XInst::Fma4 { .. }) && !log.isa.has(IsaFeature::Fma4) {
+        diags.push(Diagnostic::new(
+            Rule::IsaViolation,
+            Span::at(i),
+            format!("{inst:?} needs FMA4 but the target ISA lacks it"),
+        ));
+    }
+}
+
+fn check_strategy(inst: &XInst, i: usize, log: &BindingLog, diags: &mut Vec<Diagnostic>) {
+    let packed_arith = matches!(
+        inst,
+        XInst::FMul2 { .. }
+            | XInst::FAdd2 { .. }
+            | XInst::FMul3 { .. }
+            | XInst::FAdd3 { .. }
+            | XInst::Fma3 { .. }
+            | XInst::Fma4 { .. }
+            | XInst::Shuf2 { .. }
+            | XInst::Shuf3 { .. }
+    ) && width_of(inst).is_some_and(|w| w != Width::S);
+    if !packed_arith {
+        return;
+    }
+    // A plan with no vectorized region must not produce packed
+    // arithmetic (packed zeroing is fine: accumulator registers are
+    // always cleared at full width).
+    let any_vectorized = log
+        .strategies
+        .iter()
+        .any(|s| !matches!(s, VecStrategy::Scalar));
+    if !any_vectorized {
+        diags.push(Diagnostic::new(
+            Rule::StrategyViolation,
+            Span::at(i),
+            format!("{inst:?} is packed arithmetic but the plan chose scalar code everywhere"),
+        ));
+        return;
+    }
+    // On an AVX target every packed multiply/FMA runs at the planned
+    // width; narrower forms would mean a template emitter mixed modes
+    // (V2 adds are legitimate: horizontal-sum epilogues).
+    let narrow_mul = matches!(
+        inst,
+        XInst::FMul2 { .. } | XInst::FMul3 { .. } | XInst::Fma3 { .. } | XInst::Fma4 { .. }
+    ) && width_of(inst) == Some(Width::V2);
+    if log.packed == Width::V4 && narrow_mul {
+        diags.push(Diagnostic::new(
+            Rule::StrategyViolation,
+            Span::at(i),
+            format!("{inst:?} multiplies at 128-bit width on a 256-bit plan"),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use augem_asm::Mem;
+    use augem_machine::{GpReg, IsaSet};
+
+    fn mklog(isa: IsaSet, packed: Width, strategies: Vec<VecStrategy>) -> BindingLog {
+        BindingLog {
+            events: Vec::new(),
+            insts: Vec::new(),
+            inst_ir: Vec::new(),
+            reserved: Vec::new(),
+            isa,
+            packed,
+            strategies,
+            stack_slots: 0,
+        }
+    }
+
+    fn asm_with(insts: Vec<XInst>) -> AsmKernel {
+        let mut k = AsmKernel::new("t");
+        k.params.push(("A".into(), ParamLoc::Gp(GpReg(5))));
+        k.insts = insts;
+        k
+    }
+
+    #[test]
+    fn scalar_load_feeding_packed_mul_is_a_width_mismatch() {
+        let asm = asm_with(vec![
+            XInst::FLoad {
+                dst: VecReg(1),
+                mem: Mem::new(GpReg(5), 0),
+                w: Width::S,
+            },
+            XInst::FLoad {
+                dst: VecReg(2),
+                mem: Mem::new(GpReg(5), 0),
+                w: Width::V4,
+            },
+            XInst::FMul3 {
+                dst: VecReg(3),
+                a: VecReg(1),
+                b: VecReg(2),
+                w: Width::V4,
+            },
+            XInst::Ret,
+        ]);
+        let log = mklog(
+            IsaSet::new(&[IsaFeature::Avx]),
+            Width::V4,
+            vec![VecStrategy::Vdup],
+        );
+        let mut d = Vec::new();
+        check(&asm, &log, &mut d);
+        assert!(d.iter().any(|x| x.rule == Rule::WidthMismatch), "{d:?}");
+    }
+
+    #[test]
+    fn matched_widths_are_clean() {
+        let asm = asm_with(vec![
+            XInst::FDup {
+                dst: VecReg(1),
+                mem: Mem::new(GpReg(5), 0),
+                w: Width::V4,
+            },
+            XInst::FLoad {
+                dst: VecReg(2),
+                mem: Mem::new(GpReg(5), 0),
+                w: Width::V4,
+            },
+            XInst::FMul3 {
+                dst: VecReg(3),
+                a: VecReg(1),
+                b: VecReg(2),
+                w: Width::V4,
+            },
+            XInst::FStore {
+                src: VecReg(3),
+                mem: Mem::new(GpReg(5), 0),
+                w: Width::V4,
+            },
+            XInst::Ret,
+        ]);
+        let log = mklog(
+            IsaSet::new(&[IsaFeature::Avx]),
+            Width::V4,
+            vec![VecStrategy::Vdup],
+        );
+        let mut d = Vec::new();
+        check(&asm, &log, &mut d);
+        assert!(d.is_empty(), "unexpected: {d:?}");
+    }
+
+    #[test]
+    fn ymm_without_avx_is_an_isa_violation() {
+        let asm = asm_with(vec![
+            XInst::FLoad {
+                dst: VecReg(1),
+                mem: Mem::new(GpReg(5), 0),
+                w: Width::V4,
+            },
+            XInst::Ret,
+        ]);
+        let log = mklog(
+            IsaSet::new(&[IsaFeature::Sse2]),
+            Width::V2,
+            vec![VecStrategy::Vdup],
+        );
+        let mut d = Vec::new();
+        check(&asm, &log, &mut d);
+        assert!(d.iter().any(|x| x.rule == Rule::IsaViolation), "{d:?}");
+    }
+
+    #[test]
+    fn fma_without_the_feature_is_an_isa_violation() {
+        let asm = asm_with(vec![
+            XInst::FLoad {
+                dst: VecReg(1),
+                mem: Mem::new(GpReg(5), 0),
+                w: Width::V4,
+            },
+            XInst::Fma3 {
+                acc: VecReg(1),
+                a: VecReg(1),
+                b: VecReg(1),
+                w: Width::V4,
+            },
+            XInst::Ret,
+        ]);
+        let log = mklog(
+            IsaSet::new(&[IsaFeature::Avx]),
+            Width::V4,
+            vec![VecStrategy::Vdup],
+        );
+        let mut d = Vec::new();
+        check(&asm, &log, &mut d);
+        assert!(d.iter().any(|x| x.rule == Rule::IsaViolation), "{d:?}");
+    }
+
+    #[test]
+    fn packed_mul_under_scalar_plan_is_a_strategy_violation() {
+        let asm = asm_with(vec![
+            XInst::FLoad {
+                dst: VecReg(1),
+                mem: Mem::new(GpReg(5), 0),
+                w: Width::V2,
+            },
+            XInst::FMul2 {
+                dstsrc: VecReg(1),
+                src: VecReg(1),
+                w: Width::V2,
+            },
+            XInst::Ret,
+        ]);
+        let log = mklog(
+            IsaSet::new(&[IsaFeature::Sse2]),
+            Width::V2,
+            vec![VecStrategy::Scalar],
+        );
+        let mut d = Vec::new();
+        check(&asm, &log, &mut d);
+        assert!(d.iter().any(|x| x.rule == Rule::StrategyViolation), "{d:?}");
+    }
+}

@@ -1,0 +1,185 @@
+//! Negative tests: every rule must fire on deliberately broken input.
+//!
+//! Two flavors: hand-built kernels whose instruction stream violates a
+//! contract outright, and *tampered* binding logs from real
+//! compilations — the regression surface for allocator bugs (a
+//! release retimed before the live range ends, a register freed
+//! twice, a `reg_table` entry overwritten without a release).
+
+use augem_asm::{AsmKernel, Mem, ParamLoc, Width, XInst};
+use augem_ir::build::{assign, f64c, mul, store, var};
+use augem_ir::{int, KernelBuilder, Ty};
+use augem_machine::{GpReg, IsaFeature, IsaSet, MachineSpec, VecReg};
+use augem_opt::{Binding, BindingEvent, BindingEventKind, BindingLog};
+use augem_tune::{GemmConfig, LoggedBuild};
+use augem_verify::{check, Rule};
+
+/// A three-statement kernel: `x = 2.0; z = 3.0; A[0] = x` — `x` is
+/// live across the middle statement.
+fn clobber_fixture() -> (augem_ir::Kernel, AsmKernel, BindingLog) {
+    let mut kb = KernelBuilder::new("t");
+    let a = kb.ptr_param("A");
+    let x = kb.local("x", Ty::F64);
+    let z = kb.local("z", Ty::F64);
+    kb.push(assign(x, f64c(2.0)));
+    kb.push(assign(z, mul(f64c(3.0), f64c(1.0))));
+    kb.push(store(a, int(0), var(x)));
+    let kernel = kb.finish();
+
+    let v = VecReg(8);
+    let insts = vec![
+        // ir 0: x materialized in v8.
+        XInst::FLoad {
+            dst: v,
+            mem: Mem::new(GpReg(5), 0),
+            w: Width::S,
+        },
+        // ir 1: translating the unrelated statement z — but the emitter
+        // scribbles over x's register while x is live until ir 2.
+        XInst::FZero {
+            dst: v,
+            w: Width::S,
+        },
+        // ir 2: the store reads a destroyed x.
+        XInst::FStore {
+            src: v,
+            mem: Mem::new(GpReg(5), 0),
+            w: Width::S,
+        },
+        XInst::Ret,
+    ];
+    let events = vec![
+        BindingEvent {
+            kind: BindingEventKind::AllocVec { reg: v },
+            inst_pos: 0,
+            ir_pos: 0,
+        },
+        BindingEvent {
+            kind: BindingEventKind::Bind {
+                sym: x,
+                binding: Binding::ScalarVec(v),
+                prev: None,
+            },
+            inst_pos: 0,
+            ir_pos: 0,
+        },
+    ];
+    let mut asm = AsmKernel::new("t");
+    asm.params.push(("A".into(), ParamLoc::Gp(GpReg(5))));
+    let log = BindingLog {
+        events,
+        insts: insts.clone(),
+        inst_ir: vec![0, 1, 2, 2],
+        reserved: Vec::new(),
+        isa: IsaSet::new(&[IsaFeature::Avx]),
+        packed: Width::V4,
+        strategies: Vec::new(),
+        stack_slots: 0,
+    };
+    asm.insts = insts;
+    (kernel, asm, log)
+}
+
+#[test]
+fn clobbering_a_live_bound_register_is_flagged() {
+    let (kernel, asm, log) = clobber_fixture();
+    let diags = check(&kernel, &asm, &log);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == Rule::RegClobber && d.is_error()),
+        "expected RegClobber, got: {diags:?}"
+    );
+}
+
+// ---- tampered real compilations --------------------------------------
+
+fn real_build() -> LoggedBuild {
+    GemmConfig::fig13()
+        .build_logged(&MachineSpec::sandy_bridge())
+        .expect("fig13 builds on sandy bridge")
+}
+
+fn errors_of(build: &LoggedBuild, rule: Rule) -> usize {
+    check(&build.kernel, &build.asm, &build.log)
+        .iter()
+        .filter(|d| d.rule == rule && d.is_error())
+        .count()
+}
+
+#[test]
+fn untampered_build_is_error_free() {
+    let build = real_build();
+    let errs: Vec<_> = check(&build.kernel, &build.asm, &build.log)
+        .into_iter()
+        .filter(|d| d.is_error())
+        .collect();
+    assert!(errs.is_empty(), "{errs:?}");
+}
+
+#[test]
+fn retimed_release_is_an_early_release() {
+    // Regression for the §3.1 contract: move one recorded release to
+    // the start of the kernel — before the symbol's live range ends —
+    // and the replay must object.
+    let mut build = real_build();
+    let live = augem_ir::Liveness::analyze(&build.kernel);
+    let idx = build
+        .log
+        .events
+        .iter()
+        .position(|e| match &e.kind {
+            BindingEventKind::Release { sym, .. } => live.range(*sym).is_some_and(|r| r.last > 0),
+            _ => false,
+        })
+        .expect("a release of a ranged symbol exists");
+    build.log.events[idx].ir_pos = 0;
+    assert!(errors_of(&build, Rule::EarlyRelease) > 0);
+}
+
+#[test]
+fn duplicated_free_is_a_double_free() {
+    // Freeing the same vector register twice would let the allocator
+    // hand it out to two owners at once.
+    let mut build = real_build();
+    let idx = build
+        .log
+        .events
+        .iter()
+        .position(|e| match &e.kind {
+            BindingEventKind::FreeVec { reg, double } => {
+                !double && !build.log.reserved.contains(reg)
+            }
+            _ => false,
+        })
+        .expect("a clean vector free exists");
+    let dup = build.log.events[idx].clone();
+    build.log.events.insert(idx + 1, dup);
+    assert!(errors_of(&build, Rule::DoubleFree) > 0);
+}
+
+#[test]
+fn duplicated_bind_is_a_double_bind() {
+    // Overwriting a reg_table entry without a release breaks the §2.4
+    // consistency contract; the replay's own table catches it even
+    // though the duplicated event still claims `prev: None`.
+    let mut build = real_build();
+    let idx = build
+        .log
+        .events
+        .iter()
+        .position(|e| matches!(e.kind, BindingEventKind::Bind { .. }))
+        .expect("a bind exists");
+    let dup = build.log.events[idx].clone();
+    build.log.events.insert(idx + 1, dup);
+    assert!(errors_of(&build, Rule::DoubleBind) > 0);
+}
+
+#[test]
+fn wrong_isa_in_log_is_an_isa_violation() {
+    // An AVX kernel claimed to target bare SSE2: every YMM instruction
+    // is an ISA violation.
+    let mut build = real_build();
+    build.log.isa = IsaSet::sse2_only();
+    assert!(errors_of(&build, Rule::IsaViolation) > 0);
+}

@@ -1,0 +1,180 @@
+//! Differential testing behind the verifier: for random problem shapes,
+//! a kernel that the static verifier passes as error-free must execute
+//! *bit-for-bit* identically on the functional simulator (running the
+//! generated assembly) and on the IR interpreter (running the optimized
+//! C-level kernel the assembly was generated from).
+//!
+//! Bit-for-bit is an honest claim because the inputs are small
+//! integer-valued doubles: every product and partial sum stays exactly
+//! representable, so even reassociated reductions (the DOT horizontal
+//! sum, unroll&jam accumulator splitting) produce identical bits.
+
+use augem::ir::interp::{ArgValue, Interpreter};
+use augem::machine::MachineSpec;
+use augem::sim::{FuncSim, SimValue};
+use augem::transforms::PrefetchConfig;
+use augem::tune::{GemmConfig, LoggedBuild, VectorConfig, VectorKernel};
+use augem::verify;
+use proptest::prelude::*;
+
+fn machines() -> Vec<MachineSpec> {
+    vec![MachineSpec::sandy_bridge(), MachineSpec::piledriver()]
+}
+
+fn vector_cfg(kernel: VectorKernel, unroll: usize) -> VectorConfig {
+    VectorConfig {
+        kernel,
+        unroll,
+        prefetch: PrefetchConfig::default(),
+        schedule: true,
+    }
+}
+
+/// Small integer-valued doubles in [-4, 4] — exact under +, *, fma.
+fn mix(i: usize, s: u64) -> f64 {
+    (((i as u64).wrapping_mul(s * 2 + 13).wrapping_add(s) % 9) as f64) - 4.0
+}
+
+/// The differential harness: verifier must be clean, then interp and
+/// sim must agree on every output array, bit for bit.
+fn assert_differential(
+    build: &LoggedBuild,
+    machine: &MachineSpec,
+    interp_args: Vec<ArgValue>,
+    sim_args: Vec<SimValue>,
+) {
+    let diags = verify::check(&build.kernel, &build.asm, &build.log);
+    let errs = verify::errors(&diags);
+    prop_assert!(errs.is_empty(), "verifier errors: {errs:?}");
+
+    let want = Interpreter::new()
+        .run(&build.kernel, interp_args)
+        .expect("interp executes the optimized kernel");
+    let (got, _) = FuncSim::new(machine.isa)
+        .run(&build.asm, sim_args)
+        .expect("sim executes the generated assembly");
+    prop_assert_eq!(want.len(), got.len());
+    for (ai, (w, g)) in want.iter().zip(&got).enumerate() {
+        prop_assert_eq!(w.len(), g.len(), "array {} length", ai);
+        for (ei, (we, ge)) in w.iter().zip(g).enumerate() {
+            prop_assert!(
+                we.to_bits() == ge.to_bits(),
+                "array {} elem {}: interp {we} ({:#x}) vs sim {ge} ({:#x})",
+                ai,
+                ei,
+                we.to_bits(),
+                ge.to_bits()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn gemm_interp_and_sim_agree_bitwise(
+        mr in 1usize..14,
+        nr in 1usize..8,
+        kc in 1usize..20,
+        seed in 0u64..1000,
+    ) {
+        let machine = &machines()[(seed % 2) as usize];
+        let cfg = GemmConfig::fig13();
+        let build = cfg.build_logged(machine).expect("fig13 builds");
+        let (mc, ldb, ldc) = (mr + 1, nr + 2, mr + 3);
+        let a: Vec<f64> = (0..mc * kc).map(|i| mix(i, seed)).collect();
+        let b: Vec<f64> = (0..kc * ldb).map(|i| mix(i, seed + 1)).collect();
+        let c: Vec<f64> = (0..ldc * nr).map(|i| mix(i, seed + 2)).collect();
+        assert_differential(
+            &build,
+            machine,
+            vec![
+                ArgValue::Int(mr as i64), ArgValue::Int(nr as i64), ArgValue::Int(kc as i64),
+                ArgValue::Int(mc as i64), ArgValue::Int(ldb as i64), ArgValue::Int(ldc as i64),
+                ArgValue::Array(a.clone()), ArgValue::Array(b.clone()), ArgValue::Array(c.clone()),
+            ],
+            vec![
+                SimValue::Int(mr as i64), SimValue::Int(nr as i64), SimValue::Int(kc as i64),
+                SimValue::Int(mc as i64), SimValue::Int(ldb as i64), SimValue::Int(ldc as i64),
+                SimValue::Array(a), SimValue::Array(b), SimValue::Array(c),
+            ],
+        );
+    }
+
+    #[test]
+    fn gemv_interp_and_sim_agree_bitwise(
+        m in 1usize..40,
+        n in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let machine = &machines()[(seed % 2) as usize];
+        let w = machine.simd_mode().f64_lanes();
+        let cfg = vector_cfg(VectorKernel::Gemv, 2 * w);
+        let build = cfg.build_logged(machine).expect("gemv builds");
+        let lda = m + (seed % 3) as usize;
+        let a: Vec<f64> = (0..lda * n).map(|i| mix(i, seed)).collect();
+        let x: Vec<f64> = (0..n).map(|i| mix(i, seed + 1)).collect();
+        let y: Vec<f64> = (0..m).map(|i| mix(i, seed + 2)).collect();
+        assert_differential(
+            &build,
+            machine,
+            vec![
+                ArgValue::Int(m as i64), ArgValue::Int(n as i64), ArgValue::Int(lda as i64),
+                ArgValue::Array(a.clone()), ArgValue::Array(x.clone()), ArgValue::Array(y.clone()),
+            ],
+            vec![
+                SimValue::Int(m as i64), SimValue::Int(n as i64), SimValue::Int(lda as i64),
+                SimValue::Array(a), SimValue::Array(x), SimValue::Array(y),
+            ],
+        );
+    }
+
+    #[test]
+    fn axpy_interp_and_sim_agree_bitwise(
+        n in 1usize..200,
+        unroll in prop::sample::select(vec![2usize, 4, 8]),
+        seed in 0u64..1000,
+    ) {
+        let machine = &machines()[(seed % 2) as usize];
+        let cfg = vector_cfg(VectorKernel::Axpy, unroll);
+        let build = cfg.build_logged(machine).expect("axpy builds");
+        let alpha = mix(7, seed);
+        let x: Vec<f64> = (0..n).map(|i| mix(i, seed)).collect();
+        let y: Vec<f64> = (0..n).map(|i| mix(i, seed + 1)).collect();
+        assert_differential(
+            &build,
+            machine,
+            vec![
+                ArgValue::Int(n as i64), ArgValue::F64(alpha),
+                ArgValue::Array(x.clone()), ArgValue::Array(y.clone()),
+            ],
+            vec![
+                SimValue::Int(n as i64), SimValue::F64(alpha),
+                SimValue::Array(x), SimValue::Array(y),
+            ],
+        );
+    }
+
+    #[test]
+    fn dot_interp_and_sim_agree_bitwise(n in 1usize..300, seed in 0u64..1000) {
+        let machine = &machines()[(seed % 2) as usize];
+        let w = machine.simd_mode().f64_lanes();
+        let cfg = vector_cfg(VectorKernel::Dot, 2 * w);
+        let build = cfg.build_logged(machine).expect("dot builds");
+        let x: Vec<f64> = (0..n).map(|i| mix(i, seed)).collect();
+        let y: Vec<f64> = (0..n).map(|i| mix(i, seed + 1)).collect();
+        assert_differential(
+            &build,
+            machine,
+            vec![
+                ArgValue::Int(n as i64), ArgValue::Array(x.clone()),
+                ArgValue::Array(y.clone()), ArgValue::Array(vec![0.0]),
+            ],
+            vec![
+                SimValue::Int(n as i64), SimValue::Array(x),
+                SimValue::Array(y), SimValue::Array(vec![0.0]),
+            ],
+        );
+    }
+}
