@@ -10,21 +10,37 @@ cargo fmt --all --check
 echo "== cargo clippy (-D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== tier-1: cargo build --release"
-cargo build --release
+echo "== tier-1: cargo build --release --workspace"
+# --workspace: the repo root is itself a package, so a bare `cargo build`
+# would skip member-crate binaries (augem-gen, figures) used below.
+cargo build --release --workspace
 
 echo "== tier-1: cargo test -q"
 cargo test -q
 
 echo "== verify: static kernel verification across the kernel x ISA matrix"
 # The generated winner for every kernel on every paper platform must pass
-# the static verifier (augem-gen exits non-zero on any error diagnostic).
+# the static verifier AND the translation validator (--verify now runs
+# both; augem-gen exits non-zero on any error diagnostic or when the
+# warning count exceeds --max-warnings).
 for machine in sandybridge piledriver; do
   for kernel in gemm gemv ger axpy dot scal; do
     echo "-- verify $kernel on $machine"
     ./target/release/augem-gen --kernel "$kernel" --machine "$machine" \
-      --verify -o /dev/null
+      --verify --max-warnings 16 -o /dev/null
   done
 done
+
+echo "== equivalence matrix: kernels x machines x vectorization strategies"
+# Every configuration the pipeline can produce — including the tuner's
+# full candidate sets — must carry a translation-validation proof.
+cargo test --release -q -p augem-verify --test equiv_matrix
+
+echo "== equivalence mutation suite: injected defects must be refuted"
+cargo test --release -q -p augem-verify --test equiv_mutation
+
+echo "== verify bench: per-kernel verification wall time"
+./target/release/figures verify
+test -f BENCH_verify.json
 
 echo "CI OK"

@@ -33,6 +33,8 @@
 pub mod emit;
 pub mod inst;
 pub mod kernel;
+pub mod sem;
 
 pub use inst::{GpOrImm, Mem, Width, XInst};
 pub use kernel::{AsmKernel, ParamLoc};
+pub use sem::{fp_semantics, ArithLane, FpAluOp, FpArith, FpMove, FpSem, LaneSrc};

@@ -1,0 +1,587 @@
+//! Declarative per-lane semantics for the floating-point instruction set.
+//!
+//! Every [`XInst`] that writes a vector register is described here as a
+//! pure function from (old register file lanes, loaded memory elements) to
+//! the four written lanes of its destination. The functional simulator in
+//! `augem-sim` implements the same semantics operationally; this table is
+//! the declarative twin that `augem-verify`'s symbolic executor interprets
+//! over expression DAGs instead of `f64`s — one source of truth for the
+//! subtle lane rules (legacy-SSE upper-lane preservation vs VEX zeroing,
+//! `movsd`'s unconditional clearing of lane 1, per-128-bit-half `vshufpd`
+//! indexing) that a translation validator must not get wrong.
+//!
+//! Instructions with no vector destination (stores, integer ops, control
+//! flow, prefetch) return `None` from [`fp_semantics`]; the executor
+//! handles their effects directly.
+
+use crate::inst::{Width, XInst};
+use augem_machine::VecReg;
+
+/// Where one destination lane of a data-movement instruction comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneSrc {
+    /// Lane `1` of register `0`, read before the destination is written
+    /// (so `Reg(dst, l)` means the *old* value of the destination's lane).
+    Reg(VecReg, usize),
+    /// Element `0` of the instruction's memory read (0 = lowest address).
+    Mem(usize),
+    /// `+0.0`.
+    Zero,
+    /// The destination lane keeps its previous value (legacy-SSE upper
+    /// lanes).
+    Old,
+}
+
+/// A data-movement instruction: each destination lane is independently
+/// sourced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FpMove {
+    pub dst: VecReg,
+    pub lanes: [LaneSrc; 4],
+}
+
+/// The arithmetic operation of an [`FpArith`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FpAluOp {
+    /// `lane = a + b`
+    Add,
+    /// `lane = a * b`
+    Mul,
+    /// `lane = a * b + acc` (the fused form; the validator unfolds it to
+    /// an unfused multiply-then-add, which is exact on the integer-valued
+    /// test domain and matches the simulator's `mul_add`-free model).
+    Fma,
+}
+
+/// What one destination lane of an arithmetic instruction computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithLane {
+    /// `op(a[lane], b[lane])`, plus `acc[lane]` for [`FpAluOp::Fma`].
+    Compute,
+    /// Pass-through of `a[lane]` (scalar AVX forms copy the first
+    /// source's lane 1 into the destination).
+    CopyA,
+    /// `+0.0` (VEX zeroing of upper lanes).
+    Zero,
+    /// Previous destination value (legacy-SSE preservation).
+    Old,
+}
+
+/// An arithmetic instruction: one op applied lanewise, with per-lane
+/// compute/copy/zero/preserve behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FpArith {
+    pub dst: VecReg,
+    pub op: FpAluOp,
+    pub a: VecReg,
+    pub b: VecReg,
+    /// The addend register for [`FpAluOp::Fma`] (`acc` of FMA3, `c` of
+    /// FMA4); `None` for plain add/mul.
+    pub acc: Option<VecReg>,
+    pub lanes: [ArithLane; 4],
+}
+
+/// Per-lane semantics of one vector-register-writing instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FpSem {
+    Move(FpMove),
+    Arith(FpArith),
+}
+
+impl FpSem {
+    /// The destination register.
+    pub fn dst(&self) -> VecReg {
+        match self {
+            FpSem::Move(m) => m.dst,
+            FpSem::Arith(a) => a.dst,
+        }
+    }
+
+    /// Number of consecutive f64 elements the instruction reads from its
+    /// memory operand (0 when it has none). Drives the bounds check.
+    pub fn mem_elems(&self) -> usize {
+        match self {
+            FpSem::Move(m) => m
+                .lanes
+                .iter()
+                .filter_map(|l| match l {
+                    LaneSrc::Mem(i) => Some(i + 1),
+                    _ => None,
+                })
+                .max()
+                .unwrap_or(0),
+            FpSem::Arith(_) => 0,
+        }
+    }
+}
+
+/// Upper-lane behavior shared by the 128-bit forms: VEX encodings zero
+/// lanes 2–3, legacy SSE preserves them.
+fn upper(vex: bool) -> LaneSrc {
+    if vex {
+        LaneSrc::Zero
+    } else {
+        LaneSrc::Old
+    }
+}
+
+/// Looks up the per-lane semantics of `inst`.
+///
+/// `vex` selects the encoding family the emitter used (true when the
+/// target has AVX): it decides whether 128-bit operations zero or
+/// preserve lanes 2–3, exactly as the functional simulator does.
+///
+/// Returns `None` for instructions that write no vector register.
+pub fn fp_semantics(inst: &XInst, vex: bool) -> Option<FpSem> {
+    use ArithLane as AL;
+    use LaneSrc as LS;
+    let sem = match inst {
+        XInst::FLoad { dst, w, .. } => FpSem::Move(FpMove {
+            dst: *dst,
+            lanes: match w {
+                // movsd (load form) zeroes bits 127:64 even in legacy
+                // encoding; VEX additionally zeroes 255:128.
+                Width::S => [LS::Mem(0), LS::Zero, upper(vex), upper(vex)],
+                Width::V2 => [LS::Mem(0), LS::Mem(1), upper(vex), upper(vex)],
+                Width::V4 => [LS::Mem(0), LS::Mem(1), LS::Mem(2), LS::Mem(3)],
+            },
+        }),
+        XInst::FDup { dst, w, .. } => FpSem::Move(FpMove {
+            dst: *dst,
+            lanes: match w {
+                Width::S | Width::V2 => [LS::Mem(0), LS::Mem(0), upper(vex), upper(vex)],
+                Width::V4 => [LS::Mem(0); 4],
+            },
+        }),
+        XInst::FMov { dst, src, w } => FpSem::Move(FpMove {
+            dst: *dst,
+            lanes: match w {
+                // movapd xmm copies the full 128 bits regardless of S/V2.
+                Width::S | Width::V2 => {
+                    [LS::Reg(*src, 0), LS::Reg(*src, 1), upper(vex), upper(vex)]
+                }
+                Width::V4 => [
+                    LS::Reg(*src, 0),
+                    LS::Reg(*src, 1),
+                    LS::Reg(*src, 2),
+                    LS::Reg(*src, 3),
+                ],
+            },
+        }),
+        XInst::FZero { dst, .. } => FpSem::Move(FpMove {
+            dst: *dst,
+            lanes: [LS::Zero; 4],
+        }),
+
+        // Two-operand legacy-SSE arithmetic: dstsrc = dstsrc op src,
+        // untouched lanes preserved.
+        XInst::FMul2 { dstsrc, src, w } | XInst::FAdd2 { dstsrc, src, w } => {
+            let op = match inst {
+                XInst::FMul2 { .. } => FpAluOp::Mul,
+                _ => FpAluOp::Add,
+            };
+            let mut lanes = [AL::Old; 4];
+            for l in lanes.iter_mut().take(w.lanes()) {
+                *l = AL::Compute;
+            }
+            FpSem::Arith(FpArith {
+                dst: *dstsrc,
+                op,
+                a: *dstsrc,
+                b: *src,
+                acc: None,
+                lanes,
+            })
+        }
+
+        // Three-operand VEX arithmetic: scalar forms copy a[1] into
+        // lane 1; 128-bit forms zero the upper half.
+        XInst::FMul3 { dst, a, b, w } | XInst::FAdd3 { dst, a, b, w } => {
+            let op = match inst {
+                XInst::FMul3 { .. } => FpAluOp::Mul,
+                _ => FpAluOp::Add,
+            };
+            FpSem::Arith(FpArith {
+                dst: *dst,
+                op,
+                a: *a,
+                b: *b,
+                acc: None,
+                lanes: match w {
+                    Width::S => [AL::Compute, AL::CopyA, AL::Zero, AL::Zero],
+                    Width::V2 => [AL::Compute, AL::Compute, AL::Zero, AL::Zero],
+                    Width::V4 => [AL::Compute; 4],
+                },
+            })
+        }
+
+        // FMA3 vfmadd231: acc = acc + a*b. Scalar form leaves acc[1]
+        // unchanged (DEST[127:64] preserved); VEX zeroes 255:128.
+        XInst::Fma3 { acc, a, b, w } => FpSem::Arith(FpArith {
+            dst: *acc,
+            op: FpAluOp::Fma,
+            a: *a,
+            b: *b,
+            acc: Some(*acc),
+            lanes: match w {
+                Width::S => [AL::Compute, AL::Old, AL::Zero, AL::Zero],
+                Width::V2 => [AL::Compute, AL::Compute, AL::Zero, AL::Zero],
+                Width::V4 => [AL::Compute; 4],
+            },
+        }),
+
+        // FMA4 vfmaddpd: dst = a*b + c with independent destination.
+        // Scalar form copies a[1] into lane 1.
+        XInst::Fma4 { dst, a, b, c, w } => FpSem::Arith(FpArith {
+            dst: *dst,
+            op: FpAluOp::Fma,
+            a: *a,
+            b: *b,
+            acc: Some(*c),
+            lanes: match w {
+                Width::S => [AL::Compute, AL::CopyA, AL::Zero, AL::Zero],
+                Width::V2 => [AL::Compute, AL::Compute, AL::Zero, AL::Zero],
+                Width::V4 => [AL::Compute; 4],
+            },
+        }),
+
+        // shufpd (legacy): dst[0] = dst[imm&1], dst[1] = src[(imm>>1)&1],
+        // upper lanes preserved (the emitter only uses it in SSE mode).
+        XInst::Shuf2 {
+            dstsrc, src, imm, ..
+        } => FpSem::Move(FpMove {
+            dst: *dstsrc,
+            lanes: [
+                LS::Reg(*dstsrc, (imm & 1) as usize),
+                LS::Reg(*src, ((imm >> 1) & 1) as usize),
+                LS::Old,
+                LS::Old,
+            ],
+        }),
+
+        // vshufpd: per-128-bit-half selection.
+        XInst::Shuf3 { dst, a, b, imm, w } => FpSem::Move(FpMove {
+            dst: *dst,
+            lanes: match w {
+                Width::S | Width::V2 => [
+                    LS::Reg(*a, (imm & 1) as usize),
+                    LS::Reg(*b, ((imm >> 1) & 1) as usize),
+                    LS::Zero,
+                    LS::Zero,
+                ],
+                Width::V4 => [
+                    LS::Reg(*a, (imm & 1) as usize),
+                    LS::Reg(*b, ((imm >> 1) & 1) as usize),
+                    LS::Reg(*a, 2 + ((imm >> 2) & 1) as usize),
+                    LS::Reg(*b, 2 + ((imm >> 3) & 1) as usize),
+                ],
+            },
+        }),
+
+        XInst::SwapHalves { dst, src } => FpSem::Move(FpMove {
+            dst: *dst,
+            lanes: [
+                LS::Reg(*src, 2),
+                LS::Reg(*src, 3),
+                LS::Reg(*src, 0),
+                LS::Reg(*src, 1),
+            ],
+        }),
+
+        // vperm2f128: each 128-bit half of the destination independently
+        // selects a half of a or b.
+        XInst::Perm2f128 { dst, a, b, imm } => {
+            let pick = |sel: u8| -> [LaneSrc; 2] {
+                let src = if sel & 2 == 0 { *a } else { *b };
+                let base = if sel & 1 == 0 { 0 } else { 2 };
+                [LS::Reg(src, base), LS::Reg(src, base + 1)]
+            };
+            let lo = pick(imm & 0x3);
+            let hi = pick((imm >> 4) & 0x3);
+            FpSem::Move(FpMove {
+                dst: *dst,
+                lanes: [lo[0], lo[1], hi[0], hi[1]],
+            })
+        }
+
+        // vextractf128 $1 writes an XMM destination: upper lanes zeroed.
+        XInst::ExtractHi { dst, src } => FpSem::Move(FpMove {
+            dst: *dst,
+            lanes: [LS::Reg(*src, 2), LS::Reg(*src, 3), LS::Zero, LS::Zero],
+        }),
+
+        _ => return None,
+    };
+    Some(sem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Mem;
+    use augem_machine::GpReg;
+
+    /// Concrete evaluation of an [`FpSem`] over an `f64` register file —
+    /// the oracle the tests compare against hand-computed expectations
+    /// that replicate the functional simulator's behavior.
+    fn eval(sem: &FpSem, vecs: &mut [[f64; 4]; 16], mem: &[f64]) {
+        let old = vecs[sem.dst().0 as usize];
+        let mut out = [0.0; 4];
+        match sem {
+            FpSem::Move(m) => {
+                for (l, src) in m.lanes.iter().enumerate() {
+                    out[l] = match src {
+                        LaneSrc::Reg(r, i) => vecs[r.0 as usize][*i],
+                        LaneSrc::Mem(i) => mem[*i],
+                        LaneSrc::Zero => 0.0,
+                        LaneSrc::Old => old[l],
+                    };
+                }
+            }
+            FpSem::Arith(ar) => {
+                let va = vecs[ar.a.0 as usize];
+                let vb = vecs[ar.b.0 as usize];
+                let vacc = ar.acc.map(|r| vecs[r.0 as usize]);
+                for (l, lane) in ar.lanes.iter().enumerate() {
+                    out[l] = match lane {
+                        ArithLane::Compute => match ar.op {
+                            FpAluOp::Add => va[l] + vb[l],
+                            FpAluOp::Mul => va[l] * vb[l],
+                            FpAluOp::Fma => va[l] * vb[l] + vacc.unwrap()[l],
+                        },
+                        ArithLane::CopyA => va[l],
+                        ArithLane::Zero => 0.0,
+                        ArithLane::Old => old[l],
+                    };
+                }
+            }
+        }
+        vecs[sem.dst().0 as usize] = out;
+    }
+
+    fn regs() -> [[f64; 4]; 16] {
+        let mut v = [[0.0; 4]; 16];
+        for (r, lanes) in v.iter_mut().enumerate() {
+            for (l, x) in lanes.iter_mut().enumerate() {
+                *x = (r * 10 + l) as f64 + 0.5;
+            }
+        }
+        v
+    }
+
+    const M: [f64; 4] = [100.0, 101.0, 102.0, 103.0];
+
+    fn run(inst: &XInst, vex: bool) -> [[f64; 4]; 16] {
+        let sem = fp_semantics(inst, vex).expect("has fp semantics");
+        let mut v = regs();
+        eval(&sem, &mut v, &M);
+        v
+    }
+
+    #[test]
+    fn load_scalar_zeroes_lane1_always_and_upper_when_vex() {
+        let i = XInst::FLoad {
+            dst: VecReg(2),
+            mem: Mem::new(GpReg(0), 0),
+            w: Width::S,
+        };
+        assert_eq!(run(&i, true)[2], [100.0, 0.0, 0.0, 0.0]);
+        assert_eq!(run(&i, false)[2], [100.0, 0.0, 22.5, 23.5]);
+    }
+
+    #[test]
+    fn load_v2_upper_depends_on_encoding() {
+        let i = XInst::FLoad {
+            dst: VecReg(2),
+            mem: Mem::new(GpReg(0), 0),
+            w: Width::V2,
+        };
+        assert_eq!(run(&i, true)[2], [100.0, 101.0, 0.0, 0.0]);
+        assert_eq!(run(&i, false)[2], [100.0, 101.0, 22.5, 23.5]);
+        assert_eq!(fp_semantics(&i, true).unwrap().mem_elems(), 2);
+    }
+
+    #[test]
+    fn dup_broadcasts() {
+        let i = XInst::FDup {
+            dst: VecReg(1),
+            mem: Mem::new(GpReg(0), 0),
+            w: Width::V4,
+        };
+        assert_eq!(run(&i, true)[1], [100.0; 4]);
+        assert_eq!(fp_semantics(&i, true).unwrap().mem_elems(), 1);
+        let i2 = XInst::FDup {
+            dst: VecReg(1),
+            mem: Mem::new(GpReg(0), 0),
+            w: Width::V2,
+        };
+        assert_eq!(run(&i2, false)[1], [100.0, 100.0, 12.5, 13.5]);
+    }
+
+    #[test]
+    fn mov_xmm_copies_full_128() {
+        let i = XInst::FMov {
+            dst: VecReg(4),
+            src: VecReg(3),
+            w: Width::S,
+        };
+        assert_eq!(run(&i, false)[4], [30.5, 31.5, 42.5, 43.5]);
+        assert_eq!(run(&i, true)[4], [30.5, 31.5, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn sse_two_op_preserves_upper() {
+        let i = XInst::FAdd2 {
+            dstsrc: VecReg(5),
+            src: VecReg(6),
+            w: Width::V2,
+        };
+        let v = run(&i, false);
+        assert_eq!(v[5], [50.5 + 60.5, 51.5 + 61.5, 52.5, 53.5]);
+    }
+
+    #[test]
+    fn avx_scalar_three_op_copies_a_lane1() {
+        let i = XInst::FMul3 {
+            dst: VecReg(7),
+            a: VecReg(1),
+            b: VecReg(2),
+            w: Width::S,
+        };
+        let v = run(&i, true);
+        assert_eq!(v[7], [10.5 * 20.5, 11.5, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn fma3_scalar_preserves_acc_lane1() {
+        let i = XInst::Fma3 {
+            acc: VecReg(3),
+            a: VecReg(1),
+            b: VecReg(2),
+            w: Width::S,
+        };
+        let v = run(&i, true);
+        assert_eq!(v[3], [30.5 + 10.5 * 20.5, 31.5, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn fma4_v4_computes_all_lanes() {
+        let i = XInst::Fma4 {
+            dst: VecReg(9),
+            a: VecReg(1),
+            b: VecReg(2),
+            c: VecReg(3),
+            w: Width::V4,
+        };
+        let v = run(&i, true);
+        for (l, got) in v[9].iter().enumerate() {
+            let (a, b, c) = (10.5 + l as f64, 20.5 + l as f64, 30.5 + l as f64);
+            assert_eq!(*got, a * b + c);
+        }
+    }
+
+    #[test]
+    fn shuf2_reads_old_dst_and_preserves_upper() {
+        let i = XInst::Shuf2 {
+            dstsrc: VecReg(4),
+            src: VecReg(5),
+            imm: 0b01,
+            w: Width::V2,
+        };
+        // dst[0] = old dst[1]; dst[1] = src[0]; upper preserved.
+        assert_eq!(run(&i, false)[4], [41.5, 50.5, 42.5, 43.5]);
+    }
+
+    #[test]
+    fn shuf3_v4_selects_per_half() {
+        let i = XInst::Shuf3 {
+            dst: VecReg(8),
+            a: VecReg(1),
+            b: VecReg(1),
+            imm: 0b0101,
+            w: Width::V4,
+        };
+        // in-pair swap: [a1, a0, a3, a2]
+        assert_eq!(run(&i, true)[8], [11.5, 10.5, 13.5, 12.5]);
+    }
+
+    #[test]
+    fn swap_halves_and_extract_hi() {
+        let s = XInst::SwapHalves {
+            dst: VecReg(8),
+            src: VecReg(1),
+        };
+        assert_eq!(run(&s, true)[8], [12.5, 13.5, 10.5, 11.5]);
+        let e = XInst::ExtractHi {
+            dst: VecReg(8),
+            src: VecReg(1),
+        };
+        assert_eq!(run(&e, true)[8], [12.5, 13.5, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn perm2f128_selects_halves() {
+        let i = XInst::Perm2f128 {
+            dst: VecReg(8),
+            a: VecReg(1),
+            b: VecReg(2),
+            imm: 0x30, // low = a.low, high = b.high
+        };
+        assert_eq!(run(&i, true)[8], [10.5, 11.5, 22.5, 23.5]);
+    }
+
+    #[test]
+    fn non_vector_writers_have_no_semantics() {
+        assert!(fp_semantics(
+            &XInst::FStore {
+                src: VecReg(0),
+                mem: Mem::new(GpReg(0), 0),
+                w: Width::V2
+            },
+            true
+        )
+        .is_none());
+        assert!(fp_semantics(&XInst::Ret, true).is_none());
+        assert!(fp_semantics(
+            &XInst::IAdd {
+                dst: GpReg(0),
+                src: crate::inst::GpOrImm::Imm(1)
+            },
+            true
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn dst_matches_vec_def_for_every_fp_writer() {
+        // The table and the dataflow helpers must agree on destinations.
+        let insts = vec![
+            XInst::FLoad {
+                dst: VecReg(1),
+                mem: Mem::new(GpReg(0), 0),
+                w: Width::V4,
+            },
+            XInst::FMul2 {
+                dstsrc: VecReg(2),
+                src: VecReg(3),
+                w: Width::V2,
+            },
+            XInst::Fma3 {
+                acc: VecReg(4),
+                a: VecReg(5),
+                b: VecReg(6),
+                w: Width::V4,
+            },
+            XInst::Shuf3 {
+                dst: VecReg(7),
+                a: VecReg(8),
+                b: VecReg(9),
+                imm: 5,
+                w: Width::V4,
+            },
+        ];
+        for i in &insts {
+            assert_eq!(fp_semantics(i, true).unwrap().dst(), i.vec_def().unwrap());
+        }
+    }
+}

@@ -12,14 +12,22 @@
 //! `--verify` reruns the winning configuration through the pipeline with
 //! binding-event logging and runs the static kernel verifier
 //! (`augem-verify`) over the result: register-allocation replay, dataflow,
-//! SIMD width/ISA typing, and memory bounds. Diagnostics go to stderr;
-//! any `error:`-severity diagnostic makes the exit status non-zero.
+//! SIMD width/ISA typing, memory bounds, and — unless `--no-equiv` is
+//! given — the translation validator, which symbolically executes the
+//! source kernel and the generated assembly and proves every output
+//! location computes the same expression. Diagnostics go to stderr; any
+//! `error:`-severity diagnostic makes the exit status non-zero, as does
+//! a warning count above `--max-warnings N`.
+//!
+//! Exit status: 0 on success; 1 when generation fails, verification
+//! reports errors, or warnings exceed `--max-warnings`; 2 on usage
+//! errors.
 
 use augem::ir::print::print_kernel;
 use augem::machine::{MachineSpec, Microarch};
 use augem::templates::identify;
 use augem::transforms::{generate_optimized, OptimizeConfig};
-use augem::{Augem, DlaKernel};
+use augem::{Augem, DlaKernel, VerifyOptions};
 use std::io::Write as _;
 use std::process::ExitCode;
 
@@ -34,6 +42,10 @@ struct Args {
     report: Option<String>,
     /// Run the static kernel verifier on the winning configuration.
     verify: bool,
+    /// Skip the translation-validation stage of `--verify`.
+    no_equiv: bool,
+    /// Fail (exit 1) when `--verify` emits more than this many warnings.
+    max_warnings: Option<usize>,
 }
 
 #[derive(PartialEq)]
@@ -48,6 +60,7 @@ fn usage() -> ExitCode {
         "usage: augem-gen --kernel <gemm|gemv|ger|axpy|dot|scal> \
          --machine <sandybridge|piledriver> [--emit asm|c|tagged] [-o FILE]\n\
          \x20                [--trace] [--report FILE.json] [--verify]\n\
+         \x20                [--no-equiv] [--max-warnings N]\n\
          \x20      augem-gen --list"
     );
     ExitCode::from(2)
@@ -74,6 +87,8 @@ fn parse() -> Result<Option<Args>, ExitCode> {
     let mut trace = false;
     let mut report = None;
     let mut verify = false;
+    let mut no_equiv = false;
+    let mut max_warnings = None;
     let mut it = argv.into_iter();
     while let Some(flag) = it.next() {
         let mut val = |name: &str| {
@@ -125,6 +140,17 @@ fn parse() -> Result<Option<Args>, ExitCode> {
             "--trace" => trace = true,
             "--report" => report = Some(val("--report")?),
             "--verify" => verify = true,
+            "--no-equiv" => no_equiv = true,
+            "--max-warnings" => {
+                let v = val("--max-warnings")?;
+                max_warnings = Some(match v.parse::<usize>() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        eprintln!("--max-warnings needs a non-negative integer, got `{v}`");
+                        return Err(usage());
+                    }
+                });
+            }
             other => {
                 eprintln!("unknown flag `{other}`");
                 return Err(usage());
@@ -142,6 +168,8 @@ fn parse() -> Result<Option<Args>, ExitCode> {
         trace,
         report,
         verify,
+        no_equiv,
+        max_warnings,
     }))
 }
 
@@ -168,24 +196,32 @@ fn main() -> ExitCode {
         eprintln!("--trace/--report/--verify only apply to --emit asm (the tuned pipeline)");
         return ExitCode::from(2);
     }
+    if (args.no_equiv || args.max_warnings.is_some()) && !args.verify {
+        eprintln!("--no-equiv/--max-warnings only apply together with --verify");
+        return ExitCode::from(2);
+    }
 
     let mut verify_errors = 0usize;
+    let mut verify_warnings = 0usize;
     let text = match args.emit {
         Emit::Asm => {
             let driver = Augem::new(args.machine.clone());
             let generated = if args.verify {
+                let opts = VerifyOptions {
+                    equivalence: !args.no_equiv,
+                };
                 driver
-                    .generate_report_verified(args.kernel)
+                    .generate_report_verified_with(args.kernel, &opts)
                     .map(|(g, run, diags)| {
                         for d in &diags {
                             eprintln!("{d}");
                         }
                         verify_errors = augem::verify::errors(&diags).len();
-                        let warnings = diags.len() - verify_errors;
+                        verify_warnings = diags.len() - verify_errors;
                         eprintln!(
                             "verify: {} error(s), {} warning(s) for {} on {}",
                             verify_errors,
-                            warnings,
+                            verify_warnings,
                             g.config_tag,
                             args.machine.arch.short_name()
                         );
@@ -249,6 +285,14 @@ fn main() -> ExitCode {
     if verify_errors > 0 {
         eprintln!("verification failed: {verify_errors} error(s)");
         return ExitCode::FAILURE;
+    }
+    if let Some(max) = args.max_warnings {
+        if verify_warnings > max {
+            eprintln!(
+                "verification failed: {verify_warnings} warning(s) exceed --max-warnings {max}"
+            );
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

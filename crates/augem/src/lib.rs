@@ -147,6 +147,21 @@ enum Winner {
     Vector(VectorConfig),
 }
 
+/// Which verification stages [`Augem::generate_report_verified_with`]
+/// runs over the winning configuration.
+#[derive(Debug, Clone)]
+pub struct VerifyOptions {
+    /// Run the translation validator ([`verify::check_equivalence`]) in
+    /// addition to the structural checks. On by default.
+    pub equivalence: bool,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> Self {
+        VerifyOptions { equivalence: true }
+    }
+}
+
 /// The end-to-end driver: "taking as input a simple C implementation of a
 /// DLA kernel, it automatically generates an efficient assembly kernel"
 /// (paper §2), selecting configurations by empirical feedback.
@@ -193,12 +208,27 @@ impl Augem {
 
     /// [`generate_report`](Augem::generate_report), then rebuilds the
     /// winning configuration with its binding log and runs the static
-    /// kernel verifier ([`verify::check`]) over it. Diagnostics are
-    /// returned and also land in the run report as `verify.diagnostic`
-    /// events plus `verify.errors` / `verify.warnings` counters.
+    /// kernel verifier ([`verify::check`]) over it, followed by the
+    /// translation validator ([`verify::check_equivalence`]) proving the
+    /// assembly computes the same expressions as the pre-transform source
+    /// kernel at a shape derived from the winner's unroll factors.
+    /// Diagnostics are returned and also land in the run report as
+    /// `verify.diagnostic` / `equiv.diagnostic` events plus
+    /// `verify.errors` / `verify.warnings` / `equiv.errors` counters.
     pub fn generate_report_verified(
         &self,
         kernel: DlaKernel,
+    ) -> Result<(Generated, RunReport, Vec<augem_verify::Diagnostic>), AugemError> {
+        self.generate_report_verified_with(kernel, &VerifyOptions::default())
+    }
+
+    /// [`generate_report_verified`](Augem::generate_report_verified)
+    /// with stage selection — `opts.equivalence: false` skips the
+    /// translation validator and runs only the structural checks.
+    pub fn generate_report_verified_with(
+        &self,
+        kernel: DlaKernel,
+        opts: &VerifyOptions,
     ) -> Result<(Generated, RunReport, Vec<augem_verify::Diagnostic>), AugemError> {
         let collector = Collector::new();
         let (g, tuner, winner) = self.generate_inner(kernel, &collector)?;
@@ -207,8 +237,21 @@ impl Augem {
             Winner::Vector(c) => c.build_logged(&self.machine),
         }
         .map_err(|e| AugemError::Eval(EvalError::Build(e)))?;
-        let diags =
+        let mut diags =
             augem_verify::check_traced(&logged.kernel, &logged.asm, &logged.log, &collector);
+        if opts.equivalence {
+            let spec = match &winner {
+                Winner::Gemm(c) => c.equiv_spec(),
+                Winner::Vector(c) => c.equiv_spec(),
+            };
+            diags.extend(augem_verify::check_equivalence_traced(
+                &logged.source,
+                &logged.asm,
+                self.machine.isa,
+                &spec,
+                &collector,
+            ));
+        }
         let report = self.finish_report(&collector, kernel, &g, tuner);
         Ok((g, report, diags))
     }

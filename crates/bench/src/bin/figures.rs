@@ -6,6 +6,7 @@
 //! cargo run --release -p augem-bench --bin figures -- table6 ablations
 //! cargo run --release -p augem-bench --bin figures -- asm      # dump tuned kernels
 //! cargo run --release -p augem-bench --bin figures -- pipeline # BENCH_pipeline.json
+//! cargo run --release -p augem-bench --bin figures -- verify   # BENCH_verify.json
 //! ```
 
 use augem::obs::Json;
@@ -13,6 +14,7 @@ use augem::Augem;
 use augem_bench::{ablations, format_figure, Models};
 use augem_kernels::DlaKernel;
 use augem_machine::MachineSpec;
+use augem_tune::{GemmConfig, VectorConfig, VectorKernel};
 
 /// Runs a traced generation per kernel × platform and writes the run
 /// reports to `BENCH_pipeline.json` — the machine-readable perf
@@ -43,6 +45,109 @@ fn emit_pipeline_reports(platforms: &[MachineSpec]) {
     }
 }
 
+/// Runs both verifier stages — the structural checks and the
+/// translation validator — over a representative configuration per
+/// kernel × platform, and writes per-kernel wall times and finding
+/// counts to `BENCH_verify.json` (`augem.bench-verify/v1`).
+fn emit_verify_reports(platforms: &[MachineSpec]) {
+    let mut entries = Vec::new();
+    for machine in platforms {
+        let configs: Vec<(DlaKernel, GemmConfig)> = vec![(DlaKernel::Gemm, GemmConfig::fig13())];
+        for (k, cfg) in configs {
+            match cfg.build_logged(machine) {
+                Ok(build) => entries.push(verify_entry(
+                    k,
+                    machine,
+                    &cfg.tag(),
+                    &build,
+                    &cfg.equiv_spec(),
+                )),
+                Err(e) => eprintln!("verify bench: gemm build failed: {e}"),
+            }
+        }
+        for vk in [
+            VectorKernel::Gemv,
+            VectorKernel::Ger,
+            VectorKernel::Axpy,
+            VectorKernel::Dot,
+            VectorKernel::Scal,
+        ] {
+            let cfg = VectorConfig {
+                kernel: vk,
+                unroll: 2 * machine.simd_mode().f64_lanes(),
+                prefetch: augem::transforms::PrefetchConfig::default(),
+                schedule: true,
+            };
+            let k = match vk {
+                VectorKernel::Gemv => DlaKernel::Gemv,
+                VectorKernel::Ger => DlaKernel::Ger,
+                VectorKernel::Axpy => DlaKernel::Axpy,
+                VectorKernel::Dot => DlaKernel::Dot,
+                VectorKernel::Scal => DlaKernel::Scal,
+            };
+            match cfg.build_logged(machine) {
+                Ok(build) => entries.push(verify_entry(
+                    k,
+                    machine,
+                    &cfg.tag(),
+                    &build,
+                    &cfg.equiv_spec(),
+                )),
+                Err(e) => eprintln!("verify bench: {} build failed: {e}", k.name()),
+            }
+        }
+    }
+    let doc = Json::obj(vec![
+        ("schema", Json::str("augem.bench-verify/v1")),
+        ("kernels", Json::Arr(entries)),
+    ]);
+    let path = "BENCH_verify.json";
+    match std::fs::write(path, doc.render_pretty() + "\n") {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+}
+
+fn verify_entry(
+    kernel: DlaKernel,
+    machine: &MachineSpec,
+    tag: &str,
+    build: &augem_tune::LoggedBuild,
+    spec: &augem_verify::EquivSpec,
+) -> Json {
+    let t0 = std::time::Instant::now();
+    let structural = augem_verify::check(&build.kernel, &build.asm, &build.log);
+    let check_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t1 = std::time::Instant::now();
+    let equiv = augem_verify::check_equivalence(&build.source, &build.asm, machine.isa, spec);
+    let equiv_ms = t1.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "verify {:>6} on {:<12} {:7.2} ms structural, {:7.2} ms equivalence ({} finding(s))",
+        kernel.name(),
+        machine.arch.short_name(),
+        check_ms,
+        equiv_ms,
+        structural.len() + equiv.len(),
+    );
+    Json::obj(vec![
+        ("kernel", Json::str(kernel.name())),
+        ("machine", Json::str(machine.arch.short_name())),
+        ("config", Json::str(tag)),
+        ("insts", Json::uint(build.asm.insts.len() as u64)),
+        ("check_ms", Json::Num(check_ms)),
+        ("equiv_ms", Json::Num(equiv_ms)),
+        (
+            "errors",
+            Json::uint(structural.iter().filter(|d| d.is_error()).count() as u64),
+        ),
+        (
+            "warnings",
+            Json::uint(structural.iter().filter(|d| !d.is_error()).count() as u64),
+        ),
+        ("equiv_findings", Json::uint(equiv.len() as u64)),
+    ])
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name || a == "all");
@@ -52,6 +157,13 @@ fn main() {
     if want("pipeline") && args.iter().any(|a| a == "pipeline" || a == "all") {
         emit_pipeline_reports(&platforms);
         if args.iter().all(|a| a == "pipeline") {
+            return;
+        }
+    }
+
+    if want("verify") && args.iter().any(|a| a == "verify" || a == "all") {
+        emit_verify_reports(&platforms);
+        if args.iter().all(|a| a == "verify") {
             return;
         }
     }

@@ -8,25 +8,69 @@
 //! the single documented exception of unroll&jam changing accumulation
 //! order across *distinct* result scalars, which still keeps each scalar's
 //! own chain intact).
+//!
+//! The interpreter is generic over its floating-point domain via
+//! [`ScalarValue`]: the default instance is `f64` (concrete execution,
+//! [`Interpreter::run`]), and `augem-verify` provides a symbolic-expression
+//! instance so the same evaluator doubles as the *source side* of the
+//! translation validator ([`Interpreter::run_values`]). Integer values,
+//! pointers and control flow stay concrete in every instance — only the
+//! `double` domain is abstracted.
 
 use crate::ast::{BinOp, Expr, Kernel, LValue, Stmt};
 use crate::sym::{Sym, Ty};
 use std::collections::HashMap;
 
-/// An argument passed to [`Interpreter::run`].
-#[derive(Debug, Clone, PartialEq)]
-pub enum ArgValue {
-    /// Backing storage for a `double*` parameter.
-    Array(Vec<f64>),
-    Int(i64),
-    F64(f64),
+/// The floating-point domain the interpreter computes in.
+///
+/// Implementations must model C `double` arithmetic closely enough that
+/// the IR's four binary operators make sense; `from_i64` is the
+/// int-to-double promotion used for mixed arithmetic and for storing
+/// integer values into `double` arrays.
+pub trait ScalarValue: Clone + PartialEq + std::fmt::Debug {
+    /// The value of a `double` literal.
+    fn from_f64(v: f64) -> Self;
+    /// C's int → double conversion.
+    fn from_i64(v: i64) -> Self;
+    /// Applies one binary operator.
+    fn bin(op: BinOp, a: &Self, b: &Self) -> Self;
 }
 
+impl ScalarValue for f64 {
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    fn from_i64(v: i64) -> Self {
+        v as f64
+    }
+    fn bin(op: BinOp, a: &Self, b: &Self) -> Self {
+        match op {
+            BinOp::Add => a + b,
+            BinOp::Sub => a - b,
+            BinOp::Mul => a * b,
+            BinOp::Div => a / b,
+        }
+    }
+}
+
+/// An argument passed to [`Interpreter::run_values`], generic over the
+/// floating-point domain `S`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValueOf<S> {
+    /// Backing storage for a `double*` parameter.
+    Array(Vec<S>),
+    Int(i64),
+    F64(S),
+}
+
+/// An argument passed to [`Interpreter::run`] (the concrete instance).
+pub type ArgValue = ArgValueOf<f64>;
+
 /// Runtime value of a variable.
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum Value {
+#[derive(Debug, Clone, PartialEq)]
+enum Value<S> {
     I64(i64),
-    F64(f64),
+    F(S),
     /// A pointer into argument array `array` at element `offset`.
     Ptr {
         array: usize,
@@ -83,10 +127,10 @@ impl Default for Interpreter {
     }
 }
 
-struct Env {
-    arrays: Vec<Vec<f64>>,
+struct Env<S> {
+    arrays: Vec<Vec<S>>,
     array_names: Vec<String>,
-    bindings: HashMap<Sym, Value>,
+    bindings: HashMap<Sym, Value<S>>,
     steps: u64,
     step_limit: u64,
 }
@@ -104,6 +148,17 @@ impl Interpreter {
     /// Executes `kernel` on `args` (one per parameter, in order). Returns
     /// the final contents of every array argument, in parameter order.
     pub fn run(&self, kernel: &Kernel, args: Vec<ArgValue>) -> Result<Vec<Vec<f64>>, ExecError> {
+        self.run_values::<f64>(kernel, args)
+    }
+
+    /// [`run`](Interpreter::run) over an arbitrary floating-point domain
+    /// `S` — the backend the translation validator uses to execute the
+    /// source kernel symbolically.
+    pub fn run_values<S: ScalarValue>(
+        &self,
+        kernel: &Kernel,
+        args: Vec<ArgValueOf<S>>,
+    ) -> Result<Vec<Vec<S>>, ExecError> {
         if args.len() != kernel.params.len() {
             return Err(ExecError::BadArgs(format!(
                 "kernel {} expects {} args, got {}",
@@ -121,7 +176,7 @@ impl Interpreter {
         };
         for (&p, arg) in kernel.params.iter().zip(args) {
             let v = match (kernel.syms.ty(p), arg) {
-                (Ty::PtrF64, ArgValue::Array(data)) => {
+                (Ty::PtrF64, ArgValueOf::Array(data)) => {
                     let id = env.arrays.len();
                     env.arrays.push(data);
                     env.array_names.push(kernel.syms.name(p).to_string());
@@ -130,8 +185,8 @@ impl Interpreter {
                         offset: 0,
                     }
                 }
-                (Ty::I64, ArgValue::Int(v)) => Value::I64(v),
-                (Ty::F64, ArgValue::F64(v)) => Value::F64(v),
+                (Ty::I64, ArgValueOf::Int(v)) => Value::I64(v),
+                (Ty::F64, ArgValueOf::F64(v)) => Value::F(v),
                 (ty, arg) => {
                     return Err(ExecError::BadArgs(format!(
                         "param {} has type {:?} but got {:?}",
@@ -148,14 +203,18 @@ impl Interpreter {
     }
 }
 
-fn exec_block(stmts: &[Stmt], k: &Kernel, env: &mut Env) -> Result<(), ExecError> {
+fn exec_block<S: ScalarValue>(
+    stmts: &[Stmt],
+    k: &Kernel,
+    env: &mut Env<S>,
+) -> Result<(), ExecError> {
     for s in stmts {
         exec_stmt(s, k, env)?;
     }
     Ok(())
 }
 
-fn exec_stmt(s: &Stmt, k: &Kernel, env: &mut Env) -> Result<(), ExecError> {
+fn exec_stmt<S: ScalarValue>(s: &Stmt, k: &Kernel, env: &mut Env<S>) -> Result<(), ExecError> {
     env.steps += 1;
     if env.steps > env.step_limit {
         return Err(ExecError::StepLimit(env.step_limit));
@@ -170,7 +229,7 @@ fn exec_stmt(s: &Stmt, k: &Kernel, env: &mut Env) -> Result<(), ExecError> {
                 LValue::ArrayRef { base, index } => {
                     let i = eval_int(index, k, env)?;
                     let (arr, off) = resolve_ptr(*base, k, env)?;
-                    let fv = as_f64(v)?;
+                    let fv = as_scalar(v)?;
                     let slot = off + i;
                     let len = env.arrays[arr].len();
                     if slot < 0 || slot as usize >= len {
@@ -213,14 +272,14 @@ fn exec_stmt(s: &Stmt, k: &Kernel, env: &mut Env) -> Result<(), ExecError> {
     Ok(())
 }
 
-fn eval(e: &Expr, k: &Kernel, env: &mut Env) -> Result<Value, ExecError> {
+fn eval<S: ScalarValue>(e: &Expr, k: &Kernel, env: &mut Env<S>) -> Result<Value<S>, ExecError> {
     match e {
         Expr::Int(v) => Ok(Value::I64(*v)),
-        Expr::F64(v) => Ok(Value::F64(*v)),
+        Expr::F64(v) => Ok(Value::F(S::from_f64(*v))),
         Expr::Var(s) => env
             .bindings
             .get(s)
-            .copied()
+            .cloned()
             .ok_or_else(|| ExecError::Unbound(k.syms.name(*s).to_string())),
         Expr::ArrayRef { base, index } => {
             let i = eval_int(index, k, env)?;
@@ -234,7 +293,7 @@ fn eval(e: &Expr, k: &Kernel, env: &mut Env) -> Result<Value, ExecError> {
                     len,
                 });
             }
-            Ok(Value::F64(env.arrays[arr][slot as usize]))
+            Ok(Value::F(env.arrays[arr][slot as usize].clone()))
         }
         Expr::Bin(op, l, r) => {
             let lv = eval(l, k, env)?;
@@ -244,15 +303,10 @@ fn eval(e: &Expr, k: &Kernel, env: &mut Env) -> Result<Value, ExecError> {
     }
 }
 
-fn apply_bin(op: BinOp, l: Value, r: Value) -> Result<Value, ExecError> {
+fn apply_bin<S: ScalarValue>(op: BinOp, l: Value<S>, r: Value<S>) -> Result<Value<S>, ExecError> {
     use Value::*;
     match (l, r) {
-        (F64(a), F64(b)) => Ok(F64(match op {
-            BinOp::Add => a + b,
-            BinOp::Sub => a - b,
-            BinOp::Mul => a * b,
-            BinOp::Div => a / b,
-        })),
+        (F(a), F(b)) => Ok(F(S::bin(op, &a, &b))),
         (I64(a), I64(b)) => Ok(I64(match op {
             BinOp::Add => a.wrapping_add(b),
             BinOp::Sub => a.wrapping_sub(b),
@@ -283,15 +337,19 @@ fn apply_bin(op: BinOp, l: Value, r: Value) -> Result<Value, ExecError> {
             offset: offset + n,
         }),
         // Mixed int/float arithmetic promotes to double (C semantics).
-        (F64(a), I64(b)) => apply_bin(op, F64(a), F64(b as f64)),
-        (I64(a), F64(b)) => apply_bin(op, F64(a as f64), F64(b)),
-        _ => Err(ExecError::TypeError(format!(
+        (F(a), I64(b)) => Ok(F(S::bin(op, &a, &S::from_i64(b)))),
+        (I64(a), F(b)) => Ok(F(S::bin(op, &S::from_i64(a), &b))),
+        (l, r) => Err(ExecError::TypeError(format!(
             "cannot apply {op:?} to {l:?} and {r:?}"
         ))),
     }
 }
 
-fn resolve_ptr(base: Sym, k: &Kernel, env: &Env) -> Result<(usize, i64), ExecError> {
+fn resolve_ptr<S: ScalarValue>(
+    base: Sym,
+    k: &Kernel,
+    env: &Env<S>,
+) -> Result<(usize, i64), ExecError> {
     match env.bindings.get(&base) {
         Some(Value::Ptr { array, offset }) => Ok((*array, *offset)),
         Some(other) => Err(ExecError::TypeError(format!(
@@ -302,7 +360,7 @@ fn resolve_ptr(base: Sym, k: &Kernel, env: &Env) -> Result<(usize, i64), ExecErr
     }
 }
 
-fn eval_int(e: &Expr, k: &Kernel, env: &mut Env) -> Result<i64, ExecError> {
+fn eval_int<S: ScalarValue>(e: &Expr, k: &Kernel, env: &mut Env<S>) -> Result<i64, ExecError> {
     match eval(e, k, env)? {
         Value::I64(v) => Ok(v),
         other => Err(ExecError::TypeError(format!(
@@ -311,14 +369,14 @@ fn eval_int(e: &Expr, k: &Kernel, env: &mut Env) -> Result<i64, ExecError> {
     }
 }
 
-fn eval_int_expr(e: &Expr, k: &Kernel, env: &mut Env) -> Result<i64, ExecError> {
+fn eval_int_expr<S: ScalarValue>(e: &Expr, k: &Kernel, env: &mut Env<S>) -> Result<i64, ExecError> {
     eval_int(e, k, env)
 }
 
-fn as_f64(v: Value) -> Result<f64, ExecError> {
+fn as_scalar<S: ScalarValue>(v: Value<S>) -> Result<S, ExecError> {
     match v {
-        Value::F64(f) => Ok(f),
-        Value::I64(i) => Ok(i as f64),
+        Value::F(f) => Ok(f),
+        Value::I64(i) => Ok(S::from_i64(i)),
         Value::Ptr { .. } => Err(ExecError::TypeError(
             "cannot store a pointer into a double array".into(),
         )),
@@ -505,5 +563,42 @@ mod tests {
             .run(&kb.finish(), vec![ArgValue::Array(vec![0.0])])
             .unwrap();
         assert_eq!(out[0], vec![3.0]);
+    }
+
+    /// A tiny term-algebra scalar proving the interpreter is genuinely
+    /// generic: every operation is recorded as a string expression.
+    #[derive(Debug, Clone, PartialEq)]
+    struct Term(String);
+
+    impl ScalarValue for Term {
+        fn from_f64(v: f64) -> Self {
+            Term(format!("{v}"))
+        }
+        fn from_i64(v: i64) -> Self {
+            Term(format!("{v}"))
+        }
+        fn bin(op: BinOp, a: &Self, b: &Self) -> Self {
+            Term(format!("({} {} {})", a.0, op.c_symbol(), b.0))
+        }
+    }
+
+    #[test]
+    fn symbolic_backend_builds_terms() {
+        let k = axpy_kernel();
+        let out = Interpreter::new()
+            .run_values::<Term>(
+                &k,
+                vec![
+                    ArgValueOf::Int(2),
+                    ArgValueOf::F64(Term("alpha".into())),
+                    ArgValueOf::Array(vec![Term("x0".into()), Term("x1".into())]),
+                    ArgValueOf::Array(vec![Term("y0".into()), Term("y1".into())]),
+                ],
+            )
+            .unwrap();
+        assert_eq!(out[1][0], Term("(y0 + (x0 * alpha))".into()));
+        assert_eq!(out[1][1], Term("(y1 + (x1 * alpha))".into()));
+        // X untouched: still the original leaves.
+        assert_eq!(out[0][0], Term("x0".into()));
     }
 }

@@ -33,6 +33,6 @@ pub mod visit;
 
 pub use ast::{Annot, AnnotValue, BinOp, Expr, Kernel, LValue, Stmt};
 pub use build::*;
-pub use interp::{ArgValue, ExecError, Interpreter};
+pub use interp::{ArgValue, ArgValueOf, ExecError, Interpreter, ScalarValue};
 pub use liveness::{LiveRange, Liveness};
 pub use sym::{Sym, SymKind, SymbolTable, Ty};

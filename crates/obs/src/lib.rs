@@ -56,6 +56,9 @@ pub mod stage {
     pub const SIM: &str = "sim";
     /// Static verification of the winning kernel (`verify::check`).
     pub const VERIFY: &str = "verify";
+    /// Translation validation of the winning kernel
+    /// (`verify::check_equivalence`).
+    pub const EQUIV: &str = "equiv";
     /// The whole empirical search (`tune::search`).
     pub const TUNE: &str = "tune";
 }

@@ -1,0 +1,171 @@
+//! mmUnrolledCOMP / mmUnrolledSTORE identification must survive the
+//! low-level cleanup passes — strength reduction and scalar replacement
+//! — in either order, on *nested* unroll&jam bodies (outer j×i jam plus
+//! inner l unrolling). The passes rewrite exactly the address arithmetic
+//! and array references the matcher keys on, so a change in their
+//! relative order is the classic way to silently lose template matches.
+
+use augem_ir::print::print_kernel;
+use augem_ir::{Annot, Kernel, Stmt};
+use augem_kernels::gemm_simple;
+use augem_templates::def::MmUnrolledComp;
+use augem_templates::{identify, IdentifyStats};
+use augem_transforms::scalar::scalar_replace;
+use augem_transforms::strength::strength_reduce;
+use augem_transforms::unroll::{unroll_and_jam, unroll_inner};
+
+/// Unrolls a GEMM nest (outer jam nu×mu, inner ku) without the cleanup
+/// passes, so each test can apply them in a chosen order.
+fn unrolled_gemm(nu: usize, mu: usize, ku: usize) -> Kernel {
+    let mut k = gemm_simple();
+    unroll_and_jam(&mut k, "j", nu).unwrap();
+    unroll_and_jam(&mut k, "i", mu).unwrap();
+    if ku > 1 {
+        unroll_inner(&mut k, "l", ku, false).unwrap();
+    }
+    k
+}
+
+fn find_main_grid(stmts: &[Stmt]) -> Option<(usize, usize)> {
+    for s in stmts {
+        match s {
+            Stmt::Region { annot, .. } if annot.template == "mmUnrolledCOMP" => {
+                let t = MmUnrolledComp::from_annot(annot).unwrap();
+                if !t.diag {
+                    return Some((t.n1, t.n2));
+                }
+            }
+            Stmt::For { body, .. } | Stmt::Region { body, .. } => {
+                if let Some(g) = find_main_grid(body) {
+                    return Some(g);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn count_regions(stmts: &[Stmt], name: &str) -> usize {
+    let mut n = 0;
+    for s in stmts {
+        match s {
+            Stmt::Region { annot, body } => {
+                if annot.template == name {
+                    n += 1;
+                }
+                n += count_regions(body, name);
+            }
+            Stmt::For { body, .. } => n += count_regions(body, name),
+            _ => {}
+        }
+    }
+    n
+}
+
+/// Flattens every region annotation in tree order, for order-stability
+/// comparisons across pass permutations.
+fn annot_sequence(stmts: &[Stmt], out: &mut Vec<Annot>) {
+    for s in stmts {
+        match s {
+            Stmt::Region { annot, body } => {
+                out.push(annot.clone());
+                annot_sequence(body, out);
+            }
+            Stmt::For { body, .. } => annot_sequence(body, out),
+            _ => {}
+        }
+    }
+}
+
+fn assert_tagged(tag: &str, k: &Kernel, stats: &IdentifyStats, mu: usize, nu: usize) {
+    assert!(
+        stats.mm_unrolled_comp >= 1,
+        "{tag}: no mmUnrolledCOMP\n{stats:?}\n{}",
+        print_kernel(k)
+    );
+    assert!(
+        stats.mm_unrolled_store >= 1,
+        "{tag}: no mmUnrolledSTORE\n{stats:?}\n{}",
+        print_kernel(k)
+    );
+    assert_eq!(
+        find_main_grid(&k.body),
+        Some((mu, nu)),
+        "{tag}: wrong main-group grid\n{}",
+        print_kernel(k)
+    );
+    // The main nest stores a full mu×nu accumulator tile; the unrolled
+    // store regions must jointly carry mu*nu scalars.
+    assert!(
+        count_regions(&k.body, "mmUnrolledSTORE") >= 1,
+        "{tag}\n{}",
+        print_kernel(k)
+    );
+}
+
+#[test]
+fn nested_unroll_jam_annotations_survive_cleanup_order() {
+    // Nested bodies: outer jam grid × inner unroll, the shapes where the
+    // cleanup passes do the most rewriting.
+    for (nu, mu, ku) in [(2, 2, 2), (2, 4, 2), (4, 2, 1), (2, 2, 4)] {
+        // Canonical pipeline order: strength reduction, then scalar
+        // replacement.
+        let mut canonical = unrolled_gemm(nu, mu, ku);
+        strength_reduce(&mut canonical);
+        scalar_replace(&mut canonical);
+        let stats = identify(&mut canonical);
+        assert_tagged(
+            &format!("{nu}x{mu}x{ku} sr-then-scal"),
+            &canonical,
+            &stats,
+            mu,
+            nu,
+        );
+
+        // Reversed order: scalar replacement first, strength reduction
+        // after. The matcher must key on structure, not on which pass
+        // last rewrote the subscripts.
+        let mut reversed = unrolled_gemm(nu, mu, ku);
+        scalar_replace(&mut reversed);
+        strength_reduce(&mut reversed);
+        let rstats = identify(&mut reversed);
+        assert_tagged(
+            &format!("{nu}x{mu}x{ku} scal-then-sr"),
+            &reversed,
+            &rstats,
+            mu,
+            nu,
+        );
+
+        // Identification itself must be order-stable: the same region
+        // kinds in the same tree order under both pass permutations.
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        annot_sequence(&canonical.body, &mut a);
+        annot_sequence(&reversed.body, &mut b);
+        let kinds = |v: &[Annot]| v.iter().map(|x| x.template.clone()).collect::<Vec<_>>();
+        assert_eq!(
+            kinds(&a),
+            kinds(&b),
+            "{nu}x{mu}x{ku}: template sequence differs across pass order"
+        );
+    }
+}
+
+#[test]
+fn cleanup_passes_are_idempotent_on_tagged_shapes() {
+    // Running the cleanup passes twice must not change what the
+    // identifier sees — a regression guard for passes that rewrite
+    // their own output into unmatchable forms.
+    let mut once = unrolled_gemm(2, 2, 2);
+    strength_reduce(&mut once);
+    scalar_replace(&mut once);
+    let mut twice = once.clone();
+    strength_reduce(&mut twice);
+    scalar_replace(&mut twice);
+    let s1 = identify(&mut once);
+    let s2 = identify(&mut twice);
+    assert_eq!(s1.mm_unrolled_comp, s2.mm_unrolled_comp);
+    assert_eq!(s1.mm_unrolled_store, s2.mm_unrolled_store);
+    assert_eq!(find_main_grid(&once.body), find_main_grid(&twice.body));
+}

@@ -6,6 +6,7 @@ use augem_kernels::{axpy_simple, dot_simple, gemm_simple, gemv_simple, ger_simpl
 use augem_machine::{MachineSpec, SimdMode};
 use augem_opt::{CodegenError, CodegenOptions, FmaPolicy, StrategyPref};
 use augem_transforms::{OptimizeConfig, PrefetchConfig, TransformError};
+use augem_verify::{EquivArg, EquivSpec};
 
 /// A point in the GEMM tuning space.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -104,6 +105,36 @@ impl GemmConfig {
             augem_obs::null(),
         )
     }
+
+    /// The translation-validation problem instance for this
+    /// configuration: the smallest shape that drives every unrolled body
+    /// *and* every remainder path (each unrolled dimension gets
+    /// `2*factor + 1` iterations — two main-loop trips plus a nonzero
+    /// remainder), with symbolic array contents.
+    ///
+    /// Parameter order matches `gemm_simple`:
+    /// `(Mr, Nr, Kc, Mc, LDB, LDC, A, B, C)`.
+    pub fn equiv_spec(&self) -> EquivSpec {
+        let mr = 2 * self.mu + 1;
+        let nr = 2 * self.nu + 1;
+        let kc = 2 * self.ku.max(1) + 1;
+        // Leading dimensions strictly larger than the accessed extents,
+        // so stride bugs shift results instead of hiding.
+        let mc = mr + 1;
+        let ldb = nr + 2;
+        let ldc = mr + 3;
+        EquivSpec::new(vec![
+            EquivArg::Int(mr as i64),
+            EquivArg::Int(nr as i64),
+            EquivArg::Int(kc as i64),
+            EquivArg::Int(mc as i64),
+            EquivArg::Int(ldb as i64),
+            EquivArg::Int(ldc as i64),
+            EquivArg::Array(mc * kc),
+            EquivArg::Array(kc * ldb),
+            EquivArg::Array(ldc * nr),
+        ])
+    }
 }
 
 /// Which vector-style kernel a [`VectorConfig`] tunes.
@@ -171,6 +202,62 @@ impl VectorConfig {
     pub fn build_logged(&self, machine: &MachineSpec) -> Result<LoggedBuild, BuildError> {
         let (kernel, cfg, opts) = self.pipeline_inputs();
         build_pipeline_logged(&kernel, &cfg, &opts, machine, augem_obs::null())
+    }
+
+    /// The translation-validation problem instance for this
+    /// configuration. The unrolled direction gets `2*unroll + 3`
+    /// iterations — at least two main-loop trips plus a nonzero
+    /// remainder — and matrix kernels get a small second extent with a
+    /// leading dimension one past the accessed rows.
+    pub fn equiv_spec(&self) -> EquivSpec {
+        let u = 2 * self.unroll + 3;
+        let args = match self.kernel {
+            // daxpy(n, alpha, X, Y)
+            VectorKernel::Axpy => vec![
+                EquivArg::Int(u as i64),
+                EquivArg::SymF64,
+                EquivArg::Array(u),
+                EquivArg::Array(u),
+            ],
+            // ddot(n, X, Y, R)
+            VectorKernel::Dot => vec![
+                EquivArg::Int(u as i64),
+                EquivArg::Array(u),
+                EquivArg::Array(u),
+                EquivArg::Array(1),
+            ],
+            // dgemv(m, n, LDA, A, X, Y) — inner (unrolled) loop over m.
+            VectorKernel::Gemv => {
+                let (m, n, lda) = (u, 3usize, u + 1);
+                vec![
+                    EquivArg::Int(m as i64),
+                    EquivArg::Int(n as i64),
+                    EquivArg::Int(lda as i64),
+                    EquivArg::Array(lda * n),
+                    EquivArg::Array(n),
+                    EquivArg::Array(m),
+                ]
+            }
+            // dger(m, n, LDA, X, Y, A) — inner (unrolled) loop over m.
+            VectorKernel::Ger => {
+                let (m, n, lda) = (u, 3usize, u + 1);
+                vec![
+                    EquivArg::Int(m as i64),
+                    EquivArg::Int(n as i64),
+                    EquivArg::Int(lda as i64),
+                    EquivArg::Array(m),
+                    EquivArg::Array(n),
+                    EquivArg::Array(lda * n),
+                ]
+            }
+            // dscal(n, alpha, Y)
+            VectorKernel::Scal => vec![
+                EquivArg::Int(u as i64),
+                EquivArg::SymF64,
+                EquivArg::Array(u),
+            ],
+        };
+        EquivSpec::new(args)
     }
 
     fn pipeline_inputs(&self) -> (Kernel, OptimizeConfig, CodegenOptions) {
@@ -241,6 +328,10 @@ pub fn build_pipeline_traced(
 /// decision log.
 #[derive(Debug, Clone)]
 pub struct LoggedBuild {
+    /// The *simple* pre-transform kernel — the source side of
+    /// translation validation, so the proof covers the source-to-source
+    /// transforms as well as code generation.
+    pub source: Kernel,
     /// The optimized, template-tagged low-level C kernel.
     pub kernel: Kernel,
     /// The final (scheduled) assembly kernel.
@@ -249,8 +340,9 @@ pub struct LoggedBuild {
     pub log: augem_opt::BindingLog,
 }
 
-/// [`build_pipeline_traced`] that keeps the tagged kernel and the
-/// binding log alongside the assembly, for `verify::check`.
+/// [`build_pipeline_traced`] that keeps the simple source, the tagged
+/// kernel and the binding log alongside the assembly, for
+/// `verify::check` and `verify::check_equivalence`.
 pub fn build_pipeline_logged(
     simple: &Kernel,
     cfg: &OptimizeConfig,
@@ -264,6 +356,7 @@ pub fn build_pipeline_logged(
     let (asm, log) =
         augem_opt::generate_with_log(&k, machine, opts, tracer).map_err(BuildError::Codegen)?;
     Ok(LoggedBuild {
+        source: simple.clone(),
         kernel: k,
         asm,
         log,

@@ -20,7 +20,7 @@ impl std::fmt::Display for Severity {
 }
 
 /// Where in the kernel a finding is anchored.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Span {
     /// A range of instruction indices (inclusive) in the stream the
     /// check ran over.
@@ -52,7 +52,7 @@ impl std::fmt::Display for Span {
 /// The contract each diagnostic enforces. Grouped by analysis:
 /// dataflow (V00x), register allocation replay (V01x), ABI/stack
 /// (V02x), SIMD widths (V03x), memory bounds (V04x), IR-level
-/// liveness reporting (V05x).
+/// liveness reporting (V05x), translation validation (V06x).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Rule {
     /// A register is read on some path before anything defines it.
@@ -99,6 +99,31 @@ pub enum Rule {
     /// An IR symbol is written but never read afterwards (its final
     /// value — and the register holding it — is wasted).
     UnreadSymbol,
+    /// Translation validation: an output memory location's canonical
+    /// symbolic expression differs between the source IR kernel and the
+    /// generated assembly.
+    EquivMismatch,
+    /// Translation validation: the symbolic machine model has no
+    /// semantics for an instruction the kernel executed.
+    UnmodeledInst,
+    /// Translation validation: a symbolic floating-point value flowed
+    /// into an address or integer computation (the validator requires
+    /// addresses and control flow to stay concrete).
+    SymbolicAddressEscape,
+    /// Translation validation: the source IR kernel faulted under the
+    /// symbolic interpreter (out-of-bounds, unbound variable, runaway
+    /// loop) on the shapes derived from the tuner's unroll factors.
+    EquivSourceFault,
+    /// Translation validation: the generated assembly faulted under the
+    /// symbolic machine (bad address, undefined label, step limit).
+    EquivAsmFault,
+    /// Translation validation: the equivalence spec doesn't match the
+    /// kernel's parameter list (argument count or kind).
+    EquivSpecMismatch,
+    /// Translation validation: the two sides disagree on the number or
+    /// length of output arrays, so per-location comparison is
+    /// impossible.
+    EquivShapeDivergence,
 }
 
 impl Rule {
@@ -120,6 +145,13 @@ impl Rule {
             Rule::StrategyViolation => "V032",
             Rule::OobAccess => "V040",
             Rule::UnreadSymbol => "V050",
+            Rule::EquivMismatch => "V060",
+            Rule::UnmodeledInst => "V061",
+            Rule::SymbolicAddressEscape => "V062",
+            Rule::EquivSourceFault => "V063",
+            Rule::EquivAsmFault => "V064",
+            Rule::EquivSpecMismatch => "V065",
+            Rule::EquivShapeDivergence => "V066",
         }
     }
 
@@ -145,6 +177,10 @@ pub struct Diagnostic {
     pub severity: Severity,
     pub span: Span,
     pub message: String,
+    /// How many identical findings this one stands for (see [`dedup`]).
+    /// Always ≥ 1; unrolled bodies otherwise drown a report in copies
+    /// of the same violation.
+    pub repeat: usize,
 }
 
 impl Diagnostic {
@@ -154,6 +190,7 @@ impl Diagnostic {
             severity: rule.severity(),
             span,
             message: message.into(),
+            repeat: 1,
         }
     }
 
@@ -168,8 +205,35 @@ impl std::fmt::Display for Diagnostic {
             f,
             "{}: {} at {}: {}",
             self.severity, self.rule, self.span, self.message
-        )
+        )?;
+        if self.repeat > 1 {
+            write!(f, " (×{})", self.repeat)?;
+        }
+        Ok(())
     }
+}
+
+/// Collapses findings that repeat the same (rule, span, message) into a
+/// single diagnostic carrying a repeat count, preserving first-occurrence
+/// order. Identical findings arise naturally from unrolled bodies — the
+/// same violation replayed once per unroll copy — and reporting N copies
+/// buries the distinct ones.
+pub fn dedup(diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    let mut out: Vec<Diagnostic> = Vec::with_capacity(diags.len());
+    let mut index: std::collections::HashMap<(Rule, Span, String), usize> =
+        std::collections::HashMap::new();
+    for d in diags {
+        match index.entry((d.rule, d.span, d.message.clone())) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                out[*e.get()].repeat += d.repeat;
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(out.len());
+                out.push(d);
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -194,6 +258,13 @@ mod tests {
             Rule::StrategyViolation,
             Rule::OobAccess,
             Rule::UnreadSymbol,
+            Rule::EquivMismatch,
+            Rule::UnmodeledInst,
+            Rule::SymbolicAddressEscape,
+            Rule::EquivSourceFault,
+            Rule::EquivAsmFault,
+            Rule::EquivSpecMismatch,
+            Rule::EquivShapeDivergence,
         ];
         let mut codes: Vec<&str> = rules.iter().map(|r| r.code()).collect();
         codes.sort();
@@ -208,5 +279,51 @@ mod tests {
         assert!(s.contains("V010"));
         assert!(s.contains("error"));
         assert!(s.contains("inst 3"));
+    }
+
+    #[test]
+    fn equiv_rules_are_errors() {
+        for r in [
+            Rule::EquivMismatch,
+            Rule::UnmodeledInst,
+            Rule::SymbolicAddressEscape,
+            Rule::EquivSourceFault,
+            Rule::EquivAsmFault,
+            Rule::EquivSpecMismatch,
+            Rule::EquivShapeDivergence,
+        ] {
+            assert_eq!(r.severity(), Severity::Error, "{r}");
+        }
+    }
+
+    #[test]
+    fn dedup_collapses_identical_findings_in_order() {
+        let mk = |msg: &str, i: usize| Diagnostic::new(Rule::OobAccess, Span::at(i), msg);
+        let diags = vec![mk("a", 1), mk("b", 2), mk("a", 1), mk("a", 1), mk("b", 2)];
+        let out = dedup(diags);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].repeat, 3);
+        assert_eq!(out[1].repeat, 2);
+        assert_eq!(out[0].span, Span::at(1));
+        assert!(out[0].to_string().contains("(×3)"));
+    }
+
+    #[test]
+    fn dedup_keeps_distinct_messages_at_same_span() {
+        let a = Diagnostic::new(Rule::EquivMismatch, Span::Kernel, "C[0] differs");
+        let b = Diagnostic::new(Rule::EquivMismatch, Span::Kernel, "C[1] differs");
+        let out = dedup(vec![a, b]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].repeat, 1);
+    }
+
+    #[test]
+    fn dedup_accumulates_existing_repeat_counts() {
+        let mut a = Diagnostic::new(Rule::DeadDef, Span::at(4), "dead");
+        a.repeat = 2;
+        let b = Diagnostic::new(Rule::DeadDef, Span::at(4), "dead");
+        let out = dedup(vec![a, b]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].repeat, 3);
     }
 }

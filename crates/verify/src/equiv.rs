@@ -1,0 +1,277 @@
+//! Translation validation: per-compilation semantic equivalence of the
+//! generated assembly with its source IR kernel.
+//!
+//! [`check_equivalence`] executes both programs on identical symbolic
+//! inputs — array elements and scalar `double` parameters become opaque
+//! leaves, integer shape parameters stay concrete — and compares, per
+//! output memory location, the canonical forms of the expressions each
+//! side computed (see [`symexec`](crate::symexec)).
+//!
+//! **What this proves.** For the concrete shape in the [`EquivSpec`]
+//! (chosen from the tuner's unroll factors so every unrolled body *and*
+//! every remainder path executes), every output location receives the
+//! same polynomial over the inputs on both sides, modulo the declared
+//! [`ReassocPolicy`]. Because the kernels' control flow depends only on
+//! the integer shape parameters — never on data — a proof at one shape
+//! exercising all paths is evidence over all inputs of that shape.
+//!
+//! **What it does not prove.** Equivalence at other shapes (covered by
+//! the tests' shape matrices), bit-exactness of reassociated reductions
+//! on non-integer inputs (the declared policy absorbs AC rearrangement,
+//! which changes rounding in general), or anything about instructions
+//! the symbolic machine cannot model (those surface as V061/V062
+//! diagnostics rather than silent acceptance).
+
+use crate::diag::{self, Diagnostic, Rule, Span};
+use crate::symexec::{
+    canonicalize, render, MachineArg, ReassocPolicy, SymExpr, SymFault, SymMachine,
+};
+use augem_asm::AsmKernel;
+use augem_ir::interp::ArgValueOf;
+use augem_ir::{Interpreter, Kernel, Ty};
+use augem_machine::{IsaFeature, IsaSet};
+
+/// One argument in an equivalence run: the concrete shape ints plus the
+/// symbolic value kinds, in kernel-parameter order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EquivArg {
+    /// A concrete integer (shape/stride parameter — drives trip counts).
+    Int(i64),
+    /// A symbolic scalar `double` parameter.
+    SymF64,
+    /// A `double*` argument backed by `len` fresh symbolic leaves.
+    Array(usize),
+}
+
+/// A complete problem instance for one equivalence check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EquivSpec {
+    /// One entry per kernel parameter, in order.
+    pub args: Vec<EquivArg>,
+    /// The reassociation the comparison may absorb.
+    pub policy: ReassocPolicy,
+    /// Step budget for each side (loops are concrete, so this only
+    /// guards against runaway control flow).
+    pub step_limit: u64,
+}
+
+impl EquivSpec {
+    /// A spec with the default AC policy and step budget.
+    pub fn new(args: Vec<EquivArg>) -> Self {
+        EquivSpec {
+            args,
+            policy: ReassocPolicy::Ac,
+            step_limit: 5_000_000,
+        }
+    }
+}
+
+/// Proves (or refutes) equivalence of `asm` with `source` on `spec`'s
+/// shape. Returns structured diagnostics — empty means *proved* for
+/// this instance; any V06x error is a refutation or a modeling gap.
+/// Findings are deduplicated ([`diag::dedup`]).
+pub fn check_equivalence(
+    source: &Kernel,
+    asm: &AsmKernel,
+    isa: IsaSet,
+    spec: &EquivSpec,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    // -- Spec validation: the args must match the source parameter list
+    // (the asm side shares it by construction, but check anyway).
+    if spec.args.len() != source.params.len() {
+        diags.push(Diagnostic::new(
+            Rule::EquivSpecMismatch,
+            Span::Kernel,
+            format!(
+                "spec has {} args but kernel {} has {} parameters",
+                spec.args.len(),
+                source.name,
+                source.params.len()
+            ),
+        ));
+        return diags;
+    }
+    if asm.params.len() != source.params.len() {
+        diags.push(Diagnostic::new(
+            Rule::EquivSpecMismatch,
+            Span::Kernel,
+            format!(
+                "assembly kernel has {} parameters but source has {}",
+                asm.params.len(),
+                source.params.len()
+            ),
+        ));
+        return diags;
+    }
+    for (i, (&p, arg)) in source.params.iter().zip(&spec.args).enumerate() {
+        let ok = matches!(
+            (source.syms.ty(p), arg),
+            (Ty::I64, EquivArg::Int(_))
+                | (Ty::F64, EquivArg::SymF64)
+                | (Ty::PtrF64, EquivArg::Array(_))
+        );
+        if !ok {
+            diags.push(Diagnostic::new(
+                Rule::EquivSpecMismatch,
+                Span::Kernel,
+                format!(
+                    "arg {i} ({}) is {:?} but spec provides {arg:?}",
+                    source.syms.name(p),
+                    source.syms.ty(p)
+                ),
+            ));
+        }
+    }
+    if !diags.is_empty() {
+        return diags;
+    }
+
+    // -- Build both argument lists with shared leaf numbering: the n-th
+    // array parameter's element e is leaf (n, e) on both sides; scalar
+    // double parameter i is Param(i) on both sides.
+    let mut ir_args: Vec<ArgValueOf<SymExpr>> = Vec::with_capacity(spec.args.len());
+    let mut m_args: Vec<MachineArg> = Vec::with_capacity(spec.args.len());
+    let mut array_no = 0usize;
+    for (i, arg) in spec.args.iter().enumerate() {
+        match arg {
+            EquivArg::Int(v) => {
+                ir_args.push(ArgValueOf::Int(*v));
+                m_args.push(MachineArg::Int(*v));
+            }
+            EquivArg::SymF64 => {
+                ir_args.push(ArgValueOf::F64(SymExpr::param(i)));
+                m_args.push(MachineArg::F64(i));
+            }
+            EquivArg::Array(len) => {
+                ir_args.push(ArgValueOf::Array(
+                    (0..*len).map(|e| SymExpr::leaf(array_no, e)).collect(),
+                ));
+                m_args.push(MachineArg::Array(*len));
+                array_no += 1;
+            }
+        }
+    }
+
+    // -- Source side: the IR interpreter over the symbolic domain.
+    let want = match Interpreter::with_step_limit(spec.step_limit)
+        .run_values::<SymExpr>(source, ir_args)
+    {
+        Ok(w) => w,
+        Err(e) => {
+            diags.push(Diagnostic::new(
+                Rule::EquivSourceFault,
+                Span::Kernel,
+                format!("source kernel {} faulted: {e}", source.name),
+            ));
+            return diags;
+        }
+    };
+
+    // -- Assembly side: the symbolic machine.
+    let vex = isa.has(IsaFeature::Avx);
+    let got = match SymMachine::new(vex)
+        .with_step_limit(spec.step_limit)
+        .run(asm, m_args)
+    {
+        Ok(g) => g,
+        Err((pc, fault)) => {
+            let span = pc.map(Span::at).unwrap_or(Span::Kernel);
+            let rule = match fault {
+                SymFault::Unmodeled(_) => Rule::UnmodeledInst,
+                SymFault::Escape(_) => Rule::SymbolicAddressEscape,
+                _ => Rule::EquivAsmFault,
+            };
+            diags.push(Diagnostic::new(rule, span, fault.to_string()));
+            return diags;
+        }
+    };
+
+    // -- Compare per output location, canonically.
+    let array_names: Vec<&str> = source
+        .array_params()
+        .iter()
+        .map(|&p| source.syms.name(p))
+        .collect();
+    let param_names: Vec<&str> = source.params.iter().map(|&p| source.syms.name(p)).collect();
+    if want.len() != got.len() {
+        diags.push(Diagnostic::new(
+            Rule::EquivShapeDivergence,
+            Span::Kernel,
+            format!(
+                "source produced {} arrays but assembly produced {}",
+                want.len(),
+                got.len()
+            ),
+        ));
+        return diags;
+    }
+    for (ai, (w, g)) in want.iter().zip(&got).enumerate() {
+        let name = array_names.get(ai).copied().unwrap_or("?");
+        if w.len() != g.len() {
+            diags.push(Diagnostic::new(
+                Rule::EquivShapeDivergence,
+                Span::Kernel,
+                format!(
+                    "array {name}: source len {} vs assembly len {}",
+                    w.len(),
+                    g.len()
+                ),
+            ));
+            continue;
+        }
+        for (ei, (we, ge)) in w.iter().zip(g).enumerate() {
+            let cw = canonicalize(we, spec.policy);
+            let cg = canonicalize(ge, spec.policy);
+            if cw != cg {
+                diags.push(Diagnostic::new(
+                    Rule::EquivMismatch,
+                    Span::Kernel,
+                    format!(
+                        "{name}[{ei}]: source computes {} but assembly computes {}",
+                        render(&cw, &array_names, &param_names),
+                        render(&cg, &array_names, &param_names),
+                    ),
+                ));
+            }
+        }
+    }
+    diag::dedup(diags)
+}
+
+/// [`check_equivalence`] with telemetry: an `equiv` stage span, one
+/// `equiv.diagnostic` event per finding, and counters for mismatches
+/// and checked locations.
+pub fn check_equivalence_traced(
+    source: &Kernel,
+    asm: &AsmKernel,
+    isa: IsaSet,
+    spec: &EquivSpec,
+    tracer: &dyn augem_obs::Tracer,
+) -> Vec<Diagnostic> {
+    let _stage = augem_obs::span(tracer, augem_obs::stage::EQUIV);
+    let diags = check_equivalence(source, asm, isa, spec);
+    for d in &diags {
+        tracer.event(
+            "equiv.diagnostic",
+            &[
+                ("rule", d.rule.code().into()),
+                ("span", d.span.to_string().into()),
+                ("message", d.message.as_str().into()),
+                ("repeat", d.repeat.to_string().into()),
+            ],
+        );
+    }
+    tracer.add(
+        "equiv.errors",
+        diags.iter().filter(|d| d.is_error()).count() as u64,
+    );
+    diags
+}
+
+// End-to-end proofs against real pipeline builds live in the
+// `equiv_pipeline`, `equiv_matrix`, and `equiv_mutation` integration
+// tests: they need augem-tune, which depends on this crate, and the
+// dev-dependency cycle means unit tests here would see a *second*
+// build of augem-verify whose types don't unify with tune's.

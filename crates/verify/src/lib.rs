@@ -31,17 +31,29 @@
 //! * [`memcheck`] — bounds analysis of unrolled/prefetched accesses
 //!   against array bases and loop strides.
 //!
+//! Beyond the structural contracts, [`check_equivalence`] is a
+//! *translation validator*: it symbolically executes the source IR
+//! kernel ([`symexec::SymExpr`] through the generic interpreter) and the
+//! generated assembly ([`symexec::SymMachine`]) on identical symbolic
+//! inputs at a concrete shape, canonicalizes both sides' expressions
+//! modulo a declared reassociation policy, and compares every output
+//! memory location — a per-compilation semantic proof (rules V060–V079).
+//!
 //! Findings come back as [`Diagnostic`]s; [`Severity::Error`] means
 //! the kernel can compute wrong results or corrupt its caller, and the
 //! `augem-gen --verify` CLI exits non-zero on any of them.
 
 pub mod dataflow;
 pub mod diag;
+pub mod equiv;
 pub mod memcheck;
 pub mod regalloc;
 pub mod simd;
+pub mod symexec;
 
-pub use diag::{Diagnostic, Rule, Severity, Span};
+pub use diag::{dedup, Diagnostic, Rule, Severity, Span};
+pub use equiv::{check_equivalence, check_equivalence_traced, EquivArg, EquivSpec};
+pub use symexec::{canonicalize, MachineArg, ReassocPolicy, SymExpr, SymMachine};
 
 use augem_asm::AsmKernel;
 use augem_ir::{Kernel, Liveness};
@@ -68,7 +80,9 @@ pub fn check(kernel: &Kernel, asm: &AsmKernel, log: &BindingLog) -> Vec<Diagnost
             ),
         ));
     }
-    diags
+    // Unrolled bodies replay the same violation once per copy; collapse
+    // identical findings into one with a repeat count.
+    diag::dedup(diags)
 }
 
 /// [`check`] with telemetry: wraps the run in a `verify` stage span,

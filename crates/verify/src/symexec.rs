@@ -1,0 +1,910 @@
+//! Symbolic execution domains for the translation validator.
+//!
+//! Equivalence of a generated assembly kernel with its source IR kernel
+//! is decided by running *both* programs on the same symbolic inputs and
+//! comparing what each writes to every output memory location:
+//!
+//! * the source side runs through the ordinary IR interpreter, whose
+//!   floating-point domain is abstracted behind `augem_ir::ScalarValue` —
+//!   [`SymExpr`] is the symbolic instance;
+//! * the assembly side runs through [`SymMachine`], a functional model of
+//!   the x86-64 subset the generator emits, with **concrete** integers,
+//!   addresses and control flow but **symbolic** FP lanes. Per-lane FP
+//!   semantics are interpreted from the declarative table in
+//!   `augem_asm::sem`, the same table unit-tested against the concrete
+//!   simulator's behavior.
+//!
+//! Loop trip counts are small concrete values chosen by the caller (from
+//! the tuner's unroll factors), so both executions terminate and every
+//! address is a concrete synthetic pointer exactly like the concrete
+//! simulator's (`array i` based at `(i+1) << 40`).
+//!
+//! The two sides' expressions are compared after [`canonicalize`]
+//! normalizes them modulo a declared [`ReassocPolicy`].
+
+use augem_asm::{
+    fp_semantics, ArithLane, AsmKernel, FpAluOp, FpSem, GpOrImm, LaneSrc, Mem, ParamLoc, XInst,
+};
+use augem_ir::ast::BinOp;
+use augem_ir::ScalarValue;
+use std::rc::Rc;
+
+/// A symbolic `double`: a reference-counted expression DAG. Leaves are
+/// the initial contents of argument arrays ([`SymExpr::leaf`]) and
+/// scalar `double` parameters ([`SymExpr::param`]); interior nodes are
+/// the four IR binary operators. FMA instructions unfold to
+/// multiply-then-add at execution time, so the DAG never contains a
+/// fused node.
+#[derive(Debug, Clone)]
+pub struct SymExpr(Rc<Node>);
+
+#[derive(Debug)]
+enum Node {
+    Const(f64),
+    /// Initial value of element `elem` of the `array`-th array argument.
+    Leaf {
+        array: usize,
+        elem: usize,
+    },
+    /// The `param`-th kernel parameter (a scalar `double`).
+    Param(usize),
+    Bin(BinOp, SymExpr, SymExpr),
+}
+
+impl SymExpr {
+    pub fn constant(v: f64) -> Self {
+        SymExpr(Rc::new(Node::Const(v)))
+    }
+
+    pub fn leaf(array: usize, elem: usize) -> Self {
+        SymExpr(Rc::new(Node::Leaf { array, elem }))
+    }
+
+    pub fn param(param: usize) -> Self {
+        SymExpr(Rc::new(Node::Param(param)))
+    }
+
+    pub fn bin_expr(op: BinOp, a: &SymExpr, b: &SymExpr) -> Self {
+        SymExpr(Rc::new(Node::Bin(op, a.clone(), b.clone())))
+    }
+
+    /// The constant value, when this expression is a literal.
+    pub fn as_const(&self) -> Option<f64> {
+        match *self.0 {
+            Node::Const(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+impl PartialEq for SymExpr {
+    fn eq(&self, other: &Self) -> bool {
+        if Rc::ptr_eq(&self.0, &other.0) {
+            return true;
+        }
+        match (&*self.0, &*other.0) {
+            (Node::Const(a), Node::Const(b)) => a.to_bits() == b.to_bits(),
+            (
+                Node::Leaf {
+                    array: a1,
+                    elem: e1,
+                },
+                Node::Leaf {
+                    array: a2,
+                    elem: e2,
+                },
+            ) => a1 == a2 && e1 == e2,
+            (Node::Param(a), Node::Param(b)) => a == b,
+            (Node::Bin(o1, l1, r1), Node::Bin(o2, l2, r2)) => o1 == o2 && l1 == l2 && r1 == r2,
+            _ => false,
+        }
+    }
+}
+
+impl ScalarValue for SymExpr {
+    fn from_f64(v: f64) -> Self {
+        SymExpr::constant(v)
+    }
+    fn from_i64(v: i64) -> Self {
+        SymExpr::constant(v as f64)
+    }
+    fn bin(op: BinOp, a: &Self, b: &Self) -> Self {
+        SymExpr::bin_expr(op, a, b)
+    }
+}
+
+/// The reassociation the comparison is allowed to absorb — the validator's
+/// declared proof obligation, not a heuristic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReassocPolicy {
+    /// `+` and `×` are associative-commutative: their chains compare as
+    /// sorted multisets, and exact `+0.0` addends are dropped (split
+    /// accumulators seed extra zeros). `−` and `÷` stay ordered. This is
+    /// the policy the pipeline needs: unroll&jam splits accumulators and
+    /// the dot-product epilogue sums partials in tree order, both pure
+    /// AC rearrangements.
+    Ac,
+    /// Structural equality: no reassociation, no commutativity, no
+    /// zero dropping. Useful for asserting that a rewrite changed
+    /// nothing at all.
+    Exact,
+}
+
+/// A canonical form with a total order, so AC chains can be sorted.
+/// Constants order by their IEEE bit patterns.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Canon {
+    Const(u64),
+    Leaf(usize, usize),
+    Param(usize),
+    Add(Vec<Canon>),
+    Mul(Vec<Canon>),
+    Sub(Box<Canon>, Box<Canon>),
+    Div(Box<Canon>, Box<Canon>),
+}
+
+/// Canonicalizes `e` under `policy`. Two expressions denote the same
+/// value modulo the policy's allowed rearrangements iff their canonical
+/// forms are equal.
+pub fn canonicalize(e: &SymExpr, policy: ReassocPolicy) -> Canon {
+    match &*e.0 {
+        Node::Const(c) => Canon::Const(c.to_bits()),
+        Node::Leaf { array, elem } => Canon::Leaf(*array, *elem),
+        Node::Param(p) => Canon::Param(*p),
+        Node::Bin(op, l, r) => match (op, policy) {
+            (BinOp::Add, ReassocPolicy::Ac) => {
+                let mut terms = Vec::new();
+                flatten(e, BinOp::Add, policy, &mut terms);
+                // Split accumulators and explicit `sum = 0.0` seeds
+                // introduce exact +0.0 addends; x + 0.0 == x on the
+                // validator's domain (no -0.0 or NaN inputs).
+                terms.retain(|t| !matches!(t, Canon::Const(0)));
+                terms.sort();
+                match terms.len() {
+                    0 => Canon::Const(0),
+                    1 => terms.pop().unwrap(),
+                    _ => Canon::Add(terms),
+                }
+            }
+            (BinOp::Mul, ReassocPolicy::Ac) => {
+                let mut terms = Vec::new();
+                flatten(e, BinOp::Mul, policy, &mut terms);
+                terms.sort();
+                Canon::Mul(terms)
+            }
+            (BinOp::Add, ReassocPolicy::Exact) => {
+                Canon::Add(vec![canonicalize(l, policy), canonicalize(r, policy)])
+            }
+            (BinOp::Mul, ReassocPolicy::Exact) => {
+                Canon::Mul(vec![canonicalize(l, policy), canonicalize(r, policy)])
+            }
+            (BinOp::Sub, _) => Canon::Sub(
+                Box::new(canonicalize(l, policy)),
+                Box::new(canonicalize(r, policy)),
+            ),
+            (BinOp::Div, _) => Canon::Div(
+                Box::new(canonicalize(l, policy)),
+                Box::new(canonicalize(r, policy)),
+            ),
+        },
+    }
+}
+
+/// Collects the maximal `op`-chain under `e` into canonicalized terms.
+fn flatten(e: &SymExpr, op: BinOp, policy: ReassocPolicy, out: &mut Vec<Canon>) {
+    match &*e.0 {
+        Node::Bin(o, l, r) if *o == op => {
+            flatten(l, op, policy, out);
+            flatten(r, op, policy, out);
+        }
+        _ => out.push(canonicalize(e, policy)),
+    }
+}
+
+/// Renders a canonical form, naming leaves through the caller's tables.
+/// `arrays[i]` names the i-th array argument; `params[i]` the i-th kernel
+/// parameter. Output longer than ~200 chars is truncated — diagnostics
+/// need to identify a mismatch, not reproduce a 75-term polynomial.
+pub fn render(c: &Canon, arrays: &[&str], params: &[&str]) -> String {
+    let mut s = String::new();
+    render_into(c, arrays, params, &mut s);
+    const MAX: usize = 200;
+    if s.len() > MAX {
+        let mut cut = MAX;
+        while !s.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        s.truncate(cut);
+        s.push('…');
+    }
+    s
+}
+
+fn render_into(c: &Canon, arrays: &[&str], params: &[&str], out: &mut String) {
+    use std::fmt::Write;
+    match c {
+        Canon::Const(bits) => {
+            let _ = write!(out, "{}", f64::from_bits(*bits));
+        }
+        Canon::Leaf(a, e) => {
+            let name = arrays.get(*a).copied().unwrap_or("?");
+            let _ = write!(out, "{name}[{e}]");
+        }
+        Canon::Param(p) => {
+            let _ = write!(out, "{}", params.get(*p).copied().unwrap_or("?"));
+        }
+        Canon::Add(ts) | Canon::Mul(ts) => {
+            let sep = if matches!(c, Canon::Add(_)) {
+                " + "
+            } else {
+                "*"
+            };
+            out.push('(');
+            for (i, t) in ts.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(sep);
+                }
+                render_into(t, arrays, params, out);
+            }
+            out.push(')');
+        }
+        Canon::Sub(l, r) | Canon::Div(l, r) => {
+            let sep = if matches!(c, Canon::Sub(..)) {
+                " - "
+            } else {
+                " / "
+            };
+            out.push('(');
+            render_into(l, arrays, params, out);
+            out.push_str(sep);
+            render_into(r, arrays, params, out);
+            out.push(')');
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The symbolic machine.
+// ---------------------------------------------------------------------
+
+/// Synthetic address layout, identical to the concrete simulator's:
+/// array `i` is based at `(i+1) << ARRAY_SHIFT`.
+const ARRAY_SHIFT: u32 = 40;
+
+/// An argument to [`SymMachine::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineArg {
+    /// An array of `len` fresh symbolic leaves. The n-th `Array`
+    /// argument's element `e` starts as [`SymExpr::leaf`]`(n, e)` — the
+    /// same numbering the IR side uses, so leaves align by construction.
+    Array(usize),
+    Int(i64),
+    /// A scalar `double` parameter: [`SymExpr::param`]`(i)` for the
+    /// carried kernel-parameter index.
+    F64(usize),
+}
+
+/// Why symbolic execution of the assembly stopped.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SymFault {
+    BadArgs(String),
+    OutOfBounds {
+        addr: i64,
+        detail: String,
+    },
+    Misaligned(i64),
+    UndefinedLabel(String),
+    StepLimit(u64),
+    /// The machine model has no semantics for this instruction.
+    Unmodeled(String),
+    /// A symbolic FP value flowed into integer/address state, which the
+    /// validator requires to stay concrete.
+    Escape(String),
+}
+
+impl std::fmt::Display for SymFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SymFault::BadArgs(m) => write!(f, "bad arguments: {m}"),
+            SymFault::OutOfBounds { addr, detail } => {
+                write!(f, "out-of-bounds access at {addr:#x}: {detail}")
+            }
+            SymFault::Misaligned(a) => write!(f, "misaligned access at {a:#x}"),
+            SymFault::UndefinedLabel(l) => write!(f, "undefined label {l}"),
+            SymFault::StepLimit(n) => write!(f, "exceeded {n} symbolic steps"),
+            SymFault::Unmodeled(m) => write!(f, "unmodeled instruction: {m}"),
+            SymFault::Escape(m) => write!(f, "symbolic value escape: {m}"),
+        }
+    }
+}
+
+/// One memory cell: symbolic FP by default, or the raw bits of a spilled
+/// GP register. GP values stay concrete, so a `Gp` cell read as FP
+/// faithfully converts through its bit pattern — only a *non-constant*
+/// symbolic value read as an integer is unrepresentable (a [`SymFault::Escape`]).
+#[derive(Debug, Clone)]
+enum Cell {
+    Sym(SymExpr),
+    Gp(i64),
+}
+
+impl Cell {
+    fn as_fp(&self) -> SymExpr {
+        match self {
+            Cell::Sym(e) => e.clone(),
+            Cell::Gp(v) => SymExpr::constant(f64::from_bits(*v as u64)),
+        }
+    }
+}
+
+/// The symbolic x86-64 machine: concrete GP registers, flags and
+/// addresses; symbolic 4-lane vector registers and FP memory.
+pub struct SymMachine {
+    vex: bool,
+    step_limit: u64,
+}
+
+struct MState {
+    gp: [i64; 16],
+    vec: [[SymExpr; 4]; 16],
+    arrays: Vec<Vec<Cell>>,
+    cmp: (i64, i64),
+}
+
+impl SymMachine {
+    /// `vex` selects VEX vs legacy-SSE upper-lane behavior — pass
+    /// whether the target machine has AVX, exactly as for the concrete
+    /// simulator.
+    pub fn new(vex: bool) -> Self {
+        SymMachine {
+            vex,
+            step_limit: 5_000_000,
+        }
+    }
+
+    pub fn with_step_limit(mut self, limit: u64) -> Self {
+        self.step_limit = limit;
+        self
+    }
+
+    /// Executes `kernel` on symbolic arguments. Returns the final
+    /// contents of the user array arguments (in parameter order) as
+    /// symbolic expressions, or the faulting instruction index (when
+    /// attributable) and the fault.
+    pub fn run(
+        &self,
+        kernel: &AsmKernel,
+        args: Vec<MachineArg>,
+    ) -> Result<Vec<Vec<SymExpr>>, (Option<usize>, SymFault)> {
+        if args.len() != kernel.params.len() {
+            return Err((
+                None,
+                SymFault::BadArgs(format!(
+                    "expected {} args, got {}",
+                    kernel.params.len(),
+                    args.len()
+                )),
+            ));
+        }
+        let zero = SymExpr::constant(0.0);
+        let mut st = MState {
+            gp: [0; 16],
+            vec: std::array::from_fn(|_| std::array::from_fn(|_| zero.clone())),
+            arrays: Vec::new(),
+            cmp: (0, 0),
+        };
+        for ((name, loc), arg) in kernel.params.iter().zip(args) {
+            match (loc, arg) {
+                (ParamLoc::Gp(r), MachineArg::Int(v)) => st.gp[r.0 as usize] = v,
+                (ParamLoc::Gp(r), MachineArg::Array(len)) => {
+                    let id = st.arrays.len();
+                    st.arrays
+                        .push((0..len).map(|e| Cell::Sym(SymExpr::leaf(id, e))).collect());
+                    st.gp[r.0 as usize] = ((id as i64) + 1) << ARRAY_SHIFT;
+                }
+                (ParamLoc::Vec(r), MachineArg::F64(p)) => {
+                    st.vec[r.0 as usize][0] = SymExpr::param(p);
+                }
+                (ParamLoc::VecBroadcast(r), MachineArg::F64(p)) => {
+                    let e = SymExpr::param(p);
+                    st.vec[r.0 as usize] = std::array::from_fn(|_| e.clone());
+                }
+                (loc, arg) => {
+                    return Err((
+                        None,
+                        SymFault::BadArgs(format!(
+                            "argument {name}: {arg:?} incompatible with location {loc:?}"
+                        )),
+                    ))
+                }
+            }
+        }
+
+        // Spill stack: a hidden zero-initialized array behind %rsp.
+        let user_arrays = st.arrays.len();
+        if kernel.stack_slots > 0 {
+            let id = st.arrays.len();
+            st.arrays
+                .push(vec![Cell::Sym(zero.clone()); kernel.stack_slots]);
+            st.gp[7] = ((id as i64) + 1) << ARRAY_SHIFT; // %rsp
+        }
+
+        let mut labels: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+        for (i, inst) in kernel.insts.iter().enumerate() {
+            if let XInst::Label(l) = inst {
+                labels.insert(l.as_str(), i);
+            }
+        }
+
+        let mut pc = 0usize;
+        let mut steps = 0u64;
+        while pc < kernel.insts.len() {
+            steps += 1;
+            if steps > self.step_limit {
+                return Err((Some(pc), SymFault::StepLimit(self.step_limit)));
+            }
+            let inst = &kernel.insts[pc];
+            if let Some(sem) = fp_semantics(inst, self.vex) {
+                self.exec_fp(&sem, inst, &mut st)
+                    .map_err(|f| (Some(pc), f))?;
+            } else {
+                match inst {
+                    XInst::FStore { src, mem, w } => {
+                        let vals: Vec<SymExpr> = st.vec[src.0 as usize][..w.lanes()].to_vec();
+                        let (arr, elem) =
+                            resolve(&st, *mem, w.lanes()).map_err(|f| (Some(pc), f))?;
+                        for (i, v) in vals.into_iter().enumerate() {
+                            st.arrays[arr][elem + i] = Cell::Sym(v);
+                        }
+                    }
+                    XInst::IMovImm { dst, imm } => st.gp[dst.0 as usize] = *imm,
+                    XInst::IMov { dst, src } => st.gp[dst.0 as usize] = st.gp[src.0 as usize],
+                    XInst::IAdd { dst, src } => {
+                        let v = gp_or_imm(&st, *src);
+                        st.gp[dst.0 as usize] = st.gp[dst.0 as usize].wrapping_add(v);
+                    }
+                    XInst::ISub { dst, src } => {
+                        let v = gp_or_imm(&st, *src);
+                        st.gp[dst.0 as usize] = st.gp[dst.0 as usize].wrapping_sub(v);
+                    }
+                    XInst::IMul { dst, src } => {
+                        let v = gp_or_imm(&st, *src);
+                        st.gp[dst.0 as usize] = st.gp[dst.0 as usize].wrapping_mul(v);
+                    }
+                    XInst::Lea {
+                        dst,
+                        base,
+                        idx,
+                        disp,
+                    } => {
+                        let mut v = st.gp[base.0 as usize].wrapping_add(*disp);
+                        if let Some((r, scale)) = idx {
+                            v = v.wrapping_add(st.gp[r.0 as usize].wrapping_mul(*scale as i64));
+                        }
+                        st.gp[dst.0 as usize] = v;
+                    }
+                    XInst::ILoad { dst, mem } => {
+                        let (arr, elem) = resolve(&st, *mem, 1).map_err(|f| (Some(pc), f))?;
+                        st.gp[dst.0 as usize] = match &st.arrays[arr][elem] {
+                            Cell::Gp(v) => *v,
+                            Cell::Sym(e) => match e.as_const() {
+                                Some(c) => c.to_bits() as i64,
+                                None => {
+                                    return Err((
+                                        Some(pc),
+                                        SymFault::Escape(format!(
+                                        "integer load of symbolic cell (array {arr} elem {elem})"
+                                    )),
+                                    ))
+                                }
+                            },
+                        };
+                    }
+                    XInst::IStore { src, mem } => {
+                        let (arr, elem) = resolve(&st, *mem, 1).map_err(|f| (Some(pc), f))?;
+                        st.arrays[arr][elem] = Cell::Gp(st.gp[src.0 as usize]);
+                    }
+                    XInst::Cmp { a, b } => {
+                        st.cmp = (st.gp[a.0 as usize], gp_or_imm(&st, *b));
+                    }
+                    XInst::Jl(l) => {
+                        if st.cmp.0 < st.cmp.1 {
+                            pc = *labels
+                                .get(l.as_str())
+                                .ok_or((Some(pc), SymFault::UndefinedLabel(l.clone())))?;
+                        }
+                    }
+                    XInst::Jge(l) => {
+                        if st.cmp.0 >= st.cmp.1 {
+                            pc = *labels
+                                .get(l.as_str())
+                                .ok_or((Some(pc), SymFault::UndefinedLabel(l.clone())))?;
+                        }
+                    }
+                    XInst::Jmp(l) => {
+                        pc = *labels
+                            .get(l.as_str())
+                            .ok_or((Some(pc), SymFault::UndefinedLabel(l.clone())))?;
+                    }
+                    XInst::Ret => break,
+                    // No architectural effect; its address is already
+                    // bounds-checked statically by memcheck.
+                    XInst::Prefetch { .. } => {}
+                    XInst::Label(_) | XInst::Comment(_) => {}
+                    other => return Err((Some(pc), SymFault::Unmodeled(format!("{other:?}")))),
+                }
+            }
+            pc += 1;
+        }
+
+        st.arrays.truncate(user_arrays);
+        Ok(st
+            .arrays
+            .into_iter()
+            .map(|cells| cells.into_iter().map(|c| c.as_fp()).collect())
+            .collect())
+    }
+
+    /// Applies one table-described FP instruction.
+    fn exec_fp(&self, sem: &FpSem, inst: &XInst, st: &mut MState) -> Result<(), SymFault> {
+        let zero = SymExpr::constant(0.0);
+        // Memory elements the instruction reads, if any.
+        let mut mem_vals: [SymExpr; 4] = std::array::from_fn(|_| zero.clone());
+        let n = sem.mem_elems();
+        if n > 0 {
+            let mem: Mem = *inst.mem().expect("mem-reading FP instruction has operand");
+            let (arr, elem) = resolve(st, mem, n)?;
+            for (i, v) in mem_vals.iter_mut().take(n).enumerate() {
+                *v = st.arrays[arr][elem + i].as_fp();
+            }
+        }
+        let old = st.vec[sem.dst().0 as usize].clone();
+        let mut out: [SymExpr; 4] = std::array::from_fn(|_| zero.clone());
+        match sem {
+            FpSem::Move(m) => {
+                for (l, src) in m.lanes.iter().enumerate() {
+                    out[l] = match src {
+                        LaneSrc::Reg(r, i) => st.vec[r.0 as usize][*i].clone(),
+                        LaneSrc::Mem(i) => mem_vals[*i].clone(),
+                        LaneSrc::Zero => zero.clone(),
+                        LaneSrc::Old => old[l].clone(),
+                    };
+                }
+            }
+            FpSem::Arith(ar) => {
+                let va = st.vec[ar.a.0 as usize].clone();
+                let vb = st.vec[ar.b.0 as usize].clone();
+                let vacc = ar.acc.map(|r| st.vec[r.0 as usize].clone());
+                for (l, lane) in ar.lanes.iter().enumerate() {
+                    out[l] = match lane {
+                        ArithLane::Compute => match ar.op {
+                            FpAluOp::Add => SymExpr::bin_expr(BinOp::Add, &va[l], &vb[l]),
+                            FpAluOp::Mul => SymExpr::bin_expr(BinOp::Mul, &va[l], &vb[l]),
+                            // The fused op unfolds: mul then add. Exact
+                            // on the validator's domain and identical to
+                            // the concrete simulator's model.
+                            FpAluOp::Fma => {
+                                let prod = SymExpr::bin_expr(BinOp::Mul, &va[l], &vb[l]);
+                                SymExpr::bin_expr(
+                                    BinOp::Add,
+                                    &prod,
+                                    &vacc.as_ref().expect("fma has an addend")[l],
+                                )
+                            }
+                        },
+                        ArithLane::CopyA => va[l].clone(),
+                        ArithLane::Zero => zero.clone(),
+                        ArithLane::Old => old[l].clone(),
+                    };
+                }
+            }
+        }
+        st.vec[sem.dst().0 as usize] = out;
+        Ok(())
+    }
+}
+
+fn gp_or_imm(st: &MState, v: GpOrImm) -> i64 {
+    match v {
+        GpOrImm::Gp(r) => st.gp[r.0 as usize],
+        GpOrImm::Imm(i) => i,
+    }
+}
+
+/// Maps a concrete synthetic address to (array, element), checking
+/// bounds and 8-byte alignment — the same rules as the concrete
+/// simulator.
+fn resolve(st: &MState, mem: Mem, elems: usize) -> Result<(usize, usize), SymFault> {
+    let addr = st.gp[mem.base.0 as usize].wrapping_add(mem.disp);
+    let arr = (addr >> ARRAY_SHIFT) - 1;
+    let off = addr & ((1i64 << ARRAY_SHIFT) - 1);
+    if arr < 0 || arr as usize >= st.arrays.len() {
+        return Err(SymFault::OutOfBounds {
+            addr,
+            detail: format!("no array for address (arr index {arr})"),
+        });
+    }
+    if off % 8 != 0 {
+        return Err(SymFault::Misaligned(addr));
+    }
+    let elem = (off / 8) as usize;
+    let len = st.arrays[arr as usize].len();
+    if elem + elems > len {
+        return Err(SymFault::OutOfBounds {
+            addr,
+            detail: format!(
+                "elements {elem}..{} of array {arr} (len {len})",
+                elem + elems
+            ),
+        });
+    }
+    Ok((arr as usize, elem))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use augem_asm::Width;
+    use augem_machine::{GpReg, VecReg};
+
+    fn add(a: &SymExpr, b: &SymExpr) -> SymExpr {
+        SymExpr::bin_expr(BinOp::Add, a, b)
+    }
+    fn mul(a: &SymExpr, b: &SymExpr) -> SymExpr {
+        SymExpr::bin_expr(BinOp::Mul, a, b)
+    }
+
+    #[test]
+    fn canon_absorbs_commutativity_and_reassociation() {
+        let (x, y, z) = (SymExpr::leaf(0, 0), SymExpr::leaf(0, 1), SymExpr::param(2));
+        let lhs = add(&add(&x, &y), &z); // (x + y) + z
+        let rhs = add(&z, &add(&y, &x)); // z + (y + x)
+        assert_eq!(
+            canonicalize(&lhs, ReassocPolicy::Ac),
+            canonicalize(&rhs, ReassocPolicy::Ac)
+        );
+        assert_ne!(
+            canonicalize(&lhs, ReassocPolicy::Exact),
+            canonicalize(&rhs, ReassocPolicy::Exact)
+        );
+    }
+
+    #[test]
+    fn canon_drops_zero_addends_under_ac() {
+        let x = SymExpr::leaf(0, 0);
+        let with_seed = add(&SymExpr::constant(0.0), &x);
+        assert_eq!(
+            canonicalize(&with_seed, ReassocPolicy::Ac),
+            canonicalize(&x, ReassocPolicy::Ac)
+        );
+        // An all-zero chain collapses to the zero constant.
+        let zeros = add(&SymExpr::constant(0.0), &SymExpr::constant(0.0));
+        assert_eq!(canonicalize(&zeros, ReassocPolicy::Ac), Canon::Const(0));
+    }
+
+    #[test]
+    fn canon_keeps_sub_and_div_ordered() {
+        let (x, y) = (SymExpr::leaf(0, 0), SymExpr::leaf(0, 1));
+        let a = SymExpr::bin_expr(BinOp::Sub, &x, &y);
+        let b = SymExpr::bin_expr(BinOp::Sub, &y, &x);
+        assert_ne!(
+            canonicalize(&a, ReassocPolicy::Ac),
+            canonicalize(&b, ReassocPolicy::Ac)
+        );
+    }
+
+    #[test]
+    fn canon_distinguishes_different_multisets() {
+        let (x, y) = (SymExpr::leaf(0, 0), SymExpr::leaf(0, 1));
+        let two_x = add(&x, &x);
+        let x_y = add(&x, &y);
+        assert_ne!(
+            canonicalize(&two_x, ReassocPolicy::Ac),
+            canonicalize(&x_y, ReassocPolicy::Ac)
+        );
+    }
+
+    #[test]
+    fn mul_commutes_but_is_not_distributed() {
+        let (x, y, z) = (
+            SymExpr::leaf(0, 0),
+            SymExpr::leaf(0, 1),
+            SymExpr::leaf(0, 2),
+        );
+        assert_eq!(
+            canonicalize(&mul(&x, &y), ReassocPolicy::Ac),
+            canonicalize(&mul(&y, &x), ReassocPolicy::Ac)
+        );
+        // x*(y+z) != x*y + x*z as canonical forms: the validator does
+        // not prove distributivity (the pipeline never uses it).
+        let lhs = mul(&x, &add(&y, &z));
+        let rhs = add(&mul(&x, &y), &mul(&x, &z));
+        assert_ne!(
+            canonicalize(&lhs, ReassocPolicy::Ac),
+            canonicalize(&rhs, ReassocPolicy::Ac)
+        );
+    }
+
+    #[test]
+    fn render_names_leaves() {
+        let e = add(
+            &mul(&SymExpr::leaf(0, 3), &SymExpr::param(1)),
+            &SymExpr::leaf(1, 0),
+        );
+        let c = canonicalize(&e, ReassocPolicy::Ac);
+        let s = render(&c, &["X", "Y"], &["n", "alpha"]);
+        assert!(s.contains("X[3]"), "{s}");
+        assert!(s.contains("alpha"), "{s}");
+        assert!(s.contains("Y[0]"), "{s}");
+    }
+
+    /// A tiny assembly kernel: Y[i] = Y[i] + X[i]*alpha for i in 0..n,
+    /// executed symbolically; checks the machine produces the expected
+    /// DAGs for a concrete trip count.
+    #[test]
+    fn machine_runs_scalar_axpy_loop() {
+        use augem_asm::AsmKernel;
+        let r = GpReg::allocatable();
+        let (rn, rx, ry, ri) = (r[0], r[1], r[2], r[3]);
+        let mut k = AsmKernel::new("axpy");
+        k.params.push(("n".into(), ParamLoc::Gp(rn)));
+        k.params.push(("alpha".into(), ParamLoc::Vec(VecReg(0))));
+        k.params.push(("X".into(), ParamLoc::Gp(rx)));
+        k.params.push(("Y".into(), ParamLoc::Gp(ry)));
+        k.insts = vec![
+            XInst::IMovImm { dst: ri, imm: 0 },
+            XInst::Label(".top".into()),
+            XInst::Cmp {
+                a: ri,
+                b: GpOrImm::Gp(rn),
+            },
+            XInst::Jge(".end".into()),
+            XInst::FLoad {
+                dst: VecReg(1),
+                mem: Mem::new(rx, 0),
+                w: Width::S,
+            },
+            XInst::FMul2 {
+                dstsrc: VecReg(1),
+                src: VecReg(0),
+                w: Width::S,
+            },
+            XInst::FLoad {
+                dst: VecReg(2),
+                mem: Mem::new(ry, 0),
+                w: Width::S,
+            },
+            XInst::FAdd2 {
+                dstsrc: VecReg(2),
+                src: VecReg(1),
+                w: Width::S,
+            },
+            XInst::FStore {
+                src: VecReg(2),
+                mem: Mem::new(ry, 0),
+                w: Width::S,
+            },
+            XInst::IAdd {
+                dst: rx,
+                src: GpOrImm::Imm(8),
+            },
+            XInst::IAdd {
+                dst: ry,
+                src: GpOrImm::Imm(8),
+            },
+            XInst::IAdd {
+                dst: ri,
+                src: GpOrImm::Imm(1),
+            },
+            XInst::Jmp(".top".into()),
+            XInst::Label(".end".into()),
+            XInst::Ret,
+        ];
+        let out = SymMachine::new(false)
+            .run(
+                &k,
+                vec![
+                    MachineArg::Int(2),
+                    MachineArg::F64(1), // alpha is kernel param 1
+                    MachineArg::Array(2),
+                    MachineArg::Array(2),
+                ],
+            )
+            .unwrap();
+        // Y[i] == y_i + x_i * alpha
+        for (i, got) in out[1].iter().enumerate() {
+            let want = add(
+                &SymExpr::leaf(1, i),
+                &mul(&SymExpr::leaf(0, i), &SymExpr::param(1)),
+            );
+            assert_eq!(
+                canonicalize(got, ReassocPolicy::Ac),
+                canonicalize(&want, ReassocPolicy::Ac),
+                "Y[{i}]"
+            );
+        }
+        // X untouched.
+        assert_eq!(out[0][0], SymExpr::leaf(0, 0));
+    }
+
+    #[test]
+    fn machine_reports_oob() {
+        use augem_asm::AsmKernel;
+        let ry = GpReg::allocatable()[0];
+        let mut k = AsmKernel::new("oob");
+        k.params.push(("Y".into(), ParamLoc::Gp(ry)));
+        k.insts = vec![
+            XInst::FLoad {
+                dst: VecReg(0),
+                mem: Mem::elem(ry, 5),
+                w: Width::S,
+            },
+            XInst::Ret,
+        ];
+        let (pc, fault) = SymMachine::new(true)
+            .run(&k, vec![MachineArg::Array(2)])
+            .unwrap_err();
+        assert_eq!(pc, Some(0));
+        assert!(matches!(fault, SymFault::OutOfBounds { .. }), "{fault:?}");
+    }
+
+    #[test]
+    fn gp_spill_roundtrips_through_stack() {
+        use augem_asm::AsmKernel;
+        let r = GpReg::allocatable();
+        let (ra, rb) = (r[0], r[1]);
+        let rsp = GpReg(7);
+        let mut k = AsmKernel::new("spill");
+        k.params.push(("n".into(), ParamLoc::Gp(ra)));
+        k.stack_slots = 1;
+        k.insts = vec![
+            XInst::IStore {
+                src: ra,
+                mem: Mem::new(rsp, 0),
+            },
+            XInst::IMovImm { dst: ra, imm: 0 },
+            XInst::ILoad {
+                dst: rb,
+                mem: Mem::new(rsp, 0),
+            },
+            XInst::Ret,
+        ];
+        // Succeeds: the spilled value is concrete.
+        SymMachine::new(true)
+            .run(&k, vec![MachineArg::Int(42)])
+            .unwrap();
+    }
+
+    #[test]
+    fn symbolic_integer_load_is_an_escape() {
+        use augem_asm::AsmKernel;
+        let r = GpReg::allocatable();
+        let (ry, rb) = (r[0], r[1]);
+        let mut k = AsmKernel::new("esc");
+        k.params.push(("Y".into(), ParamLoc::Gp(ry)));
+        k.insts = vec![
+            XInst::ILoad {
+                dst: rb,
+                mem: Mem::new(ry, 0),
+            },
+            XInst::Ret,
+        ];
+        let (pc, fault) = SymMachine::new(true)
+            .run(&k, vec![MachineArg::Array(1)])
+            .unwrap_err();
+        assert_eq!(pc, Some(0));
+        assert!(matches!(fault, SymFault::Escape(_)), "{fault:?}");
+    }
+
+    #[test]
+    fn step_limit_trips() {
+        use augem_asm::AsmKernel;
+        let mut k = AsmKernel::new("inf");
+        k.insts = vec![XInst::Label(".x".into()), XInst::Jmp(".x".into())];
+        let (_, fault) = SymMachine::new(true)
+            .with_step_limit(64)
+            .run(&k, vec![])
+            .unwrap_err();
+        assert_eq!(fault, SymFault::StepLimit(64));
+    }
+}

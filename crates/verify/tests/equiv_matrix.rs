@@ -1,0 +1,170 @@
+//! The translation-validation acceptance matrix: `check_equivalence`
+//! must *prove* every supported kernel × ISA × strategy combination the
+//! pipeline can produce — zero mismatches, zero modeling gaps — at the
+//! shape each configuration's `equiv_spec()` derives from its unroll
+//! factors (every unrolled body and every remainder path executes).
+
+use augem_machine::{MachineSpec, SimdMode};
+use augem_opt::{FmaPolicy, StrategyPref};
+use augem_transforms::PrefetchConfig;
+use augem_tune::{
+    gemm_candidates, vector_candidates, GemmConfig, LoggedBuild, VectorConfig, VectorKernel,
+};
+use augem_verify::{check_equivalence, EquivSpec};
+
+/// The ISA axis: AVX (Sandy Bridge), FMA3 and FMA4 (Piledriver, via
+/// the FMA policy), and plain SSE (Sandy Bridge clamped).
+fn machines() -> Vec<(String, MachineSpec, FmaPolicy)> {
+    let snb = MachineSpec::sandy_bridge();
+    let pd = MachineSpec::piledriver();
+    vec![
+        ("sandybridge-avx".into(), snb.clone(), FmaPolicy::Auto),
+        ("piledriver-fma3".into(), pd.clone(), FmaPolicy::Auto),
+        ("piledriver-fma4".into(), pd.clone(), FmaPolicy::PreferFma4),
+        (
+            "sandybridge-sse".into(),
+            snb.with_isa_clamped(SimdMode::Sse),
+            FmaPolicy::NoFma,
+        ),
+    ]
+}
+
+fn assert_proved(tag: &str, build: &LoggedBuild, machine: &MachineSpec, spec: &EquivSpec) {
+    let diags = check_equivalence(&build.source, &build.asm, machine.isa, spec);
+    assert!(
+        diags.is_empty(),
+        "{tag}: {} equivalence finding(s):\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn gemm_equivalence_matrix_proves() {
+    for (mname, machine, fma) in machines() {
+        let w = machine.simd_mode().f64_lanes();
+        // Same representative shapes as the structural matrix.
+        let mut configs = vec![
+            GemmConfig::fig13(),
+            GemmConfig {
+                nu: 2,
+                mu: 2 * w,
+                ku: 1,
+                strategy: StrategyPref::Vdup,
+                fma,
+                prefetch: PrefetchConfig::default(),
+                schedule: true,
+            },
+            GemmConfig {
+                nu: w,
+                mu: w,
+                ku: 2,
+                strategy: StrategyPref::Shuf,
+                fma,
+                prefetch: PrefetchConfig::disabled(),
+                schedule: true,
+            },
+            GemmConfig {
+                nu: 1,
+                mu: w,
+                ku: 1,
+                strategy: StrategyPref::Vdup,
+                fma,
+                prefetch: PrefetchConfig::default(),
+                schedule: false,
+            },
+            GemmConfig {
+                nu: 2,
+                mu: 2,
+                ku: 1,
+                strategy: StrategyPref::ScalarOnly,
+                fma: FmaPolicy::NoFma,
+                prefetch: PrefetchConfig::disabled(),
+                schedule: true,
+            },
+        ];
+        for c in &mut configs {
+            c.fma = if c.strategy == StrategyPref::ScalarOnly {
+                FmaPolicy::NoFma
+            } else {
+                fma
+            };
+        }
+        for cfg in configs {
+            let tag = format!("{mname} gemm {}", cfg.tag());
+            match cfg.build_logged(&machine) {
+                Ok(build) => assert_proved(&tag, &build, &machine, &cfg.equiv_spec()),
+                // Some shapes legitimately exhaust the register file on
+                // some targets; that is the tuner's concern.
+                Err(e) => println!("[{tag}] skipped: {e}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn vector_kernel_equivalence_matrix_proves() {
+    let kernels = [
+        VectorKernel::Axpy,
+        VectorKernel::Dot,
+        VectorKernel::Gemv,
+        VectorKernel::Ger,
+        VectorKernel::Scal,
+    ];
+    for (mname, machine, _) in machines() {
+        let w = machine.simd_mode().f64_lanes();
+        for k in kernels {
+            for unroll in [w, 4 * w] {
+                for prefetch in [PrefetchConfig::default(), PrefetchConfig::disabled()] {
+                    let cfg = VectorConfig {
+                        kernel: k,
+                        unroll,
+                        prefetch,
+                        schedule: true,
+                    };
+                    let tag = format!("{mname} {}", cfg.tag());
+                    match cfg.build_logged(&machine) {
+                        Ok(build) => assert_proved(&tag, &build, &machine, &cfg.equiv_spec()),
+                        Err(e) => println!("[{tag}] skipped: {e}"),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn full_candidate_sets_prove_equivalent() {
+    // The tuner's entire search space, as emitted by the candidate
+    // generators — every kernel the tuner will ever simulate and rank
+    // carries a translation-validation proof.
+    for machine in MachineSpec::paper_platforms() {
+        for cfg in gemm_candidates(&machine) {
+            if let Ok(build) = cfg.build_logged(&machine) {
+                assert_proved(
+                    &format!("gemm {}", cfg.tag()),
+                    &build,
+                    &machine,
+                    &cfg.equiv_spec(),
+                );
+            }
+        }
+        for k in [
+            VectorKernel::Axpy,
+            VectorKernel::Dot,
+            VectorKernel::Gemv,
+            VectorKernel::Ger,
+            VectorKernel::Scal,
+        ] {
+            for cfg in vector_candidates(k, &machine) {
+                if let Ok(build) = cfg.build_logged(&machine) {
+                    assert_proved(&cfg.tag(), &build, &machine, &cfg.equiv_spec());
+                }
+            }
+        }
+    }
+}

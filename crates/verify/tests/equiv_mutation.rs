@@ -1,0 +1,236 @@
+//! The negative suite: translation validation must *refute* mutants.
+//!
+//! For a set of known-good pipeline builds, every single-instruction
+//! mutation (operation flips, FMA weakenings, displacement shifts,
+//! shuffle-selector flips) is injected one at a time and the validator
+//! must report at least one V06x error — unless the mutation is
+//! provably a semantic no-op (the mutated assembly's symbolic outputs
+//! are canonically identical to the original's), which is verified
+//! rather than assumed.
+
+use augem_asm::{AsmKernel, Mem, XInst};
+use augem_machine::{GpReg, IsaFeature, MachineSpec};
+use augem_transforms::PrefetchConfig;
+use augem_tune::{GemmConfig, LoggedBuild, VectorConfig, VectorKernel};
+use augem_verify::{
+    canonicalize, check_equivalence, EquivArg, EquivSpec, MachineArg, SymExpr, SymMachine,
+};
+
+/// All mutants of one instruction, with a label for failure messages.
+fn mutations(inst: &XInst) -> Vec<(XInst, &'static str)> {
+    let mut out = Vec::new();
+    match inst.clone() {
+        XInst::FAdd2 { dstsrc, src, w } => {
+            out.push((XInst::FMul2 { dstsrc, src, w }, "add2->mul2"));
+        }
+        XInst::FMul2 { dstsrc, src, w } => {
+            out.push((XInst::FAdd2 { dstsrc, src, w }, "mul2->add2"));
+        }
+        XInst::FAdd3 { dst, a, b, w } => {
+            out.push((XInst::FMul3 { dst, a, b, w }, "add3->mul3"));
+        }
+        XInst::FMul3 { dst, a, b, w } => {
+            out.push((XInst::FAdd3 { dst, a, b, w }, "mul3->add3"));
+        }
+        // FMA weakening: drop the accumulate, keep the multiply.
+        XInst::Fma3 { acc, a, b, w } => {
+            out.push((XInst::FMul3 { dst: acc, a, b, w }, "fma3->mul3"));
+        }
+        XInst::Fma4 { dst, a, b, c: _, w } => {
+            out.push((XInst::FMul3 { dst, a, b, w }, "fma4->mul3"));
+        }
+        // Off-by-one-element addressing (stack traffic excluded: spill
+        // slots are private and an 8-byte shift there is caught by the
+        // structural checks as a frame violation, not by equivalence).
+        XInst::FLoad { dst, mem, w } if mem.base != GpReg::RSP => {
+            let mem = Mem {
+                base: mem.base,
+                disp: mem.disp + 8,
+            };
+            out.push((XInst::FLoad { dst, mem, w }, "load-disp+8"));
+        }
+        XInst::FDup { dst, mem, w } if mem.base != GpReg::RSP => {
+            let mem = Mem {
+                base: mem.base,
+                disp: mem.disp + 8,
+            };
+            out.push((XInst::FDup { dst, mem, w }, "dup-disp+8"));
+        }
+        XInst::FStore { src, mem, w } if mem.base != GpReg::RSP => {
+            let mem = Mem {
+                base: mem.base,
+                disp: mem.disp + 8,
+            };
+            out.push((XInst::FStore { src, mem, w }, "store-disp+8"));
+        }
+        // Lane-selector flips.
+        XInst::Shuf2 {
+            dstsrc,
+            src,
+            imm,
+            w,
+        } => {
+            out.push((
+                XInst::Shuf2 {
+                    dstsrc,
+                    src,
+                    imm: imm ^ 1,
+                    w,
+                },
+                "shuf2-imm^1",
+            ));
+        }
+        XInst::Shuf3 { dst, a, b, imm, w } => {
+            out.push((
+                XInst::Shuf3 {
+                    dst,
+                    a,
+                    b,
+                    imm: imm ^ 1,
+                    w,
+                },
+                "shuf3-imm^1",
+            ));
+        }
+        XInst::Perm2f128 { dst, a, b, imm } => {
+            out.push((
+                XInst::Perm2f128 {
+                    dst,
+                    a,
+                    b,
+                    imm: imm ^ 0x01,
+                },
+                "perm2f128-imm^1",
+            ));
+        }
+        _ => {}
+    }
+    out
+}
+
+/// The symbolic outputs of `asm` under `spec`'s arguments, canonicalized
+/// with the spec's policy. `None` if execution faults.
+fn sym_outputs(
+    asm: &AsmKernel,
+    machine: &MachineSpec,
+    spec: &EquivSpec,
+) -> Option<Vec<Vec<augem_verify::symexec::Canon>>> {
+    let m_args: Vec<MachineArg> = spec
+        .args
+        .iter()
+        .enumerate()
+        .map(|(i, a)| match a {
+            EquivArg::Int(v) => MachineArg::Int(*v),
+            EquivArg::SymF64 => MachineArg::F64(i),
+            EquivArg::Array(n) => MachineArg::Array(*n),
+        })
+        .collect();
+    let outs: Vec<Vec<SymExpr>> = SymMachine::new(machine.isa.has(IsaFeature::Avx))
+        .with_step_limit(spec.step_limit)
+        .run(asm, m_args)
+        .ok()?;
+    Some(
+        outs.iter()
+            .map(|arr| arr.iter().map(|e| canonicalize(e, spec.policy)).collect())
+            .collect(),
+    )
+}
+
+/// Injects every mutation of every instruction, one at a time, and
+/// requires each to be refuted (or proved a semantic no-op).
+fn run_suite(tag: &str, build: &LoggedBuild, machine: &MachineSpec, spec: &EquivSpec) {
+    // Sanity: the unmutated build proves.
+    let clean = check_equivalence(&build.source, &build.asm, machine.isa, spec);
+    assert!(clean.is_empty(), "{tag}: baseline not clean: {clean:?}");
+    let baseline = sym_outputs(&build.asm, machine, spec).expect("baseline executes");
+
+    let (mut injected, mut detected, mut noops) = (0usize, 0usize, 0usize);
+    for (i, inst) in build.asm.insts.iter().enumerate() {
+        for (mutant, label) in mutations(inst) {
+            let mut asm = build.asm.clone();
+            asm.insts[i] = mutant;
+            injected += 1;
+            let diags = check_equivalence(&build.source, &asm, machine.isa, spec);
+            if diags.iter().any(|d| d.is_error()) {
+                detected += 1;
+                continue;
+            }
+            // Undetected is only acceptable when the mutant provably
+            // computes the very same canonical outputs.
+            let mutated = sym_outputs(&asm, machine, spec);
+            assert_eq!(
+                mutated.as_ref(),
+                Some(&baseline),
+                "{tag}: mutation `{label}` at inst {i} survived undetected"
+            );
+            noops += 1;
+        }
+    }
+    println!("[{tag}] {injected} mutants: {detected} refuted, {noops} semantic no-ops");
+    assert!(injected > 0, "{tag}: no mutation sites found");
+    assert!(detected > 0, "{tag}: nothing refuted");
+}
+
+#[test]
+fn axpy_mutants_are_refuted() {
+    let machine = MachineSpec::sandy_bridge();
+    let cfg = VectorConfig {
+        kernel: VectorKernel::Axpy,
+        unroll: 4,
+        prefetch: PrefetchConfig::default(),
+        schedule: true,
+    };
+    let build = cfg.build_logged(&machine).unwrap();
+    run_suite("snb axpy", &build, &machine, &cfg.equiv_spec());
+}
+
+#[test]
+fn dot_mutants_are_refuted() {
+    let machine = MachineSpec::piledriver();
+    let cfg = VectorConfig {
+        kernel: VectorKernel::Dot,
+        unroll: 4,
+        prefetch: PrefetchConfig::default(),
+        schedule: true,
+    };
+    let build = cfg.build_logged(&machine).unwrap();
+    run_suite("pd dot", &build, &machine, &cfg.equiv_spec());
+}
+
+#[test]
+fn gemv_mutants_are_refuted() {
+    let machine = MachineSpec::sandy_bridge();
+    let cfg = VectorConfig {
+        kernel: VectorKernel::Gemv,
+        unroll: 4,
+        prefetch: PrefetchConfig::disabled(),
+        schedule: true,
+    };
+    let build = cfg.build_logged(&machine).unwrap();
+    run_suite("snb gemv", &build, &machine, &cfg.equiv_spec());
+}
+
+#[test]
+fn gemm_mutants_are_refuted_sandy_bridge() {
+    let machine = MachineSpec::sandy_bridge();
+    let cfg = GemmConfig::fig13();
+    let build = cfg.build_logged(&machine).unwrap();
+    run_suite("snb gemm fig13", &build, &machine, &cfg.equiv_spec());
+}
+
+#[test]
+fn gemm_mutants_are_refuted_piledriver_fma4() {
+    use augem_opt::{FmaPolicy, StrategyPref};
+    let machine = MachineSpec::piledriver();
+    let cfg = GemmConfig {
+        nu: 2,
+        mu: 4,
+        ku: 1,
+        strategy: StrategyPref::Vdup,
+        fma: FmaPolicy::PreferFma4,
+        prefetch: PrefetchConfig::disabled(),
+        schedule: true,
+    };
+    let build = cfg.build_logged(&machine).unwrap();
+    run_suite("pd gemm fma4", &build, &machine, &cfg.equiv_spec());
+}

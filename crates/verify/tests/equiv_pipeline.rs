@@ -1,0 +1,122 @@
+//! End-to-end translation validation against real pipeline builds.
+//!
+//! These live as integration tests (not unit tests in `equiv.rs`)
+//! because they exercise `augem-tune`, which itself depends on
+//! `augem-verify`: in a lib-test build that cycle produces two copies
+//! of the crate whose types don't unify.
+
+use augem_machine::MachineSpec;
+use augem_transforms::PrefetchConfig;
+use augem_tune::{GemmConfig, VectorConfig, VectorKernel};
+use augem_verify::{check_equivalence, EquivArg, EquivSpec, Rule};
+
+fn spec_for_vector(kernel: VectorKernel, n: usize) -> EquivSpec {
+    // Parameter orders from augem-kernels: see each simple kernel.
+    let args = match kernel {
+        VectorKernel::Axpy => vec![
+            EquivArg::Int(n as i64),
+            EquivArg::SymF64,
+            EquivArg::Array(n),
+            EquivArg::Array(n),
+        ],
+        VectorKernel::Dot => vec![
+            EquivArg::Int(n as i64),
+            EquivArg::Array(n),
+            EquivArg::Array(n),
+            EquivArg::Array(1),
+        ],
+        VectorKernel::Scal => vec![
+            EquivArg::Int(n as i64),
+            EquivArg::SymF64,
+            EquivArg::Array(n),
+        ],
+        _ => unreachable!("helper covers 1-D kernels only"),
+    };
+    EquivSpec::new(args)
+}
+
+#[test]
+fn axpy_proves_equivalent() {
+    let machine = MachineSpec::sandy_bridge();
+    let cfg = VectorConfig {
+        kernel: VectorKernel::Axpy,
+        unroll: 4,
+        prefetch: PrefetchConfig::default(),
+        schedule: true,
+    };
+    let build = cfg.build_logged(&machine).unwrap();
+    let spec = spec_for_vector(VectorKernel::Axpy, 11);
+    let diags = check_equivalence(&build.source, &build.asm, machine.isa, &spec);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn dot_reduction_proves_under_ac_policy() {
+    let machine = MachineSpec::piledriver();
+    let cfg = VectorConfig {
+        kernel: VectorKernel::Dot,
+        unroll: 4,
+        prefetch: PrefetchConfig::default(),
+        schedule: true,
+    };
+    let build = cfg.build_logged(&machine).unwrap();
+    let spec = spec_for_vector(VectorKernel::Dot, 11);
+    let diags = check_equivalence(&build.source, &build.asm, machine.isa, &spec);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn gemm_fig13_proves_equivalent() {
+    let machine = MachineSpec::sandy_bridge();
+    let cfg = GemmConfig::fig13();
+    let build = cfg.build_logged(&machine).unwrap();
+    let spec = cfg.equiv_spec();
+    let diags = check_equivalence(&build.source, &build.asm, machine.isa, &spec);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn flipped_instruction_is_refuted() {
+    use augem_asm::XInst;
+    let machine = MachineSpec::sandy_bridge();
+    let cfg = VectorConfig {
+        kernel: VectorKernel::Axpy,
+        unroll: 2,
+        prefetch: PrefetchConfig::default(),
+        schedule: false,
+    };
+    let build = cfg.build_logged(&machine).unwrap();
+    let mut asm = build.asm.clone();
+    // Flip the first packed add into a multiply.
+    let target = asm
+        .insts
+        .iter()
+        .position(|i| matches!(i, XInst::FAdd3 { .. } | XInst::FAdd2 { .. }));
+    let target = target.expect("axpy contains an add");
+    asm.insts[target] = match asm.insts[target].clone() {
+        XInst::FAdd3 { dst, a, b, w } => XInst::FMul3 { dst, a, b, w },
+        XInst::FAdd2 { dstsrc, src, w } => XInst::FMul2 { dstsrc, src, w },
+        _ => unreachable!(),
+    };
+    let spec = spec_for_vector(VectorKernel::Axpy, 7);
+    let diags = check_equivalence(&build.source, &asm, machine.isa, &spec);
+    assert!(
+        diags.iter().any(|d| d.rule == Rule::EquivMismatch),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn spec_mismatch_is_reported_not_panicked() {
+    let machine = MachineSpec::sandy_bridge();
+    let cfg = VectorConfig {
+        kernel: VectorKernel::Scal,
+        unroll: 2,
+        prefetch: PrefetchConfig::default(),
+        schedule: true,
+    };
+    let build = cfg.build_logged(&machine).unwrap();
+    let spec = EquivSpec::new(vec![EquivArg::Int(3)]); // wrong arity
+    let diags = check_equivalence(&build.source, &build.asm, machine.isa, &spec);
+    assert!(diags.iter().any(|d| d.rule == Rule::EquivSpecMismatch));
+}
