@@ -43,4 +43,24 @@ echo "== verify bench: per-kernel verification wall time"
 ./target/release/figures verify
 test -f BENCH_verify.json
 
+echo "== resilience: fault-injection matrix"
+# Every injection site x fault class scenario must terminate with a
+# verified kernel or a typed degradation — never a panic or abort.
+cargo test --release -q --test resilience
+
+echo "== resilience: kill-and-resume smoke test"
+# A run killed mid-sweep (--inject-crash) and resumed from its journal
+# must reproduce the uninterrupted run's winner bit-for-bit.
+RESIL_TMP=$(mktemp -d)
+if ./target/release/augem-gen --kernel axpy --machine sandybridge \
+  --checkpoint "$RESIL_TMP/axpy.jsonl" --inject-crash 3 -o "$RESIL_TMP/killed.s" 2>/dev/null; then
+  echo "FAIL: crash-injected run should exit non-zero"; exit 1
+fi
+test -s "$RESIL_TMP/axpy.jsonl"
+./target/release/augem-gen --kernel axpy --machine sandybridge \
+  --checkpoint "$RESIL_TMP/axpy.jsonl" --resume -o "$RESIL_TMP/resumed.s"
+./target/release/augem-gen --kernel axpy --machine sandybridge -o "$RESIL_TMP/reference.s"
+cmp "$RESIL_TMP/resumed.s" "$RESIL_TMP/reference.s"
+rm -rf "$RESIL_TMP"
+
 echo "CI OK"

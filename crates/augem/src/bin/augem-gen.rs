@@ -19,15 +19,27 @@
 //! `error:`-severity diagnostic makes the exit status non-zero, as does
 //! a warning count above `--max-warnings N`.
 //!
+//! `--degrade` switches to the fault-tolerant driver: candidate
+//! evaluation is sandboxed and budgeted, the winner is verified, and on
+//! failure the pipeline falls back (next-ranked candidate → paper
+//! default → report only) instead of erroring. `--checkpoint FILE`
+//! journals every completed measurement there; `--resume` continues from
+//! an interrupted journal, skipping completed work (both imply
+//! `--degrade`). `--inject-crash N` simulates the process dying at the
+//! N-th evaluated candidate — the hook the resilience smoke tests use.
+//!
 //! Exit status: 0 on success; 1 when generation fails, verification
-//! reports errors, or warnings exceed `--max-warnings`; 2 on usage
-//! errors.
+//! reports errors, warnings exceed `--max-warnings`, a degraded run
+//! ships nothing, or an interrupted run leaves only a checkpoint; 2 on
+//! usage errors; 3 when `--degrade` ships a kernel through a fallback
+//! (degraded success).
 
 use augem::ir::print::print_kernel;
 use augem::machine::{MachineSpec, Microarch};
+use augem::resil::{write_atomic, Fault, InjectionPlan, Injector, Site, Trigger};
 use augem::templates::identify;
 use augem::transforms::{generate_optimized, OptimizeConfig};
-use augem::{Augem, DlaKernel, VerifyOptions};
+use augem::{Augem, Degradation, DegradationPolicy, DlaKernel, VerifyOptions};
 use std::io::Write as _;
 use std::process::ExitCode;
 
@@ -46,6 +58,14 @@ struct Args {
     no_equiv: bool,
     /// Fail (exit 1) when `--verify` emits more than this many warnings.
     max_warnings: Option<usize>,
+    /// Use the fault-tolerant driver with graceful degradation.
+    degrade: bool,
+    /// Journal completed measurements to this path.
+    checkpoint: Option<String>,
+    /// Resume from the journal at `--checkpoint`.
+    resume: bool,
+    /// Test hook: simulate a crash at the N-th evaluated candidate.
+    inject_crash: Option<u64>,
 }
 
 #[derive(PartialEq)]
@@ -61,6 +81,8 @@ fn usage() -> ExitCode {
          --machine <sandybridge|piledriver> [--emit asm|c|tagged] [-o FILE]\n\
          \x20                [--trace] [--report FILE.json] [--verify]\n\
          \x20                [--no-equiv] [--max-warnings N]\n\
+         \x20                [--degrade] [--checkpoint FILE.jsonl] [--resume]\n\
+         \x20                [--inject-crash N]\n\
          \x20      augem-gen --list"
     );
     ExitCode::from(2)
@@ -89,6 +111,10 @@ fn parse() -> Result<Option<Args>, ExitCode> {
     let mut verify = false;
     let mut no_equiv = false;
     let mut max_warnings = None;
+    let mut degrade = false;
+    let mut checkpoint = None;
+    let mut resume = false;
+    let mut inject_crash = None;
     let mut it = argv.into_iter();
     while let Some(flag) = it.next() {
         let mut val = |name: &str| {
@@ -151,6 +177,19 @@ fn parse() -> Result<Option<Args>, ExitCode> {
                     }
                 });
             }
+            "--degrade" => degrade = true,
+            "--checkpoint" => checkpoint = Some(val("--checkpoint")?),
+            "--resume" => resume = true,
+            "--inject-crash" => {
+                let v = val("--inject-crash")?;
+                inject_crash = Some(match v.parse::<u64>() {
+                    Ok(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("--inject-crash needs a positive integer, got `{v}`");
+                        return Err(usage());
+                    }
+                });
+            }
             other => {
                 eprintln!("unknown flag `{other}`");
                 return Err(usage());
@@ -160,6 +199,9 @@ fn parse() -> Result<Option<Args>, ExitCode> {
     let (Some(kernel), Some(machine)) = (kernel, machine) else {
         return Err(usage());
     };
+    // Checkpointing, resuming, and crash injection all need the
+    // fault-tolerant driver.
+    let degrade = degrade || checkpoint.is_some() || resume || inject_crash.is_some();
     Ok(Some(Args {
         kernel,
         machine,
@@ -170,6 +212,10 @@ fn parse() -> Result<Option<Args>, ExitCode> {
         verify,
         no_equiv,
         max_warnings,
+        degrade,
+        checkpoint,
+        resume,
+        inject_crash,
     }))
 }
 
@@ -192,13 +238,24 @@ fn main() -> ExitCode {
         Err(code) => return code,
     };
 
-    if (args.trace || args.report.is_some() || args.verify) && args.emit != Emit::Asm {
-        eprintln!("--trace/--report/--verify only apply to --emit asm (the tuned pipeline)");
+    if (args.trace || args.report.is_some() || args.verify || args.degrade)
+        && args.emit != Emit::Asm
+    {
+        eprintln!(
+            "--trace/--report/--verify/--degrade only apply to --emit asm (the tuned pipeline)"
+        );
         return ExitCode::from(2);
     }
-    if (args.no_equiv || args.max_warnings.is_some()) && !args.verify {
-        eprintln!("--no-equiv/--max-warnings only apply together with --verify");
+    if (args.no_equiv || args.max_warnings.is_some()) && !(args.verify || args.degrade) {
+        eprintln!("--no-equiv/--max-warnings only apply together with --verify/--degrade");
         return ExitCode::from(2);
+    }
+    if args.resume && args.checkpoint.is_none() {
+        eprintln!("--resume needs --checkpoint FILE to resume from");
+        return ExitCode::from(2);
+    }
+    if args.degrade {
+        return run_degradable(&args);
     }
 
     let mut verify_errors = 0usize;
@@ -237,7 +294,7 @@ fn main() -> ExitCode {
                     }
                     if let Some(path) = &args.report {
                         let json = run.to_json().render_pretty();
-                        if let Err(e) = std::fs::write(path, json + "\n") {
+                        if let Err(e) = write_atomic(path, json + "\n") {
                             eprintln!("cannot write {path}: {e}");
                             return ExitCode::FAILURE;
                         }
@@ -273,7 +330,7 @@ fn main() -> ExitCode {
 
     match args.output {
         Some(path) => {
-            if let Err(e) = std::fs::write(&path, text) {
+            if let Err(e) = write_atomic(&path, text) {
                 eprintln!("cannot write {path}: {e}");
                 return ExitCode::FAILURE;
             }
@@ -295,4 +352,100 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// The `--degrade` path: the fault-tolerant driver with checkpointing
+/// and graceful fallback. Exit codes: 0 verified winner, 3 degraded
+/// success (a fallback kernel shipped), 1 interrupted or report-only.
+fn run_degradable(args: &Args) -> ExitCode {
+    let policy = DegradationPolicy {
+        verify: VerifyOptions {
+            equivalence: !args.no_equiv,
+        },
+        checkpoint: args.checkpoint.as_ref().map(std::path::PathBuf::from),
+        resume: args.resume,
+        ..DegradationPolicy::default()
+    };
+    let injector = match args.inject_crash {
+        Some(n) => {
+            Injector::new(InjectionPlan::new(0).with(Site::Eval, Fault::Crash, Trigger::Nth(n)))
+        }
+        None => Injector::disabled(),
+    };
+    let driver = Augem::new(args.machine.clone());
+    let r = driver.generate_degradable(args.kernel, &policy, &injector);
+
+    if args.verify {
+        for d in &r.diagnostics {
+            eprintln!("{d}");
+        }
+    }
+    if args.trace {
+        eprint!("{}", r.report.render_text());
+    }
+    if let Some(path) = &args.report {
+        let json = r.report.to_json().render_pretty();
+        if let Err(e) = write_atomic(path, json + "\n") {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(max) = args.max_warnings {
+        let warnings = r.diagnostics.len() - augem::verify::errors(&r.diagnostics).len();
+        if warnings > max {
+            eprintln!("verification failed: {warnings} warning(s) exceed --max-warnings {max}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    match (&r.generated, &r.degradation) {
+        (Some(g), degradation) => {
+            let mut text = format!(
+                "# tuned configuration: {} ({:.0} Mflops steady-state)\n",
+                g.config_tag, g.mflops
+            );
+            if !matches!(degradation, Degradation::None) {
+                text.push_str(&format!("# DEGRADED: {degradation}\n"));
+            }
+            text.push_str(&g.assembly_text());
+            match &args.output {
+                Some(path) => {
+                    if let Err(e) = write_atomic(path, text) {
+                        eprintln!("cannot write {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                None => {
+                    let _ = std::io::stdout().write_all(text.as_bytes());
+                }
+            }
+            if matches!(degradation, Degradation::None) {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "degraded success: {degradation} (cause: {})",
+                    r.cause.as_deref().unwrap_or("unknown")
+                );
+                ExitCode::from(3)
+            }
+        }
+        (None, Degradation::Interrupted) => {
+            eprintln!(
+                "tuning interrupted: {}",
+                r.cause.as_deref().unwrap_or("crash")
+            );
+            if let Some(path) = &args.checkpoint {
+                eprintln!("checkpoint saved; rerun with --checkpoint {path} --resume");
+            }
+            ExitCode::FAILURE
+        }
+        (None, _) => {
+            eprintln!(
+                "generation failed ({}): {}",
+                r.degradation,
+                r.cause.as_deref().unwrap_or("unknown")
+            );
+            ExitCode::FAILURE
+        }
+    }
 }

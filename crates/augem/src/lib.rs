@@ -41,6 +41,7 @@ pub use augem_kernels as kernels;
 pub use augem_machine as machine;
 pub use augem_obs as obs;
 pub use augem_opt as opt;
+pub use augem_resil as resil;
 pub use augem_sim as sim;
 pub use augem_templates as templates;
 pub use augem_transforms as transforms;
@@ -54,11 +55,18 @@ use augem_machine::MachineSpec;
 use augem_obs::{
     CandidateFailure, Collector, RankedCandidate, RunReport, SimCounters, Tracer, TunerTelemetry,
 };
+use augem_resil::{sandboxed, Injector, Site, TuneJournal};
 use augem_sim::TimingReport;
 use augem_tune::config::{GemmConfig, VectorConfig, VectorKernel};
-use augem_tune::evaluate::{evaluate_gemm, evaluate_vector, EvalError};
+use augem_tune::evaluate::{
+    evaluate_gemm, evaluate_gemm_budgeted, evaluate_vector, evaluate_vector_budgeted, EvalError,
+    Evaluation,
+};
 use augem_tune::search::TuneError;
-use augem_tune::{tune_gemm_traced, tune_vector_traced, TuneResult};
+use augem_tune::{
+    tune_gemm_resilient, tune_gemm_traced, tune_vector_resilient, tune_vector_traced, ResilOptions,
+    TuneResult,
+};
 
 /// A fully generated, tuned, simulated kernel.
 #[derive(Debug, Clone)]
@@ -147,6 +155,26 @@ enum Winner {
     Vector(VectorConfig),
 }
 
+impl Winner {
+    fn tag(&self) -> String {
+        match self {
+            Winner::Gemm(c) => c.tag(),
+            Winner::Vector(c) => c.tag(),
+        }
+    }
+}
+
+/// The tune-crate kernel id for the vector-style DLA kernels.
+fn vector_kernel_of(kernel: DlaKernel) -> VectorKernel {
+    match kernel {
+        DlaKernel::Axpy => VectorKernel::Axpy,
+        DlaKernel::Dot => VectorKernel::Dot,
+        DlaKernel::Ger => VectorKernel::Ger,
+        DlaKernel::Scal => VectorKernel::Scal,
+        _ => VectorKernel::Gemv,
+    }
+}
+
 /// Which verification stages [`Augem::generate_report_verified_with`]
 /// runs over the winning configuration.
 #[derive(Debug, Clone)]
@@ -159,6 +187,95 @@ pub struct VerifyOptions {
 impl Default for VerifyOptions {
     fn default() -> Self {
         VerifyOptions { equivalence: true }
+    }
+}
+
+/// How [`Augem::generate_degradable`] degrades when the primary path
+/// fails: tuner resilience knobs, how far down the ranking to fall back,
+/// and where (if anywhere) to checkpoint the sweep.
+#[derive(Debug, Clone)]
+pub struct DegradationPolicy {
+    /// Sandbox / budget / retry / breaker knobs for the tuning sweep.
+    pub resil: ResilOptions,
+    /// Verification stages run over each candidate winner.
+    pub verify: VerifyOptions,
+    /// How many next-ranked candidates to try when the winner fails
+    /// verification, before falling back to the paper default.
+    pub max_next_ranked: usize,
+    /// Journal path for checkpoint/resume (`None` = in-memory only).
+    pub checkpoint: Option<std::path::PathBuf>,
+    /// Resume from an existing journal at `checkpoint` instead of
+    /// starting the sweep over.
+    pub resume: bool,
+}
+
+impl Default for DegradationPolicy {
+    fn default() -> Self {
+        DegradationPolicy {
+            resil: ResilOptions::default(),
+            verify: VerifyOptions::default(),
+            max_next_ranked: 3,
+            checkpoint: None,
+            resume: false,
+        }
+    }
+}
+
+/// How far [`Augem::generate_degradable`] had to fall.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Degradation {
+    /// The tuned winner verified cleanly — no degradation.
+    None,
+    /// The winner failed; a lower-ranked verified candidate shipped
+    /// instead (`rank` is its 0-based position in the tuner's ranking).
+    NextRanked { rank: usize, tag: String },
+    /// The whole ranking failed; the paper-default configuration
+    /// shipped instead.
+    PaperDefault { tag: String },
+    /// The sweep was interrupted mid-run (simulated crash); the journal
+    /// holds the completed prefix and the run can be resumed.
+    Interrupted,
+    /// Nothing usable could be generated; only the report survives.
+    ReportOnly,
+}
+
+impl std::fmt::Display for Degradation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Degradation::None => write!(f, "none"),
+            Degradation::NextRanked { rank, tag } => {
+                write!(f, "fell back to rank-{rank} candidate {tag}")
+            }
+            Degradation::PaperDefault { tag } => {
+                write!(f, "fell back to paper-default configuration {tag}")
+            }
+            Degradation::Interrupted => write!(f, "interrupted (resumable from checkpoint)"),
+            Degradation::ReportOnly => write!(f, "no kernel generated; report only"),
+        }
+    }
+}
+
+/// The infallible outcome of [`Augem::generate_degradable`]: either a
+/// verified kernel ([`Degradation::None`]) or a typed degradation — never
+/// a panic, never an abort.
+#[derive(Debug)]
+pub struct DegradedResult {
+    /// The shipped kernel, when any fallback level produced one.
+    pub generated: Option<Generated>,
+    /// The run report — always produced, even report-only.
+    pub report: RunReport,
+    /// Verifier diagnostics for the shipped kernel (empty if none).
+    pub diagnostics: Vec<augem_verify::Diagnostic>,
+    /// Which fallback level (if any) the result came from.
+    pub degradation: Degradation,
+    /// Why the primary path failed (`None` when not degraded).
+    pub cause: Option<String>,
+}
+
+impl DegradedResult {
+    /// Did any fallback fire?
+    pub fn is_degraded(&self) -> bool {
+        !matches!(self.degradation, Degradation::None)
     }
 }
 
@@ -202,7 +319,7 @@ impl Augem {
     pub fn generate_report(&self, kernel: DlaKernel) -> Result<(Generated, RunReport), AugemError> {
         let collector = Collector::new();
         let (g, tuner, _) = self.generate_inner(kernel, &collector)?;
-        let report = self.finish_report(&collector, kernel, &g, tuner);
+        let report = self.finish_report(&collector, kernel, Some(&g), Some(tuner));
         Ok((g, report))
     }
 
@@ -252,29 +369,311 @@ impl Augem {
                 &collector,
             ));
         }
-        let report = self.finish_report(&collector, kernel, &g, tuner);
+        let report = self.finish_report(&collector, kernel, Some(&g), Some(tuner));
         Ok((g, report, diags))
+    }
+
+    /// The fault-tolerant end-to-end driver: tunes resiliently
+    /// (sandboxed + budgeted evaluation, retry, circuit breaking,
+    /// checkpoint journal per `policy`), then verifies the winner and
+    /// *degrades gracefully* instead of failing — in order: the winner,
+    /// the next-ranked verified candidates, the paper-default
+    /// configuration, and finally a report-only result. Infallible by
+    /// construction: every path terminates with either a verified kernel
+    /// or a typed [`DegradedResult`]. `injector` plants deterministic
+    /// faults for the resilience suite; pass
+    /// [`Injector::disabled`](augem_resil::Injector::disabled) in
+    /// production.
+    pub fn generate_degradable(
+        &self,
+        kernel: DlaKernel,
+        policy: &DegradationPolicy,
+        injector: &Injector,
+    ) -> DegradedResult {
+        let collector = Collector::new();
+        let header = augem_resil::journal_header(kernel.name(), self.machine.arch.short_name());
+        let mut journal = match &policy.checkpoint {
+            Some(path) => {
+                match TuneJournal::load_or_create(path, header.clone(), policy.resume) {
+                    Ok(j) => j,
+                    Err(e) => {
+                        // An unusable journal (wrong header, I/O error)
+                        // degrades to an uncheckpointed sweep, not a crash.
+                        collector
+                            .event("resil.journal.unusable", &[("error", e.to_string().into())]);
+                        TuneJournal::in_memory(header)
+                    }
+                }
+            }
+            None => TuneJournal::in_memory(header),
+        };
+
+        let tuned = match kernel {
+            DlaKernel::Gemm => tune_gemm_resilient(
+                &self.machine,
+                &policy.resil,
+                &mut journal,
+                injector,
+                &collector,
+            )
+            .map(|t| {
+                let telemetry = telemetry_of(&t, |c| c.tag());
+                let ranking: Vec<(Winner, f64)> = t
+                    .ranking
+                    .iter()
+                    .map(|(c, m)| (Winner::Gemm(*c), *m))
+                    .collect();
+                (telemetry, ranking, t.best_eval)
+            }),
+            other => tune_vector_resilient(
+                vector_kernel_of(other),
+                &self.machine,
+                &policy.resil,
+                &mut journal,
+                injector,
+                &collector,
+            )
+            .map(|t| {
+                let telemetry = telemetry_of(&t, |c| c.tag());
+                let ranking: Vec<(Winner, f64)> = t
+                    .ranking
+                    .iter()
+                    .map(|(c, m)| (Winner::Vector(*c), *m))
+                    .collect();
+                (telemetry, ranking, t.best_eval)
+            }),
+        };
+
+        let (telemetry, ranking, best_eval) = match tuned {
+            Ok(v) => v,
+            Err(e) if e.interrupted => {
+                let report = self.finish_report(&collector, kernel, None, None);
+                return DegradedResult {
+                    generated: None,
+                    report,
+                    diagnostics: Vec::new(),
+                    degradation: Degradation::Interrupted,
+                    cause: Some(e.to_string()),
+                };
+            }
+            Err(e) => {
+                // Empty search space: straight to the paper default.
+                return self.degrade_to_default(
+                    kernel,
+                    policy,
+                    injector,
+                    &collector,
+                    None,
+                    e.to_string(),
+                );
+            }
+        };
+
+        let mut cause: Option<String> = None;
+        for (rank, (w, _)) in ranking.iter().take(1 + policy.max_next_ranked).enumerate() {
+            let tag = w.tag();
+            if rank > 0 {
+                collector.add(augem_resil::counter::FALLBACK_NEXT_RANKED, 1);
+                collector.event(
+                    "resil.fallback",
+                    &[("kind", "next_ranked".into()), ("tag", tag.as_str().into())],
+                );
+            }
+            let known = if rank == 0 { Some(&best_eval) } else { None };
+            match self.try_winner(kernel, w, known, policy, injector, &collector) {
+                Ok((g, diags)) => {
+                    let degradation = if rank == 0 {
+                        Degradation::None
+                    } else {
+                        Degradation::NextRanked { rank, tag }
+                    };
+                    if !matches!(degradation, Degradation::None) {
+                        collector.add(augem_resil::counter::DEGRADED, 1);
+                    }
+                    let report = self.finish_report(&collector, kernel, Some(&g), Some(telemetry));
+                    return DegradedResult {
+                        generated: Some(g),
+                        report,
+                        diagnostics: diags,
+                        degradation,
+                        cause,
+                    };
+                }
+                Err(why) => {
+                    collector.event(
+                        "resil.verify.failed",
+                        &[("tag", tag.as_str().into()), ("error", why.as_str().into())],
+                    );
+                    cause.get_or_insert(format!("{tag}: {why}"));
+                }
+            }
+        }
+
+        let cause = cause.unwrap_or_else(|| "no candidate survived verification".to_string());
+        self.degrade_to_default(kernel, policy, injector, &collector, Some(telemetry), cause)
+    }
+
+    /// The conservative, always-supported configuration the pipeline
+    /// falls back to when the tuned ranking fails: the paper's Figure-13
+    /// starting point for GEMM, the narrowest vectorizable unroll with
+    /// no prefetching for the vector kernels.
+    fn paper_default(&self, kernel: DlaKernel) -> Winner {
+        match kernel {
+            DlaKernel::Gemm => Winner::Gemm(GemmConfig::fig13()),
+            other => Winner::Vector(VectorConfig {
+                kernel: vector_kernel_of(other),
+                unroll: self.machine.simd_mode().f64_lanes(),
+                prefetch: augem_transforms::PrefetchConfig::disabled(),
+                schedule: true,
+            }),
+        }
+    }
+
+    fn degrade_to_default(
+        &self,
+        kernel: DlaKernel,
+        policy: &DegradationPolicy,
+        injector: &Injector,
+        collector: &Collector,
+        telemetry: Option<TunerTelemetry>,
+        cause: String,
+    ) -> DegradedResult {
+        let w = self.paper_default(kernel);
+        let tag = w.tag();
+        collector.add(augem_resil::counter::FALLBACK_DEFAULT, 1);
+        collector.add(augem_resil::counter::DEGRADED, 1);
+        collector.event(
+            "resil.fallback",
+            &[("kind", "default".into()), ("tag", tag.as_str().into())],
+        );
+        match self.try_winner(kernel, &w, None, policy, injector, collector) {
+            Ok((g, diags)) => {
+                let report = self.finish_report(collector, kernel, Some(&g), telemetry);
+                DegradedResult {
+                    generated: Some(g),
+                    report,
+                    diagnostics: diags,
+                    degradation: Degradation::PaperDefault { tag },
+                    cause: Some(cause),
+                }
+            }
+            Err(why) => {
+                collector.event(
+                    "resil.verify.failed",
+                    &[("tag", tag.as_str().into()), ("error", why.as_str().into())],
+                );
+                let report = self.finish_report(collector, kernel, None, telemetry);
+                DegradedResult {
+                    generated: None,
+                    report,
+                    diagnostics: Vec::new(),
+                    degradation: Degradation::ReportOnly,
+                    cause: Some(format!("{cause}; paper default {tag}: {why}")),
+                }
+            }
+        }
+    }
+
+    /// Evaluates (if needed), rebuilds, and verifies one configuration —
+    /// every step sandboxed, so a panic anywhere becomes an `Err` and
+    /// the degradation chain moves on to the next fallback.
+    fn try_winner(
+        &self,
+        kernel: DlaKernel,
+        w: &Winner,
+        known_eval: Option<&Evaluation>,
+        policy: &DegradationPolicy,
+        injector: &Injector,
+        collector: &Collector,
+    ) -> Result<(Generated, Vec<augem_verify::Diagnostic>), String> {
+        let tag = w.tag();
+        let eval = match known_eval {
+            Some(e) => e.clone(),
+            None => sandboxed(|| match w {
+                Winner::Gemm(c) => {
+                    evaluate_gemm_budgeted(c, &self.machine, collector, policy.resil.step_limit)
+                }
+                Winner::Vector(c) => {
+                    evaluate_vector_budgeted(c, &self.machine, collector, policy.resil.step_limit)
+                }
+            })
+            .map_err(|p| format!("evaluation panicked: {p}"))?
+            .map_err(|e| format!("evaluation failed: {e}"))?,
+        };
+
+        let (logged, diags) = sandboxed(|| {
+            if injector.fault(Site::Verify, &tag, 0).is_some() {
+                panic!("injected fault: verification of {tag} panicked");
+            }
+            let logged = match w {
+                Winner::Gemm(c) => c.build_logged(&self.machine),
+                Winner::Vector(c) => c.build_logged(&self.machine),
+            }
+            .map_err(|e| format!("build failed: {e}"))?;
+            let mut diags =
+                augem_verify::check_traced(&logged.kernel, &logged.asm, &logged.log, collector);
+            if policy.verify.equivalence {
+                let spec = match w {
+                    Winner::Gemm(c) => c.equiv_spec(),
+                    Winner::Vector(c) => c.equiv_spec(),
+                };
+                diags.extend(augem_verify::check_equivalence_traced(
+                    &logged.source,
+                    &logged.asm,
+                    self.machine.isa,
+                    &spec,
+                    collector,
+                ));
+            }
+            Ok::<_, String>((logged, diags))
+        })
+        .map_err(|p| format!("verification panicked: {p}"))??;
+
+        let errs = augem_verify::errors(&diags);
+        if !errs.is_empty() {
+            return Err(format!(
+                "verification errors: {}",
+                errs.iter()
+                    .map(|d| d.to_string())
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            ));
+        }
+
+        Ok((
+            Generated {
+                kernel,
+                machine: self.machine.clone(),
+                asm: logged.asm,
+                config_tag: tag,
+                report: eval.report,
+                mflops: eval.mflops,
+            },
+            diags,
+        ))
     }
 
     fn finish_report(
         &self,
         collector: &Collector,
         kernel: DlaKernel,
-        g: &Generated,
-        tuner: TunerTelemetry,
+        g: Option<&Generated>,
+        tuner: Option<TunerTelemetry>,
     ) -> RunReport {
         let mut report = RunReport::from_snapshot(&collector.snapshot());
         report.kernel = kernel.name().to_string();
         report.machine = self.machine.arch.short_name().to_string();
-        report.config = g.config_tag.clone();
         report.simd_strategy = report
             .labels
             .get("opt.simd_strategy")
             .cloned()
             .unwrap_or_default();
-        report.mflops = g.mflops;
-        report.sim = Some(sim_counters(&g.report));
-        report.tuner = Some(tuner);
+        if let Some(g) = g {
+            report.config = g.config_tag.clone();
+            report.mflops = g.mflops;
+            report.sim = Some(sim_counters(&g.report));
+        }
+        report.tuner = tuner;
         report
     }
 
@@ -309,13 +708,7 @@ impl Augem {
             | DlaKernel::Gemv
             | DlaKernel::Ger
             | DlaKernel::Scal => {
-                let vk = match kernel {
-                    DlaKernel::Axpy => VectorKernel::Axpy,
-                    DlaKernel::Dot => VectorKernel::Dot,
-                    DlaKernel::Ger => VectorKernel::Ger,
-                    DlaKernel::Scal => VectorKernel::Scal,
-                    _ => VectorKernel::Gemv,
-                };
+                let vk = vector_kernel_of(kernel);
                 let t = tune_vector_traced(vk, &self.machine, tracer).map_err(AugemError::Tune)?;
                 let telemetry = telemetry_of(&t, |c| c.tag());
                 let asm = t
@@ -404,6 +797,93 @@ mod tests {
         assert!(report.mflops > 0.0);
         let errs = augem_verify::errors(&diags);
         assert!(errs.is_empty(), "verifier errors on tuned winner: {errs:?}");
+    }
+
+    #[test]
+    fn degradable_path_without_faults_is_not_degraded() {
+        let driver = Augem::new(MachineSpec::sandy_bridge());
+        let policy = DegradationPolicy {
+            resil: ResilOptions::fast(),
+            ..DegradationPolicy::default()
+        };
+        let r = driver.generate_degradable(
+            DlaKernel::Axpy,
+            &policy,
+            &augem_resil::Injector::disabled(),
+        );
+        assert_eq!(r.degradation, Degradation::None);
+        assert!(!r.is_degraded());
+        assert!(r.cause.is_none());
+        let g = r.generated.expect("a clean run ships a kernel");
+        assert!(g.mflops > 0.0);
+        assert_eq!(r.report.mflops, g.mflops);
+        // The clean winner matches the plain verified pipeline's.
+        let (plain, _, _) = driver.generate_report_verified(DlaKernel::Axpy).unwrap();
+        assert_eq!(g.config_tag, plain.config_tag);
+    }
+
+    #[test]
+    fn injected_verify_panic_falls_back_to_next_ranked() {
+        use augem_resil::{Fault, InjectionPlan, Injector, Site, Trigger};
+        let driver = Augem::new(MachineSpec::sandy_bridge());
+        let policy = DegradationPolicy {
+            resil: ResilOptions::fast(),
+            ..DegradationPolicy::default()
+        };
+        // Panic verification of the winner only; rank 1 verifies fine.
+        let inj =
+            Injector::new(InjectionPlan::new(0).with(Site::Verify, Fault::Panic, Trigger::Nth(1)));
+        let r = driver.generate_degradable(DlaKernel::Axpy, &policy, &inj);
+        assert!(
+            matches!(r.degradation, Degradation::NextRanked { rank: 1, .. }),
+            "{:?}",
+            r.degradation
+        );
+        assert!(r.is_degraded());
+        assert!(r.generated.is_some());
+        let cause = r.cause.expect("degraded results carry a cause");
+        assert!(cause.contains("panicked"), "{cause}");
+        assert_eq!(r.report.counters["resil.fallback.next_ranked"], 1);
+        assert_eq!(r.report.counters["resil.degraded"], 1);
+    }
+
+    #[test]
+    fn exhausted_ranking_falls_back_to_paper_default_then_report_only() {
+        use augem_resil::{Fault, InjectionPlan, Injector, Site, Trigger};
+        let driver = Augem::new(MachineSpec::sandy_bridge());
+        let policy = DegradationPolicy {
+            resil: ResilOptions::fast(),
+            max_next_ranked: 1,
+            ..DegradationPolicy::default()
+        };
+        // Panic the winner's and rank-1's verification; the 3rd verify
+        // probe is the paper default, which passes.
+        let inj = Injector::new(
+            InjectionPlan::new(0)
+                .with(Site::Verify, Fault::Panic, Trigger::Nth(1))
+                .with(Site::Verify, Fault::Panic, Trigger::Nth(2)),
+        );
+        let r = driver.generate_degradable(DlaKernel::Axpy, &policy, &inj);
+        assert!(
+            matches!(r.degradation, Degradation::PaperDefault { .. }),
+            "{:?}",
+            r.degradation
+        );
+        assert!(r.generated.is_some());
+        assert_eq!(r.report.counters["resil.fallback.default"], 1);
+
+        // Panic *every* verification: nothing ships, but the pipeline
+        // still terminates with a typed report-only result.
+        let all = Injector::new(InjectionPlan::new(0).with(
+            Site::Verify,
+            Fault::Panic,
+            Trigger::Rate(1.0),
+        ));
+        let r = driver.generate_degradable(DlaKernel::Axpy, &policy, &all);
+        assert_eq!(r.degradation, Degradation::ReportOnly);
+        assert!(r.generated.is_none());
+        assert!(r.report.counters["resil.degraded"] >= 1);
+        assert!(r.cause.unwrap().contains("paper default"));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! ```
 
 use augem::obs::Json;
+use augem::resil::write_atomic;
 use augem::Augem;
 use augem_bench::{ablations, format_figure, Models};
 use augem_kernels::DlaKernel;
@@ -39,7 +40,7 @@ fn emit_pipeline_reports(platforms: &[MachineSpec]) {
         ("runs", Json::Arr(entries)),
     ]);
     let path = "BENCH_pipeline.json";
-    match std::fs::write(path, doc.render_pretty() + "\n") {
+    match write_atomic(path, doc.render_pretty() + "\n") {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("cannot write {path}: {e}"),
     }
@@ -102,7 +103,7 @@ fn emit_verify_reports(platforms: &[MachineSpec]) {
         ("kernels", Json::Arr(entries)),
     ]);
     let path = "BENCH_verify.json";
-    match std::fs::write(path, doc.render_pretty() + "\n") {
+    match write_atomic(path, doc.render_pretty() + "\n") {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("cannot write {path}: {e}"),
     }

@@ -61,4 +61,7 @@ pub mod stage {
     pub const EQUIV: &str = "equiv";
     /// The whole empirical search (`tune::search`).
     pub const TUNE: &str = "tune";
+    /// The fault-tolerance envelope around a resilient search
+    /// (`tune::resilient`); its counters live under `resil.*`.
+    pub const RESIL: &str = "resil";
 }

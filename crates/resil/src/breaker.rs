@@ -1,0 +1,123 @@
+//! Per-family circuit breaking for the candidate search.
+//!
+//! Candidate configurations come in families (a GEMM register-block
+//! shape, a vector-kernel unroll factor). When a family fails repeatedly
+//! — every shape hitting the same register-pressure wall, or an injected
+//! fault storm — evaluating the rest of the family is wasted budget. The
+//! breaker counts *consecutive* failures per family and, past a
+//! threshold, opens the circuit: remaining members are skipped (recorded
+//! as pruned, not errored) until the search moves on.
+//!
+//! State is deliberately simple — open stays open for the rest of the
+//! sweep. One tuner run is one short-lived "service window"; half-open
+//! probing belongs to long-running services, not a batch search.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+#[derive(Default)]
+struct FamilyState {
+    consecutive_failures: u32,
+    open: bool,
+}
+
+/// Counts consecutive failures per family name; trips at `threshold`.
+pub struct CircuitBreaker {
+    threshold: u32,
+    state: Mutex<HashMap<String, FamilyState>>,
+}
+
+impl CircuitBreaker {
+    /// A breaker that opens a family after `threshold` consecutive
+    /// failures. `threshold == 0` disables tripping entirely.
+    pub fn new(threshold: u32) -> Self {
+        CircuitBreaker {
+            threshold,
+            state: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, FamilyState>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Is this family's circuit open (members should be skipped)?
+    pub fn is_open(&self, family: &str) -> bool {
+        self.lock().get(family).is_some_and(|s| s.open)
+    }
+
+    /// Records one evaluation outcome for `family`. Returns `true` when
+    /// this very record tripped the breaker (for telemetry; skips after
+    /// the trip return `false`).
+    pub fn record(&self, family: &str, ok: bool) -> bool {
+        let mut state = self.lock();
+        let s = state.entry(family.to_string()).or_default();
+        if ok {
+            s.consecutive_failures = 0;
+            return false;
+        }
+        s.consecutive_failures += 1;
+        if !s.open && self.threshold > 0 && s.consecutive_failures >= self.threshold {
+            s.open = true;
+            return true;
+        }
+        false
+    }
+
+    /// Families whose circuit is open, sorted (deterministic reporting).
+    pub fn open_families(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .lock()
+            .iter()
+            .filter(|(_, s)| s.open)
+            .map(|(k, _)| k.clone())
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_after_consecutive_failures() {
+        let b = CircuitBreaker::new(3);
+        assert!(!b.record("8x4", false));
+        assert!(!b.record("8x4", false));
+        assert!(!b.is_open("8x4"));
+        assert!(b.record("8x4", false), "third consecutive failure trips");
+        assert!(b.is_open("8x4"));
+        assert!(!b.record("8x4", false), "already open: no second trip");
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let b = CircuitBreaker::new(2);
+        assert!(!b.record("u8", false));
+        assert!(!b.record("u8", true));
+        assert!(!b.record("u8", false));
+        assert!(!b.is_open("u8"), "streak was broken by the success");
+        assert!(b.record("u8", false));
+        assert!(b.is_open("u8"));
+    }
+
+    #[test]
+    fn families_are_independent() {
+        let b = CircuitBreaker::new(1);
+        b.record("a", false);
+        assert!(b.is_open("a"));
+        assert!(!b.is_open("b"));
+        assert_eq!(b.open_families(), vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn zero_threshold_never_trips() {
+        let b = CircuitBreaker::new(0);
+        for _ in 0..100 {
+            assert!(!b.record("x", false));
+        }
+        assert!(!b.is_open("x"));
+    }
+}

@@ -1,0 +1,89 @@
+//! Crash-safe file writes for report and benchmark sinks.
+
+use std::io::Write as _;
+use std::path::Path;
+
+/// Writes `contents` to `path` atomically: the bytes go to a temporary
+/// sibling file first (same directory, so the rename cannot cross a
+/// filesystem), are flushed, and the temp file is renamed over `path`.
+/// A crash mid-write leaves either the old file or the new one — never a
+/// truncated hybrid — so `BENCH_*.json` and run reports stay parseable
+/// across interrupted runs. The stray `.tmp` file from a crash is
+/// overwritten by the next successful write of the same path.
+///
+/// Non-regular-file targets (`/dev/null`, pipes, character devices) are
+/// written directly: renaming a temp file over `/dev/null` would replace
+/// the device node with a regular file.
+pub fn write_atomic(path: impl AsRef<Path>, contents: impl AsRef<[u8]>) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Ok(meta) = std::fs::metadata(path) {
+        if !meta.is_file() {
+            return std::fs::write(path, contents);
+        }
+    }
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp);
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(contents.as_ref())?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("augem-resil-fsio-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let p = tmp_path("replace.json");
+        write_atomic(&p, "{\"v\":1}\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "{\"v\":1}\n");
+        write_atomic(&p, "{\"v\":2}\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "{\"v\":2}\n");
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn leaves_no_temp_file_behind() {
+        let p = tmp_path("clean.json");
+        write_atomic(&p, "x").unwrap();
+        let dir = p.parent().unwrap();
+        let stem = p.file_name().unwrap().to_string_lossy().to_string();
+        let strays: Vec<_> = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| {
+                let n = e.file_name().to_string_lossy().to_string();
+                n.starts_with(&stem) && n != stem
+            })
+            .collect();
+        assert!(strays.is_empty(), "stray temp files: {strays:?}");
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn dev_null_stays_a_device() {
+        write_atomic("/dev/null", "discard me").unwrap();
+        let meta = std::fs::metadata("/dev/null").unwrap();
+        assert!(!meta.is_file(), "/dev/null must remain a device node");
+    }
+
+    #[test]
+    fn failed_write_to_missing_dir_errors_cleanly() {
+        let p = std::env::temp_dir()
+            .join(format!("augem-resil-noexist-{}", std::process::id()))
+            .join("f.json");
+        assert!(write_atomic(&p, "x").is_err());
+    }
+}

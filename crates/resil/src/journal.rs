@@ -1,0 +1,359 @@
+//! The tuning checkpoint journal.
+//!
+//! An append-only JSON-lines file: one header line naming the schema,
+//! kernel, and machine, then one line per evaluated candidate. Each line
+//! is flushed as it is written, so after a crash the journal holds every
+//! completed evaluation plus at most one truncated tail line. Loading is
+//! tolerant by design: lines that do not parse, or parse without a
+//! `tag`, are counted and dropped — the candidates they would have
+//! covered are simply re-evaluated on resume.
+//!
+//! The payload of each entry belongs to the caller (`augem-tune` stores
+//! the full timing measurement so a resumed run reproduces the
+//! uninterrupted run's winner bit-for-bit); this module only enforces the
+//! envelope: a header, a `tag` key per entry, first-write-wins dedup.
+
+use augem_obs::Json;
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Schema identifier in the journal's header line.
+pub const JOURNAL_SCHEMA: &str = "augem.tune-journal/v1";
+
+/// Journal failure (I/O or an incompatible existing file).
+#[derive(Debug)]
+pub enum JournalError {
+    Io(std::io::Error),
+    /// The file at the journal path exists but is not a compatible
+    /// journal (wrong schema, or header names a different kernel or
+    /// machine than the run being resumed).
+    BadHeader(String),
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O: {e}"),
+            JournalError::BadHeader(m) => write!(f, "incompatible journal: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// Builds the canonical header object for a tuning run.
+pub fn header(kernel: &str, machine: &str) -> Json {
+    Json::obj(vec![
+        ("schema", Json::str(JOURNAL_SCHEMA)),
+        ("kernel", Json::str(kernel)),
+        ("machine", Json::str(machine)),
+    ])
+}
+
+/// Checkpoint journal of one tuning run. See the module docs.
+#[derive(Debug)]
+pub struct TuneJournal {
+    path: Option<PathBuf>,
+    header: Json,
+    entries: Vec<Json>,
+    index: HashMap<String, usize>,
+    corrupt_dropped: usize,
+}
+
+impl TuneJournal {
+    /// A journal with no backing file — checkpoint bookkeeping without
+    /// persistence (used when the caller wants resil telemetry but gave
+    /// no `--checkpoint` path).
+    pub fn in_memory(header: Json) -> Self {
+        TuneJournal {
+            path: None,
+            header,
+            entries: Vec::new(),
+            index: HashMap::new(),
+            corrupt_dropped: 0,
+        }
+    }
+
+    /// Creates (truncating) a journal file and writes the header line.
+    pub fn create(path: impl AsRef<Path>, header: Json) -> Result<Self, JournalError> {
+        let path = path.as_ref().to_path_buf();
+        let mut f = std::fs::File::create(&path)?;
+        writeln!(f, "{}", header.render())?;
+        f.sync_all()?;
+        Ok(TuneJournal {
+            path: Some(path),
+            header,
+            entries: Vec::new(),
+            index: HashMap::new(),
+            corrupt_dropped: 0,
+        })
+    }
+
+    /// Loads an existing journal, dropping (and counting) corrupt lines.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, JournalError> {
+        let path = path.as_ref().to_path_buf();
+        let text = std::fs::read_to_string(&path)?;
+        let mut lines = text.lines();
+        let header_line = lines
+            .next()
+            .ok_or_else(|| JournalError::BadHeader("empty file".into()))?;
+        let header = Json::parse(header_line)
+            .map_err(|e| JournalError::BadHeader(format!("unparseable header: {e}")))?;
+        if header.get("schema").and_then(Json::as_str) != Some(JOURNAL_SCHEMA) {
+            return Err(JournalError::BadHeader(format!(
+                "expected schema {JOURNAL_SCHEMA}"
+            )));
+        }
+        let mut j = TuneJournal {
+            path: Some(path),
+            header,
+            entries: Vec::new(),
+            index: HashMap::new(),
+            corrupt_dropped: 0,
+        };
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match Json::parse(line) {
+                Ok(entry) if entry.get("tag").and_then(Json::as_str).is_some() => {
+                    j.index_entry(entry);
+                }
+                _ => j.corrupt_dropped += 1,
+            }
+        }
+        Ok(j)
+    }
+
+    /// Resumes from `path` when a compatible journal exists there,
+    /// otherwise starts a fresh one. `resume: false` always starts
+    /// fresh. A file with a *different* kernel or machine in its header
+    /// is an error, not silently overwritten — mixing runs would corrupt
+    /// both.
+    pub fn load_or_create(
+        path: impl AsRef<Path>,
+        header: Json,
+        resume: bool,
+    ) -> Result<Self, JournalError> {
+        let path = path.as_ref();
+        if resume && path.exists() {
+            let j = Self::load(path)?;
+            for key in ["kernel", "machine"] {
+                let (want, got) = (
+                    header.get(key).and_then(Json::as_str),
+                    j.header.get(key).and_then(Json::as_str),
+                );
+                if want != got {
+                    return Err(JournalError::BadHeader(format!(
+                        "journal {} is for {key} {:?}, this run is {key} {:?}",
+                        path.display(),
+                        got.unwrap_or("?"),
+                        want.unwrap_or("?"),
+                    )));
+                }
+            }
+            return Ok(j);
+        }
+        Self::create(path, header)
+    }
+
+    fn index_entry(&mut self, entry: Json) {
+        let tag = entry
+            .get("tag")
+            .and_then(Json::as_str)
+            .expect("caller checked tag")
+            .to_string();
+        // First write wins: an entry is appended exactly once per tag in
+        // a healthy run; duplicates only appear after injected faults.
+        if !self.index.contains_key(&tag) {
+            self.index.insert(tag, self.entries.len());
+            self.entries.push(entry);
+        }
+    }
+
+    /// Appends one candidate record (must carry a string `tag` field)
+    /// and flushes it to the backing file, if any.
+    pub fn append(&mut self, entry: Json) -> Result<(), JournalError> {
+        assert!(
+            entry.get("tag").and_then(Json::as_str).is_some(),
+            "journal entries must carry a `tag`"
+        );
+        if let Some(path) = &self.path {
+            let mut f = std::fs::OpenOptions::new().append(true).open(path)?;
+            writeln!(f, "{}", entry.render())?;
+            f.flush()?;
+        }
+        self.index_entry(entry);
+        Ok(())
+    }
+
+    /// Writes a deliberately corrupt line to the backing file without
+    /// indexing it — the fault injector's journal-corruption site. The
+    /// in-memory view stays clean; only a later [`load`](Self::load)
+    /// sees (and drops) the damage.
+    pub fn append_corrupt(&mut self, garbage: &str) -> Result<(), JournalError> {
+        if let Some(path) = &self.path {
+            let mut f = std::fs::OpenOptions::new().append(true).open(path)?;
+            writeln!(f, "{garbage}")?;
+            f.flush()?;
+        }
+        Ok(())
+    }
+
+    /// The completed record for `tag`, if journaled.
+    pub fn get(&self, tag: &str) -> Option<&Json> {
+        self.index.get(tag).map(|&i| &self.entries[i])
+    }
+
+    /// All journaled records, in append order.
+    pub fn entries(&self) -> &[Json] {
+        &self.entries
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Corrupt lines dropped by [`load`](Self::load).
+    pub fn corrupt_dropped(&self) -> usize {
+        self.corrupt_dropped
+    }
+
+    pub fn header(&self) -> &Json {
+        &self.header
+    }
+
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("augem-journal-{}-{name}", std::process::id()))
+    }
+
+    fn entry(tag: &str, mflops: f64) -> Json {
+        Json::obj(vec![
+            ("tag", Json::str(tag)),
+            ("outcome", Json::str("ok")),
+            ("mflops", Json::Num(mflops)),
+        ])
+    }
+
+    #[test]
+    fn create_append_load_round_trip() {
+        let p = tmp("roundtrip.jsonl");
+        let mut j = TuneJournal::create(&p, header("dgemm", "sandybridge")).unwrap();
+        j.append(entry("8x4", 10_000.5)).unwrap();
+        j.append(entry("4x4", 8_000.25)).unwrap();
+        let back = TuneJournal::load(&p).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.corrupt_dropped(), 0);
+        assert_eq!(
+            back.get("8x4").unwrap().get("mflops").unwrap().as_f64(),
+            Some(10_000.5)
+        );
+        assert_eq!(
+            back.header().get("kernel").and_then(Json::as_str),
+            Some("dgemm")
+        );
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn truncated_tail_is_dropped_not_fatal() {
+        let p = tmp("truncated.jsonl");
+        let mut j = TuneJournal::create(&p, header("daxpy", "piledriver")).unwrap();
+        j.append(entry("u8", 1.0)).unwrap();
+        // Simulate a crash mid-append: a partial JSON line at the end.
+        let mut raw = std::fs::read_to_string(&p).unwrap();
+        raw.push_str("{\"tag\":\"u16\",\"outcome\":\"ok\",\"mfl");
+        std::fs::write(&p, raw).unwrap();
+        let back = TuneJournal::load(&p).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back.corrupt_dropped(), 1);
+        assert!(back.get("u16").is_none(), "truncated entry must be absent");
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn corrupt_middle_line_keeps_valid_tail() {
+        let p = tmp("middle.jsonl");
+        let mut j = TuneJournal::create(&p, header("ddot", "sandybridge")).unwrap();
+        j.append(entry("a", 1.0)).unwrap();
+        j.append_corrupt("not json at all").unwrap();
+        j.append(entry("b", 2.0)).unwrap();
+        let back = TuneJournal::load(&p).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.corrupt_dropped(), 1);
+        assert!(back.get("b").is_some());
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_kernel() {
+        let p = tmp("mismatch.jsonl");
+        TuneJournal::create(&p, header("dgemm", "sandybridge")).unwrap();
+        let err = TuneJournal::load_or_create(&p, header("daxpy", "sandybridge"), true)
+            .expect_err("kernel mismatch must be rejected");
+        assert!(matches!(err, JournalError::BadHeader(_)), "{err}");
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn no_resume_truncates_existing() {
+        let p = tmp("fresh.jsonl");
+        let mut j = TuneJournal::create(&p, header("dgemm", "sandybridge")).unwrap();
+        j.append(entry("old", 1.0)).unwrap();
+        let j2 = TuneJournal::load_or_create(&p, header("dgemm", "sandybridge"), false).unwrap();
+        assert!(j2.is_empty());
+        assert!(TuneJournal::load(&p).unwrap().get("old").is_none());
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn bad_header_is_rejected() {
+        let p = tmp("badheader.jsonl");
+        std::fs::write(&p, "{\"schema\":\"something-else\"}\n").unwrap();
+        assert!(matches!(
+            TuneJournal::load(&p),
+            Err(JournalError::BadHeader(_))
+        ));
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn in_memory_journal_needs_no_file() {
+        let mut j = TuneJournal::in_memory(header("dgemm", "sandybridge"));
+        j.append(entry("x", 3.0)).unwrap();
+        assert_eq!(j.len(), 1);
+        assert!(j.path().is_none());
+    }
+
+    #[test]
+    fn duplicate_tags_keep_first_record() {
+        let mut j = TuneJournal::in_memory(header("dgemm", "sandybridge"));
+        j.append(entry("x", 3.0)).unwrap();
+        j.append(entry("x", 9.0)).unwrap();
+        assert_eq!(j.len(), 1);
+        assert_eq!(
+            j.get("x").unwrap().get("mflops").unwrap().as_f64(),
+            Some(3.0)
+        );
+    }
+}

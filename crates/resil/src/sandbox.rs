@@ -1,0 +1,62 @@
+//! Panic isolation for candidate evaluation.
+//!
+//! The tuner evaluates dozens of configurations per kernel; one
+//! pathological candidate that panics the simulator must cost *that
+//! candidate*, not the sweep. [`sandboxed`] converts a panic into an
+//! `Err(String)` carrying the payload message, which the caller maps to
+//! its own typed error (`EvalError::Panicked` in `augem-tune`).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Runs `f`, catching any panic and returning its payload as a message.
+///
+/// `AssertUnwindSafe` is sound here because callers only pass closures
+/// whose captured state is either owned or rebuilt per call (a candidate
+/// configuration and a machine description); nothing observable survives
+/// a failed evaluation.
+pub fn sandboxed<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "panic with non-string payload".to_string()
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_passes_through() {
+        assert_eq!(sandboxed(|| 41 + 1), Ok(42));
+    }
+
+    #[test]
+    fn str_panic_is_caught_with_message() {
+        let r: Result<(), String> = sandboxed(|| panic!("candidate exploded"));
+        assert_eq!(r.unwrap_err(), "candidate exploded");
+    }
+
+    #[test]
+    fn formatted_panic_is_caught_with_message() {
+        let tag = "8x4x1";
+        let r: Result<(), String> = sandboxed(|| panic!("bad candidate {tag}"));
+        assert_eq!(r.unwrap_err(), "bad candidate 8x4x1");
+    }
+
+    #[test]
+    fn non_string_payload_gets_placeholder() {
+        let r: Result<(), String> = sandboxed(|| std::panic::panic_any(7u32));
+        assert!(r.unwrap_err().contains("non-string"));
+    }
+
+    #[test]
+    fn sandbox_does_not_leak_poison_between_calls() {
+        let _ = sandboxed(|| panic!("first"));
+        assert_eq!(sandboxed(|| "still fine"), Ok("still fine"));
+    }
+}

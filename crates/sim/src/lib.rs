@@ -28,4 +28,7 @@ pub mod timing;
 
 pub use cache::CacheSim;
 pub use func::{FuncSim, SimError, SimValue, Trace};
-pub use timing::{simulate_timing, simulate_timing_steady, TimingReport};
+pub use timing::{
+    simulate_timing, simulate_timing_budgeted, simulate_timing_steady,
+    simulate_timing_steady_budgeted, TimingReport,
+};

@@ -149,6 +149,22 @@ fn gp_output(inst: &XInst) -> Option<u8> {
     }
 }
 
+fn timed(
+    kernel: &AsmKernel,
+    args: Vec<SimValue>,
+    machine: &MachineSpec,
+    warm: bool,
+    step_limit: Option<u64>,
+) -> Result<(TimingReport, Vec<Vec<f64>>), SimError> {
+    let mut sim = FuncSim::new(machine.isa).with_trace();
+    if let Some(limit) = step_limit {
+        sim = sim.with_step_limit(limit);
+    }
+    let (arrays, trace) = sim.run(kernel, args)?;
+    let report = replay(kernel, &trace, machine, warm);
+    Ok((report, arrays))
+}
+
 /// Runs the functional simulator with tracing and replays the trace
 /// through the scoreboard. Returns the timing report and final arrays.
 pub fn simulate_timing(
@@ -156,10 +172,7 @@ pub fn simulate_timing(
     args: Vec<SimValue>,
     machine: &MachineSpec,
 ) -> Result<(TimingReport, Vec<Vec<f64>>), SimError> {
-    let sim = FuncSim::new(machine.isa).with_trace();
-    let (arrays, trace) = sim.run(kernel, args)?;
-    let report = replay(kernel, &trace, machine, false);
-    Ok((report, arrays))
+    timed(kernel, args, machine, false, None)
 }
 
 /// Steady-state variant: the cache is pre-warmed with the trace's own
@@ -171,10 +184,31 @@ pub fn simulate_timing_steady(
     args: Vec<SimValue>,
     machine: &MachineSpec,
 ) -> Result<(TimingReport, Vec<Vec<f64>>), SimError> {
-    let sim = FuncSim::new(machine.isa).with_trace();
-    let (arrays, trace) = sim.run(kernel, args)?;
-    let report = replay(kernel, &trace, machine, true);
-    Ok((report, arrays))
+    timed(kernel, args, machine, true, None)
+}
+
+/// [`simulate_timing`] under an explicit per-candidate instruction
+/// budget: a kernel whose dynamic trace exceeds `step_limit` instructions
+/// fails with [`SimError::StepLimit`] instead of monopolizing the sweep
+/// (the tuner maps this to its budget-exhausted evaluation class).
+pub fn simulate_timing_budgeted(
+    kernel: &AsmKernel,
+    args: Vec<SimValue>,
+    machine: &MachineSpec,
+    step_limit: u64,
+) -> Result<(TimingReport, Vec<Vec<f64>>), SimError> {
+    timed(kernel, args, machine, false, Some(step_limit))
+}
+
+/// [`simulate_timing_steady`] under an explicit per-candidate budget;
+/// see [`simulate_timing_budgeted`].
+pub fn simulate_timing_steady_budgeted(
+    kernel: &AsmKernel,
+    args: Vec<SimValue>,
+    machine: &MachineSpec,
+    step_limit: u64,
+) -> Result<(TimingReport, Vec<Vec<f64>>), SimError> {
+    timed(kernel, args, machine, true, Some(step_limit))
 }
 
 /// Scoreboard replay of a recorded trace (see module docs). With `warm`,

@@ -7,7 +7,7 @@
 
 use crate::config::{BuildError, GemmConfig, VectorConfig, VectorKernel};
 use augem_machine::MachineSpec;
-use augem_sim::timing::simulate_timing_steady;
+use augem_opt::CodegenError;
 use augem_sim::{SimError, SimValue, TimingReport};
 
 /// Evaluation failure.
@@ -15,6 +15,77 @@ use augem_sim::{SimError, SimValue, TimingReport};
 pub enum EvalError {
     Build(BuildError),
     Sim(SimError),
+    /// The candidate's dynamic trace exceeded the per-candidate
+    /// instruction budget (the limit is carried along).
+    Budget(u64),
+    /// The evaluation panicked; caught by the sandbox, payload attached.
+    Panicked(String),
+}
+
+impl EvalError {
+    /// Wraps a simulator error, promoting a blown step limit to the
+    /// budget class.
+    pub fn from_sim(e: SimError) -> Self {
+        match e {
+            SimError::StepLimit(n) => EvalError::Budget(n),
+            other => EvalError::Sim(other),
+        }
+    }
+
+    /// This failure's class — which bucket of `resil.*` telemetry it
+    /// lands in and whether retrying can help.
+    pub fn class(&self) -> EvalClass {
+        match self {
+            EvalError::Panicked(_) => EvalClass::Panic,
+            EvalError::Budget(_) | EvalError::Sim(SimError::StepLimit(_)) => EvalClass::Budget,
+            // Register-pressure and unvectorizable shapes are the search
+            // space telling us "no", not the pipeline failing.
+            EvalError::Build(BuildError::Codegen(
+                CodegenError::Alloc(_) | CodegenError::Unsupported(_),
+            )) => EvalClass::Prune,
+            EvalError::Build(_) | EvalError::Sim(_) => EvalClass::Build,
+        }
+    }
+}
+
+/// Failure classes the resilience layer distinguishes (see
+/// `augem_resil::counter` for the telemetry each maps to).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalClass {
+    /// A caught panic — possibly transient, worth a bounded retry.
+    Panic,
+    /// Step/instruction budget exhausted — deterministic, never retried.
+    Budget,
+    /// Build or simulator defect — deterministic, never retried.
+    Build,
+    /// Legitimate search pruning (register pressure, shapes the ISA
+    /// cannot vectorize) — an expected outcome, not a fault.
+    Prune,
+}
+
+impl EvalClass {
+    /// The `resil.*` counter this class increments per occurrence.
+    pub fn counter(self) -> &'static str {
+        match self {
+            EvalClass::Panic => augem_resil::counter::EVAL_PANIC,
+            EvalClass::Budget => augem_resil::counter::EVAL_BUDGET,
+            EvalClass::Build => augem_resil::counter::EVAL_BUILD,
+            EvalClass::Prune => augem_resil::counter::EVAL_PRUNE,
+        }
+    }
+
+    /// Can a retry plausibly succeed? Only panics qualify: budget and
+    /// build failures are deterministic functions of the candidate, and
+    /// pruning is a *correct* answer, not a failure.
+    pub fn retryable(self) -> bool {
+        matches!(self, EvalClass::Panic)
+    }
+}
+
+impl augem_resil::Transient for EvalError {
+    fn transient(&self) -> bool {
+        self.class().retryable()
+    }
 }
 
 impl std::fmt::Display for EvalError {
@@ -22,6 +93,8 @@ impl std::fmt::Display for EvalError {
         match self {
             EvalError::Build(e) => write!(f, "build: {e}"),
             EvalError::Sim(e) => write!(f, "simulation: {e}"),
+            EvalError::Budget(n) => write!(f, "budget: exceeded {n} simulated instructions"),
+            EvalError::Panicked(msg) => write!(f, "panicked: {msg}"),
         }
     }
 }
@@ -59,6 +132,17 @@ pub fn evaluate_gemm_traced(
     machine: &MachineSpec,
     tracer: &dyn augem_obs::Tracer,
 ) -> Result<Evaluation, EvalError> {
+    evaluate_gemm_budgeted(cfg, machine, tracer, None)
+}
+
+/// [`evaluate_gemm_traced`] under an optional per-candidate instruction
+/// budget; exceeding it fails the candidate with [`EvalError::Budget`].
+pub fn evaluate_gemm_budgeted(
+    cfg: &GemmConfig,
+    machine: &MachineSpec,
+    tracer: &dyn augem_obs::Tracer,
+    step_limit: Option<u64>,
+) -> Result<Evaluation, EvalError> {
     let asm = cfg
         .build_traced(machine, tracer)
         .map_err(EvalError::Build)?;
@@ -80,7 +164,11 @@ pub fn evaluate_gemm_traced(
     ];
     let report = {
         let _s = augem_obs::span(tracer, augem_obs::stage::SIM);
-        let (report, _) = simulate_timing_steady(&asm, args, machine).map_err(EvalError::Sim)?;
+        let (report, _) = match step_limit {
+            Some(limit) => augem_sim::simulate_timing_steady_budgeted(&asm, args, machine, limit),
+            None => augem_sim::simulate_timing_steady(&asm, args, machine),
+        }
+        .map_err(EvalError::from_sim)?;
         report
     };
     record_sim_counters(tracer, &report);
@@ -126,6 +214,17 @@ pub fn evaluate_vector_traced(
     cfg: &VectorConfig,
     machine: &MachineSpec,
     tracer: &dyn augem_obs::Tracer,
+) -> Result<Evaluation, EvalError> {
+    evaluate_vector_budgeted(cfg, machine, tracer, None)
+}
+
+/// [`evaluate_vector_traced`] under an optional per-candidate
+/// instruction budget (see [`evaluate_gemm_budgeted`]).
+pub fn evaluate_vector_budgeted(
+    cfg: &VectorConfig,
+    machine: &MachineSpec,
+    tracer: &dyn augem_obs::Tracer,
+    step_limit: Option<u64>,
 ) -> Result<Evaluation, EvalError> {
     let asm = cfg
         .build_traced(machine, tracer)
@@ -201,8 +300,11 @@ pub fn evaluate_vector_traced(
     // Cold run: streaming behavior is the tuning objective here.
     let report = {
         let _s = augem_obs::span(tracer, augem_obs::stage::SIM);
-        let (report, _) =
-            augem_sim::simulate_timing(&asm, args, machine).map_err(EvalError::Sim)?;
+        let (report, _) = match step_limit {
+            Some(limit) => augem_sim::simulate_timing_budgeted(&asm, args, machine, limit),
+            None => augem_sim::simulate_timing(&asm, args, machine),
+        }
+        .map_err(EvalError::from_sim)?;
         report
     };
     record_sim_counters(tracer, &report);
@@ -307,6 +409,88 @@ mod tests {
         // Both within 3x of each other (they compute the same thing).
         let r = ev.mflops / es.mflops;
         assert!(r > 0.33 && r < 3.0, "vdup/shuf ratio {r}");
+    }
+
+    #[test]
+    fn classification_covers_every_failure_class() {
+        use augem_opt::binding::AllocError;
+        use augem_resil::Transient as _;
+
+        let panic = EvalError::Panicked("index out of bounds".into());
+        let budget = EvalError::Budget(1000);
+        let sim_budget = EvalError::Sim(SimError::StepLimit(1000));
+        let build = EvalError::Build(BuildError::Codegen(CodegenError::Malformed(
+            "bad annotation".into(),
+        )));
+        let sim_fault = EvalError::Sim(SimError::Misaligned(3));
+        let prune = EvalError::Build(BuildError::Codegen(CodegenError::Alloc(
+            AllocError::OutOfVecRegs("acc".into()),
+        )));
+        let unsupported = EvalError::Build(BuildError::Codegen(CodegenError::Unsupported(
+            "scalar tail".into(),
+        )));
+
+        assert_eq!(panic.class(), EvalClass::Panic);
+        assert_eq!(budget.class(), EvalClass::Budget);
+        assert_eq!(sim_budget.class(), EvalClass::Budget, "StepLimit is budget");
+        assert_eq!(build.class(), EvalClass::Build);
+        assert_eq!(sim_fault.class(), EvalClass::Build);
+        assert_eq!(prune.class(), EvalClass::Prune);
+        assert_eq!(unsupported.class(), EvalClass::Prune);
+
+        // Only panics are worth retrying.
+        assert!(panic.transient());
+        for fatal in [
+            &budget,
+            &sim_budget,
+            &build,
+            &sim_fault,
+            &prune,
+            &unsupported,
+        ] {
+            assert!(!fatal.transient(), "{fatal} must be fatal");
+        }
+    }
+
+    #[test]
+    fn classes_map_to_their_resil_counters() {
+        assert_eq!(EvalClass::Panic.counter(), "resil.eval.panic");
+        assert_eq!(EvalClass::Budget.counter(), "resil.eval.budget");
+        assert_eq!(EvalClass::Build.counter(), "resil.eval.build");
+        assert_eq!(EvalClass::Prune.counter(), "resil.eval.prune");
+        assert!(EvalClass::Panic.retryable());
+        assert!(!EvalClass::Budget.retryable());
+        assert!(!EvalClass::Build.retryable());
+        assert!(!EvalClass::Prune.retryable());
+    }
+
+    #[test]
+    fn from_sim_promotes_step_limit_to_budget() {
+        assert!(matches!(
+            EvalError::from_sim(SimError::StepLimit(7)),
+            EvalError::Budget(7)
+        ));
+        assert!(matches!(
+            EvalError::from_sim(SimError::Misaligned(8)),
+            EvalError::Sim(SimError::Misaligned(8))
+        ));
+    }
+
+    #[test]
+    fn tiny_budget_fails_with_budget_class() {
+        let m = MachineSpec::sandy_bridge();
+        let cfg = GemmConfig {
+            mu: 8,
+            nu: 4,
+            ..GemmConfig::fig13()
+        };
+        let err = evaluate_gemm_budgeted(&cfg, &m, augem_obs::null(), Some(10)).unwrap_err();
+        assert_eq!(err.class(), EvalClass::Budget);
+        assert!(err.to_string().contains("budget"), "{err}");
+        // A generous budget changes nothing about the measurement.
+        let unbudgeted = evaluate_gemm(&cfg, &m).unwrap();
+        let budgeted = evaluate_gemm_budgeted(&cfg, &m, augem_obs::null(), Some(1 << 32)).unwrap();
+        assert_eq!(unbudgeted.mflops.to_bits(), budgeted.mflops.to_bits());
     }
 
     #[test]

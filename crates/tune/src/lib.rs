@@ -20,6 +20,7 @@
 
 pub mod config;
 pub mod evaluate;
+pub mod resilient;
 pub mod search;
 
 pub use config::{
@@ -27,9 +28,10 @@ pub use config::{
     vector_candidates, BuildError, GemmConfig, LoggedBuild, VectorConfig, VectorKernel,
 };
 pub use evaluate::{
-    evaluate_gemm, evaluate_gemm_traced, evaluate_vector, evaluate_vector_traced, EvalError,
-    Evaluation,
+    evaluate_gemm, evaluate_gemm_budgeted, evaluate_gemm_traced, evaluate_vector,
+    evaluate_vector_budgeted, evaluate_vector_traced, EvalClass, EvalError, Evaluation,
 };
+pub use resilient::{tune_gemm_resilient, tune_vector_resilient, ResilOptions};
 pub use search::{
     tune_gemm, tune_gemm_traced, tune_vector, tune_vector_traced, TuneError, TuneResult,
 };

@@ -1,0 +1,606 @@
+//! Fault-tolerant, resumable search driver.
+//!
+//! The plain [`crate::search`] sweep assumes a well-behaved evaluation
+//! oracle; this driver assumes the opposite. Each candidate is evaluated
+//! inside a panic sandbox under a per-candidate instruction budget,
+//! transient failures get a bounded retry, repeatedly-failing candidate
+//! *families* are circuit-broken, and every completed measurement is
+//! checkpointed to a [`TuneJournal`] so a crashed run resumes where it
+//! stopped — reproducing the uninterrupted run's winner bit-for-bit
+//! (measurements are replayed from the journal, never re-simulated, and
+//! the journal stores the exact `f64`).
+//!
+//! Evaluation is deliberately *sequential* here, unlike the rayon sweep
+//! in `search`: the journal is append-ordered, the breaker counts
+//! consecutive failures, and resume must replay decisions in the order
+//! they were made. Fault tolerance buys determinism with the parallelism
+//! budget.
+
+use crate::config::{gemm_candidates, vector_candidates, GemmConfig, VectorConfig, VectorKernel};
+use crate::evaluate::{
+    evaluate_gemm_budgeted, evaluate_vector_budgeted, EvalClass, EvalError, Evaluation,
+};
+use crate::search::{rank, TuneError, TuneResult};
+use augem_machine::MachineSpec;
+use augem_obs::{span, stage, Tracer, Value};
+use augem_resil::{
+    counter, sandboxed, with_retry, CircuitBreaker, Fault, Injector, RetryPolicy, Site, TuneJournal,
+};
+use augem_sim::TimingReport;
+use std::cell::Cell;
+
+/// Default per-candidate instruction budget: far above any healthy
+/// micro-problem trace (worst evaluator runs a few million dynamic
+/// instructions), far below the functional simulator's own runaway
+/// backstop.
+pub const DEFAULT_STEP_BUDGET: u64 = 1 << 26;
+
+/// Knobs for the resilient sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct ResilOptions {
+    /// Retry policy for transient (panic-class) failures.
+    pub retry: RetryPolicy,
+    /// Consecutive failures before a candidate family is circuit-broken
+    /// (0 disables the breaker).
+    pub breaker_threshold: u32,
+    /// Per-candidate instruction budget (`None` = simulator default).
+    pub step_limit: Option<u64>,
+}
+
+impl Default for ResilOptions {
+    fn default() -> Self {
+        ResilOptions {
+            retry: RetryPolicy::default(),
+            breaker_threshold: 3,
+            step_limit: Some(DEFAULT_STEP_BUDGET),
+        }
+    }
+}
+
+impl ResilOptions {
+    /// Options for deterministic tests: no backoff sleeps.
+    pub fn fast() -> Self {
+        ResilOptions {
+            retry: RetryPolicy::no_backoff(2),
+            ..Self::default()
+        }
+    }
+}
+
+/// [`crate::tune_gemm`], resiliently: sandboxed + budgeted evaluation,
+/// retry, circuit breaking, and journal checkpoint/resume. Already-
+/// journaled candidates are restored without re-simulation.
+pub fn tune_gemm_resilient(
+    machine: &MachineSpec,
+    opts: &ResilOptions,
+    journal: &mut TuneJournal,
+    injector: &Injector,
+    tracer: &dyn Tracer,
+) -> Result<TuneResult<GemmConfig>, TuneError> {
+    let candidates = gemm_candidates(machine);
+    drive(
+        "dgemm",
+        machine,
+        candidates,
+        |c| c.tag(),
+        |c| format!("{}x{}", c.mu, c.nu),
+        |c, limit| evaluate_gemm_budgeted(c, machine, tracer, limit),
+        opts,
+        journal,
+        injector,
+        tracer,
+    )
+}
+
+/// [`crate::tune_vector`], resiliently (see [`tune_gemm_resilient`]).
+pub fn tune_vector_resilient(
+    kernel: VectorKernel,
+    machine: &MachineSpec,
+    opts: &ResilOptions,
+    journal: &mut TuneJournal,
+    injector: &Injector,
+    tracer: &dyn Tracer,
+) -> Result<TuneResult<VectorConfig>, TuneError> {
+    let candidates = vector_candidates(kernel, machine);
+    drive(
+        kernel.name(),
+        machine,
+        candidates,
+        |c| c.tag(),
+        |c| format!("u{}", c.unroll),
+        |c, limit| evaluate_vector_budgeted(c, machine, tracer, limit),
+        opts,
+        journal,
+        injector,
+        tracer,
+    )
+}
+
+fn class_name(class: EvalClass) -> &'static str {
+    match class {
+        EvalClass::Panic => "panic",
+        EvalClass::Budget => "budget",
+        EvalClass::Build => "build",
+        EvalClass::Prune => "prune",
+    }
+}
+
+fn report_to_json(e: &Evaluation) -> augem_obs::Json {
+    use augem_obs::Json;
+    let r = &e.report;
+    Json::obj(vec![
+        ("cycles", Json::uint(r.cycles)),
+        ("dyn_insts", Json::uint(r.dyn_insts)),
+        ("flops", Json::uint(r.flops)),
+        ("mem_accesses", Json::uint(r.mem_accesses)),
+        ("l1_misses", Json::uint(r.l1_misses)),
+        ("llc_misses", Json::uint(r.llc_misses)),
+        (
+            "port_uops",
+            Json::Arr(r.port_uops.iter().map(|&u| Json::uint(u)).collect()),
+        ),
+    ])
+}
+
+fn evaluation_from_json(entry: &augem_obs::Json) -> Option<Evaluation> {
+    let report = entry.get("report")?;
+    Some(Evaluation {
+        report: TimingReport {
+            cycles: report.get("cycles")?.as_u64()?,
+            dyn_insts: report.get("dyn_insts")?.as_u64()?,
+            flops: report.get("flops")?.as_u64()?,
+            mem_accesses: report.get("mem_accesses")?.as_u64()?,
+            l1_misses: report.get("l1_misses")?.as_u64()?,
+            llc_misses: report.get("llc_misses")?.as_u64()?,
+            port_uops: report
+                .get("port_uops")?
+                .as_arr()?
+                .iter()
+                .map(|j| j.as_u64())
+                .collect::<Option<Vec<u64>>>()?,
+        },
+        // The journal stores the exact f64 (the JSON layer round-trips
+        // doubles through the shortest representation), so a resumed
+        // ranking is bit-identical to the uninterrupted one.
+        mflops: entry.get("mflops")?.as_f64()?,
+        useful_flops: entry.get("useful_flops")?.as_u64()?,
+    })
+}
+
+/// The sequential fault-tolerant sweep shared by both kernels. See the
+/// module docs for the semantics of each stage.
+#[allow(clippy::too_many_arguments)]
+fn drive<C: Copy>(
+    kernel: &str,
+    machine: &MachineSpec,
+    candidates: Vec<C>,
+    tag_of: impl Fn(&C) -> String,
+    family_of: impl Fn(&C) -> String,
+    eval: impl Fn(&C, Option<u64>) -> Result<Evaluation, EvalError>,
+    opts: &ResilOptions,
+    journal: &mut TuneJournal,
+    injector: &Injector,
+    tracer: &dyn Tracer,
+) -> Result<TuneResult<C>, TuneError> {
+    use augem_obs::Json;
+
+    let _t = span(tracer, stage::TUNE);
+    let _r = span(tracer, stage::RESIL);
+
+    if journal.corrupt_dropped() > 0 {
+        tracer.add(counter::JOURNAL_CORRUPT, journal.corrupt_dropped() as u64);
+        tracer.event(
+            "resil.journal.corrupt",
+            &[("dropped", Value::from(journal.corrupt_dropped()))],
+        );
+    }
+
+    let breaker = CircuitBreaker::new(opts.breaker_threshold);
+    let mut evaluated: Vec<(C, Result<Evaluation, String>)> = Vec::with_capacity(candidates.len());
+    let mut interrupted = false;
+
+    for c in &candidates {
+        let tag = tag_of(c);
+        let family = family_of(c);
+
+        // Checkpoint replay: a journaled outcome is final — restore it
+        // (and its effect on the breaker) without re-simulating.
+        if let Some(entry) = journal.get(&tag) {
+            let outcome = entry.get("outcome").and_then(Json::as_str).unwrap_or("?");
+            let mut replayed = true;
+            match outcome {
+                "ok" => match evaluation_from_json(entry) {
+                    Some(e) => {
+                        breaker.record(&family, true);
+                        evaluated.push((*c, Ok(e)));
+                    }
+                    None => {
+                        // A well-formed line with a mangled payload: treat
+                        // it like a corrupt line — drop and re-evaluate.
+                        tracer.add(counter::JOURNAL_CORRUPT, 1);
+                        replayed = false;
+                    }
+                },
+                "skipped" => {
+                    let why = entry
+                        .get("error")
+                        .and_then(Json::as_str)
+                        .unwrap_or("circuit open")
+                        .to_string();
+                    evaluated.push((*c, Err(why)));
+                }
+                _ => {
+                    let why = entry
+                        .get("error")
+                        .and_then(Json::as_str)
+                        .unwrap_or("journaled failure")
+                        .to_string();
+                    if breaker.record(&family, false) {
+                        tracer.add(counter::BREAKER_TRIP, 1);
+                    }
+                    evaluated.push((*c, Err(why)));
+                }
+            }
+            if replayed {
+                tracer.add(counter::JOURNAL_RESUMED, 1);
+                continue;
+            }
+        }
+
+        // Circuit check: a family past its failure threshold is skipped,
+        // recorded as a pruned candidate (an expected search outcome).
+        if breaker.is_open(&family) {
+            let why = format!("skipped: circuit open for family {family}");
+            tracer.add(counter::BREAKER_SKIPPED, 1);
+            tracer.event(
+                "resil.breaker.skipped",
+                &[
+                    ("tag", Value::from(tag.as_str())),
+                    ("family", Value::from(family.as_str())),
+                ],
+            );
+            let _ = journal.append(Json::obj(vec![
+                ("tag", Json::str(&tag)),
+                ("outcome", Json::str("skipped")),
+                ("error", Json::str(&why)),
+            ]));
+            evaluated.push((*c, Err(why)));
+            continue;
+        }
+
+        // Sandboxed, budgeted, retried evaluation. A `Crash` fault
+        // simulates the process dying mid-sweep: the sweep aborts with
+        // `interrupted`, leaving the journal's completed prefix behind.
+        let crashed = Cell::new(false);
+        // Every failed attempt is counted by class — including failures
+        // a later retry recovers from, which would otherwise vanish
+        // from the telemetry.
+        let count_class = |r: Result<Evaluation, EvalError>| {
+            if let Err(e) = &r {
+                if !crashed.get() {
+                    tracer.add(e.class().counter(), 1);
+                }
+            }
+            r
+        };
+        let outcome = with_retry(&opts.retry, tracer, &tag, |attempt| {
+            count_class(match injector.fault(Site::Eval, &tag, attempt) {
+                Some(Fault::Crash) => {
+                    crashed.set(true);
+                    // Fatal class: stops the retry loop immediately.
+                    Err(EvalError::Budget(0))
+                }
+                Some(Fault::Panic) => sandboxed(|| -> Evaluation {
+                    panic!("injected fault: evaluation of {tag} panicked")
+                })
+                .map_err(EvalError::Panicked),
+                Some(Fault::Budget) => {
+                    // A one-instruction budget genuinely exhausts.
+                    sandboxed(|| eval(c, Some(1)))
+                        .map_err(EvalError::Panicked)
+                        .and_then(|r| r)
+                }
+                // A fault injected at the simulator layer shows up to
+                // the tuner as either a panic inside the timing model
+                // or a budget exhausted on the first instruction.
+                Some(Fault::CorruptEntry) | None => {
+                    match injector.fault(Site::Sim, &tag, attempt) {
+                        Some(Fault::Panic) => sandboxed(|| -> Evaluation {
+                            panic!("injected fault: simulator panicked on {tag}")
+                        })
+                        .map_err(EvalError::Panicked),
+                        Some(Fault::Budget) => sandboxed(|| eval(c, Some(1)))
+                            .map_err(EvalError::Panicked)
+                            .and_then(|r| r),
+                        _ => sandboxed(|| eval(c, opts.step_limit))
+                            .map_err(EvalError::Panicked)
+                            .and_then(|r| r),
+                    }
+                }
+            })
+        });
+        if crashed.get() {
+            interrupted = true;
+            tracer.event("resil.crash", &[("tag", Value::from(tag.as_str()))]);
+            break;
+        }
+
+        match outcome {
+            Ok(e) => {
+                breaker.record(&family, true);
+                let entry = Json::obj(vec![
+                    ("tag", Json::str(&tag)),
+                    ("outcome", Json::str("ok")),
+                    ("mflops", Json::Num(e.mflops)),
+                    ("useful_flops", Json::uint(e.useful_flops)),
+                    ("report", report_to_json(&e)),
+                ]);
+                append_maybe_corrupted(journal, injector, &tag, entry);
+                evaluated.push((*c, Ok(e)));
+            }
+            Err(e) => {
+                // The class counter was already bumped per attempt by
+                // `count_class`; here we only record the terminal event.
+                let class = e.class();
+                let why = e.to_string();
+                tracer.event(
+                    "resil.eval.failed",
+                    &[
+                        ("tag", Value::from(tag.as_str())),
+                        ("class", Value::from(class_name(class))),
+                        ("error", Value::from(why.as_str())),
+                    ],
+                );
+                if breaker.record(&family, false) {
+                    tracer.add(counter::BREAKER_TRIP, 1);
+                    tracer.event(
+                        "resil.breaker.trip",
+                        &[("family", Value::from(family.as_str()))],
+                    );
+                }
+                let entry = Json::obj(vec![
+                    ("tag", Json::str(&tag)),
+                    ("outcome", Json::str("err")),
+                    ("class", Json::str(class_name(class))),
+                    ("error", Json::str(&why)),
+                ]);
+                append_maybe_corrupted(journal, injector, &tag, entry);
+                evaluated.push((*c, Err(why)));
+            }
+        }
+    }
+
+    if interrupted {
+        return Err(TuneError {
+            kernel: kernel.to_string(),
+            machine: machine.arch.short_name().to_string(),
+            failures: evaluated
+                .iter()
+                .map(|(c, r)| {
+                    (
+                        tag_of(c),
+                        match r {
+                            Ok(e) => format!("ok: {:.1} Mflops", e.mflops),
+                            Err(why) => why.clone(),
+                        },
+                    )
+                })
+                .collect(),
+            interrupted: true,
+        });
+    }
+
+    rank(kernel, machine, evaluated, tag_of, tracer)
+}
+
+/// Journal append with the corruption fault-site applied: when the
+/// injector fires, garbage is written *instead of* the record — exactly
+/// what a crash mid-write leaves — and the candidate will be
+/// re-evaluated on resume.
+fn append_maybe_corrupted(
+    journal: &mut TuneJournal,
+    injector: &Injector,
+    tag: &str,
+    entry: augem_obs::Json,
+) {
+    if let Some(Fault::CorruptEntry) = injector.fault(Site::JournalAppend, tag, 0) {
+        let _ = journal.append_corrupt(&format!("{{\"tag\":\"{tag}\",\"outcome\":\"o"));
+    } else {
+        let _ = journal.append(entry);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use augem_obs::Collector;
+    use augem_resil::{journal_header, InjectionPlan, Trigger};
+
+    fn mem_journal(kernel: &str, machine: &MachineSpec) -> TuneJournal {
+        TuneJournal::in_memory(journal_header(kernel, machine.arch.short_name()))
+    }
+
+    #[test]
+    fn resilient_matches_plain_tuner_without_faults() {
+        let m = MachineSpec::sandy_bridge();
+        let plain = crate::tune_gemm(&m).unwrap();
+        let mut j = mem_journal("dgemm", &m);
+        let r = tune_gemm_resilient(
+            &m,
+            &ResilOptions::fast(),
+            &mut j,
+            &Injector::disabled(),
+            augem_obs::null(),
+        )
+        .unwrap();
+        assert_eq!(r.best.tag(), plain.best.tag());
+        assert_eq!(
+            r.best_eval.mflops.to_bits(),
+            plain.best_eval.mflops.to_bits(),
+            "sequential resilient sweep must measure identically"
+        );
+        assert_eq!(r.generated, plain.generated);
+    }
+
+    #[test]
+    fn injected_panics_cost_candidates_not_the_sweep() {
+        let m = MachineSpec::sandy_bridge();
+        let c = Collector::new();
+        let mut j = mem_journal("daxpy", &m);
+        // Panic on every first attempt; retries are injected again, so
+        // with a 30% per-attempt rate most candidates still succeed.
+        let inj = Injector::new(InjectionPlan::new(11).with(
+            Site::Eval,
+            Fault::Panic,
+            Trigger::Rate(0.3),
+        ));
+        let r = tune_vector_resilient(
+            VectorKernel::Axpy,
+            &m,
+            &ResilOptions::fast(),
+            &mut j,
+            &inj,
+            &c,
+        );
+        let snap = c.snapshot();
+        assert!(
+            snap.counters.get("resil.retry").copied().unwrap_or(0) > 0,
+            "a 30% panic rate must cause retries"
+        );
+        // The sweep terminated with a typed outcome either way.
+        if let Ok(r) = r {
+            assert!(r.best_eval.mflops > 0.0);
+        }
+        assert!(snap.stages().iter().any(|s| s.name == stage::RESIL));
+    }
+
+    #[test]
+    fn crash_interrupts_and_resume_completes_bit_for_bit() {
+        let m = MachineSpec::sandy_bridge();
+        let path = std::env::temp_dir().join(format!(
+            "augem-resil-unit-resume-{}.jsonl",
+            std::process::id()
+        ));
+        let header = journal_header("dgemm", m.arch.short_name());
+
+        // Uninterrupted reference run.
+        let mut jref = TuneJournal::in_memory(header.clone());
+        let reference = tune_gemm_resilient(
+            &m,
+            &ResilOptions::fast(),
+            &mut jref,
+            &Injector::disabled(),
+            augem_obs::null(),
+        )
+        .unwrap();
+
+        // Crash at the 4th evaluated candidate.
+        let mut j1 = TuneJournal::create(&path, header.clone()).unwrap();
+        let crash =
+            Injector::new(InjectionPlan::new(0).with(Site::Eval, Fault::Crash, Trigger::Nth(4)));
+        let err = tune_gemm_resilient(
+            &m,
+            &ResilOptions::fast(),
+            &mut j1,
+            &crash,
+            augem_obs::null(),
+        )
+        .unwrap_err();
+        assert!(err.interrupted, "{err}");
+        assert_eq!(err.failures.len(), 3, "three candidates completed");
+
+        // Resume from the journal on disk.
+        let c = Collector::new();
+        let mut j2 = TuneJournal::load(&path).unwrap();
+        assert_eq!(j2.len(), 3);
+        let resumed = tune_gemm_resilient(
+            &m,
+            &ResilOptions::fast(),
+            &mut j2,
+            &Injector::disabled(),
+            &c,
+        )
+        .unwrap();
+        assert_eq!(resumed.best.tag(), reference.best.tag());
+        assert_eq!(
+            resumed.best_eval.mflops.to_bits(),
+            reference.best_eval.mflops.to_bits(),
+            "resumed winner must be bit-identical"
+        );
+        assert_eq!(c.snapshot().counters["resil.journal.resumed"], 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn breaker_skips_rest_of_failing_family() {
+        let m = MachineSpec::sandy_bridge();
+        let c = Collector::new();
+        let mut j = mem_journal("dgemm", &m);
+        // Tiny budget: every candidate blows it. Families have >threshold
+        // members, so the breaker must trip and start skipping.
+        let opts = ResilOptions {
+            step_limit: Some(1),
+            breaker_threshold: 2,
+            ..ResilOptions::fast()
+        };
+        let err = tune_gemm_resilient(&m, &opts, &mut j, &Injector::disabled(), &c).unwrap_err();
+        assert!(!err.interrupted);
+        let snap = c.snapshot();
+        assert!(snap.counters["resil.breaker.trip"] > 0);
+        assert!(snap.counters["resil.breaker.skipped"] > 0);
+        assert!(snap.counters["resil.eval.budget"] > 0);
+        // Budget failures and skips cover the whole space.
+        assert_eq!(
+            err.failures.len(),
+            gemm_candidates(&m).len(),
+            "every candidate accounted for"
+        );
+    }
+
+    #[test]
+    fn journal_corruption_is_survived_on_resume() {
+        let m = MachineSpec::sandy_bridge();
+        let path = std::env::temp_dir().join(format!(
+            "augem-resil-unit-corrupt-{}.jsonl",
+            std::process::id()
+        ));
+        let header = journal_header("daxpy", m.arch.short_name());
+        let mut j1 = TuneJournal::create(&path, header).unwrap();
+        // Corrupt the 2nd journal append, then crash at the 4th eval.
+        let inj = Injector::new(
+            InjectionPlan::new(0)
+                .with(Site::JournalAppend, Fault::CorruptEntry, Trigger::Nth(2))
+                .with(Site::Eval, Fault::Crash, Trigger::Nth(4)),
+        );
+        let err = tune_vector_resilient(
+            VectorKernel::Axpy,
+            &m,
+            &ResilOptions::fast(),
+            &mut j1,
+            &inj,
+            augem_obs::null(),
+        )
+        .unwrap_err();
+        assert!(err.interrupted);
+
+        let c = Collector::new();
+        let mut j2 = TuneJournal::load(&path).unwrap();
+        assert_eq!(j2.corrupt_dropped(), 1, "the corrupted line is dropped");
+        let resumed = tune_vector_resilient(
+            VectorKernel::Axpy,
+            &m,
+            &ResilOptions::fast(),
+            &mut j2,
+            &Injector::disabled(),
+            &c,
+        )
+        .unwrap();
+        let snap = c.snapshot();
+        assert_eq!(snap.counters["resil.journal.corrupt"], 1);
+        // 2 clean entries restored; the corrupted one re-evaluated.
+        assert_eq!(snap.counters["resil.journal.resumed"], 2);
+        let plain = crate::tune_vector(VectorKernel::Axpy, &m).unwrap();
+        assert_eq!(resumed.best.tag(), plain.best.tag());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -36,19 +36,36 @@ pub struct TuneError {
     pub machine: String,
     /// `(config tag, failure reason)` for every candidate tried.
     pub failures: Vec<(String, String)>,
+    /// The sweep was cut short (simulated crash under fault injection)
+    /// rather than exhausted; a checkpoint journal, if one was being
+    /// written, holds the completed prefix for resumption.
+    pub interrupted: bool,
 }
 
 impl std::fmt::Display for TuneError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(
-            f,
-            "no {} candidate built on {} ({} tried):",
-            self.kernel,
-            self.machine,
-            self.failures.len()
-        )?;
+        if self.interrupted {
+            writeln!(
+                f,
+                "{} tuning on {} interrupted ({} candidates recorded):",
+                self.kernel,
+                self.machine,
+                self.failures.len()
+            )?;
+        } else {
+            writeln!(
+                f,
+                "no {} candidate built on {} ({} tried):",
+                self.kernel,
+                self.machine,
+                self.failures.len()
+            )?;
+        }
+        // Each line is self-contained — kernel and machine included — so
+        // a single candidate failure stays attributable when these lines
+        // are grepped out of interleaved multi-kernel logs.
         for (tag, why) in &self.failures {
-            writeln!(f, "  {tag}: {why}")?;
+            writeln!(f, "  [{}@{}] {tag}: {why}", self.kernel, self.machine)?;
         }
         Ok(())
     }
@@ -112,8 +129,9 @@ pub fn tune_vector_traced(
 }
 
 /// Sorts the evaluated candidates and packages the result, emitting the
-/// search telemetry along the way.
-fn rank<C: Copy>(
+/// search telemetry along the way. Shared with the resilient driver in
+/// [`crate::resilient`].
+pub(crate) fn rank<C: Copy>(
     kernel: &str,
     machine: &MachineSpec,
     evaluated: Vec<(C, Result<Evaluation, String>)>,
@@ -155,6 +173,7 @@ fn rank<C: Copy>(
             kernel: kernel.to_string(),
             machine: machine.arch.short_name().to_string(),
             failures,
+            interrupted: false,
         });
     }
     scored.sort_by(|a, b| b.1.mflops.partial_cmp(&a.1.mflops).unwrap());

@@ -3,7 +3,9 @@
 
 use augem::machine::MachineSpec;
 use augem::obs::{stage, Collector, Json, RunReport};
-use augem::{Augem, DlaKernel};
+use augem::resil::{Fault, InjectionPlan, Injector, Site, Trigger};
+use augem::tune::ResilOptions;
+use augem::{Augem, Degradation, DegradationPolicy, DlaKernel};
 
 #[test]
 fn traced_gemm_reports_all_four_pipeline_stages() {
@@ -73,4 +75,44 @@ fn run_report_document_is_complete_and_round_trips() {
     let text = run.to_json().render_pretty();
     let parsed = RunReport::from_json(&Json::parse(&text).unwrap()).unwrap();
     assert_eq!(parsed, run);
+}
+
+#[test]
+fn resilient_run_reports_fault_counters_under_the_resil_stage() {
+    let driver = Augem::new(MachineSpec::sandy_bridge());
+    let policy = DegradationPolicy {
+        resil: ResilOptions::fast(),
+        ..DegradationPolicy::default()
+    };
+    // One injected evaluation panic: absorbed by a retry, and every
+    // step of that recovery must be visible in the run report.
+    let inj = Injector::new(InjectionPlan::new(1).with(Site::Eval, Fault::Panic, Trigger::Nth(1)));
+    let r = driver.generate_degradable(DlaKernel::Axpy, &policy, &inj);
+    assert_eq!(r.degradation, Degradation::None);
+
+    let counters = &r.report.counters;
+    assert_eq!(counters["resil.eval.panic"], 1, "{counters:?}");
+    assert!(counters["resil.retry"] >= 1, "{counters:?}");
+    assert!(
+        !counters.contains_key("resil.degraded"),
+        "a recovered run is not degraded: {counters:?}"
+    );
+    // The fault-tolerance envelope is a stage of its own in the report.
+    assert!(
+        r.report.stage_wall_ns(stage::RESIL).unwrap_or(0) > 0,
+        "resil stage missing from report"
+    );
+
+    // A clean resilient run reports no resil fault counters at all.
+    let clean = driver.generate_degradable(DlaKernel::Axpy, &policy, &Injector::disabled());
+    assert_eq!(clean.degradation, Degradation::None);
+    assert!(
+        !clean
+            .report
+            .counters
+            .keys()
+            .any(|k| { k.starts_with("resil.") && k != "resil.journal.resumed" }),
+        "clean run leaked fault counters: {:?}",
+        clean.report.counters
+    );
 }
