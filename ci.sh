@@ -43,6 +43,16 @@ echo "== verify bench: per-kernel verification wall time"
 ./target/release/figures verify
 test -f BENCH_verify.json
 
+echo "== tune bench: decoded-engine throughput + eval-cache hit rates"
+# The binary exits non-zero if the decoded engine is ever slower than
+# the legacy interpreter, so this doubles as a perf-regression gate.
+./target/release/figures tune
+test -f BENCH_tune.json
+grep -q '"schema": "augem.bench-tune/v1"' BENCH_tune.json
+
+echo "== decoded engine: differential suite (decoded == legacy, bit for bit)"
+cargo test --release -q --test sim_decoded_differential
+
 echo "== resilience: fault-injection matrix"
 # Every injection site x fault class scenario must terminate with a
 # verified kernel or a typed degradation — never a panic or abort.

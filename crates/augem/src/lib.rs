@@ -57,16 +57,14 @@ use augem_obs::{
 };
 use augem_resil::{sandboxed, Injector, Site, TuneJournal};
 use augem_sim::TimingReport;
-use augem_tune::config::{GemmConfig, VectorConfig, VectorKernel};
-use augem_tune::evaluate::{
-    evaluate_gemm, evaluate_gemm_budgeted, evaluate_vector, evaluate_vector_budgeted, EvalError,
-    Evaluation,
-};
+use augem_tune::config::{GemmConfig, LoggedBuild, VectorConfig, VectorKernel};
+use augem_tune::evaluate::{evaluate_gemm_cached, evaluate_vector_cached, EvalError, Evaluation};
 use augem_tune::search::TuneError;
 use augem_tune::{
-    tune_gemm_resilient, tune_gemm_traced, tune_vector_resilient, tune_vector_traced, ResilOptions,
-    TuneResult,
+    tune_gemm_cached, tune_gemm_resilient_cached, tune_vector_cached, tune_vector_resilient_cached,
+    BuildError, EvalCache, ResilOptions, TuneResult,
 };
+use std::sync::Arc;
 
 /// A fully generated, tuned, simulated kernel.
 #[derive(Debug, Clone)]
@@ -285,15 +283,38 @@ impl DegradedResult {
 #[derive(Debug, Clone)]
 pub struct Augem {
     machine: MachineSpec,
+    /// The driver's evaluation cache: every build and measurement in the
+    /// sweep, the winner rebuild, verification and the degradation chain
+    /// is content-addressed here, so one pipeline run per unique
+    /// `(configuration, machine, budget)` is all that ever happens.
+    /// Clones of the driver share the cache.
+    cache: Arc<EvalCache>,
 }
 
 impl Augem {
     pub fn new(machine: MachineSpec) -> Self {
-        Augem { machine }
+        Augem {
+            machine,
+            cache: Arc::new(EvalCache::new()),
+        }
     }
 
     pub fn machine(&self) -> &MachineSpec {
         &self.machine
+    }
+
+    /// The driver's evaluation cache (sizes are handy in reports/tests).
+    pub fn cache(&self) -> &EvalCache {
+        &self.cache
+    }
+
+    /// The logged build for a winner, served from the cache when the
+    /// sweep already built this configuration.
+    fn logged_for(&self, w: &Winner, tracer: &dyn Tracer) -> Result<Arc<LoggedBuild>, BuildError> {
+        match w {
+            Winner::Gemm(c) => self.cache.logged_gemm(c, &self.machine, tracer),
+            Winner::Vector(c) => self.cache.logged_vector(c, &self.machine, tracer),
+        }
     }
 
     /// Runs the full pipeline with empirical tuning for `kernel`.
@@ -303,9 +324,10 @@ impl Augem {
 
     /// [`generate`](Augem::generate) with every stage instrumented
     /// through `tracer`: per-stage spans and counters from the whole
-    /// tuning sweep, then a final traced rebuild of the winner (so
-    /// last-write labels like `opt.simd_strategy` describe the winning
-    /// configuration, not whichever candidate happened to finish last).
+    /// tuning sweep, then a cache hit on the winner that replays its
+    /// build labels (so last-write labels like `opt.simd_strategy`
+    /// describe the winning configuration, not whichever candidate
+    /// happened to finish last — without rebuilding it).
     pub fn generate_traced(
         &self,
         kernel: DlaKernel,
@@ -349,11 +371,11 @@ impl Augem {
     ) -> Result<(Generated, RunReport, Vec<augem_verify::Diagnostic>), AugemError> {
         let collector = Collector::new();
         let (g, tuner, winner) = self.generate_inner(kernel, &collector)?;
-        let logged = match &winner {
-            Winner::Gemm(c) => c.build_logged(&self.machine),
-            Winner::Vector(c) => c.build_logged(&self.machine),
-        }
-        .map_err(|e| AugemError::Eval(EvalError::Build(e)))?;
+        // The sweep already built the winner; this is a cache hit, not a
+        // third pipeline run.
+        let logged = self
+            .logged_for(&winner, &collector)
+            .map_err(|e| AugemError::Eval(EvalError::Build(e)))?;
         let mut diags =
             augem_verify::check_traced(&logged.kernel, &logged.asm, &logged.log, &collector);
         if opts.equivalence {
@@ -409,12 +431,13 @@ impl Augem {
         };
 
         let tuned = match kernel {
-            DlaKernel::Gemm => tune_gemm_resilient(
+            DlaKernel::Gemm => tune_gemm_resilient_cached(
                 &self.machine,
                 &policy.resil,
                 &mut journal,
                 injector,
                 &collector,
+                &self.cache,
             )
             .map(|t| {
                 let telemetry = telemetry_of(&t, |c| c.tag());
@@ -425,13 +448,14 @@ impl Augem {
                     .collect();
                 (telemetry, ranking, t.best_eval)
             }),
-            other => tune_vector_resilient(
+            other => tune_vector_resilient_cached(
                 vector_kernel_of(other),
                 &self.machine,
                 &policy.resil,
                 &mut journal,
                 injector,
                 &collector,
+                &self.cache,
             )
             .map(|t| {
                 let telemetry = telemetry_of(&t, |c| c.tag());
@@ -589,13 +613,23 @@ impl Augem {
         let tag = w.tag();
         let eval = match known_eval {
             Some(e) => e.clone(),
+            // A next-ranked candidate was already measured by the sweep
+            // under the same budget — this is an eval-cache hit.
             None => sandboxed(|| match w {
-                Winner::Gemm(c) => {
-                    evaluate_gemm_budgeted(c, &self.machine, collector, policy.resil.step_limit)
-                }
-                Winner::Vector(c) => {
-                    evaluate_vector_budgeted(c, &self.machine, collector, policy.resil.step_limit)
-                }
+                Winner::Gemm(c) => evaluate_gemm_cached(
+                    c,
+                    &self.machine,
+                    collector,
+                    policy.resil.step_limit,
+                    &self.cache,
+                ),
+                Winner::Vector(c) => evaluate_vector_cached(
+                    c,
+                    &self.machine,
+                    collector,
+                    policy.resil.step_limit,
+                    &self.cache,
+                ),
             })
             .map_err(|p| format!("evaluation panicked: {p}"))?
             .map_err(|e| format!("evaluation failed: {e}"))?,
@@ -605,11 +639,9 @@ impl Augem {
             if injector.fault(Site::Verify, &tag, 0).is_some() {
                 panic!("injected fault: verification of {tag} panicked");
             }
-            let logged = match w {
-                Winner::Gemm(c) => c.build_logged(&self.machine),
-                Winner::Vector(c) => c.build_logged(&self.machine),
-            }
-            .map_err(|e| format!("build failed: {e}"))?;
+            let logged = self
+                .logged_for(w, collector)
+                .map_err(|e| format!("build failed: {e}"))?;
             let mut diags =
                 augem_verify::check_traced(&logged.kernel, &logged.asm, &logged.log, collector);
             if policy.verify.equivalence {
@@ -644,7 +676,7 @@ impl Augem {
             Generated {
                 kernel,
                 machine: self.machine.clone(),
-                asm: logged.asm,
+                asm: logged.asm.clone(),
                 config_tag: tag,
                 report: eval.report,
                 mflops: eval.mflops,
@@ -684,12 +716,17 @@ impl Augem {
     ) -> Result<(Generated, TunerTelemetry, Winner), AugemError> {
         match kernel {
             DlaKernel::Gemm => {
-                let t = tune_gemm_traced(&self.machine, tracer).map_err(AugemError::Tune)?;
+                let t = tune_gemm_cached(&self.machine, tracer, &self.cache)
+                    .map_err(AugemError::Tune)?;
                 let telemetry = telemetry_of(&t, |c| c.tag());
-                let asm = t
-                    .best
-                    .build_traced(&self.machine, tracer)
-                    .map_err(|e| AugemError::Eval(EvalError::Build(e)))?;
+                // Cache hit: the sweep built the winner already; the hit
+                // replays its labels so last-write state (e.g.
+                // `opt.simd_strategy`) describes the winning config.
+                let asm = self
+                    .logged_for(&Winner::Gemm(t.best), tracer)
+                    .map_err(|e| AugemError::Eval(EvalError::Build(e)))?
+                    .asm
+                    .clone();
                 Ok((
                     Generated {
                         kernel,
@@ -709,12 +746,14 @@ impl Augem {
             | DlaKernel::Ger
             | DlaKernel::Scal => {
                 let vk = vector_kernel_of(kernel);
-                let t = tune_vector_traced(vk, &self.machine, tracer).map_err(AugemError::Tune)?;
+                let t = tune_vector_cached(vk, &self.machine, tracer, &self.cache)
+                    .map_err(AugemError::Tune)?;
                 let telemetry = telemetry_of(&t, |c| c.tag());
-                let asm = t
-                    .best
-                    .build_traced(&self.machine, tracer)
-                    .map_err(|e| AugemError::Eval(EvalError::Build(e)))?;
+                let asm = self
+                    .logged_for(&Winner::Vector(t.best), tracer)
+                    .map_err(|e| AugemError::Eval(EvalError::Build(e)))?
+                    .asm
+                    .clone();
                 Ok((
                     Generated {
                         kernel,
@@ -733,10 +772,15 @@ impl Augem {
 
     /// Runs the pipeline for one explicit GEMM configuration (no tuning).
     pub fn generate_gemm_with(&self, cfg: &GemmConfig) -> Result<Generated, AugemError> {
-        let eval = evaluate_gemm(cfg, &self.machine).map_err(AugemError::Eval)?;
-        let asm = cfg
-            .build(&self.machine)
-            .map_err(|e| AugemError::Eval(EvalError::Build(e)))?;
+        let eval = evaluate_gemm_cached(cfg, &self.machine, augem_obs::null(), None, &self.cache)
+            .map_err(AugemError::Eval)?;
+        // The evaluation above built through the cache; reuse it.
+        let asm = self
+            .cache
+            .logged_gemm(cfg, &self.machine, augem_obs::null())
+            .map_err(|e| AugemError::Eval(EvalError::Build(e)))?
+            .asm
+            .clone();
         Ok(Generated {
             kernel: DlaKernel::Gemm,
             machine: self.machine.clone(),
@@ -749,10 +793,14 @@ impl Augem {
 
     /// Runs the pipeline for one explicit vector-kernel configuration.
     pub fn generate_vector_with(&self, cfg: &VectorConfig) -> Result<Generated, AugemError> {
-        let eval = evaluate_vector(cfg, &self.machine).map_err(AugemError::Eval)?;
-        let asm = cfg
-            .build(&self.machine)
-            .map_err(|e| AugemError::Eval(EvalError::Build(e)))?;
+        let eval = evaluate_vector_cached(cfg, &self.machine, augem_obs::null(), None, &self.cache)
+            .map_err(AugemError::Eval)?;
+        let asm = self
+            .cache
+            .logged_vector(cfg, &self.machine, augem_obs::null())
+            .map_err(|e| AugemError::Eval(EvalError::Build(e)))?
+            .asm
+            .clone();
         let kernel = match cfg.kernel {
             VectorKernel::Axpy => DlaKernel::Axpy,
             VectorKernel::Dot => DlaKernel::Dot,
@@ -884,6 +932,38 @@ mod tests {
         assert!(r.generated.is_none());
         assert!(r.report.counters["resil.degraded"] >= 1);
         assert!(r.cause.unwrap().contains("paper default"));
+    }
+
+    #[test]
+    fn verified_generation_builds_each_unique_config_exactly_once() {
+        let driver = Augem::new(MachineSpec::sandy_bridge());
+        let collector = Collector::new();
+        let (_, tuner, winner) = driver
+            .generate_inner(DlaKernel::Axpy, &collector)
+            .expect("axpy generates");
+        // Winner verification on top of the traced generation: both the
+        // rebuild in generate_inner and this one come from the cache.
+        driver.logged_for(&winner, &collector).unwrap();
+        let snap = collector.snapshot();
+        // Every successful candidate built once; failures died before
+        // akg or inside it, so akg spans never exceed generated count.
+        let akg = snap
+            .stages()
+            .into_iter()
+            .find(|s| s.name == augem_obs::stage::AKG)
+            .expect("akg stage traced");
+        assert_eq!(
+            akg.calls, tuner.generated,
+            "one akg span per enumerated candidate — winner rebuilds must hit the cache"
+        );
+        // Two winner lookups (generate_inner + verify) both hit.
+        assert_eq!(snap.counters["cache.build.hit"], 2);
+        assert_eq!(
+            snap.counters["cache.build.miss"], tuner.generated,
+            "every unique config missed exactly once"
+        );
+        // The hit re-asserted the winner's strategy label.
+        assert!(snap.labels.contains_key("opt.simd_strategy"));
     }
 
     #[test]

@@ -1,0 +1,62 @@
+//! Decoded-engine micro-benches: the one-time cost of lowering a kernel
+//! into a [`augem_sim::DecodedProgram`], and the per-run dispatch
+//! throughput of the decoded loop against the legacy string-matching
+//! interpreter it replaced. The tuner runs thousands of simulations per
+//! sweep, so the dispatch loop is the hottest code in the framework.
+
+use augem_machine::{IsaFeature, MachineSpec};
+use augem_sim::{decode, FuncSim, SimValue};
+use augem_tune::evaluate::gemm_eval_dims;
+use augem_tune::GemmConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let machine = MachineSpec::sandy_bridge();
+    let cfg = GemmConfig::fig13();
+    let build = cfg.build_logged(&machine).expect("fig13 builds");
+    let asm = &build.asm;
+    let vex = machine.isa.has(IsaFeature::Avx);
+
+    let (mr, nr, kc) = gemm_eval_dims(&cfg);
+    let (mc, ldb, ldc) = (mr, nr, mr);
+    let args = vec![
+        SimValue::Int(mr as i64),
+        SimValue::Int(nr as i64),
+        SimValue::Int(kc as i64),
+        SimValue::Int(mc as i64),
+        SimValue::Int(ldb as i64),
+        SimValue::Int(ldc as i64),
+        SimValue::Array((0..mc * kc).map(|v| (v % 17) as f64 * 0.25).collect()),
+        SimValue::Array((0..kc * ldb).map(|v| (v % 13) as f64 * 0.5).collect()),
+        SimValue::Array(vec![0.0; ldc * nr]),
+    ];
+
+    let mut group = c.benchmark_group("decode");
+    group.sample_size(40);
+
+    // One-time lowering cost (amortized across every run of a candidate).
+    group.bench_function("decode/gemm-fig13", |b| {
+        b.iter(|| decode(black_box(asm), vex).unwrap())
+    });
+
+    // Steady-state dispatch: pre-decoded program, fresh state per run.
+    let prog = decode(asm, vex).unwrap();
+    let sim = FuncSim::new(machine.isa);
+    group.bench_function("dispatch/decoded/gemm-fig13", |b| {
+        b.iter(|| {
+            sim.run_decoded(black_box(&prog), asm, args.clone())
+                .unwrap()
+        })
+    });
+
+    // The reference interpreter the decoded loop is measured against.
+    group.bench_function("dispatch/legacy/gemm-fig13", |b| {
+        b.iter(|| sim.run_legacy(black_box(asm), args.clone()).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -7,15 +7,19 @@
 //! cargo run --release -p augem-bench --bin figures -- asm      # dump tuned kernels
 //! cargo run --release -p augem-bench --bin figures -- pipeline # BENCH_pipeline.json
 //! cargo run --release -p augem-bench --bin figures -- verify   # BENCH_verify.json
+//! cargo run --release -p augem-bench --bin figures -- tune     # BENCH_tune.json
 //! ```
 
 use augem::obs::Json;
 use augem::resil::write_atomic;
 use augem::Augem;
+use augem_asm::AsmKernel;
 use augem_bench::{ablations, format_figure, Models};
 use augem_kernels::DlaKernel;
 use augem_machine::MachineSpec;
+use augem_sim::{FuncSim, SimValue};
 use augem_tune::{GemmConfig, VectorConfig, VectorKernel};
+use std::time::Instant;
 
 /// Runs a traced generation per kernel × platform and writes the run
 /// reports to `BENCH_pipeline.json` — the machine-readable perf
@@ -149,6 +153,210 @@ fn verify_entry(
     ])
 }
 
+/// Fastest observed run time of `f` over ~400 invocations. Each run's
+/// argument clone happens outside the timed window (harness cost, not
+/// engine cost); the minimum sheds scheduler and frequency noise.
+fn secs_per_run(args: &[SimValue], mut f: impl FnMut(Vec<SimValue>)) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..400 {
+        let a = args.to_vec();
+        let t0 = Instant::now();
+        f(a);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Times the pre-decoded engine ([`FuncSim::run_decoded`], decode done
+/// once up front — the engine's designed amortization) against the
+/// legacy string-dispatch interpreter ([`FuncSim::run_legacy`]) on one
+/// built kernel. Returns the JSON entry plus both steps/sec figures.
+fn engine_entry(
+    kernel: &str,
+    machine: &MachineSpec,
+    asm: &AsmKernel,
+    args: &[SimValue],
+) -> Option<(Json, f64, f64)> {
+    let traced = FuncSim::new(machine.isa).with_trace();
+    let (_, trace) = match traced.run(asm, args.to_vec()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("tune bench: {kernel} functional run failed: {e}");
+            return None;
+        }
+    };
+    let steps = trace.len() as f64;
+    let sim = FuncSim::new(machine.isa);
+    let prog = augem_sim::decode(asm, machine.isa.has(augem_machine::IsaFeature::Avx))
+        .expect("decode of a built kernel cannot fail");
+    let decoded_s = secs_per_run(args, |a| {
+        sim.run_decoded(&prog, asm, a).unwrap();
+    });
+    let legacy_s = secs_per_run(args, |a| {
+        sim.run_legacy(asm, a).unwrap();
+    });
+    let decoded_sps = steps / decoded_s;
+    let legacy_sps = steps / legacy_s;
+    println!(
+        "engine {:>6} on {:<12} {:>7.0} steps: decoded {:>6.1} Msteps/s, legacy {:>6.1} Msteps/s ({:.2}x)",
+        kernel,
+        machine.arch.short_name(),
+        steps,
+        decoded_sps / 1e6,
+        legacy_sps / 1e6,
+        decoded_sps / legacy_sps,
+    );
+    let entry = Json::obj(vec![
+        ("kernel", Json::str(kernel)),
+        ("machine", Json::str(machine.arch.short_name())),
+        ("dyn_steps", Json::uint(steps as u64)),
+        ("decoded_steps_per_sec", Json::Num(decoded_sps)),
+        ("legacy_steps_per_sec", Json::Num(legacy_sps)),
+        ("speedup", Json::Num(decoded_sps / legacy_sps)),
+    ]);
+    Some((entry, decoded_sps, legacy_sps))
+}
+
+/// One cached verified generation: sweep wall time plus the evaluation
+/// cache's per-stage hit/miss counters from the driver's run report.
+fn sweep_entry(machine: &MachineSpec, kernel: DlaKernel) -> Option<Json> {
+    let driver = Augem::new(machine.clone());
+    let t0 = Instant::now();
+    let (g, report, _findings) = match driver.generate_report_verified(kernel) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!(
+                "tune bench: verified generation failed for {} on {}: {e}",
+                kernel.name(),
+                machine.arch.short_name()
+            );
+            return None;
+        }
+    };
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let c = |name: &str| report.counters.get(name).copied().unwrap_or(0);
+    let rate = |hits: u64, misses: u64| {
+        let total = hits + misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    };
+    let (bh, bm) = (c("cache.build.hit"), c("cache.build.miss"));
+    let (eh, em) = (c("cache.eval.hit"), c("cache.eval.miss"));
+    println!(
+        "sweep  {:>6} on {:<12} {:>8.0} ms: build cache {bh} hit / {bm} miss, eval cache {eh} hit / {em} miss",
+        kernel.name(),
+        machine.arch.short_name(),
+        wall_ms,
+    );
+    Some(Json::obj(vec![
+        ("kernel", Json::str(kernel.name())),
+        ("machine", Json::str(machine.arch.short_name())),
+        ("config", Json::str(g.config_tag.clone())),
+        ("mflops", Json::Num(g.mflops)),
+        ("wall_ms", Json::Num(wall_ms)),
+        (
+            "cache",
+            Json::obj(vec![
+                ("build_hits", Json::uint(bh)),
+                ("build_misses", Json::uint(bm)),
+                ("build_hit_rate", Json::Num(rate(bh, bm))),
+                ("eval_hits", Json::uint(eh)),
+                ("eval_misses", Json::uint(em)),
+                ("eval_hit_rate", Json::Num(rate(eh, em))),
+            ]),
+        ),
+    ]))
+}
+
+/// Benchmarks the tuning substrate itself and writes `BENCH_tune.json`
+/// (`augem.bench-tune/v1`): pre-decoded vs legacy simulator throughput
+/// per kernel × platform, and cached verified-generation sweeps with
+/// per-stage cache hit rates. Returns `false` — the CI regression gate —
+/// if the decoded engine is slower than the legacy interpreter anywhere.
+fn emit_tune_report(platforms: &[MachineSpec]) -> bool {
+    let mut engine = Vec::new();
+    let mut ok = true;
+    for machine in platforms {
+        let gemm_cfg = GemmConfig::fig13();
+        match gemm_cfg.build_logged(machine) {
+            Ok(build) => {
+                let (mr, nr, kc) = augem_tune::evaluate::gemm_eval_dims(&gemm_cfg);
+                let (mc, ldb, ldc) = (mr, nr, mr);
+                let args = vec![
+                    SimValue::Int(mr as i64),
+                    SimValue::Int(nr as i64),
+                    SimValue::Int(kc as i64),
+                    SimValue::Int(mc as i64),
+                    SimValue::Int(ldb as i64),
+                    SimValue::Int(ldc as i64),
+                    SimValue::Array((0..mc * kc).map(|v| (v % 17) as f64 * 0.25).collect()),
+                    SimValue::Array((0..kc * ldb).map(|v| (v % 13) as f64 * 0.5).collect()),
+                    SimValue::Array(vec![0.0; ldc * nr]),
+                ];
+                if let Some((entry, d, l)) = engine_entry("dgemm", machine, &build.asm, &args) {
+                    ok &= d >= l;
+                    engine.push(entry);
+                }
+            }
+            Err(e) => eprintln!("tune bench: gemm build failed: {e}"),
+        }
+        let axpy_cfg = VectorConfig {
+            kernel: VectorKernel::Axpy,
+            unroll: 2 * machine.simd_mode().f64_lanes(),
+            prefetch: augem::transforms::PrefetchConfig::default(),
+            schedule: true,
+        };
+        match axpy_cfg.build_logged(machine) {
+            Ok(build) => {
+                // Cache-resident: the engine comparison should measure
+                // dispatch throughput, not the host's DRAM bandwidth.
+                let n = 2_048usize;
+                let args = vec![
+                    SimValue::Int(n as i64),
+                    SimValue::F64(1.5),
+                    SimValue::Array(vec![0.5; n]),
+                    SimValue::Array(vec![1.0; n]),
+                ];
+                if let Some((entry, d, l)) = engine_entry("daxpy", machine, &build.asm, &args) {
+                    ok &= d >= l;
+                    engine.push(entry);
+                }
+            }
+            Err(e) => eprintln!("tune bench: axpy build failed: {e}"),
+        }
+    }
+
+    let mut sweeps = Vec::new();
+    for machine in platforms {
+        for kernel in [DlaKernel::Gemm, DlaKernel::Axpy] {
+            if let Some(entry) = sweep_entry(machine, kernel) {
+                sweeps.push(entry);
+            }
+        }
+    }
+
+    let doc = Json::obj(vec![
+        ("schema", Json::str("augem.bench-tune/v1")),
+        ("engine", Json::Arr(engine)),
+        ("sweeps", Json::Arr(sweeps)),
+    ]);
+    let path = "BENCH_tune.json";
+    match write_atomic(path, doc.render_pretty() + "\n") {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => {
+            eprintln!("cannot write {path}: {e}");
+            ok = false;
+        }
+    }
+    if !ok {
+        eprintln!("tune bench FAILED: decoded engine slower than the legacy interpreter");
+    }
+    ok
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name || a == "all");
@@ -165,6 +373,15 @@ fn main() {
     if want("verify") && args.iter().any(|a| a == "verify" || a == "all") {
         emit_verify_reports(&platforms);
         if args.iter().all(|a| a == "verify") {
+            return;
+        }
+    }
+
+    if want("tune") && args.iter().any(|a| a == "tune" || a == "all") {
+        if !emit_tune_report(&platforms) {
+            std::process::exit(1);
+        }
+        if args.iter().all(|a| a == "tune") {
             return;
         }
     }

@@ -162,11 +162,51 @@ impl MachineSpec {
         m.isa = m.isa.clamped_to(mode);
         m
     }
+
+    /// A stable content hash of everything that can change a simulated
+    /// evaluation: ISA, register file, timing tables, cache hierarchy
+    /// and clocks. Two specs with equal fingerprints produce identical
+    /// `Evaluation`s for the same candidate, which is what makes the
+    /// tuner's evaluation cache sound (clamped-ISA variants of the same
+    /// microarchitecture hash differently). Deterministic across
+    /// processes — cache keys survive a journal resume.
+    pub fn fingerprint(&self) -> u64 {
+        fn mix(mut x: u64) -> u64 {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^ (x >> 31)
+        }
+        // `Debug` renders every field, including nested timing/cache
+        // parameters; hashing the rendering keeps this in sync with the
+        // struct without a hand-maintained field list.
+        let mut h = mix(0xA06E_u64);
+        for b in format!("{self:?}").bytes() {
+            h = mix(h ^ u64::from(b));
+        }
+        h
+    }
+
+    /// Human-readable cache-key component: `short_name-<hex fingerprint>`.
+    pub fn fingerprint_tag(&self) -> String {
+        format!("{}-{:016x}", self.arch.short_name(), self.fingerprint())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fingerprints_separate_specs_that_evaluate_differently() {
+        let snb = MachineSpec::sandy_bridge();
+        let pd = MachineSpec::piledriver();
+        assert_eq!(snb.fingerprint(), MachineSpec::sandy_bridge().fingerprint());
+        assert_ne!(snb.fingerprint(), pd.fingerprint());
+        let clamped = snb.with_isa_clamped(SimdMode::Sse);
+        assert_ne!(snb.fingerprint(), clamped.fingerprint());
+        assert!(snb.fingerprint_tag().starts_with("sandybridge-"));
+    }
 
     #[test]
     fn table5_parameters() {

@@ -30,6 +30,7 @@
 //! (reports, tests, plotting scripts) in agreement.
 
 mod collect;
+mod fork;
 mod json;
 mod report;
 
@@ -37,6 +38,7 @@ pub use collect::{
     null, span, Collector, EventRec, NullTracer, Snapshot, Span, SpanSnapshot, SpanToken, StageAgg,
     Tracer, Value,
 };
+pub use fork::{replay_into, Tee};
 pub use json::{Json, JsonError};
 pub use report::{
     CandidateFailure, RankedCandidate, RunReport, SimCounters, TunerTelemetry, SCHEMA,

@@ -81,40 +81,22 @@ pub struct FuncSim {
     collect_trace: bool,
 }
 
-struct State {
-    gp: [i64; 16],
-    vec: [[f64; 4]; 16],
-    arrays: Vec<Vec<f64>>,
-    cmp: (i64, i64),
-    trace: Trace,
+pub(crate) struct State {
+    pub(crate) gp: [i64; 16],
+    pub(crate) vec: [[f64; 4]; 16],
+    pub(crate) arrays: Vec<Vec<f64>>,
+    pub(crate) cmp: (i64, i64),
+    pub(crate) trace: Trace,
 }
 
-impl FuncSim {
-    pub fn new(isa: IsaSet) -> Self {
-        FuncSim {
-            isa,
-            step_limit: 500_000_000,
-            collect_trace: false,
-        }
-    }
-
-    pub fn with_trace(mut self) -> Self {
-        self.collect_trace = true;
-        self
-    }
-
-    pub fn with_step_limit(mut self, limit: u64) -> Self {
-        self.step_limit = limit;
-        self
-    }
-
-    /// Runs `kernel` on `args` (one per parameter). Returns final array
-    /// contents in parameter order, plus the trace when enabled.
-    pub fn run(
-        &self,
+impl State {
+    /// Binds `args` to parameter locations and sets up the hidden spill
+    /// stack, exactly as both interpreter loops expect. Returns the
+    /// prepared state and the number of user (non-stack) arrays.
+    pub(crate) fn setup(
         kernel: &AsmKernel,
         args: Vec<SimValue>,
-    ) -> Result<(Vec<Vec<f64>>, Trace), SimError> {
+    ) -> Result<(State, usize), SimError> {
         if args.len() != kernel.params.len() {
             return Err(SimError::BadArgs(format!(
                 "expected {} args, got {}",
@@ -158,6 +140,69 @@ impl FuncSim {
             st.arrays.push(vec![0.0; kernel.stack_slots]);
             st.gp[7] = ((id as i64) + 1) << ARRAY_SHIFT; // %rsp
         }
+        Ok((st, user_arrays))
+    }
+}
+
+impl FuncSim {
+    pub fn new(isa: IsaSet) -> Self {
+        FuncSim {
+            isa,
+            step_limit: 500_000_000,
+            collect_trace: false,
+        }
+    }
+
+    pub fn with_trace(mut self) -> Self {
+        self.collect_trace = true;
+        self
+    }
+
+    pub fn with_step_limit(mut self, limit: u64) -> Self {
+        self.step_limit = limit;
+        self
+    }
+
+    /// Runs `kernel` on `args` (one per parameter). Returns final array
+    /// contents in parameter order, plus the trace when enabled.
+    ///
+    /// Decodes the kernel once ([`crate::decode::decode`]) and executes
+    /// the pre-decoded program; behavior is bit-for-bit identical to
+    /// [`FuncSim::run_legacy`] except that a branch to an undefined
+    /// label is reported at decode time even if never taken.
+    pub fn run(
+        &self,
+        kernel: &AsmKernel,
+        args: Vec<SimValue>,
+    ) -> Result<(Vec<Vec<f64>>, Trace), SimError> {
+        let prog = crate::decode::decode(kernel, self.isa.has(IsaFeature::Avx))?;
+        self.run_decoded(&prog, kernel, args)
+    }
+
+    /// Executes an already-decoded program (amortizes [`crate::decode::decode`]
+    /// across runs). `kernel` supplies the parameter locations and spill
+    /// stack size and must be the kernel `prog` was decoded from.
+    pub fn run_decoded(
+        &self,
+        prog: &crate::decode::DecodedProgram,
+        kernel: &AsmKernel,
+        args: Vec<SimValue>,
+    ) -> Result<(Vec<Vec<f64>>, Trace), SimError> {
+        let (mut st, user_arrays) = State::setup(kernel, args)?;
+        crate::decode::exec(prog, &mut st, self.step_limit, self.collect_trace)?;
+        st.arrays.truncate(user_arrays);
+        Ok((st.arrays, st.trace))
+    }
+
+    /// The original string-dispatching interpreter loop, kept as the
+    /// reference semantics for the decoded engine: the differential
+    /// suite and the `figures tune` benchmark compare against it.
+    pub fn run_legacy(
+        &self,
+        kernel: &AsmKernel,
+        args: Vec<SimValue>,
+    ) -> Result<(Vec<Vec<f64>>, Trace), SimError> {
+        let (mut st, user_arrays) = State::setup(kernel, args)?;
 
         // Label map.
         let mut labels: HashMap<&str, usize> = HashMap::new();

@@ -9,6 +9,11 @@
 //!   SSE/AVX lane semantics (legacy-SSE upper-lane preservation vs VEX
 //!   zeroing included), proving the generated kernels compute exactly what
 //!   the C kernels compute.
+//! * [`decode`] — a **pre-decoded engine**: a one-time [`decode`] pass
+//!   lowers the instruction stream into a dense, string-free
+//!   [`DecodedOp`] table (labels resolved to pc indices, VEX rules baked
+//!   in) driven by a tight dispatch loop. [`FuncSim::run`] uses it;
+//!   `FuncSim::run_legacy` keeps the original loop as the reference.
 //! * [`cache`] — a set-associative write-allocate cache simulator with a
 //!   stream prefetcher, fed by the functional simulator's memory trace.
 //! * [`timing`] — a **cycle-approximate timing model**: replays the
@@ -23,11 +28,13 @@
 //! compares shapes only.
 
 pub mod cache;
+pub mod decode;
 pub mod func;
 pub mod timing;
 
 pub use cache::CacheSim;
-pub use func::{FuncSim, SimError, SimValue, Trace};
+pub use decode::{decode, DecodedOp, DecodedProgram};
+pub use func::{FuncSim, MemAccess, SimError, SimValue, Trace};
 pub use timing::{
     simulate_timing, simulate_timing_budgeted, simulate_timing_steady,
     simulate_timing_steady_budgeted, TimingReport,

@@ -20,7 +20,7 @@
 use crate::cache::CacheSim;
 use crate::func::{FuncSim, SimError, SimValue, Trace};
 use augem_asm::{AsmKernel, GpOrImm, XInst};
-use augem_machine::{InstClass, MachineSpec};
+use augem_machine::{InstClass, MachineSpec, SimdMode};
 
 /// Reorder-window size: between the scheduler capacity and the reorder
 /// buffer of the modeled cores (SNB: 54-entry scheduler / 168-entry ROB;
@@ -149,6 +149,53 @@ fn gp_output(inst: &XInst) -> Option<u8> {
     }
 }
 
+/// Static per-instruction facts the replay loop needs, computed once per
+/// kernel instead of per dynamic step (`vec_uses` allocates a `Vec`;
+/// `class`/`gp_uses`/`gp_output` re-match the `XInst` every call).
+#[derive(Clone, Copy)]
+struct InstMeta {
+    class: Option<(InstClass, SimdMode)>,
+    flops: u16,
+    vec_uses: [u8; 3],
+    n_vec: u8,
+    gp_uses: [u8; 2],
+    n_gp: u8,
+    vec_def: u8,
+    gp_def: u8,
+}
+
+const NO_REG: u8 = 0xFF;
+
+fn decode_meta(insts: &[XInst]) -> Vec<InstMeta> {
+    let mut gp_in = Vec::with_capacity(4);
+    insts
+        .iter()
+        .map(|inst| {
+            let mut m = InstMeta {
+                class: inst.class(),
+                flops: flops_of(inst) as u16,
+                vec_uses: [0; 3],
+                n_vec: 0,
+                gp_uses: [0; 2],
+                n_gp: 0,
+                vec_def: inst.vec_def().map_or(NO_REG, |r| r.0),
+                gp_def: gp_output(inst).unwrap_or(NO_REG),
+            };
+            for (i, r) in inst.vec_uses().iter().take(3).enumerate() {
+                m.vec_uses[i] = r.0;
+                m.n_vec = (i + 1) as u8;
+            }
+            gp_in.clear();
+            gp_inputs(inst, &mut gp_in);
+            for (i, &r) in gp_in.iter().take(2).enumerate() {
+                m.gp_uses[i] = r;
+                m.n_gp = (i + 1) as u8;
+            }
+            m
+        })
+        .collect()
+}
+
 fn timed(
     kernel: &AsmKernel,
     args: Vec<SimValue>,
@@ -250,26 +297,24 @@ pub fn replay(
     let mut window: std::collections::VecDeque<u64> =
         std::collections::VecDeque::with_capacity(ROB_WINDOW);
 
-    let mut gp_in = Vec::with_capacity(4);
+    let meta = decode_meta(&kernel.insts);
     for (k, &idx) in trace.inst_indices.iter().enumerate() {
-        let inst = &kernel.insts[idx as usize];
-        let Some((class, mode)) = inst.class() else {
+        let m = &meta[idx as usize];
+        let Some((class, mode)) = m.class else {
             continue;
         };
         dyn_insts += 1;
-        flops += flops_of(inst);
+        flops += u64::from(m.flops);
 
         let t = machine.timing.timing(class, mode);
 
         // Data readiness (true dependences only — renaming is implicit).
         let mut ready = 0u64;
-        for r in inst.vec_uses() {
-            ready = ready.max(vec_ready[r.0 as usize]);
+        for &r in &m.vec_uses[..m.n_vec as usize] {
+            ready = ready.max(vec_ready[(r & 15) as usize]);
         }
-        gp_in.clear();
-        gp_inputs(inst, &mut gp_in);
-        for &r in &gp_in {
-            ready = ready.max(gp_ready[r as usize]);
+        for &r in &m.gp_uses[..m.n_gp as usize] {
+            ready = ready.max(gp_ready[(r & 15) as usize]);
         }
         if matches!(class, InstClass::Store) {
             ready = ready.max(store_ready_floor);
@@ -327,11 +372,11 @@ pub fn replay(
 
         let complete = issue + latency;
         last_complete = last_complete.max(complete);
-        if let Some(d) = inst.vec_def() {
-            vec_ready[d.0 as usize] = complete;
+        if m.vec_def != NO_REG {
+            vec_ready[(m.vec_def & 15) as usize] = complete;
         }
-        if let Some(d) = gp_output(inst) {
-            gp_ready[d as usize] = complete;
+        if m.gp_def != NO_REG {
+            gp_ready[(m.gp_def & 15) as usize] = complete;
         }
         if matches!(class, InstClass::Store) {
             store_ready_floor = store_ready_floor.max(issue);

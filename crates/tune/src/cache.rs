@@ -1,0 +1,337 @@
+//! Content-addressed evaluation cache.
+//!
+//! One tuned kernel is built and simulated many times by the layers above
+//! the sweep: the sweep measures every candidate, the facade rebuilds the
+//! winner for its traced report, the verifier rebuilds it again with a
+//! binding log, and the degradation chain re-evaluates next-ranked
+//! candidates it already measured. Every one of those is a pure function
+//! of *(configuration, machine, step budget)* — the pipeline and the
+//! simulator are deterministic — so the [`EvalCache`] memoizes them:
+//!
+//! * **builds** — keyed by `(config tag, machine fingerprint)` →
+//!   [`LoggedBuild`] behind an [`Arc`] (the logged build subsumes the
+//!   plain one: same assembly, same spans, plus the artifacts the
+//!   verifier needs);
+//! * **evaluations** — keyed by `(config tag, machine fingerprint,
+//!   step budget)` → [`Evaluation`].
+//!
+//! The machine half of the key is [`MachineSpec::fingerprint`], which
+//! hashes everything that can change a simulated measurement, so
+//! ISA-clamped variants of the same microarchitecture never alias.
+//!
+//! Telemetry stays honest across hits: a build records its labels (e.g.
+//! `opt.simd_strategy`) into a private collector via [`Tee`] while
+//! forwarding everything to the live tracer; a later hit replays *only
+//! the labels* — last-write-wins state describing the artifact — and
+//! bumps `cache.build.hit` / `cache.eval.hit`. Spans and counters are
+//! deliberately not replayed: they count work actually done, and the
+//! whole point of a hit is that no work was done.
+//!
+//! Scope is per-driver (one cache per facade instance or sweep), not
+//! process-global: tests and concurrent drivers never see each other's
+//! counters. The
+//! `AUGEM_EVAL_CACHE=0` (or `off`) environment knob disables caching
+//! for A/B measurement.
+
+use crate::config::{BuildError, GemmConfig, LoggedBuild, VectorConfig};
+use crate::evaluate::Evaluation;
+use augem_machine::MachineSpec;
+use augem_obs::{Collector, Tee, Tracer};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Counter names the cache emits on the live tracer.
+pub mod counter {
+    /// A logged build was served from the cache.
+    pub const BUILD_HIT: &str = "cache.build.hit";
+    /// A logged build ran the pipeline and was stored.
+    pub const BUILD_MISS: &str = "cache.build.miss";
+    /// An evaluation was served from the cache.
+    pub const EVAL_HIT: &str = "cache.eval.hit";
+    /// An evaluation ran the simulator and was stored.
+    pub const EVAL_MISS: &str = "cache.eval.miss";
+}
+
+type BuildKey = (String, u64);
+type EvalKey = (String, u64, Option<u64>);
+
+#[derive(Debug)]
+struct CachedBuild {
+    build: Arc<LoggedBuild>,
+    /// Last-write-wins labels the build emitted, replayed on every hit
+    /// so e.g. `opt.simd_strategy` always describes the *last* artifact
+    /// the caller touched, exactly as if it had been rebuilt.
+    labels: Vec<(String, String)>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    builds: HashMap<BuildKey, CachedBuild>,
+    evals: HashMap<EvalKey, Evaluation>,
+}
+
+/// Memoizes pipeline builds and simulator evaluations. Thread-safe:
+/// the parallel sweep's workers share one cache. Only successes are
+/// stored — failures are either deterministic prunes (cheap to rediscover
+/// and carried in the sweep result anyway) or transient panics that the
+/// retry machinery owns.
+#[derive(Debug)]
+pub struct EvalCache {
+    enabled: bool,
+    inner: Mutex<Inner>,
+}
+
+impl Default for EvalCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EvalCache {
+    /// A cache honoring the `AUGEM_EVAL_CACHE` environment knob
+    /// (`0`/`off`/`false` disable it; anything else, or unset, enables).
+    pub fn new() -> Self {
+        let enabled = !matches!(
+            std::env::var("AUGEM_EVAL_CACHE").as_deref(),
+            Ok("0") | Ok("off") | Ok("false")
+        );
+        EvalCache {
+            enabled,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// A cache that never hits and never stores — the legacy behavior.
+    pub fn disabled() -> Self {
+        EvalCache {
+            enabled: false,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The logged build for a GEMM configuration, built at most once per
+    /// `(tag, machine)` across the driver's lifetime.
+    pub fn logged_gemm(
+        &self,
+        cfg: &GemmConfig,
+        machine: &MachineSpec,
+        tracer: &dyn Tracer,
+    ) -> Result<Arc<LoggedBuild>, BuildError> {
+        self.logged_with(&cfg.tag(), machine, tracer, |t| {
+            cfg.build_logged_traced(machine, t)
+        })
+    }
+
+    /// The logged build for a vector-kernel configuration (see
+    /// [`logged_gemm`](EvalCache::logged_gemm)).
+    pub fn logged_vector(
+        &self,
+        cfg: &VectorConfig,
+        machine: &MachineSpec,
+        tracer: &dyn Tracer,
+    ) -> Result<Arc<LoggedBuild>, BuildError> {
+        self.logged_with(&cfg.tag(), machine, tracer, |t| {
+            cfg.build_logged_traced(machine, t)
+        })
+    }
+
+    fn logged_with(
+        &self,
+        tag: &str,
+        machine: &MachineSpec,
+        tracer: &dyn Tracer,
+        build: impl FnOnce(&dyn Tracer) -> Result<LoggedBuild, BuildError>,
+    ) -> Result<Arc<LoggedBuild>, BuildError> {
+        if !self.enabled {
+            return build(tracer).map(Arc::new);
+        }
+        let key = (tag.to_string(), machine.fingerprint());
+        if let Some(hit) = self.lock().builds.get(&key) {
+            tracer.add(counter::BUILD_HIT, 1);
+            for (k, v) in &hit.labels {
+                tracer.label(k, v);
+            }
+            return Ok(hit.build.clone());
+        }
+        tracer.add(counter::BUILD_MISS, 1);
+        // Build outside the lock: workers of the parallel sweep must not
+        // serialize on each other's pipelines. Two racing misses on the
+        // same key both build (deterministically, the same artifact);
+        // the first insert wins.
+        let local = Collector::new();
+        let tee = Tee::new(tracer, &local);
+        let built = Arc::new(build(&tee)?);
+        let labels = local.snapshot().labels.into_iter().collect();
+        self.lock().builds.entry(key).or_insert(CachedBuild {
+            build: built.clone(),
+            labels,
+        });
+        Ok(built)
+    }
+
+    /// A cached evaluation, if one exists. Bumps the hit/miss counter
+    /// and, on a hit, replays the corresponding build's labels.
+    pub(crate) fn eval_lookup(
+        &self,
+        tag: &str,
+        machine: &MachineSpec,
+        step_limit: Option<u64>,
+        tracer: &dyn Tracer,
+    ) -> Option<Evaluation> {
+        if !self.enabled {
+            return None;
+        }
+        let fp = machine.fingerprint();
+        let inner = self.lock();
+        match inner.evals.get(&(tag.to_string(), fp, step_limit)) {
+            Some(e) => {
+                let e = e.clone();
+                let labels = inner
+                    .builds
+                    .get(&(tag.to_string(), fp))
+                    .map(|b| b.labels.clone())
+                    .unwrap_or_default();
+                drop(inner);
+                tracer.add(counter::EVAL_HIT, 1);
+                for (k, v) in &labels {
+                    tracer.label(k, v);
+                }
+                Some(e)
+            }
+            None => {
+                drop(inner);
+                tracer.add(counter::EVAL_MISS, 1);
+                None
+            }
+        }
+    }
+
+    /// Stores a completed evaluation under its content key.
+    pub(crate) fn eval_store(
+        &self,
+        tag: &str,
+        machine: &MachineSpec,
+        step_limit: Option<u64>,
+        eval: &Evaluation,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.lock()
+            .evals
+            .entry((tag.to_string(), machine.fingerprint(), step_limit))
+            .or_insert_with(|| eval.clone());
+    }
+
+    /// How many distinct builds the cache holds (test/report helper).
+    pub fn builds_len(&self) -> usize {
+        self.lock().builds.len()
+    }
+
+    /// How many distinct evaluations the cache holds.
+    pub fn evals_len(&self) -> usize {
+        self.lock().evals.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::evaluate_gemm_cached;
+
+    #[test]
+    fn second_build_is_a_hit_with_identical_asm_and_labels() {
+        let m = MachineSpec::sandy_bridge();
+        let cfg = GemmConfig {
+            mu: 8,
+            nu: 4,
+            ..GemmConfig::fig13()
+        };
+        let cache = EvalCache::new();
+        let c = Collector::new();
+        let first = cache.logged_gemm(&cfg, &m, &c).unwrap();
+        let again = cache.logged_gemm(&cfg, &m, &c).unwrap();
+        assert!(Arc::ptr_eq(&first, &again), "hit must share the artifact");
+        let snap = c.snapshot();
+        assert_eq!(snap.counters[counter::BUILD_MISS], 1);
+        assert_eq!(snap.counters[counter::BUILD_HIT], 1);
+        // The pipeline ran once: one akg span, not two.
+        let akg = snap
+            .stages()
+            .into_iter()
+            .find(|s| s.name == augem_obs::stage::AKG)
+            .expect("akg stage present");
+        assert_eq!(akg.calls, 1);
+        // The hit re-asserted the strategy label.
+        assert!(snap.labels.contains_key("opt.simd_strategy"));
+    }
+
+    #[test]
+    fn machine_fingerprint_separates_entries() {
+        let snb = MachineSpec::sandy_bridge();
+        let sse = snb.with_isa_clamped(augem_machine::SimdMode::Sse);
+        let cfg = GemmConfig {
+            mu: 4,
+            nu: 4,
+            ..GemmConfig::fig13()
+        };
+        let cache = EvalCache::new();
+        let c = Collector::new();
+        let wide = cache.logged_gemm(&cfg, &snb, &c).unwrap();
+        let narrow = cache.logged_gemm(&cfg, &sse, &c).unwrap();
+        assert!(!Arc::ptr_eq(&wide, &narrow));
+        assert_eq!(c.snapshot().counters[counter::BUILD_MISS], 2);
+        assert_eq!(cache.builds_len(), 2);
+    }
+
+    #[test]
+    fn cached_eval_is_bit_identical_and_skips_the_simulator() {
+        let m = MachineSpec::sandy_bridge();
+        let cfg = GemmConfig {
+            mu: 8,
+            nu: 4,
+            ..GemmConfig::fig13()
+        };
+        let cache = EvalCache::new();
+        let c = Collector::new();
+        let cold = evaluate_gemm_cached(&cfg, &m, &c, None, &cache).unwrap();
+        let sim_cycles_after_miss = c.snapshot().counters["sim.cycles"];
+        let warm = evaluate_gemm_cached(&cfg, &m, &c, None, &cache).unwrap();
+        assert_eq!(cold.mflops.to_bits(), warm.mflops.to_bits());
+        let snap = c.snapshot();
+        assert_eq!(snap.counters[counter::EVAL_MISS], 1);
+        assert_eq!(snap.counters[counter::EVAL_HIT], 1);
+        // The hit did not re-simulate: sim counters unchanged.
+        assert_eq!(snap.counters["sim.cycles"], sim_cycles_after_miss);
+        // A different budget is a different measurement key.
+        let budgeted = evaluate_gemm_cached(&cfg, &m, &c, Some(1 << 32), &cache).unwrap();
+        assert_eq!(budgeted.mflops.to_bits(), cold.mflops.to_bits());
+        assert_eq!(c.snapshot().counters[counter::EVAL_MISS], 2);
+    }
+
+    #[test]
+    fn disabled_cache_never_hits() {
+        let m = MachineSpec::sandy_bridge();
+        let cfg = GemmConfig {
+            mu: 8,
+            nu: 4,
+            ..GemmConfig::fig13()
+        };
+        let cache = EvalCache::disabled();
+        let c = Collector::new();
+        cache.logged_gemm(&cfg, &m, &c).unwrap();
+        cache.logged_gemm(&cfg, &m, &c).unwrap();
+        let snap = c.snapshot();
+        assert!(!snap.counters.contains_key(counter::BUILD_HIT));
+        assert!(!snap.counters.contains_key(counter::BUILD_MISS));
+        assert_eq!(cache.builds_len(), 0);
+    }
+}

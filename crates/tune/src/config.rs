@@ -97,12 +97,22 @@ impl GemmConfig {
     /// [`build`](GemmConfig::build) keeping every artifact the static
     /// verifier consumes.
     pub fn build_logged(&self, machine: &MachineSpec) -> Result<LoggedBuild, BuildError> {
+        self.build_logged_traced(machine, augem_obs::null())
+    }
+
+    /// [`build_logged`](GemmConfig::build_logged) with stage tracing —
+    /// the entry point the evaluation cache fills itself through.
+    pub fn build_logged_traced(
+        &self,
+        machine: &MachineSpec,
+        tracer: &dyn augem_obs::Tracer,
+    ) -> Result<LoggedBuild, BuildError> {
         build_pipeline_logged(
             &gemm_simple(),
             &self.opt_config(),
             &self.codegen_options(),
             machine,
-            augem_obs::null(),
+            tracer,
         )
     }
 
@@ -200,8 +210,18 @@ impl VectorConfig {
     /// [`build`](VectorConfig::build) keeping every artifact the static
     /// verifier consumes.
     pub fn build_logged(&self, machine: &MachineSpec) -> Result<LoggedBuild, BuildError> {
+        self.build_logged_traced(machine, augem_obs::null())
+    }
+
+    /// [`build_logged`](VectorConfig::build_logged) with stage tracing —
+    /// the entry point the evaluation cache fills itself through.
+    pub fn build_logged_traced(
+        &self,
+        machine: &MachineSpec,
+        tracer: &dyn augem_obs::Tracer,
+    ) -> Result<LoggedBuild, BuildError> {
         let (kernel, cfg, opts) = self.pipeline_inputs();
-        build_pipeline_logged(&kernel, &cfg, &opts, machine, augem_obs::null())
+        build_pipeline_logged(&kernel, &cfg, &opts, machine, tracer)
     }
 
     /// The translation-validation problem instance for this

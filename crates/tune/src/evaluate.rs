@@ -5,7 +5,9 @@
 //! measured cycles reflect the kernel's compute behavior — the quantity
 //! the micro-kernel contributes to full-problem performance.
 
+use crate::cache::EvalCache;
 use crate::config::{BuildError, GemmConfig, VectorConfig, VectorKernel};
+use augem_asm::AsmKernel;
 use augem_machine::MachineSpec;
 use augem_opt::CodegenError;
 use augem_sim::{SimError, SimValue, TimingReport};
@@ -146,6 +148,45 @@ pub fn evaluate_gemm_budgeted(
     let asm = cfg
         .build_traced(machine, tracer)
         .map_err(EvalError::Build)?;
+    measure_gemm(&asm, cfg, machine, tracer, step_limit)
+}
+
+/// [`evaluate_gemm_budgeted`] memoized through `cache`: the build goes
+/// through the build cache, the whole measurement through the evaluation
+/// cache (key: config tag + machine fingerprint + step budget). A hit
+/// returns the stored [`Evaluation`] bit-for-bit and replays the build's
+/// labels; only successes are stored.
+pub fn evaluate_gemm_cached(
+    cfg: &GemmConfig,
+    machine: &MachineSpec,
+    tracer: &dyn augem_obs::Tracer,
+    step_limit: Option<u64>,
+    cache: &EvalCache,
+) -> Result<Evaluation, EvalError> {
+    if !cache.is_enabled() {
+        return evaluate_gemm_budgeted(cfg, machine, tracer, step_limit);
+    }
+    let tag = cfg.tag();
+    if let Some(hit) = cache.eval_lookup(&tag, machine, step_limit, tracer) {
+        return Ok(hit);
+    }
+    let logged = cache
+        .logged_gemm(cfg, machine, tracer)
+        .map_err(EvalError::Build)?;
+    let e = measure_gemm(&logged.asm, cfg, machine, tracer, step_limit)?;
+    cache.eval_store(&tag, machine, step_limit, &e);
+    Ok(e)
+}
+
+/// The simulation half of a GEMM evaluation, shared by the cached and
+/// uncached paths.
+fn measure_gemm(
+    asm: &AsmKernel,
+    cfg: &GemmConfig,
+    machine: &MachineSpec,
+    tracer: &dyn augem_obs::Tracer,
+    step_limit: Option<u64>,
+) -> Result<Evaluation, EvalError> {
     let (mr, nr, kc) = gemm_eval_dims(cfg);
     let (mc, ldb, ldc) = (mr, nr, mr);
     let a: Vec<f64> = (0..mc * kc).map(|v| (v % 17) as f64 * 0.25).collect();
@@ -165,8 +206,8 @@ pub fn evaluate_gemm_budgeted(
     let report = {
         let _s = augem_obs::span(tracer, augem_obs::stage::SIM);
         let (report, _) = match step_limit {
-            Some(limit) => augem_sim::simulate_timing_steady_budgeted(&asm, args, machine, limit),
-            None => augem_sim::simulate_timing_steady(&asm, args, machine),
+            Some(limit) => augem_sim::simulate_timing_steady_budgeted(asm, args, machine, limit),
+            None => augem_sim::simulate_timing_steady(asm, args, machine),
         }
         .map_err(EvalError::from_sim)?;
         report
@@ -229,6 +270,42 @@ pub fn evaluate_vector_budgeted(
     let asm = cfg
         .build_traced(machine, tracer)
         .map_err(EvalError::Build)?;
+    measure_vector(&asm, cfg, machine, tracer, step_limit)
+}
+
+/// [`evaluate_vector_budgeted`] memoized through `cache` (see
+/// [`evaluate_gemm_cached`]).
+pub fn evaluate_vector_cached(
+    cfg: &VectorConfig,
+    machine: &MachineSpec,
+    tracer: &dyn augem_obs::Tracer,
+    step_limit: Option<u64>,
+    cache: &EvalCache,
+) -> Result<Evaluation, EvalError> {
+    if !cache.is_enabled() {
+        return evaluate_vector_budgeted(cfg, machine, tracer, step_limit);
+    }
+    let tag = cfg.tag();
+    if let Some(hit) = cache.eval_lookup(&tag, machine, step_limit, tracer) {
+        return Ok(hit);
+    }
+    let logged = cache
+        .logged_vector(cfg, machine, tracer)
+        .map_err(EvalError::Build)?;
+    let e = measure_vector(&logged.asm, cfg, machine, tracer, step_limit)?;
+    cache.eval_store(&tag, machine, step_limit, &e);
+    Ok(e)
+}
+
+/// The simulation half of a vector-kernel evaluation, shared by the
+/// cached and uncached paths.
+fn measure_vector(
+    asm: &AsmKernel,
+    cfg: &VectorConfig,
+    machine: &MachineSpec,
+    tracer: &dyn augem_obs::Tracer,
+    step_limit: Option<u64>,
+) -> Result<Evaluation, EvalError> {
     let (n0, n1) = vector_eval_n(cfg.kernel);
     let (args, useful) = match cfg.kernel {
         VectorKernel::Axpy => {
@@ -301,8 +378,8 @@ pub fn evaluate_vector_budgeted(
     let report = {
         let _s = augem_obs::span(tracer, augem_obs::stage::SIM);
         let (report, _) = match step_limit {
-            Some(limit) => augem_sim::simulate_timing_budgeted(&asm, args, machine, limit),
-            None => augem_sim::simulate_timing(&asm, args, machine),
+            Some(limit) => augem_sim::simulate_timing_budgeted(asm, args, machine, limit),
+            None => augem_sim::simulate_timing(asm, args, machine),
         }
         .map_err(EvalError::from_sim)?;
         report

@@ -18,20 +18,27 @@
 //! policy, prefetching, instruction scheduling) can be frozen to measure
 //! its contribution.
 
+pub mod cache;
 pub mod config;
 pub mod evaluate;
 pub mod resilient;
 pub mod search;
 
+pub use cache::EvalCache;
 pub use config::{
     build_pipeline, build_pipeline_logged, build_pipeline_traced, gemm_candidates,
     vector_candidates, BuildError, GemmConfig, LoggedBuild, VectorConfig, VectorKernel,
 };
 pub use evaluate::{
-    evaluate_gemm, evaluate_gemm_budgeted, evaluate_gemm_traced, evaluate_vector,
-    evaluate_vector_budgeted, evaluate_vector_traced, EvalClass, EvalError, Evaluation,
+    evaluate_gemm, evaluate_gemm_budgeted, evaluate_gemm_cached, evaluate_gemm_traced,
+    evaluate_vector, evaluate_vector_budgeted, evaluate_vector_cached, evaluate_vector_traced,
+    EvalClass, EvalError, Evaluation,
 };
-pub use resilient::{tune_gemm_resilient, tune_vector_resilient, ResilOptions};
+pub use resilient::{
+    tune_gemm_resilient, tune_gemm_resilient_cached, tune_vector_resilient,
+    tune_vector_resilient_cached, ResilOptions,
+};
 pub use search::{
-    tune_gemm, tune_gemm_traced, tune_vector, tune_vector_traced, TuneError, TuneResult,
+    tune_gemm, tune_gemm_cached, tune_gemm_traced, tune_vector, tune_vector_cached,
+    tune_vector_traced, TuneError, TuneResult,
 };

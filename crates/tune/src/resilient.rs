@@ -10,24 +10,36 @@
 //! (measurements are replayed from the journal, never re-simulated, and
 //! the journal stores the exact `f64`).
 //!
-//! Evaluation is deliberately *sequential* here, unlike the rayon sweep
-//! in `search`: the journal is append-ordered, the breaker counts
-//! consecutive failures, and resume must replay decisions in the order
-//! they were made. Fault tolerance buys determinism with the parallelism
-//! budget.
+//! The journal is append-ordered, the breaker counts consecutive
+//! failures, and resume must replay decisions in the order they were
+//! made — so *committing* results is strictly sequential. Evaluation,
+//! however, is pure when no faults are being injected, and runs
+//! speculatively in parallel: workers measure candidates into private
+//! [`Collector`]s, and the sequential commit loop merges each worker's
+//! telemetry ([`replay_into`]) at the candidate's slot in sweep order.
+//! Journal bytes, rankings, counters and events are bit-for-bit
+//! identical to a sequential sweep. With an enabled [`Injector`] the
+//! sweep stays fully sequential, because injected faults (`Trigger::Nth`
+//! counters in particular) are order-dependent by design.
 
+use crate::cache::EvalCache;
 use crate::config::{gemm_candidates, vector_candidates, GemmConfig, VectorConfig, VectorKernel};
 use crate::evaluate::{
-    evaluate_gemm_budgeted, evaluate_vector_budgeted, EvalClass, EvalError, Evaluation,
+    evaluate_gemm_cached, evaluate_vector_cached, EvalClass, EvalError, Evaluation,
 };
 use crate::search::{rank, TuneError, TuneResult};
 use augem_machine::MachineSpec;
-use augem_obs::{span, stage, Tracer, Value};
+use augem_obs::{replay_into, span, stage, Collector, Tracer, Value};
 use augem_resil::{
     counter, sandboxed, with_retry, CircuitBreaker, Fault, Injector, RetryPolicy, Site, TuneJournal,
 };
 use augem_sim::TimingReport;
+use rayon::prelude::*;
 use std::cell::Cell;
+
+/// One speculative worker's output: the measurement (or typed failure)
+/// plus the telemetry it recorded, replayed at commit time.
+type Speculated = (Result<Evaluation, EvalError>, Collector);
 
 /// Default per-candidate instruction budget: far above any healthy
 /// micro-problem trace (worst evaluator runs a few million dynamic
@@ -77,6 +89,27 @@ pub fn tune_gemm_resilient(
     injector: &Injector,
     tracer: &dyn Tracer,
 ) -> Result<TuneResult<GemmConfig>, TuneError> {
+    tune_gemm_resilient_cached(
+        machine,
+        opts,
+        journal,
+        injector,
+        tracer,
+        &EvalCache::disabled(),
+    )
+}
+
+/// [`tune_gemm_resilient`] with builds and measurements memoized through
+/// `cache`, so the verification and degradation stages above the sweep
+/// can reuse what the sweep already computed.
+pub fn tune_gemm_resilient_cached(
+    machine: &MachineSpec,
+    opts: &ResilOptions,
+    journal: &mut TuneJournal,
+    injector: &Injector,
+    tracer: &dyn Tracer,
+    cache: &EvalCache,
+) -> Result<TuneResult<GemmConfig>, TuneError> {
     let candidates = gemm_candidates(machine);
     drive(
         "dgemm",
@@ -84,7 +117,7 @@ pub fn tune_gemm_resilient(
         candidates,
         |c| c.tag(),
         |c| format!("{}x{}", c.mu, c.nu),
-        |c, limit| evaluate_gemm_budgeted(c, machine, tracer, limit),
+        |c, limit, t| evaluate_gemm_cached(c, machine, t, limit, cache),
         opts,
         journal,
         injector,
@@ -101,6 +134,28 @@ pub fn tune_vector_resilient(
     injector: &Injector,
     tracer: &dyn Tracer,
 ) -> Result<TuneResult<VectorConfig>, TuneError> {
+    tune_vector_resilient_cached(
+        kernel,
+        machine,
+        opts,
+        journal,
+        injector,
+        tracer,
+        &EvalCache::disabled(),
+    )
+}
+
+/// [`tune_vector_resilient`] memoized through `cache` (see
+/// [`tune_gemm_resilient_cached`]).
+pub fn tune_vector_resilient_cached(
+    kernel: VectorKernel,
+    machine: &MachineSpec,
+    opts: &ResilOptions,
+    journal: &mut TuneJournal,
+    injector: &Injector,
+    tracer: &dyn Tracer,
+    cache: &EvalCache,
+) -> Result<TuneResult<VectorConfig>, TuneError> {
     let candidates = vector_candidates(kernel, machine);
     drive(
         kernel.name(),
@@ -108,7 +163,7 @@ pub fn tune_vector_resilient(
         candidates,
         |c| c.tag(),
         |c| format!("u{}", c.unroll),
-        |c, limit| evaluate_vector_budgeted(c, machine, tracer, limit),
+        |c, limit, t| evaluate_vector_cached(c, machine, t, limit, cache),
         opts,
         journal,
         injector,
@@ -167,16 +222,31 @@ fn evaluation_from_json(entry: &augem_obs::Json) -> Option<Evaluation> {
     })
 }
 
-/// The sequential fault-tolerant sweep shared by both kernels. See the
-/// module docs for the semantics of each stage.
+/// Can this journal entry be restored without re-evaluation? Mirrors the
+/// commit loop's replay logic: everything but a well-formed "ok" line
+/// with a mangled payload is final.
+fn journal_replayable(journal: &TuneJournal, tag: &str) -> bool {
+    use augem_obs::Json;
+    match journal.get(tag) {
+        None => false,
+        Some(entry) => match entry.get("outcome").and_then(Json::as_str) {
+            Some("ok") => evaluation_from_json(entry).is_some(),
+            _ => true,
+        },
+    }
+}
+
+/// The fault-tolerant sweep shared by both kernels: parallel speculative
+/// evaluation, strictly sequential commit. See the module docs for the
+/// semantics of each stage.
 #[allow(clippy::too_many_arguments)]
-fn drive<C: Copy>(
+fn drive<C: Copy + Sync>(
     kernel: &str,
     machine: &MachineSpec,
     candidates: Vec<C>,
-    tag_of: impl Fn(&C) -> String,
+    tag_of: impl Fn(&C) -> String + Sync,
     family_of: impl Fn(&C) -> String,
-    eval: impl Fn(&C, Option<u64>) -> Result<Evaluation, EvalError>,
+    eval: impl Fn(&C, Option<u64>, &dyn Tracer) -> Result<Evaluation, EvalError> + Sync,
     opts: &ResilOptions,
     journal: &mut TuneJournal,
     injector: &Injector,
@@ -195,11 +265,49 @@ fn drive<C: Copy>(
         );
     }
 
+    // Speculative parallel evaluation. Injected faults are
+    // order-dependent (`Trigger::Nth` counters advance per probe), so an
+    // enabled injector keeps the sweep strictly sequential; without one
+    // evaluation is pure and fans out. Each worker records telemetry
+    // into a private collector; the commit loop replays it in candidate
+    // order. Candidates a tripped breaker later skips are wasted
+    // speculation — their results and telemetry are discarded unseen.
+    let mut pre: Vec<Option<Speculated>> = candidates.iter().map(|_| None).collect();
+    if !injector.is_enabled() {
+        let todo: Vec<usize> = candidates
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !journal_replayable(journal, &tag_of(c)))
+            .map(|(i, _)| i)
+            .collect();
+        let done: Vec<(usize, Speculated)> = todo
+            .par_iter()
+            .map(|&i| {
+                let c = &candidates[i];
+                let tag = tag_of(c);
+                let local = Collector::new();
+                let outcome = with_retry(&opts.retry, &local, &tag, |_attempt| {
+                    let r = sandboxed(|| eval(c, opts.step_limit, &local))
+                        .map_err(EvalError::Panicked)
+                        .and_then(|r| r);
+                    if let Err(e) = &r {
+                        local.add(e.class().counter(), 1);
+                    }
+                    r
+                });
+                (i, (outcome, local))
+            })
+            .collect();
+        for (i, slot) in done {
+            pre[i] = Some(slot);
+        }
+    }
+
     let breaker = CircuitBreaker::new(opts.breaker_threshold);
     let mut evaluated: Vec<(C, Result<Evaluation, String>)> = Vec::with_capacity(candidates.len());
     let mut interrupted = false;
 
-    for c in &candidates {
+    for (i, c) in candidates.iter().enumerate() {
         let tag = tag_of(c);
         let family = family_of(c);
 
@@ -268,62 +376,72 @@ fn drive<C: Copy>(
             continue;
         }
 
-        // Sandboxed, budgeted, retried evaluation. A `Crash` fault
-        // simulates the process dying mid-sweep: the sweep aborts with
-        // `interrupted`, leaving the journal's completed prefix behind.
-        let crashed = Cell::new(false);
-        // Every failed attempt is counted by class — including failures
-        // a later retry recovers from, which would otherwise vanish
-        // from the telemetry.
-        let count_class = |r: Result<Evaluation, EvalError>| {
-            if let Err(e) = &r {
-                if !crashed.get() {
-                    tracer.add(e.class().counter(), 1);
-                }
-            }
-            r
-        };
-        let outcome = with_retry(&opts.retry, tracer, &tag, |attempt| {
-            count_class(match injector.fault(Site::Eval, &tag, attempt) {
-                Some(Fault::Crash) => {
-                    crashed.set(true);
-                    // Fatal class: stops the retry loop immediately.
-                    Err(EvalError::Budget(0))
-                }
-                Some(Fault::Panic) => sandboxed(|| -> Evaluation {
-                    panic!("injected fault: evaluation of {tag} panicked")
-                })
-                .map_err(EvalError::Panicked),
-                Some(Fault::Budget) => {
-                    // A one-instruction budget genuinely exhausts.
-                    sandboxed(|| eval(c, Some(1)))
-                        .map_err(EvalError::Panicked)
-                        .and_then(|r| r)
-                }
-                // A fault injected at the simulator layer shows up to
-                // the tuner as either a panic inside the timing model
-                // or a budget exhausted on the first instruction.
-                Some(Fault::CorruptEntry) | None => {
-                    match injector.fault(Site::Sim, &tag, attempt) {
-                        Some(Fault::Panic) => sandboxed(|| -> Evaluation {
-                            panic!("injected fault: simulator panicked on {tag}")
-                        })
-                        .map_err(EvalError::Panicked),
-                        Some(Fault::Budget) => sandboxed(|| eval(c, Some(1)))
-                            .map_err(EvalError::Panicked)
-                            .and_then(|r| r),
-                        _ => sandboxed(|| eval(c, opts.step_limit))
-                            .map_err(EvalError::Panicked)
-                            .and_then(|r| r),
+        let outcome = if let Some((outcome, local)) = pre[i].take() {
+            // Speculatively evaluated: merge the worker's telemetry at
+            // this candidate's slot in the commit order, then proceed
+            // exactly as if it had just been evaluated inline.
+            replay_into(tracer, &local.snapshot());
+            outcome
+        } else {
+            // Sandboxed, budgeted, retried inline evaluation. A `Crash`
+            // fault simulates the process dying mid-sweep: the sweep
+            // aborts with `interrupted`, leaving the journal's completed
+            // prefix behind.
+            let crashed = Cell::new(false);
+            // Every failed attempt is counted by class — including
+            // failures a later retry recovers from, which would
+            // otherwise vanish from the telemetry.
+            let count_class = |r: Result<Evaluation, EvalError>| {
+                if let Err(e) = &r {
+                    if !crashed.get() {
+                        tracer.add(e.class().counter(), 1);
                     }
                 }
-            })
-        });
-        if crashed.get() {
-            interrupted = true;
-            tracer.event("resil.crash", &[("tag", Value::from(tag.as_str()))]);
-            break;
-        }
+                r
+            };
+            let outcome = with_retry(&opts.retry, tracer, &tag, |attempt| {
+                count_class(match injector.fault(Site::Eval, &tag, attempt) {
+                    Some(Fault::Crash) => {
+                        crashed.set(true);
+                        // Fatal class: stops the retry loop immediately.
+                        Err(EvalError::Budget(0))
+                    }
+                    Some(Fault::Panic) => sandboxed(|| -> Evaluation {
+                        panic!("injected fault: evaluation of {tag} panicked")
+                    })
+                    .map_err(EvalError::Panicked),
+                    Some(Fault::Budget) => {
+                        // A one-instruction budget genuinely exhausts.
+                        sandboxed(|| eval(c, Some(1), tracer))
+                            .map_err(EvalError::Panicked)
+                            .and_then(|r| r)
+                    }
+                    // A fault injected at the simulator layer shows up to
+                    // the tuner as either a panic inside the timing model
+                    // or a budget exhausted on the first instruction.
+                    Some(Fault::CorruptEntry) | None => {
+                        match injector.fault(Site::Sim, &tag, attempt) {
+                            Some(Fault::Panic) => sandboxed(|| -> Evaluation {
+                                panic!("injected fault: simulator panicked on {tag}")
+                            })
+                            .map_err(EvalError::Panicked),
+                            Some(Fault::Budget) => sandboxed(|| eval(c, Some(1), tracer))
+                                .map_err(EvalError::Panicked)
+                                .and_then(|r| r),
+                            _ => sandboxed(|| eval(c, opts.step_limit, tracer))
+                                .map_err(EvalError::Panicked)
+                                .and_then(|r| r),
+                        }
+                    }
+                })
+            });
+            if crashed.get() {
+                interrupted = true;
+                tracer.event("resil.crash", &[("tag", Value::from(tag.as_str()))]);
+                break;
+            }
+            outcome
+        };
 
         match outcome {
             Ok(e) => {

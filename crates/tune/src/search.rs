@@ -2,8 +2,9 @@
 //! best — the paper's "selects the best performing configurations based on
 //! the performance of their optimized code".
 
+use crate::cache::EvalCache;
 use crate::config::{gemm_candidates, vector_candidates, GemmConfig, VectorConfig, VectorKernel};
-use crate::evaluate::{evaluate_gemm_traced, evaluate_vector_traced, Evaluation};
+use crate::evaluate::{evaluate_gemm_cached, evaluate_vector_cached, Evaluation};
 use augem_machine::MachineSpec;
 use augem_obs::{span, stage, Tracer, Value};
 use rayon::prelude::*;
@@ -86,6 +87,17 @@ pub fn tune_gemm_traced(
     machine: &MachineSpec,
     tracer: &dyn Tracer,
 ) -> Result<TuneResult<GemmConfig>, TuneError> {
+    tune_gemm_cached(machine, tracer, &EvalCache::disabled())
+}
+
+/// [`tune_gemm_traced`] with every candidate's build and measurement
+/// routed through `cache`, so later winner rebuilds and re-evaluations
+/// hit instead of re-running the pipeline.
+pub fn tune_gemm_cached(
+    machine: &MachineSpec,
+    tracer: &dyn Tracer,
+    cache: &EvalCache,
+) -> Result<TuneResult<GemmConfig>, TuneError> {
     let _s = span(tracer, stage::TUNE);
     let candidates = gemm_candidates(machine);
     let evaluated: Vec<(GemmConfig, Result<Evaluation, String>)> = candidates
@@ -93,7 +105,7 @@ pub fn tune_gemm_traced(
         .map(|c| {
             (
                 *c,
-                evaluate_gemm_traced(c, machine, tracer).map_err(|e| e.to_string()),
+                evaluate_gemm_cached(c, machine, tracer, None, cache).map_err(|e| e.to_string()),
             )
         })
         .collect();
@@ -114,6 +126,17 @@ pub fn tune_vector_traced(
     machine: &MachineSpec,
     tracer: &dyn Tracer,
 ) -> Result<TuneResult<VectorConfig>, TuneError> {
+    tune_vector_cached(kernel, machine, tracer, &EvalCache::disabled())
+}
+
+/// [`tune_vector_traced`] routed through `cache` (see
+/// [`tune_gemm_cached`]).
+pub fn tune_vector_cached(
+    kernel: VectorKernel,
+    machine: &MachineSpec,
+    tracer: &dyn Tracer,
+    cache: &EvalCache,
+) -> Result<TuneResult<VectorConfig>, TuneError> {
     let _s = span(tracer, stage::TUNE);
     let candidates = vector_candidates(kernel, machine);
     let evaluated: Vec<(VectorConfig, Result<Evaluation, String>)> = candidates
@@ -121,7 +144,7 @@ pub fn tune_vector_traced(
         .map(|c| {
             (
                 *c,
-                evaluate_vector_traced(c, machine, tracer).map_err(|e| e.to_string()),
+                evaluate_vector_cached(c, machine, tracer, None, cache).map_err(|e| e.to_string()),
             )
         })
         .collect();

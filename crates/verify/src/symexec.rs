@@ -23,10 +23,11 @@
 //! normalizes them modulo a declared [`ReassocPolicy`].
 
 use augem_asm::{
-    fp_semantics, ArithLane, AsmKernel, FpAluOp, FpSem, GpOrImm, LaneSrc, Mem, ParamLoc, XInst,
+    fp_semantics, ArithLane, AsmKernel, FpAluOp, FpSem, LaneSrc, Mem, ParamLoc, XInst,
 };
 use augem_ir::ast::BinOp;
 use augem_ir::ScalarValue;
+use augem_sim::decode::{DecodedOp, NO_IDX};
 use std::rc::Rc;
 
 /// A symbolic `double`: a reference-counted expression DAG. Leaves are
@@ -429,12 +430,16 @@ impl SymMachine {
             st.gp[7] = ((id as i64) + 1) << ARRAY_SHIFT; // %rsp
         }
 
-        let mut labels: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
-        for (i, inst) in kernel.insts.iter().enumerate() {
-            if let XInst::Label(l) = inst {
-                labels.insert(l.as_str(), i);
-            }
-        }
+        // The concrete GP/control-flow side runs on the simulator's
+        // pre-decoded program: labels are resolved to pc indices once
+        // (an undefined label surfaces here, before execution) and the
+        // per-step dispatch is string-free. Only FP instructions still
+        // consult the declarative `fp_semantics` table on the original
+        // `XInst`s — the symbolic domain is this crate's own.
+        let prog = augem_sim::decode(kernel, self.vex).map_err(|e| match e {
+            augem_sim::SimError::UndefinedLabel(l) => (None, SymFault::UndefinedLabel(l)),
+            other => (None, SymFault::Unmodeled(other.to_string())),
+        })?;
 
         let mut pc = 0usize;
         let mut steps = 0u64;
@@ -448,44 +453,65 @@ impl SymMachine {
                 self.exec_fp(&sem, inst, &mut st)
                     .map_err(|f| (Some(pc), f))?;
             } else {
-                match inst {
-                    XInst::FStore { src, mem, w } => {
-                        let vals: Vec<SymExpr> = st.vec[src.0 as usize][..w.lanes()].to_vec();
-                        let (arr, elem) =
-                            resolve(&st, *mem, w.lanes()).map_err(|f| (Some(pc), f))?;
-                        for (i, v) in vals.into_iter().enumerate() {
-                            st.arrays[arr][elem + i] = Cell::Sym(v);
-                        }
+                // The decoder splits stores by width; the symbolic
+                // store is width-generic, so normalize first.
+                let store = match prog.ops[pc] {
+                    DecodedOp::FStore { src, base, disp } => Some((src, base, 1usize, disp)),
+                    DecodedOp::FStore2 { src, base, disp } => Some((src, base, 2, disp)),
+                    DecodedOp::FStore4 { src, base, disp } => Some((src, base, 4, disp)),
+                    _ => None,
+                };
+                if let Some((src, base, lanes, disp)) = store {
+                    let vals: Vec<SymExpr> = st.vec[src as usize][..lanes].to_vec();
+                    let addr = st.gp[base as usize].wrapping_add(disp);
+                    let (arr, elem) = resolve(&st, addr, lanes).map_err(|f| (Some(pc), f))?;
+                    for (i, v) in vals.into_iter().enumerate() {
+                        st.arrays[arr][elem + i] = Cell::Sym(v);
                     }
-                    XInst::IMovImm { dst, imm } => st.gp[dst.0 as usize] = *imm,
-                    XInst::IMov { dst, src } => st.gp[dst.0 as usize] = st.gp[src.0 as usize],
-                    XInst::IAdd { dst, src } => {
-                        let v = gp_or_imm(&st, *src);
-                        st.gp[dst.0 as usize] = st.gp[dst.0 as usize].wrapping_add(v);
+                    pc += 1;
+                    continue;
+                }
+                match prog.ops[pc] {
+                    DecodedOp::IMovImm { dst, imm } => st.gp[dst as usize] = imm,
+                    DecodedOp::IMov { dst, src } => st.gp[dst as usize] = st.gp[src as usize],
+                    DecodedOp::IAddR { dst, src } => {
+                        let v = st.gp[src as usize];
+                        st.gp[dst as usize] = st.gp[dst as usize].wrapping_add(v);
                     }
-                    XInst::ISub { dst, src } => {
-                        let v = gp_or_imm(&st, *src);
-                        st.gp[dst.0 as usize] = st.gp[dst.0 as usize].wrapping_sub(v);
+                    DecodedOp::IAddI { dst, imm } => {
+                        st.gp[dst as usize] = st.gp[dst as usize].wrapping_add(imm);
                     }
-                    XInst::IMul { dst, src } => {
-                        let v = gp_or_imm(&st, *src);
-                        st.gp[dst.0 as usize] = st.gp[dst.0 as usize].wrapping_mul(v);
+                    DecodedOp::ISubR { dst, src } => {
+                        let v = st.gp[src as usize];
+                        st.gp[dst as usize] = st.gp[dst as usize].wrapping_sub(v);
                     }
-                    XInst::Lea {
+                    DecodedOp::ISubI { dst, imm } => {
+                        st.gp[dst as usize] = st.gp[dst as usize].wrapping_sub(imm);
+                    }
+                    DecodedOp::IMulR { dst, src } => {
+                        let v = st.gp[src as usize];
+                        st.gp[dst as usize] = st.gp[dst as usize].wrapping_mul(v);
+                    }
+                    DecodedOp::IMulI { dst, imm } => {
+                        st.gp[dst as usize] = st.gp[dst as usize].wrapping_mul(imm);
+                    }
+                    DecodedOp::Lea {
                         dst,
                         base,
                         idx,
+                        scale,
                         disp,
                     } => {
-                        let mut v = st.gp[base.0 as usize].wrapping_add(*disp);
-                        if let Some((r, scale)) = idx {
-                            v = v.wrapping_add(st.gp[r.0 as usize].wrapping_mul(*scale as i64));
+                        let mut v = st.gp[base as usize].wrapping_add(disp);
+                        if idx != NO_IDX {
+                            v = v.wrapping_add(st.gp[idx as usize].wrapping_mul(scale as i64));
                         }
-                        st.gp[dst.0 as usize] = v;
+                        st.gp[dst as usize] = v;
                     }
-                    XInst::ILoad { dst, mem } => {
-                        let (arr, elem) = resolve(&st, *mem, 1).map_err(|f| (Some(pc), f))?;
-                        st.gp[dst.0 as usize] = match &st.arrays[arr][elem] {
+                    DecodedOp::ILoad { dst, base, disp } => {
+                        let addr = st.gp[base as usize].wrapping_add(disp);
+                        let (arr, elem) = resolve(&st, addr, 1).map_err(|f| (Some(pc), f))?;
+                        st.gp[dst as usize] = match &st.arrays[arr][elem] {
                             Cell::Gp(v) => *v,
                             Cell::Sym(e) => match e.as_const() {
                                 Some(c) => c.to_bits() as i64,
@@ -500,38 +526,34 @@ impl SymMachine {
                             },
                         };
                     }
-                    XInst::IStore { src, mem } => {
-                        let (arr, elem) = resolve(&st, *mem, 1).map_err(|f| (Some(pc), f))?;
-                        st.arrays[arr][elem] = Cell::Gp(st.gp[src.0 as usize]);
+                    DecodedOp::IStore { src, base, disp } => {
+                        let addr = st.gp[base as usize].wrapping_add(disp);
+                        let (arr, elem) = resolve(&st, addr, 1).map_err(|f| (Some(pc), f))?;
+                        st.arrays[arr][elem] = Cell::Gp(st.gp[src as usize]);
                     }
-                    XInst::Cmp { a, b } => {
-                        st.cmp = (st.gp[a.0 as usize], gp_or_imm(&st, *b));
+                    DecodedOp::CmpR { a, b } => {
+                        st.cmp = (st.gp[a as usize], st.gp[b as usize]);
                     }
-                    XInst::Jl(l) => {
+                    DecodedOp::CmpI { a, imm } => {
+                        st.cmp = (st.gp[a as usize], imm);
+                    }
+                    DecodedOp::Jl { target } => {
                         if st.cmp.0 < st.cmp.1 {
-                            pc = *labels
-                                .get(l.as_str())
-                                .ok_or((Some(pc), SymFault::UndefinedLabel(l.clone())))?;
+                            pc = target as usize;
                         }
                     }
-                    XInst::Jge(l) => {
+                    DecodedOp::Jge { target } => {
                         if st.cmp.0 >= st.cmp.1 {
-                            pc = *labels
-                                .get(l.as_str())
-                                .ok_or((Some(pc), SymFault::UndefinedLabel(l.clone())))?;
+                            pc = target as usize;
                         }
                     }
-                    XInst::Jmp(l) => {
-                        pc = *labels
-                            .get(l.as_str())
-                            .ok_or((Some(pc), SymFault::UndefinedLabel(l.clone())))?;
-                    }
-                    XInst::Ret => break,
+                    DecodedOp::Jmp { target } => pc = target as usize,
+                    DecodedOp::Ret => break,
                     // No architectural effect; its address is already
                     // bounds-checked statically by memcheck.
-                    XInst::Prefetch { .. } => {}
-                    XInst::Label(_) | XInst::Comment(_) => {}
-                    other => return Err((Some(pc), SymFault::Unmodeled(format!("{other:?}")))),
+                    DecodedOp::Prefetch { .. } => {}
+                    DecodedOp::Nop => {}
+                    _ => return Err((Some(pc), SymFault::Unmodeled(format!("{inst:?}")))),
                 }
             }
             pc += 1;
@@ -553,7 +575,8 @@ impl SymMachine {
         let n = sem.mem_elems();
         if n > 0 {
             let mem: Mem = *inst.mem().expect("mem-reading FP instruction has operand");
-            let (arr, elem) = resolve(st, mem, n)?;
+            let addr = st.gp[mem.base.0 as usize].wrapping_add(mem.disp);
+            let (arr, elem) = resolve(st, addr, n)?;
             for (i, v) in mem_vals.iter_mut().take(n).enumerate() {
                 *v = st.arrays[arr][elem + i].as_fp();
             }
@@ -604,18 +627,10 @@ impl SymMachine {
     }
 }
 
-fn gp_or_imm(st: &MState, v: GpOrImm) -> i64 {
-    match v {
-        GpOrImm::Gp(r) => st.gp[r.0 as usize],
-        GpOrImm::Imm(i) => i,
-    }
-}
-
 /// Maps a concrete synthetic address to (array, element), checking
 /// bounds and 8-byte alignment — the same rules as the concrete
 /// simulator.
-fn resolve(st: &MState, mem: Mem, elems: usize) -> Result<(usize, usize), SymFault> {
-    let addr = st.gp[mem.base.0 as usize].wrapping_add(mem.disp);
+fn resolve(st: &MState, addr: i64, elems: usize) -> Result<(usize, usize), SymFault> {
     let arr = (addr >> ARRAY_SHIFT) - 1;
     let off = addr & ((1i64 << ARRAY_SHIFT) - 1);
     if arr < 0 || arr as usize >= st.arrays.len() {
@@ -644,7 +659,7 @@ fn resolve(st: &MState, mem: Mem, elems: usize) -> Result<(usize, usize), SymFau
 #[cfg(test)]
 mod tests {
     use super::*;
-    use augem_asm::Width;
+    use augem_asm::{GpOrImm, Width};
     use augem_machine::{GpReg, VecReg};
 
     fn add(a: &SymExpr, b: &SymExpr) -> SymExpr {
