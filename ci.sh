@@ -50,6 +50,27 @@ echo "== tune bench: decoded-engine throughput + eval-cache hit rates"
 test -f BENCH_tune.json
 grep -q '"schema": "augem.bench-tune/v1"' BENCH_tune.json
 
+echo "== prof: conservation + artifact matrix"
+# Per-pc cycle attribution must telescope exactly to the aggregate
+# timing report for every tuner candidate, and every kernel x machine
+# artifact must round-trip through the augem.profile/v1 schema.
+cargo test --release -q -p augem-prof
+
+echo "== prof bench: profiled-replay overhead gate"
+# The binary exits non-zero if the profiled replay ever costs more than
+# 2x the plain replay — profiling must stay cheap enough to leave on.
+./target/release/figures prof
+test -f BENCH_prof.json
+grep -q '"schema": "augem.bench-prof/v1"' BENCH_prof.json
+
+echo "== prof smoke: augem-gen --profile writes a valid artifact"
+PROF_TMP=$(mktemp -d)
+./target/release/augem-gen --kernel gemm --machine sandybridge \
+  --profile="$PROF_TMP/gemm.profile.json" -o /dev/null 2>"$PROF_TMP/listing.txt"
+grep -q '"schema": "augem.profile/v1"' "$PROF_TMP/gemm.profile.json"
+grep -q 'mmUnrolledCOMP' "$PROF_TMP/listing.txt"
+rm -rf "$PROF_TMP"
+
 echo "== decoded engine: differential suite (decoded == legacy, bit for bit)"
 cargo test --release -q --test sim_decoded_differential
 

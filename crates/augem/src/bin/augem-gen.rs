@@ -6,6 +6,7 @@
 //! augem-gen --kernel gemm --machine sandybridge --emit tagged
 //! augem-gen --kernel dot  --machine sandybridge -o dot.s   # write to a file
 //! augem-gen --kernel gemm --machine piledriver --verify    # static verification
+//! augem-gen --kernel gemm --machine sandybridge --profile  # cycle attribution
 //! augem-gen --list                                         # kernels & machines
 //! ```
 //!
@@ -18,6 +19,14 @@
 //! location computes the same expression. Diagnostics go to stderr; any
 //! `error:`-severity diagnostic makes the exit status non-zero, as does
 //! a warning count above `--max-warnings N`.
+//!
+//! `--profile[=PATH]` profiles the winning kernel on the timing
+//! simulator with per-instruction cycle attribution (stall causes, port
+//! occupancy, cache behaviour), prints the annotated listing to stderr,
+//! and writes the `augem.profile/v1` JSON artifact to PATH (default
+//! `<kernel>_<machine>.profile.json`). Works with or without
+//! `--verify`; the run report's `profile` section carries the region
+//! rollup either way.
 //!
 //! `--degrade` switches to the fault-tolerant driver: candidate
 //! evaluation is sandboxed and budgeted, the winner is verified, and on
@@ -56,6 +65,9 @@ struct Args {
     verify: bool,
     /// Skip the translation-validation stage of `--verify`.
     no_equiv: bool,
+    /// Profile the winner: `Some(None)` = default artifact path,
+    /// `Some(Some(p))` = explicit `--profile=p`.
+    profile: Option<Option<String>>,
     /// Fail (exit 1) when `--verify` emits more than this many warnings.
     max_warnings: Option<usize>,
     /// Use the fault-tolerant driver with graceful degradation.
@@ -80,7 +92,7 @@ fn usage() -> ExitCode {
         "usage: augem-gen --kernel <gemm|gemv|ger|axpy|dot|scal> \
          --machine <sandybridge|piledriver> [--emit asm|c|tagged] [-o FILE]\n\
          \x20                [--trace] [--report FILE.json] [--verify]\n\
-         \x20                [--no-equiv] [--max-warnings N]\n\
+         \x20                [--no-equiv] [--max-warnings N] [--profile[=FILE.json]]\n\
          \x20                [--degrade] [--checkpoint FILE.jsonl] [--resume]\n\
          \x20                [--inject-crash N]\n\
          \x20      augem-gen --list"
@@ -110,6 +122,7 @@ fn parse() -> Result<Option<Args>, ExitCode> {
     let mut report = None;
     let mut verify = false;
     let mut no_equiv = false;
+    let mut profile = None;
     let mut max_warnings = None;
     let mut degrade = false;
     let mut checkpoint = None;
@@ -167,6 +180,7 @@ fn parse() -> Result<Option<Args>, ExitCode> {
             "--report" => report = Some(val("--report")?),
             "--verify" => verify = true,
             "--no-equiv" => no_equiv = true,
+            "--profile" => profile = Some(None),
             "--max-warnings" => {
                 let v = val("--max-warnings")?;
                 max_warnings = Some(match v.parse::<usize>() {
@@ -191,8 +205,16 @@ fn parse() -> Result<Option<Args>, ExitCode> {
                 });
             }
             other => {
-                eprintln!("unknown flag `{other}`");
-                return Err(usage());
+                if let Some(p) = other.strip_prefix("--profile=") {
+                    if p.is_empty() {
+                        eprintln!("--profile= needs a path (or use bare --profile)");
+                        return Err(usage());
+                    }
+                    profile = Some(Some(p.to_string()));
+                } else {
+                    eprintln!("unknown flag `{other}`");
+                    return Err(usage());
+                }
             }
         }
     }
@@ -211,6 +233,7 @@ fn parse() -> Result<Option<Args>, ExitCode> {
         report,
         verify,
         no_equiv,
+        profile,
         max_warnings,
         degrade,
         checkpoint,
@@ -238,12 +261,20 @@ fn main() -> ExitCode {
         Err(code) => return code,
     };
 
-    if (args.trace || args.report.is_some() || args.verify || args.degrade)
+    if (args.trace
+        || args.report.is_some()
+        || args.verify
+        || args.degrade
+        || args.profile.is_some())
         && args.emit != Emit::Asm
     {
         eprintln!(
-            "--trace/--report/--verify/--degrade only apply to --emit asm (the tuned pipeline)"
+            "--trace/--report/--verify/--profile/--degrade only apply to --emit asm (the tuned pipeline)"
         );
+        return ExitCode::from(2);
+    }
+    if args.profile.is_some() && args.degrade {
+        eprintln!("--profile does not combine with --degrade (profile the winner separately)");
         return ExitCode::from(2);
     }
     if (args.no_equiv || args.max_warnings.is_some()) && !(args.verify || args.degrade) {
@@ -266,10 +297,11 @@ fn main() -> ExitCode {
             let generated = if args.verify {
                 let opts = VerifyOptions {
                     equivalence: !args.no_equiv,
+                    profile: args.profile.is_some(),
                 };
                 driver
-                    .generate_report_verified_with(args.kernel, &opts)
-                    .map(|(g, run, diags)| {
+                    .generate_report_verified_profiled_with(args.kernel, &opts)
+                    .map(|(g, run, diags, prof)| {
                         for d in &diags {
                             eprintln!("{d}");
                         }
@@ -282,13 +314,19 @@ fn main() -> ExitCode {
                             g.config_tag,
                             args.machine.arch.short_name()
                         );
-                        (g, run)
+                        (g, run, prof)
                     })
+            } else if args.profile.is_some() {
+                driver
+                    .generate_report_profiled(args.kernel)
+                    .map(|(g, run, prof)| (g, run, Some(prof)))
             } else {
-                driver.generate_report(args.kernel)
+                driver
+                    .generate_report(args.kernel)
+                    .map(|(g, run)| (g, run, None))
             };
             match generated {
-                Ok((g, run)) => {
+                Ok((g, run, prof)) => {
                     if args.trace {
                         eprint!("{}", run.render_text());
                     }
@@ -298,6 +336,22 @@ fn main() -> ExitCode {
                             eprintln!("cannot write {path}: {e}");
                             return ExitCode::FAILURE;
                         }
+                    }
+                    if let (Some(dest), Some(p)) = (&args.profile, &prof) {
+                        let path = dest.clone().unwrap_or_else(|| {
+                            format!(
+                                "{}_{}.profile.json",
+                                args.kernel.name(),
+                                args.machine.arch.short_name()
+                            )
+                        });
+                        let json = p.to_json().render_pretty();
+                        if let Err(e) = write_atomic(&path, json + "\n") {
+                            eprintln!("cannot write {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                        eprint!("{}", p.annotated_listing());
+                        eprintln!("profile artifact written to {path}");
                     }
                     format!(
                         "# tuned configuration: {} ({:.0} Mflops steady-state)\n{}",
@@ -361,6 +415,7 @@ fn run_degradable(args: &Args) -> ExitCode {
     let policy = DegradationPolicy {
         verify: VerifyOptions {
             equivalence: !args.no_equiv,
+            ..VerifyOptions::default()
         },
         checkpoint: args.checkpoint.as_ref().map(std::path::PathBuf::from),
         resume: args.resume,

@@ -55,10 +55,14 @@ use augem_machine::MachineSpec;
 use augem_obs::{
     CandidateFailure, Collector, RankedCandidate, RunReport, SimCounters, Tracer, TunerTelemetry,
 };
+use augem_prof::Profile;
 use augem_resil::{sandboxed, Injector, Site, TuneJournal};
 use augem_sim::TimingReport;
 use augem_tune::config::{GemmConfig, LoggedBuild, VectorConfig, VectorKernel};
-use augem_tune::evaluate::{evaluate_gemm_cached, evaluate_vector_cached, EvalError, Evaluation};
+use augem_tune::evaluate::{
+    evaluate_gemm_cached, evaluate_vector_cached, profile_gemm_cached, profile_vector_cached,
+    EvalError, Evaluation,
+};
 use augem_tune::search::TuneError;
 use augem_tune::{
     tune_gemm_cached, tune_gemm_resilient_cached, tune_vector_cached, tune_vector_resilient_cached,
@@ -112,7 +116,7 @@ impl std::error::Error for AugemError {}
 
 /// Converts a tuner result into report telemetry.
 fn telemetry_of<C>(t: &TuneResult<C>, tag: impl Fn(&C) -> String) -> TunerTelemetry {
-    TunerTelemetry::from_ranking(
+    let mut telemetry = TunerTelemetry::from_ranking(
         t.ranking
             .iter()
             .map(|(c, mflops)| RankedCandidate {
@@ -128,7 +132,9 @@ fn telemetry_of<C>(t: &TuneResult<C>, tag: impl Fn(&C) -> String) -> TunerTeleme
             })
             .collect(),
         t.generated as u64,
-    )
+    );
+    telemetry.eval_latency_ns = t.eval_latency_ns.clone();
+    telemetry
 }
 
 /// Repackages the winner's [`TimingReport`] for the run report.
@@ -180,11 +186,19 @@ pub struct VerifyOptions {
     /// Run the translation validator ([`verify::check_equivalence`]) in
     /// addition to the structural checks. On by default.
     pub equivalence: bool,
+    /// Profile the winning kernel (per-pc cycle attribution via
+    /// `augem-prof`) and embed the region rollup in the run report. On
+    /// by default; a cache hit replays a stored profile instead of
+    /// re-simulating.
+    pub profile: bool,
 }
 
 impl Default for VerifyOptions {
     fn default() -> Self {
-        VerifyOptions { equivalence: true }
+        VerifyOptions {
+            equivalence: true,
+            profile: true,
+        }
     }
 }
 
@@ -363,12 +377,35 @@ impl Augem {
 
     /// [`generate_report_verified`](Augem::generate_report_verified)
     /// with stage selection — `opts.equivalence: false` skips the
-    /// translation validator and runs only the structural checks.
+    /// translation validator and runs only the structural checks;
+    /// `opts.profile: false` skips the kernel profiler.
     pub fn generate_report_verified_with(
         &self,
         kernel: DlaKernel,
         opts: &VerifyOptions,
     ) -> Result<(Generated, RunReport, Vec<augem_verify::Diagnostic>), AugemError> {
+        self.generate_report_verified_profiled_with(kernel, opts)
+            .map(|(g, report, diags, _)| (g, report, diags))
+    }
+
+    /// [`generate_report_verified_with`](Augem::generate_report_verified_with),
+    /// additionally returning the winning kernel's full [`Profile`]
+    /// (per-pc attribution + annotated listing + `augem.profile/v1`
+    /// artifact) when `opts.profile` is set. The run report always
+    /// carries the region rollup (`report.profile`) in that case.
+    pub fn generate_report_verified_profiled_with(
+        &self,
+        kernel: DlaKernel,
+        opts: &VerifyOptions,
+    ) -> Result<
+        (
+            Generated,
+            RunReport,
+            Vec<augem_verify::Diagnostic>,
+            Option<Profile>,
+        ),
+        AugemError,
+    > {
         let collector = Collector::new();
         let (g, tuner, winner) = self.generate_inner(kernel, &collector)?;
         // The sweep already built the winner; this is a cache hit, not a
@@ -391,8 +428,59 @@ impl Augem {
                 &collector,
             ));
         }
-        let report = self.finish_report(&collector, kernel, Some(&g), Some(tuner));
-        Ok((g, report, diags))
+        let profile = if opts.profile {
+            Some(
+                self.profile_winner(&winner, &collector)
+                    .map_err(AugemError::Eval)?,
+            )
+        } else {
+            None
+        };
+        let mut report = self.finish_report(&collector, kernel, Some(&g), Some(tuner));
+        if let Some(p) = &profile {
+            report.profile = Some(p.summary());
+        }
+        Ok((g, report, diags, profile))
+    }
+
+    /// Runs a traced generation like
+    /// [`generate_report`](Augem::generate_report), then profiles the
+    /// winner and returns the full [`Profile`] alongside the report
+    /// (whose `profile` field carries the region rollup). The
+    /// `augem-gen --profile` path when verification is off.
+    pub fn generate_report_profiled(
+        &self,
+        kernel: DlaKernel,
+    ) -> Result<(Generated, RunReport, Profile), AugemError> {
+        let collector = Collector::new();
+        let (g, tuner, winner) = self.generate_inner(kernel, &collector)?;
+        let profile = self
+            .profile_winner(&winner, &collector)
+            .map_err(AugemError::Eval)?;
+        let mut report = self.finish_report(&collector, kernel, Some(&g), Some(tuner));
+        report.profile = Some(profile.summary());
+        Ok((g, report, profile))
+    }
+
+    /// Profiles a winning configuration through the evaluation cache
+    /// (the sweep already built it — the build is a hit; the profiled
+    /// replay is cached under `cache.profile.*` so repeated reports
+    /// replay the stored attribution) and rolls the raw per-pc counters
+    /// up into an [`augem_prof::Profile`].
+    fn profile_winner(&self, w: &Winner, tracer: &dyn Tracer) -> Result<Profile, EvalError> {
+        let pe = match w {
+            Winner::Gemm(c) => profile_gemm_cached(c, &self.machine, tracer, None, &self.cache)?,
+            Winner::Vector(c) => {
+                profile_vector_cached(c, &self.machine, tracer, None, &self.cache)?
+            }
+        };
+        Ok(Profile::build(
+            &pe.build.asm,
+            &self.machine,
+            &pe.report,
+            &pe.pcs,
+            Some(&pe.build.log),
+        ))
     }
 
     /// The fault-tolerant end-to-end driver: tunes resiliently

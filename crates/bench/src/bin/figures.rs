@@ -8,6 +8,7 @@
 //! cargo run --release -p augem-bench --bin figures -- pipeline # BENCH_pipeline.json
 //! cargo run --release -p augem-bench --bin figures -- verify   # BENCH_verify.json
 //! cargo run --release -p augem-bench --bin figures -- tune     # BENCH_tune.json
+//! cargo run --release -p augem-bench --bin figures -- prof     # BENCH_prof.json
 //! ```
 
 use augem::obs::Json;
@@ -357,6 +358,134 @@ fn emit_tune_report(platforms: &[MachineSpec]) -> bool {
     ok
 }
 
+/// Minimum observed wall time of `f` over ~200 invocations. The replay
+/// is deterministic, so the minimum sheds scheduler and frequency noise.
+fn secs_per_replay(mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..200 {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Times the plain timing replay against the profiled replay on one
+/// pre-built kernel trace, then rolls the profiled counters up into the
+/// region summary that goes into the report entry. Returns the JSON
+/// entry plus both per-replay wall times.
+fn prof_entry(
+    kernel: &str,
+    machine: &MachineSpec,
+    build: &augem_tune::LoggedBuild,
+    args: &[SimValue],
+    warm: bool,
+) -> Option<(Json, f64, f64)> {
+    let traced = FuncSim::new(machine.isa).with_trace();
+    let (_, trace) = match traced.run(&build.asm, args.to_vec()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("prof bench: {kernel} functional run failed: {e}");
+            return None;
+        }
+    };
+    let plain_s = secs_per_replay(|| {
+        let _ = augem_sim::replay(&build.asm, &trace, machine, warm);
+    });
+    let profiled_s = secs_per_replay(|| {
+        let _ = augem_sim::replay_profiled(&build.asm, &trace, machine, warm);
+    });
+    let (report, pcs) = augem_sim::replay_profiled(&build.asm, &trace, machine, warm);
+    let profile = augem_prof::Profile::build(&build.asm, machine, &report, &pcs, Some(&build.log));
+    let overhead = profiled_s / plain_s;
+    println!(
+        "prof   {:>6} on {:<12} {:>8} cycles: plain {:>8.1} us, profiled {:>8.1} us ({:.2}x)",
+        kernel,
+        machine.arch.short_name(),
+        report.cycles,
+        plain_s * 1e6,
+        profiled_s * 1e6,
+        overhead,
+    );
+    let regions: Vec<Json> = profile
+        .regions
+        .iter()
+        .map(|r| {
+            Json::obj(vec![
+                ("name", Json::str(r.name.clone())),
+                ("cycles", Json::uint(r.cycles)),
+                ("pct", Json::Num(r.pct)),
+            ])
+        })
+        .collect();
+    let entry = Json::obj(vec![
+        ("kernel", Json::str(kernel)),
+        ("machine", Json::str(machine.arch.short_name())),
+        ("cycles", Json::uint(report.cycles)),
+        ("dyn_insts", Json::uint(report.dyn_insts)),
+        ("plain_replay_s", Json::Num(plain_s)),
+        ("profiled_replay_s", Json::Num(profiled_s)),
+        ("overhead", Json::Num(overhead)),
+        ("regions", Json::Arr(regions)),
+    ]);
+    Some((entry, plain_s, profiled_s))
+}
+
+/// Benchmarks the profiler itself and writes `BENCH_prof.json`
+/// (`augem.bench-prof/v1`): plain vs profiled timing-replay wall time
+/// per kernel × platform plus each kernel's region rollup. Returns
+/// `false` — the CI overhead gate — when the profiled replay costs more
+/// than 2x the plain replay anywhere.
+fn emit_prof_report(platforms: &[MachineSpec]) -> bool {
+    let mut entries = Vec::new();
+    let mut ok = true;
+    for machine in platforms {
+        let gemm_cfg = GemmConfig::fig13();
+        match gemm_cfg.build_logged(machine) {
+            Ok(build) => {
+                let (args, _) = augem_tune::gemm_eval_args(&gemm_cfg);
+                if let Some((entry, p, q)) = prof_entry("dgemm", machine, &build, &args, true) {
+                    ok &= q <= 2.0 * p;
+                    entries.push(entry);
+                }
+            }
+            Err(e) => eprintln!("prof bench: gemm build failed: {e}"),
+        }
+        let axpy_cfg = VectorConfig {
+            kernel: VectorKernel::Axpy,
+            unroll: 2 * machine.simd_mode().f64_lanes(),
+            prefetch: augem::transforms::PrefetchConfig::default(),
+            schedule: true,
+        };
+        match axpy_cfg.build_logged(machine) {
+            Ok(build) => {
+                let (args, _) = augem_tune::vector_eval_args(&axpy_cfg);
+                if let Some((entry, p, q)) = prof_entry("daxpy", machine, &build, &args, false) {
+                    ok &= q <= 2.0 * p;
+                    entries.push(entry);
+                }
+            }
+            Err(e) => eprintln!("prof bench: axpy build failed: {e}"),
+        }
+    }
+    let doc = Json::obj(vec![
+        ("schema", Json::str("augem.bench-prof/v1")),
+        ("kernels", Json::Arr(entries)),
+    ]);
+    let path = "BENCH_prof.json";
+    match write_atomic(path, doc.render_pretty() + "\n") {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => {
+            eprintln!("cannot write {path}: {e}");
+            ok = false;
+        }
+    }
+    if !ok {
+        eprintln!("prof bench FAILED: profiled replay more than 2x the plain replay");
+    }
+    ok
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name || a == "all");
@@ -382,6 +511,15 @@ fn main() {
             std::process::exit(1);
         }
         if args.iter().all(|a| a == "tune") {
+            return;
+        }
+    }
+
+    if want("prof") && args.iter().any(|a| a == "prof" || a == "all") {
+        if !emit_prof_report(&platforms) {
+            std::process::exit(1);
+        }
+        if args.iter().all(|a| a == "prof") {
             return;
         }
     }

@@ -1,0 +1,289 @@
+//! A fixed log-bucket histogram for latency-style telemetry.
+//!
+//! Values are `u64` (nanoseconds, cycles, bytes — the unit is the
+//! caller's); bucket `b` spans `[2^b, 2^(b+1))` with bucket 0 holding
+//! `{0, 1}`, so 64 buckets cover the full domain with a constant-size
+//! footprint and ≤ 2x relative quantile error. Exact `min`/`max`/`sum`
+//! ride along, so the extreme quantiles stay exact and the mean is not
+//! bucketed at all.
+
+use crate::json::Json;
+
+/// Number of log buckets (covers all of `u64`).
+pub const BUCKETS: usize = 64;
+
+/// Fixed log-bucket histogram with p50/p90/p99 quantile estimates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The bucket a value lands in: `floor(log2(v))`, with 0 and 1 sharing
+/// bucket 0.
+fn bucket_of(v: u64) -> usize {
+    (63 - v.max(1).leading_zeros()) as usize
+}
+
+/// Inclusive value range covered by bucket `b`.
+pub fn bucket_bounds(b: usize) -> (u64, u64) {
+    let lo = if b == 0 { 0 } else { 1u64 << b };
+    let hi = if b >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << (b + 1)) - 1
+    };
+    (lo, hi)
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`): the upper bound of the
+    /// bucket holding the rank-`ceil(q·count)` observation, clamped to
+    /// the exact observed `[min, max]`. Monotone in `q` by construction;
+    /// exact when a bucket holds a single distinct value.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (_, hi) = bucket_bounds(b);
+                return hi.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// `(bucket index, count)` for every non-empty bucket.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| (b, c))
+            .collect()
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("count", Json::uint(self.count)),
+            ("sum", Json::uint(self.sum)),
+            (
+                "min",
+                Json::uint(if self.count == 0 { 0 } else { self.min }),
+            ),
+            ("max", Json::uint(self.max)),
+            ("p50", Json::uint(self.p50())),
+            ("p90", Json::uint(self.p90())),
+            ("p99", Json::uint(self.p99())),
+            (
+                "buckets",
+                Json::Arr(
+                    self.nonzero_buckets()
+                        .into_iter()
+                        .map(|(b, c)| {
+                            Json::obj(vec![
+                                ("bucket", Json::uint(b as u64)),
+                                ("count", Json::uint(c)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    pub fn from_json(v: &Json) -> Option<Self> {
+        let mut h = Histogram::new();
+        h.count = v.get("count")?.as_u64()?;
+        h.sum = v.get("sum")?.as_u64()?;
+        h.min = if h.count == 0 {
+            u64::MAX
+        } else {
+            v.get("min")?.as_u64()?
+        };
+        h.max = v.get("max")?.as_u64()?;
+        for b in v.get("buckets")?.as_arr()? {
+            let idx = b.get("bucket")?.as_u64()? as usize;
+            if idx >= BUCKETS {
+                return None;
+            }
+            h.counts[idx] = b.get("count")?.as_u64()?;
+        }
+        Some(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(1023), 9);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), 63);
+        for b in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(b);
+            assert!(lo <= hi);
+            assert_eq!(bucket_of(lo), b);
+            assert_eq!(bucket_of(hi), b);
+        }
+        // Adjacent buckets tile the domain with no gap or overlap.
+        for b in 0..BUCKETS - 1 {
+            assert_eq!(bucket_bounds(b).1 + 1, bucket_bounds(b + 1).0);
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_clamped() {
+        let mut h = Histogram::new();
+        for v in [3u64, 10, 10, 50, 200, 900, 5000, 5000, 12_000, 1_000_000] {
+            h.record(v);
+        }
+        let qs: Vec<u64> = (0..=20).map(|i| h.quantile(i as f64 / 20.0)).collect();
+        for w in qs.windows(2) {
+            assert!(w[0] <= w[1], "quantiles must be monotone: {qs:?}");
+        }
+        assert!(h.quantile(0.0) >= h.min().unwrap());
+        assert_eq!(h.quantile(1.0), h.max().unwrap());
+        assert!(h.p50() <= h.p90() && h.p90() <= h.p99());
+    }
+
+    #[test]
+    fn single_value_quantiles_are_exact() {
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.record(777);
+        }
+        assert_eq!(h.p50(), 777);
+        assert_eq!(h.p99(), 777);
+        assert_eq!(h.mean(), 777.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_inert() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Histogram::new();
+        a.record(10);
+        a.record(20);
+        let mut b = Histogram::new();
+        b.record(1_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 1_030);
+        assert_eq!(a.max(), Some(1_000));
+        assert_eq!(a.min(), Some(10));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut h = Histogram::new();
+        for v in [1u64, 5, 5, 80, 4096, 70_000] {
+            h.record(v);
+        }
+        let back = Histogram::from_json(&Json::parse(&h.to_json().render()).unwrap()).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(back.p90(), h.p90());
+        let empty = Histogram::new();
+        let back =
+            Histogram::from_json(&Json::parse(&empty.to_json().render_pretty()).unwrap()).unwrap();
+        assert_eq!(back, empty);
+    }
+}

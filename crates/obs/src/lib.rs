@@ -31,6 +31,7 @@
 
 mod collect;
 mod fork;
+mod histogram;
 mod json;
 mod report;
 
@@ -39,9 +40,11 @@ pub use collect::{
     Tracer, Value,
 };
 pub use fork::{replay_into, Tee};
+pub use histogram::{bucket_bounds, Histogram, BUCKETS};
 pub use json::{Json, JsonError};
 pub use report::{
-    CandidateFailure, RankedCandidate, RunReport, SimCounters, TunerTelemetry, SCHEMA,
+    CandidateFailure, ProfileRegion, ProfileSummary, RankedCandidate, RunReport, SimCounters,
+    TunerTelemetry, SCHEMA,
 };
 
 /// Canonical span names for the pipeline stages. One tuner candidate
@@ -66,4 +69,6 @@ pub mod stage {
     /// The fault-tolerance envelope around a resilient search
     /// (`tune::resilient`); its counters live under `resil.*`.
     pub const RESIL: &str = "resil";
+    /// Profiled timing replay of the winning kernel (`prof`).
+    pub const PROF: &str = "prof";
 }

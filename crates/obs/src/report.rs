@@ -20,11 +20,15 @@
 //!             "failures": [{"tag": "...", "reason": "..."}]},
 //!   "sim": {"cycles": ..., "dyn_insts": ..., "flops": ...,
 //!           "mem_accesses": ..., "l1_hits": ..., "l1_misses": ...,
-//!           "llc_misses": ..., "port_uops": [...]}
+//!           "llc_misses": ..., "port_uops": [...]},
+//!   "profile": {"total_cycles": ..., "stall_dep": ..., "stall_port": ...,
+//!               "stall_front": ..., "stall_mem": ...,
+//!               "regions": [{"name": "...", "cycles": ..., "pct": ...}]}
 //! }
 //! ```
 
 use crate::collect::{Snapshot, StageAgg};
+use crate::histogram::Histogram;
 use crate::json::Json;
 use std::collections::BTreeMap;
 
@@ -63,6 +67,8 @@ pub struct TunerTelemetry {
     pub ranking: Vec<RankedCandidate>,
     /// Why each pruned candidate was dropped.
     pub failures: Vec<CandidateFailure>,
+    /// Wall-clock latency of each candidate evaluation, in nanoseconds.
+    pub eval_latency_ns: Histogram,
 }
 
 impl TunerTelemetry {
@@ -88,6 +94,7 @@ impl TunerTelemetry {
             best_vs_median: if median > 0.0 { best / median } else { 0.0 },
             ranking,
             failures,
+            eval_latency_ns: Histogram::new(),
         }
     }
 
@@ -127,6 +134,7 @@ impl TunerTelemetry {
                         .collect(),
                 ),
             ),
+            ("eval_latency_ns", self.eval_latency_ns.to_json()),
         ])
     }
 
@@ -157,6 +165,87 @@ impl TunerTelemetry {
                     Some(CandidateFailure {
                         tag: f.get("tag")?.as_str()?.to_string(),
                         reason: f.get("reason")?.as_str()?.to_string(),
+                    })
+                })
+                .collect::<Option<Vec<_>>>()?,
+            eval_latency_ns: v
+                .get("eval_latency_ns")
+                .map_or_else(|| Some(Histogram::new()), Histogram::from_json)?,
+        })
+    }
+}
+
+/// One source-level region of a profiled kernel (prologue, unrolled
+/// body, remainder loop, ...), with its share of attributed cycles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileRegion {
+    pub name: String,
+    pub cycles: u64,
+    /// `cycles` as a percentage of the profile total.
+    pub pct: f64,
+}
+
+/// Rolled-up view of a kernel profile, small enough to embed in the run
+/// report. The full per-pc attribution lives in the `augem.profile/v1`
+/// artifact; this is the headline.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProfileSummary {
+    /// Total attributed cycles (equals the timing report's cycle count).
+    pub total_cycles: u64,
+    pub dyn_insts: u64,
+    /// Cycle-weighted stall totals by cause, across all pcs.
+    pub stall_dep: u64,
+    pub stall_port: u64,
+    pub stall_front: u64,
+    pub stall_mem: u64,
+    /// Regions in program order.
+    pub regions: Vec<ProfileRegion>,
+}
+
+impl ProfileSummary {
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("total_cycles", Json::uint(self.total_cycles)),
+            ("dyn_insts", Json::uint(self.dyn_insts)),
+            ("stall_dep", Json::uint(self.stall_dep)),
+            ("stall_port", Json::uint(self.stall_port)),
+            ("stall_front", Json::uint(self.stall_front)),
+            ("stall_mem", Json::uint(self.stall_mem)),
+            (
+                "regions",
+                Json::Arr(
+                    self.regions
+                        .iter()
+                        .map(|r| {
+                            Json::obj(vec![
+                                ("name", Json::str(r.name.clone())),
+                                ("cycles", Json::uint(r.cycles)),
+                                ("pct", Json::Num(r.pct)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    pub fn from_json(v: &Json) -> Option<Self> {
+        Some(ProfileSummary {
+            total_cycles: v.get("total_cycles")?.as_u64()?,
+            dyn_insts: v.get("dyn_insts")?.as_u64()?,
+            stall_dep: v.get("stall_dep")?.as_u64()?,
+            stall_port: v.get("stall_port")?.as_u64()?,
+            stall_front: v.get("stall_front")?.as_u64()?,
+            stall_mem: v.get("stall_mem")?.as_u64()?,
+            regions: v
+                .get("regions")?
+                .as_arr()?
+                .iter()
+                .map(|r| {
+                    Some(ProfileRegion {
+                        name: r.get("name")?.as_str()?.to_string(),
+                        cycles: r.get("cycles")?.as_u64()?,
+                        pct: r.get("pct")?.as_f64()?,
                     })
                 })
                 .collect::<Option<Vec<_>>>()?,
@@ -235,6 +324,8 @@ pub struct RunReport {
     pub labels: BTreeMap<String, String>,
     pub tuner: Option<TunerTelemetry>,
     pub sim: Option<SimCounters>,
+    /// Region-level profile of the winning kernel, when profiling ran.
+    pub profile: Option<ProfileSummary>,
 }
 
 impl RunReport {
@@ -297,6 +388,9 @@ impl RunReport {
         }
         if let Some(s) = &self.sim {
             pairs.push(("sim", s.to_json()));
+        }
+        if let Some(p) = &self.profile {
+            pairs.push(("profile", p.to_json()));
         }
         Json::obj(pairs)
     }
@@ -367,6 +461,7 @@ impl RunReport {
             labels,
             tuner: v.get("tuner").and_then(TunerTelemetry::from_json),
             sim: v.get("sim").and_then(SimCounters::from_json),
+            profile: v.get("profile").and_then(ProfileSummary::from_json),
         })
     }
 
@@ -415,6 +510,17 @@ impl RunReport {
             for f in t.failures.iter().take(3) {
                 let _ = writeln!(out, "    pruned: {} ({})", f.tag, f.reason);
             }
+            if !t.eval_latency_ns.is_empty() {
+                let h = &t.eval_latency_ns;
+                let _ = writeln!(
+                    out,
+                    "    eval latency: p50 {} / p90 {} / p99 {} (n={})",
+                    format_ns(h.p50()),
+                    format_ns(h.p90()),
+                    format_ns(h.p99()),
+                    h.count(),
+                );
+            }
         }
         if let Some(s) = &self.sim {
             let _ =
@@ -423,6 +529,20 @@ impl RunReport {
                 "  sim: {} cycles, {} insts, {} flops; mem {} (L1 {} hit / {} miss, LLC {} miss)",
                 s.cycles, s.dyn_insts, s.flops, s.mem_accesses, s.l1_hits, s.l1_misses, s.llc_misses
             );
+        }
+        if let Some(p) = &self.profile {
+            let _ = writeln!(
+                out,
+                "  profile: {} cycles over {} insts; stalls dep {} / port {} / front {} / mem {}",
+                p.total_cycles, p.dyn_insts, p.stall_dep, p.stall_port, p.stall_front, p.stall_mem
+            );
+            for r in &p.regions {
+                let _ = writeln!(
+                    out,
+                    "    {:<32} {:>10} cyc  {:>5.1}%",
+                    r.name, r.cycles, r.pct
+                );
+            }
         }
         if !self.counters.is_empty() {
             let _ = writeln!(out, "  counters:");
@@ -482,23 +602,29 @@ mod tests {
             labels: [("opt.simd_strategy".to_string(), "Vdup".to_string())]
                 .into_iter()
                 .collect(),
-            tuner: Some(TunerTelemetry::from_ranking(
-                vec![
-                    RankedCandidate {
-                        tag: "8x4".into(),
-                        mflops: 12345.5,
-                    },
-                    RankedCandidate {
-                        tag: "4x4".into(),
-                        mflops: 8000.0,
-                    },
-                ],
-                vec![CandidateFailure {
-                    tag: "12x2".into(),
-                    reason: "register allocation failed".into(),
-                }],
-                3,
-            )),
+            tuner: Some({
+                let mut t = TunerTelemetry::from_ranking(
+                    vec![
+                        RankedCandidate {
+                            tag: "8x4".into(),
+                            mflops: 12345.5,
+                        },
+                        RankedCandidate {
+                            tag: "4x4".into(),
+                            mflops: 8000.0,
+                        },
+                    ],
+                    vec![CandidateFailure {
+                        tag: "12x2".into(),
+                        reason: "register allocation failed".into(),
+                    }],
+                    3,
+                );
+                t.eval_latency_ns.record(120_000);
+                t.eval_latency_ns.record(95_000);
+                t.eval_latency_ns.record(300_000);
+                t
+            }),
             sim: Some(SimCounters {
                 cycles: 5000,
                 dyn_insts: 4000,
@@ -508,6 +634,31 @@ mod tests {
                 l1_misses: 10,
                 llc_misses: 2,
                 port_uops: vec![100, 200, 300],
+            }),
+            profile: Some(ProfileSummary {
+                total_cycles: 5000,
+                dyn_insts: 4000,
+                stall_dep: 800,
+                stall_port: 120,
+                stall_front: 40,
+                stall_mem: 600,
+                regions: vec![
+                    ProfileRegion {
+                        name: "prologue".into(),
+                        cycles: 150,
+                        pct: 3.0,
+                    },
+                    ProfileRegion {
+                        name: "mmUnrolledCOMP body".into(),
+                        cycles: 3900,
+                        pct: 78.0,
+                    },
+                    ProfileRegion {
+                        name: "remainder loop".into(),
+                        cycles: 950,
+                        pct: 19.0,
+                    },
+                ],
             }),
         }
     }
@@ -564,6 +715,9 @@ mod tests {
         assert!(text.contains("cgen"), "{text}");
         assert!(text.contains("tuner"), "{text}");
         assert!(text.contains("cycles"), "{text}");
+        assert!(text.contains("eval latency"), "{text}");
+        assert!(text.contains("mmUnrolledCOMP body"), "{text}");
+        assert!(text.contains("78.0%"), "{text}");
     }
 
     #[test]

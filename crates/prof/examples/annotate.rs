@@ -1,0 +1,24 @@
+//! Prints the annotated listing for the paper's Figure-13 DGEMM
+//! configuration — the source of the excerpt in EXPERIMENTS.md:
+//!
+//! ```text
+//! cargo run --release -p augem-prof --example annotate
+//! cargo run --release -p augem-prof --example annotate -- piledriver
+//! ```
+
+use augem_machine::MachineSpec;
+use augem_prof::profile_kernel;
+use augem_tune::{gemm_eval_args, GemmConfig};
+
+fn main() {
+    let machine = match std::env::args().nth(1).as_deref() {
+        Some("piledriver") | Some("pd") => MachineSpec::piledriver(),
+        _ => MachineSpec::sandy_bridge(),
+    };
+    let cfg = GemmConfig::fig13();
+    let build = cfg.build_logged(&machine).expect("fig13 build");
+    let (args, _) = gemm_eval_args(&cfg);
+    let (_, profile) = profile_kernel(&build.asm, args, &machine, true, None, Some(&build.log))
+        .expect("profiled simulation");
+    print!("{}", profile.annotated_listing());
+}

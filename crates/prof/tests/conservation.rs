@@ -1,0 +1,124 @@
+//! Conservation laws of the per-pc attribution.
+//!
+//! For every candidate the tuner can generate, on both paper platforms,
+//! the profiled replay's per-pc counters must roll up *exactly* to the
+//! aggregate timing report: cycle attribution telescopes to the total,
+//! per-pc port occupancies sum to the report's port histogram, execution
+//! counts sum to the dynamic instruction count, and the miss counters
+//! are conserved. `Profile::check_conservation` re-checks the same laws
+//! after the source-region rollup, and the region percentages must tile
+//! to 100%.
+
+use augem_machine::MachineSpec;
+use augem_prof::Profile;
+use augem_sim::{simulate_timing_profiled, SimValue};
+use augem_tune::{
+    gemm_candidates, gemm_eval_args, vector_candidates, vector_eval_args, LoggedBuild, VectorKernel,
+};
+use proptest::prelude::*;
+
+const VECTOR_KERNELS: [VectorKernel; 5] = [
+    VectorKernel::Gemv,
+    VectorKernel::Ger,
+    VectorKernel::Axpy,
+    VectorKernel::Dot,
+    VectorKernel::Scal,
+];
+
+fn check_candidate(
+    build: &LoggedBuild,
+    machine: &MachineSpec,
+    args: Vec<SimValue>,
+    warm: bool,
+    tag: &str,
+) {
+    let (report, pcs, _) = simulate_timing_profiled(&build.asm, args, machine, warm, None)
+        .unwrap_or_else(|e| panic!("{tag}: profiled sim failed: {e}"));
+    assert_eq!(pcs.total_cycles(), report.cycles, "{tag}: cycle sum");
+    assert_eq!(pcs.port_totals(), report.port_uops, "{tag}: port rollup");
+    assert_eq!(
+        pcs.execs.iter().sum::<u64>(),
+        report.dyn_insts,
+        "{tag}: exec sum"
+    );
+    let p = Profile::build(&build.asm, machine, &report, &pcs, Some(&build.log));
+    p.check_conservation(&report)
+        .unwrap_or_else(|e| panic!("{tag}: {e}"));
+    assert!(
+        p.regions.iter().all(|r| r.pct.is_finite()),
+        "{tag}: non-finite region pct"
+    );
+    if report.cycles > 0 {
+        let pct: f64 = p.regions.iter().map(|r| r.pct).sum();
+        assert!((pct - 100.0).abs() < 1e-6, "{tag}: region pct sum {pct}");
+    }
+}
+
+/// Exhaustive sweep over the tuner's whole search space. Debug builds
+/// stride the candidate sets to keep tier-1 wall time bounded; release
+/// covers every candidate. Candidates the pipeline itself rejects
+/// (unvectorizable shapes) are skipped, exactly as the tuner skips them.
+#[test]
+fn per_pc_attribution_is_conservative_for_every_candidate() {
+    let stride = if cfg!(debug_assertions) { 7 } else { 1 };
+    for machine in MachineSpec::paper_platforms() {
+        for (i, cfg) in gemm_candidates(&machine).iter().enumerate() {
+            if i % stride != 0 {
+                continue;
+            }
+            let Ok(build) = cfg.build_logged(&machine) else {
+                continue;
+            };
+            let (args, _) = gemm_eval_args(cfg);
+            let tag = format!("gemm {} on {}", cfg.tag(), machine.arch.short_name());
+            check_candidate(&build, &machine, args, true, &tag);
+        }
+        for vk in VECTOR_KERNELS {
+            for (i, cfg) in vector_candidates(vk, &machine).iter().enumerate() {
+                if i % stride != 0 {
+                    continue;
+                }
+                let Ok(build) = cfg.build_logged(&machine) else {
+                    continue;
+                };
+                let (args, _) = vector_eval_args(cfg);
+                let tag = format!("{} on {}", cfg.tag(), machine.arch.short_name());
+                check_candidate(&build, &machine, args, false, &tag);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(
+        if cfg!(debug_assertions) { 3 } else { 12 }
+    ))]
+
+    /// Randomly sampled (machine, kernel class, candidate) triples obey
+    /// the same conservation laws — the shrinking path for any future
+    /// violation the exhaustive sweep surfaces.
+    #[test]
+    fn sampled_candidate_attribution_is_conservative(seed in 0usize..1 << 16) {
+        let platforms = MachineSpec::paper_platforms();
+        let machine = &platforms[seed % platforms.len()];
+        let class = (seed / platforms.len()) % (1 + VECTOR_KERNELS.len());
+        if class == 0 {
+            let cands = gemm_candidates(machine);
+            let cfg = &cands[(seed / 16) % cands.len()];
+            if let Ok(build) = cfg.build_logged(machine) {
+                let (args, _) = gemm_eval_args(cfg);
+                let tag = format!("gemm {} on {}", cfg.tag(), machine.arch.short_name());
+                check_candidate(&build, machine, args, true, &tag);
+            }
+        } else {
+            let vk = VECTOR_KERNELS[class - 1];
+            let cands = vector_candidates(vk, machine);
+            let cfg = &cands[(seed / 16) % cands.len()];
+            if let Ok(build) = cfg.build_logged(machine) {
+                let (args, _) = vector_eval_args(cfg);
+                let tag = format!("{} on {}", cfg.tag(), machine.arch.short_name());
+                check_candidate(&build, machine, args, false, &tag);
+            }
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! The full kernel × machine profile matrix: every DLA kernel profiled
+//! on both paper platforms through the one-call entry point, every
+//! artifact round-tripping bit-exactly through the `augem.profile/v1`
+//! schema, with finite region percentages tiling to ~100%.
+
+use augem_machine::MachineSpec;
+use augem_obs::Json;
+use augem_prof::{profile_kernel, Profile, SCHEMA};
+use augem_tune::{gemm_eval_args, vector_candidates, GemmConfig, VectorKernel};
+
+fn check_artifact(profile: &Profile, cycles: u64, tag: &str) {
+    let doc = profile.to_json();
+    assert_eq!(
+        doc.get("schema").and_then(|s| s.as_str()),
+        Some(SCHEMA),
+        "{tag}: schema field"
+    );
+    let text = doc.render_pretty();
+    let parsed = Json::parse(&text).unwrap_or_else(|e| panic!("{tag}: reparse failed: {e}"));
+    let round = Profile::from_json(&parsed).unwrap_or_else(|e| panic!("{tag}: from_json: {e}"));
+    assert_eq!(&round, profile, "{tag}: artifact round trip");
+    assert_eq!(round.total_cycles, cycles, "{tag}: total cycles");
+    assert!(
+        profile.regions.iter().all(|r| r.pct.is_finite()),
+        "{tag}: non-finite region pct"
+    );
+    assert!(!profile.regions.is_empty(), "{tag}: no regions");
+    if cycles > 0 {
+        let pct: f64 = profile.regions.iter().map(|r| r.pct).sum();
+        assert!((pct - 100.0).abs() < 1e-6, "{tag}: region pct sum {pct}");
+    }
+    assert!(
+        profile.annotated_listing().contains(&profile.kernel),
+        "{tag}: listing header"
+    );
+}
+
+#[test]
+fn every_kernel_machine_pair_profiles_and_round_trips() {
+    for machine in MachineSpec::paper_platforms() {
+        let cfg = GemmConfig::fig13();
+        let build = cfg.build_logged(&machine).expect("fig13 gemm build");
+        let (args, _) = gemm_eval_args(&cfg);
+        let tag = format!("dgemm on {}", machine.arch.short_name());
+        let (report, profile) =
+            profile_kernel(&build.asm, args, &machine, true, None, Some(&build.log))
+                .unwrap_or_else(|e| panic!("{tag}: {e}"));
+        check_artifact(&profile, report.cycles, &tag);
+
+        for vk in [
+            VectorKernel::Gemv,
+            VectorKernel::Ger,
+            VectorKernel::Axpy,
+            VectorKernel::Dot,
+            VectorKernel::Scal,
+        ] {
+            // Candidate 5 = mid unroll with a 32-byte read prefetch —
+            // a representative tuned shape, not a degenerate one.
+            let cfg = vector_candidates(vk, &machine).swap_remove(5);
+            let build = cfg.build_logged(&machine).expect("vector build");
+            let (args, _) = augem_tune::vector_eval_args(&cfg);
+            let tag = format!("{} on {}", cfg.tag(), machine.arch.short_name());
+            let (report, profile) =
+                profile_kernel(&build.asm, args, &machine, false, None, Some(&build.log))
+                    .unwrap_or_else(|e| panic!("{tag}: {e}"));
+            check_artifact(&profile, report.cycles, &tag);
+        }
+    }
+}

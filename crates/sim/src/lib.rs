@@ -36,6 +36,6 @@ pub use cache::CacheSim;
 pub use decode::{decode, DecodedOp, DecodedProgram};
 pub use func::{FuncSim, MemAccess, SimError, SimValue, Trace};
 pub use timing::{
-    simulate_timing, simulate_timing_budgeted, simulate_timing_steady,
-    simulate_timing_steady_budgeted, TimingReport,
+    replay, replay_profiled, simulate_timing, simulate_timing_budgeted, simulate_timing_profiled,
+    simulate_timing_steady, simulate_timing_steady_budgeted, PcProfile, TimingReport,
 };

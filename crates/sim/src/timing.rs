@@ -29,7 +29,7 @@ use augem_machine::{InstClass, MachineSpec, SimdMode};
 pub const ROB_WINDOW: usize = 96;
 
 /// Result of a timed simulation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TimingReport {
     /// Total simulated cycles.
     pub cycles: u64,
@@ -196,6 +196,94 @@ fn decode_meta(insts: &[XInst]) -> Vec<InstMeta> {
         .collect()
 }
 
+/// Raw per-pc samples collected by a profiled replay ([`replay_profiled`]).
+///
+/// Every vector is indexed by the *static* pc — the instruction's index in
+/// `AsmKernel::insts` (labels and comments occupy a pc but never execute).
+/// The attribution is conservative by construction:
+///
+/// * `cycles[pc]` sums **bit-exactly** to [`TimingReport::cycles`]: each
+///   dynamic instruction is charged the amount by which its completion
+///   advances the critical frontier (`complete - last_complete` when
+///   positive), so the per-pc charges telescope to the total.
+/// * `port_uops` rolled up over pcs equals [`TimingReport::port_uops`],
+///   and the per-pc cache counters sum to the report's totals.
+///
+/// The stall counters are diagnostics (they classify *why* issue was
+/// delayed and how much load latency exceeded the L1 service time); they
+/// are not part of the conservation identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PcProfile {
+    /// Ports in the machine's timing model (row width of `port_uops`).
+    pub num_ports: usize,
+    /// Dynamic executions per pc.
+    pub execs: Vec<u64>,
+    /// Critical-frontier cycles attributed per pc (sums to total cycles).
+    pub cycles: Vec<u64>,
+    /// Issue cycles lost waiting on operands (RAW dependences).
+    pub stall_dep: Vec<u64>,
+    /// Issue cycles lost to execution-port contention.
+    pub stall_port: Vec<u64>,
+    /// Issue cycles lost to the front end / reorder-window floor.
+    pub stall_front: Vec<u64>,
+    /// Load latency beyond the class's nominal (L1-hit) latency.
+    pub stall_mem: Vec<u64>,
+    /// µops issued per `(pc, port)`, row-major: `pc * num_ports + port`.
+    pub port_uops: Vec<u64>,
+    /// Demand accesses at this pc that hit L1.
+    pub l1_hits: Vec<u64>,
+    /// L1 misses at this pc.
+    pub l1_misses: Vec<u64>,
+    /// Last-level-cache misses at this pc.
+    pub llc_misses: Vec<u64>,
+}
+
+impl PcProfile {
+    /// An all-zero profile for a kernel of `pcs` instructions.
+    pub fn new(pcs: usize, num_ports: usize) -> Self {
+        PcProfile {
+            num_ports,
+            execs: vec![0; pcs],
+            cycles: vec![0; pcs],
+            stall_dep: vec![0; pcs],
+            stall_port: vec![0; pcs],
+            stall_front: vec![0; pcs],
+            stall_mem: vec![0; pcs],
+            port_uops: vec![0; pcs * num_ports],
+            l1_hits: vec![0; pcs],
+            l1_misses: vec![0; pcs],
+            llc_misses: vec![0; pcs],
+        }
+    }
+
+    /// Number of static pcs covered.
+    pub fn pcs(&self) -> usize {
+        self.execs.len()
+    }
+
+    /// The per-port µop row for one pc.
+    pub fn port_row(&self, pc: usize) -> &[u64] {
+        &self.port_uops[pc * self.num_ports..(pc + 1) * self.num_ports]
+    }
+
+    /// Sum of the per-pc attributed cycles (equals the report's total).
+    pub fn total_cycles(&self) -> u64 {
+        self.cycles.iter().sum()
+    }
+
+    /// Per-port µop totals rolled up over every pc (equals
+    /// [`TimingReport::port_uops`]).
+    pub fn port_totals(&self) -> Vec<u64> {
+        let mut totals = vec![0u64; self.num_ports];
+        for pc in 0..self.pcs() {
+            for (p, t) in totals.iter_mut().enumerate() {
+                *t += self.port_uops[pc * self.num_ports + p];
+            }
+        }
+        totals
+    }
+}
+
 fn timed(
     kernel: &AsmKernel,
     args: Vec<SimValue>,
@@ -210,6 +298,27 @@ fn timed(
     let (arrays, trace) = sim.run(kernel, args)?;
     let report = replay(kernel, &trace, machine, warm);
     Ok((report, arrays))
+}
+
+/// Profiled twin of the `simulate_timing*` family: runs the functional
+/// simulator with tracing, then replays through [`replay_profiled`].
+/// `warm` selects the steady-state (pre-warmed cache) regime and
+/// `step_limit` bounds the dynamic trace, exactly as in the unprofiled
+/// entry points.
+pub fn simulate_timing_profiled(
+    kernel: &AsmKernel,
+    args: Vec<SimValue>,
+    machine: &MachineSpec,
+    warm: bool,
+    step_limit: Option<u64>,
+) -> Result<(TimingReport, PcProfile, Vec<Vec<f64>>), SimError> {
+    let mut sim = FuncSim::new(machine.isa).with_trace();
+    if let Some(limit) = step_limit {
+        sim = sim.with_step_limit(limit);
+    }
+    let (arrays, trace) = sim.run(kernel, args)?;
+    let (report, prof) = replay_profiled(kernel, &trace, machine, warm);
+    Ok((report, prof, arrays))
 }
 
 /// Runs the functional simulator with tracing and replays the trace
@@ -266,6 +375,36 @@ pub fn replay(
     machine: &MachineSpec,
     warm: bool,
 ) -> TimingReport {
+    // `PROF = false` monomorphizes every profiling probe away (the same
+    // pattern as `exec_impl::<TRACE>` in `decode`): the unprofiled replay
+    // is bit-for-bit and instruction-for-instruction the pre-profiler
+    // loop.
+    replay_impl::<false>(kernel, trace, machine, warm, None)
+}
+
+/// [`replay`] with per-pc attribution: cycles on the critical frontier,
+/// issue stalls split by cause (operand dependency / port contention /
+/// front-end), memory latency beyond L1, per-port µop occupancy and cache
+/// hit/miss counts per access site. The returned [`TimingReport`] is
+/// identical to the unprofiled one for the same trace.
+pub fn replay_profiled(
+    kernel: &AsmKernel,
+    trace: &Trace,
+    machine: &MachineSpec,
+    warm: bool,
+) -> (TimingReport, PcProfile) {
+    let mut prof = PcProfile::new(kernel.insts.len(), machine.timing.num_ports as usize);
+    let report = replay_impl::<true>(kernel, trace, machine, warm, Some(&mut prof));
+    (report, prof)
+}
+
+fn replay_impl<const PROF: bool>(
+    kernel: &AsmKernel,
+    trace: &Trace,
+    machine: &MachineSpec,
+    warm: bool,
+    mut prof: Option<&mut PcProfile>,
+) -> TimingReport {
     let mut cache = CacheSim::new(&machine.caches);
     if warm {
         for a in trace.accesses.iter().flatten() {
@@ -299,7 +438,8 @@ pub fn replay(
 
     let meta = decode_meta(&kernel.insts);
     for (k, &idx) in trace.inst_indices.iter().enumerate() {
-        let m = &meta[idx as usize];
+        let pc = idx as usize;
+        let m = &meta[pc];
         let Some((class, mode)) = m.class else {
             continue;
         };
@@ -328,7 +468,8 @@ pub fn replay(
         } else {
             0
         };
-        let mut issue = ready.max(fetched).max(window_floor);
+        let pre_port = ready.max(fetched).max(window_floor);
+        let mut issue = pre_port;
 
         // Port scheduling: each µop needs a free cycle on an allowed port.
         for _ in 0..t.uops {
@@ -349,11 +490,20 @@ pub fn replay(
                 port_free[p] = best_cycle + 1;
                 port_uops[p] += 1;
                 issue = issue.max(best_cycle);
+                if PROF {
+                    let prof = prof.as_deref_mut().unwrap();
+                    prof.port_uops[pc * num_ports + p] += 1;
+                }
             }
         }
         window.push_back(issue);
 
         // Latency: loads ask the cache model.
+        let pre_access = if PROF {
+            (cache.accesses, cache.l1_misses, cache.llc_misses)
+        } else {
+            (0, 0, 0)
+        };
         let access = trace.accesses[k];
         let latency = match (class, access) {
             (InstClass::Load | InstClass::Broadcast, Some(a)) => {
@@ -371,6 +521,26 @@ pub fn replay(
         } as u64;
 
         let complete = issue + latency;
+        if PROF {
+            let prof = prof.as_deref_mut().unwrap();
+            prof.execs[pc] += 1;
+            // Attribute the slice of the critical frontier this dynamic
+            // instruction extends; the slices telescope to total cycles.
+            prof.cycles[pc] += complete.saturating_sub(last_complete);
+            // Stall taxonomy: which floor dominated the issue cycle, and
+            // by how much it exceeded the others.
+            prof.stall_dep[pc] += ready.saturating_sub(fetched.max(window_floor));
+            prof.stall_front[pc] += window_floor.saturating_sub(ready.max(fetched));
+            prof.stall_port[pc] += issue - pre_port;
+            prof.stall_mem[pc] += latency.saturating_sub(u64::from(t.latency));
+            // Cache behavior of this access site (demand accesses only).
+            let (a0, l1m0, llcm0) = pre_access;
+            let demand = cache.accesses - a0;
+            let l1m = cache.l1_misses - l1m0;
+            prof.l1_hits[pc] += demand.saturating_sub(l1m.min(demand));
+            prof.l1_misses[pc] += l1m;
+            prof.llc_misses[pc] += cache.llc_misses - llcm0;
+        }
         last_complete = last_complete.max(complete);
         if m.vec_def != NO_REG {
             vec_ready[(m.vec_def & 15) as usize] = complete;
@@ -465,6 +635,30 @@ mod tests {
             1
         );
         assert_eq!(flops_of(&XInst::Ret), 0);
+    }
+
+    #[test]
+    fn profiled_replay_matches_plain_and_conserves() {
+        let m = augem_machine::MachineSpec::sandy_bridge();
+        let k = fma_chain_kernel(true);
+        let args = vec![SimValue::Array(vec![1.0; 8])];
+        let sim = crate::FuncSim::new(m.isa).with_trace();
+        let (_, trace) = sim.run(&k, args).unwrap();
+        let plain = replay(&k, &trace, &m, false);
+        let (profiled, prof) = replay_profiled(&k, &trace, &m, false);
+        // The profiled replay is observationally identical...
+        assert_eq!(plain.cycles, profiled.cycles);
+        assert_eq!(plain.port_uops, profiled.port_uops);
+        assert_eq!(plain.l1_misses, profiled.l1_misses);
+        // ...and its attribution conserves every aggregate.
+        assert_eq!(prof.total_cycles(), plain.cycles);
+        assert_eq!(prof.port_totals(), plain.port_uops);
+        assert_eq!(prof.execs.iter().sum::<u64>(), plain.dyn_insts);
+        assert_eq!(prof.l1_misses.iter().sum::<u64>(), plain.l1_misses);
+        assert_eq!(prof.llc_misses.iter().sum::<u64>(), plain.llc_misses);
+        // The FMA pcs (1..=64) carry all the flops-producing executions.
+        assert_eq!(prof.execs[1], 1);
+        assert!(prof.cycles.iter().sum::<u64>() > 0);
     }
 
     #[test]

@@ -34,7 +34,7 @@
 //! for A/B measurement.
 
 use crate::config::{BuildError, GemmConfig, LoggedBuild, VectorConfig};
-use crate::evaluate::Evaluation;
+use crate::evaluate::{Evaluation, ProfiledEvaluation};
 use augem_machine::MachineSpec;
 use augem_obs::{Collector, Tee, Tracer};
 use std::collections::HashMap;
@@ -50,6 +50,10 @@ pub mod counter {
     pub const EVAL_HIT: &str = "cache.eval.hit";
     /// An evaluation ran the simulator and was stored.
     pub const EVAL_MISS: &str = "cache.eval.miss";
+    /// A profiled evaluation was served from the cache.
+    pub const PROFILE_HIT: &str = "cache.profile.hit";
+    /// A profiled evaluation ran the simulator and was stored.
+    pub const PROFILE_MISS: &str = "cache.profile.miss";
 }
 
 type BuildKey = (String, u64);
@@ -68,6 +72,7 @@ struct CachedBuild {
 struct Inner {
     builds: HashMap<BuildKey, CachedBuild>,
     evals: HashMap<EvalKey, Evaluation>,
+    profiles: HashMap<EvalKey, Arc<ProfiledEvaluation>>,
 }
 
 /// Memoizes pipeline builds and simulator evaluations. Thread-safe:
@@ -231,6 +236,61 @@ impl EvalCache {
             .or_insert_with(|| eval.clone());
     }
 
+    /// A cached profiled evaluation, if one exists (see
+    /// [`eval_lookup`](Self::eval_lookup) — same key, same label-replay
+    /// semantics, separate `cache.profile.*` counters).
+    pub(crate) fn profile_lookup(
+        &self,
+        tag: &str,
+        machine: &MachineSpec,
+        step_limit: Option<u64>,
+        tracer: &dyn Tracer,
+    ) -> Option<Arc<ProfiledEvaluation>> {
+        if !self.enabled {
+            return None;
+        }
+        let fp = machine.fingerprint();
+        let inner = self.lock();
+        match inner.profiles.get(&(tag.to_string(), fp, step_limit)) {
+            Some(p) => {
+                let p = p.clone();
+                let labels = inner
+                    .builds
+                    .get(&(tag.to_string(), fp))
+                    .map(|b| b.labels.clone())
+                    .unwrap_or_default();
+                drop(inner);
+                tracer.add(counter::PROFILE_HIT, 1);
+                for (k, v) in &labels {
+                    tracer.label(k, v);
+                }
+                Some(p)
+            }
+            None => {
+                drop(inner);
+                tracer.add(counter::PROFILE_MISS, 1);
+                None
+            }
+        }
+    }
+
+    /// Stores a completed profiled evaluation under its content key.
+    pub(crate) fn profile_store(
+        &self,
+        tag: &str,
+        machine: &MachineSpec,
+        step_limit: Option<u64>,
+        profile: &Arc<ProfiledEvaluation>,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.lock()
+            .profiles
+            .entry((tag.to_string(), machine.fingerprint(), step_limit))
+            .or_insert_with(|| profile.clone());
+    }
+
     /// How many distinct builds the cache holds (test/report helper).
     pub fn builds_len(&self) -> usize {
         self.lock().builds.len()
@@ -239,6 +299,11 @@ impl EvalCache {
     /// How many distinct evaluations the cache holds.
     pub fn evals_len(&self) -> usize {
         self.lock().evals.len()
+    }
+
+    /// How many distinct profiled evaluations the cache holds.
+    pub fn profiles_len(&self) -> usize {
+        self.lock().profiles.len()
     }
 }
 
@@ -315,6 +380,32 @@ mod tests {
         let budgeted = evaluate_gemm_cached(&cfg, &m, &c, Some(1 << 32), &cache).unwrap();
         assert_eq!(budgeted.mflops.to_bits(), cold.mflops.to_bits());
         assert_eq!(c.snapshot().counters[counter::EVAL_MISS], 2);
+    }
+
+    #[test]
+    fn cached_profile_is_shared_and_conserves_cycles() {
+        let m = MachineSpec::sandy_bridge();
+        let cfg = GemmConfig {
+            mu: 8,
+            nu: 4,
+            ..GemmConfig::fig13()
+        };
+        let cache = EvalCache::new();
+        let c = Collector::new();
+        let cold = crate::evaluate::profile_gemm_cached(&cfg, &m, &c, None, &cache).unwrap();
+        let warm = crate::evaluate::profile_gemm_cached(&cfg, &m, &c, None, &cache).unwrap();
+        assert!(Arc::ptr_eq(&cold, &warm), "hit must share the profile");
+        let snap = c.snapshot();
+        assert_eq!(snap.counters[counter::PROFILE_MISS], 1);
+        assert_eq!(snap.counters[counter::PROFILE_HIT], 1);
+        assert_eq!(cache.profiles_len(), 1);
+        // The profiled replay measures the same thing the plain one does,
+        // and its per-pc attribution telescopes to the total.
+        let plain = evaluate_gemm_cached(&cfg, &m, &c, None, &cache).unwrap();
+        assert_eq!(plain.report, cold.report);
+        assert_eq!(plain.mflops.to_bits(), cold.mflops.to_bits());
+        assert_eq!(cold.pcs.total_cycles(), cold.report.cycles);
+        assert_eq!(cold.pcs.port_totals(), cold.report.port_uops);
     }
 
     #[test]

@@ -6,11 +6,12 @@
 //! the micro-kernel contributes to full-problem performance.
 
 use crate::cache::EvalCache;
-use crate::config::{BuildError, GemmConfig, VectorConfig, VectorKernel};
+use crate::config::{BuildError, GemmConfig, LoggedBuild, VectorConfig, VectorKernel};
 use augem_asm::AsmKernel;
 use augem_machine::MachineSpec;
 use augem_opt::CodegenError;
-use augem_sim::{SimError, SimValue, TimingReport};
+use augem_sim::{PcProfile, SimError, SimValue, TimingReport};
+use std::sync::Arc;
 
 /// Evaluation failure.
 #[derive(Debug)]
@@ -178,15 +179,10 @@ pub fn evaluate_gemm_cached(
     Ok(e)
 }
 
-/// The simulation half of a GEMM evaluation, shared by the cached and
-/// uncached paths.
-fn measure_gemm(
-    asm: &AsmKernel,
-    cfg: &GemmConfig,
-    machine: &MachineSpec,
-    tracer: &dyn augem_obs::Tracer,
-    step_limit: Option<u64>,
-) -> Result<Evaluation, EvalError> {
+/// The micro-problem arguments and useful-flop count of a GEMM
+/// evaluation — shared by the plain measurement and the profiled one so
+/// both exercise the identical workload.
+pub fn gemm_eval_args(cfg: &GemmConfig) -> (Vec<SimValue>, u64) {
     let (mr, nr, kc) = gemm_eval_dims(cfg);
     let (mc, ldb, ldc) = (mr, nr, mr);
     let a: Vec<f64> = (0..mc * kc).map(|v| (v % 17) as f64 * 0.25).collect();
@@ -203,6 +199,19 @@ fn measure_gemm(
         SimValue::Array(b),
         SimValue::Array(c),
     ];
+    (args, (2 * mr * nr * kc) as u64)
+}
+
+/// The simulation half of a GEMM evaluation, shared by the cached and
+/// uncached paths.
+fn measure_gemm(
+    asm: &AsmKernel,
+    cfg: &GemmConfig,
+    machine: &MachineSpec,
+    tracer: &dyn augem_obs::Tracer,
+    step_limit: Option<u64>,
+) -> Result<Evaluation, EvalError> {
+    let (args, useful) = gemm_eval_args(cfg);
     let report = {
         let _s = augem_obs::span(tracer, augem_obs::stage::SIM);
         let (report, _) = match step_limit {
@@ -213,7 +222,6 @@ fn measure_gemm(
         report
     };
     record_sim_counters(tracer, &report);
-    let useful = (2 * mr * nr * kc) as u64;
     let mflops = report.useful_mflops(useful, machine.turbo_ghz);
     Ok(Evaluation {
         report,
@@ -297,17 +305,11 @@ pub fn evaluate_vector_cached(
     Ok(e)
 }
 
-/// The simulation half of a vector-kernel evaluation, shared by the
-/// cached and uncached paths.
-fn measure_vector(
-    asm: &AsmKernel,
-    cfg: &VectorConfig,
-    machine: &MachineSpec,
-    tracer: &dyn augem_obs::Tracer,
-    step_limit: Option<u64>,
-) -> Result<Evaluation, EvalError> {
+/// The micro-problem arguments and useful-flop count of a vector-kernel
+/// evaluation (see [`gemm_eval_args`]).
+pub fn vector_eval_args(cfg: &VectorConfig) -> (Vec<SimValue>, u64) {
     let (n0, n1) = vector_eval_n(cfg.kernel);
-    let (args, useful) = match cfg.kernel {
+    match cfg.kernel {
         VectorKernel::Axpy => {
             let n = n0;
             (
@@ -373,7 +375,19 @@ fn measure_vector(
                 n as u64,
             )
         }
-    };
+    }
+}
+
+/// The simulation half of a vector-kernel evaluation, shared by the
+/// cached and uncached paths.
+fn measure_vector(
+    asm: &AsmKernel,
+    cfg: &VectorConfig,
+    machine: &MachineSpec,
+    tracer: &dyn augem_obs::Tracer,
+    step_limit: Option<u64>,
+) -> Result<Evaluation, EvalError> {
+    let (args, useful) = vector_eval_args(cfg);
     // Cold run: streaming behavior is the tuning objective here.
     let report = {
         let _s = augem_obs::span(tracer, augem_obs::stage::SIM);
@@ -391,6 +405,94 @@ fn measure_vector(
         mflops,
         useful_flops: useful,
     })
+}
+
+/// A configuration's *profiled* measurement: the same workload as the
+/// plain evaluation, replayed with per-pc attribution on, bundled with
+/// the build artifacts (`asm` + binding log) that `augem-prof` needs to
+/// turn the raw counters into regions and an annotated listing.
+#[derive(Debug, Clone)]
+pub struct ProfiledEvaluation {
+    pub build: Arc<LoggedBuild>,
+    pub report: TimingReport,
+    pub pcs: PcProfile,
+    pub mflops: f64,
+    pub useful_flops: u64,
+}
+
+/// Profiles a GEMM configuration through the cache: the build goes
+/// through the build cache; the profiled replay is keyed like an
+/// evaluation (`tag` + machine fingerprint + step budget) so a cache hit
+/// replays the stored profile instead of re-simulating. Runs the same
+/// steady-state micro-problem as [`evaluate_gemm_cached`].
+pub fn profile_gemm_cached(
+    cfg: &GemmConfig,
+    machine: &MachineSpec,
+    tracer: &dyn augem_obs::Tracer,
+    step_limit: Option<u64>,
+    cache: &EvalCache,
+) -> Result<Arc<ProfiledEvaluation>, EvalError> {
+    let tag = cfg.tag();
+    if let Some(hit) = cache.profile_lookup(&tag, machine, step_limit, tracer) {
+        return Ok(hit);
+    }
+    let build = cache
+        .logged_gemm(cfg, machine, tracer)
+        .map_err(EvalError::Build)?;
+    let (args, useful) = gemm_eval_args(cfg);
+    // `warm = true` is the steady-state regime of `measure_gemm`.
+    let pe = profile_measure(build, args, useful, machine, tracer, true, step_limit)?;
+    cache.profile_store(&tag, machine, step_limit, &pe);
+    Ok(pe)
+}
+
+/// Profiles a vector-kernel configuration (see [`profile_gemm_cached`]);
+/// cold-cache, like [`evaluate_vector_cached`].
+pub fn profile_vector_cached(
+    cfg: &VectorConfig,
+    machine: &MachineSpec,
+    tracer: &dyn augem_obs::Tracer,
+    step_limit: Option<u64>,
+    cache: &EvalCache,
+) -> Result<Arc<ProfiledEvaluation>, EvalError> {
+    let tag = cfg.tag();
+    if let Some(hit) = cache.profile_lookup(&tag, machine, step_limit, tracer) {
+        return Ok(hit);
+    }
+    let build = cache
+        .logged_vector(cfg, machine, tracer)
+        .map_err(EvalError::Build)?;
+    let (args, useful) = vector_eval_args(cfg);
+    let pe = profile_measure(build, args, useful, machine, tracer, false, step_limit)?;
+    cache.profile_store(&tag, machine, step_limit, &pe);
+    Ok(pe)
+}
+
+/// The profiled simulation shared by both kernel families.
+fn profile_measure(
+    build: Arc<LoggedBuild>,
+    args: Vec<SimValue>,
+    useful: u64,
+    machine: &MachineSpec,
+    tracer: &dyn augem_obs::Tracer,
+    warm: bool,
+    step_limit: Option<u64>,
+) -> Result<Arc<ProfiledEvaluation>, EvalError> {
+    let (report, pcs) = {
+        let _s = augem_obs::span(tracer, augem_obs::stage::PROF);
+        let (report, pcs, _) =
+            augem_sim::simulate_timing_profiled(&build.asm, args, machine, warm, step_limit)
+                .map_err(EvalError::from_sim)?;
+        (report, pcs)
+    };
+    let mflops = report.useful_mflops(useful, machine.turbo_ghz);
+    Ok(Arc::new(ProfiledEvaluation {
+        build,
+        report,
+        pcs,
+        mflops,
+        useful_flops: useful,
+    }))
 }
 
 #[cfg(test)]

@@ -32,7 +32,8 @@ pub use config::{
 pub use evaluate::{
     evaluate_gemm, evaluate_gemm_budgeted, evaluate_gemm_cached, evaluate_gemm_traced,
     evaluate_vector, evaluate_vector_budgeted, evaluate_vector_cached, evaluate_vector_traced,
-    EvalClass, EvalError, Evaluation,
+    gemm_eval_args, profile_gemm_cached, profile_vector_cached, vector_eval_args, EvalClass,
+    EvalError, Evaluation, ProfiledEvaluation,
 };
 pub use resilient::{
     tune_gemm_resilient, tune_gemm_resilient_cached, tune_vector_resilient,

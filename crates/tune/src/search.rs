@@ -6,7 +6,7 @@ use crate::cache::EvalCache;
 use crate::config::{gemm_candidates, vector_candidates, GemmConfig, VectorConfig, VectorKernel};
 use crate::evaluate::{evaluate_gemm_cached, evaluate_vector_cached, Evaluation};
 use augem_machine::MachineSpec;
-use augem_obs::{span, stage, Tracer, Value};
+use augem_obs::{span, stage, Histogram, Tracer, Value};
 use rayon::prelude::*;
 
 /// The tuner's verdict for one kernel on one machine.
@@ -23,6 +23,10 @@ pub struct TuneResult<C> {
     /// part of the search, not an error — but the reasons are kept so a
     /// run report can show what the search rejected.
     pub failures: Vec<(String, String)>,
+    /// Wall-clock latency of every candidate evaluation in nanoseconds
+    /// (failures included — their latency is real sweep time too). Empty
+    /// for drivers that bypass the standard sweeps.
+    pub eval_latency_ns: Histogram,
 }
 
 /// Every candidate failed: the search has nothing to rank. Carries the
@@ -100,16 +104,19 @@ pub fn tune_gemm_cached(
 ) -> Result<TuneResult<GemmConfig>, TuneError> {
     let _s = span(tracer, stage::TUNE);
     let candidates = gemm_candidates(machine);
-    let evaluated: Vec<(GemmConfig, Result<Evaluation, String>)> = candidates
+    let timed: Vec<(GemmConfig, Result<Evaluation, String>, u64)> = candidates
         .par_iter()
         .map(|c| {
-            (
-                *c,
-                evaluate_gemm_cached(c, machine, tracer, None, cache).map_err(|e| e.to_string()),
-            )
+            let t0 = std::time::Instant::now();
+            let r =
+                evaluate_gemm_cached(c, machine, tracer, None, cache).map_err(|e| e.to_string());
+            (*c, r, t0.elapsed().as_nanos() as u64)
         })
         .collect();
-    rank("dgemm", machine, evaluated, |c| c.tag(), tracer)
+    let (evaluated, latency) = split_latency(timed);
+    let mut result = rank("dgemm", machine, evaluated, |c| c.tag(), tracer)?;
+    result.eval_latency_ns = latency;
+    Ok(result)
 }
 
 /// Tunes one of the vector-style kernels for `machine`.
@@ -139,16 +146,39 @@ pub fn tune_vector_cached(
 ) -> Result<TuneResult<VectorConfig>, TuneError> {
     let _s = span(tracer, stage::TUNE);
     let candidates = vector_candidates(kernel, machine);
-    let evaluated: Vec<(VectorConfig, Result<Evaluation, String>)> = candidates
+    let timed: Vec<(VectorConfig, Result<Evaluation, String>, u64)> = candidates
         .par_iter()
         .map(|c| {
-            (
-                *c,
-                evaluate_vector_cached(c, machine, tracer, None, cache).map_err(|e| e.to_string()),
-            )
+            let t0 = std::time::Instant::now();
+            let r =
+                evaluate_vector_cached(c, machine, tracer, None, cache).map_err(|e| e.to_string());
+            (*c, r, t0.elapsed().as_nanos() as u64)
         })
         .collect();
-    rank(kernel.name(), machine, evaluated, |c| c.tag(), tracer)
+    let (evaluated, latency) = split_latency(timed);
+    let mut result = rank(kernel.name(), machine, evaluated, |c| c.tag(), tracer)?;
+    result.eval_latency_ns = latency;
+    Ok(result)
+}
+
+/// One candidate's evaluation outcome, paired with its wall time in ns.
+type TimedEval<C, E> = (C, Result<Evaluation, E>, u64);
+
+/// Peels the per-candidate wall-clock samples off a timed sweep into a
+/// latency histogram.
+#[allow(clippy::type_complexity)]
+fn split_latency<C, E>(
+    timed: Vec<TimedEval<C, E>>,
+) -> (Vec<(C, Result<Evaluation, E>)>, Histogram) {
+    let mut latency = Histogram::new();
+    let evaluated = timed
+        .into_iter()
+        .map(|(c, r, ns)| {
+            latency.record(ns);
+            (c, r)
+        })
+        .collect();
+    (evaluated, latency)
 }
 
 /// Sorts the evaluated candidates and packages the result, emitting the
@@ -209,6 +239,7 @@ pub(crate) fn rank<C: Copy>(
         ranking,
         generated,
         failures,
+        eval_latency_ns: Histogram::new(),
     })
 }
 
@@ -292,6 +323,10 @@ mod tests {
             .filter(|e| e.name == "tuner.candidate")
             .collect();
         assert_eq!(events.len(), r.generated);
+        // One latency sample per enumerated candidate, successes and
+        // failures alike.
+        assert_eq!(r.eval_latency_ns.count(), r.generated as u64);
+        assert!(r.eval_latency_ns.p50() <= r.eval_latency_ns.p99());
         assert_eq!(snap.counters["tuner.generated"], r.generated as u64);
         assert_eq!(snap.counters["tuner.built"], r.ranking.len() as u64);
         assert!(snap.stages().iter().any(|s| s.name == stage::TUNE));
