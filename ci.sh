@@ -10,6 +10,12 @@ cargo fmt --all --check
 echo "== cargo clippy (-D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== strict clippy: analyzer crates must be panic-free (unwrap/expect)"
+# augem-cost and augem-prof run inside tuning sweeps; a panic there takes
+# the whole sweep down. Their crate roots deny unwrap/expect outside
+# tests; this tier keeps the denial honest under -D warnings.
+cargo clippy -p augem-cost -p augem-prof --lib -- -D warnings
+
 echo "== tier-1: cargo build --release --workspace"
 # --workspace: the repo root is itself a package, so a bare `cargo build`
 # would skip member-crate binaries (augem-gen, figures) used below.
@@ -70,6 +76,43 @@ PROF_TMP=$(mktemp -d)
 grep -q '"schema": "augem.profile/v1"' "$PROF_TMP/gemm.profile.json"
 grep -q 'mmUnrolledCOMP' "$PROF_TMP/listing.txt"
 rm -rf "$PROF_TMP"
+
+echo "== cost: machine-checked bound soundness over the full candidate space"
+# Static lower bound <= simulated cycles for EVERY tuner candidate of
+# every kernel family on both paper machines. Zero exceptions.
+cargo test --release -q --test cost_soundness
+
+echo "== cost: pruned sweeps preserve every winner bit-for-bit"
+cargo test --release -q --test cost_pruning
+
+echo "== cost: P001 lint agrees with the dynamic profiler"
+cargo test --release -q --test lint_prof_agreement
+
+echo "== cost bench: prune rates, winner preservation, bound-phase cost"
+# The binary exits non-zero if pruning changes any winner, the bound
+# phases cost >= 1% of the exhaustive sweeps, or no kernel prunes 25%.
+./target/release/figures cost
+test -f BENCH_cost.json
+grep -q '"schema": "augem.bench-cost/v1"' BENCH_cost.json
+grep -q '"winners_preserved": true' BENCH_cost.json
+grep -q '"bound_phase_under_1pct": true' BENCH_cost.json
+
+echo "== lint smoke: --lint flags the Figure-13 chain, clean on the winner"
+LINT_TMP=$(mktemp -d)
+# The naive kernel carries the paper's scalar accumulator chain: on
+# piledriver the chain exceeds the body's throughput bound and P001
+# must fire statically.
+./target/release/augem-gen --kernel gemm --machine piledriver \
+  --naive --lint -o /dev/null 2>"$LINT_TMP/naive.txt" || true
+grep -q 'P001' "$LINT_TMP/naive.txt"
+# The tuned winner splits its accumulators: no performance warnings on
+# either machine.
+for machine in sandybridge piledriver; do
+  ./target/release/augem-gen --kernel gemm --machine "$machine" \
+    --lint -o /dev/null 2>"$LINT_TMP/tuned.txt"
+  grep -q '0 performance warning(s)' "$LINT_TMP/tuned.txt"
+done
+rm -rf "$LINT_TMP"
 
 echo "== decoded engine: differential suite (decoded == legacy, bit for bit)"
 cargo test --release -q --test sim_decoded_differential

@@ -30,6 +30,8 @@
 //! libraries with their own internal kernel ABI; nothing in the evaluated
 //! optimizations depends on the ABI choice.)
 
+#![forbid(unsafe_code)]
+
 pub mod emit;
 pub mod inst;
 pub mod kernel;

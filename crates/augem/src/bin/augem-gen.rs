@@ -10,6 +10,17 @@
 //! augem-gen --list                                         # kernels & machines
 //! ```
 //!
+//! `--lint` runs the static performance lints (the `augem-cost`
+//! P-rules: accumulator-chain serialization, port oversubscription,
+//! loop spills, narrow SIMD, missing prefetch, dead remainder code)
+//! over the shipped kernel, prints them to stderr and embeds them in
+//! the run report. Lints are advisory — they never change the exit
+//! status. `--naive` skips tuning and ships the paper-default
+//! configuration (the Figure-13 starting point for GEMM) instead; the
+//! pair `--naive --lint` shows what the paper's hand analysis shows:
+//! the untuned kernel stalls on its accumulator chain (P001), the
+//! tuned winner is clean.
+//!
 //! `--verify` reruns the winning configuration through the pipeline with
 //! binding-event logging and runs the static kernel verifier
 //! (`augem-verify`) over the result: register-allocation replay, dataflow,
@@ -78,6 +89,10 @@ struct Args {
     resume: bool,
     /// Test hook: simulate a crash at the N-th evaluated candidate.
     inject_crash: Option<u64>,
+    /// Run the performance lints over the shipped kernel.
+    lint: bool,
+    /// Ship the paper-default configuration instead of tuning.
+    naive: bool,
 }
 
 #[derive(PartialEq)]
@@ -94,7 +109,7 @@ fn usage() -> ExitCode {
          \x20                [--trace] [--report FILE.json] [--verify]\n\
          \x20                [--no-equiv] [--max-warnings N] [--profile[=FILE.json]]\n\
          \x20                [--degrade] [--checkpoint FILE.jsonl] [--resume]\n\
-         \x20                [--inject-crash N]\n\
+         \x20                [--inject-crash N] [--lint] [--naive]\n\
          \x20      augem-gen --list"
     );
     ExitCode::from(2)
@@ -128,6 +143,8 @@ fn parse() -> Result<Option<Args>, ExitCode> {
     let mut checkpoint = None;
     let mut resume = false;
     let mut inject_crash = None;
+    let mut lint = false;
+    let mut naive = false;
     let mut it = argv.into_iter();
     while let Some(flag) = it.next() {
         let mut val = |name: &str| {
@@ -191,6 +208,8 @@ fn parse() -> Result<Option<Args>, ExitCode> {
                     }
                 });
             }
+            "--lint" => lint = true,
+            "--naive" => naive = true,
             "--degrade" => degrade = true,
             "--checkpoint" => checkpoint = Some(val("--checkpoint")?),
             "--resume" => resume = true,
@@ -239,6 +258,8 @@ fn parse() -> Result<Option<Args>, ExitCode> {
         checkpoint,
         resume,
         inject_crash,
+        lint,
+        naive,
     }))
 }
 
@@ -265,12 +286,22 @@ fn main() -> ExitCode {
         || args.report.is_some()
         || args.verify
         || args.degrade
-        || args.profile.is_some())
+        || args.profile.is_some()
+        || args.lint
+        || args.naive)
         && args.emit != Emit::Asm
     {
         eprintln!(
-            "--trace/--report/--verify/--profile/--degrade only apply to --emit asm (the tuned pipeline)"
+            "--trace/--report/--verify/--profile/--degrade/--lint/--naive only apply to --emit asm (the tuned pipeline)"
         );
+        return ExitCode::from(2);
+    }
+    if args.naive && (args.verify || args.degrade || args.profile.is_some()) {
+        eprintln!("--naive does not combine with --verify/--profile/--degrade (it skips tuning)");
+        return ExitCode::from(2);
+    }
+    if args.lint && args.degrade {
+        eprintln!("--lint does not combine with --degrade (lint the shipped kernel separately)");
         return ExitCode::from(2);
     }
     if args.profile.is_some() && args.degrade {
@@ -320,13 +351,30 @@ fn main() -> ExitCode {
                 driver
                     .generate_report_profiled(args.kernel)
                     .map(|(g, run, prof)| (g, run, Some(prof)))
+            } else if args.naive {
+                driver
+                    .generate_naive_report(args.kernel)
+                    .map(|(g, run)| (g, run, None))
             } else {
                 driver
                     .generate_report(args.kernel)
                     .map(|(g, run)| (g, run, None))
             };
             match generated {
-                Ok((g, run, prof)) => {
+                Ok((g, mut run, prof)) => {
+                    if args.lint {
+                        let lints = driver.lint_generated(&g);
+                        for d in &lints {
+                            eprintln!("{d}");
+                        }
+                        eprintln!(
+                            "lint: {} performance warning(s) for {} on {}",
+                            lints.len(),
+                            g.config_tag,
+                            args.machine.arch.short_name()
+                        );
+                        run.lints = lints.iter().map(|d| d.to_string()).collect();
+                    }
                     if args.trace {
                         eprint!("{}", run.render_text());
                     }
@@ -354,7 +402,8 @@ fn main() -> ExitCode {
                         eprintln!("profile artifact written to {path}");
                     }
                     format!(
-                        "# tuned configuration: {} ({:.0} Mflops steady-state)\n{}",
+                        "# {} configuration: {} ({:.0} Mflops steady-state)\n{}",
+                        if args.naive { "paper-default" } else { "tuned" },
                         g.config_tag,
                         g.mflops,
                         g.assembly_text()

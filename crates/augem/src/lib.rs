@@ -34,8 +34,11 @@
 //! 5. **Library layer** ([`blas`]) — a native Rust BLAS subset plus the
 //!    comparison-library models behind the paper's figures.
 
+#![forbid(unsafe_code)]
+
 pub use augem_asm as asm;
 pub use augem_blas as blas;
+pub use augem_cost as cost;
 pub use augem_ir as ir;
 pub use augem_kernels as kernels;
 pub use augem_machine as machine;
@@ -856,6 +859,40 @@ impl Augem {
                 ))
             }
         }
+    }
+
+    /// Runs the pipeline for the paper-default configuration *without*
+    /// tuning: the Figure-13 starting-point kernel for GEMM, the
+    /// narrowest vectorizable unroll with no prefetching for the vector
+    /// kernels. This is the "before" side of the paper's
+    /// naive-vs-tuned comparisons — and the kernel the performance
+    /// lints ([`Augem::lint_generated`]) are expected to complain
+    /// about.
+    pub fn generate_naive(&self, kernel: DlaKernel) -> Result<Generated, AugemError> {
+        match self.paper_default(kernel) {
+            Winner::Gemm(c) => self.generate_gemm_with(&c),
+            Winner::Vector(c) => self.generate_vector_with(&c),
+        }
+    }
+
+    /// [`generate_naive`](Augem::generate_naive) with a run report
+    /// (stages, counters, sim measurement of the untuned kernel).
+    pub fn generate_naive_report(
+        &self,
+        kernel: DlaKernel,
+    ) -> Result<(Generated, RunReport), AugemError> {
+        let collector = Collector::new();
+        let g = self.generate_naive(kernel)?;
+        let report = self.finish_report(&collector, kernel, Some(&g), None);
+        Ok((g, report))
+    }
+
+    /// Runs the static performance lints (the `augem-cost` P-rules) over
+    /// a generated kernel: accumulator-chain serialization, port
+    /// oversubscription, loop spills, narrow SIMD, missing prefetch,
+    /// dead remainder code.
+    pub fn lint_generated(&self, g: &Generated) -> Vec<augem_verify::Diagnostic> {
+        augem_cost::lint(&g.asm, &self.machine)
     }
 
     /// Runs the pipeline for one explicit GEMM configuration (no tuning).

@@ -9,6 +9,7 @@
 //! cargo run --release -p augem-bench --bin figures -- verify   # BENCH_verify.json
 //! cargo run --release -p augem-bench --bin figures -- tune     # BENCH_tune.json
 //! cargo run --release -p augem-bench --bin figures -- prof     # BENCH_prof.json
+//! cargo run --release -p augem-bench --bin figures -- cost     # BENCH_cost.json
 //! ```
 
 use augem::obs::Json;
@@ -486,6 +487,239 @@ fn emit_prof_report(platforms: &[MachineSpec]) -> bool {
     ok
 }
 
+/// One pruned-vs-exhaustive sweep comparison. Returns the JSON entry
+/// plus the three gate ingredients: winner preservation, the prune
+/// rate, and the bound phase's share of the exhaustive sweep's wall
+/// time.
+#[allow(clippy::too_many_arguments)]
+fn cost_entry(
+    kernel: &str,
+    machine: &MachineSpec,
+    exhaustive_s: f64,
+    pruned_s: f64,
+    plain_tag: String,
+    plain_cycles: u64,
+    pruned_res: (&str, u64),
+    stats: &augem_tune::PruneStats,
+    tightness: &[(String, f64)],
+) -> (Json, bool, f64, f64) {
+    let (pruned_tag, pruned_cycles) = pruned_res;
+    let winner_preserved = plain_tag == pruned_tag && plain_cycles == pruned_cycles;
+    let prune_rate = stats.pruned as f64 / stats.analyzed.max(1) as f64;
+    let bound_s = stats.bound_ns as f64 / 1e9;
+    let bound_frac = bound_s / exhaustive_s.max(1e-12);
+    println!(
+        "cost   {:>6} on {:<12} {:>3}/{:<3} pruned ({:>4.0}%): sweep {:>7.1} ms -> {:>7.1} ms, bounds {:>6.2} ms ({:.2}% of sweep){}",
+        kernel,
+        machine.arch.short_name(),
+        stats.pruned,
+        stats.analyzed,
+        prune_rate * 100.0,
+        exhaustive_s * 1e3,
+        pruned_s * 1e3,
+        bound_s * 1e3,
+        bound_frac * 100.0,
+        if winner_preserved { "" } else { "  WINNER CHANGED" },
+    );
+    let entry = Json::obj(vec![
+        ("kernel", Json::str(kernel)),
+        ("machine", Json::str(machine.arch.short_name())),
+        ("generated", Json::uint(stats.generated as u64)),
+        ("analyzed", Json::uint(stats.analyzed as u64)),
+        ("pruned", Json::uint(stats.pruned as u64)),
+        ("evaluated", Json::uint(stats.evaluated as u64)),
+        ("prune_rate", Json::Num(prune_rate)),
+        ("exhaustive_sweep_s", Json::Num(exhaustive_s)),
+        ("pruned_sweep_s", Json::Num(pruned_s)),
+        ("bound_phase_s", Json::Num(bound_s)),
+        ("bound_phase_frac_of_sweep", Json::Num(bound_frac)),
+        ("winner", Json::str(pruned_tag)),
+        ("winner_preserved", Json::Bool(winner_preserved)),
+        (
+            "tightness",
+            Json::Arr(
+                tightness
+                    .iter()
+                    .map(|(tag, t)| {
+                        Json::obj(vec![
+                            ("config", Json::str(tag.clone())),
+                            ("bound_over_actual", Json::Num(*t)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    (entry, winner_preserved, prune_rate, bound_frac)
+}
+
+/// Bound tightness (static bound / simulated cycles) for one built
+/// gemm or vector configuration; `None` when the shape cannot build.
+fn gemm_tightness(cfg: &GemmConfig, machine: &MachineSpec) -> Option<(String, f64)> {
+    let asm = cfg.build_traced(machine, augem::obs::null()).ok()?;
+    let (args, _) = augem_tune::gemm_eval_args(cfg);
+    let r = augem::cost::analyze(&asm, &args, machine).ok()?;
+    let (t, _) = augem_sim::simulate_timing_steady(&asm, args, machine).ok()?;
+    Some((
+        cfg.tag(),
+        r.lower_bound_cycles as f64 / t.cycles.max(1) as f64,
+    ))
+}
+
+fn vector_tightness(cfg: &VectorConfig, machine: &MachineSpec) -> Option<(String, f64)> {
+    let asm = cfg.build_traced(machine, augem::obs::null()).ok()?;
+    let (args, _) = augem_tune::vector_eval_args(cfg);
+    let r = augem::cost::analyze(&asm, &args, machine).ok()?;
+    let (t, _) = augem_sim::simulate_timing(&asm, args, machine).ok()?;
+    Some((
+        cfg.tag(),
+        r.lower_bound_cycles as f64 / t.cycles.max(1) as f64,
+    ))
+}
+
+/// Benchmarks bound-based sweep pruning and writes `BENCH_cost.json`
+/// (`augem.bench-cost/v1`): per kernel × platform prune rates, sweep
+/// wall time with and without pruning, the bound phase's cost, and
+/// bound tightness (static bound / simulated cycles) for the naive and
+/// winning configurations. Returns `false` — the CI gate — when
+/// pruning changes any winner, when the bound phases cost 1% or more
+/// of the exhaustive sweeps overall (per-sweep fractions are reported
+/// in the JSON; the gate is the aggregate, since the steady-regime
+/// GEMM sweep is milliseconds long and its denominator tells us
+/// nothing about analyzer cost), or when no kernel reaches a 25%
+/// prune rate.
+fn emit_cost_report(platforms: &[MachineSpec]) -> bool {
+    let mut entries = Vec::new();
+    let mut winners_ok = true;
+    let mut total_bound_s = 0.0f64;
+    let mut total_exhaustive_s = 0.0f64;
+    let mut best_rate = 0.0f64;
+
+    for machine in platforms {
+        // GEMM.
+        let t0 = Instant::now();
+        let plain = augem_tune::tune_gemm(machine);
+        let exhaustive_s = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let pruned = augem_tune::tune_gemm_pruned(machine);
+        let pruned_s = t1.elapsed().as_secs_f64();
+        match (plain, pruned) {
+            (Ok(plain), Ok((pruned, stats))) => {
+                let mut tightness = Vec::new();
+                tightness.extend(gemm_tightness(&GemmConfig::fig13(), machine));
+                tightness.extend(gemm_tightness(&pruned.best, machine));
+                let (entry, ok, rate, _frac) = cost_entry(
+                    "dgemm",
+                    machine,
+                    exhaustive_s,
+                    pruned_s,
+                    plain.best.tag(),
+                    plain.best_eval.report.cycles,
+                    (&pruned.best.tag(), pruned.best_eval.report.cycles),
+                    &stats,
+                    &tightness,
+                );
+                entries.push(entry);
+                winners_ok &= ok;
+                total_bound_s += stats.bound_ns as f64 / 1e9;
+                total_exhaustive_s += exhaustive_s;
+                best_rate = best_rate.max(rate);
+            }
+            (plain, pruned) => {
+                eprintln!(
+                    "cost bench: gemm sweep failed on {}: plain={:?} pruned={:?}",
+                    machine.arch.short_name(),
+                    plain.err(),
+                    pruned.err()
+                );
+                winners_ok = false;
+            }
+        }
+
+        // Vector kernels.
+        for vk in [
+            VectorKernel::Axpy,
+            VectorKernel::Dot,
+            VectorKernel::Gemv,
+            VectorKernel::Ger,
+            VectorKernel::Scal,
+        ] {
+            let t0 = Instant::now();
+            let plain = augem_tune::tune_vector(vk, machine);
+            let exhaustive_s = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            let pruned = augem_tune::tune_vector_pruned(vk, machine);
+            let pruned_s = t1.elapsed().as_secs_f64();
+            match (plain, pruned) {
+                (Ok(plain), Ok((pruned, stats))) => {
+                    let mut tightness = Vec::new();
+                    tightness.extend(vector_tightness(&pruned.best, machine));
+                    let (entry, ok, rate, _frac) = cost_entry(
+                        vk.name(),
+                        machine,
+                        exhaustive_s,
+                        pruned_s,
+                        plain.best.tag(),
+                        plain.best_eval.report.cycles,
+                        (&pruned.best.tag(), pruned.best_eval.report.cycles),
+                        &stats,
+                        &tightness,
+                    );
+                    entries.push(entry);
+                    winners_ok &= ok;
+                    total_bound_s += stats.bound_ns as f64 / 1e9;
+                    total_exhaustive_s += exhaustive_s;
+                    best_rate = best_rate.max(rate);
+                }
+                (plain, pruned) => {
+                    eprintln!(
+                        "cost bench: {} sweep failed on {}: plain={:?} pruned={:?}",
+                        vk.name(),
+                        machine.arch.short_name(),
+                        plain.err(),
+                        pruned.err()
+                    );
+                    winners_ok = false;
+                }
+            }
+        }
+    }
+
+    let total_frac = total_bound_s / total_exhaustive_s.max(1e-12);
+    let bound_cheap = total_frac < 0.01;
+    let rate_ok = best_rate >= 0.25;
+    let ok = winners_ok && bound_cheap && rate_ok;
+    let doc = Json::obj(vec![
+        ("schema", Json::str("augem.bench-cost/v1")),
+        ("winners_preserved", Json::Bool(winners_ok)),
+        ("bound_phase_under_1pct", Json::Bool(bound_cheap)),
+        ("bound_phase_total_frac", Json::Num(total_frac)),
+        ("best_prune_rate", Json::Num(best_rate)),
+        ("sweeps", Json::Arr(entries)),
+    ]);
+    let path = "BENCH_cost.json";
+    match write_atomic(path, doc.render_pretty() + "\n") {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => {
+            eprintln!("cannot write {path}: {e}");
+            return false;
+        }
+    }
+    if !winners_ok {
+        eprintln!("cost bench FAILED: pruning changed a sweep winner");
+    }
+    if !bound_cheap {
+        eprintln!(
+            "cost bench FAILED: bound phases cost {:.2}% of the exhaustive sweeps (gate: <1%)",
+            total_frac * 100.0
+        );
+    }
+    if !rate_ok {
+        eprintln!("cost bench FAILED: best prune rate {best_rate:.2} below 25%");
+    }
+    ok
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name || a == "all");
@@ -520,6 +754,15 @@ fn main() {
             std::process::exit(1);
         }
         if args.iter().all(|a| a == "prof") {
+            return;
+        }
+    }
+
+    if want("cost") && args.iter().any(|a| a == "cost" || a == "all") {
+        if !emit_cost_report(&platforms) {
+            std::process::exit(1);
+        }
+        if args.iter().all(|a| a == "cost") {
             return;
         }
     }

@@ -8,6 +8,8 @@
 //! * The Criterion benches under `benches/` exercise the same generators
 //!   plus the native Rust BLAS substrate on the host.
 
+#![forbid(unsafe_code)]
+
 use augem_blas::{Library, PerfModel, RoutineKind};
 use augem_machine::MachineSpec;
 use augem_opt::{FmaPolicy, StrategyPref};

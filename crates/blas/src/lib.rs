@@ -25,6 +25,7 @@
 //!    DESIGN.md's substitution table: these models stand in for the
 //!    proprietary binaries and the physical testbed).
 
+#![forbid(unsafe_code)]
 // BLAS-convention signatures (m, n, k, alpha, lda, ...) intentionally
 // mirror the routines they model.
 #![allow(clippy::too_many_arguments)]

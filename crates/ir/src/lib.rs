@@ -23,6 +23,8 @@
 //!   process" (§3.1) to drive register release;
 //! * generic AST walkers ([`visit`]).
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod build;
 pub mod interp;

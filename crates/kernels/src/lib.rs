@@ -19,6 +19,7 @@
 //! the packed layout. We therefore index B as `B[l*Nr + j]`; this is the
 //! layout GotoBLAS/OpenBLAS actually hand their micro-kernels.
 
+#![forbid(unsafe_code)]
 // BLAS-convention signatures (m, n, k, alpha, lda, ...) intentionally
 // mirror the routines they model.
 #![allow(clippy::too_many_arguments)]

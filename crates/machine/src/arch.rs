@@ -171,20 +171,13 @@ impl MachineSpec {
     /// microarchitecture hash differently). Deterministic across
     /// processes — cache keys survive a journal resume.
     pub fn fingerprint(&self) -> u64 {
-        fn mix(mut x: u64) -> u64 {
-            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-            x ^ (x >> 31)
-        }
         // `Debug` renders every field, including nested timing/cache
         // parameters; hashing the rendering keeps this in sync with the
-        // struct without a hand-maintained field list.
-        let mut h = mix(0xA06E_u64);
-        for b in format!("{self:?}").bytes() {
-            h = mix(h ^ u64::from(b));
-        }
-        h
+        // struct without a hand-maintained field list. The mixer is the
+        // workspace-shared splitmix64 (`augem_obs::hash`) so cache keys
+        // and fault triggers can never diverge on the hash itself.
+        use augem_obs::hash::{mix_str, splitmix64};
+        mix_str(splitmix64(0xA06E_u64), &format!("{self:?}"))
     }
 
     /// Human-readable cache-key component: `short_name-<hex fingerprint>`.

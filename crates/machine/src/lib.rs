@@ -23,6 +23,8 @@
 //! *relative* effects the paper exploits (SIMD width, FMA fusion, false
 //! dependences, port contention) are modeled structurally.
 
+#![forbid(unsafe_code)]
+
 pub mod arch;
 pub mod cache;
 pub mod isa;

@@ -330,10 +330,11 @@ impl Parser<'_> {
         {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        text.parse::<f64>()
-            .map(Json::Num)
+        // The scanned range is ASCII digits/signs by construction.
+        std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.err("bad number"))
+            .and_then(|text| text.parse::<f64>().map_err(|_| self.err("bad number")))
+            .map(Json::Num)
     }
 
     fn array(&mut self) -> Result<Json, JsonError> {

@@ -29,8 +29,11 @@
 //! them once here keeps producers (the traced pipeline) and consumers
 //! (reports, tests, plotting scripts) in agreement.
 
+#![forbid(unsafe_code)]
+
 mod collect;
 mod fork;
+pub mod hash;
 mod histogram;
 mod json;
 mod report;
@@ -71,4 +74,7 @@ pub mod stage {
     pub const RESIL: &str = "resil";
     /// Profiled timing replay of the winning kernel (`prof`).
     pub const PROF: &str = "prof";
+    /// Static cost analysis: lower-bound computation and bound-based
+    /// pruning (`cost`); its counters live under `cost.*`.
+    pub const COST: &str = "cost";
 }

@@ -326,6 +326,10 @@ pub struct RunReport {
     pub sim: Option<SimCounters>,
     /// Region-level profile of the winning kernel, when profiling ran.
     pub profile: Option<ProfileSummary>,
+    /// Rendered performance-lint diagnostics (P-rules) for the shipped
+    /// kernel, when linting ran. Empty means either "clean" or "not
+    /// linted" — the `lint.warnings` counter disambiguates.
+    pub lints: Vec<String>,
 }
 
 impl RunReport {
@@ -391,6 +395,12 @@ impl RunReport {
         }
         if let Some(p) = &self.profile {
             pairs.push(("profile", p.to_json()));
+        }
+        if !self.lints.is_empty() {
+            pairs.push((
+                "lints",
+                Json::Arr(self.lints.iter().map(|l| Json::str(l.clone())).collect()),
+            ));
         }
         Json::obj(pairs)
     }
@@ -462,6 +472,15 @@ impl RunReport {
             tuner: v.get("tuner").and_then(TunerTelemetry::from_json),
             sim: v.get("sim").and_then(SimCounters::from_json),
             profile: v.get("profile").and_then(ProfileSummary::from_json),
+            lints: v
+                .get("lints")
+                .and_then(Json::as_arr)
+                .map(|a| {
+                    a.iter()
+                        .filter_map(|l| l.as_str().map(str::to_string))
+                        .collect()
+                })
+                .unwrap_or_default(),
         })
     }
 
@@ -542,6 +561,12 @@ impl RunReport {
                     "    {:<32} {:>10} cyc  {:>5.1}%",
                     r.name, r.cycles, r.pct
                 );
+            }
+        }
+        if !self.lints.is_empty() {
+            let _ = writeln!(out, "  performance lints:");
+            for l in &self.lints {
+                let _ = writeln!(out, "    {l}");
             }
         }
         if !self.counters.is_empty() {
@@ -660,6 +685,11 @@ mod tests {
                     },
                 ],
             }),
+            lints: vec![
+                "P004[NarrowSimd] at kernel: widest FP arithmetic uses 1 lane(s) \
+                 but the machine supports 4; vectorize for the full SIMD width"
+                    .into(),
+            ],
         }
     }
 

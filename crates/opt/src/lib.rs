@@ -26,6 +26,8 @@
 //!
 //! The main entry point is [`akg::generate`].
 
+#![forbid(unsafe_code)]
+
 pub mod akg;
 pub mod binding;
 pub mod emit_tpl;

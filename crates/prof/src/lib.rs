@@ -23,6 +23,11 @@
 //! and per-port rollups equal `TimingReport.port_uops`
 //! ([`Profile::check_conservation`] asserts both).
 
+#![forbid(unsafe_code)]
+// Profiling runs inside tuning sweeps; keep this crate panic-free on the
+// unwrap/expect axis (strict-clippy CI tier, shared with `augem-cost`).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use augem_asm::emit::format_inst;
 use augem_asm::{AsmKernel, XInst};
 use augem_machine::MachineSpec;

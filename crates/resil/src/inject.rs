@@ -98,19 +98,7 @@ impl InjectionPlan {
     }
 }
 
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
-
-fn mix_str(mut h: u64, s: &str) -> u64 {
-    for b in s.bytes() {
-        h = splitmix64(h ^ u64::from(b));
-    }
-    h
-}
+use augem_obs::hash::{mix_str, splitmix64};
 
 /// Evaluates an [`InjectionPlan`] at runtime. Probing a disabled
 /// injector is free; a live one decides deterministically per rule.

@@ -36,6 +36,8 @@
 //! bit-for-bit agreement between an interrupted-then-resumed run and an
 //! uninterrupted one.
 
+#![forbid(unsafe_code)]
+
 mod breaker;
 mod fsio;
 mod inject;

@@ -27,6 +27,8 @@
 //! (not validated) against the paper's absolute numbers; EXPERIMENTS.md
 //! compares shapes only.
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod decode;
 pub mod func;

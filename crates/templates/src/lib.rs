@@ -32,6 +32,8 @@
 //! [`augem_ir::Stmt::Region`] whose annotation carries the instantiated
 //! template parameters, and returns match statistics.
 
+#![forbid(unsafe_code)]
+
 pub mod def;
 pub mod identify;
 pub mod matcher;

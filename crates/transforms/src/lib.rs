@@ -24,6 +24,8 @@
 //! which reassociates a floating-point reduction; tests for it compare
 //! against a reference that performs the same lane-wise association.
 
+#![forbid(unsafe_code)]
+
 pub mod linear;
 pub mod pipeline;
 pub mod prefetch;

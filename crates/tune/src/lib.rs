@@ -18,9 +18,12 @@
 //! policy, prefetching, instruction scheduling) can be frozen to measure
 //! its contribution.
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod config;
 pub mod evaluate;
+pub mod prune;
 pub mod resilient;
 pub mod search;
 
@@ -34,6 +37,10 @@ pub use evaluate::{
     evaluate_vector, evaluate_vector_budgeted, evaluate_vector_cached, evaluate_vector_traced,
     gemm_eval_args, profile_gemm_cached, profile_vector_cached, vector_eval_args, EvalClass,
     EvalError, Evaluation, ProfiledEvaluation,
+};
+pub use prune::{
+    tune_gemm_pruned, tune_gemm_pruned_cached, tune_vector_pruned, tune_vector_pruned_cached,
+    PruneStats,
 };
 pub use resilient::{
     tune_gemm_resilient, tune_gemm_resilient_cached, tune_vector_resilient,

@@ -25,8 +25,10 @@
 use crate::cache::EvalCache;
 use crate::config::{gemm_candidates, vector_candidates, GemmConfig, VectorConfig, VectorKernel};
 use crate::evaluate::{
-    evaluate_gemm_cached, evaluate_vector_cached, EvalClass, EvalError, Evaluation,
+    evaluate_gemm_cached, evaluate_vector_cached, gemm_eval_args, vector_eval_args, EvalClass,
+    EvalError, Evaluation,
 };
+use crate::prune::ub_mflops;
 use crate::search::{rank, TuneError, TuneResult};
 use augem_machine::MachineSpec;
 use augem_obs::{replay_into, span, stage, Collector, Tracer, Value};
@@ -57,6 +59,14 @@ pub struct ResilOptions {
     pub breaker_threshold: u32,
     /// Per-candidate instruction budget (`None` = simulator default).
     pub step_limit: Option<u64>,
+    /// Skip candidates whose static Mflops upper bound (`augem-cost`)
+    /// falls strictly below the best measurement committed so far. The
+    /// winner and its measurement are unchanged (the bound is sound and
+    /// the cut strict); pruned candidates are journaled with outcome
+    /// `"pruned"` so a resumed sweep replays the same decisions
+    /// bit-for-bit. Pruning depends on commit order, so it disables the
+    /// speculative parallel phase, like an enabled injector does.
+    pub prune: bool,
 }
 
 impl Default for ResilOptions {
@@ -65,6 +75,7 @@ impl Default for ResilOptions {
             retry: RetryPolicy::default(),
             breaker_threshold: 3,
             step_limit: Some(DEFAULT_STEP_BUDGET),
+            prune: false,
         }
     }
 }
@@ -118,6 +129,12 @@ pub fn tune_gemm_resilient_cached(
         |c| c.tag(),
         |c| format!("{}x{}", c.mu, c.nu),
         |c, limit, t| evaluate_gemm_cached(c, machine, t, limit, cache),
+        |c, t| {
+            let build = cache.logged_gemm(c, machine, t).ok()?;
+            let (args, useful) = gemm_eval_args(c);
+            let r = augem_cost::analyze(&build.asm, &args, machine).ok()?;
+            Some(ub_mflops(r.lower_bound_cycles, useful, machine.turbo_ghz))
+        },
         opts,
         journal,
         injector,
@@ -164,6 +181,12 @@ pub fn tune_vector_resilient_cached(
         |c| c.tag(),
         |c| format!("u{}", c.unroll),
         |c, limit, t| evaluate_vector_cached(c, machine, t, limit, cache),
+        |c, t| {
+            let build = cache.logged_vector(c, machine, t).ok()?;
+            let (args, useful) = vector_eval_args(c);
+            let r = augem_cost::analyze(&build.asm, &args, machine).ok()?;
+            Some(ub_mflops(r.lower_bound_cycles, useful, machine.turbo_ghz))
+        },
         opts,
         journal,
         injector,
@@ -247,6 +270,7 @@ fn drive<C: Copy + Sync>(
     tag_of: impl Fn(&C) -> String + Sync,
     family_of: impl Fn(&C) -> String,
     eval: impl Fn(&C, Option<u64>, &dyn Tracer) -> Result<Evaluation, EvalError> + Sync,
+    bound_of: impl Fn(&C, &dyn Tracer) -> Option<f64>,
     opts: &ResilOptions,
     journal: &mut TuneJournal,
     injector: &Injector,
@@ -272,8 +296,11 @@ fn drive<C: Copy + Sync>(
     // into a private collector; the commit loop replays it in candidate
     // order. Candidates a tripped breaker later skips are wasted
     // speculation — their results and telemetry are discarded unseen.
+    // Bound-based pruning decisions depend on the best measurement
+    // committed *so far*, which only the sequential loop knows — so it
+    // too keeps the sweep sequential.
     let mut pre: Vec<Option<Speculated>> = candidates.iter().map(|_| None).collect();
-    if !injector.is_enabled() {
+    if !injector.is_enabled() && !opts.prune {
         let todo: Vec<usize> = candidates
             .iter()
             .enumerate()
@@ -306,6 +333,10 @@ fn drive<C: Copy + Sync>(
     let breaker = CircuitBreaker::new(opts.breaker_threshold);
     let mut evaluated: Vec<(C, Result<Evaluation, String>)> = Vec::with_capacity(candidates.len());
     let mut interrupted = false;
+    // Best Mflops committed so far — the pruning incumbent. Replayed
+    // "ok" entries feed it too, so a resumed sweep reaches each pruning
+    // decision with exactly the state the original sweep had.
+    let mut best_mflops = f64::NEG_INFINITY;
 
     for (i, c) in candidates.iter().enumerate() {
         let tag = tag_of(c);
@@ -320,6 +351,7 @@ fn drive<C: Copy + Sync>(
                 "ok" => match evaluation_from_json(entry) {
                     Some(e) => {
                         breaker.record(&family, true);
+                        best_mflops = best_mflops.max(e.mflops);
                         evaluated.push((*c, Ok(e)));
                     }
                     None => {
@@ -334,6 +366,16 @@ fn drive<C: Copy + Sync>(
                         .get("error")
                         .and_then(Json::as_str)
                         .unwrap_or("circuit open")
+                        .to_string();
+                    evaluated.push((*c, Err(why)));
+                }
+                // A pruned candidate was never simulated and never
+                // touched the breaker; restoring it must not either.
+                "pruned" => {
+                    let why = entry
+                        .get("error")
+                        .and_then(Json::as_str)
+                        .unwrap_or("pruned(bound)")
                         .to_string();
                     evaluated.push((*c, Err(why)));
                 }
@@ -374,6 +416,36 @@ fn drive<C: Copy + Sync>(
             ]));
             evaluated.push((*c, Err(why)));
             continue;
+        }
+
+        // Bound check: a candidate the static analyzer proves strictly
+        // slower than the incumbent is skipped without simulation. Not a
+        // failure — the breaker never sees it.
+        if opts.prune {
+            if let Some(ub) = bound_of(c, tracer) {
+                tracer.add("cost.analyzed", 1);
+                if ub < best_mflops {
+                    let why = format!(
+                        "pruned(bound): static bound {ub:.1} Mflops below incumbent {best_mflops:.1} Mflops"
+                    );
+                    tracer.add("cost.pruned", 1);
+                    tracer.event(
+                        "cost.pruned",
+                        &[
+                            ("tag", Value::from(tag.as_str())),
+                            ("bound_mflops", Value::from(ub)),
+                        ],
+                    );
+                    let entry = Json::obj(vec![
+                        ("tag", Json::str(&tag)),
+                        ("outcome", Json::str("pruned")),
+                        ("error", Json::str(&why)),
+                    ]);
+                    append_maybe_corrupted(journal, injector, &tag, entry);
+                    evaluated.push((*c, Err(why)));
+                    continue;
+                }
+            }
         }
 
         let outcome = if let Some((outcome, local)) = pre[i].take() {
@@ -446,6 +518,7 @@ fn drive<C: Copy + Sync>(
         match outcome {
             Ok(e) => {
                 breaker.record(&family, true);
+                best_mflops = best_mflops.max(e.mflops);
                 let entry = Json::obj(vec![
                     ("tag", Json::str(&tag)),
                     ("outcome", Json::str("ok")),
@@ -646,6 +719,64 @@ mod tests {
             "resumed winner must be bit-identical"
         );
         assert_eq!(c.snapshot().counters["resil.journal.resumed"], 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn pruned_resilient_keeps_winner_and_resumes_bit_for_bit() {
+        let m = MachineSpec::sandy_bridge();
+        let plain = crate::tune_gemm(&m).unwrap();
+        let opts = ResilOptions {
+            prune: true,
+            ..ResilOptions::fast()
+        };
+
+        // Uninterrupted pruned run: winner and measurement unchanged.
+        let c = Collector::new();
+        let mut jref = mem_journal("dgemm", &m);
+        let reference =
+            tune_gemm_resilient(&m, &opts, &mut jref, &Injector::disabled(), &c).unwrap();
+        assert_eq!(reference.best.tag(), plain.best.tag());
+        assert_eq!(
+            reference.best_eval.mflops.to_bits(),
+            plain.best_eval.mflops.to_bits(),
+            "pruning must not change the winning measurement"
+        );
+        let snap = c.snapshot();
+        assert!(snap.counters["cost.analyzed"] > 0);
+        let pruned_count = snap.counters.get("cost.pruned").copied().unwrap_or(0);
+
+        // Crash partway through, then resume: decisions replay from the
+        // journal, including the pruned ones, bit-for-bit.
+        let path = std::env::temp_dir().join(format!(
+            "augem-resil-unit-prune-resume-{}.jsonl",
+            std::process::id()
+        ));
+        let header = journal_header("dgemm", m.arch.short_name());
+        let mut j1 = TuneJournal::create(&path, header).unwrap();
+        let crash =
+            Injector::new(InjectionPlan::new(0).with(Site::Eval, Fault::Crash, Trigger::Nth(4)));
+        let err = tune_gemm_resilient(&m, &opts, &mut j1, &crash, augem_obs::null()).unwrap_err();
+        assert!(err.interrupted);
+
+        let c2 = Collector::new();
+        let mut j2 = TuneJournal::load(&path).unwrap();
+        let resumed = tune_gemm_resilient(&m, &opts, &mut j2, &Injector::disabled(), &c2).unwrap();
+        assert_eq!(resumed.best.tag(), reference.best.tag());
+        assert_eq!(
+            resumed.best_eval.mflops.to_bits(),
+            reference.best_eval.mflops.to_bits(),
+            "resumed pruned sweep must be bit-identical"
+        );
+        // Failure lists (which include every pruned tag and reason)
+        // must match entry for entry — the resumed sweep made the same
+        // pruning decisions with the same incumbents.
+        assert_eq!(resumed.failures, reference.failures);
+        let snap2 = c2.snapshot();
+        assert!(snap2.counters["resil.journal.resumed"] > 0);
+        // Prunes re-decided after the crash point can't exceed the
+        // uninterrupted run's total.
+        assert!(snap2.counters.get("cost.pruned").copied().unwrap_or(0) <= pruned_count);
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -67,15 +67,17 @@ fn reg_names(set: RegSet) -> String {
 }
 
 /// Basic block: instruction index range `[start, end)` plus successor
-/// block ids.
-struct Block {
-    start: usize,
-    end: usize,
-    succs: Vec<usize>,
+/// block ids. Public so downstream analyses (the static cost model in
+/// `augem-cost`) can reuse the same CFG the verifier proves properties
+/// over, instead of rebuilding a subtly different one.
+pub struct Block {
+    pub start: usize,
+    pub end: usize,
+    pub succs: Vec<usize>,
 }
 
 /// Splits `insts` at labels and after branches.
-fn build_cfg(insts: &[XInst]) -> Vec<Block> {
+pub fn build_cfg(insts: &[XInst]) -> Vec<Block> {
     let n = insts.len();
     let mut leader = vec![false; n.max(1)];
     if n > 0 {

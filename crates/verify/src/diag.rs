@@ -53,6 +53,9 @@ impl std::fmt::Display for Span {
 /// dataflow (V00x), register allocation replay (V01x), ABI/stack
 /// (V02x), SIMD widths (V03x), memory bounds (V04x), IR-level
 /// liveness reporting (V05x), translation validation (V06x).
+/// Performance lints (P00x, always warnings) are produced by the
+/// static cost analyzer in `augem-cost`; they flag kernels that are
+/// correct but provably leave cycles on the table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Rule {
     /// A register is read on some path before anything defines it.
@@ -124,6 +127,31 @@ pub enum Rule {
     /// length of output arrays, so per-location comparison is
     /// impossible.
     EquivShapeDivergence,
+    /// Performance: an innermost loop carries a floating-point
+    /// accumulator whose per-iteration dependence latency exceeds the
+    /// loop's throughput bound — the chain, not the execution units,
+    /// sets the speed (the paper's Figure-13 `vaddsd` pattern; split
+    /// the accumulator to break it).
+    AccumulatorChain,
+    /// Performance: one execution port carries far more than its fair
+    /// share of an innermost loop's µops while other ports sit idle.
+    PortOversubscription,
+    /// Performance: a spill-slot access (`%rsp`-based load/store)
+    /// inside an innermost loop body — register pressure leaked into
+    /// the hot path.
+    SpillInLoop,
+    /// Performance: innermost-loop FP arithmetic runs below the
+    /// machine's widest SIMD mode (scalar or 128-bit ops on an AVX
+    /// target).
+    NarrowSimd,
+    /// Performance: an innermost loop streams loads at a stride the
+    /// modeled hardware prefetcher cannot cover, and the body issues no
+    /// software prefetch.
+    MissingPrefetch,
+    /// Performance: a loop is statically unreachable after constant
+    /// folding (e.g. a remainder loop whose guard is decided at
+    /// generation time) yet still occupies code space.
+    DeadRemainder,
 }
 
 impl Rule {
@@ -152,15 +180,35 @@ impl Rule {
             Rule::EquivAsmFault => "V064",
             Rule::EquivSpecMismatch => "V065",
             Rule::EquivShapeDivergence => "V066",
+            Rule::AccumulatorChain => "P001",
+            Rule::PortOversubscription => "P002",
+            Rule::SpillInLoop => "P003",
+            Rule::NarrowSimd => "P004",
+            Rule::MissingPrefetch => "P005",
+            Rule::DeadRemainder => "P006",
         }
     }
 
-    /// The severity this rule always carries.
+    /// The severity this rule always carries. Performance lints are
+    /// never errors: the kernel is correct, just provably slow.
     pub fn severity(self) -> Severity {
         match self {
-            Rule::DeadDef | Rule::UnreadSymbol => Severity::Warning,
+            Rule::DeadDef
+            | Rule::UnreadSymbol
+            | Rule::AccumulatorChain
+            | Rule::PortOversubscription
+            | Rule::SpillInLoop
+            | Rule::NarrowSimd
+            | Rule::MissingPrefetch
+            | Rule::DeadRemainder => Severity::Warning,
             _ => Severity::Error,
         }
+    }
+
+    /// Whether this is a performance lint (a `P`-series rule from the
+    /// static cost analyzer) rather than a correctness rule.
+    pub fn is_perf_lint(self) -> bool {
+        self.code().starts_with('P')
     }
 }
 
@@ -265,11 +313,33 @@ mod tests {
             Rule::EquivAsmFault,
             Rule::EquivSpecMismatch,
             Rule::EquivShapeDivergence,
+            Rule::AccumulatorChain,
+            Rule::PortOversubscription,
+            Rule::SpillInLoop,
+            Rule::NarrowSimd,
+            Rule::MissingPrefetch,
+            Rule::DeadRemainder,
         ];
         let mut codes: Vec<&str> = rules.iter().map(|r| r.code()).collect();
         codes.sort();
         codes.dedup();
         assert_eq!(codes.len(), rules.len());
+    }
+
+    #[test]
+    fn perf_lints_are_warnings() {
+        for r in [
+            Rule::AccumulatorChain,
+            Rule::PortOversubscription,
+            Rule::SpillInLoop,
+            Rule::NarrowSimd,
+            Rule::MissingPrefetch,
+            Rule::DeadRemainder,
+        ] {
+            assert_eq!(r.severity(), Severity::Warning, "{r}");
+            assert!(r.is_perf_lint(), "{r}");
+        }
+        assert!(!Rule::UseBeforeDef.is_perf_lint());
     }
 
     #[test]

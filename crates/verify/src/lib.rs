@@ -43,6 +43,8 @@
 //! the kernel can compute wrong results or corrupt its caller, and the
 //! `augem-gen --verify` CLI exits non-zero on any of them.
 
+#![forbid(unsafe_code)]
+
 pub mod dataflow;
 pub mod diag;
 pub mod equiv;

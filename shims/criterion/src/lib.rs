@@ -10,6 +10,8 @@
 //! once, runs `sample_size` timed samples, and prints min/mean times (plus
 //! element throughput when declared). No statistics, plots, or baselines.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 /// Top-level harness handle (one per `criterion_main!` binary).

@@ -12,6 +12,8 @@
 //! **no shrinking** — a failing case reports its inputs via the panic
 //! message of the assertion that tripped.
 
+#![forbid(unsafe_code)]
+
 use std::ops::Range;
 use std::rc::Rc;
 

@@ -9,6 +9,8 @@
 //! It is intentionally minimal, not a general parallel-iterator library;
 //! grow it as call sites need more of the real rayon surface.
 
+#![forbid(unsafe_code)]
+
 use std::thread;
 
 /// How many worker threads to fan out over (one per available core).

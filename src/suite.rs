@@ -1,3 +1,5 @@
 //! Workspace-root crate: hosts the runnable examples under `examples/` and
 //! the cross-crate integration tests under `tests/`. See the individual
 //! crates (re-exported through `augem`) for the library surface.
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,83 @@
+//! Bound-based sweep pruning never changes the answer.
+//!
+//! The pruned sweeps (`tune_*_pruned`) use the static lower bound to
+//! skip candidates whose best-case Mflops cannot beat the incumbent.
+//! Because the bound is sound (see `cost_soundness.rs`), the winner —
+//! and its exact measured cycles — must be identical to the
+//! exhaustive sweep's, on every kernel and both machines. This suite
+//! also pins that the bound actually earns its keep: on at least one
+//! kernel the prune rate clears 25%.
+
+use augem_machine::MachineSpec;
+use augem_tune::{tune_gemm, tune_gemm_pruned, tune_vector, tune_vector_pruned, VectorKernel};
+
+fn machines() -> [MachineSpec; 2] {
+    [MachineSpec::sandy_bridge(), MachineSpec::piledriver()]
+}
+
+const VECTOR_KERNELS: [VectorKernel; 5] = [
+    VectorKernel::Axpy,
+    VectorKernel::Dot,
+    VectorKernel::Gemv,
+    VectorKernel::Ger,
+    VectorKernel::Scal,
+];
+
+#[test]
+fn pruned_sweeps_keep_the_exhaustive_winner_on_every_kernel_and_machine() {
+    let mut best_rate = 0.0f64;
+    for m in machines() {
+        let plain = tune_gemm(&m).expect("exhaustive gemm sweep");
+        let (pruned, stats) = tune_gemm_pruned(&m).expect("pruned gemm sweep");
+        assert_eq!(
+            plain.best.tag(),
+            pruned.best.tag(),
+            "gemm winner changed under pruning on {:?}",
+            m.arch
+        );
+        assert_eq!(
+            plain.best_eval.report.cycles, pruned.best_eval.report.cycles,
+            "gemm winner cycles changed under pruning on {:?}",
+            m.arch
+        );
+        assert_eq!(
+            plain.best_eval.mflops.to_bits(),
+            pruned.best_eval.mflops.to_bits(),
+            "gemm winner Mflops not bit-identical on {:?}",
+            m.arch
+        );
+        assert!(stats.pruned > 0, "gemm pruning did nothing on {:?}", m.arch);
+        best_rate = best_rate.max(stats.pruned as f64 / stats.analyzed.max(1) as f64);
+
+        for kernel in VECTOR_KERNELS {
+            let plain = tune_vector(kernel, &m).expect("exhaustive vector sweep");
+            let (pruned, stats) = tune_vector_pruned(kernel, &m).expect("pruned vector sweep");
+            assert_eq!(
+                plain.best.tag(),
+                pruned.best.tag(),
+                "{} winner changed under pruning on {:?}",
+                kernel.name(),
+                m.arch
+            );
+            assert_eq!(
+                plain.best_eval.report.cycles,
+                pruned.best_eval.report.cycles,
+                "{} winner cycles changed under pruning on {:?}",
+                kernel.name(),
+                m.arch
+            );
+            assert_eq!(
+                plain.best_eval.mflops.to_bits(),
+                pruned.best_eval.mflops.to_bits(),
+                "{} winner Mflops not bit-identical on {:?}",
+                kernel.name(),
+                m.arch
+            );
+            best_rate = best_rate.max(stats.pruned as f64 / stats.analyzed.max(1) as f64);
+        }
+    }
+    assert!(
+        best_rate >= 0.25,
+        "no kernel reached a 25% prune rate (best {best_rate:.2})"
+    );
+}
