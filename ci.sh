@@ -11,10 +11,11 @@ echo "== cargo clippy (-D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== strict clippy: analyzer crates must be panic-free (unwrap/expect)"
-# augem-cost and augem-prof run inside tuning sweeps; a panic there takes
-# the whole sweep down. Their crate roots deny unwrap/expect outside
-# tests; this tier keeps the denial honest under -D warnings.
-cargo clippy -p augem-cost -p augem-prof --lib -- -D warnings
+# augem-cost, augem-prof, and augem-depan run inside tuning sweeps; a
+# panic there takes the whole sweep down. Their crate roots deny
+# unwrap/expect outside tests; this tier keeps the denial honest under
+# -D warnings.
+cargo clippy -p augem-cost -p augem-prof -p augem-depan --lib -- -D warnings
 
 echo "== tier-1: cargo build --release --workspace"
 # --workspace: the repo root is itself a package, so a bare `cargo build`
@@ -113,6 +114,33 @@ for machine in sandybridge piledriver; do
   grep -q '0 performance warning(s)' "$LINT_TMP/tuned.txt"
 done
 rm -rf "$LINT_TMP"
+
+echo "== depan: dependence analysis + legality checker (unit, property, mutation)"
+# The mutation suite forges one illegal transform step per case; every
+# forgery must be refuted with the expected T-rule.
+cargo test --release -q -p augem-depan
+
+echo "== depan: zero T-diagnostics across the tuner candidate matrix"
+# Every candidate recipe of every kernel family on both paper machines
+# must replay through the checker with no diagnostics at all.
+cargo test --release -q --test depan_matrix
+
+echo "== depan bench: false-rejection + analysis-cost gates"
+# The binary exits non-zero if the legality filter rejects any current
+# candidate, changes any winner, or costs >= 1% of sweep wall time.
+./target/release/figures depan
+test -f BENCH_depan.json
+grep -q '"schema": "augem.bench-depan/v1"' BENCH_depan.json
+grep -q '"zero_false_rejections": true' BENCH_depan.json
+grep -q '"winners_preserved": true' BENCH_depan.json
+grep -q '"check_phase_under_1pct": true' BENCH_depan.json
+
+echo "== depan smoke: --check-transforms proves the winner's recipe"
+DEPAN_TMP=$(mktemp -d)
+./target/release/augem-gen --kernel gemm --machine sandybridge \
+  --check-transforms -o /dev/null 2>"$DEPAN_TMP/tchecks.txt"
+grep -q 'transform legality: 0 error(s)' "$DEPAN_TMP/tchecks.txt"
+rm -rf "$DEPAN_TMP"
 
 echo "== decoded engine: differential suite (decoded == legacy, bit for bit)"
 cargo test --release -q --test sim_decoded_differential

@@ -91,6 +91,9 @@ struct Args {
     inject_crash: Option<u64>,
     /// Run the performance lints over the shipped kernel.
     lint: bool,
+    /// Replay the winner's transform log through the depan legality
+    /// checker (`T`-rule errors fail the run).
+    check_transforms: bool,
     /// Ship the paper-default configuration instead of tuning.
     naive: bool,
 }
@@ -109,7 +112,7 @@ fn usage() -> ExitCode {
          \x20                [--trace] [--report FILE.json] [--verify]\n\
          \x20                [--no-equiv] [--max-warnings N] [--profile[=FILE.json]]\n\
          \x20                [--degrade] [--checkpoint FILE.jsonl] [--resume]\n\
-         \x20                [--inject-crash N] [--lint] [--naive]\n\
+         \x20                [--inject-crash N] [--lint] [--check-transforms] [--naive]\n\
          \x20      augem-gen --list"
     );
     ExitCode::from(2)
@@ -144,6 +147,7 @@ fn parse() -> Result<Option<Args>, ExitCode> {
     let mut resume = false;
     let mut inject_crash = None;
     let mut lint = false;
+    let mut check_transforms = false;
     let mut naive = false;
     let mut it = argv.into_iter();
     while let Some(flag) = it.next() {
@@ -209,6 +213,7 @@ fn parse() -> Result<Option<Args>, ExitCode> {
                 });
             }
             "--lint" => lint = true,
+            "--check-transforms" => check_transforms = true,
             "--naive" => naive = true,
             "--degrade" => degrade = true,
             "--checkpoint" => checkpoint = Some(val("--checkpoint")?),
@@ -259,6 +264,7 @@ fn parse() -> Result<Option<Args>, ExitCode> {
         resume,
         inject_crash,
         lint,
+        check_transforms,
         naive,
     }))
 }
@@ -288,20 +294,31 @@ fn main() -> ExitCode {
         || args.degrade
         || args.profile.is_some()
         || args.lint
+        || args.check_transforms
         || args.naive)
         && args.emit != Emit::Asm
     {
         eprintln!(
-            "--trace/--report/--verify/--profile/--degrade/--lint/--naive only apply to --emit asm (the tuned pipeline)"
+            "--trace/--report/--verify/--profile/--degrade/--lint/--check-transforms/--naive only apply to --emit asm (the tuned pipeline)"
         );
         return ExitCode::from(2);
     }
-    if args.naive && (args.verify || args.degrade || args.profile.is_some()) {
-        eprintln!("--naive does not combine with --verify/--profile/--degrade (it skips tuning)");
+    if args.naive
+        && (args.verify || args.degrade || args.profile.is_some() || args.check_transforms)
+    {
+        eprintln!(
+            "--naive does not combine with --verify/--profile/--degrade/--check-transforms (it skips tuning)"
+        );
         return ExitCode::from(2);
     }
     if args.lint && args.degrade {
         eprintln!("--lint does not combine with --degrade (lint the shipped kernel separately)");
+        return ExitCode::from(2);
+    }
+    if args.check_transforms && args.degrade {
+        eprintln!(
+            "--check-transforms does not combine with --degrade (check the winner separately)"
+        );
         return ExitCode::from(2);
     }
     if args.profile.is_some() && args.degrade {
@@ -322,6 +339,7 @@ fn main() -> ExitCode {
 
     let mut verify_errors = 0usize;
     let mut verify_warnings = 0usize;
+    let mut tcheck_errors = 0usize;
     let text = match args.emit {
         Emit::Asm => {
             let driver = Augem::new(args.machine.clone());
@@ -374,6 +392,29 @@ fn main() -> ExitCode {
                             args.machine.arch.short_name()
                         );
                         run.lints = lints.iter().map(|d| d.to_string()).collect();
+                    }
+                    if args.check_transforms {
+                        // All cache hits on this driver: the sweep is not
+                        // re-run and the winner is not rebuilt.
+                        let tchecks = match driver.check_transforms(args.kernel) {
+                            Ok(d) => d,
+                            Err(e) => {
+                                eprintln!("transform check failed: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                        };
+                        for d in &tchecks {
+                            eprintln!("{d}");
+                        }
+                        tcheck_errors = augem::verify::errors(&tchecks).len();
+                        eprintln!(
+                            "transform legality: {} error(s), {} warning(s) for {} on {}",
+                            tcheck_errors,
+                            tchecks.len() - tcheck_errors,
+                            g.config_tag,
+                            args.machine.arch.short_name()
+                        );
+                        run.tchecks = tchecks.iter().map(|d| d.to_string()).collect();
                     }
                     if args.trace {
                         eprint!("{}", run.render_text());
@@ -444,6 +485,10 @@ fn main() -> ExitCode {
     }
     if verify_errors > 0 {
         eprintln!("verification failed: {verify_errors} error(s)");
+        return ExitCode::FAILURE;
+    }
+    if tcheck_errors > 0 {
+        eprintln!("transform legality failed: {tcheck_errors} error(s)");
         return ExitCode::FAILURE;
     }
     if let Some(max) = args.max_warnings {

@@ -39,6 +39,7 @@
 pub use augem_asm as asm;
 pub use augem_blas as blas;
 pub use augem_cost as cost;
+pub use augem_depan as depan;
 pub use augem_ir as ir;
 pub use augem_kernels as kernels;
 pub use augem_machine as machine;
@@ -444,6 +445,44 @@ impl Augem {
             report.profile = Some(p.summary());
         }
         Ok((g, report, diags, profile))
+    }
+
+    /// Replays the tuned winner's transform recipe through the
+    /// [`depan`] proof-carrying legality checker: every pass the
+    /// pipeline applied must re-derive from its recorded facts against
+    /// an independent dependence analysis of the snapshot it ran on.
+    /// Returns the `T`-rule diagnostics (empty for a legal recipe).
+    ///
+    /// After a `generate*` call on the same driver this is all cache
+    /// hits — the sweep is not re-run and the winner is not rebuilt.
+    pub fn check_transforms(
+        &self,
+        kernel: DlaKernel,
+    ) -> Result<Vec<augem_verify::Diagnostic>, AugemError> {
+        self.check_transforms_traced(kernel, augem_obs::null())
+    }
+
+    /// [`check_transforms`](Augem::check_transforms) with the replay
+    /// instrumented through `tracer` (a `depan` stage span,
+    /// `depan.errors` / `depan.warnings` counters, and one
+    /// `depan.diagnostic` event per finding).
+    pub fn check_transforms_traced(
+        &self,
+        kernel: DlaKernel,
+        tracer: &dyn Tracer,
+    ) -> Result<Vec<augem_verify::Diagnostic>, AugemError> {
+        let (_, _, winner) = self.generate_inner(kernel, tracer)?;
+        let logged = self
+            .logged_for(&winner, tracer)
+            .map_err(|e| AugemError::Eval(EvalError::Build(e)))?;
+        // `logged.kernel` is post-`identify` (Regions added), so the
+        // log's snapshot chain ends one stage earlier: no final kernel.
+        Ok(augem_depan::check_transforms_traced(
+            &logged.source,
+            &logged.tlog,
+            None,
+            tracer,
+        ))
     }
 
     /// Runs a traced generation like
@@ -970,6 +1009,24 @@ mod tests {
         assert!(report.mflops > 0.0);
         let errs = augem_verify::errors(&diags);
         assert!(errs.is_empty(), "verifier errors on tuned winner: {errs:?}");
+    }
+
+    #[test]
+    fn winner_transform_log_is_provably_legal() {
+        let driver = Augem::new(MachineSpec::sandy_bridge());
+        let collector = Collector::new();
+        let diags = driver
+            .check_transforms_traced(DlaKernel::Axpy, &collector)
+            .expect("axpy tunes");
+        assert!(diags.is_empty(), "depan rejects tuned winner: {diags:?}");
+        let snap = collector.snapshot();
+        assert!(
+            snap.stages()
+                .iter()
+                .any(|s| s.name == augem_obs::stage::DEPAN),
+            "no depan stage span recorded"
+        );
+        assert_eq!(snap.counters.get("depan.errors").copied(), Some(0));
     }
 
     #[test]

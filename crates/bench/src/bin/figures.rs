@@ -10,6 +10,7 @@
 //! cargo run --release -p augem-bench --bin figures -- tune     # BENCH_tune.json
 //! cargo run --release -p augem-bench --bin figures -- prof     # BENCH_prof.json
 //! cargo run --release -p augem-bench --bin figures -- cost     # BENCH_cost.json
+//! cargo run --release -p augem-bench --bin figures -- depan    # BENCH_depan.json
 //! ```
 
 use augem::obs::Json;
@@ -720,6 +721,175 @@ fn emit_cost_report(platforms: &[MachineSpec]) -> bool {
     ok
 }
 
+/// One legality-checked sweep's JSON entry plus its gate ingredients.
+/// `plain` and `checked` are each sweep's `(winner tag, winner cycles)`.
+fn depan_entry(
+    kernel: &str,
+    machine: &MachineSpec,
+    plain: (&str, u64),
+    checked: (&str, u64),
+    sweep_s: f64,
+    stats: &augem_tune::DepanStats,
+) -> (Json, bool, bool) {
+    let (checked_tag, checked_cycles) = checked;
+    let winner_preserved = plain.0 == checked_tag && plain.1 == checked_cycles;
+    let no_rejections = stats.rejected == 0;
+    let check_s = stats.check_ns as f64 / 1e9;
+    let check_frac = check_s / sweep_s.max(1e-12);
+    println!(
+        "depan  {:>6} on {:<12} {:>3}/{:<3} checked, {} rejected: legality {:>6.2} ms of {:>7.1} ms sweep ({:.2}%){}{}",
+        kernel,
+        machine.arch.short_name(),
+        stats.checked,
+        stats.generated,
+        stats.rejected,
+        check_s * 1e3,
+        sweep_s * 1e3,
+        check_frac * 100.0,
+        if winner_preserved { "" } else { "  WINNER CHANGED" },
+        if no_rejections { "" } else { "  FALSE REJECTION" },
+    );
+    let entry = Json::obj(vec![
+        ("kernel", Json::str(kernel)),
+        ("machine", Json::str(machine.arch.short_name())),
+        ("generated", Json::uint(stats.generated as u64)),
+        ("checked", Json::uint(stats.checked as u64)),
+        ("rejected", Json::uint(stats.rejected as u64)),
+        ("check_phase_s", Json::Num(check_s)),
+        ("sweep_s", Json::Num(sweep_s)),
+        ("check_frac_of_sweep", Json::Num(check_frac)),
+        ("winner", Json::str(checked_tag)),
+        ("winner_preserved", Json::Bool(winner_preserved)),
+    ]);
+    (entry, winner_preserved, no_rejections)
+}
+
+/// Benchmarks the depan transform-legality filter and writes
+/// `BENCH_depan.json` (`augem.bench-depan/v1`): per kernel × platform,
+/// how many candidates the checker replayed, how many it rejected, and
+/// what the legality phase cost relative to the whole sweep. Returns
+/// `false` — the CI gate — when any tuner candidate is rejected (every
+/// enumerated candidate is legal by construction, so any rejection is a
+/// false positive), when checking changes a winner, or when the
+/// legality phases cost 1% or more of the checked sweeps overall (the
+/// aggregate, for the same reason as the cost gate: millisecond GEMM
+/// sweeps make per-sweep fractions noise).
+fn emit_depan_report(platforms: &[MachineSpec]) -> bool {
+    let mut entries = Vec::new();
+    let mut winners_ok = true;
+    let mut rejections_ok = true;
+    let mut total_check_s = 0.0f64;
+    let mut total_sweep_s = 0.0f64;
+
+    for machine in platforms {
+        // GEMM.
+        let plain = augem_tune::tune_gemm(machine);
+        let t0 = Instant::now();
+        let checked = augem_tune::tune_gemm_checked(machine);
+        let sweep_s = t0.elapsed().as_secs_f64();
+        match (plain, checked) {
+            (Ok(plain), Ok((checked, stats))) => {
+                let (entry, wok, rok) = depan_entry(
+                    "dgemm",
+                    machine,
+                    (&plain.best.tag(), plain.best_eval.report.cycles),
+                    (&checked.best.tag(), checked.best_eval.report.cycles),
+                    sweep_s,
+                    &stats,
+                );
+                entries.push(entry);
+                winners_ok &= wok;
+                rejections_ok &= rok;
+                total_check_s += stats.check_ns as f64 / 1e9;
+                total_sweep_s += sweep_s;
+            }
+            (plain, checked) => {
+                eprintln!(
+                    "depan bench: gemm sweep failed on {}: plain={:?} checked={:?}",
+                    machine.arch.short_name(),
+                    plain.err(),
+                    checked.err()
+                );
+                rejections_ok = false;
+            }
+        }
+
+        // Vector kernels.
+        for vk in [
+            VectorKernel::Axpy,
+            VectorKernel::Dot,
+            VectorKernel::Gemv,
+            VectorKernel::Ger,
+            VectorKernel::Scal,
+        ] {
+            let plain = augem_tune::tune_vector(vk, machine);
+            let t0 = Instant::now();
+            let checked = augem_tune::tune_vector_checked(vk, machine);
+            let sweep_s = t0.elapsed().as_secs_f64();
+            match (plain, checked) {
+                (Ok(plain), Ok((checked, stats))) => {
+                    let (entry, wok, rok) = depan_entry(
+                        vk.name(),
+                        machine,
+                        (&plain.best.tag(), plain.best_eval.report.cycles),
+                        (&checked.best.tag(), checked.best_eval.report.cycles),
+                        sweep_s,
+                        &stats,
+                    );
+                    entries.push(entry);
+                    winners_ok &= wok;
+                    rejections_ok &= rok;
+                    total_check_s += stats.check_ns as f64 / 1e9;
+                    total_sweep_s += sweep_s;
+                }
+                (plain, checked) => {
+                    eprintln!(
+                        "depan bench: {} sweep failed on {}: plain={:?} checked={:?}",
+                        vk.name(),
+                        machine.arch.short_name(),
+                        plain.err(),
+                        checked.err()
+                    );
+                    rejections_ok = false;
+                }
+            }
+        }
+    }
+
+    let total_frac = total_check_s / total_sweep_s.max(1e-12);
+    let check_cheap = total_frac < 0.01;
+    let ok = winners_ok && rejections_ok && check_cheap;
+    let doc = Json::obj(vec![
+        ("schema", Json::str("augem.bench-depan/v1")),
+        ("zero_false_rejections", Json::Bool(rejections_ok)),
+        ("winners_preserved", Json::Bool(winners_ok)),
+        ("check_phase_under_1pct", Json::Bool(check_cheap)),
+        ("check_phase_total_frac", Json::Num(total_frac)),
+        ("sweeps", Json::Arr(entries)),
+    ]);
+    let path = "BENCH_depan.json";
+    match write_atomic(path, doc.render_pretty() + "\n") {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => {
+            eprintln!("cannot write {path}: {e}");
+            return false;
+        }
+    }
+    if !rejections_ok {
+        eprintln!("depan bench FAILED: a legal tuner candidate was rejected (false positive)");
+    }
+    if !winners_ok {
+        eprintln!("depan bench FAILED: the legality filter changed a sweep winner");
+    }
+    if !check_cheap {
+        eprintln!(
+            "depan bench FAILED: legality phases cost {:.2}% of the checked sweeps (gate: <1%)",
+            total_frac * 100.0
+        );
+    }
+    ok
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name || a == "all");
@@ -763,6 +933,15 @@ fn main() {
             std::process::exit(1);
         }
         if args.iter().all(|a| a == "cost") {
+            return;
+        }
+    }
+
+    if want("depan") && args.iter().any(|a| a == "depan" || a == "all") {
+        if !emit_depan_report(&platforms) {
+            std::process::exit(1);
+        }
+        if args.iter().all(|a| a == "depan") {
             return;
         }
     }

@@ -14,6 +14,7 @@
 //! | P004 | `NarrowSimd` | all FP arithmetic is narrower than the machine's widest SIMD mode |
 //! | P005 | `MissingPrefetch` | an innermost loop strides a load stream faster than the hardware stream prefetcher can follow, with no software prefetch |
 //! | P006 | `DeadRemainder` | constant propagation proves a block with real instructions unreachable |
+//! | P007 | `RedundantPrefetch` | two prefetches in one innermost-loop iteration provably target the same 64-byte cache line |
 //!
 //! P001 and P002 consider only loops running the kernel's *widest* FP
 //! arithmetic: a loop narrower than that is remainder cleanup whose
@@ -32,6 +33,10 @@ use crate::walk::{summarize_body, MemKind, Sym};
 /// accesses, so any stride of two lines (128 bytes) or more leaves
 /// every access exposed to the memory latency.
 const STREAM_PREFETCH_LIMIT_BYTES: i64 = 128;
+
+/// Cache-line granularity for the redundant-prefetch lint (P007): two
+/// prefetches whose addresses provably land on one line fetch it twice.
+const CACHE_LINE_BYTES: i64 = 64;
 
 /// Runs every P-rule against `kernel` as it would execute on `machine`.
 /// Purely static: no arguments, no simulation.
@@ -138,6 +143,36 @@ pub fn lint(kernel: &AsmKernel, machine: &MachineSpec) -> Vec<Diagnostic> {
             }
         }
 
+        // P007: two prefetches provably targeting the same 64-byte
+        // cache line within one iteration. Tracked per base register;
+        // any write to the base forgets what was prefetched through it
+        // (the two addresses are no longer provably on one line).
+        let mut lines: Vec<(u8, i64, usize)> = Vec::new();
+        for (off, inst) in body.iter().enumerate() {
+            if let XInst::Prefetch { mem, .. } = inst {
+                let line = mem.disp.div_euclid(CACHE_LINE_BYTES);
+                match lines
+                    .iter()
+                    .find(|&&(b, l, _)| b == mem.base.0 && l == line)
+                {
+                    Some(&(_, _, first)) => diags.push(Diagnostic::new(
+                        Rule::RedundantPrefetch,
+                        Span::at(target + 1 + off),
+                        format!(
+                            "prefetch (displacement {}) hits the same \
+                             {CACHE_LINE_BYTES}-byte cache line as the prefetch at \
+                             instruction {} through the same base register; drop one",
+                            mem.disp,
+                            target + 1 + first,
+                        ),
+                    )),
+                    None => lines.push((mem.base.0, line, off)),
+                }
+            } else if let Some(w) = gp_written(inst) {
+                lines.retain(|&(b, _, _)| b != w);
+            }
+        }
+
         // P005: load streams striding past the hardware prefetcher.
         if let Some(prog) = &decoded {
             let has_prefetch = body.iter().any(|i| matches!(i, XInst::Prefetch { .. }));
@@ -190,6 +225,21 @@ pub fn lint(kernel: &AsmKernel, machine: &MachineSpec) -> Vec<Diagnostic> {
     diags.extend(dead_remainder(kernel));
 
     dedup(diags)
+}
+
+/// The GP register `inst` overwrites, if any — used by P007 to forget
+/// which cache lines were already prefetched through that base.
+fn gp_written(inst: &XInst) -> Option<u8> {
+    match inst {
+        XInst::IMovImm { dst, .. }
+        | XInst::IMov { dst, .. }
+        | XInst::IAdd { dst, .. }
+        | XInst::ISub { dst, .. }
+        | XInst::IMul { dst, .. }
+        | XInst::Lea { dst, .. }
+        | XInst::ILoad { dst, .. } => Some(dst.0),
+        _ => None,
+    }
 }
 
 /// Widest FP-arithmetic lane count in `insts` (0 when there is none).
@@ -628,6 +678,69 @@ mod tests {
         assert!(codes(&diags).contains(&"P005"), "{diags:?}");
         let diags = lint(&build(true), &snb());
         assert!(!codes(&diags).contains(&"P005"), "{diags:?}");
+    }
+
+    /// Two prefetches on one cache line in one iteration; distinct
+    /// lines, distinct bases, or an intervening base write are quiet.
+    #[test]
+    fn p007_fires_on_same_line_prefetch_pair() {
+        // disp2 = second prefetch displacement; bump = advance the base
+        // register between the two prefetches; base2 = second base reg.
+        let build = |disp2: i64, bump: bool, base2: u8| {
+            let mut k = AsmKernel::new("pf_pair");
+            k.params.push(("X".into(), ParamLoc::Gp(GpReg(0))));
+            k.params.push(("Y".into(), ParamLoc::Gp(GpReg(1))));
+            k.params.push(("N".into(), ParamLoc::Gp(GpReg(3))));
+            k.insts.push(XInst::IMovImm {
+                dst: GpReg(2),
+                imm: 0,
+            });
+            k.insts.push(XInst::Label("l".into()));
+            k.insts.push(XInst::Prefetch {
+                mem: Mem::new(GpReg(0), 512),
+                write: false,
+                locality: 3,
+            });
+            if bump {
+                k.insts.push(XInst::IAdd {
+                    dst: GpReg(0),
+                    src: GpOrImm::Imm(64),
+                });
+            }
+            k.insts.push(XInst::Prefetch {
+                mem: Mem::new(GpReg(base2), disp2),
+                write: false,
+                locality: 3,
+            });
+            k.insts.push(XInst::FLoad {
+                dst: VecReg(0),
+                mem: Mem::new(GpReg(0), 0),
+                w: Width::V2,
+            });
+            k.insts.push(XInst::IAdd {
+                dst: GpReg(2),
+                src: GpOrImm::Imm(1),
+            });
+            k.insts.push(XInst::Cmp {
+                a: GpReg(2),
+                b: GpOrImm::Gp(GpReg(3)),
+            });
+            k.insts.push(XInst::Jl("l".into()));
+            k.insts.push(XInst::Ret);
+            k
+        };
+        // Same base, displacements 512 and 520: one 64-byte line.
+        let diags = lint(&build(520, false, 0), &snb());
+        assert!(codes(&diags).contains(&"P007"), "{diags:?}");
+        // Same base, next line (576): quiet.
+        let diags = lint(&build(576, false, 0), &snb());
+        assert!(!codes(&diags).contains(&"P007"), "{diags:?}");
+        // Different base registers: not provably the same line.
+        let diags = lint(&build(520, false, 1), &snb());
+        assert!(!codes(&diags).contains(&"P007"), "{diags:?}");
+        // Base advanced between the two: not provably the same line.
+        let diags = lint(&build(520, true, 0), &snb());
+        assert!(!codes(&diags).contains(&"P007"), "{diags:?}");
     }
 
     /// A remainder loop guarded by a statically-false condition.

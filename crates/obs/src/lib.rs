@@ -77,4 +77,7 @@ pub mod stage {
     /// Static cost analysis: lower-bound computation and bound-based
     /// pruning (`cost`); its counters live under `cost.*`.
     pub const COST: &str = "cost";
+    /// Static dependence analysis and transform-legality checking
+    /// (`depan`); its counters live under `depan.*`.
+    pub const DEPAN: &str = "depan";
 }

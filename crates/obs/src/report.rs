@@ -330,6 +330,12 @@ pub struct RunReport {
     /// kernel, when linting ran. Empty means either "clean" or "not
     /// linted" — the `lint.warnings` counter disambiguates.
     pub lints: Vec<String>,
+    /// Rendered transform-legality diagnostics (T-rules) for the
+    /// shipped kernel, when `--check-transforms` ran. Empty means
+    /// either "proved legal" or "not checked" — the `depan.errors`
+    /// counter disambiguates. Rendered through the same section path
+    /// as `lints` so all diagnostic families look alike.
+    pub tchecks: Vec<String>,
 }
 
 impl RunReport {
@@ -396,11 +402,13 @@ impl RunReport {
         if let Some(p) = &self.profile {
             pairs.push(("profile", p.to_json()));
         }
-        if !self.lints.is_empty() {
-            pairs.push((
-                "lints",
-                Json::Arr(self.lints.iter().map(|l| Json::str(l.clone())).collect()),
-            ));
+        for (key, diags) in [("lints", &self.lints), ("tchecks", &self.tchecks)] {
+            if !diags.is_empty() {
+                pairs.push((
+                    key,
+                    Json::Arr(diags.iter().map(|l| Json::str(l.clone())).collect()),
+                ));
+            }
         }
         Json::obj(pairs)
     }
@@ -472,15 +480,8 @@ impl RunReport {
             tuner: v.get("tuner").and_then(TunerTelemetry::from_json),
             sim: v.get("sim").and_then(SimCounters::from_json),
             profile: v.get("profile").and_then(ProfileSummary::from_json),
-            lints: v
-                .get("lints")
-                .and_then(Json::as_arr)
-                .map(|a| {
-                    a.iter()
-                        .filter_map(|l| l.as_str().map(str::to_string))
-                        .collect()
-                })
-                .unwrap_or_default(),
+            lints: diag_list(v, "lints"),
+            tchecks: diag_list(v, "tchecks"),
         })
     }
 
@@ -563,12 +564,8 @@ impl RunReport {
                 );
             }
         }
-        if !self.lints.is_empty() {
-            let _ = writeln!(out, "  performance lints:");
-            for l in &self.lints {
-                let _ = writeln!(out, "    {l}");
-            }
-        }
+        render_diag_section(&mut out, "performance lints", &self.lints);
+        render_diag_section(&mut out, "transform legality", &self.tchecks);
         if !self.counters.is_empty() {
             let _ = writeln!(out, "  counters:");
             for (k, v) in &self.counters {
@@ -583,6 +580,33 @@ impl RunReport {
         }
         out
     }
+}
+
+/// The one rendering path every rendered-diagnostic family (P-rule
+/// lints, T-rule legality findings, ...) goes through in the text
+/// report: a titled section, one indented line per finding, nothing
+/// when the list is empty.
+fn render_diag_section(out: &mut String, title: &str, diags: &[String]) {
+    use std::fmt::Write as _;
+    if diags.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "  {title}:");
+    for d in diags {
+        let _ = writeln!(out, "    {d}");
+    }
+}
+
+/// Parses an optional rendered-diagnostic array field (absent = empty).
+fn diag_list(v: &Json, key: &str) -> Vec<String> {
+    v.get(key)
+        .and_then(Json::as_arr)
+        .map(|a| {
+            a.iter()
+                .filter_map(|l| l.as_str().map(str::to_string))
+                .collect()
+        })
+        .unwrap_or_default()
 }
 
 fn format_ns(ns: u64) -> String {
@@ -690,6 +714,11 @@ mod tests {
                  but the machine supports 4; vectorize for the full SIMD width"
                     .into(),
             ],
+            tchecks: vec![
+                "error: T004[JamCarriedDependence] at kernel: jamming loop `j` \
+                 may reorder a carried dependence on array `A`"
+                    .into(),
+            ],
         }
     }
 
@@ -748,6 +777,10 @@ mod tests {
         assert!(text.contains("eval latency"), "{text}");
         assert!(text.contains("mmUnrolledCOMP body"), "{text}");
         assert!(text.contains("78.0%"), "{text}");
+        // Both diagnostic families render through the same section path.
+        assert!(text.contains("performance lints:"), "{text}");
+        assert!(text.contains("transform legality:"), "{text}");
+        assert!(text.contains("T004"), "{text}");
     }
 
     #[test]

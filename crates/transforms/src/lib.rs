@@ -33,5 +33,9 @@ pub mod scalar;
 pub mod strength;
 pub mod unroll;
 
-pub use pipeline::{generate_optimized, generate_optimized_traced, OptimizeConfig, PrefetchConfig};
+pub use pipeline::{
+    generate_optimized, generate_optimized_logged, generate_optimized_traced, OptimizeConfig,
+    PassRecord, PrefetchConfig, TransformLog, TransformStep,
+};
+pub use strength::SrGroup;
 pub use unroll::TransformError;

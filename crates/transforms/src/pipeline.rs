@@ -4,9 +4,9 @@
 use crate::prefetch::insert_prefetch;
 pub use crate::prefetch::PrefetchConfig;
 use crate::scalar::scalar_replace;
-use crate::strength::strength_reduce;
-use crate::unroll::{unroll_and_jam, unroll_inner, TransformError};
-use augem_ir::Kernel;
+use crate::strength::{strength_reduce_logged, SrGroup};
+use crate::unroll::{unroll_and_jam, unroll_inner_logged, TransformError};
+use augem_ir::{Kernel, Sym};
 use augem_obs::{span, stage, Tracer};
 
 /// One optimization configuration — the point in the tuning space that
@@ -66,6 +66,60 @@ impl OptimizeConfig {
     }
 }
 
+/// One applied pass with the parameters it ran under and the facts it
+/// claims to have relied on. The facts are the pass's *own* report;
+/// `crates/depan` replays each record against the surrounding kernel
+/// snapshots and refuses the compilation when a precondition does not
+/// actually hold — the same proof-carrying shape as the register
+/// allocator's `BindingLog`.
+#[derive(Debug, Clone)]
+pub enum PassRecord {
+    /// `unroll::unroll_and_jam(var, factor)`.
+    UnrollJam { var: String, factor: usize },
+    /// `unroll::unroll_inner(var, factor, expand)`; `accumulators` are the
+    /// locals the pass scalar-expanded (reassociating their reductions).
+    UnrollInner {
+        var: String,
+        factor: usize,
+        expand: bool,
+        accumulators: Vec<Sym>,
+    },
+    /// `strength::strength_reduce`, with every pointer group introduced.
+    StrengthReduce { groups: Vec<SrGroup> },
+    /// `scalar::scalar_replace` (facts are recovered from the snapshots).
+    ScalarReplace,
+    /// `prefetch::insert_prefetch` under `config`.
+    Prefetch { config: PrefetchConfig },
+}
+
+impl PassRecord {
+    /// Short pass name for diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PassRecord::UnrollJam { .. } => "unroll_jam",
+            PassRecord::UnrollInner { .. } => "unroll_inner",
+            PassRecord::StrengthReduce { .. } => "strength_reduce",
+            PassRecord::ScalarReplace => "scalar_replace",
+            PassRecord::Prefetch { .. } => "prefetch",
+        }
+    }
+}
+
+/// One step of the transform pipeline: the pass plus the kernel
+/// immediately before and after it ran.
+#[derive(Debug, Clone)]
+pub struct TransformStep {
+    pub pass: PassRecord,
+    pub before: Kernel,
+    pub after: Kernel,
+}
+
+/// The ordered record of every pass one `generate_optimized` run applied.
+#[derive(Debug, Clone, Default)]
+pub struct TransformLog {
+    pub steps: Vec<TransformStep>,
+}
+
 /// Runs the Optimized C Kernel Generator: unroll&jam → inner unrolling →
 /// strength reduction → scalar replacement → prefetch insertion.
 pub fn generate_optimized(kernel: &Kernel, cfg: &OptimizeConfig) -> Result<Kernel, TransformError> {
@@ -82,37 +136,88 @@ pub fn generate_optimized_traced(
     cfg: &OptimizeConfig,
     tracer: &dyn Tracer,
 ) -> Result<Kernel, TransformError> {
+    generate_optimized_logged(kernel, cfg, tracer).map(|(k, _)| k)
+}
+
+/// [`generate_optimized_traced`] that also returns the [`TransformLog`]
+/// of every applied pass, for replay by `crates/depan`.
+pub fn generate_optimized_logged(
+    kernel: &Kernel,
+    cfg: &OptimizeConfig,
+    tracer: &dyn Tracer,
+) -> Result<(Kernel, TransformLog), TransformError> {
     let _stage = span(tracer, stage::CGEN);
     let mut k = kernel.clone();
+    let mut log = TransformLog::default();
     tracer.add("cgen.stmts.before", k.stmt_count() as u64);
     {
         let _s = span(tracer, "cgen.unroll_jam");
         for (v, f) in &cfg.unroll_jam {
+            let before = k.clone();
             unroll_and_jam(&mut k, v, *f)?;
+            log.steps.push(TransformStep {
+                pass: PassRecord::UnrollJam {
+                    var: v.clone(),
+                    factor: *f,
+                },
+                before,
+                after: k.clone(),
+            });
         }
         tracer.add("cgen.stmts.unroll_jam", k.stmt_count() as u64);
     }
     {
         let _s = span(tracer, "cgen.unroll_inner");
         if let Some((v, f, expand)) = &cfg.inner_unroll {
-            unroll_inner(&mut k, v, *f, *expand)?;
+            let before = k.clone();
+            let accumulators = unroll_inner_logged(&mut k, v, *f, *expand)?;
+            log.steps.push(TransformStep {
+                pass: PassRecord::UnrollInner {
+                    var: v.clone(),
+                    factor: *f,
+                    expand: *expand,
+                    accumulators,
+                },
+                before,
+                after: k.clone(),
+            });
         }
         tracer.add("cgen.stmts.unroll_inner", k.stmt_count() as u64);
     }
     {
         let _s = span(tracer, "cgen.strength_reduce");
-        strength_reduce(&mut k);
+        let before = k.clone();
+        let groups = strength_reduce_logged(&mut k);
+        log.steps.push(TransformStep {
+            pass: PassRecord::StrengthReduce { groups },
+            before,
+            after: k.clone(),
+        });
     }
     {
         let _s = span(tracer, "cgen.scalar_replace");
+        let before = k.clone();
         scalar_replace(&mut k);
+        log.steps.push(TransformStep {
+            pass: PassRecord::ScalarReplace,
+            before,
+            after: k.clone(),
+        });
     }
     {
         let _s = span(tracer, "cgen.prefetch");
+        let before = k.clone();
         insert_prefetch(&mut k, &cfg.prefetch);
+        log.steps.push(TransformStep {
+            pass: PassRecord::Prefetch {
+                config: cfg.prefetch,
+            },
+            before,
+            after: k.clone(),
+        });
     }
     tracer.add("cgen.stmts.after", k.stmt_count() as u64);
-    Ok(k)
+    Ok((k, log))
 }
 
 #[cfg(test)]

@@ -29,27 +29,58 @@ struct Group {
     ptr: Option<Sym>,
 }
 
+/// The fact one strength-reduced pointer group rests on: inside the loop
+/// over `var` (stepping by `step`), every access the group covered had
+/// subscript `coeff*var + core + const`, so `ptr = base + core + coeff*init`
+/// hoisted before the loop plus `ptr = ptr + coeff*step` at the bottom
+/// reproduces the addresses. `depan` replays this claim against the
+/// transformed kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SrGroup {
+    /// The fresh pointer local the group was rewritten through.
+    pub ptr: Sym,
+    /// The array (or already-reduced pointer) the group indexes.
+    pub base: Sym,
+    /// Induction variable of the loop the group was reduced against.
+    pub var: Sym,
+    /// Loop-invariant coefficient of `var` in the subscripts.
+    pub coeff: LinearForm,
+    /// Loop-invariant non-constant remainder of the subscripts.
+    pub core: LinearForm,
+    /// The loop's step.
+    pub step: i64,
+}
+
 /// Applies strength reduction to every loop in the kernel, innermost-first.
 pub fn strength_reduce(k: &mut Kernel) {
+    let _ = strength_reduce_logged(k);
+}
+
+/// [`strength_reduce`] that additionally reports every pointer group it
+/// introduced, innermost loops first.
+pub fn strength_reduce_logged(k: &mut Kernel) -> Vec<SrGroup> {
     let mut syms = std::mem::take(&mut k.syms);
     let mut body = std::mem::take(&mut k.body);
     let mut origin = std::mem::take(&mut k.ptr_origin);
-    process_block(&mut body, &mut syms, &mut origin);
+    let mut log = Vec::new();
+    process_block(&mut body, &mut syms, &mut origin, &mut log);
     k.syms = syms;
     k.body = body;
     k.ptr_origin = origin;
+    log
 }
 
 fn process_block(
     stmts: &mut Vec<Stmt>,
     syms: &mut augem_ir::SymbolTable,
     origin: &mut std::collections::HashMap<Sym, Sym>,
+    log: &mut Vec<SrGroup>,
 ) {
     let mut pos = 0;
     while pos < stmts.len() {
         // Recurse into region bodies without treating them as loops.
         if let Stmt::Region { body, .. } = &mut stmts[pos] {
-            process_block(body, syms, origin);
+            process_block(body, syms, origin, log);
             pos += 1;
             continue;
         }
@@ -70,7 +101,7 @@ fn process_block(
         };
 
         // Innermost first.
-        process_block(&mut loop_body, syms, origin);
+        process_block(&mut loop_body, syms, origin, log);
 
         let inner_loop_vars = collect_loop_vars(&loop_body);
         let mut groups: Vec<Group> = Vec::new();
@@ -85,6 +116,14 @@ fn process_block(
             );
             g.ptr = Some(ptr);
             origin.insert(ptr, g.base);
+            log.push(SrGroup {
+                ptr,
+                base: g.base,
+                var: v,
+                coeff: g.coeff.clone(),
+                core: g.core.clone(),
+                step,
+            });
             // ptr = base + core + c*init
             let mut offset_expr: Option<Expr> = None;
             if !g.core.is_zero() {

@@ -86,11 +86,25 @@ pub fn unroll_inner(
     factor: usize,
     expand_accumulators: bool,
 ) -> Result<(), TransformError> {
+    unroll_inner_logged(k, var_name, factor, expand_accumulators).map(|_| ())
+}
+
+/// [`unroll_inner`] that additionally reports which accumulators were
+/// expanded (empty when `expand_accumulators` is off or none qualified).
+/// The list is the pass's own claim about the reassociation it performed;
+/// `depan` re-derives and cross-checks it independently.
+pub fn unroll_inner_logged(
+    k: &mut Kernel,
+    var_name: &str,
+    factor: usize,
+    expand_accumulators: bool,
+) -> Result<Vec<Sym>, TransformError> {
     if factor == 0 {
         return Err(TransformError::BadFactor(0));
     }
     let mut syms = std::mem::take(&mut k.syms);
     let mut body = std::mem::take(&mut k.body);
+    let mut expanded = Vec::new();
     let res = if factor == 1 {
         rewrite_loop(&mut body, var_name, &mut |s, _| Ok(vec![s]), &mut syms)
     } else {
@@ -98,14 +112,14 @@ pub fn unroll_inner(
             &mut body,
             var_name,
             &mut |loop_stmt, syms| {
-                expand_unroll_inner(loop_stmt, factor, expand_accumulators, syms)
+                expand_unroll_inner(loop_stmt, factor, expand_accumulators, syms, &mut expanded)
             },
             &mut syms,
         )
     };
     k.syms = syms;
     k.body = body;
-    res
+    res.map(|()| expanded)
 }
 
 type LoopRewriter<'a> =
@@ -339,6 +353,7 @@ fn expand_unroll_inner(
     factor: usize,
     expand_accumulators: bool,
     syms: &mut augem_ir::SymbolTable,
+    expanded_out: &mut Vec<Sym>,
 ) -> Result<Vec<Stmt>, TransformError> {
     let Stmt::For {
         var: v,
@@ -356,6 +371,7 @@ fn expand_unroll_inner(
     } else {
         Vec::new()
     };
+    expanded_out.extend_from_slice(&accumulators);
 
     let mut pre = Vec::new();
     let mut post = Vec::new();

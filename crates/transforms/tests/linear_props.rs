@@ -1,0 +1,164 @@
+//! Property tests for the `LinearForm` normal form — the algebra the
+//! strength-reduction pass, the template identifier, and the depan
+//! dependence analyzer all lean on.
+//!
+//! Expressions are generated from an LCG-seeded depth-bounded grammar
+//! over the linear subset (`+`, `-`, `*`, vars, small constants), and
+//! every algebraic claim is checked *semantically*: both sides are
+//! evaluated as integers over random variable assignments drawn from
+//! the same seed.
+
+use augem_ir::{BinOp, Expr, Sym, SymKind, SymbolTable, Ty};
+use augem_transforms::linear::LinearForm;
+use proptest::prelude::*;
+
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn syms() -> (SymbolTable, Vec<Sym>) {
+    let mut t = SymbolTable::new();
+    let i = t.define("i", Ty::I64, SymKind::LoopVar);
+    let j = t.define("j", Ty::I64, SymKind::LoopVar);
+    let m = t.define("M", Ty::I64, SymKind::Param);
+    (t, vec![i, j, m])
+}
+
+/// A random expression from the linear subset. Depth-bounded;
+/// constants stay small so i64 evaluation cannot overflow even for
+/// products of every term.
+fn gen_expr(rng: &mut Lcg, vars: &[Sym], depth: usize) -> Expr {
+    if depth == 0 || rng.below(4) == 0 {
+        if rng.below(2) == 0 {
+            Expr::Int(rng.below(9) as i64 - 4)
+        } else {
+            Expr::Var(vars[rng.below(vars.len() as u64) as usize])
+        }
+    } else {
+        let op = match rng.below(3) {
+            0 => BinOp::Add,
+            1 => BinOp::Sub,
+            _ => BinOp::Mul,
+        };
+        Expr::Bin(
+            op,
+            Box::new(gen_expr(rng, vars, depth - 1)),
+            Box::new(gen_expr(rng, vars, depth - 1)),
+        )
+    }
+}
+
+/// Integer evaluation over an assignment (the linear subset only).
+fn eval(e: &Expr, env: &[(Sym, i64)]) -> i64 {
+    match e {
+        Expr::Int(c) => *c,
+        Expr::Var(v) => env.iter().find(|(s, _)| s == v).map(|(_, x)| *x).unwrap(),
+        Expr::Bin(op, l, r) => {
+            let (a, b) = (eval(l, env), eval(r, env));
+            match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                _ => panic!("outside the linear subset"),
+            }
+        }
+        other => panic!("outside the linear subset: {other:?}"),
+    }
+}
+
+fn random_env(rng: &mut Lcg, vars: &[Sym]) -> Vec<(Sym, i64)> {
+    vars.iter()
+        .map(|&v| (v, rng.below(15) as i64 - 7))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `of` → `to_expr` → `of` is the identity on normal forms, and
+    /// `to_expr` preserves the expression's value at every assignment.
+    #[test]
+    fn of_to_expr_round_trip(seed in 1u64..100_000, depth in 0usize..5) {
+        let (_t, vars) = syms();
+        let mut rng = Lcg(seed);
+        let e = gen_expr(&mut rng, &vars, depth);
+        let f = LinearForm::of(&e).unwrap();
+        prop_assert_eq!(&LinearForm::of(&f.to_expr()).unwrap(), &f);
+        for _ in 0..4 {
+            let env = random_env(&mut rng, &vars);
+            prop_assert_eq!(eval(&f.to_expr(), &env), eval(&e, &env));
+        }
+    }
+
+    /// `split_on(v)` is the algebraic identity `f = coeff*v + rest`:
+    /// re-flattening the recombination gives back `f`, `rest` is free of
+    /// `v`, and `coeff` is free of `v` too (each split term contained
+    /// exactly one `v`).
+    #[test]
+    fn split_on_is_an_identity(seed in 1u64..100_000, depth in 0usize..5) {
+        let (_t, vars) = syms();
+        let mut rng = Lcg(seed);
+        let e = gen_expr(&mut rng, &vars, depth);
+        let f = LinearForm::of(&e).unwrap();
+        let v = vars[rng.below(vars.len() as u64) as usize];
+        match f.split_on(v) {
+            Some((coeff, rest)) => {
+                prop_assert!(!rest.mentions(v));
+                prop_assert!(!coeff.mentions(v));
+                let recombined = Expr::Bin(
+                    BinOp::Add,
+                    Box::new(Expr::Bin(
+                        BinOp::Mul,
+                        Box::new(coeff.to_expr()),
+                        Box::new(Expr::Var(v)),
+                    )),
+                    Box::new(rest.to_expr()),
+                );
+                prop_assert_eq!(&LinearForm::of(&recombined).unwrap(), &f);
+            }
+            None => {
+                // Refusal must be justified: some term is quadratic in v.
+                prop_assert!(f
+                    .terms
+                    .iter()
+                    .any(|t| t.factors.iter().filter(|&&x| x == v).count() >= 2));
+            }
+        }
+    }
+
+    /// `const_offset_to` finds exactly the added constant, and the
+    /// offset it reports is the semantic difference at every assignment.
+    #[test]
+    fn const_offset_to_is_the_semantic_difference(
+        seed in 1u64..100_000,
+        depth in 0usize..5,
+        d in -20i64..20,
+    ) {
+        let (_t, vars) = syms();
+        let mut rng = Lcg(seed);
+        let e = gen_expr(&mut rng, &vars, depth);
+        let f = LinearForm::of(&e).unwrap();
+        let shifted = Expr::Bin(BinOp::Add, Box::new(e.clone()), Box::new(Expr::Int(d)));
+        let g = LinearForm::of(&shifted).unwrap();
+        prop_assert_eq!(f.const_offset_to(&g), Some(d));
+        prop_assert_eq!(g.const_offset_to(&f), Some(-d));
+        if let Some(off) = f.const_offset_to(&g) {
+            for _ in 0..4 {
+                let env = random_env(&mut rng, &vars);
+                prop_assert_eq!(eval(&g.to_expr(), &env) - eval(&f.to_expr(), &env), off);
+            }
+        }
+    }
+}

@@ -60,6 +60,13 @@ impl GemmConfig {
         cfg
     }
 
+    /// The transform half of the pipeline this configuration drives: the
+    /// simple source kernel and the optimization recipe. What the depan
+    /// legality filter checks without paying for code generation.
+    pub fn transform_inputs(&self) -> (Kernel, OptimizeConfig) {
+        (gemm_simple(), self.opt_config())
+    }
+
     fn codegen_options(&self) -> CodegenOptions {
         CodegenOptions {
             strategy: self.strategy,
@@ -280,6 +287,13 @@ impl VectorConfig {
         EquivSpec::new(args)
     }
 
+    /// The transform half of the pipeline this configuration drives (see
+    /// [`GemmConfig::transform_inputs`]).
+    pub fn transform_inputs(&self) -> (Kernel, OptimizeConfig) {
+        let (kernel, cfg, _) = self.pipeline_inputs();
+        (kernel, cfg)
+    }
+
     fn pipeline_inputs(&self) -> (Kernel, OptimizeConfig, CodegenOptions) {
         let (kernel, mut cfg): (Kernel, OptimizeConfig) = match self.kernel {
             VectorKernel::Axpy => (axpy_simple(), OptimizeConfig::vector(self.unroll, false)),
@@ -358,6 +372,11 @@ pub struct LoggedBuild {
     pub asm: AsmKernel,
     /// The register-allocation decision log.
     pub log: augem_opt::BindingLog,
+    /// The transform-pass record (one step per applied pass, with
+    /// before/after snapshots) — what `augem-depan` replays to prove the
+    /// source-to-source half legal. Note `kernel` is post-`identify`
+    /// (Regions added), so the log's chain ends one stage earlier.
+    pub tlog: augem_transforms::TransformLog,
 }
 
 /// [`build_pipeline_traced`] that keeps the simple source, the tagged
@@ -370,7 +389,7 @@ pub fn build_pipeline_logged(
     machine: &MachineSpec,
     tracer: &dyn augem_obs::Tracer,
 ) -> Result<LoggedBuild, BuildError> {
-    let mut k = augem_transforms::generate_optimized_traced(simple, cfg, tracer)
+    let (mut k, tlog) = augem_transforms::generate_optimized_logged(simple, cfg, tracer)
         .map_err(BuildError::Transform)?;
     augem_templates::identify_traced(&mut k, tracer);
     let (asm, log) =
@@ -380,6 +399,7 @@ pub fn build_pipeline_logged(
         kernel: k,
         asm,
         log,
+        tlog,
     })
 }
 

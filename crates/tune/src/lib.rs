@@ -23,6 +23,7 @@
 pub mod cache;
 pub mod config;
 pub mod evaluate;
+pub mod legal;
 pub mod prune;
 pub mod resilient;
 pub mod search;
@@ -37,6 +38,10 @@ pub use evaluate::{
     evaluate_vector, evaluate_vector_budgeted, evaluate_vector_cached, evaluate_vector_traced,
     gemm_eval_args, profile_gemm_cached, profile_vector_cached, vector_eval_args, EvalClass,
     EvalError, Evaluation, ProfiledEvaluation,
+};
+pub use legal::{
+    tune_gemm_checked, tune_gemm_checked_cached, tune_vector_checked, tune_vector_checked_cached,
+    DepanStats,
 };
 pub use prune::{
     tune_gemm_pruned, tune_gemm_pruned_cached, tune_vector_pruned, tune_vector_pruned_cached,

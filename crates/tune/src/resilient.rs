@@ -67,6 +67,14 @@ pub struct ResilOptions {
     /// bit-for-bit. Pruning depends on commit order, so it disables the
     /// speculative parallel phase, like an enabled injector does.
     pub prune: bool,
+    /// Reject candidates whose transform chain `augem-depan` cannot
+    /// prove legal, before code generation. Rejections are journaled
+    /// with outcome `"rejected"` and replayed on resume exactly like
+    /// prunes; like a prune, a rejection never touches the breaker.
+    /// Legality is order-independent, so this keeps the speculative
+    /// parallel phase (a rejected candidate's speculative evaluation is
+    /// discarded unseen, like a breaker skip's).
+    pub check_legality: bool,
 }
 
 impl Default for ResilOptions {
@@ -76,6 +84,7 @@ impl Default for ResilOptions {
             breaker_threshold: 3,
             step_limit: Some(DEFAULT_STEP_BUDGET),
             prune: false,
+            check_legality: false,
         }
     }
 }
@@ -135,6 +144,7 @@ pub fn tune_gemm_resilient_cached(
             let r = augem_cost::analyze(&build.asm, &args, machine).ok()?;
             Some(ub_mflops(r.lower_bound_cycles, useful, machine.turbo_ghz))
         },
+        crate::legal::reject_gemm,
         opts,
         journal,
         injector,
@@ -187,6 +197,7 @@ pub fn tune_vector_resilient_cached(
             let r = augem_cost::analyze(&build.asm, &args, machine).ok()?;
             Some(ub_mflops(r.lower_bound_cycles, useful, machine.turbo_ghz))
         },
+        crate::legal::reject_vector,
         opts,
         journal,
         injector,
@@ -271,6 +282,7 @@ fn drive<C: Copy + Sync>(
     family_of: impl Fn(&C) -> String,
     eval: impl Fn(&C, Option<u64>, &dyn Tracer) -> Result<Evaluation, EvalError> + Sync,
     bound_of: impl Fn(&C, &dyn Tracer) -> Option<f64>,
+    reject_of: impl Fn(&C, &dyn Tracer) -> Option<String>,
     opts: &ResilOptions,
     journal: &mut TuneJournal,
     injector: &Injector,
@@ -379,6 +391,16 @@ fn drive<C: Copy + Sync>(
                         .to_string();
                     evaluated.push((*c, Err(why)));
                 }
+                // Likewise for a depan-rejected candidate: its verdict
+                // is a pure function of the config, final either way.
+                "rejected" => {
+                    let why = entry
+                        .get("error")
+                        .and_then(Json::as_str)
+                        .unwrap_or("rejected(depan)")
+                        .to_string();
+                    evaluated.push((*c, Err(why)));
+                }
                 _ => {
                     let why = entry
                         .get("error")
@@ -416,6 +438,30 @@ fn drive<C: Copy + Sync>(
             ]));
             evaluated.push((*c, Err(why)));
             continue;
+        }
+
+        // Legality check: a candidate whose transform chain cannot be
+        // proved legal never reaches codegen or the simulator. Like a
+        // prune, not a failure — the breaker never sees it.
+        if opts.check_legality {
+            if let Some(why) = reject_of(c, tracer) {
+                tracer.add("depan.rejected", 1);
+                tracer.event(
+                    "depan.rejected",
+                    &[
+                        ("tag", Value::from(tag.as_str())),
+                        ("reason", Value::from(why.as_str())),
+                    ],
+                );
+                let entry = Json::obj(vec![
+                    ("tag", Json::str(&tag)),
+                    ("outcome", Json::str("rejected")),
+                    ("error", Json::str(&why)),
+                ]);
+                append_maybe_corrupted(journal, injector, &tag, entry);
+                evaluated.push((*c, Err(why)));
+                continue;
+            }
         }
 
         // Bound check: a candidate the static analyzer proves strictly
@@ -778,6 +824,73 @@ mod tests {
         // uninterrupted run's total.
         assert!(snap2.counters.get("cost.pruned").copied().unwrap_or(0) <= pruned_count);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn legality_checked_resilient_matches_plain_sweep() {
+        // Every current candidate is provably legal, so the filter must
+        // reject nothing and leave the winner bit-for-bit unchanged.
+        let m = MachineSpec::sandy_bridge();
+        let plain = crate::tune_vector(VectorKernel::Axpy, &m).unwrap();
+        let opts = ResilOptions {
+            check_legality: true,
+            ..ResilOptions::fast()
+        };
+        let c = Collector::new();
+        let mut j = mem_journal("daxpy", &m);
+        let r = tune_vector_resilient(
+            VectorKernel::Axpy,
+            &m,
+            &opts,
+            &mut j,
+            &Injector::disabled(),
+            &c,
+        )
+        .unwrap();
+        assert_eq!(r.best.tag(), plain.best.tag());
+        assert_eq!(
+            r.best_eval.mflops.to_bits(),
+            plain.best_eval.mflops.to_bits()
+        );
+        let snap = c.snapshot();
+        assert!(snap.stages().iter().any(|s| s.name == stage::DEPAN));
+        assert_eq!(snap.counters.get("depan.rejected").copied().unwrap_or(0), 0);
+    }
+
+    #[test]
+    fn journaled_rejection_is_replayed_without_rechecking() {
+        use augem_obs::Json;
+        let m = MachineSpec::sandy_bridge();
+        let mut j = mem_journal("daxpy", &m);
+        let cands = vector_candidates(VectorKernel::Axpy, &m);
+        let tag0 = cands[0].tag();
+        j.append(Json::obj(vec![
+            ("tag", Json::str(&tag0)),
+            ("outcome", Json::str("rejected")),
+            (
+                "error",
+                Json::str("rejected(depan): T004 synthetic (journaled)"),
+            ),
+        ]))
+        .unwrap();
+        let c = Collector::new();
+        let r = tune_vector_resilient(
+            VectorKernel::Axpy,
+            &m,
+            &ResilOptions::fast(),
+            &mut j,
+            &Injector::disabled(),
+            &c,
+        )
+        .unwrap();
+        assert!(
+            r.failures
+                .iter()
+                .any(|(t, why)| t == &tag0 && why.contains("T004")),
+            "journaled rejection must be restored verbatim: {:?}",
+            r.failures
+        );
+        assert_eq!(c.snapshot().counters["resil.journal.resumed"], 1);
     }
 
     #[test]

@@ -49,13 +49,55 @@ impl std::fmt::Display for Span {
     }
 }
 
+/// Which analysis family a rule belongs to. Every diagnostic in the
+/// system — verifier, cost analyzer, transform checker — flows through
+/// this one rule table and [`dedup`], so reports render all three
+/// families the same way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuleFamily {
+    /// Correctness rules over generated assembly (`V`-series): static
+    /// verifier + translation validation.
+    Verification,
+    /// Performance lints (`P`-series) from the static cost analyzer:
+    /// the kernel is correct, just provably slow.
+    PerfLint,
+    /// Transform-legality rules (`T`-series) from the dependence
+    /// analyzer (`augem-depan`): a recorded IR transform application
+    /// whose precondition the independent replay cannot prove.
+    Transform,
+}
+
+impl RuleFamily {
+    /// The rule-code prefix letter (`V`, `P`, `T`).
+    pub fn prefix(self) -> char {
+        match self {
+            RuleFamily::Verification => 'V',
+            RuleFamily::PerfLint => 'P',
+            RuleFamily::Transform => 'T',
+        }
+    }
+
+    /// Section title used when run reports render this family's
+    /// diagnostics.
+    pub fn report_title(self) -> &'static str {
+        match self {
+            RuleFamily::Verification => "verification diagnostics",
+            RuleFamily::PerfLint => "performance lints",
+            RuleFamily::Transform => "transform legality",
+        }
+    }
+}
+
 /// The contract each diagnostic enforces. Grouped by analysis:
 /// dataflow (V00x), register allocation replay (V01x), ABI/stack
 /// (V02x), SIMD widths (V03x), memory bounds (V04x), IR-level
 /// liveness reporting (V05x), translation validation (V06x).
 /// Performance lints (P00x, always warnings) are produced by the
 /// static cost analyzer in `augem-cost`; they flag kernels that are
-/// correct but provably leave cycles on the table.
+/// correct but provably leave cycles on the table. Transform-legality
+/// rules (T00x, always errors) are produced by the dependence analyzer
+/// in `augem-depan`: each is a transform precondition the independent
+/// replay checker failed to prove.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Rule {
     /// A register is read on some path before anything defines it.
@@ -152,9 +194,110 @@ pub enum Rule {
     /// folding (e.g. a remainder loop whose guard is decided at
     /// generation time) yet still occupies code space.
     DeadRemainder,
+    /// Performance: two prefetches in one innermost-loop iteration
+    /// provably target the same 64-byte cache line — the second is a
+    /// wasted µop every iteration.
+    RedundantPrefetch,
+    /// Transform legality: an unroll / unroll&jam record names a loop
+    /// that does not exist in the pre-pass kernel.
+    JamLoopMissing,
+    /// Transform legality: a recorded unroll factor of zero (the
+    /// transform itself would have refused it; a log claiming it is
+    /// forged or corrupt).
+    BadUnrollFactor,
+    /// Transform legality: a scalar local is live into the jammed loop
+    /// body, so the jam's scalar expansion changes its value flow.
+    JamLiveInLocal,
+    /// Transform legality: the jammed loop carries an array dependence
+    /// (a write and another access may touch the same cell in distinct
+    /// iterations of the jam variable), so interleaving iterations can
+    /// reorder the conflicting accesses.
+    JamCarriedDependence,
+    /// Transform legality: a variable the unroller expanded into
+    /// per-copy accumulator lanes is not a well-formed reduction
+    /// accumulator (every in-loop occurrence `acc = acc + e`, `e` free
+    /// of `acc`) in the pre-pass kernel, so the reassociation is
+    /// unjustified.
+    ExpandNotAccumulator,
+    /// Transform legality: a strength-reduction group's induction
+    /// variable is ill-formed — the subscript stride mentions the loop
+    /// variable itself or an inner loop variable, so a hoisted pointer
+    /// with a fixed per-iteration increment cannot reproduce it.
+    InductionIllFormed,
+    /// Transform legality: the pointer increment the strength reducer
+    /// emitted does not equal the recorded stride times the loop step
+    /// (or is missing entirely).
+    InductionStrideMismatch,
+    /// Transform legality: a scalar-replacement load/store group is not
+    /// must-alias from load to store — an intervening write may alias
+    /// the reloaded cell, or the group's base pointer is redefined
+    /// between them.
+    ScalarMayAliasWrite,
+    /// Transform legality: scalar replacement's store-clobber variant
+    /// overwrote a scalar that is still live after the store.
+    ScalarClobberLive,
+    /// Transform legality: a prefetch distance falls outside the
+    /// iteration window the recorded configuration sanctions (negative,
+    /// beyond the configured read distance, or non-constant).
+    PrefetchOutsideWindow,
+    /// Transform legality: a prefetch targets a base pointer the
+    /// surrounding loop never actually accesses.
+    PrefetchUnknownBase,
+    /// Transform legality: the transform log is discontinuous — a
+    /// step's pre-pass kernel is not the previous step's post-pass
+    /// kernel (or the final kernel is not the last step's output), so
+    /// the log does not describe the kernel it is attached to.
+    LogDiscontinuity,
 }
 
 impl Rule {
+    /// Every rule in the system, the one table behind code-uniqueness
+    /// checks and family-wide rendering. New rules must be added here —
+    /// `codes_are_unique` walks this list.
+    pub const ALL: &'static [Rule] = &[
+        Rule::UseBeforeDef,
+        Rule::DeadDef,
+        Rule::FlagsClobber,
+        Rule::RegClobber,
+        Rule::DoubleFree,
+        Rule::DoubleBind,
+        Rule::EarlyRelease,
+        Rule::AbiCalleeSaved,
+        Rule::AbiStackPointer,
+        Rule::StackBounds,
+        Rule::WidthMismatch,
+        Rule::IsaViolation,
+        Rule::StrategyViolation,
+        Rule::OobAccess,
+        Rule::UnreadSymbol,
+        Rule::EquivMismatch,
+        Rule::UnmodeledInst,
+        Rule::SymbolicAddressEscape,
+        Rule::EquivSourceFault,
+        Rule::EquivAsmFault,
+        Rule::EquivSpecMismatch,
+        Rule::EquivShapeDivergence,
+        Rule::AccumulatorChain,
+        Rule::PortOversubscription,
+        Rule::SpillInLoop,
+        Rule::NarrowSimd,
+        Rule::MissingPrefetch,
+        Rule::DeadRemainder,
+        Rule::RedundantPrefetch,
+        Rule::JamLoopMissing,
+        Rule::BadUnrollFactor,
+        Rule::JamLiveInLocal,
+        Rule::JamCarriedDependence,
+        Rule::ExpandNotAccumulator,
+        Rule::InductionIllFormed,
+        Rule::InductionStrideMismatch,
+        Rule::ScalarMayAliasWrite,
+        Rule::ScalarClobberLive,
+        Rule::PrefetchOutsideWindow,
+        Rule::PrefetchUnknownBase,
+        Rule::LogDiscontinuity,
+    ];
+
     /// Stable short code, for reports and CI greps.
     pub fn code(self) -> &'static str {
         match self {
@@ -186,21 +329,40 @@ impl Rule {
             Rule::NarrowSimd => "P004",
             Rule::MissingPrefetch => "P005",
             Rule::DeadRemainder => "P006",
+            Rule::RedundantPrefetch => "P007",
+            Rule::JamLoopMissing => "T001",
+            Rule::BadUnrollFactor => "T002",
+            Rule::JamLiveInLocal => "T003",
+            Rule::JamCarriedDependence => "T004",
+            Rule::ExpandNotAccumulator => "T005",
+            Rule::InductionIllFormed => "T006",
+            Rule::InductionStrideMismatch => "T007",
+            Rule::ScalarMayAliasWrite => "T008",
+            Rule::ScalarClobberLive => "T009",
+            Rule::PrefetchOutsideWindow => "T010",
+            Rule::PrefetchUnknownBase => "T011",
+            Rule::LogDiscontinuity => "T012",
+        }
+    }
+
+    /// The analysis family, derived from the code prefix so the three
+    /// rule series cannot drift apart from their rendering.
+    pub fn family(self) -> RuleFamily {
+        match self.code().as_bytes()[0] {
+            b'P' => RuleFamily::PerfLint,
+            b'T' => RuleFamily::Transform,
+            _ => RuleFamily::Verification,
         }
     }
 
     /// The severity this rule always carries. Performance lints are
     /// never errors: the kernel is correct, just provably slow.
+    /// Transform-legality rules are always errors: an unproved
+    /// precondition means the transformed kernel may be wrong.
     pub fn severity(self) -> Severity {
         match self {
-            Rule::DeadDef
-            | Rule::UnreadSymbol
-            | Rule::AccumulatorChain
-            | Rule::PortOversubscription
-            | Rule::SpillInLoop
-            | Rule::NarrowSimd
-            | Rule::MissingPrefetch
-            | Rule::DeadRemainder => Severity::Warning,
+            Rule::DeadDef | Rule::UnreadSymbol => Severity::Warning,
+            r if r.family() == RuleFamily::PerfLint => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -208,7 +370,7 @@ impl Rule {
     /// Whether this is a performance lint (a `P`-series rule from the
     /// static cost analyzer) rather than a correctness rule.
     pub fn is_perf_lint(self) -> bool {
-        self.code().starts_with('P')
+        self.family() == RuleFamily::PerfLint
     }
 }
 
@@ -290,56 +452,51 @@ mod tests {
 
     #[test]
     fn codes_are_unique() {
-        let rules = [
-            Rule::UseBeforeDef,
-            Rule::DeadDef,
-            Rule::FlagsClobber,
-            Rule::RegClobber,
-            Rule::DoubleFree,
-            Rule::DoubleBind,
-            Rule::EarlyRelease,
-            Rule::AbiCalleeSaved,
-            Rule::AbiStackPointer,
-            Rule::StackBounds,
-            Rule::WidthMismatch,
-            Rule::IsaViolation,
-            Rule::StrategyViolation,
-            Rule::OobAccess,
-            Rule::UnreadSymbol,
-            Rule::EquivMismatch,
-            Rule::UnmodeledInst,
-            Rule::SymbolicAddressEscape,
-            Rule::EquivSourceFault,
-            Rule::EquivAsmFault,
-            Rule::EquivSpecMismatch,
-            Rule::EquivShapeDivergence,
-            Rule::AccumulatorChain,
-            Rule::PortOversubscription,
-            Rule::SpillInLoop,
-            Rule::NarrowSimd,
-            Rule::MissingPrefetch,
-            Rule::DeadRemainder,
-        ];
-        let mut codes: Vec<&str> = rules.iter().map(|r| r.code()).collect();
+        let mut codes: Vec<&str> = Rule::ALL.iter().map(|r| r.code()).collect();
         codes.sort();
         codes.dedup();
-        assert_eq!(codes.len(), rules.len());
+        assert_eq!(codes.len(), Rule::ALL.len());
+    }
+
+    #[test]
+    fn family_matches_code_prefix_for_every_rule() {
+        for r in Rule::ALL {
+            assert_eq!(r.code().chars().next().unwrap(), r.family().prefix(), "{r}");
+        }
+        // All three families are represented in the table.
+        for fam in [
+            RuleFamily::Verification,
+            RuleFamily::PerfLint,
+            RuleFamily::Transform,
+        ] {
+            assert!(Rule::ALL.iter().any(|r| r.family() == fam), "{fam:?}");
+        }
     }
 
     #[test]
     fn perf_lints_are_warnings() {
-        for r in [
-            Rule::AccumulatorChain,
-            Rule::PortOversubscription,
-            Rule::SpillInLoop,
-            Rule::NarrowSimd,
-            Rule::MissingPrefetch,
-            Rule::DeadRemainder,
-        ] {
+        for r in Rule::ALL
+            .iter()
+            .filter(|r| r.family() == RuleFamily::PerfLint)
+        {
             assert_eq!(r.severity(), Severity::Warning, "{r}");
             assert!(r.is_perf_lint(), "{r}");
         }
         assert!(!Rule::UseBeforeDef.is_perf_lint());
+        assert!(Rule::RedundantPrefetch.is_perf_lint());
+    }
+
+    #[test]
+    fn transform_rules_are_errors() {
+        let t: Vec<&Rule> = Rule::ALL
+            .iter()
+            .filter(|r| r.family() == RuleFamily::Transform)
+            .collect();
+        assert_eq!(t.len(), 12, "T001–T012");
+        for r in t {
+            assert_eq!(r.severity(), Severity::Error, "{r}");
+            assert!(!r.is_perf_lint(), "{r}");
+        }
     }
 
     #[test]

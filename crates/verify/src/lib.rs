@@ -53,7 +53,7 @@ pub mod regalloc;
 pub mod simd;
 pub mod symexec;
 
-pub use diag::{dedup, Diagnostic, Rule, Severity, Span};
+pub use diag::{dedup, Diagnostic, Rule, RuleFamily, Severity, Span};
 pub use equiv::{check_equivalence, check_equivalence_traced, EquivArg, EquivSpec};
 pub use symexec::{canonicalize, MachineArg, ReassocPolicy, SymExpr, SymMachine};
 

@@ -1,0 +1,82 @@
+//! The depan zero-false-rejection matrix: every candidate the tuner can
+//! enumerate, for every kernel family, on both paper machines, must
+//! replay through the transform-legality checker with zero `T`-rule
+//! diagnostics. Together with the mutation suite (100% refutation of
+//! illegal logs, `crates/depan/tests/mutation.rs`) this pins the checker
+//! between the two failure modes: too strict (rejecting the tuner's own
+//! legal space) and too lax (accepting tampered or genuinely illegal
+//! transforms).
+
+use augem_depan::check_transforms;
+use augem_machine::MachineSpec;
+use augem_transforms::generate_optimized_logged;
+use augem_tune::{gemm_candidates, vector_candidates, VectorKernel};
+
+const VECTOR_KERNELS: [VectorKernel; 5] = [
+    VectorKernel::Axpy,
+    VectorKernel::Dot,
+    VectorKernel::Gemv,
+    VectorKernel::Ger,
+    VectorKernel::Scal,
+];
+
+/// Replays one candidate's transform recipe through the checker,
+/// returning the diagnostics (or `None` when the transform passes
+/// themselves refuse the recipe — a build failure, not a legality
+/// verdict, and the sweep reports it through its own channel).
+fn check_candidate(
+    kernel: &augem_ir::Kernel,
+    cfg: &augem_transforms::OptimizeConfig,
+) -> Option<Vec<augem_verify::Diagnostic>> {
+    let (out, log) = generate_optimized_logged(kernel, cfg, augem_obs::null()).ok()?;
+    Some(check_transforms(kernel, &log, Some(&out)))
+}
+
+#[test]
+fn every_gemm_candidate_is_provably_legal_on_both_machines() {
+    for machine in [MachineSpec::sandy_bridge(), MachineSpec::piledriver()] {
+        let mut checked = 0usize;
+        for c in gemm_candidates(&machine) {
+            let (kernel, cfg) = c.transform_inputs();
+            let Some(diags) = check_candidate(&kernel, &cfg) else {
+                continue;
+            };
+            checked += 1;
+            assert!(
+                diags.is_empty(),
+                "dgemm {} on {}: {diags:?}",
+                c.tag(),
+                machine.arch.short_name()
+            );
+        }
+        assert!(checked >= 10, "suspiciously small dgemm space: {checked}");
+    }
+}
+
+#[test]
+fn every_vector_candidate_is_provably_legal_on_both_machines() {
+    for machine in [MachineSpec::sandy_bridge(), MachineSpec::piledriver()] {
+        for kind in VECTOR_KERNELS {
+            let mut checked = 0usize;
+            for c in vector_candidates(kind, &machine) {
+                let (kernel, cfg) = c.transform_inputs();
+                let Some(diags) = check_candidate(&kernel, &cfg) else {
+                    continue;
+                };
+                checked += 1;
+                assert!(
+                    diags.is_empty(),
+                    "{} {} on {}: {diags:?}",
+                    kind.name(),
+                    c.tag(),
+                    machine.arch.short_name()
+                );
+            }
+            assert!(
+                checked > 0,
+                "no {} candidate survived the transform passes",
+                kind.name()
+            );
+        }
+    }
+}
