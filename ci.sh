@@ -15,7 +15,9 @@ echo "== strict clippy: analyzer crates must be panic-free (unwrap/expect)"
 # panic there takes the whole sweep down. Their crate roots deny
 # unwrap/expect outside tests; this tier keeps the denial honest under
 # -D warnings.
-cargo clippy -p augem-cost -p augem-prof -p augem-depan --lib -- -D warnings
+# augem-serve is a long-running daemon; a stray unwrap is a crashed
+# worker, so it joins the panic-free tier.
+cargo clippy -p augem-cost -p augem-prof -p augem-depan -p augem-serve --lib -- -D warnings
 
 echo "== tier-1: cargo build --release --workspace"
 # --workspace: the repo root is itself a package, so a bare `cargo build`
@@ -164,5 +166,60 @@ test -s "$RESIL_TMP/axpy.jsonl"
 ./target/release/augem-gen --kernel axpy --machine sandybridge -o "$RESIL_TMP/reference.s"
 cmp "$RESIL_TMP/resumed.s" "$RESIL_TMP/reference.s"
 rm -rf "$RESIL_TMP"
+
+echo "== serve: daemon fault matrix + protocol + store recovery"
+# Worker panics, commit-window crashes, corrupt entries, deadline and
+# queue shedding, breaker trips — every row must end in a typed
+# response and a bit-identical recovered store.
+cargo test --release -q -p augem-serve
+
+echo "== serve: journal-corruption property suite"
+# Random truncations and bit flips of both persistent journals: load
+# never panics, drops only the damaged lines, counts every drop.
+cargo test --release -q --test journal_corruption
+
+echo "== serve: kill-9-and-restart recovery smoke test"
+# The daemon is killed (exit 9) in the commit window between the
+# journal append and the entry write. The restarted daemon must drop
+# the dangling commit, re-serve the pending requests, and converge to
+# a store bit-identical to a never-crashed run.
+SERVE_TMP=$(mktemp -d)
+cat > "$SERVE_TMP/reqs.jsonl" <<'EOF'
+{"id":"k1","op":"tune","kernel":"daxpy","machine":"snb"}
+{"id":"k2","op":"tune","kernel":"dscal","machine":"snb"}
+{"id":"bye","op":"shutdown"}
+EOF
+set +e
+./target/release/augem-serve --cache-dir "$SERVE_TMP/crashed" --workers 1 \
+  --inject-crash-commit 1 < "$SERVE_TMP/reqs.jsonl" > "$SERVE_TMP/crashed.out" 2>/dev/null
+code=$?
+set -e
+test "$code" -eq 9
+# The crash window left a journaled commit with no entry file...
+test "$(ls "$SERVE_TMP/crashed/entries" | wc -l)" -eq 0
+test "$(wc -l < "$SERVE_TMP/crashed/journal.jsonl")" -eq 2
+# ...and the dying daemon answered nothing for the in-flight request.
+! grep -q '"k1"' "$SERVE_TMP/crashed.out"
+# Restart on the same store: recovery + re-serving every request.
+./target/release/augem-serve --cache-dir "$SERVE_TMP/crashed" --workers 1 \
+  < "$SERVE_TMP/reqs.jsonl" > "$SERVE_TMP/restarted.out" 2>/dev/null
+grep -q '"k1"' "$SERVE_TMP/restarted.out"
+grep -q '"k2"' "$SERVE_TMP/restarted.out"
+# A clean daemon over the same requests defines the expected bytes.
+./target/release/augem-serve --cache-dir "$SERVE_TMP/ref" --workers 1 \
+  < "$SERVE_TMP/reqs.jsonl" > /dev/null 2>&1
+diff -r "$SERVE_TMP/crashed" "$SERVE_TMP/ref"
+rm -rf "$SERVE_TMP"
+
+echo "== serve bench: cache hit-rate, exactly-once, and recovery gates"
+# The binary exits non-zero if the repeat-phase hit rate drops below
+# 90%, any response is lost or duplicated across the injected
+# crash-restart, or the recovered store is not bit-identical.
+./target/release/figures serve
+test -f BENCH_serve.json
+grep -q '"schema": "augem.bench-serve/v1"' BENCH_serve.json
+grep -q '"hit_rate_ge_90pct": true' BENCH_serve.json
+grep -q '"exactly_once_across_crash": true' BENCH_serve.json
+grep -q '"recovery_bit_identical": true' BENCH_serve.json
 
 echo "CI OK"

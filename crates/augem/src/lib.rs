@@ -317,6 +317,15 @@ impl Augem {
         }
     }
 
+    /// A driver sharing an externally owned cache. The cache's keys
+    /// already include the machine fingerprint, so one cache can back
+    /// drivers for *different* machines — the serving daemon uses this
+    /// to keep a single in-process memoization layer across its whole
+    /// request mix.
+    pub fn with_cache(machine: MachineSpec, cache: Arc<EvalCache>) -> Self {
+        Augem { machine, cache }
+    }
+
     pub fn machine(&self) -> &MachineSpec {
         &self.machine
     }

@@ -114,7 +114,7 @@ impl InstTiming {
 }
 
 /// The timing table for a whole machine.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct TimingModel {
     /// Number of execution ports.
     pub num_ports: u8,
@@ -122,6 +122,26 @@ pub struct TimingModel {
     pub issue_width: u32,
     /// Lookup: `(class, mode)` → timing. Scalar-ish classes ignore `mode`.
     lookup: fn(InstClass, SimdMode) -> InstTiming,
+}
+
+/// Renders the *contents* of the timing table, not the `lookup` fn
+/// pointer: `MachineSpec::fingerprint` hashes the `Debug` rendering,
+/// and a pointer address would change with every process (ASLR),
+/// silently breaking cross-process cache keys — the kernel store's
+/// warm restarts and journal resumes depend on them being stable.
+impl std::fmt::Debug for TimingModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut table = f.debug_struct("TimingModel");
+        table
+            .field("num_ports", &self.num_ports)
+            .field("issue_width", &self.issue_width);
+        for class in InstClass::ALL {
+            for mode in [SimdMode::Sse, SimdMode::Avx] {
+                table.field(&format!("{class:?}/{mode:?}"), &(self.lookup)(class, mode));
+            }
+        }
+        table.finish()
+    }
 }
 
 impl TimingModel {
@@ -229,6 +249,21 @@ mod tests {
         assert_eq!(ps.count(), 3);
         assert!(ps.contains(5));
         assert!(!ps.contains(1));
+    }
+
+    #[test]
+    fn debug_rendering_carries_table_contents_not_pointer_addresses() {
+        // `MachineSpec::fingerprint` hashes this rendering; a pointer
+        // address in it would change per process (ASLR) and silently
+        // invalidate every persistent cache key on restart.
+        let tm = TimingModel::new(6, 4, sandy_bridge_timing);
+        let rendered = format!("{tm:?}");
+        assert!(!rendered.contains("0x"), "no addresses: {rendered}");
+        assert!(rendered.contains("Fma/Avx"), "table contents rendered");
+        // Different tables must render differently (the fingerprint
+        // separates machines by timing content, not by identity).
+        let pd = TimingModel::new(6, 4, piledriver_timing);
+        assert_ne!(rendered, format!("{pd:?}"));
     }
 
     #[test]

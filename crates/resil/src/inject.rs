@@ -25,6 +25,13 @@ pub enum Site {
     JournalAppend,
     /// While verifying the chosen winner.
     Verify,
+    /// When appending a commit record to the kernel-store journal
+    /// (`augem-serve`'s persistent cache).
+    StoreJournal,
+    /// Between the store-journal append and the entry-file write — the
+    /// narrowest window in which a kill -9 can strand a journaled commit
+    /// without its entry (tests store recovery).
+    StoreCommit,
 }
 
 impl Site {
@@ -34,6 +41,8 @@ impl Site {
             Site::Sim => "sim",
             Site::JournalAppend => "journal-append",
             Site::Verify => "verify",
+            Site::StoreJournal => "store-journal",
+            Site::StoreCommit => "store-commit",
         }
     }
 }

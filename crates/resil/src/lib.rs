@@ -46,7 +46,7 @@ mod retry;
 mod sandbox;
 
 pub use breaker::CircuitBreaker;
-pub use fsio::write_atomic;
+pub use fsio::{dir_fsyncs, write_atomic};
 pub use inject::{Fault, InjectionPlan, Injector, Rule, Site, Trigger};
 pub use journal::{header as journal_header, JournalError, TuneJournal, JOURNAL_SCHEMA};
 pub use retry::{with_retry, RetryPolicy, Transient};

@@ -1,0 +1,122 @@
+//! `augem-serve` — the kernel-compilation daemon.
+//!
+//! Reads newline-delimited JSON requests from stdin, writes one JSON
+//! response per line to stdout (completion order; correlate by `id`).
+//! See the crate docs for the protocol and the degradation ladder.
+//!
+//! Exit codes:
+//! - `0` — clean shutdown (`op: shutdown` or EOF), all work drained
+//! - `1` — fatal I/O error (store directory unusable, broken pipe)
+//! - `2` — usage error
+//! - `9` — injected kill-9 (`--inject-crash-commit`) fired in the
+//!   store-commit window; the persistent store holds a journaled but
+//!   unwritten commit for the recovery path to clean up
+
+use augem_resil::{Fault, InjectionPlan, Injector, Site, Trigger};
+use augem_serve::{serve_lines, ServeConfig, Server};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+const USAGE: &str = "usage: augem-serve [OPTIONS]
+
+The AUGEM kernel-compilation daemon: newline-delimited JSON requests on
+stdin, one JSON response per line on stdout.
+
+options:
+  --cache-dir DIR        persistent crash-safe kernel store (default: in-memory)
+  --workers N            worker threads (default 4)
+  --queue-cap N          bounded request-queue capacity (default 64)
+  --deadline-ms N        default per-request deadline (default: none)
+  --breaker N            consecutive failures opening a family's circuit
+                         (default 3; 0 disables)
+  --step-limit N         default per-candidate simulator step budget
+  --inject-crash-commit N  die (exit 9) in the N-th store-commit window,
+                         between journal append and entry write
+  --inject-seed N        seed for the fault-injection plan (default 0)
+  -h, --help             this text
+
+request lines:
+  {\"id\":\"r1\",\"op\":\"generate\",\"kernel\":\"dgemm\",\"machine\":\"snb\"}
+  ops: generate | tune | stats | shutdown
+  knobs: deadline_ms, step_limit";
+
+fn parse_num(args: &mut std::env::Args, flag: &str) -> Result<u64, String> {
+    let v = args.next().ok_or(format!("{flag} needs a value"))?;
+    v.parse().map_err(|_| format!("{flag}: bad number {v:?}"))
+}
+
+fn run() -> Result<ExitCode, String> {
+    let mut config = ServeConfig::default();
+    let mut crash_nth: Option<u64> = None;
+    let mut seed = 0u64;
+
+    let mut args = std::env::args();
+    let _argv0 = args.next();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--cache-dir" => {
+                let dir = args.next().ok_or("--cache-dir needs a value")?;
+                config.cache_dir = Some(dir.into());
+            }
+            "--workers" => config.workers = parse_num(&mut args, "--workers")?.max(1) as usize,
+            "--queue-cap" => {
+                config.queue_capacity = parse_num(&mut args, "--queue-cap")?.max(1) as usize
+            }
+            "--deadline-ms" => {
+                config.default_deadline_ms = Some(parse_num(&mut args, "--deadline-ms")?)
+            }
+            "--breaker" => config.breaker_threshold = parse_num(&mut args, "--breaker")? as u32,
+            "--step-limit" => {
+                config.policy.resil.step_limit = Some(parse_num(&mut args, "--step-limit")?)
+            }
+            "--inject-crash-commit" => {
+                crash_nth = Some(parse_num(&mut args, "--inject-crash-commit")?)
+            }
+            "--inject-seed" => seed = parse_num(&mut args, "--inject-seed")?,
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+
+    let injector = match crash_nth {
+        Some(n) => {
+            // The injected death is fatal for the real daemon: exit 9
+            // with no cleanup, emulating kill -9 in the commit window.
+            config.crash_is_fatal = true;
+            Injector::new(InjectionPlan::new(seed).with(
+                Site::StoreCommit,
+                Fault::Crash,
+                Trigger::Nth(n),
+            ))
+        }
+        None => Injector::disabled(),
+    };
+
+    let server =
+        Server::open(config, injector).map_err(|e| format!("cannot open kernel store: {e}"))?;
+    let stdin = std::io::stdin();
+    let summary = serve_lines(Arc::new(server), stdin.lock(), std::io::stdout())
+        .map_err(|e| format!("serve I/O: {e}"))?;
+    eprintln!(
+        "augem-serve: {} responses, shutdown={}, crashed={}",
+        summary.responses, summary.clean_shutdown, summary.crashed
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("augem-serve: {msg}");
+            if msg.contains("unknown argument") || msg.contains("needs a value") {
+                ExitCode::from(2)
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

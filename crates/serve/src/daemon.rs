@@ -1,0 +1,542 @@
+//! The daemon: bounded queue, worker pool, admission control, and the
+//! per-request degradation ladder.
+//!
+//! [`Server`] is the synchronous core — `handle(request) → response` —
+//! shared by the worker threads, the tests, and the benchmark.
+//! [`ServerPool`] wraps it in a bounded queue and `std::thread` workers
+//! (the rayon shim exposes only data-parallel iterators, not thread
+//! spawning). [`serve_lines`] is the transport harness: newline-
+//! delimited JSON in, newline-delimited JSON out, responses in
+//! completion order (the `id` correlates).
+//!
+//! # The degradation ladder, per request
+//!
+//! 1. **Persistent store hit** — answer from the crash-safe kernel
+//!    cache, no tuning at all (the warm-start path).
+//! 2. **Tuned winner** — `Augem::generate_degradable`, which itself
+//!    degrades: next-ranked verified candidate, then the paper-default
+//!    configuration.
+//! 3. **Typed error** — report-only outcomes become `status: "error"`
+//!    responses carrying the run report; the daemon never hangs and
+//!    never panics outward (workers run under [`sandboxed`]).
+//!
+//! Admission control rejects before work starts: full queue at submit
+//! (`queue_full`), expired deadline at dequeue (`deadline`), open
+//! circuit for the kernel×machine family (`breaker`). Consecutive
+//! failing requests trip the family's breaker so a poisoned corner of
+//! the request space cannot monopolize the pool.
+
+use crate::counter;
+use crate::proto::{Op, Reject, Request, Response, Status};
+use crate::store::{store_key, KernelStore, StoreError, StoredKernel};
+use augem::{Augem, Degradation, DegradationPolicy};
+use augem_obs::{Collector, RunReport, Tracer};
+use augem_resil::{sandboxed, CircuitBreaker, Injector};
+use augem_tune::{cache_enabled, note_cache_disabled, EvalCache};
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads.
+    pub workers: usize,
+    /// Bounded queue capacity; submissions beyond it are shed.
+    pub queue_capacity: usize,
+    /// Deadline applied to requests that carry none (`None` = no
+    /// default deadline).
+    pub default_deadline_ms: Option<u64>,
+    /// Consecutive failures before a kernel×machine family's circuit
+    /// opens (0 disables the breaker).
+    pub breaker_threshold: u32,
+    /// Degradation policy for cache-miss tuning runs.
+    pub policy: DegradationPolicy,
+    /// Persistent store directory (`None` = in-memory only).
+    pub cache_dir: Option<PathBuf>,
+    /// On an injected commit-window crash, kill the process with exit
+    /// code 9 (the binary's kill-9 emulation) instead of simulating the
+    /// death in-process (the library default, used by tests/benches).
+    pub crash_is_fatal: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_capacity: 64,
+            default_deadline_ms: None,
+            breaker_threshold: 3,
+            policy: DegradationPolicy::default(),
+            cache_dir: None,
+            crash_is_fatal: false,
+        }
+    }
+}
+
+/// Marker: an injected crash fired inside the store-commit window. The
+/// "process" is dead — the request must NOT be answered (the real
+/// daemon would have been killed before responding).
+#[derive(Debug)]
+pub struct Crashed;
+
+/// The synchronous serving core. Thread-safe; workers share one
+/// instance behind an `Arc`.
+pub struct Server {
+    config: ServeConfig,
+    store: Mutex<KernelStore>,
+    breaker: CircuitBreaker,
+    injector: Injector,
+    /// One tuning driver per machine fingerprint, all sharing `cache`.
+    drivers: Mutex<HashMap<u64, Augem>>,
+    cache: Arc<EvalCache>,
+    /// Daemon-lifetime counters (`serve.*`), exposed by `op: stats`.
+    counters: Collector,
+}
+
+impl Server {
+    /// Opens the server: loads (and crash-recovers) the persistent
+    /// store when `cache_dir` is set.
+    pub fn open(config: ServeConfig, injector: Injector) -> Result<Self, StoreError> {
+        let counters = Collector::new();
+        let store = match &config.cache_dir {
+            Some(dir) => KernelStore::open(dir, &counters)?,
+            None => KernelStore::in_memory(),
+        };
+        if !cache_enabled() {
+            note_cache_disabled(&counters);
+        }
+        let breaker = CircuitBreaker::new(config.breaker_threshold);
+        Ok(Server {
+            config,
+            store: Mutex::new(store),
+            breaker,
+            injector,
+            drivers: Mutex::new(HashMap::new()),
+            cache: Arc::new(EvalCache::new()),
+            counters,
+        })
+    }
+
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The daemon-lifetime counter collector (`serve.*` namespace).
+    pub fn counters(&self) -> &Collector {
+        &self.counters
+    }
+
+    /// Load-recovery statistics of the persistent store.
+    pub fn store_stats(&self) -> crate::store::LoadStats {
+        *lock(&self.store).stats()
+    }
+
+    /// Number of kernels currently warm in the store.
+    pub fn store_len(&self) -> usize {
+        lock(&self.store).len()
+    }
+
+    fn family(req: &Request) -> String {
+        format!("{}@{}", req.kernel.name(), req.machine.arch.short_name())
+    }
+
+    /// Serves one request to completion. `Err(Crashed)` means an
+    /// injected commit-window crash fired: the caller must treat the
+    /// process as dead (no response may be emitted).
+    pub fn handle(&self, req: &Request) -> Result<Response, Crashed> {
+        match req.op {
+            Op::Stats | Op::Shutdown => Ok(self.control_response(req)),
+            Op::Generate | Op::Tune => self.serve_kernel(req),
+        }
+    }
+
+    fn control_response(&self, req: &Request) -> Response {
+        let mut resp = Response::new(&req.id, Status::Ok);
+        if req.op == Op::Stats {
+            let mut report = RunReport::from_snapshot(&self.counters.snapshot());
+            report.kernel = "serve".into();
+            resp.report = Some(report.to_json());
+        }
+        resp
+    }
+
+    fn serve_kernel(&self, req: &Request) -> Result<Response, Crashed> {
+        let family = Self::family(req);
+        if self.config.breaker_threshold > 0 && self.breaker.is_open(&family) {
+            self.counters.add(counter::REJECT_BREAKER, 1);
+            return Ok(Response::rejected(&req.id, Reject::Breaker));
+        }
+        let step_limit = req.step_limit.or(self.config.policy.resil.step_limit);
+        let key = store_key(req.kernel.name(), &req.machine, step_limit);
+
+        if let Some(hit) = lock(&self.store).get(&key).cloned() {
+            self.counters.add(counter::STORE_HIT, 1);
+            return Ok(self.hit_response(req, &hit));
+        }
+        self.counters.add(counter::STORE_MISS, 1);
+
+        // Tune outside the store lock: concurrent misses on the same
+        // key race benignly (commit is idempotent, first write wins).
+        let driver = self.driver_for(req);
+        let mut policy = self.config.policy.clone();
+        policy.resil.step_limit = step_limit;
+        let result = driver.generate_degradable(req.kernel, &policy, &self.injector);
+
+        let ok = result.generated.is_some();
+        if self.config.breaker_threshold > 0 && self.breaker.record(&family, ok) {
+            self.counters.add(augem_resil::counter::BREAKER_TRIP, 1);
+        }
+
+        let mut resp = match (&result.generated, &result.degradation) {
+            (Some(_), Degradation::None) => Response::new(&req.id, Status::Ok),
+            (Some(_), _) => {
+                let mut r = Response::new(&req.id, Status::Degraded);
+                r.degradation = Some(result.degradation.to_string());
+                r
+            }
+            (None, _) => {
+                let mut r = Response::error(
+                    &req.id,
+                    result
+                        .cause
+                        .clone()
+                        .unwrap_or_else(|| result.degradation.to_string()),
+                );
+                r.degradation = Some(result.degradation.to_string());
+                r
+            }
+        };
+        resp.cache = Some("miss");
+        resp.kernel = Some(req.kernel.name().to_string());
+        resp.machine = Some(req.machine.fingerprint_tag());
+        resp.error = resp.error.or_else(|| result.cause.clone());
+        resp.report = Some(result.report.to_json());
+
+        if let Some(generated) = &result.generated {
+            resp.config_tag = Some(generated.config_tag.clone());
+            resp.mflops = Some(generated.mflops);
+            if req.op == Op::Generate {
+                resp.asm = Some(generated.assembly_text());
+            }
+            // Only clean (undegraded) winners enter the persistent
+            // store: a fallback kernel is served but not memorialized,
+            // so a later request retries the full ladder.
+            if result.degradation == Degradation::None {
+                let entry = StoredKernel {
+                    key,
+                    kernel: req.kernel.name().to_string(),
+                    machine: req.machine.fingerprint_tag(),
+                    config_tag: generated.config_tag.clone(),
+                    mflops: generated.mflops,
+                    asm: generated.assembly_text(),
+                };
+                match lock(&self.store).commit(entry, &self.injector, &self.counters) {
+                    Ok(()) => {}
+                    Err(StoreError::Interrupted) => {
+                        if self.config.crash_is_fatal {
+                            // Emulate kill -9 in the commit window: no
+                            // cleanup, no response, nonzero exit.
+                            std::process::exit(9);
+                        }
+                        return Err(Crashed);
+                    }
+                    Err(StoreError::Io(e)) => {
+                        // Persistence failure degrades durability, not
+                        // the response: the kernel still ships.
+                        self.counters
+                            .event("serve.store.error", &[("error", e.to_string().into())]);
+                    }
+                }
+            }
+        }
+        Ok(resp)
+    }
+
+    fn hit_response(&self, req: &Request, hit: &StoredKernel) -> Response {
+        // A per-request collector so the embedded report reflects this
+        // request's (trivial) work, not the daemon's lifetime.
+        let c = Collector::new();
+        c.add(counter::STORE_HIT, 1);
+        let mut report = RunReport::from_snapshot(&c.snapshot());
+        report.kernel = hit.kernel.clone();
+        report.machine = hit.machine.clone();
+        report.config = hit.config_tag.clone();
+        report.mflops = hit.mflops;
+        let mut resp = Response::new(&req.id, Status::Ok);
+        resp.cache = Some("hit");
+        resp.kernel = Some(hit.kernel.clone());
+        resp.machine = Some(hit.machine.clone());
+        resp.config_tag = Some(hit.config_tag.clone());
+        resp.mflops = Some(hit.mflops);
+        if req.op == Op::Generate {
+            resp.asm = Some(hit.asm.clone());
+        }
+        resp.report = Some(report.to_json());
+        resp
+    }
+
+    fn driver_for(&self, req: &Request) -> Augem {
+        let fp = req.machine.fingerprint();
+        let mut drivers = self.drivers.lock().unwrap_or_else(|e| e.into_inner());
+        drivers
+            .entry(fp)
+            .or_insert_with(|| Augem::with_cache(req.machine.clone(), Arc::clone(&self.cache)))
+            .clone()
+    }
+}
+
+fn lock(store: &Mutex<KernelStore>) -> std::sync::MutexGuard<'_, KernelStore> {
+    store.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// One queued request with its response channel and deadline.
+struct Job {
+    req: Request,
+    deadline: Option<Instant>,
+    respond: mpsc::Sender<Response>,
+}
+
+struct PoolInner {
+    server: Arc<Server>,
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    /// An injected crash "killed the process": workers drop all
+    /// remaining work unanswered.
+    crashed: AtomicBool,
+}
+
+/// Bounded-queue worker pool over a [`Server`].
+pub struct ServerPool {
+    inner: Arc<PoolInner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerPool {
+    pub fn start(server: Arc<Server>) -> Self {
+        let inner = Arc::new(PoolInner {
+            server,
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            crashed: AtomicBool::new(false),
+        });
+        let workers = (0..inner.server.config.workers.max(1))
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        ServerPool { inner, workers }
+    }
+
+    /// Submits a request. The response (including typed rejections)
+    /// arrives on `respond`; after an injected crash the channel closes
+    /// with nothing sent — the request died with the "process".
+    pub fn submit(&self, req: Request, respond: mpsc::Sender<Response>) {
+        let server = &self.inner.server;
+        let deadline = req
+            .deadline_ms
+            .or(server.config.default_deadline_ms)
+            .map(|ms| Instant::now() + Duration::from_millis(ms));
+        {
+            let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if q.len() >= server.config.queue_capacity {
+                server.counters.add(counter::REJECT_QUEUE_FULL, 1);
+                let _ = respond.send(Response::rejected(&req.id, Reject::QueueFull));
+                return;
+            }
+            server.counters.add(counter::ACCEPTED, 1);
+            q.push_back(Job {
+                req,
+                deadline,
+                respond,
+            });
+        }
+        self.inner.available.notify_one();
+    }
+
+    /// Convenience: submit and return the response receiver.
+    pub fn request(&self, req: Request) -> mpsc::Receiver<Response> {
+        let (tx, rx) = mpsc::channel();
+        self.submit(req, tx);
+        rx
+    }
+
+    /// Did an injected crash "kill" the daemon?
+    pub fn crashed(&self) -> bool {
+        self.inner.crashed.load(Ordering::SeqCst)
+    }
+
+    /// Drains the queue and joins the workers. Returns whether an
+    /// injected crash "killed" the daemon during the session.
+    pub fn shutdown(self) -> bool {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.available.notify_all();
+        for w in self.workers {
+            let _ = w.join();
+        }
+        self.inner.crashed.load(Ordering::SeqCst)
+    }
+}
+
+fn worker_loop(inner: &PoolInner) {
+    loop {
+        let job = {
+            let mut q = inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(j) = q.pop_front() {
+                    break Some(j);
+                }
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                q = inner.available.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let Some(job) = job else {
+            return;
+        };
+        if inner.crashed.load(Ordering::SeqCst) {
+            // The "process" is dead; queued work dies with it.
+            continue;
+        }
+        if let Some(deadline) = job.deadline {
+            if Instant::now() > deadline {
+                inner.server.counters.add(counter::REJECT_DEADLINE, 1);
+                let _ = job
+                    .respond
+                    .send(Response::rejected(&job.req.id, Reject::Deadline));
+                continue;
+            }
+        }
+        let started = Instant::now();
+        // The sandbox keeps a panicking request from killing the
+        // worker: the client gets a typed error, the thread lives.
+        let outcome = sandboxed(|| inner.server.handle(&job.req));
+        let response = match outcome {
+            Ok(Ok(mut resp)) => {
+                resp.work_ns = Some(started.elapsed().as_nanos() as u64);
+                resp
+            }
+            Ok(Err(Crashed)) => {
+                inner.crashed.store(true, Ordering::SeqCst);
+                continue; // died before responding
+            }
+            Err(panic_msg) => {
+                inner.server.counters.add(counter::WORKER_PANIC, 1);
+                Response::error(&job.req.id, format!("worker panicked: {panic_msg}"))
+            }
+        };
+        let _ = job.respond.send(response);
+    }
+}
+
+/// What one [`serve_lines`] session did.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Responses written (any status).
+    pub responses: u64,
+    /// Requests submitted whose response never arrived (crash).
+    pub lost_to_crash: u64,
+    /// The session ended via an `op: shutdown` request.
+    pub clean_shutdown: bool,
+    /// An injected crash fired during the session.
+    pub crashed: bool,
+}
+
+/// The stdin/stdout (or any `BufRead`/`Write`) transport harness: one
+/// JSON request per input line, one JSON response per output line, in
+/// completion order (a dedicated writer thread streams responses as
+/// workers finish them — slow tunes never stall fast cache hits behind
+/// them). Malformed lines get `status: "error"` responses without
+/// touching the queue. `op: shutdown` drains the pool and ends the
+/// session; EOF does the same.
+pub fn serve_lines(
+    server: Arc<Server>,
+    input: impl std::io::BufRead,
+    mut output: impl std::io::Write + Send,
+) -> std::io::Result<ServeSummary> {
+    let pool = ServerPool::start(Arc::clone(&server));
+    let (tx, rx) = mpsc::channel::<Response>();
+    let mut summary = ServeSummary::default();
+    let mut submitted: u64 = 0;
+    let mut shutdown_id: Option<String> = None;
+    let sink = Mutex::new(&mut output);
+
+    let write_line = |resp: &Response| -> std::io::Result<()> {
+        let mut out = sink.lock().unwrap_or_else(|e| e.into_inner());
+        writeln!(out, "{}", resp.to_json().render())?;
+        out.flush()
+    };
+
+    let (crashed, written) = std::thread::scope(|scope| -> std::io::Result<(bool, u64)> {
+        let write_line = &write_line;
+        let writer = scope.spawn(move || -> std::io::Result<u64> {
+            let mut written = 0u64;
+            for resp in rx.iter() {
+                write_line(&resp)?;
+                written += 1;
+            }
+            Ok(written)
+        });
+
+        let mut reader_result: std::io::Result<()> = Ok(());
+        for line in input.lines() {
+            let line = match line {
+                Ok(l) => l,
+                Err(e) => {
+                    reader_result = Err(e);
+                    break;
+                }
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            match crate::proto::parse_request(&line) {
+                Ok(req) if req.op == Op::Shutdown => {
+                    summary.clean_shutdown = true;
+                    shutdown_id = Some(req.id);
+                    break;
+                }
+                Ok(req) => {
+                    pool.submit(req, tx.clone());
+                    submitted += 1;
+                }
+                Err(msg) => {
+                    // Answer inline; a garbage line must not wait in
+                    // the queue behind real work.
+                    summary.responses += 1;
+                    if let Err(e) = write_line(&Response::error("?", msg)) {
+                        reader_result = Err(e);
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Drain: every accepted request gets exactly one response,
+        // unless an injected crash killed the "process" mid-request.
+        drop(tx);
+        let crashed = pool.shutdown();
+        let written = match writer.join() {
+            Ok(r) => r?,
+            Err(_) => 0,
+        };
+        reader_result?;
+        Ok((crashed, written))
+    })?;
+
+    summary.crashed = crashed;
+    summary.responses += written;
+    summary.lost_to_crash = submitted.saturating_sub(written);
+    if let Some(id) = shutdown_id {
+        let resp = Response::new(&id, Status::Ok);
+        writeln!(output, "{}", resp.to_json().render())?;
+        output.flush()?;
+    }
+    Ok(summary)
+}

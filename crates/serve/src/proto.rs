@@ -1,0 +1,354 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! One request per line in, one response per line out. Requests are
+//! tiny (`id`, `op`, `kernel`, `machine`, optional knobs); responses
+//! always echo the `id`, carry a typed `status`, and embed the full
+//! `augem.run-report/v1` document for the work performed. Responses may
+//! arrive out of request order — the `id` is the correlation key.
+//!
+//! ```text
+//! → {"id":"r1","op":"generate","kernel":"dgemm","machine":"snb"}
+//! ← {"schema":"augem.serve/v1","id":"r1","status":"ok","cache":"miss",...}
+//! ```
+
+use augem_kernels::DlaKernel;
+use augem_machine::MachineSpec;
+use augem_obs::Json;
+
+/// Schema identifier carried by every response line.
+pub const RESPONSE_SCHEMA: &str = "augem.serve/v1";
+
+/// What the client asked the daemon to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Tune (or fetch) a kernel and return its assembly.
+    Generate,
+    /// Tune (or fetch) a kernel; return the measurement but no assembly
+    /// (cheaper on the wire for capacity probing).
+    Tune,
+    /// Report the daemon's lifetime counters.
+    Stats,
+    /// Drain the queue and exit the serving loop.
+    Shutdown,
+}
+
+impl Op {
+    pub fn name(self) -> &'static str {
+        match self {
+            Op::Generate => "generate",
+            Op::Tune => "tune",
+            Op::Stats => "stats",
+            Op::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// Why the daemon refused a request without doing the work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reject {
+    /// The bounded queue was full at admission (load shedding).
+    QueueFull,
+    /// The request's deadline expired while it waited in the queue.
+    Deadline,
+    /// The kernel×machine family's circuit breaker is open.
+    Breaker,
+}
+
+impl Reject {
+    pub fn name(self) -> &'static str {
+        match self {
+            Reject::QueueFull => "queue_full",
+            Reject::Deadline => "deadline",
+            Reject::Breaker => "breaker",
+        }
+    }
+}
+
+/// Response status, coarsest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// A verified tuned kernel (fresh or from the store).
+    Ok,
+    /// A kernel shipped, but from a fallback rung (next-ranked / paper
+    /// default) — see the `degradation` field.
+    Degraded,
+    /// The request was shed; see the `rejected` field.
+    Rejected,
+    /// The work ran and failed; see the `error` field.
+    Error,
+}
+
+impl Status {
+    pub fn name(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::Degraded => "degraded",
+            Status::Rejected => "rejected",
+            Status::Error => "error",
+        }
+    }
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub id: String,
+    pub op: Op,
+    pub kernel: DlaKernel,
+    /// The resolved target machine.
+    pub machine: MachineSpec,
+    /// Per-request deadline in milliseconds (`None` = server default).
+    pub deadline_ms: Option<u64>,
+    /// Per-candidate simulator step budget (`None` = server default).
+    pub step_limit: Option<u64>,
+}
+
+/// Resolves a machine name from the wire to a [`MachineSpec`].
+pub fn parse_machine(name: &str) -> Option<MachineSpec> {
+    match name.to_ascii_lowercase().as_str() {
+        "sandybridge" | "sandy_bridge" | "snb" => Some(MachineSpec::sandy_bridge()),
+        "piledriver" | "pd" => Some(MachineSpec::piledriver()),
+        _ => None,
+    }
+}
+
+/// Resolves a kernel name from the wire (`dgemm` or `gemm`, etc.).
+pub fn parse_kernel(name: &str) -> Option<DlaKernel> {
+    let n = name.to_ascii_lowercase();
+    DlaKernel::ALL
+        .into_iter()
+        .find(|k| k.name() == n || k.name().strip_prefix('d') == Some(n.as_str()))
+}
+
+/// Parses one request line. Errors are human-readable strings the
+/// daemon wraps into a `status: "error"` response (a malformed line
+/// must never kill the serving loop).
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let doc = Json::parse(line).map_err(|e| format!("unparseable request: {e}"))?;
+    let id = doc
+        .get("id")
+        .and_then(Json::as_str)
+        .ok_or("request needs a string `id`")?
+        .to_string();
+    let op = match doc.get("op").and_then(Json::as_str).unwrap_or("generate") {
+        "generate" => Op::Generate,
+        "tune" => Op::Tune,
+        "stats" => Op::Stats,
+        "shutdown" => Op::Shutdown,
+        other => return Err(format!("unknown op {other:?}")),
+    };
+    // Control ops need no kernel/machine; fill in placeholders.
+    if matches!(op, Op::Stats | Op::Shutdown) {
+        return Ok(Request {
+            id,
+            op,
+            kernel: DlaKernel::Axpy,
+            machine: MachineSpec::sandy_bridge(),
+            deadline_ms: None,
+            step_limit: None,
+        });
+    }
+    let kernel_name = doc
+        .get("kernel")
+        .and_then(Json::as_str)
+        .ok_or("request needs a string `kernel`")?;
+    let kernel =
+        parse_kernel(kernel_name).ok_or_else(|| format!("unknown kernel {kernel_name:?}"))?;
+    let machine_name = doc
+        .get("machine")
+        .and_then(Json::as_str)
+        .ok_or("request needs a string `machine`")?;
+    let machine =
+        parse_machine(machine_name).ok_or_else(|| format!("unknown machine {machine_name:?}"))?;
+    Ok(Request {
+        id,
+        op,
+        kernel,
+        machine,
+        deadline_ms: doc.get("deadline_ms").and_then(Json::as_u64),
+        step_limit: doc.get("step_limit").and_then(Json::as_u64),
+    })
+}
+
+/// A response, rendered to one line by [`Response::to_json`].
+#[derive(Debug, Clone)]
+pub struct Response {
+    pub id: String,
+    pub status: Status,
+    /// Set iff `status == Rejected`.
+    pub rejected: Option<Reject>,
+    /// `"hit"`/`"miss"` when the request touched the kernel store.
+    pub cache: Option<&'static str>,
+    pub kernel: Option<String>,
+    pub machine: Option<String>,
+    /// Winning configuration tag, when a kernel shipped.
+    pub config_tag: Option<String>,
+    pub mflops: Option<f64>,
+    /// Human-readable degradation rung (`Degradation`'s `Display`).
+    pub degradation: Option<String>,
+    /// Why the primary path failed / why the request errored.
+    pub error: Option<String>,
+    /// AT&T assembly text (only for `op: generate` successes).
+    pub asm: Option<String>,
+    /// The embedded `augem.run-report/v1` document.
+    pub report: Option<Json>,
+    /// Wall time from dequeue to response, filled by the worker.
+    pub work_ns: Option<u64>,
+}
+
+impl Response {
+    /// A minimal response skeleton; callers fill in the rest.
+    pub fn new(id: &str, status: Status) -> Self {
+        Response {
+            id: id.to_string(),
+            status,
+            rejected: None,
+            cache: None,
+            kernel: None,
+            machine: None,
+            config_tag: None,
+            mflops: None,
+            degradation: None,
+            error: None,
+            asm: None,
+            report: None,
+            work_ns: None,
+        }
+    }
+
+    /// A typed rejection (admission control / load shedding).
+    pub fn rejected(id: &str, why: Reject) -> Self {
+        let mut r = Response::new(id, Status::Rejected);
+        r.rejected = Some(why);
+        r
+    }
+
+    /// A typed error (bad request, panic, no kernel producible).
+    pub fn error(id: &str, message: impl Into<String>) -> Self {
+        let mut r = Response::new(id, Status::Error);
+        r.error = Some(message.into());
+        r
+    }
+
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("schema", Json::str(RESPONSE_SCHEMA)),
+            ("id", Json::str(self.id.clone())),
+            ("status", Json::str(self.status.name())),
+        ];
+        if let Some(r) = self.rejected {
+            pairs.push(("rejected", Json::str(r.name())));
+        }
+        if let Some(c) = self.cache {
+            pairs.push(("cache", Json::str(c)));
+        }
+        if let Some(k) = &self.kernel {
+            pairs.push(("kernel", Json::str(k.clone())));
+        }
+        if let Some(m) = &self.machine {
+            pairs.push(("machine", Json::str(m.clone())));
+        }
+        if let Some(t) = &self.config_tag {
+            pairs.push(("config", Json::str(t.clone())));
+        }
+        if let Some(f) = self.mflops {
+            pairs.push(("mflops", Json::Num(f)));
+        }
+        if let Some(d) = &self.degradation {
+            pairs.push(("degradation", Json::str(d.clone())));
+        }
+        if let Some(e) = &self.error {
+            pairs.push(("error", Json::str(e.clone())));
+        }
+        if let Some(a) = &self.asm {
+            pairs.push(("asm", Json::str(a.clone())));
+        }
+        if let Some(n) = self.work_ns {
+            pairs.push(("work_ns", Json::uint(n)));
+        }
+        if let Some(rep) = &self.report {
+            pairs.push(("report", rep.clone()));
+        }
+        Json::obj(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_minimal_generate_request() {
+        let r = parse_request(r#"{"id":"r1","kernel":"dgemm","machine":"snb"}"#).unwrap();
+        assert_eq!(r.id, "r1");
+        assert_eq!(r.op, Op::Generate);
+        assert_eq!(r.kernel, DlaKernel::Gemm);
+        assert_eq!(r.machine.arch.short_name(), "sandybridge");
+        assert_eq!(r.deadline_ms, None);
+    }
+
+    #[test]
+    fn parses_knobs_and_aliases() {
+        let r = parse_request(
+            r#"{"id":"x","op":"tune","kernel":"axpy","machine":"piledriver","deadline_ms":250,"step_limit":100000}"#,
+        )
+        .unwrap();
+        assert_eq!(r.op, Op::Tune);
+        assert_eq!(r.kernel, DlaKernel::Axpy);
+        assert_eq!(r.machine.arch.short_name(), "piledriver");
+        assert_eq!(r.deadline_ms, Some(250));
+        assert_eq!(r.step_limit, Some(100_000));
+    }
+
+    #[test]
+    fn control_ops_need_no_kernel() {
+        assert_eq!(
+            parse_request(r#"{"id":"s","op":"stats"}"#).unwrap().op,
+            Op::Stats
+        );
+        assert_eq!(
+            parse_request(r#"{"id":"q","op":"shutdown"}"#).unwrap().op,
+            Op::Shutdown
+        );
+    }
+
+    #[test]
+    fn bad_lines_are_typed_errors_not_panics() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request(r#"{"op":"generate"}"#).is_err(), "missing id");
+        assert!(parse_request(r#"{"id":"a","kernel":"lu","machine":"snb"}"#).is_err());
+        assert!(parse_request(r#"{"id":"a","kernel":"dgemm","machine":"m1"}"#).is_err());
+        assert!(parse_request(r#"{"id":"a","op":"frobnicate"}"#).is_err());
+    }
+
+    #[test]
+    fn response_renders_with_schema_and_id() {
+        let mut r = Response::new("r9", Status::Ok);
+        r.cache = Some("hit");
+        r.mflops = Some(1234.5);
+        let j = r.to_json();
+        assert_eq!(
+            j.get("schema").and_then(Json::as_str),
+            Some(RESPONSE_SCHEMA)
+        );
+        assert_eq!(j.get("id").and_then(Json::as_str), Some("r9"));
+        assert_eq!(j.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(j.get("cache").and_then(Json::as_str), Some("hit"));
+        let line = j.render();
+        assert!(!line.contains('\n'), "one response = one line");
+    }
+
+    #[test]
+    fn rejection_kinds_are_distinguishable() {
+        for (why, name) in [
+            (Reject::QueueFull, "queue_full"),
+            (Reject::Deadline, "deadline"),
+            (Reject::Breaker, "breaker"),
+        ] {
+            let j = Response::rejected("r", why).to_json();
+            assert_eq!(j.get("status").and_then(Json::as_str), Some("rejected"));
+            assert_eq!(j.get("rejected").and_then(Json::as_str), Some(name));
+        }
+    }
+}

@@ -1,0 +1,432 @@
+//! The daemon fault-injection matrix (ISSUE 9 acceptance criteria).
+//!
+//! Every row proves the same global property from a different angle:
+//! the daemon never hangs and never poisons state — every accepted
+//! request either gets a typed response or dies with the (injected)
+//! process crash, and a restart recovers the persistent store to a
+//! state bit-identical to a clean run over the surviving requests.
+
+use augem_kernels::DlaKernel;
+use augem_machine::MachineSpec;
+use augem_obs::Json;
+use augem_resil::{Fault, InjectionPlan, Injector, Site, Trigger};
+use augem_serve::{
+    serve_lines, store_key, Op, Reject, Request, Response, ServeConfig, Server, ServerPool, Status,
+};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("augem-serve-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn req(id: &str, kernel: DlaKernel) -> Request {
+    Request {
+        id: id.to_string(),
+        op: Op::Tune,
+        kernel,
+        machine: MachineSpec::sandy_bridge(),
+        deadline_ms: None,
+        step_limit: None,
+    }
+}
+
+fn serve_one(server: &Arc<Server>, r: Request) -> Option<Response> {
+    let pool = ServerPool::start(Arc::clone(server));
+    let rx = pool.request(r);
+    let resp = rx.recv().ok();
+    pool.shutdown();
+    resp
+}
+
+/// Byte-for-byte comparison of two store directories (journal +
+/// entries; the quarantine area is post-mortem state, not cache state).
+fn assert_bit_identical(a: &Path, b: &Path) {
+    assert_eq!(
+        std::fs::read(a.join("journal.jsonl")).unwrap(),
+        std::fs::read(b.join("journal.jsonl")).unwrap(),
+        "journals differ between {} and {}",
+        a.display(),
+        b.display()
+    );
+    let list = |d: &Path| -> Vec<String> {
+        let mut v: Vec<String> = std::fs::read_dir(d.join("entries"))
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().to_string())
+            .collect();
+        v.sort();
+        v
+    };
+    let (la, lb) = (list(a), list(b));
+    assert_eq!(la, lb, "entry sets differ");
+    for name in la {
+        assert_eq!(
+            std::fs::read(a.join("entries").join(&name)).unwrap(),
+            std::fs::read(b.join("entries").join(&name)).unwrap(),
+            "entry {name} differs"
+        );
+    }
+}
+
+/// Row 1 — worker panic mid-tune: every candidate evaluation in the
+/// sweep panics (injected), the ladder degrades to the paper-default
+/// configuration, and the client still gets a kernel — typed as
+/// `degraded`, carrying the run report. The daemon machinery survives.
+#[test]
+fn panics_mid_tune_degrade_to_paper_default_not_a_hang() {
+    let injector =
+        Injector::new(InjectionPlan::new(11).with(Site::Eval, Fault::Panic, Trigger::Rate(1.0)));
+    let config = ServeConfig {
+        workers: 1,
+        breaker_threshold: 0, // isolate the panic row from the breaker row
+        ..ServeConfig::default()
+    };
+    let server = Arc::new(Server::open(config, injector).unwrap());
+
+    let resp = serve_one(&server, req("p1", DlaKernel::Axpy)).expect("a response, not a hang");
+    assert_eq!(resp.status, Status::Degraded, "ladder ships the default");
+    let rung = resp.degradation.expect("degradation rung is named");
+    assert!(rung.contains("default"), "paper default rung: {rung}");
+    assert!(resp.report.is_some(), "degraded responses carry the report");
+    assert!(
+        resp.mflops.is_some(),
+        "a fallback kernel still has a measurement"
+    );
+
+    // A fresh server without injection serves the same request clean:
+    // the failure storm poisoned nothing.
+    let server2 = Arc::new(Server::open(ServeConfig::default(), Injector::disabled()).unwrap());
+    let ok = serve_one(&server2, req("p2", DlaKernel::Axpy)).unwrap();
+    assert_eq!(ok.status, Status::Ok);
+}
+
+/// Row 1a — when even the paper default cannot be verified (injected
+/// verification panics at every rung), the ladder bottoms out in a
+/// *typed* error carrying the run report — never a hang, never a
+/// poisoned worker.
+#[test]
+fn exhausted_ladder_yields_typed_error_with_report() {
+    let injector =
+        Injector::new(InjectionPlan::new(11).with(Site::Verify, Fault::Panic, Trigger::Rate(1.0)));
+    let config = ServeConfig {
+        workers: 1,
+        breaker_threshold: 0,
+        ..ServeConfig::default()
+    };
+    let server = Arc::new(Server::open(config, injector).unwrap());
+    let resp = serve_one(&server, req("e1", DlaKernel::Axpy)).expect("a response, not a hang");
+    assert_eq!(resp.status, Status::Error, "typed error, not a panic");
+    assert!(resp.error.is_some());
+    assert!(resp.report.is_some(), "even errors carry the run report");
+}
+
+/// Row 1b — a panic that escapes the tuner's own sandboxes is contained
+/// by the worker's outer sandbox: typed error response, worker thread
+/// lives to serve the next request.
+#[test]
+fn outer_sandbox_contains_escaped_panics() {
+    // A request whose machine has been mutilated so the pipeline
+    // panics outside the per-candidate sandbox is hard to fabricate
+    // through the public API; instead, verify the containment contract
+    // directly at the resil layer the worker uses...
+    let caught: Result<(), String> = augem_resil::sandboxed(|| panic!("escaped"));
+    assert!(caught.is_err());
+
+    // ...and that the pool keeps serving after a (tuner-contained)
+    // failure storm: verification panics at every ladder rung, both
+    // requests come back as typed errors, the worker thread lives.
+    let storm =
+        Injector::new(InjectionPlan::new(7).with(Site::Verify, Fault::Panic, Trigger::Rate(1.0)));
+    let cfg2 = ServeConfig {
+        workers: 1,
+        breaker_threshold: 0,
+        ..ServeConfig::default()
+    };
+    let stormy = Arc::new(Server::open(cfg2, storm).unwrap());
+    let spool = ServerPool::start(Arc::clone(&stormy));
+    let r1 = spool.request(req("s1", DlaKernel::Axpy));
+    let r2 = spool.request(req("s2", DlaKernel::Scal));
+    assert_eq!(r1.recv().unwrap().status, Status::Error);
+    assert_eq!(r2.recv().unwrap().status, Status::Error);
+    spool.shutdown();
+}
+
+/// Row 2 — kill-9 between journal append and entry write: the crashed
+/// request goes unanswered (the process died), restart recovery drops
+/// the dangling commit, and re-serving the pending request converges
+/// to a store bit-identical to a never-crashed run.
+#[test]
+fn crash_in_commit_window_recovers_bit_identical_and_reserves() {
+    let dir = tmpdir("crashwin");
+    let reference = tmpdir("crashwin-ref");
+
+    // Reference: a clean daemon serving both requests.
+    {
+        let config = ServeConfig {
+            workers: 1,
+            cache_dir: Some(reference.clone()),
+            ..ServeConfig::default()
+        };
+        let server = Arc::new(Server::open(config, Injector::disabled()).unwrap());
+        let pool = ServerPool::start(Arc::clone(&server));
+        let r1 = pool.request(req("a", DlaKernel::Axpy));
+        let r2 = pool.request(req("b", DlaKernel::Scal));
+        assert_eq!(r1.recv().unwrap().status, Status::Ok);
+        assert_eq!(r2.recv().unwrap().status, Status::Ok);
+        assert!(!pool.shutdown());
+    }
+
+    // Crash run: the second commit dies in the window.
+    {
+        let config = ServeConfig {
+            workers: 1,
+            cache_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        };
+        let injector = Injector::new(InjectionPlan::new(0).with(
+            Site::StoreCommit,
+            Fault::Crash,
+            Trigger::Nth(2),
+        ));
+        let server = Arc::new(Server::open(config, injector).unwrap());
+        let pool = ServerPool::start(Arc::clone(&server));
+        let r1 = pool.request(req("a", DlaKernel::Axpy));
+        let r2 = pool.request(req("b", DlaKernel::Scal));
+        assert_eq!(r1.recv().unwrap().status, Status::Ok);
+        assert!(
+            r2.recv().is_err(),
+            "the crashed request must NOT get a response"
+        );
+        assert!(pool.shutdown(), "the pool must report the crash");
+    }
+
+    // Restart: recovery + re-serving the pending request converges.
+    {
+        let config = ServeConfig {
+            workers: 1,
+            cache_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        };
+        let server = Arc::new(Server::open(config, Injector::disabled()).unwrap());
+        let stats = server.store_stats();
+        assert_eq!(stats.dangling_dropped, 1, "the dangling commit is dropped");
+        assert!(stats.compacted);
+        assert_eq!(server.store_len(), 1, "only the clean commit survived");
+        let resp = serve_one(&server, req("b", DlaKernel::Scal)).unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(resp.cache, Some("miss"), "the pending request re-tunes");
+    }
+    assert_bit_identical(&dir, &reference);
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&reference);
+}
+
+/// Row 3 — corrupt cache entry on disk: quarantined at load (never
+/// served, never a panic), re-tuned on demand, store converges back to
+/// the clean bytes.
+#[test]
+fn corrupt_entry_on_disk_is_quarantined_then_reconverges() {
+    let dir = tmpdir("corrupt");
+    let reference = tmpdir("corrupt-ref");
+    for d in [&dir, &reference] {
+        let config = ServeConfig {
+            workers: 1,
+            cache_dir: Some(d.clone()),
+            ..ServeConfig::default()
+        };
+        let server = Arc::new(Server::open(config, Injector::disabled()).unwrap());
+        let resp = serve_one(&server, req("c", DlaKernel::Axpy)).unwrap();
+        assert_eq!(resp.status, Status::Ok);
+    }
+    // Bit-flip the stored entry. The effective store key uses the
+    // server's default step budget (requests carried none).
+    let limit = augem::DegradationPolicy::default().resil.step_limit;
+    let key = store_key("daxpy", &MachineSpec::sandy_bridge(), limit);
+    let victim = dir.join("entries").join(format!("{key}.json"));
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&victim, bytes).unwrap();
+
+    let config = ServeConfig {
+        workers: 1,
+        cache_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+    let server = Arc::new(Server::open(config, Injector::disabled()).unwrap());
+    assert_eq!(server.store_stats().entries_quarantined, 1);
+    assert_eq!(server.store_len(), 0);
+    assert!(
+        dir.join("quarantine").join(format!("{key}.json")).exists(),
+        "the damaged entry is kept for post-mortem"
+    );
+    let resp = serve_one(&server, req("c2", DlaKernel::Axpy)).unwrap();
+    assert_eq!(resp.status, Status::Ok);
+    assert_eq!(resp.cache, Some("miss"), "corrupt entries are never served");
+    // Remove the quarantine dir before comparing cache state.
+    let _ = std::fs::remove_dir_all(dir.join("quarantine"));
+    assert_bit_identical(&dir, &reference);
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&reference);
+}
+
+/// Row 4 — overload: a full queue sheds with `queue_full` at admission;
+/// a request whose deadline lapses in the queue is shed with
+/// `deadline` at dequeue; the in-flight request still completes.
+#[test]
+fn overload_sheds_typed_rejections_not_hangs() {
+    let config = ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..ServeConfig::default()
+    };
+    let server = Arc::new(Server::open(config, Injector::disabled()).unwrap());
+    let pool = ServerPool::start(Arc::clone(&server));
+
+    // Occupy the single worker with a real tune.
+    let busy = pool.request(req("busy", DlaKernel::Axpy));
+    std::thread::sleep(std::time::Duration::from_millis(150));
+
+    // Fills the queue; its deadline is already over when dequeued.
+    let mut late = req("late", DlaKernel::Scal);
+    late.deadline_ms = Some(0);
+    let late_rx = pool.request(late);
+
+    // Queue is now full: immediate typed rejection.
+    let shed_rx = pool.request(req("shed", DlaKernel::Dot));
+    let shed = shed_rx.recv().unwrap();
+    assert_eq!(shed.status, Status::Rejected);
+    assert_eq!(shed.rejected, Some(Reject::QueueFull));
+
+    let busy_resp = busy.recv().unwrap();
+    assert_eq!(busy_resp.status, Status::Ok);
+    let late_resp = late_rx.recv().unwrap();
+    assert_eq!(late_resp.status, Status::Rejected);
+    assert_eq!(late_resp.rejected, Some(Reject::Deadline));
+    pool.shutdown();
+}
+
+/// Row 5 — circuit breaker: consecutive failing requests for one
+/// kernel×machine family open its circuit; further requests are
+/// refused with `breaker` while other families still serve.
+#[test]
+fn failing_family_trips_breaker_other_families_survive() {
+    // Verification panics at every rung → generated: None → the
+    // breaker counts the failure (a degraded-but-shipped kernel would
+    // not trip it).
+    let injector =
+        Injector::new(InjectionPlan::new(3).with(Site::Verify, Fault::Panic, Trigger::Rate(1.0)));
+    let config = ServeConfig {
+        workers: 1,
+        breaker_threshold: 2,
+        ..ServeConfig::default()
+    };
+    let server = Arc::new(Server::open(config, injector).unwrap());
+    let pool = ServerPool::start(Arc::clone(&server));
+
+    for id in ["f1", "f2"] {
+        let r = pool.request(req(id, DlaKernel::Axpy)).recv().unwrap();
+        assert_eq!(r.status, Status::Error);
+    }
+    let tripped = pool.request(req("f3", DlaKernel::Axpy)).recv().unwrap();
+    assert_eq!(tripped.status, Status::Rejected);
+    assert_eq!(tripped.rejected, Some(Reject::Breaker));
+    pool.shutdown();
+
+    let snap = server.counters().snapshot();
+    assert_eq!(
+        snap.counters.get(augem_resil::counter::BREAKER_TRIP),
+        Some(&1)
+    );
+    assert_eq!(
+        snap.counters.get(augem_serve::counter::REJECT_BREAKER),
+        Some(&1)
+    );
+}
+
+/// Warm start: a second daemon process (same store dir) answers repeat
+/// requests from disk without re-tuning, and the response still embeds
+/// a run report.
+#[test]
+fn warm_start_serves_hits_without_retuning() {
+    let dir = tmpdir("warm");
+    let cold_cfg = ServeConfig {
+        workers: 1,
+        cache_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+    let cold = Arc::new(Server::open(cold_cfg.clone(), Injector::disabled()).unwrap());
+    let first = serve_one(&cold, req("w1", DlaKernel::Scal)).unwrap();
+    assert_eq!(first.cache, Some("miss"));
+    drop(cold);
+
+    let warm = Arc::new(Server::open(cold_cfg, Injector::disabled()).unwrap());
+    assert_eq!(warm.store_len(), 1);
+    let second = serve_one(&warm, req("w2", DlaKernel::Scal)).unwrap();
+    assert_eq!(second.status, Status::Ok);
+    assert_eq!(second.cache, Some("hit"), "no re-tune on a warm store");
+    assert_eq!(second.config_tag, first.config_tag);
+    assert_eq!(second.mflops, first.mflops);
+    let report = second.report.expect("hits still embed a run report");
+    assert_eq!(
+        report.get("schema").and_then(Json::as_str),
+        Some("augem.run-report/v1")
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The NDJSON harness end to end: every request line gets exactly one
+/// response line (garbage included), correlated by id, and `shutdown`
+/// ends the session cleanly.
+#[test]
+fn serve_lines_round_trip_with_garbage_and_shutdown() {
+    let input = concat!(
+        "{\"id\":\"r1\",\"op\":\"tune\",\"kernel\":\"daxpy\",\"machine\":\"snb\"}\n",
+        "this is not json\n",
+        "{\"id\":\"r2\",\"op\":\"tune\",\"kernel\":\"daxpy\",\"machine\":\"snb\"}\n",
+        "{\"id\":\"st\",\"op\":\"stats\"}\n",
+        "{\"id\":\"bye\",\"op\":\"shutdown\"}\n",
+        "{\"id\":\"after\",\"op\":\"tune\",\"kernel\":\"ddot\",\"machine\":\"snb\"}\n",
+    );
+    let config = ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    };
+    let server = Arc::new(Server::open(config, Injector::disabled()).unwrap());
+    let mut output = Vec::new();
+    let summary = serve_lines(Arc::clone(&server), input.as_bytes(), &mut output).unwrap();
+    assert!(summary.clean_shutdown);
+    assert!(!summary.crashed);
+    assert_eq!(summary.lost_to_crash, 0);
+
+    let text = String::from_utf8(output).unwrap();
+    let responses: Vec<Json> = text.lines().map(|l| Json::parse(l).unwrap()).collect();
+    let ids: Vec<&str> = responses
+        .iter()
+        .filter_map(|r| r.get("id").and_then(Json::as_str))
+        .collect();
+    // r1 + garbage + r2 + stats + shutdown echo; nothing after shutdown.
+    assert_eq!(ids.len(), 5, "5 responses: {ids:?}");
+    assert!(!ids.contains(&"after"), "no service past shutdown");
+    for want in ["r1", "r2", "st", "bye", "?"] {
+        assert_eq!(
+            ids.iter().filter(|i| **i == want).count(),
+            1,
+            "exactly one response for {want:?}"
+        );
+    }
+    // r1 and r2 are the same key: one misses, one hits (order is a
+    // race between the two workers — both outcomes are correct).
+    let hits = responses
+        .iter()
+        .filter(|r| r.get("cache").and_then(Json::as_str) == Some("hit"))
+        .count();
+    let misses = responses
+        .iter()
+        .filter(|r| r.get("cache").and_then(Json::as_str) == Some("miss"))
+        .count();
+    assert_eq!(hits + misses, 2);
+}

@@ -54,6 +54,40 @@ pub mod counter {
     pub const PROFILE_HIT: &str = "cache.profile.hit";
     /// A profiled evaluation ran the simulator and was stored.
     pub const PROFILE_MISS: &str = "cache.profile.miss";
+    /// One-time event: caching is off via `AUGEM_EVAL_CACHE`.
+    pub const DISABLED_EVENT: &str = "cache.disabled";
+}
+
+/// Does this `AUGEM_EVAL_CACHE` value disable the cache? Accepts
+/// `0`/`off`/`false`/`no` case-insensitively; anything else (including
+/// unset) leaves caching on. The single point of truth for the knob —
+/// every constructor routes through [`cache_enabled`].
+fn knob_disables(value: &str) -> bool {
+    matches!(
+        value.trim().to_ascii_lowercase().as_str(),
+        "0" | "off" | "false" | "no"
+    )
+}
+
+/// Reads the `AUGEM_EVAL_CACHE` environment knob. `0`, `off`, `false`,
+/// and `no` (any case) disable caching; anything else, or unset, enables
+/// it.
+pub fn cache_enabled() -> bool {
+    !std::env::var("AUGEM_EVAL_CACHE")
+        .map(|v| knob_disables(&v))
+        .unwrap_or(false)
+}
+
+/// Emits the one-time `cache.disabled` event on `tracer`. Guarded by a
+/// process-wide [`std::sync::Once`] so a long-lived daemon constructing
+/// many drivers logs the A/B-measurement mode exactly once, not per
+/// request.
+pub fn note_cache_disabled(tracer: &dyn Tracer) {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let knob = std::env::var("AUGEM_EVAL_CACHE").unwrap_or_default();
+        tracer.event(counter::DISABLED_EVENT, &[("knob", knob.into())]);
+    });
 }
 
 type BuildKey = (String, u64);
@@ -94,16 +128,25 @@ impl Default for EvalCache {
 
 impl EvalCache {
     /// A cache honoring the `AUGEM_EVAL_CACHE` environment knob
-    /// (`0`/`off`/`false` disable it; anything else, or unset, enables).
+    /// (`0`/`off`/`false`/`no`, case-insensitive, disable it; anything
+    /// else, or unset, enables). See [`cache_enabled`].
     pub fn new() -> Self {
-        let enabled = !matches!(
-            std::env::var("AUGEM_EVAL_CACHE").as_deref(),
-            Ok("0") | Ok("off") | Ok("false")
-        );
         EvalCache {
-            enabled,
+            enabled: cache_enabled(),
             inner: Mutex::new(Inner::default()),
         }
+    }
+
+    /// [`new`](Self::new), emitting a one-time `cache.disabled` event on
+    /// `tracer` when the environment knob turned caching off — so a
+    /// daemon serving from this cache records the degraded-throughput
+    /// mode in its run reports.
+    pub fn new_traced(tracer: &dyn Tracer) -> Self {
+        let cache = Self::new();
+        if !cache.enabled {
+            note_cache_disabled(tracer);
+        }
+        cache
     }
 
     /// A cache that never hits and never stores — the legacy behavior.
@@ -424,5 +467,33 @@ mod tests {
         assert!(!snap.counters.contains_key(counter::BUILD_HIT));
         assert!(!snap.counters.contains_key(counter::BUILD_MISS));
         assert_eq!(cache.builds_len(), 0);
+    }
+
+    #[test]
+    fn knob_values_disable_case_insensitively() {
+        for v in [
+            "0", "off", "OFF", "Off", "false", "FALSE", "no", "No", " no ",
+        ] {
+            assert!(knob_disables(v), "{v:?} must disable the cache");
+        }
+        for v in ["", "1", "on", "true", "yes", "anything"] {
+            assert!(!knob_disables(v), "{v:?} must leave the cache enabled");
+        }
+    }
+
+    #[test]
+    fn disabled_event_fires_exactly_once_per_process() {
+        // AUGEM_EVAL_CACHE is not set under `cargo test`, so nothing
+        // else triggers the Once — this test owns it.
+        let c = Collector::new();
+        note_cache_disabled(&c);
+        note_cache_disabled(&c);
+        let events = c
+            .snapshot()
+            .events
+            .iter()
+            .filter(|e| e.name == counter::DISABLED_EVENT)
+            .count();
+        assert_eq!(events, 1, "cache.disabled must be a one-time event");
     }
 }

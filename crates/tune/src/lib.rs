@@ -28,7 +28,7 @@ pub mod prune;
 pub mod resilient;
 pub mod search;
 
-pub use cache::EvalCache;
+pub use cache::{cache_enabled, note_cache_disabled, EvalCache};
 pub use config::{
     build_pipeline, build_pipeline_logged, build_pipeline_traced, gemm_candidates,
     vector_candidates, BuildError, GemmConfig, LoggedBuild, VectorConfig, VectorKernel,

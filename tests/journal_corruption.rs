@@ -1,0 +1,196 @@
+//! Property-based crash-damage tests for the two persistent journals:
+//! the tuner's checkpoint journal (`resil::TuneJournal`) and the
+//! serving daemon's kernel-store journal (`serve::KernelStore`).
+//!
+//! For random journal contents and a random byte-level injury —
+//! truncation at an arbitrary offset (a torn write) or a single bit
+//! flip (media corruption) — loading must never panic, must drop *only*
+//! the damaged suffix/lines, must count every drop, and (for the store)
+//! must converge: a second open after recovery reports zero damage.
+
+use augem_obs::{Collector, Json};
+use augem_resil::{Injector, TuneJournal};
+use augem_serve::{KernelStore, StoredKernel};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn tmpfile(name: &str, case: u64) -> PathBuf {
+    std::env::temp_dir().join(format!("augem-jcorr-{}-{name}-{case}", std::process::id()))
+}
+
+fn tune_journal_with(path: &PathBuf, tags: &[String]) -> Vec<Json> {
+    let _ = std::fs::remove_file(path);
+    let header = augem_resil::journal_header("daxpy", "sandybridge");
+    let mut j = TuneJournal::create(path, header).unwrap();
+    let mut entries = Vec::new();
+    for (i, tag) in tags.iter().enumerate() {
+        let e = Json::obj(vec![
+            ("tag", Json::str(tag.clone())),
+            ("mflops", Json::Num(100.0 + i as f64)),
+        ]);
+        j.append(e.clone()).unwrap();
+        entries.push(e);
+    }
+    entries
+}
+
+/// Splitmix-style byte position derivation so each case injures a
+/// different spot without depending on file length in the strategy.
+fn pos(seed: u64, len: usize) -> usize {
+    (augem_obs::hash::splitmix64(seed) % len.max(1) as u64) as usize
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Truncation: the surviving entries are exactly a prefix of the
+    /// originals; at most the one torn line is dropped and counted.
+    #[test]
+    fn tune_journal_truncation_drops_only_the_torn_suffix(
+        n in 1usize..6,
+        seed in 0u64..10_000,
+    ) {
+        let path = tmpfile("tj-trunc", seed);
+        let tags: Vec<String> = (0..n).map(|i| format!("cfg-{i}")).collect();
+        let entries = tune_journal_with(&path, &tags);
+        let bytes = std::fs::read(&path).unwrap();
+        let cut = pos(seed, bytes.len() + 1);
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+
+        match TuneJournal::load(&path) {
+            Err(_) => {
+                // The injury reached the header line: a typed error,
+                // never a panic. Nothing else to check.
+            }
+            Ok(j) => {
+                prop_assert!(j.corrupt_dropped() <= 1, "only the torn line drops");
+                prop_assert!(j.entries().len() <= entries.len());
+                for (got, want) in j.entries().iter().zip(&entries) {
+                    prop_assert_eq!(got.render(), want.render(), "prefix must be intact");
+                }
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A single bit flip injures at most the line it lands in (two
+    /// lines when it manufactures or destroys a newline); every other
+    /// entry survives byte-identical, every drop is counted.
+    #[test]
+    fn tune_journal_bit_flip_is_contained_and_counted(
+        n in 1usize..6,
+        seed in 0u64..10_000,
+        bit in 0u8..8,
+    ) {
+        let path = tmpfile("tj-flip", seed);
+        let tags: Vec<String> = (0..n).map(|i| format!("cfg-{i}")).collect();
+        let entries = tune_journal_with(&path, &tags);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = pos(seed.wrapping_add(1), bytes.len());
+        bytes[at] ^= 1 << bit;
+        std::fs::write(&path, &bytes).unwrap();
+
+        match TuneJournal::load(&path) {
+            Err(_) => {
+                // Flip landed in the header (or forged a bad one).
+            }
+            Ok(j) => {
+                prop_assert!(j.corrupt_dropped() <= 2, "blast radius is one line (two if a newline moved)");
+                let original: std::collections::HashSet<String> =
+                    entries.iter().map(Json::render).collect();
+                let intact = j
+                    .entries()
+                    .iter()
+                    .filter(|e| original.contains(&e.render()))
+                    .count();
+                prop_assert!(
+                    intact + 2 >= entries.len(),
+                    "at most two entries may be lost to one flipped bit: {intact}/{}",
+                    entries.len()
+                );
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+fn store_with(dir: &PathBuf, n: usize) -> Vec<StoredKernel> {
+    let _ = std::fs::remove_dir_all(dir);
+    let c = Collector::new();
+    let mut s = KernelStore::open(dir, &c).unwrap();
+    let mut committed = Vec::new();
+    for i in 0..n {
+        let e = StoredKernel {
+            key: format!("{i:016x}"),
+            kernel: "daxpy".into(),
+            machine: "sandybridge-0123".into(),
+            config_tag: format!("daxpy u{} pf=off", 2 << i),
+            mflops: 1000.0 + i as f64,
+            asm: format!(".text\n# kernel {i}\nvmovapd (%rdi), %ymm0\n"),
+        };
+        s.commit(e.clone(), &Injector::disabled(), &c).unwrap();
+        committed.push(e);
+    }
+    committed
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Injuring the store journal (truncation or bit flip) never
+    /// panics the open, every surviving entry is byte-verified against
+    /// the originals, every one of the N entry files is accounted for
+    /// (served, quarantined as damaged, or quarantined as orphan), and
+    /// recovery converges: a second open reports zero damage.
+    #[test]
+    fn store_journal_damage_is_recovered_counted_and_convergent(
+        n in 1usize..5,
+        seed in 0u64..10_000,
+        flip_not_truncate in any::<bool>(),
+    ) {
+        let dir = tmpfile("store", seed.wrapping_add(if flip_not_truncate { 1 << 32 } else { 0 }));
+        let committed = store_with(&dir, n);
+        let journal = dir.join("journal.jsonl");
+        let mut bytes = std::fs::read(&journal).unwrap();
+        if flip_not_truncate {
+            let at = pos(seed, bytes.len());
+            bytes[at] ^= 0x04;
+        } else {
+            let cut = pos(seed, bytes.len() + 1);
+            bytes.truncate(cut);
+        }
+        std::fs::write(&journal, &bytes).unwrap();
+
+        let c = Collector::new();
+        let reopened = KernelStore::open(&dir, &c).unwrap();
+        let stats = *reopened.stats();
+        // Every surviving entry is bit-identical to what was committed.
+        for want in &committed {
+            if let Some(got) = reopened.get(&want.key) {
+                prop_assert_eq!(got, want, "served entries must be intact");
+            }
+        }
+        // Every entry file is accounted for, one way or another.
+        prop_assert_eq!(
+            stats.entries_loaded + stats.entries_quarantined + stats.orphans_quarantined,
+            n,
+            "all {} entry files accounted for: {:?}", n, stats
+        );
+        // Drops are visible on the resil counter, not silent.
+        let snap = c.snapshot();
+        let counted = snap
+            .counters
+            .get(augem_resil::counter::JOURNAL_CORRUPT)
+            .copied()
+            .unwrap_or(0);
+        prop_assert_eq!(counted, stats.journal_lines_dropped as u64);
+
+        // Convergence: recovery leaves a store that reopens clean.
+        drop(reopened);
+        let c2 = Collector::new();
+        let again = KernelStore::open(&dir, &c2).unwrap();
+        prop_assert!(!again.stats().damaged(), "second open must be clean: {:?}", again.stats());
+        prop_assert_eq!(again.len(), stats.entries_loaded);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
